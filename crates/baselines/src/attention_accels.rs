@@ -1,0 +1,144 @@
+//! The attention-only accelerators of Table 1 (A3, ELSA, Sanger, DOTA,
+//! DTATrans): value-level designs that approximate or prune attention in
+//! the prefill stage and leave weights and the KV stream untouched. They
+//! differ in how the candidate set is estimated, which shows up as the
+//! prediction-overhead / approximation-quality trade-off below; none helps
+//! the decode stage, which is the §2.3 critique motivating MCBP.
+
+use mcbp_workloads::{Accelerator, RunReport, TraceContext};
+
+use crate::common::{run_with_factors, Factors, Machine};
+
+/// Shared implementation: an attention-only design parameterized by its
+/// candidate-estimation mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttentionOnly {
+    machine: Machine,
+    /// Extra prediction MACs relative to dense attention.
+    prediction_overhead: f64,
+    /// Fraction of the theoretically available attention sparsity the
+    /// mechanism actually captures (approximation quality).
+    capture: f64,
+}
+
+impl AttentionOnly {
+    fn new(name: &str, prediction_overhead: f64, capture: f64) -> Self {
+        AttentionOnly {
+            machine: Machine::normalized_asic(name),
+            prediction_overhead,
+            capture,
+        }
+    }
+
+    /// A3 (HPCA'20): greedy candidate search over sorted key components —
+    /// cheap estimation, moderate capture.
+    #[must_use]
+    pub fn a3() -> Self {
+        Self::new("A3", 0.25, 0.6)
+    }
+
+    /// ELSA (ISCA'21): sign-random-projection hashing — very cheap
+    /// estimation, good capture.
+    #[must_use]
+    pub fn elsa() -> Self {
+        Self::new("ELSA", 0.15, 0.7)
+    }
+
+    /// Sanger (MICRO'21): low-precision pre-compute into a reconfigurable
+    /// sparse array — moderate overhead, good capture.
+    #[must_use]
+    pub fn sanger() -> Self {
+        Self::new("Sanger", 0.3, 0.75)
+    }
+
+    /// DOTA (ASPLOS'22): learned low-rank attention estimation.
+    #[must_use]
+    pub fn dota() -> Self {
+        Self::new("DOTA", 0.2, 0.75)
+    }
+
+    /// DTATrans (TCAD'22): dynamic token-wise mixed precision.
+    #[must_use]
+    pub fn dtatrans() -> Self {
+        Self::new("DTATrans", 0.25, 0.65)
+    }
+
+    /// All five, for sweep harnesses.
+    #[must_use]
+    pub fn survey_set() -> Vec<AttentionOnly> {
+        vec![Self::a3(), Self::elsa(), Self::sanger(), Self::dota(), Self::dtatrans()]
+    }
+}
+
+impl Accelerator for AttentionOnly {
+    fn name(&self) -> &str {
+        &self.machine.name
+    }
+
+    fn run(&self, ctx: &TraceContext) -> RunReport {
+        // Captured sparsity interpolates between dense (1.0) and the
+        // workload's operating point.
+        let keep = 1.0 - (1.0 - ctx.attention_keep) * self.capture;
+        let f = Factors {
+            weight_compute: 1.0,
+            attn_compute: keep.max(0.05),
+            weight_traffic: 1.0,
+            kv_traffic: 1.0, // encoder-era designs keep the full KV resident
+            prediction_overhead: self.prediction_overhead,
+            reorder_fraction: 0.0,
+            cycle_tax: 1.0,
+        };
+        run_with_factors(&self.machine, ctx, &f, &f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystolicArray;
+    use mcbp_model::LlmConfig;
+    use mcbp_workloads::{SparsityProfile, Task, WeightGenerator};
+
+    fn ctx(task: Task) -> TraceContext {
+        let model = LlmConfig::llama7b();
+        let gen = WeightGenerator::for_model(&model);
+        let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 8), 4);
+        TraceContext { model, task, batch: 1, weight_profile: profile, attention_keep: 0.3 }
+    }
+
+    #[test]
+    fn all_five_beat_dense_on_long_prefill_attention() {
+        let c = ctx(Task::dolly());
+        let dense = SystolicArray::new().run(&c).prefill.gemm_cycles;
+        for accel in AttentionOnly::survey_set() {
+            let t = accel.run(&c).prefill.gemm_cycles;
+            assert!(t < dense, "{}: {t} vs dense {dense}", accel.name());
+        }
+    }
+
+    #[test]
+    fn none_helps_decode_weight_streaming() {
+        // The Table 1 critique: "P only" designs leave decode untouched.
+        let c = ctx(Task::cola());
+        let dense = SystolicArray::new().run(&c).decode.weight_load_cycles;
+        for accel in AttentionOnly::survey_set() {
+            let t = accel.run(&c).decode.weight_load_cycles;
+            assert!((t - dense).abs() < 1e-6 * dense, "{}", accel.name());
+        }
+    }
+
+    #[test]
+    fn better_capture_means_less_attention_compute() {
+        let c = ctx(Task::dolly());
+        let elsa = AttentionOnly::elsa().run(&c).prefill.gemm_cycles;
+        let a3 = AttentionOnly::a3().run(&c).prefill.gemm_cycles;
+        assert!(elsa < a3, "higher capture must cut more compute");
+    }
+
+    #[test]
+    fn names_match_table1() {
+        let names: Vec<String> =
+            AttentionOnly::survey_set().iter().map(|a| a.name().to_owned()).collect();
+        assert_eq!(names, ["A3", "ELSA", "Sanger", "DOTA", "DTATrans"]);
+    }
+}

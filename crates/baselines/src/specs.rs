@@ -1,0 +1,170 @@
+//! Published specifications of the compared accelerators — the data behind
+//! Table 1 (feature survey) and Table 4 (quantitative comparison).
+
+use mcbp_mem::AreaModel;
+
+/// Which optimization level a design works at (Table 1's last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Value-level processing.
+    Value,
+    /// Bit-grained processing.
+    Bit,
+}
+
+/// One row of the Table 1 feature survey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Publication venue/year tag.
+    pub venue: &'static str,
+    /// Optimizes QKV/FFN GEMMs.
+    pub gemm_qkv_ffn: bool,
+    /// Optimizes attention compute.
+    pub gemm_attention: bool,
+    /// Optimizes weight memory access.
+    pub weight_access: bool,
+    /// Optimizes KV-cache memory access (false = none, true = yes/low).
+    pub kv_access: bool,
+    /// Covers both prefill and decode ("P&D") rather than prefill only.
+    pub prefill_and_decode: bool,
+    /// Processing granularity.
+    pub level: OptLevel,
+}
+
+/// The Table 1 survey.
+#[must_use]
+pub fn table1() -> Vec<FeatureRow> {
+    use OptLevel::{Bit, Value};
+    let row = |name, venue, g, a, w, k, pd, level| FeatureRow {
+        name,
+        venue,
+        gemm_qkv_ffn: g,
+        gemm_attention: a,
+        weight_access: w,
+        kv_access: k,
+        prefill_and_decode: pd,
+        level,
+    };
+    vec![
+        row("A3", "HPCA'20", false, true, false, false, false, Value),
+        row("ELSA", "ISCA'21", false, true, false, false, false, Value),
+        row("Sanger", "MICRO'21", false, true, false, false, false, Value),
+        row("DOTA", "ASPLOS'22", false, true, false, false, false, Value),
+        row("DTATrans", "TCAD'22", false, true, false, false, false, Value),
+        row("Energon", "TCAD'22", false, true, false, true, false, Value),
+        row("SpAtten", "HPCA'21", true, true, false, true, true, Value),
+        row("SOFA", "MICRO'24", false, true, true, false, false, Value),
+        row("FACT", "ISCA'23", true, true, true, false, false, Value),
+        row("MCBP", "MICRO'25", true, true, true, true, true, Bit),
+    ]
+}
+
+/// One row of Table 4 (as published, pre-normalization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Process node in nm.
+    pub technology_nm: u32,
+    /// Die area in mm² at the published node.
+    pub area_mm2: f64,
+    /// Published effective throughput in GOPS.
+    pub throughput_gops: f64,
+    /// Published energy efficiency in GOPS/W.
+    pub efficiency_gops_w: f64,
+}
+
+impl SpecRow {
+    /// Area normalized to 28 nm (Table 4's comparison basis).
+    #[must_use]
+    pub fn area_at_28nm(&self) -> f64 {
+        AreaModel::normalize_area(self.area_mm2, self.technology_nm, 28)
+    }
+
+    /// Efficiency normalized to 28 nm (energy shrinks quadratically, so
+    /// GOPS/W grows by the inverse).
+    #[must_use]
+    pub fn efficiency_at_28nm(&self) -> f64 {
+        let scale = AreaModel::normalize_energy(1.0, self.technology_nm, 28);
+        self.efficiency_gops_w / scale
+    }
+}
+
+/// The Table 4 rows.
+#[must_use]
+pub fn table4() -> Vec<SpecRow> {
+    vec![
+        SpecRow {
+            name: "SpAtten",
+            technology_nm: 40,
+            area_mm2: 1.55,
+            throughput_gops: 360.0,
+            efficiency_gops_w: 382.0,
+        },
+        SpecRow {
+            name: "FACT",
+            technology_nm: 28,
+            area_mm2: 6.03,
+            throughput_gops: 1153.0,
+            efficiency_gops_w: 4388.0,
+        },
+        SpecRow {
+            name: "SOFA",
+            technology_nm: 28,
+            area_mm2: 4.29,
+            throughput_gops: 24423.0,
+            efficiency_gops_w: 7183.0,
+        },
+        SpecRow {
+            name: "MCBP",
+            technology_nm: 28,
+            area_mm2: 9.52,
+            throughput_gops: 54463.0,
+            efficiency_gops_w: 22740.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_mcbp_covers_everything_at_bit_level() {
+        let rows = table1();
+        let full: Vec<&FeatureRow> = rows
+            .iter()
+            .filter(|r| {
+                r.gemm_qkv_ffn && r.gemm_attention && r.weight_access && r.kv_access
+                    && r.prefill_and_decode
+            })
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "MCBP");
+        assert_eq!(full[0].level, OptLevel::Bit);
+    }
+
+    #[test]
+    fn table4_efficiency_ratios_match_paper() {
+        // §5.4: MCBP is 35× / 5.2× / 3.2× more efficient than SpAtten /
+        // FACT / SOFA after 28 nm normalization.
+        let rows = table4();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        let mcbp = get("MCBP").efficiency_at_28nm();
+        let spatten_ratio = mcbp / get("SpAtten").efficiency_at_28nm();
+        let fact_ratio = mcbp / get("FACT").efficiency_at_28nm();
+        let sofa_ratio = mcbp / get("SOFA").efficiency_at_28nm();
+        assert!((spatten_ratio - 35.0).abs() < 7.0, "spatten {spatten_ratio}");
+        assert!((fact_ratio - 5.2).abs() < 0.3, "fact {fact_ratio}");
+        assert!((sofa_ratio - 3.2).abs() < 0.3, "sofa {sofa_ratio}");
+    }
+
+    #[test]
+    fn spatten_area_shrinks_under_normalization() {
+        let rows = table4();
+        let spatten = rows.iter().find(|r| r.name == "SpAtten").unwrap();
+        assert!(spatten.area_at_28nm() < spatten.area_mm2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Microbenchmark: one BGPP progressive-prediction pass vs value-level
+//! top-k over growing key sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcbp_bgpp::{BgppConfig, ProgressivePredictor, ValueTopK};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+
+fn keys(s: usize, d: usize) -> BitPlanes {
+    let data: Vec<i32> = (0..s * d).map(|i| ((i.wrapping_mul(2654435761) >> 7) % 255) as i32 - 127).collect();
+    BitPlanes::from_matrix(&IntMatrix::from_flat(8, s, d, data).unwrap())
+}
+
+fn bench_bgpp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgpp_round");
+    group.sample_size(20);
+    for s in [256usize, 2048] {
+        let planes = keys(s, 64);
+        let q: Vec<i32> = (0..64).map(|i| (i % 15) - 7).collect();
+        group.bench_with_input(BenchmarkId::new("progressive", s), &s, |b, _| {
+            let p = ProgressivePredictor::new(BgppConfig::standard());
+            b.iter(|| p.predict(&q, &planes, 0.01));
+        });
+        group.bench_with_input(BenchmarkId::new("value_topk", s), &s, |b, _| {
+            let v = ValueTopK::new(4, s / 10);
+            b.iter(|| v.predict(&q, &planes));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgpp);
+criterion_main!(benches);

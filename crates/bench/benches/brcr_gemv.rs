@@ -1,0 +1,42 @@
+//! Microbenchmark: BRCR GEMV vs dense integer GEMV on LLM-like weights.
+//!
+//! Software throughput is not the claim (the hardware has 30k parallel
+//! adders); what matters here is that the *operation counts* scale as the
+//! cost model predicts while the functional engine stays exact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_brcr::BrcrEngine;
+use mcbp_model::LlmConfig;
+use mcbp_workloads::WeightGenerator;
+
+fn inputs(h: usize) -> (IntMatrix, BitPlanes, Vec<i32>) {
+    let generator = WeightGenerator::for_model(&LlmConfig::llama7b());
+    let w = generator.quantized_sample(64, h, 7);
+    let planes = BitPlanes::from_matrix(&w);
+    let x: Vec<i32> = (0..h).map(|i| ((i as i32 * 31) % 255) - 127).collect();
+    (w, planes, x)
+}
+
+fn bench_brcr_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brcr_gemv");
+    group.sample_size(20);
+    for h in [512usize, 2048] {
+        let (w, planes, x) = inputs(h);
+        group.bench_with_input(BenchmarkId::new("dense_reference", h), &h, |b, _| {
+            b.iter(|| w.matvec(&x).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("brcr_m4", h), &h, |b, _| {
+            let engine = BrcrEngine::new(4);
+            b.iter(|| engine.gemv(&planes, &x));
+        });
+        group.bench_with_input(BenchmarkId::new("brcr_m8", h), &h, |b, _| {
+            let engine = BrcrEngine::new(8);
+            b.iter(|| engine.gemv(&planes, &x));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_brcr_gemv);
+criterion_main!(benches);

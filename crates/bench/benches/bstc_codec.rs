@@ -1,0 +1,29 @@
+//! Microbenchmark: BSTC encode/decode bandwidth on LLM-like weights.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcbp_bitslice::BitPlanes;
+use mcbp_bstc::{EncodedWeights, PlaneSelection};
+use mcbp_model::LlmConfig;
+use mcbp_workloads::WeightGenerator;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bstc_codec");
+    group.sample_size(20);
+    for cols in [256usize, 1024] {
+        let generator = WeightGenerator::for_model(&LlmConfig::qwen7b());
+        let w = generator.quantized_sample(64, cols, 11);
+        let planes = BitPlanes::from_matrix(&w);
+        group.throughput(Throughput::Bytes((64 * cols) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", cols), &cols, |b, _| {
+            b.iter(|| EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default()));
+        });
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+        group.bench_with_input(BenchmarkId::new("decode", cols), &cols, |b, _| {
+            b.iter(|| enc.decode());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

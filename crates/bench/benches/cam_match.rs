@@ -1,0 +1,24 @@
+//! Microbenchmark: CAM match-stream accounting vs serial matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcbp_brcr::cam::CamModel;
+
+fn bench_cam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cam_match");
+    group.sample_size(30);
+    for n in [1024usize, 16384] {
+        let patterns: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % 16) as u32).collect();
+        group.bench_with_input(BenchmarkId::new("match_stream", n), &n, |b, _| {
+            let cam = CamModel::new(4);
+            b.iter(|| cam.match_stream(&patterns));
+        });
+        group.bench_with_input(BenchmarkId::new("speedup_vs_serial", n), &n, |b, _| {
+            let cam = CamModel::new(4);
+            b.iter(|| cam.speedup_vs_serial(&patterns));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cam);
+criterion_main!(benches);

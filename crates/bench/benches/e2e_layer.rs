@@ -1,0 +1,35 @@
+//! Macro-benchmark: one full workload evaluation on the cycle model and
+//! every baseline — the inner loop of the `repro` figure harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcbp_baselines::{GpuA100, Spatten, SystolicArray};
+use mcbp_bench::context;
+use mcbp_model::LlmConfig;
+use mcbp_sim::{McbpConfig, McbpSim};
+use mcbp_workloads::{Accelerator, Task};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_workload");
+    group.sample_size(10);
+    let ctx = context(&LlmConfig::llama7b(), &Task::wikilingua(), 8, 0.3);
+    group.bench_function("mcbp_sim", |b| {
+        let sim = McbpSim::new(McbpConfig::default());
+        b.iter(|| sim.run(&ctx));
+    });
+    group.bench_function("gpu_model", |b| {
+        let gpu = GpuA100::dense();
+        b.iter(|| gpu.run(&ctx));
+    });
+    group.bench_function("spatten_model", |b| {
+        let s = Spatten::new();
+        b.iter(|| s.run(&ctx));
+    });
+    group.bench_function("systolic_model", |b| {
+        let s = SystolicArray::new();
+        b.iter(|| s.run(&ctx));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Macro-benchmark: the functional INT8 transformer with and without the
+//! BGPP pruner (the Table 2 / Fig 24a inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcbp::BgppPruner;
+use mcbp_model::{KeepAll, QuantTransformer, Transformer, TransformerConfig};
+use mcbp_quant::Calibration;
+
+fn bench_transformer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quant_transformer");
+    group.sample_size(10);
+    let cfg = TransformerConfig::tiny();
+    let model = Transformer::random(cfg, 3);
+    let tokens: Vec<usize> = (0..24).map(|i| (i * 13 + 5) % cfg.vocab).collect();
+    let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+    group.bench_function("dense_int8", |b| {
+        b.iter(|| quant.forward(&tokens, &KeepAll));
+    });
+    group.bench_function("bgpp_pruned", |b| {
+        let pruner = BgppPruner::standard();
+        b.iter(|| quant.forward(&tokens, &pruner));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformer);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! repro <experiment-id> [...]   # e.g. repro fig17 fig19
+//! repro all                     # everything, in paper order
+//! repro list                    # available ids
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use mcbp_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <experiment-id ...>|all|list");
+        eprintln!("ids: {}", experiments::all_ids().join(" "));
+        return ExitCode::FAILURE;
+    }
+    if args[0] == "list" {
+        for id in experiments::all_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        experiments::all_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Ok(output) => {
+                println!("=== {id} ===");
+                println!("{output}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,271 @@
+//! Architecture-evaluation experiments: Fig 19 (ablations), Fig 20
+//! (GPU comparison), Fig 21 (gain breakdown), Table 3, Fig 22 (area/power).
+
+use mcbp::prelude::*;
+use mcbp_baselines::GpuA100;
+use mcbp_sim::PowerReport;
+use mcbp_workloads::RunReport;
+
+use crate::{context, f2, pct, render_table, STANDARD_KEEP};
+
+fn mcbp_variants() -> [(&'static str, McbpConfig); 4] {
+    [
+        ("Baseline", McbpConfig::ablation_baseline()),
+        ("+BRCR", McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() }),
+        (
+            "+BSTC",
+            McbpConfig {
+                enable_brcr: true,
+                enable_bstc: true,
+                ..McbpConfig::ablation_baseline()
+            },
+        ),
+        ("+BGPP", McbpConfig::default()),
+    ]
+}
+
+fn run_variant(cfg: &McbpConfig, model: &LlmConfig, task: &Task, batch: usize) -> RunReport {
+    McbpSim::new(cfg.clone()).run(&context(model, task, batch, STANDARD_KEEP))
+}
+
+/// Fig 19: (a) cumulative latency reduction of BRCR/BSTC/BGPP per model
+/// (batch 8, task mix), and (b) per-technique effects on Dolly and MBPP
+/// across prompt/decode lengths.
+#[must_use]
+pub fn fig19() -> String {
+    // ---- (a): cumulative ablation per model ----
+    let tasks = [Task::cola(), Task::wikitext2(), Task::wikilingua(), Task::mbpp(), Task::dolly()];
+    let mut rows = Vec::new();
+    for model in LlmConfig::paper_suite() {
+        let mut cells = vec![model.name.to_owned()];
+        let base: f64 = tasks
+            .iter()
+            .map(|t| run_variant(&McbpConfig::ablation_baseline(), &model, t, 8).total_cycles())
+            .sum();
+        for (_, cfg) in mcbp_variants() {
+            let total: f64 =
+                tasks.iter().map(|t| run_variant(&cfg, &model, t, 8).total_cycles()).sum();
+            cells.push(f2(total / base));
+        }
+        rows.push(cells);
+    }
+    let mut out = render_table(
+        "Fig 19(a) - normalized latency: cumulative ablation (batch=8, 5-task mix)",
+        &["model", "Baseline", "+BRCR", "+BSTC", "+BGPP"],
+        &rows,
+    );
+
+    // ---- (b): separate effect per technique, Dolly & MBPP ----
+    let mut rows_b = Vec::new();
+    let model = LlmConfig::llama7b();
+    let scenarios = [
+        ("Dolly p=1k", Task::dolly().with_prompt(1024).with_decode(48)),
+        ("Dolly p=4k", Task::dolly().with_prompt(4096).with_decode(48)),
+        ("MBPP d=1k", Task::mbpp().with_prompt(48).with_decode(1024)),
+        ("MBPP d=4k", Task::mbpp().with_prompt(48).with_decode(4096)),
+    ];
+    for (name, task) in scenarios {
+        let base = run_variant(&McbpConfig::ablation_baseline(), &model, &task, 8).total_cycles();
+        let solo = |cfg: McbpConfig| base / run_variant(&cfg, &model, &task, 8).total_cycles();
+        let brcr = solo(McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() });
+        let bstc = solo(McbpConfig { enable_bstc: true, ..McbpConfig::ablation_baseline() });
+        let bgpp = solo(McbpConfig { enable_bgpp: true, ..McbpConfig::ablation_baseline() });
+        rows_b.push(vec![name.to_owned(), f2(brcr), f2(bstc), f2(bgpp)]);
+    }
+    out.push('\n');
+    out.push_str(&render_table(
+        "Fig 19(b) - speedup of each technique applied alone (Llama7B, batch=8)",
+        &["scenario", "BRCR", "BSTC", "BGPP"],
+        &rows_b,
+    ));
+    out.push_str(
+        "shape check: BRCR dominates prompt-heavy Dolly; BSTC/BGPP dominate decode-heavy MBPP,\n\
+         with BGPP overtaking BSTC as the decode context grows\n",
+    );
+    out
+}
+
+/// Fig 20: throughput and energy-efficiency gain over the A100 (the paper
+/// matches peak INT8 TOPS with 148 MCBP devices under data/model
+/// parallelism), plus the bit-shift overhead breakdown of Fig 20(c).
+#[must_use]
+pub fn fig20() -> String {
+    let fleet = mcbp::Fleet { devices: 148, scaling_efficiency: mcbp::Fleet::efficiency_for(148) };
+    let mut rows = Vec::new();
+    let task = Task::wikilingua();
+    let mut speed_s = Vec::new();
+    let mut speed_a = Vec::new();
+    let mut eff_s = Vec::new();
+    for model in LlmConfig::paper_suite() {
+        let ctx8 = context(&model, &task, 8, STANDARD_KEEP);
+        // The aggressive point trades <=1% fidelity for more attention
+        // sparsity (Fig 24a: alpha 0.45 ~ keep 0.22 vs 0.30).
+        let ctx8_aggressive = context(&model, &task, 8, 0.22);
+        let ctx128 = context(&model, &task, 128, STANDARD_KEEP);
+        let gpu = GpuA100::dense();
+        let gpu_sw = GpuA100::with_mcbp_algorithms();
+        let t_gpu8 = gpu.run(&ctx8).total_cycles();
+        let t_gpu128 = gpu.run(&ctx128).total_cycles() / (128.0 / 8.0);
+        let t_sw = gpu_sw.run(&ctx8).total_cycles();
+
+        let std = McbpSim::new(McbpConfig::default());
+        let agg = McbpSim::new(McbpConfig::aggressive());
+        let (r_std, e_std) = std.run_detailed(&ctx8);
+        let (r_agg, _) = agg.run_detailed(&ctx8_aggressive);
+        let t_std = fleet.scale(&r_std).total_cycles();
+        let t_agg = fleet.scale(&r_agg).total_cycles();
+
+        // Energy efficiency: ops per joule, device-intensive.
+        let p_std = PowerReport::from_run(std.config(), &r_std, e_std);
+        let macs = 1.0; // common numerator cancels in the ratio below
+        let gpu_j = t_gpu8 * 1e-9 * 300.0; // ~300 W dynamic A100
+        let mcbp_j = r_std.total_cycles() * 1e-9 * p_std.total_w();
+        let eff_gain = gpu_j / mcbp_j * macs;
+
+        speed_s.push(t_gpu8 / t_std);
+        speed_a.push(t_gpu8 / t_agg);
+        eff_s.push(eff_gain);
+        rows.push(vec![
+            model.name.to_owned(),
+            f2(t_gpu8 / t_gpu128),
+            f2(t_gpu8 / t_sw),
+            f2(t_gpu8 / t_std),
+            f2(t_gpu8 / t_agg),
+            f2(eff_gain),
+        ]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut out = render_table(
+        &format!(
+            "Fig 20(a)(b) - gain over A100 (batch=8; MCBP fleet of {} devices, {:.0}% scaling efficiency)",
+            fleet.devices,
+            fleet.scaling_efficiency * 100.0
+        ),
+        &["model", "GPU B=128", "GPU+sw", "MCBP(S)", "MCBP(A)", "energy eff."],
+        &rows,
+    );
+    out.push_str(&format!(
+        "mean speedup: standard {:.2}x, aggressive {:.2}x (paper: 8.72x / 9.43x); mean efficiency {:.1}x (paper: 29.2x/31.1x)\n",
+        mean(&speed_s),
+        mean(&speed_a),
+        mean(&eff_s)
+    ));
+
+    // ---- (c): bit-shift overhead ----
+    let cfg = McbpConfig::default();
+    let shift_share = cfg.shift_overhead / (1.0 + cfg.shift_overhead);
+    out.push_str(&format!(
+        "\nFig 20(c) - bit-shift overhead: {} of compute adds are shift-accumulates\n\
+         (paper: 17.1%; the 3x net latency win over value-level execution absorbs it)\n",
+        pct(shift_share)
+    ));
+    out
+}
+
+/// Fig 21: software-vs-hardware gain decomposition per technique.
+#[must_use]
+pub fn fig21() -> String {
+    let model = LlmConfig::llama7b();
+    let task = Task::wikilingua();
+    let ctx = context(&model, &task, 8, STANDARD_KEEP);
+
+    // Software: cumulative schemes on the GPU.
+    let g0 = GpuA100::dense().run(&ctx).total_cycles();
+    let g1 = GpuA100::with_schemes(true, false, false).run(&ctx).total_cycles();
+    let g2 = GpuA100::with_schemes(true, true, false).run(&ctx).total_cycles();
+    let g3 = GpuA100::with_schemes(true, true, true).run(&ctx).total_cycles();
+
+    // Hardware: cumulative ablation on the accelerator.
+    let m: Vec<f64> = mcbp_variants()
+        .iter()
+        .map(|(_, cfg)| McbpSim::new(cfg.clone()).run(&ctx).total_cycles())
+        .collect();
+
+    let rows = vec![
+        vec![
+            "BRCR".to_owned(),
+            f2(g0 / g1),
+            f2(m[0] / m[1]),
+            "1.2x / 2.88x".to_owned(),
+        ],
+        vec![
+            "BSTC".to_owned(),
+            f2(g1 / g2),
+            f2(m[1] / m[2]),
+            "1.44x / 2.19x".to_owned(),
+        ],
+        vec![
+            "BGPP".to_owned(),
+            f2(g2 / g3),
+            f2(m[2] / m[3]),
+            "1.23x / 1.48x".to_owned(),
+        ],
+    ];
+    let mut out = render_table(
+        "Fig 21 - per-technique gain: software (on GPU) vs hardware (on MCBP)",
+        &["technique", "software gain", "hardware gain", "paper (sw/hw)"],
+        &rows,
+    );
+    out.push_str("shape check: every technique gains more with its dedicated hardware than on the GPU\n");
+    out
+}
+
+/// Table 3: the hardware configuration summary.
+#[must_use]
+pub fn tab3() -> String {
+    let mut out = String::from("Table 3 - MCBP hardware configuration\n");
+    out.push_str(&McbpConfig::default().table3());
+    out.push('\n');
+    out
+}
+
+/// Fig 22: area and power breakdown.
+#[must_use]
+pub fn fig22() -> String {
+    let area = PowerReport::area();
+    let b = area.breakdown();
+    let mut out = String::from("Fig 22(a) - area breakdown (TSMC 28 nm)\n");
+    out.push_str(&format!(
+        "total {:.2} mm^2 | BRCR {:.2} | SRAM {:.2} | APU {:.2} | scheduler {:.2} | BSTC {:.2} | BGPP {:.2}\n",
+        b.total_mm2(),
+        b.brcr_mm2,
+        b.sram_mm2,
+        b.apu_mm2,
+        b.scheduler_mm2,
+        b.bstc_mm2,
+        b.bgpp_mm2
+    ));
+
+    let model = LlmConfig::llama7b();
+    let sim = McbpSim::new(McbpConfig::default());
+    let ctx = context(&model, &Task::wikilingua(), 8, STANDARD_KEEP);
+    let (r, e) = sim.run_detailed(&ctx);
+    let p = PowerReport::from_run(sim.config(), &r, e);
+    out.push_str("\nFig 22(b) - simulated power breakdown (Llama7B, Wikilingua, batch=8)\n");
+    out.push_str(&p.render());
+    out.push_str("\n(paper: 2.395 W total; DRAM 47.6%, core 37.3% with BRCR 44.7% of core)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig19_table_is_normalized() {
+        let t = fig19();
+        assert!(t.contains("Baseline"));
+        assert!(t.contains("1.00"), "baseline column must be 1.00:\n{t}");
+    }
+
+    #[test]
+    fn tab3_prints_configuration() {
+        assert!(tab3().contains("PE clusters"));
+    }
+
+    #[test]
+    fn fig22_totals_match_paper_area() {
+        let t = fig22();
+        assert!(t.contains("9.5"), "{t}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Benchmark harness for the MCBP reproduction: shared workload plumbing,
+//! plain-text table rendering, and one experiment function per paper table
+//! and figure (see `experiments`). The `repro` binary dispatches to these;
+//! integration tests call them directly.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use mcbp_model::LlmConfig;
+use mcbp_workloads::{SparsityProfile, Task, TraceContext, WeightGenerator};
+
+/// Default attention-keep operating point used across comparative
+/// experiments (the paper's standard configuration retains roughly 30 % of
+/// KV pairs at matched accuracy; Fig 24a).
+pub const STANDARD_KEEP: f64 = 0.3;
+
+/// Deterministic seed base for every experiment ("MCBP" in ASCII).
+pub const SEED: u64 = 0x4d43_4250;
+
+/// Builds the standard trace context for (model, task): measured weight
+/// profile from the model-calibrated generator, given batch and keep.
+#[must_use]
+pub fn context(model: &LlmConfig, task: &Task, batch: usize, keep: f64) -> TraceContext {
+    let gen = WeightGenerator::for_model(model);
+    let sample = gen.quantized_sample(64, 1024, SEED);
+    TraceContext {
+        model: model.clone(),
+        task: task.clone(),
+        batch,
+        weight_profile: SparsityProfile::measure(&sample, 4),
+        attention_keep: keep,
+    }
+}
+
+/// Renders an aligned plain-text table.
+#[must_use]
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&line(headers.iter().map(|h| (*h).to_owned()).collect()));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row.clone()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 2 decimals.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table("T", &["a", "bbb"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("a  bbb"));
+        assert!(t.contains("1    2"));
+    }
+}

@@ -1,0 +1,55 @@
+//! BGPP — Bit-Grained Progressive Prediction (§3.3, §4.5 of the MCBP
+//! paper): early-terminating attention-sparsity prediction that fetches the
+//! KV cache one bit-plane at a time.
+//!
+//! Top-k attention accelerators estimate scores with a low-precision
+//! pre-pass, sort, and run full attention only on the winners (§2.2). But a
+//! value-level pre-pass still loads a full low-precision copy of every key.
+//! BGPP instead streams key bits **MSB-first**: after each round it applies
+//! the radius filter
+//!
+//! ```text
+//! θ_r = max(Â_r) − α_r · radius        (Eq. 1)
+//! ```
+//!
+//! and keys falling below θ_r are dropped — their remaining bit-planes are
+//! never fetched from HBM, and their partial sums are never finished. The
+//! filter exploits the *relative* nature of softmax: once a logit trails the
+//! maximum by more than `radius`, its softmax weight is ≈ 0.
+//!
+//! Provided here:
+//!
+//! * [`ProgressivePredictor`] — the BGPP filter with per-round survivor
+//!   tracking, fetched-bit accounting, and clock-gate statistics (Fig 16).
+//! * [`ValueTopK`] — the value-level 4-bit-MSB top-k baseline (Fig 3) that
+//!   BGPP is compared against in Fig 5(e–g).
+//! * [`exact_top_k`] — the full-precision oracle ("theoretically optimal"
+//!   series of Fig 5g).
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_bitslice::{BitPlanes, IntMatrix};
+//! use mcbp_bgpp::{BgppConfig, ProgressivePredictor};
+//!
+//! // Four 4-wide keys; key 2 is clearly dominant, key 1 clearly weak.
+//! let keys = IntMatrix::from_rows(8, &[
+//!     [10i32, -3, 0, 2], [-90, -90, -90, -90], [90, 90, 90, 90], [8, 1, -2, 0],
+//! ])?;
+//! let planes = BitPlanes::from_matrix(&keys);
+//! let predictor = ProgressivePredictor::new(BgppConfig::default());
+//! let out = predictor.predict(&[1, 1, 1, 1], &planes, 1.0);
+//! assert!(out.survivors.contains(&2));
+//! assert!(!out.survivors.contains(&1));
+//! # Ok::<(), mcbp_bitslice::BitSliceError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod predictor;
+pub mod unit;
+mod value_topk;
+
+pub use predictor::{BgppConfig, PredictionOutcome, PredictionStats, ProgressivePredictor};
+pub use value_topk::{exact_top_k, recall_against, TopKOutcome, ValueTopK};

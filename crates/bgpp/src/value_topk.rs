@@ -1,0 +1,172 @@
+use mcbp_bitslice::BitPlanes;
+
+/// Outcome of a value-level top-k prediction pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKOutcome {
+    /// The selected key indices (ascending).
+    pub selected: Vec<usize>,
+    /// Estimated scores used for the selection (quantized units).
+    pub estimates: Vec<i64>,
+    /// Key bits fetched during the pre-compute stage.
+    pub k_bits_fetched: u64,
+    /// Multiply/add operations in the pre-compute stage.
+    pub ops: u64,
+}
+
+/// The conventional value-level top-k predictor (Fig 3): estimate every
+/// score from a low-precision (`est_bits`-bit MSB) copy of the keys, sort,
+/// and keep the `k` best. All keys are fetched in full `est_bits` precision
+/// — the inefficiency BGPP removes (Fig 5e).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueTopK {
+    /// Precision of the estimation pass (paper: 4-bit MSB).
+    pub est_bits: usize,
+    /// Number of keys to keep.
+    pub k: usize,
+}
+
+impl ValueTopK {
+    /// Creates a predictor keeping `k` keys with an `est_bits` estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `est_bits == 0` or `k == 0`.
+    #[must_use]
+    pub fn new(est_bits: usize, k: usize) -> Self {
+        assert!(est_bits >= 1, "estimate precision must be positive");
+        assert!(k >= 1, "k must be positive");
+        ValueTopK { est_bits, k }
+    }
+
+    /// Runs the prediction over the bit-plane form of the key matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != keys.cols()`.
+    #[must_use]
+    pub fn predict(&self, q: &[i32], keys: &BitPlanes) -> TopKOutcome {
+        assert_eq!(q.len(), keys.cols(), "query/key dimension mismatch");
+        let s = keys.rows();
+        let d = keys.cols();
+        let planes = keys.magnitude_planes();
+        let est_planes = self.est_bits.min(planes);
+
+        let mut estimates = vec![0i64; s];
+        let mut ops = 0u64;
+        for r in 0..est_planes {
+            let b = planes - 1 - r;
+            let plane = keys.magnitude(b);
+            let weight = 1i64 << b;
+            for (j, est) in estimates.iter_mut().enumerate() {
+                let mut dot = 0i64;
+                for (i, &qv) in q.iter().enumerate() {
+                    if plane.get(j, i) {
+                        let signed =
+                            if keys.sign().get(j, i) { -i64::from(qv) } else { i64::from(qv) };
+                        dot += signed;
+                        ops += 1;
+                    }
+                }
+                *est += dot * weight;
+            }
+        }
+        // Pre-compute fetches: sign plane + est_bits magnitude planes for
+        // EVERY key, regardless of how unpromising it is.
+        let k_bits_fetched = ((est_planes + 1) * s * d) as u64;
+
+        let mut selected = top_k_indices(&estimates, self.k);
+        selected.sort_unstable();
+        TopKOutcome { selected, estimates, k_bits_fetched, ops }
+    }
+}
+
+/// Exact full-precision top-k (the oracle / "theoretically optimal" line of
+/// Fig 5g): returns the `k` indices with the highest exact scores.
+///
+/// # Panics
+///
+/// Panics if `q.len()` does not match the key dimension.
+#[must_use]
+pub fn exact_top_k(q: &[i32], keys: &mcbp_bitslice::IntMatrix, k: usize) -> Vec<usize> {
+    let scores = keys.matvec(q).expect("dimension mismatch");
+    let mut idx = top_k_indices(&scores, k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Fraction of `reference` indices contained in `predicted` (top-k recall).
+///
+/// Returns 1.0 when the reference is empty.
+#[must_use]
+pub fn recall_against(predicted: &[usize], reference: &[usize]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let hit = reference.iter().filter(|r| predicted.contains(r)).count();
+    hit as f64 / reference.len() as f64
+}
+
+fn top_k_indices(scores: &[i64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_bitslice::IntMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_keys(s: usize, d: usize, seed: u64) -> IntMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<i32> = (0..s * d).map(|_| rng.gen_range(-127..=127)).collect();
+        IntMatrix::from_flat(8, s, d, data).unwrap()
+    }
+
+    #[test]
+    fn full_precision_estimate_equals_exact() {
+        let keys = random_keys(32, 8, 1);
+        let planes = BitPlanes::from_matrix(&keys);
+        let q: Vec<i32> = (0..8).map(|i| (i % 5) - 2).collect();
+        let out = ValueTopK::new(7, 4).predict(&q, &planes);
+        assert_eq!(out.estimates, keys.matvec(&q).unwrap());
+        assert_eq!(out.selected, exact_top_k(&q, &keys, 4));
+    }
+
+    #[test]
+    fn four_bit_estimate_has_high_recall() {
+        let keys = random_keys(128, 16, 2);
+        let planes = BitPlanes::from_matrix(&keys);
+        let q: Vec<i32> = (0..16).map(|i| (i % 7) - 3).collect();
+        let pred = ValueTopK::new(4, 16).predict(&q, &planes);
+        let truth = exact_top_k(&q, &keys, 16);
+        assert!(recall_against(&pred.selected, &truth) >= 0.7);
+    }
+
+    #[test]
+    fn fetch_accounting_scales_with_precision() {
+        let keys = random_keys(10, 4, 3);
+        let planes = BitPlanes::from_matrix(&keys);
+        let q = [1i32, 2, 3, 4];
+        let four = ValueTopK::new(4, 2).predict(&q, &planes).k_bits_fetched;
+        let two = ValueTopK::new(2, 2).predict(&q, &planes).k_bits_fetched;
+        assert_eq!(four, (5 * 10 * 4) as u64);
+        assert_eq!(two, (3 * 10 * 4) as u64);
+    }
+
+    #[test]
+    fn recall_edge_cases() {
+        assert_eq!(recall_against(&[1, 2], &[]), 1.0);
+        assert_eq!(recall_against(&[], &[1]), 0.0);
+        assert_eq!(recall_against(&[1, 2, 3], &[2, 3]), 1.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let scores = [5i64, 5, 5, 1];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+}

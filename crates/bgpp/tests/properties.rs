@@ -1,0 +1,80 @@
+//! Property-based tests of the BGPP filter's structural guarantees.
+
+use mcbp_bgpp::{exact_top_k, recall_against, BgppConfig, ProgressivePredictor, ValueTopK};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use proptest::prelude::*;
+
+fn keys_and_query(
+    max_s: usize,
+    d: usize,
+) -> impl Strategy<Value = (IntMatrix, Vec<i32>)> {
+    (2..=max_s).prop_flat_map(move |s| {
+        (
+            proptest::collection::vec(-127i32..=127, s * d)
+                .prop_map(move |data| IntMatrix::from_flat(8, s, d, data).unwrap()),
+            proptest::collection::vec(-7i32..=7, d),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A key achieving the exact maximum score always survives: Eq. 1's
+    /// threshold is max − α·radius ≤ max, and MSB-first partial sums of the
+    /// max key track the running max within the radius once all rounds ran.
+    #[test]
+    fn argmax_survives_with_full_rounds((keys, q) in keys_and_query(32, 8)) {
+        let planes = BitPlanes::from_matrix(&keys);
+        let p = ProgressivePredictor::new(BgppConfig { rounds: 7, alpha: vec![1.0], radius: 1e9 });
+        let out = p.predict(&q, &planes, 1.0);
+        let best = exact_top_k(&q, &keys, 1)[0];
+        prop_assert!(out.survivors.contains(&best));
+    }
+
+    /// Survivors are always a subset of the key set, sorted, and nonempty.
+    #[test]
+    fn survivors_well_formed((keys, q) in keys_and_query(24, 8), alpha in 0.0f32..=1.0) {
+        let planes = BitPlanes::from_matrix(&keys);
+        let p = ProgressivePredictor::new(BgppConfig { rounds: 4, alpha: vec![alpha], radius: 3.0 });
+        let out = p.predict(&q, &planes, 0.05);
+        prop_assert!(!out.survivors.is_empty(), "the max key always clears the threshold");
+        prop_assert!(out.survivors.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.survivors.iter().all(|&j| j < keys.rows()));
+    }
+
+    /// Traffic accounting: fetched bits never exceed the no-termination
+    /// bound and never undercut the first-round minimum.
+    #[test]
+    fn traffic_bounds((keys, q) in keys_and_query(24, 8), alpha in 0.0f32..=1.0) {
+        let planes = BitPlanes::from_matrix(&keys);
+        let rounds = 4usize;
+        let p = ProgressivePredictor::new(BgppConfig { rounds, alpha: vec![alpha], radius: 3.0 });
+        let out = p.predict(&q, &planes, 0.05);
+        let s = keys.rows() as u64;
+        let d = keys.cols() as u64;
+        let upper = (rounds as u64 + 1) * s * d;
+        let lower = 2 * s * d; // signs + first magnitude plane of every key
+        prop_assert!(out.stats.k_bits_fetched <= upper);
+        prop_assert!(out.stats.k_bits_fetched >= lower);
+    }
+
+    /// The value-level baseline with full precision reproduces the oracle;
+    /// BGPP's survivor set at α = 1 and huge radius contains it.
+    #[test]
+    fn bgpp_supersets_oracle_at_loose_threshold((keys, q) in keys_and_query(20, 8)) {
+        let planes = BitPlanes::from_matrix(&keys);
+        let truth = exact_top_k(&q, &keys, 4);
+        let p = ProgressivePredictor::new(BgppConfig { rounds: 7, alpha: vec![1.0], radius: 1e9 });
+        let out = p.predict(&q, &planes, 1.0);
+        prop_assert_eq!(recall_against(&out.survivors, &truth), 1.0);
+    }
+
+    /// Value-level estimates with `est_bits = 7` match the exact scores.
+    #[test]
+    fn value_topk_full_precision_is_exact((keys, q) in keys_and_query(20, 8), k in 1usize..=8) {
+        let planes = BitPlanes::from_matrix(&keys);
+        let out = ValueTopK::new(7, k).predict(&q, &planes);
+        prop_assert_eq!(out.estimates, keys.matvec(&q).unwrap());
+    }
+}

@@ -1,0 +1,254 @@
+use std::fmt;
+
+/// A bit-packed 0/1 matrix: one bit-slice plane of a quantized tensor.
+///
+/// Rows are stored as runs of `u64` words, 64 columns per word, least
+/// significant bit first. This is the in-memory analogue of the "BS matrix"
+/// of the paper (Fig 4): all bits at one bit position of a value matrix.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bitslice::BitMatrix;
+///
+/// let mut m = BitMatrix::zeros(2, 70);
+/// m.set(1, 69, true);
+/// assert!(m.get(1, 69));
+/// assert_eq!(m.count_ones(), 1);
+/// assert!((m.sparsity() - 139.0 / 140.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let w = self.words[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Writes the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let idx = r * self.words_per_row + c / 64;
+        let mask = 1u64 << (c % 64);
+        if v {
+            self.words[idx] |= mask;
+        } else {
+            self.words[idx] &= !mask;
+        }
+    }
+
+    /// The packed words of row `r` (64 columns per word, LSB first; bits past
+    /// `cols` in the final word are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Total number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row_count_ones(&self, r: usize) -> u64 {
+        self.row_words(r).iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Fraction of zero bits (the paper's per-plane sparsity ratio, Fig 8c).
+    ///
+    /// Returns 1.0 for an empty matrix.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        let total = (self.rows * self.cols) as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.count_ones() as f64 / total
+    }
+
+    /// Extracts the column pattern of `m` consecutive rows starting at
+    /// `row0`, at column `c`: bit `i` of the result is `self[row0 + i][c]`.
+    ///
+    /// This is the "grouped index" the BRCR CAM searches for (Fig 7b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 32`, or the row range or column is out of bounds.
+    #[must_use]
+    pub fn column_pattern(&self, row0: usize, m: usize, c: usize) -> u32 {
+        assert!(m <= 32, "group size {m} exceeds pattern width");
+        assert!(row0 + m <= self.rows, "row group [{row0}, {})] out of bounds", row0 + m);
+        assert!(c < self.cols, "column {c} out of bounds");
+        let mut pat = 0u32;
+        let word = c / 64;
+        let bit = c % 64;
+        for i in 0..m {
+            let w = self.words[(row0 + i) * self.words_per_row + word];
+            pat |= (((w >> bit) & 1) as u32) << i;
+        }
+        pat
+    }
+
+    /// Writes all column patterns for the row group `[row0, row0 + m)` into
+    /// `out` (length `cols`). Processes 64 columns per inner step; this is
+    /// the throughput-critical path for BRCR and the stats module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 32`, the row range is out of bounds, or
+    /// `out.len() != cols`.
+    pub fn column_patterns_into(&self, row0: usize, m: usize, out: &mut [u32]) {
+        assert!(m <= 32, "group size {m} exceeds pattern width");
+        assert!(row0 + m <= self.rows, "row group [{row0}, {}) out of bounds", row0 + m);
+        assert_eq!(out.len(), self.cols, "output buffer length mismatch");
+        out.fill(0);
+        for i in 0..m {
+            let words = self.row_words(row0 + i);
+            for (wi, &w) in words.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                let base = wi * 64;
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    out[base + b] |= 1 << i;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    /// Convenience allocation-returning variant of
+    /// [`column_patterns_into`](Self::column_patterns_into).
+    #[must_use]
+    pub fn column_patterns(&self, row0: usize, m: usize) -> Vec<u32> {
+        let mut out = vec![0u32; self.cols];
+        self.column_patterns_into(row0, m, &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitMatrix({}x{}, {} ones)", self.rows, self.cols, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(rows: usize, cols: usize) -> BitMatrix {
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r + c) % 2 == 0 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn set_get_across_word_boundary() {
+        let mut m = BitMatrix::zeros(3, 130);
+        for &c in &[0usize, 63, 64, 127, 128, 129] {
+            m.set(2, c, true);
+            assert!(m.get(2, c), "column {c}");
+        }
+        m.set(2, 64, false);
+        assert!(!m.get(2, 64));
+    }
+
+    #[test]
+    fn count_ones_and_sparsity() {
+        let m = checkerboard(4, 10);
+        assert_eq!(m.count_ones(), 20);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_pattern_matches_scalar_extraction() {
+        let m = checkerboard(6, 100);
+        let pats = m.column_patterns(1, 4);
+        #[allow(clippy::needless_range_loop)] // c also drives column_pattern
+        for c in 0..100 {
+            assert_eq!(pats[c], m.column_pattern(1, 4, c), "column {c}");
+            let mut expect = 0u32;
+            for i in 0..4 {
+                if m.get(1 + i, c) {
+                    expect |= 1 << i;
+                }
+            }
+            assert_eq!(pats[c], expect);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fully_sparse() {
+        let m = BitMatrix::zeros(0, 0);
+        assert_eq!(m.sparsity(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = BitMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let m = BitMatrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

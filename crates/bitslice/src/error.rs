@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating bit-slice structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitSliceError {
+    /// A value does not fit in the declared bit width.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i32,
+        /// The declared bit width (including sign).
+        bits: u8,
+    },
+    /// A dimension mismatch between two operands.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the actual shape.
+        actual: String,
+    },
+    /// The supplied data length does not match `rows * cols`.
+    BadDataLength {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BitSliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitSliceError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in a signed {bits}-bit magnitude")
+            }
+            BitSliceError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            BitSliceError::BadDataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match matrix size {expected}")
+            }
+        }
+    }
+}
+
+impl Error for BitSliceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = BitSliceError::ValueOutOfRange { value: 300, bits: 8 };
+        let s = e.to_string();
+        assert!(s.contains("300"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BitSliceError>();
+    }
+}

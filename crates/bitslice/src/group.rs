@@ -1,0 +1,218 @@
+//! Grouped bit-slice views: the `m`-row "Group matrices" of BRCR (§3.1).
+//!
+//! BRCR never operates on a full `H × H` bit-slice matrix at once. It
+//! extracts `m` consecutive rows (the *group*) and treats each of the `H`
+//! columns as an `m`-bit pattern; repeated patterns expose the redundancy
+//! that the CAM-based match unit merges (Fig 7). Because weights are stored
+//! in sign–magnitude, each column additionally splits into a *positive rail*
+//! and a *negative rail* (see DESIGN.md §1, "Sign handling in BRCR"): bit
+//! `i` of the positive rail is set when row `row0 + i` has the magnitude bit
+//! set and a positive sign, and symmetrically for the negative rail.
+
+use crate::{BitMatrix, BitPlanes};
+
+/// One column of a signed group matrix, split into sign rails.
+///
+/// For group size `m`, both masks use bits `0..m`; a bit is set in at most
+/// one of the two rails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SignedPattern {
+    /// Rows whose magnitude bit is set with a positive sign.
+    pub pos: u32,
+    /// Rows whose magnitude bit is set with a negative sign.
+    pub neg: u32,
+}
+
+impl SignedPattern {
+    /// True if neither rail has any bit set (an all-zero column — skipped
+    /// entirely by BRCR and encoded as a single `0` bit by BSTC).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Combined magnitude pattern irrespective of sign.
+    #[must_use]
+    pub fn magnitude(self) -> u32 {
+        self.pos | self.neg
+    }
+}
+
+/// A borrowed `m × H` group of one magnitude plane with its sign plane.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bitslice::{BitPlanes, IntMatrix};
+/// use mcbp_bitslice::group::GroupView;
+///
+/// let w = IntMatrix::from_rows(8, &[[1i32, -1, 0], [1, 1, 1]])?;
+/// let planes = BitPlanes::from_matrix(&w);
+/// let g = GroupView::new(&planes, 0, 0, 2);
+/// let pats = g.signed_patterns();
+/// assert_eq!(pats[0].pos, 0b11); // both rows positive at column 0
+/// assert_eq!(pats[1].pos, 0b10); // row 1 positive ...
+/// assert_eq!(pats[1].neg, 0b01); // ... row 0 negative at column 1
+/// # Ok::<(), mcbp_bitslice::BitSliceError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GroupView<'a> {
+    plane: &'a BitMatrix,
+    sign: &'a BitMatrix,
+    row0: usize,
+    m: usize,
+}
+
+impl<'a> GroupView<'a> {
+    /// Borrows the group `[row0, row0 + m)` of magnitude plane `bit` from a
+    /// decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not a valid magnitude plane, `m == 0` or
+    /// `m > 16`, or the row range exceeds the matrix.
+    #[must_use]
+    pub fn new(planes: &'a BitPlanes, bit: usize, row0: usize, m: usize) -> Self {
+        assert!((1..=16).contains(&m), "group size {m} out of supported range 1..=16");
+        assert!(row0 + m <= planes.rows(), "row group out of bounds");
+        GroupView { plane: planes.magnitude(bit), sign: planes.sign(), row0, m }
+    }
+
+    /// Group size `m`.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns `H`.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.plane.cols()
+    }
+
+    /// First row of the group in the parent matrix.
+    #[must_use]
+    pub fn row0(&self) -> usize {
+        self.row0
+    }
+
+    /// Extracts the signed column patterns of the whole group.
+    #[must_use]
+    pub fn signed_patterns(&self) -> Vec<SignedPattern> {
+        let mut out = vec![SignedPattern::default(); self.cols()];
+        self.signed_patterns_into(&mut out);
+        out
+    }
+
+    /// Writes the signed column patterns into a caller-provided buffer,
+    /// avoiding per-group allocation on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != cols()`.
+    pub fn signed_patterns_into(&self, out: &mut [SignedPattern]) {
+        assert_eq!(out.len(), self.cols(), "output buffer length mismatch");
+        out.fill(SignedPattern::default());
+        for i in 0..self.m {
+            let mag_words = self.plane.row_words(self.row0 + i);
+            let sign_words = self.sign.row_words(self.row0 + i);
+            for (wi, (&mw, &sw)) in mag_words.iter().zip(sign_words).enumerate() {
+                if mw == 0 {
+                    continue;
+                }
+                let base = wi * 64;
+                let mut pos_bits = mw & !sw;
+                while pos_bits != 0 {
+                    let b = pos_bits.trailing_zeros() as usize;
+                    out[base + b].pos |= 1 << i;
+                    pos_bits &= pos_bits - 1;
+                }
+                let mut neg_bits = mw & sw;
+                while neg_bits != 0 {
+                    let b = neg_bits.trailing_zeros() as usize;
+                    out[base + b].neg |= 1 << i;
+                    neg_bits &= neg_bits - 1;
+                }
+            }
+        }
+    }
+
+    /// Unsigned magnitude column patterns (ignores the sign plane).
+    /// This matches the paper's illustrations, which elide signs.
+    #[must_use]
+    pub fn magnitude_patterns(&self) -> Vec<u32> {
+        self.plane.column_patterns(self.row0, self.m)
+    }
+}
+
+/// Iterates over all `m`-row groups of every magnitude plane of a
+/// decomposition, covering the whole matrix. The final group of a plane is
+/// truncated if `rows % m != 0`.
+///
+/// Yields `(plane_index, GroupView)`.
+pub fn all_groups<'a>(
+    planes: &'a BitPlanes,
+    m: usize,
+) -> impl Iterator<Item = (usize, GroupView<'a>)> + 'a {
+    let rows = planes.rows();
+    (0..planes.magnitude_planes()).flat_map(move |b| {
+        (0..rows).step_by(m.max(1)).map(move |row0| {
+            let size = m.min(rows - row0);
+            (b, GroupView::new(planes, b, row0, size))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntMatrix;
+
+    #[test]
+    fn rails_are_disjoint_and_cover_magnitude() {
+        let m = IntMatrix::from_rows(8, &[
+            [3i32, -3, 0, 1],
+            [-1, 1, 2, -2],
+            [5, 0, -5, 4],
+        ])
+        .unwrap();
+        let planes = BitPlanes::from_matrix(&m);
+        for b in 0..planes.magnitude_planes() {
+            let g = GroupView::new(&planes, b, 0, 3);
+            let pats = g.signed_patterns();
+            let mags = g.magnitude_patterns();
+            for (p, mag) in pats.iter().zip(mags) {
+                assert_eq!(p.pos & p.neg, 0, "rails overlap");
+                assert_eq!(p.magnitude(), mag, "rails must cover the magnitude pattern");
+            }
+        }
+    }
+
+    #[test]
+    fn all_groups_covers_every_row_once() {
+        let m = IntMatrix::zeros(4, 10, 6);
+        let planes = BitPlanes::from_matrix(&m);
+        let groups: Vec<_> = all_groups(&planes, 4).collect();
+        // 3 magnitude planes x ceil(10/4) = 3 groups each.
+        assert_eq!(groups.len(), 9);
+        let rows_covered: usize = groups.iter().take(3).map(|(_, g)| g.group_size()).sum();
+        assert_eq!(rows_covered, 10);
+        assert_eq!(groups[2].1.group_size(), 2); // truncated tail group
+    }
+
+    #[test]
+    fn zero_pattern_detection() {
+        let p = SignedPattern::default();
+        assert!(p.is_zero());
+        let q = SignedPattern { pos: 1, neg: 0 };
+        assert!(!q.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn group_size_validated() {
+        let m = IntMatrix::zeros(8, 20, 4);
+        let planes = BitPlanes::from_matrix(&m);
+        let _ = GroupView::new(&planes, 0, 0, 17);
+    }
+}

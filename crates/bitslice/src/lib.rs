@@ -1,0 +1,83 @@
+//! Bit-slice decomposition primitives for the MCBP accelerator.
+//!
+//! MCBP (MICRO 2025) operates on integer-quantized tensors at the granularity
+//! of *bit-slices*: a `k`-bit integer matrix is decomposed into `k − 1`
+//! magnitude bit-planes plus one sign plane (sign–magnitude format, §3.2 of
+//! the paper). This crate provides the shared substrate used by every other
+//! crate in the workspace:
+//!
+//! * [`IntMatrix`] — a dense row-major integer matrix with a declared bit
+//!   width (INT8, INT4, …) and exact reference GEMV/GEMM.
+//! * [`BitMatrix`] — a bit-packed 0/1 matrix (64 columns per word) with fast
+//!   popcount and column-pattern extraction.
+//! * [`BitPlanes`] — the sign–magnitude bit-slice decomposition of an
+//!   [`IntMatrix`], with a lossless round-trip back to values.
+//! * [`group`] — grouped column-pattern views (`m` rows at a time), the
+//!   structure BRCR's CAM matches against (§3.1, Fig 7).
+//! * [`stats`] — value/bit sparsity and column-repetition statistics that
+//!   drive the paper's motivation figures (Fig 4, Fig 5, Fig 8c).
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_bitslice::{IntMatrix, BitPlanes};
+//!
+//! // A 2-bit value matrix decomposes into one magnitude plane per bit.
+//! let w = IntMatrix::from_rows(8, &[[-3i32, 0, 1, 2], [1, -2, 0, 3]])?;
+//! let planes = BitPlanes::from_matrix(&w);
+//! assert_eq!(planes.magnitude_planes(), 7); // INT8: 7 magnitude planes
+//! assert_eq!(planes.to_matrix(), w);        // lossless
+//! # Ok::<(), mcbp_bitslice::BitSliceError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitmat;
+mod error;
+mod matrix;
+mod planes;
+
+pub mod group;
+pub mod stats;
+
+pub use bitmat::BitMatrix;
+pub use error::BitSliceError;
+pub use matrix::IntMatrix;
+pub use planes::BitPlanes;
+
+/// Number of value bits (including sign) used by INT8 quantization.
+pub const INT8_BITS: u8 = 8;
+
+/// Number of value bits (including sign) used by INT4 quantization.
+pub const INT4_BITS: u8 = 4;
+
+/// Largest representable magnitude for a symmetric `bits`-bit integer
+/// (e.g. 127 for INT8, 7 for INT4).
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 31.
+#[must_use]
+pub fn max_magnitude(bits: u8) -> i32 {
+    assert!((1..=31).contains(&bits), "bit width out of range: {bits}");
+    (1i32 << (bits - 1)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_magnitude_matches_quant_ranges() {
+        assert_eq!(max_magnitude(INT8_BITS), 127);
+        assert_eq!(max_magnitude(INT4_BITS), 7);
+        assert_eq!(max_magnitude(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width out of range")]
+    fn max_magnitude_rejects_zero() {
+        let _ = max_magnitude(0);
+    }
+}

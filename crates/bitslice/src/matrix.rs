@@ -1,0 +1,247 @@
+use crate::{max_magnitude, BitSliceError};
+
+/// A dense row-major integer matrix with a declared bit width.
+///
+/// `IntMatrix` is the value-level view of quantized tensors: every element is
+/// a signed integer whose magnitude fits in `bits − 1` bits (symmetric range,
+/// e.g. `[-127, 127]` for INT8). It provides the exact reference GEMV/GEMM
+/// used to validate all bit-slice accelerated paths.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bitslice::IntMatrix;
+///
+/// let w = IntMatrix::from_rows(8, &[[1i32, -2], [3, 4]])?;
+/// let y = w.matvec(&[10, 100])?;
+/// assert_eq!(y, vec![-190, 430]);
+/// # Ok::<(), mcbp_bitslice::BitSliceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    data: Vec<i32>,
+}
+
+impl IntMatrix {
+    /// Creates a zero matrix of the given shape and bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31.
+    #[must_use]
+    pub fn zeros(bits: u8, rows: usize, cols: usize) -> Self {
+        let _ = max_magnitude(bits); // validates bits
+        IntMatrix { rows, cols, bits, data: vec![0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitSliceError::BadDataLength`] if `data.len() != rows * cols`
+    /// and [`BitSliceError::ValueOutOfRange`] if any element's magnitude does
+    /// not fit in `bits − 1` bits.
+    pub fn from_flat(bits: u8, rows: usize, cols: usize, data: Vec<i32>) -> Result<Self, BitSliceError> {
+        if data.len() != rows * cols {
+            return Err(BitSliceError::BadDataLength { expected: rows * cols, actual: data.len() });
+        }
+        let limit = max_magnitude(bits);
+        if let Some(&bad) = data.iter().find(|v| v.abs() > limit) {
+            return Err(BitSliceError::ValueOutOfRange { value: bad, bits });
+        }
+        Ok(IntMatrix { rows, cols, bits, data })
+    }
+
+    /// Creates a matrix from an array of equally sized rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitSliceError::ValueOutOfRange`] if any element does not fit
+    /// in the declared width.
+    pub fn from_rows<const N: usize>(bits: u8, rows: &[[i32; N]]) -> Result<Self, BitSliceError> {
+        let flat: Vec<i32> = rows.iter().flatten().copied().collect();
+        Self::from_flat(bits, rows.len(), N, flat)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Declared bit width (including the sign bit).
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> i32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitSliceError::ValueOutOfRange`] if the value does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: i32) -> Result<(), BitSliceError> {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        if v.abs() > max_magnitude(self.bits) {
+            return Err(BitSliceError::ValueOutOfRange { value: v, bits: self.bits });
+        }
+        self.data[r * self.cols + c] = v;
+        Ok(())
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[i32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    #[must_use]
+    pub fn as_flat(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Exact integer matrix–vector product `self · x` with 64-bit accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitSliceError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[i32]) -> Result<Vec<i64>, BitSliceError> {
+        if x.len() != self.cols {
+            return Err(BitSliceError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                actual: format!("vector of length {}", x.len()),
+            });
+        }
+        let mut y = vec![0i64; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0i64;
+            for (w, xv) in row.iter().zip(x) {
+                acc += i64::from(*w) * i64::from(*xv);
+            }
+            *out = acc;
+        }
+        Ok(y)
+    }
+
+    /// Exact integer matrix–matrix product `self · rhs` (`rhs` is `cols × n`,
+    /// given row-major), returning a `rows × n` row-major `i64` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitSliceError::DimensionMismatch`] on inner-dimension
+    /// mismatch.
+    pub fn matmul(&self, rhs: &IntMatrix) -> Result<Vec<i64>, BitSliceError> {
+        if rhs.rows != self.cols {
+            return Err(BitSliceError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let n = rhs.cols;
+        let mut out = vec![0i64; self.rows * n];
+        for r in 0..self.rows {
+            let lrow = self.row(r);
+            for (k, &w) in lrow.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out[r * n..(r + 1) * n];
+                for (o, &xv) in orow.iter_mut().zip(rrow) {
+                    *o += i64::from(w) * i64::from(xv);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total number of multiply–accumulate operations a dense GEMV of this
+    /// matrix performs (`rows × cols`). Used by cost models.
+    #[must_use]
+    pub fn dense_macs(&self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let err = IntMatrix::from_flat(4, 1, 2, vec![8, 0]).unwrap_err();
+        assert_eq!(err, BitSliceError::ValueOutOfRange { value: 8, bits: 4 });
+        assert!(IntMatrix::from_flat(4, 1, 2, vec![7, -7]).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let err = IntMatrix::from_flat(8, 2, 2, vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err, BitSliceError::BadDataLength { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = IntMatrix::from_rows(8, &[[1, 2, 3], [-1, 0, 5]]).unwrap();
+        assert_eq!(m.matvec(&[1, 10, 100]).unwrap(), vec![321, 499]);
+    }
+
+    #[test]
+    fn matvec_dimension_check() {
+        let m = IntMatrix::zeros(8, 2, 3);
+        assert!(matches!(m.matvec(&[1, 2]), Err(BitSliceError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_matches_matvec_per_column() {
+        let a = IntMatrix::from_rows(8, &[[1, -2], [3, 4], [0, 7]]).unwrap();
+        let b = IntMatrix::from_rows(8, &[[5, 6, 1], [7, -8, 0]]).unwrap();
+        let prod = a.matmul(&b).unwrap();
+        for c in 0..3 {
+            let col: Vec<i32> = (0..2).map(|r| b.get(r, c)).collect();
+            let y = a.matvec(&col).unwrap();
+            for r in 0..3 {
+                assert_eq!(prod[r * 3 + c], y[r], "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = IntMatrix::zeros(8, 2, 2);
+        m.set(1, 1, -127).unwrap();
+        assert_eq!(m.get(1, 1), -127);
+        assert!(m.set(0, 0, 128).is_err());
+    }
+}

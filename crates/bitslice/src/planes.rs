@@ -1,0 +1,209 @@
+use crate::{BitMatrix, IntMatrix};
+
+/// Sign–magnitude bit-slice decomposition of an [`IntMatrix`].
+///
+/// A `k`-bit matrix becomes `k − 1` magnitude planes (index 0 = LSB,
+/// index `k − 2` = highest magnitude bit) plus one sign plane. In the
+/// paper's 1-indexed naming (Fig 8), magnitude plane `i` here is the
+/// "(i+1)-th BS matrix" and the sign plane is the "8th".
+///
+/// The decomposition is lossless: [`BitPlanes::to_matrix`] reconstructs the
+/// original values exactly, which is what makes BRCR and BSTC lossless
+/// optimizations (§6 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bitslice::{BitPlanes, IntMatrix};
+///
+/// let w = IntMatrix::from_rows(8, &[[-5i32, 3], [0, 127]])?;
+/// let p = BitPlanes::from_matrix(&w);
+/// // |-5| = 0b0000101: bits 0 and 2 set.
+/// assert!(p.magnitude(0).get(0, 0) && p.magnitude(2).get(0, 0));
+/// assert!(p.sign().get(0, 0));       // negative
+/// assert_eq!(p.to_matrix(), w);
+/// # Ok::<(), mcbp_bitslice::BitSliceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlanes {
+    bits: u8,
+    rows: usize,
+    cols: usize,
+    magnitude: Vec<BitMatrix>,
+    sign: BitMatrix,
+}
+
+impl BitPlanes {
+    /// Decomposes a value matrix into sign–magnitude bit planes.
+    #[must_use]
+    pub fn from_matrix(m: &IntMatrix) -> Self {
+        let bits = m.bits();
+        let (rows, cols) = (m.rows(), m.cols());
+        let nplanes = usize::from(bits) - 1;
+        let mut magnitude = vec![BitMatrix::zeros(rows, cols); nplanes];
+        let mut sign = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v < 0 {
+                    sign.set(r, c, true);
+                }
+                let mag = v.unsigned_abs();
+                let mut rest = mag;
+                while rest != 0 {
+                    let b = rest.trailing_zeros() as usize;
+                    magnitude[b].set(r, c, true);
+                    rest &= rest - 1;
+                }
+            }
+        }
+        BitPlanes { bits, rows, cols, magnitude, sign }
+    }
+
+    /// Declared bit width of the source matrix (including sign).
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of magnitude planes (`bits − 1`).
+    #[must_use]
+    pub fn magnitude_planes(&self) -> usize {
+        self.magnitude.len()
+    }
+
+    /// The magnitude plane for bit position `b` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= magnitude_planes()`.
+    #[must_use]
+    pub fn magnitude(&self, b: usize) -> &BitMatrix {
+        &self.magnitude[b]
+    }
+
+    /// The sign plane (bit set ⇔ negative value).
+    #[must_use]
+    pub fn sign(&self) -> &BitMatrix {
+        &self.sign
+    }
+
+    /// Reconstructs the value of element `(r, c)` from the planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[must_use]
+    pub fn value_of(&self, r: usize, c: usize) -> i32 {
+        let mut mag = 0i32;
+        for (b, plane) in self.magnitude.iter().enumerate() {
+            if plane.get(r, c) {
+                mag |= 1 << b;
+            }
+        }
+        if self.sign.get(r, c) {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Losslessly reconstructs the original value matrix.
+    #[must_use]
+    pub fn to_matrix(&self) -> IntMatrix {
+        let mut flat = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                flat.push(self.value_of(r, c));
+            }
+        }
+        IntMatrix::from_flat(self.bits, self.rows, self.cols, flat)
+            .expect("plane reconstruction always fits the declared width")
+    }
+
+    /// Per-plane sparsity for magnitude planes, ordered LSB→MSB
+    /// (the data behind Fig 8c).
+    #[must_use]
+    pub fn magnitude_sparsity(&self) -> Vec<f64> {
+        self.magnitude.iter().map(BitMatrix::sparsity).collect()
+    }
+
+    /// Mean bit sparsity across magnitude planes — the paper's "bit
+    /// sparsity" metric (§2.3: averaged across all bit positions, sign
+    /// excluded).
+    #[must_use]
+    pub fn mean_bit_sparsity(&self) -> f64 {
+        if self.magnitude.is_empty() {
+            return 1.0;
+        }
+        self.magnitude_sparsity().iter().sum::<f64>() / self.magnitude.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INT8_BITS;
+
+    #[test]
+    fn roundtrip_int8_extremes() {
+        let m = IntMatrix::from_rows(INT8_BITS, &[[-127i32, -1, 0, 1, 127]]).unwrap();
+        let p = BitPlanes::from_matrix(&m);
+        assert_eq!(p.to_matrix(), m);
+    }
+
+    #[test]
+    fn roundtrip_int4() {
+        let vals: Vec<i32> = (-7..=7).collect();
+        let m = IntMatrix::from_flat(4, 3, 5, vals).unwrap();
+        let p = BitPlanes::from_matrix(&m);
+        assert_eq!(p.magnitude_planes(), 3);
+        assert_eq!(p.to_matrix(), m);
+    }
+
+    #[test]
+    fn paper_fig4_example_decomposition() {
+        // Fig 4(a): a 2-bit matrix; MSB plane much sparser than the
+        // value-level zero count suggests.
+        let m = IntMatrix::from_rows(2, &[
+            [0, 1, 0, 0, 1],
+            [0, 1, 0, 1, 1],
+            [1, 1, 1, 1, 1],
+            [1, 0, 1, 1, 0],
+        ])
+        .unwrap();
+        let p = BitPlanes::from_matrix(&m);
+        // Bit width 2 means a single magnitude plane; sign plane empty.
+        assert_eq!(p.magnitude_planes(), 1);
+        assert_eq!(p.sign().count_ones(), 0);
+        assert_eq!(p.magnitude(0).count_ones(), 13);
+    }
+
+    #[test]
+    fn sign_plane_tracks_negatives() {
+        let m = IntMatrix::from_rows(INT8_BITS, &[[-3i32, 4], [5, -6]]).unwrap();
+        let p = BitPlanes::from_matrix(&m);
+        assert!(p.sign().get(0, 0));
+        assert!(!p.sign().get(0, 1));
+        assert!(!p.sign().get(1, 0));
+        assert!(p.sign().get(1, 1));
+    }
+
+    #[test]
+    fn mean_bit_sparsity_of_zero_matrix_is_one() {
+        let m = IntMatrix::zeros(INT8_BITS, 4, 4);
+        let p = BitPlanes::from_matrix(&m);
+        assert_eq!(p.mean_bit_sparsity(), 1.0);
+    }
+}

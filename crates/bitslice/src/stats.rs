@@ -1,0 +1,260 @@
+//! Sparsity and repetition statistics over value matrices and bit planes.
+//!
+//! These statistics are the quantitative backbone of the paper's motivation:
+//! value sparsity in INT8 LLM weights is tiny (≈6 %) while mean bit sparsity
+//! is an order of magnitude larger (Fig 5c/d), high-order magnitude planes
+//! exceed 65 % sparsity (Fig 8c), and short column groups repeat far more
+//! often than full-height columns (the pigeonhole argument of Fig 5a/b).
+
+use std::collections::HashSet;
+
+use crate::{BitMatrix, BitPlanes, IntMatrix};
+
+/// Fraction of exactly zero elements in a value matrix (the paper's "value
+/// sparsity").
+///
+/// Returns 1.0 for an empty matrix.
+#[must_use]
+pub fn value_sparsity(m: &IntMatrix) -> f64 {
+    let total = m.rows() * m.cols();
+    if total == 0 {
+        return 1.0;
+    }
+    let zeros = m.as_flat().iter().filter(|v| **v == 0).count();
+    zeros as f64 / total as f64
+}
+
+/// Summary of the sparsity structure of one quantized matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsitySummary {
+    /// Fraction of zero values.
+    pub value_sparsity: f64,
+    /// Per-magnitude-plane zero-bit fraction, LSB→MSB.
+    pub per_plane: Vec<f64>,
+    /// Mean of `per_plane` (the paper's headline "bit sparsity").
+    pub mean_bit_sparsity: f64,
+    /// Zero fraction of the sign plane (fraction of non-negative values).
+    pub sign_sparsity: f64,
+}
+
+impl SparsitySummary {
+    /// Computes the summary for a value matrix.
+    #[must_use]
+    pub fn of(m: &IntMatrix) -> Self {
+        let planes = BitPlanes::from_matrix(m);
+        Self::of_planes(m, &planes)
+    }
+
+    /// Computes the summary when the decomposition is already available.
+    #[must_use]
+    pub fn of_planes(m: &IntMatrix, planes: &BitPlanes) -> Self {
+        let per_plane = planes.magnitude_sparsity();
+        SparsitySummary {
+            value_sparsity: value_sparsity(m),
+            mean_bit_sparsity: planes.mean_bit_sparsity(),
+            per_plane,
+            sign_sparsity: planes.sign().sparsity(),
+        }
+    }
+
+    /// Ratio of bit sparsity to value sparsity (the paper reports a mean of
+    /// 10.1× across five LLMs, Fig 5d). Returns `f64::INFINITY` when the
+    /// matrix has no zero values at all.
+    #[must_use]
+    pub fn bit_to_value_ratio(&self) -> f64 {
+        if self.value_sparsity == 0.0 {
+            f64::INFINITY
+        } else {
+            self.mean_bit_sparsity / self.value_sparsity
+        }
+    }
+}
+
+/// Counts distinct `m`-bit column patterns within one row group of a plane.
+///
+/// By the pigeonhole principle there can be at most `min(H, 2^m)` distinct
+/// patterns, so small `m` forces repetition (§3.1 "Verify the existence for
+/// redundancy").
+///
+/// # Panics
+///
+/// Panics if `m > 16` or the row range is out of bounds.
+#[must_use]
+pub fn unique_group_patterns(plane: &BitMatrix, row0: usize, m: usize) -> usize {
+    assert!(m <= 16, "group size {m} exceeds supported pattern width");
+    let pats = plane.column_patterns(row0, m);
+    let mut seen = vec![false; 1usize << m];
+    let mut unique = 0;
+    for p in pats {
+        let idx = p as usize;
+        if !seen[idx] {
+            seen[idx] = true;
+            unique += 1;
+        }
+    }
+    unique
+}
+
+/// Counts distinct full-height columns of a plane (the "vanilla full-size
+/// merge" of Fig 5a, where repetition opportunities collapse).
+#[must_use]
+pub fn unique_full_columns(plane: &BitMatrix) -> usize {
+    let rows = plane.rows();
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    for c in 0..plane.cols() {
+        let mut col = vec![0u64; rows.div_ceil(64)];
+        for r in 0..rows {
+            if plane.get(r, c) {
+                col[r / 64] |= 1 << (r % 64);
+            }
+        }
+        seen.insert(col);
+    }
+    seen.len()
+}
+
+/// Repetition statistics of one plane under group size `m`, averaged over
+/// all row groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepetitionStats {
+    /// Mean fraction of columns that are duplicates of an earlier column in
+    /// their group (`1 − unique/H`), including all-zero columns.
+    pub repeated_fraction: f64,
+    /// Mean fraction of all-zero columns per group.
+    pub zero_fraction: f64,
+    /// Mean number of distinct patterns per group.
+    pub mean_unique: f64,
+}
+
+/// Computes [`RepetitionStats`] for a plane and group size.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > 16`.
+#[must_use]
+pub fn repetition_stats(plane: &BitMatrix, m: usize) -> RepetitionStats {
+    assert!((1..=16).contains(&m), "group size {m} out of range");
+    let rows = plane.rows();
+    let cols = plane.cols().max(1) as f64;
+    let mut groups = 0usize;
+    let mut repeated = 0.0;
+    let mut zeros = 0.0;
+    let mut uniq_sum = 0.0;
+    let mut row0 = 0;
+    let mut pats = vec![0u32; plane.cols()];
+    while row0 < rows {
+        let size = m.min(rows - row0);
+        plane.column_patterns_into(row0, size, &mut pats);
+        let mut seen = vec![false; 1usize << size];
+        let mut unique = 0usize;
+        let mut zero_cols = 0usize;
+        for &p in &pats {
+            if p == 0 {
+                zero_cols += 1;
+            }
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                unique += 1;
+            }
+        }
+        repeated += 1.0 - unique as f64 / cols;
+        zeros += zero_cols as f64 / cols;
+        uniq_sum += unique as f64;
+        groups += 1;
+        row0 += size;
+    }
+    let g = groups.max(1) as f64;
+    RepetitionStats {
+        repeated_fraction: repeated / g,
+        zero_fraction: zeros / g,
+        mean_unique: uniq_sum / g,
+    }
+}
+
+/// Fraction of all-zero `m`-bit column groups across an entire plane — the
+/// quantity that determines the BSTC compression ratio (Fig 8b).
+#[must_use]
+pub fn zero_group_fraction(plane: &BitMatrix, m: usize) -> f64 {
+    let rows = plane.rows();
+    if rows == 0 || plane.cols() == 0 {
+        return 1.0;
+    }
+    let mut total = 0usize;
+    let mut zero = 0usize;
+    let mut row0 = 0;
+    let mut pats = vec![0u32; plane.cols()];
+    while row0 < rows {
+        let size = m.min(rows - row0);
+        plane.column_patterns_into(row0, size, &mut pats);
+        zero += pats.iter().filter(|p| **p == 0).count();
+        total += pats.len();
+        row0 += size;
+    }
+    zero as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INT8_BITS;
+
+    fn fig4_lsb_plane() -> BitMatrix {
+        // LSB slice of Fig 4(a): columns 1 & 3 repeat, 2 & 5 repeat.
+        let rows = [
+            [0u8, 1, 0, 0, 1],
+            [0, 1, 0, 1, 1],
+            [1, 1, 1, 1, 1],
+            [1, 0, 1, 1, 0],
+        ];
+        let mut m = BitMatrix::zeros(4, 5);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v == 1);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fig4_lsb_plane_has_three_unique_columns() {
+        let plane = fig4_lsb_plane();
+        // Columns: 0011, 1110, 0011, 0111, 1110 -> {0011, 1110, 0111}.
+        assert_eq!(unique_full_columns(&plane), 3);
+        assert_eq!(unique_group_patterns(&plane, 0, 4), 3);
+    }
+
+    #[test]
+    fn grouping_never_reduces_repetition() {
+        // Pigeonhole: fewer rows per group => at least as much repetition.
+        let plane = fig4_lsb_plane();
+        let full = repetition_stats(&plane, 4).repeated_fraction;
+        let grouped = repetition_stats(&plane, 2).repeated_fraction;
+        assert!(grouped >= full, "grouped {grouped} vs full {full}");
+    }
+
+    #[test]
+    fn value_sparsity_counts_only_exact_zeros() {
+        let m = IntMatrix::from_rows(INT8_BITS, &[[0i32, 1], [-1, 0]]).unwrap();
+        assert!((value_sparsity(&m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_ratio_matches_components() {
+        let m = IntMatrix::from_rows(INT8_BITS, &[[0i32, 1, 2, 3, 0, 0, 1, 1]]).unwrap();
+        let s = SparsitySummary::of(&m);
+        assert!((s.bit_to_value_ratio() - s.mean_bit_sparsity / s.value_sparsity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_group_fraction_of_zero_matrix_is_one() {
+        let plane = BitMatrix::zeros(8, 16);
+        assert_eq!(zero_group_fraction(&plane, 4), 1.0);
+    }
+
+    #[test]
+    fn zero_group_fraction_counts_groups_not_bits() {
+        let mut plane = BitMatrix::zeros(4, 4);
+        plane.set(0, 0, true); // column 0 group is non-zero, rest zero
+        assert!((zero_group_fraction(&plane, 4) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the bit-slice substrate.
+
+use mcbp_bitslice::group::GroupView;
+use mcbp_bitslice::stats::{repetition_stats, unique_group_patterns, value_sparsity};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use proptest::prelude::*;
+
+fn int_matrix(bits: u8, max_rows: usize, max_cols: usize) -> impl Strategy<Value = IntMatrix> {
+    let limit = (1i32 << (bits - 1)) - 1;
+    (1..=max_rows, 1..=max_cols).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(-limit..=limit, r * c)
+            .prop_map(move |data| IntMatrix::from_flat(bits, r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sign–magnitude bit-plane decomposition is lossless for INT8.
+    #[test]
+    fn planes_roundtrip_int8(m in int_matrix(8, 12, 80)) {
+        let planes = BitPlanes::from_matrix(&m);
+        prop_assert_eq!(planes.to_matrix(), m);
+    }
+
+    /// ... and for INT4.
+    #[test]
+    fn planes_roundtrip_int4(m in int_matrix(4, 9, 40)) {
+        let planes = BitPlanes::from_matrix(&m);
+        prop_assert_eq!(planes.to_matrix(), m);
+    }
+
+    /// Shift-and-accumulate over bit planes reproduces the exact GEMV:
+    /// the "full compute equivalence" claim of §2.3.
+    #[test]
+    fn shift_accumulate_equals_gemv(m in int_matrix(8, 8, 48),
+                                    x in proptest::collection::vec(-128i32..=127, 48)) {
+        let x = &x[..m.cols()];
+        let planes = BitPlanes::from_matrix(&m);
+        let reference = m.matvec(x).unwrap();
+        let mut acc = vec![0i64; m.rows()];
+        #[allow(clippy::needless_range_loop)] // r indexes both matrix rows and acc
+        for b in 0..planes.magnitude_planes() {
+            let plane = planes.magnitude(b);
+            for r in 0..m.rows() {
+                let mut dot = 0i64;
+                for (c, &xv) in x.iter().enumerate() {
+                    if plane.get(r, c) {
+                        let signed = if planes.sign().get(r, c) { -i64::from(xv) } else { i64::from(xv) };
+                        dot += signed;
+                    }
+                }
+                acc[r] += dot << b;
+            }
+        }
+        prop_assert_eq!(acc, reference);
+    }
+
+    /// Signed rails partition the magnitude pattern in every group.
+    #[test]
+    fn rails_partition_magnitude(m in int_matrix(8, 12, 64), gsize in 1usize..=8) {
+        let planes = BitPlanes::from_matrix(&m);
+        let gsize = gsize.min(m.rows());
+        for b in 0..planes.magnitude_planes() {
+            let g = GroupView::new(&planes, b, 0, gsize);
+            for p in g.signed_patterns() {
+                prop_assert_eq!(p.pos & p.neg, 0u32);
+            }
+        }
+    }
+
+    /// Pigeonhole: a group of m rows can never expose more than
+    /// min(H, 2^m) unique patterns.
+    #[test]
+    fn pigeonhole_bound(m in int_matrix(8, 16, 64), gsize in 1usize..=8) {
+        let planes = BitPlanes::from_matrix(&m);
+        let gsize = gsize.min(m.rows());
+        for b in 0..planes.magnitude_planes() {
+            let u = unique_group_patterns(planes.magnitude(b), 0, gsize);
+            prop_assert!(u <= (1usize << gsize).min(m.cols()));
+        }
+    }
+
+    /// Repetition statistics are valid fractions.
+    #[test]
+    fn repetition_stats_bounded(m in int_matrix(8, 16, 64), gsize in 1usize..=8) {
+        let planes = BitPlanes::from_matrix(&m);
+        let stats = repetition_stats(planes.magnitude(0), gsize.min(m.rows()));
+        prop_assert!(stats.repeated_fraction >= 0.0 && stats.repeated_fraction <= 1.0);
+        prop_assert!(stats.zero_fraction >= 0.0 && stats.zero_fraction <= 1.0);
+        prop_assert!(stats.zero_fraction <= stats.repeated_fraction + 1.0 / m.cols() as f64,
+            "zero columns beyond the first are repeats");
+    }
+
+    /// Value sparsity is always within [0, 1] and equals 1 only when all
+    /// entries are zero.
+    #[test]
+    fn value_sparsity_bounds(m in int_matrix(8, 10, 32)) {
+        let vs = value_sparsity(&m);
+        prop_assert!((0.0..=1.0).contains(&vs));
+        if vs == 1.0 {
+            prop_assert!(m.as_flat().iter().all(|v| *v == 0));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Model of the CAM-based fast match unit (Fig 14-❶/❷).
+//!
+//! The hardware stores a tile of decompressed group columns in a small
+//! content-addressable memory split into 2-bit basic blocks (a high-order
+//! bank and a low-order bank for `m = 4`). For each search key the two banks
+//! are read and ANDed, producing in **one cycle** a bitmap of every column
+//! in the tile matching the key — this is what removes the serial-matching
+//! latency that limits FuseKNA-style repetition schemes.
+//!
+//! The model is cycle- and energy-accounting-faithful rather than
+//! gate-level: it reproduces the bitmap semantics, the one-search-per-cycle
+//! timing, the clock gating of the all-zero key, and the reconfiguration of
+//! 2-bit basic blocks to other group sizes.
+
+/// Configuration of the CAM match unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamModel {
+    /// Group size `m` (search-key width in bits).
+    pub m: usize,
+    /// Width of a basic matching block in bits (2 in the paper; blocks are
+    /// re-matched to support other group sizes).
+    pub block_bits: usize,
+    /// Number of columns held per tile (16 in Fig 14: sixteen index
+    /// converters / sixteen selected activations).
+    pub tile_columns: usize,
+}
+
+impl Default for CamModel {
+    fn default() -> Self {
+        CamModel { m: 4, block_bits: 2, tile_columns: 16 }
+    }
+}
+
+/// Cycle/energy-relevant accounting of a CAM matching pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CamReport {
+    /// Search operations issued (one cycle each).
+    pub searches: u64,
+    /// Searches suppressed by clock gating (all-zero key).
+    pub gated_searches: u64,
+    /// Total columns matched across all searches.
+    pub matched_columns: u64,
+    /// Tiles loaded into the CAM.
+    pub tiles: u64,
+    /// Basic-block bank reads performed (two banks per search for `m = 4`).
+    pub bank_reads: u64,
+}
+
+impl CamReport {
+    /// Total cycles: one per tile load plus one per non-gated search.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.tiles + self.searches
+    }
+
+    /// Accumulates another report.
+    pub fn absorb(&mut self, other: &CamReport) {
+        self.searches += other.searches;
+        self.gated_searches += other.gated_searches;
+        self.matched_columns += other.matched_columns;
+        self.tiles += other.tiles;
+        self.bank_reads += other.bank_reads;
+    }
+}
+
+impl CamModel {
+    /// Creates a model for group size `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0, greater than 16, or not a multiple of
+    /// `block_bits`.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        let model = CamModel { m, ..CamModel::default() };
+        model.validate();
+        model
+    }
+
+    fn validate(&self) {
+        assert!(self.m >= 1 && self.m <= 16, "group size {} out of range", self.m);
+        // Odd sizes use a partially masked final block; `blocks_per_key`
+        // rounds up accordingly ("reconfigured by re-matching the outputs
+        // of multiple basic blocks", §4.3).
+    }
+
+    /// Number of basic blocks chained per search key.
+    #[must_use]
+    pub fn blocks_per_key(&self) -> usize {
+        self.m.div_ceil(self.block_bits)
+    }
+
+    /// Matches one tile of column patterns against one search key,
+    /// returning the match bitmap (bit `i` set ⇔ `tile[i] == key`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is larger than `tile_columns`.
+    #[must_use]
+    pub fn search(&self, tile: &[u32], key: u32) -> u64 {
+        assert!(tile.len() <= self.tile_columns, "tile exceeds CAM capacity");
+        let mut bitmap = 0u64;
+        for (i, &p) in tile.iter().enumerate() {
+            if p == key {
+                bitmap |= 1 << i;
+            }
+        }
+        bitmap
+    }
+
+    /// Runs the full controller enumeration over a stream of group-column
+    /// patterns: the stream is cut into tiles of `tile_columns`; for each
+    /// tile every possible key in `1..2^m` is searched (key 0 is
+    /// clock-gated, §4.3), and empty keys still consume their search cycle
+    /// as in the hardware's fixed enumeration.
+    ///
+    /// Returns the accounting report; the match bitmaps themselves are
+    /// validated against the functional merge in tests.
+    #[must_use]
+    pub fn match_stream(&self, patterns: &[u32]) -> CamReport {
+        let mut report = CamReport::default();
+        let keys = 1u64 << self.m;
+        for tile in patterns.chunks(self.tile_columns.max(1)) {
+            report.tiles += 1;
+            for key in 0..keys {
+                if key == 0 {
+                    report.gated_searches += 1;
+                    continue;
+                }
+                report.searches += 1;
+                report.bank_reads += self.blocks_per_key() as u64;
+                let bm = self.search(tile, key as u32);
+                report.matched_columns += u64::from(bm.count_ones());
+            }
+        }
+        report
+    }
+
+    /// A serial matcher (FuseKNA-style) needs one comparison per column per
+    /// distinct key actually present; the CAM does it in one cycle per key.
+    /// Returns (cam_cycles, serial_compare_ops) for the same stream — the
+    /// latency advantage quoted in §4.3.
+    #[must_use]
+    pub fn speedup_vs_serial(&self, patterns: &[u32]) -> (u64, u64) {
+        let report = self.match_stream(patterns);
+        let serial: u64 = patterns
+            .chunks(self.tile_columns.max(1))
+            .map(|tile| (tile.len() * tile.len().saturating_sub(1) / 2) as u64)
+            .sum();
+        (report.cycles(), serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_matches_fig14_example() {
+        // Fig 14: searching 0b0001 over columns [0001, ?, ?, 0001] yields
+        // bitmap 1001.
+        let cam = CamModel::new(4);
+        let tile = [0b0001u32, 0b0110, 0b1010, 0b0001];
+        assert_eq!(cam.search(&tile, 0b0001), 0b1001);
+    }
+
+    #[test]
+    fn zero_key_is_gated() {
+        let cam = CamModel::new(4);
+        let patterns = vec![0u32; 16];
+        let r = cam.match_stream(&patterns);
+        assert_eq!(r.gated_searches, 1);
+        assert_eq!(r.searches, 15);
+        assert_eq!(r.matched_columns, 0);
+    }
+
+    #[test]
+    fn every_nonzero_column_is_matched_exactly_once() {
+        let cam = CamModel::new(4);
+        let patterns: Vec<u32> = (0..64).map(|i| (i * 7 + 3) as u32 % 16).collect();
+        let nonzero = patterns.iter().filter(|p| **p != 0).count() as u64;
+        let r = cam.match_stream(&patterns);
+        assert_eq!(r.matched_columns, nonzero);
+    }
+
+    #[test]
+    fn cycles_scale_with_tiles_and_keys() {
+        let cam = CamModel::new(4);
+        let patterns = vec![1u32; 32]; // two tiles of 16
+        let r = cam.match_stream(&patterns);
+        assert_eq!(r.tiles, 2);
+        assert_eq!(r.cycles(), 2 + 2 * 15);
+    }
+
+    #[test]
+    fn cam_beats_serial_matching_on_full_tiles() {
+        let cam = CamModel::new(4);
+        let patterns: Vec<u32> = (0..160).map(|i| (i % 16) as u32).collect();
+        let (cam_cycles, serial_ops) = cam.speedup_vs_serial(&patterns);
+        assert!(cam_cycles < serial_ops, "cam {cam_cycles} vs serial {serial_ops}");
+    }
+
+    #[test]
+    fn blocks_reconfigure_for_group_size() {
+        assert_eq!(CamModel::new(4).blocks_per_key(), 2);
+        assert_eq!(CamModel::new(8).blocks_per_key(), 4);
+        assert_eq!(CamModel::new(2).blocks_per_key(), 1);
+    }
+}

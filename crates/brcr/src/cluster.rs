@@ -1,0 +1,266 @@
+//! Functional model of one BRCR PE cluster (Fig 14): the end-to-end
+//! hardware datapath — CAM fast-match, index conversion, addition-merge
+//! through the group sum buffer (GSB), and the time-multiplexed
+//! reconstruction unit — executed tile by tile and verified bit-exact
+//! against the reference GEMV.
+//!
+//! Where [`crate::BrcrEngine`] is the *algorithmic* executor (column-wise
+//! merge), this module walks the machine the paper built: 16-column tiles
+//! are loaded into the CAM, every `m`-bit search key is matched in one
+//! cycle, the bitmap drives the index converters, matched activations meet
+//! in an adder tree, and partial sums land in the GSB register addressed
+//! by the search key. Cycle and energy counters fall out of the walk.
+
+use mcbp_bitslice::group::SignedPattern;
+use mcbp_bitslice::BitPlanes;
+
+use crate::cam::CamModel;
+
+/// Cycle/op accounting of a cluster execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// CAM tiles loaded (one per 16 group columns per rail pass).
+    pub tiles: u64,
+    /// CAM searches issued (non-gated).
+    pub cam_searches: u64,
+    /// Searches skipped by all-zero-key clock gating.
+    pub gated_searches: u64,
+    /// Adder-tree passes (one per matching search — the latency quantum).
+    pub tree_passes: u64,
+    /// Scalar additions inside the trees (the energy quantum).
+    pub tree_adds: u64,
+    /// GSB register read–modify–writes.
+    pub gsb_updates: u64,
+    /// Reconstruction-unit adds (time-multiplexed across AMUs).
+    pub ru_adds: u64,
+}
+
+impl ClusterStats {
+    /// Pipeline cycles: tile loads plus searches (1/cycle) plus the RU
+    /// drain, with the RU overlapped 16:1 as in §4.3 ("one RU is
+    /// time-multiplexed to serve 16 AMUs").
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.tiles + self.cam_searches + self.ru_adds.div_ceil(16)
+    }
+}
+
+/// One PE cluster executing a full bit-plane GEMV through the Fig 14
+/// datapath.
+#[derive(Debug, Clone)]
+pub struct PeCluster {
+    cam: CamModel,
+    m: usize,
+}
+
+impl PeCluster {
+    /// Builds a cluster for group size `m` (CAM reconfigured from 2-bit
+    /// basic blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or greater than 16.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        PeCluster { cam: CamModel::new(m), m }
+    }
+
+    /// The group size.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.m
+    }
+
+    /// Executes `W · x` over the decomposition exactly as the hardware
+    /// would: per plane, per row group, per 16-column tile, per search
+    /// key. Returns the result (bit-exact vs `IntMatrix::matvec`) and
+    /// the datapath statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != planes.cols()`.
+    #[must_use]
+    pub fn gemv(&self, planes: &BitPlanes, x: &[i32]) -> (Vec<i64>, ClusterStats) {
+        assert_eq!(x.len(), planes.cols(), "activation length mismatch");
+        let rows = planes.rows();
+        let mut y = vec![0i64; rows];
+        let mut stats = ClusterStats::default();
+        let mut pats = vec![SignedPattern::default(); planes.cols()];
+
+        for b in 0..planes.magnitude_planes() {
+            let mut row0 = 0;
+            while row0 < rows {
+                let size = self.m.min(rows - row0);
+                let entries = 1usize << size;
+                let group = mcbp_bitslice::group::GroupView::new(planes, b, row0, size);
+                group.signed_patterns_into(&mut pats);
+
+                // Group sum buffers, one per rail.
+                let mut gsb_pos = vec![0i64; entries];
+                let mut gsb_neg = vec![0i64; entries];
+
+                // Walk 16-column CAM tiles; each rail is matched as its own
+                // pass (the CAM holds m-bit keys; rails share the banks).
+                for (tile_idx, tile) in pats.chunks(self.cam.tile_columns).enumerate() {
+                    let base_col = tile_idx * self.cam.tile_columns;
+                    for rail in [Rail::Pos, Rail::Neg] {
+                        let tile_keys: Vec<u32> =
+                            tile.iter().map(|p| rail.select(*p)).collect();
+                        if tile_keys.iter().all(|k| *k == 0) {
+                            continue; // nothing to load for this rail
+                        }
+                        stats.tiles += 1;
+                        for key in 1..entries as u32 {
+                            let bitmap = self.cam.search(&tile_keys, key);
+                            stats.cam_searches += 1;
+                            if bitmap == 0 {
+                                continue;
+                            }
+                            // Index converters turn the bitmap into
+                            // activation addresses; the adder tree sums the
+                            // fetched activations in one pass.
+                            let mut tree_sum = 0i64;
+                            let mut inputs = 0u64;
+                            let mut bits = bitmap;
+                            while bits != 0 {
+                                let i = bits.trailing_zeros() as usize;
+                                tree_sum += i64::from(x[base_col + i]);
+                                inputs += 1;
+                                bits &= bits - 1;
+                            }
+                            stats.tree_passes += 1;
+                            stats.tree_adds += inputs.saturating_sub(1) + 1; // tree + GSB accumulate
+                            let gsb = match rail {
+                                Rail::Pos => &mut gsb_pos,
+                                Rail::Neg => &mut gsb_neg,
+                            };
+                            gsb[key as usize] += tree_sum;
+                            stats.gsb_updates += 1;
+                        }
+                        // The all-zero key is clock-gated (§4.3).
+                        stats.gated_searches += 1;
+                    }
+                }
+
+                // Reconstruction: y_i = Σ_{key: bit i set} gsb[key], walked
+                // y_{m−1} → y_0 with the fixed-adder schedule.
+                for i in (0..size).rev() {
+                    let bit = 1usize << i;
+                    let mut acc = 0i64;
+                    for key in 1..entries {
+                        if key & bit != 0 {
+                            if gsb_pos[key] != 0 {
+                                acc += gsb_pos[key];
+                                stats.ru_adds += 1;
+                            }
+                            if gsb_neg[key] != 0 {
+                                acc -= gsb_neg[key];
+                                stats.ru_adds += 1;
+                            }
+                        }
+                    }
+                    y[row0 + i] += acc << b;
+                }
+                row0 += size;
+            }
+        }
+        (y, stats)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Rail {
+    Pos,
+    Neg,
+}
+
+impl Rail {
+    fn select(self, p: SignedPattern) -> u32 {
+        match self {
+            Rail::Pos => p.pos,
+            Rail::Neg => p.neg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrcrEngine;
+    use mcbp_bitslice::IntMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(seed: u64, rows: usize, cols: usize) -> IntMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-127..=127)).collect();
+        IntMatrix::from_flat(8, rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn cluster_matches_reference_gemv() {
+        let w = random_matrix(1, 12, 100);
+        let planes = BitPlanes::from_matrix(&w);
+        let x: Vec<i32> = (0..100).map(|i| (i % 19) - 9).collect();
+        let (y, stats) = PeCluster::new(4).gemv(&planes, &x);
+        assert_eq!(y, w.matvec(&x).unwrap());
+        assert!(stats.cam_searches > 0 && stats.ru_adds > 0);
+    }
+
+    #[test]
+    fn cluster_matches_algorithmic_engine_results() {
+        let w = random_matrix(2, 9, 64);
+        let planes = BitPlanes::from_matrix(&w);
+        let x: Vec<i32> = (0..64).map(|i| i - 32).collect();
+        let (hw, hw_stats) = PeCluster::new(4).gemv(&planes, &x);
+        let (alg, alg_ops) = BrcrEngine::new(4).gemv(&planes, &x);
+        assert_eq!(hw, alg);
+        // The hardware's tree passes are its latency quantum and must not
+        // exceed the algorithmic merge accumulates (a pass covers >= 1
+        // accumulate).
+        assert!(hw_stats.tree_passes <= alg_ops.merge_accumulates);
+    }
+
+    #[test]
+    fn empty_rails_skip_tile_loads() {
+        // All-positive weights: negative rail never loads a tile.
+        let data: Vec<i32> = (0..8 * 32).map(|i| (i % 7) + 1).collect();
+        let w = IntMatrix::from_flat(8, 8, 32, data).unwrap();
+        let planes = BitPlanes::from_matrix(&w);
+        let (_, stats) = PeCluster::new(4).gemv(&planes, &[1i32; 32]);
+        // Tiles per plane per group <= columns/16 (positive rail only).
+        let max_pos_only = planes.magnitude_planes() as u64 * 2 * 2;
+        assert!(stats.tiles <= max_pos_only, "tiles {}", stats.tiles);
+    }
+
+    #[test]
+    fn zero_weights_cost_nothing() {
+        let w = IntMatrix::zeros(8, 8, 32);
+        let planes = BitPlanes::from_matrix(&w);
+        let (y, stats) = PeCluster::new(4).gemv(&planes, &[9i32; 32]);
+        assert!(y.iter().all(|v| *v == 0));
+        assert_eq!(stats.tree_passes, 0);
+        assert_eq!(stats.tiles, 0);
+    }
+
+    #[test]
+    fn cycles_account_for_ru_multiplexing() {
+        let w = random_matrix(3, 16, 64);
+        let planes = BitPlanes::from_matrix(&w);
+        let (_, stats) = PeCluster::new(4).gemv(&planes, &[3i32; 64]);
+        assert!(stats.cycles() >= stats.tiles + stats.cam_searches);
+        assert!(stats.cycles() <= stats.tiles + stats.cam_searches + stats.ru_adds);
+    }
+
+    #[test]
+    fn group_size_sweep_stays_exact() {
+        let w = random_matrix(4, 10, 48);
+        let planes = BitPlanes::from_matrix(&w);
+        let x: Vec<i32> = (0..48).map(|i| (i * 5) % 100 - 50).collect();
+        let reference = w.matvec(&x).unwrap();
+        for m in [1usize, 2, 4, 8] {
+            let (y, _) = PeCluster::new(m).gemv(&planes, &x);
+            assert_eq!(y, reference, "m={m}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Closed-form BRCR cost model and group-size design-space exploration
+//! (§3.1 "Key Insights" and Fig 18).
+//!
+//! All formulas are the paper's, kept in one place so tests can cross-check
+//! them against the *measured* counters of [`crate::BrcrEngine`]:
+//!
+//! * BRCR, one `m`-row group of a `k`-bit `·×H` GEMV:
+//!   `k·(H·(1−bs) + m·2^{m−1})` adds.
+//! * Full `H×H` GEMV: `k·H²·(1−bs)/m + k·H·2^{m−1}` adds.
+//! * Naive sparsity-aware bit-serial (BSC): `k·H·m·(1−bs)` per group.
+//! * Value-level sparsity scheme: `H·m·k·(1−vs)` per group, `vs` being the
+//!   fraction of zero *values*.
+
+/// Paper cost of BRCR for one `m`-row group (`k` planes, `H` columns, mean
+/// bit sparsity `bs`).
+#[must_use]
+pub fn brcr_group_adds(k: u32, h: usize, m: usize, bs: f64) -> f64 {
+    let k = f64::from(k);
+    k * (h as f64 * (1.0 - bs) + (m as f64) * f64::from(1u32 << (m - 1)))
+}
+
+/// Paper cost of BRCR for a full `H×H` GEMV.
+#[must_use]
+pub fn brcr_full_gemv_adds(k: u32, h: usize, m: usize, bs: f64) -> f64 {
+    let k = f64::from(k);
+    let h = h as f64;
+    k * h * h * (1.0 - bs) / m as f64 + k * h * f64::from(1u32 << (m - 1))
+}
+
+/// Naive sparsity-aware bit-serial cost for one `m`-row group.
+#[must_use]
+pub fn naive_bsc_group_adds(k: u32, h: usize, m: usize, bs: f64) -> f64 {
+    f64::from(k) * h as f64 * m as f64 * (1.0 - bs)
+}
+
+/// Value-level sparsity scheme cost for one `m`-row group (`vs` = fraction
+/// of zero values).
+#[must_use]
+pub fn value_sparse_group_adds(k: u32, h: usize, m: usize, vs: f64) -> f64 {
+    f64::from(k) * h as f64 * m as f64 * (1.0 - vs)
+}
+
+/// Computation-reduction ratio of BRCR vs a dense `k`-bit bit-serial GEMV
+/// (`k·H·m` adds per group) at group size `m` — the paper's "CPR" metric in
+/// Fig 18.
+#[must_use]
+pub fn comp_reduction_vs_dense(k: u32, h: usize, m: usize, bs: f64) -> f64 {
+    let dense = f64::from(k) * h as f64 * m as f64;
+    dense / brcr_group_adds(k, h, m, bs)
+}
+
+/// One point of the group-size design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// Group size.
+    pub m: usize,
+    /// Computation reduction at the lowest sparsity in the band.
+    pub cpr_min: f64,
+    /// Computation reduction at the highest sparsity in the band.
+    pub cpr_max: f64,
+}
+
+/// Sweeps group size `m ∈ [1, m_max]` for a `k`-bit `H`-wide GEMV over a
+/// band of bit-sparsity ratios, reproducing the CPR curves of Fig 18.
+///
+/// # Panics
+///
+/// Panics if `m_max` is 0 or greater than 16, or the sparsity band is
+/// empty/invalid.
+#[must_use]
+pub fn dse_over_m(k: u32, h: usize, m_max: usize, bs_lo: f64, bs_hi: f64) -> Vec<DsePoint> {
+    assert!((1..=16).contains(&m_max), "m_max out of range");
+    assert!(
+        (0.0..=1.0).contains(&bs_lo) && (0.0..=1.0).contains(&bs_hi) && bs_lo <= bs_hi,
+        "invalid sparsity band"
+    );
+    (1..=m_max)
+        .map(|m| DsePoint {
+            m,
+            cpr_min: comp_reduction_vs_dense(k, h, m, bs_lo),
+            cpr_max: comp_reduction_vs_dense(k, h, m, bs_hi),
+        })
+        .collect()
+}
+
+/// The `m` with the greatest `cpr_max` in a DSE sweep (ties broken toward
+/// smaller `m`, matching the paper's preference for lower reconstruction
+/// cost).
+#[must_use]
+pub fn optimal_m(points: &[DsePoint]) -> Option<usize> {
+    points
+        .iter()
+        .max_by(|a, b| a.cpr_max.partial_cmp(&b.cpr_max).expect("CPR is finite"))
+        .map(|p| p.m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_ratios_hold() {
+        // §3.1: "For typical LLM models (H~4k, bs~0.70, vs~0.07, m=4), BRCR
+        // achieves up to 12.1× and 3.8× computation reduction compared to
+        // value sparsity and naive BSC."
+        let (k, h, m, bs, vs) = (8, 4096, 4, 0.70, 0.07);
+        let brcr = brcr_group_adds(k, h, m, bs);
+        let value = value_sparse_group_adds(k, h, m, vs);
+        let naive = naive_bsc_group_adds(k, h, m, bs);
+        let vs_ratio = value / brcr;
+        let bsc_ratio = naive / brcr;
+        assert!((vs_ratio - 12.1).abs() < 0.2, "value ratio {vs_ratio}");
+        assert!((bsc_ratio - 3.8).abs() < 0.2, "bsc ratio {bsc_ratio}");
+    }
+
+    #[test]
+    fn full_gemv_consistent_with_group_formula() {
+        let (k, h, m, bs) = (8, 1024, 4, 0.7);
+        let per_group = brcr_group_adds(k, h, m, bs);
+        let groups = h as f64 / m as f64;
+        assert!((brcr_full_gemv_adds(k, h, m, bs) - per_group * groups).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dse_has_interior_optimum() {
+        // Fig 18: CPR rises to m≈5 then declines as 2^{m−1} dominates.
+        let points = dse_over_m(8, 4096, 10, 0.65, 0.95);
+        let best = optimal_m(&points).unwrap();
+        assert!(
+            (4..=6).contains(&best),
+            "optimum m should be interior, got {best}"
+        );
+        // Monotone rise before and fall after the optimum.
+        let cprs: Vec<f64> = points.iter().map(|p| p.cpr_max).collect();
+        assert!(cprs[0] < cprs[best - 1]);
+        assert!(cprs[points.len() - 1] < cprs[best - 1]);
+    }
+
+    #[test]
+    fn zero_sparsity_still_pays_reconstruction() {
+        let dense_equiv = comp_reduction_vs_dense(8, 4096, 4, 0.0);
+        assert!(dense_equiv < 4.0, "without sparsity the gain is bounded by m");
+        assert!(dense_equiv > 1.0, "merging alone still helps");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sparsity band")]
+    fn dse_rejects_reversed_band() {
+        let _ = dse_over_m(8, 64, 4, 0.9, 0.1);
+    }
+}

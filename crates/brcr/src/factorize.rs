@@ -1,0 +1,160 @@
+//! The `W = E × I` factorization illustration of Fig 4(c).
+//!
+//! A bit-slice matrix with repeated column vectors factors into an
+//! *enumeration matrix* `E` (its distinct columns) and a sparse *index
+//! matrix* `I` mapping every original column to its enumeration entry, so
+//! that `W·X = E·(I·X)`. The functional BRCR engine realizes this with the
+//! MAV; this module exposes the explicit factorization for analysis,
+//! documentation, and the `fig4` reproduction harness.
+
+use mcbp_bitslice::BitMatrix;
+
+/// An explicit `E × I` factorization of one row group of a bit plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factorization {
+    /// Group size `m` (rows of `E`).
+    pub m: usize,
+    /// The distinct nonzero column patterns, in first-appearance order
+    /// (columns of `E`).
+    pub enumeration: Vec<u32>,
+    /// For each original column, `Some(index into enumeration)` or `None`
+    /// for all-zero columns.
+    pub index: Vec<Option<usize>>,
+    /// Additions for per-column independent evaluation (`Σ_rows (n_r − 1)`,
+    /// the "separate computation" of Fig 4b).
+    pub naive_adds: u64,
+    /// Additions for `I·X` (merging; first write to a slot is free).
+    pub merge_adds: u64,
+    /// Additions for `E·(I·X)` (reconstruction; first term per row free).
+    pub reconstruct_adds: u64,
+}
+
+impl Factorization {
+    /// Total adds of the factored evaluation.
+    #[must_use]
+    pub fn factored_adds(&self) -> u64 {
+        self.merge_adds + self.reconstruct_adds
+    }
+
+    /// Fractional savings of the factored form vs naive evaluation.
+    #[must_use]
+    pub fn savings(&self) -> f64 {
+        if self.naive_adds == 0 {
+            return 0.0;
+        }
+        1.0 - self.factored_adds() as f64 / self.naive_adds as f64
+    }
+}
+
+/// Factorizes the row group `[row0, row0 + m)` of a bit plane.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or greater than 16, or the row range is out of
+/// bounds.
+#[must_use]
+pub fn factorize(plane: &BitMatrix, row0: usize, m: usize) -> Factorization {
+    assert!((1..=16).contains(&m), "group size {m} out of range");
+    let patterns = plane.column_patterns(row0, m);
+
+    let mut enumeration: Vec<u32> = Vec::new();
+    let mut slot_of = vec![usize::MAX; 1 << m];
+    let mut index = Vec::with_capacity(patterns.len());
+    let mut merge_adds = 0u64;
+    for &p in &patterns {
+        if p == 0 {
+            index.push(None);
+            continue;
+        }
+        let slot = slot_of[p as usize];
+        if slot == usize::MAX {
+            slot_of[p as usize] = enumeration.len();
+            index.push(Some(enumeration.len()));
+            enumeration.push(p);
+        } else {
+            index.push(Some(slot));
+            merge_adds += 1; // accumulate into an existing slot
+        }
+    }
+
+    // Naive: evaluate each row independently; n terms cost n − 1 adds.
+    let mut naive_adds = 0u64;
+    for i in 0..m {
+        let terms = patterns.iter().filter(|p| *p & (1 << i) != 0).count() as u64;
+        naive_adds += terms.saturating_sub(1);
+    }
+
+    // Reconstruction: row i of E sums the distinct patterns with bit i set.
+    let mut reconstruct_adds = 0u64;
+    for i in 0..m {
+        let terms = enumeration.iter().filter(|p| *p & (1 << i) != 0).count() as u64;
+        reconstruct_adds += terms.saturating_sub(1);
+    }
+
+    Factorization { m, enumeration, index, naive_adds, merge_adds, reconstruct_adds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The LSB slice of Fig 4(a)/(b)/(c).
+    fn fig4_plane() -> BitMatrix {
+        let rows = [
+            [0u8, 1, 0, 0, 1],
+            [0, 1, 0, 1, 1],
+            [1, 1, 1, 1, 1],
+            [1, 0, 1, 1, 0],
+        ];
+        let mut m = BitMatrix::zeros(4, 5);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v == 1);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn reproduces_fig4c_add_counts() {
+        // Paper: naive = 9 adds, I·X = 2 adds, E·X' = 4 adds (30% saving).
+        let f = factorize(&fig4_plane(), 0, 4);
+        assert_eq!(f.naive_adds, 9);
+        assert_eq!(f.merge_adds, 2);
+        assert_eq!(f.reconstruct_adds, 4);
+        assert!((f.savings() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(f.enumeration.len(), 3);
+    }
+
+    #[test]
+    fn index_maps_repeats_to_same_slot() {
+        let f = factorize(&fig4_plane(), 0, 4);
+        // Columns 0 and 2 are identical, as are 1 and 4 (Fig 4a).
+        assert_eq!(f.index[0], f.index[2]);
+        assert_eq!(f.index[1], f.index[4]);
+        assert_ne!(f.index[0], f.index[1]);
+    }
+
+    #[test]
+    fn factorization_is_reconstructable() {
+        // E[I[c]] must equal the original column pattern.
+        let plane = fig4_plane();
+        let f = factorize(&plane, 0, 4);
+        let pats = plane.column_patterns(0, 4);
+        for (c, &p) in pats.iter().enumerate() {
+            match f.index[c] {
+                None => assert_eq!(p, 0),
+                Some(slot) => assert_eq!(f.enumeration[slot], p),
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_group_has_no_cost() {
+        let plane = BitMatrix::zeros(4, 10);
+        let f = factorize(&plane, 0, 4);
+        assert_eq!(f.naive_adds, 0);
+        assert_eq!(f.factored_adds(), 0);
+        assert!(f.enumeration.is_empty());
+    }
+}

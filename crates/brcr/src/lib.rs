@@ -1,0 +1,55 @@
+//! BRCR — Bit-Slice-Repetitiveness-enabled Computation Reduction (§3.1,
+//! §4.3 of the MCBP paper). This is the paper's primary contribution.
+//!
+//! A `k`-bit weight matrix is decomposed into `k − 1` magnitude bit-slice
+//! planes plus a sign plane. Each plane is processed `m` rows at a time (the
+//! *group matrix*). Because a group column is only an `m`-bit pattern, the
+//! pigeonhole principle guarantees massive repetition when `H ≫ 2^m`; BRCR
+//! exploits it in two steps (Fig 7):
+//!
+//! 1. **Addition merge** — activations of columns sharing a pattern are
+//!    accumulated once into a *merged activation vector* (MAV) of length
+//!    `2^m`, costing at most `H·(1 − bs)` additions per group.
+//! 2. **Computation reconstruction** — the group's `m` outputs are rebuilt
+//!    from the MAV through the fixed enumeration-matrix datapath, costing at
+//!    most `m·2^{m−1}` additions.
+//!
+//! Both steps are exact; [`BrcrEngine::gemv`] is verified bit-identical to
+//! the reference integer GEMV. Signs are handled by the dual-rail split
+//! described in DESIGN.md (positive/negative MAV per group).
+//!
+//! The crate also models the hardware that makes the merge fast — the
+//! [`cam::CamModel`] content-addressable match unit (Fig 14) — and provides
+//! the closed-form [`cost`] model plus the design-space exploration over the
+//! group size `m` behind Fig 18.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_bitslice::{BitPlanes, IntMatrix};
+//! use mcbp_brcr::BrcrEngine;
+//!
+//! let w = IntMatrix::from_rows(8, &[[3i32, -1, 0, 3], [1, 1, 1, 1]])?;
+//! let planes = BitPlanes::from_matrix(&w);
+//! let engine = BrcrEngine::new(2);
+//! let (y, ops) = engine.gemv(&planes, &[10, 20, 30, 40]);
+//! assert_eq!(y, w.matvec(&[10, 20, 30, 40])?);
+//! assert!(ops.total_adds() > 0);
+//! # Ok::<(), mcbp_bitslice::BitSliceError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cam;
+pub mod cluster;
+pub mod cost;
+pub mod factorize;
+
+mod engine;
+mod merge;
+mod reconstruct;
+
+pub use engine::{BrcrEngine, OpCounts};
+pub use merge::{merge_activations, MergeResult};
+pub use reconstruct::{reconstruct, ReconstructResult};

@@ -1,0 +1,148 @@
+use mcbp_bitslice::group::SignedPattern;
+
+/// Result of the addition-merge step (Fig 7b, step 1) for one group.
+///
+/// The merged activation vectors (MAVs) have `2^m` entries; entry `p` holds
+/// the sum of all activations whose column pattern equals `p`. Entry 0 is by
+/// construction never written (zero columns are skipped — "z₀ represents
+/// activations multiplied by zero, which can be directly eliminated").
+///
+/// Two rails are kept because weights are sign–magnitude: `mav_pos`
+/// accumulates activations under positive weights, `mav_neg` under negative
+/// ones (see DESIGN.md §1, "Sign handling in BRCR").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeResult {
+    /// Positive-rail MAV, length `2^m`.
+    pub mav_pos: Vec<i64>,
+    /// Negative-rail MAV, length `2^m`.
+    pub mav_neg: Vec<i64>,
+    /// Accumulation operations issued (one per nonzero rail per column);
+    /// this is the quantity the paper bounds by `H·(1 − bs)`.
+    pub accumulates: u64,
+    /// Accumulates that hit an already-occupied MAV register (true adder
+    /// activations; first writes are register loads).
+    pub true_adds: u64,
+    /// Columns skipped entirely because both rails were zero.
+    pub zero_columns: u64,
+}
+
+impl MergeResult {
+    /// Number of distinct nonzero patterns present across both rails.
+    #[must_use]
+    pub fn occupied_entries(&self) -> usize {
+        let pos = self.mav_pos.iter().skip(1).filter(|v| **v != 0).count();
+        let neg = self.mav_neg.iter().skip(1).filter(|v| **v != 0).count();
+        pos + neg
+    }
+}
+
+/// Merges activations by signed column pattern (the AMU of Fig 14-❸).
+///
+/// `patterns[c]` is the signed `m`-bit pattern of column `c` in the group
+/// matrix and `x[c]` the corresponding activation.
+///
+/// # Panics
+///
+/// Panics if `patterns.len() != x.len()`, `m == 0` or `m > 16`, or a
+/// pattern has bits set at or above `m`.
+#[must_use]
+pub fn merge_activations(patterns: &[SignedPattern], x: &[i32], m: usize) -> MergeResult {
+    assert_eq!(patterns.len(), x.len(), "pattern/activation length mismatch");
+    assert!((1..=16).contains(&m), "group size {m} out of range");
+    let size = 1usize << m;
+    let mut mav_pos = vec![0i64; size];
+    let mut mav_neg = vec![0i64; size];
+    let mut pos_written = vec![false; size];
+    let mut neg_written = vec![false; size];
+    let mut accumulates = 0u64;
+    let mut true_adds = 0u64;
+    let mut zero_columns = 0u64;
+    for (&p, &xv) in patterns.iter().zip(x) {
+        assert!(
+            (p.pos as usize) < size && (p.neg as usize) < size,
+            "pattern wider than group size"
+        );
+        if p.is_zero() {
+            zero_columns += 1;
+            continue;
+        }
+        if p.pos != 0 {
+            let idx = p.pos as usize;
+            if pos_written[idx] {
+                true_adds += 1;
+            }
+            pos_written[idx] = true;
+            mav_pos[idx] += i64::from(xv);
+            accumulates += 1;
+        }
+        if p.neg != 0 {
+            let idx = p.neg as usize;
+            if neg_written[idx] {
+                true_adds += 1;
+            }
+            neg_written[idx] = true;
+            mav_neg[idx] += i64::from(xv);
+            accumulates += 1;
+        }
+    }
+    MergeResult { mav_pos, mav_neg, accumulates, true_adds, zero_columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(pos: u32, neg: u32) -> SignedPattern {
+        SignedPattern { pos, neg }
+    }
+
+    #[test]
+    fn paper_fig7_style_merge() {
+        // Columns 3 and 4 share pattern 010 -> x3 + x4 land in z2.
+        let patterns = [
+            pat(0b000, 0), // zero column, skipped
+            pat(0b011, 0),
+            pat(0b100, 0),
+            pat(0b010, 0),
+            pat(0b010, 0),
+        ];
+        let x = [7, 1, 2, 3, 4];
+        let r = merge_activations(&patterns, &x, 3);
+        assert_eq!(r.mav_pos[0b010], 7);
+        assert_eq!(r.mav_pos[0b011], 1);
+        assert_eq!(r.mav_pos[0b100], 2);
+        assert_eq!(r.zero_columns, 1);
+        assert_eq!(r.accumulates, 4);
+        assert_eq!(r.true_adds, 1); // only the second write to z2 is an add
+    }
+
+    #[test]
+    fn mixed_sign_column_feeds_both_rails() {
+        let patterns = [pat(0b01, 0b10)];
+        let r = merge_activations(&patterns, &[5], 2);
+        assert_eq!(r.mav_pos[0b01], 5);
+        assert_eq!(r.mav_neg[0b10], 5);
+        assert_eq!(r.accumulates, 2);
+    }
+
+    #[test]
+    fn entry_zero_is_never_written() {
+        let patterns = [pat(0, 0), pat(1, 0)];
+        let r = merge_activations(&patterns, &[100, 1], 1);
+        assert_eq!(r.mav_pos[0], 0);
+        assert_eq!(r.mav_neg[0], 0);
+    }
+
+    #[test]
+    fn occupied_entries_counts_both_rails() {
+        let patterns = [pat(0b01, 0), pat(0, 0b10), pat(0b01, 0)];
+        let r = merge_activations(&patterns, &[1, 2, 3], 2);
+        assert_eq!(r.occupied_entries(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = merge_activations(&[pat(1, 0)], &[1, 2], 2);
+    }
+}

@@ -1,0 +1,85 @@
+/// Result of the computation-reconstruction step (Fig 7c / Fig 14-❹).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructResult {
+    /// The `m` reconstructed outputs: `y_i = Σ_{p : bit i of p set} mav[p]`.
+    pub y: Vec<i64>,
+    /// Adder activations for MAV entries that are actually nonzero (what a
+    /// clock-gated datapath pays).
+    pub adds: u64,
+    /// Adds the fixed (non-gated) datapath would perform: `m · 2^{m−1}`.
+    pub fixed_datapath_adds: u64,
+}
+
+/// Reconstructs the `m` group outputs from a merged activation vector.
+///
+/// The enumeration matrix of §3.1 is *fixed* for a given `m` — row `i`
+/// selects exactly the `2^{m−1}` patterns whose bit `i` is set — so the
+/// hardware reconstruction unit is a fixed adder network. Following Fig 14-❹
+/// the implementation walks outputs from `y_{m−1}` down to `y_0`; the
+/// reversed order maximizes operand reuse in the fixed adders (the paper's
+/// "extend the data lifecycle in adders" trick, a power optimization that
+/// does not change the results or the add count).
+///
+/// # Panics
+///
+/// Panics if `mav.len() != 2^m` or `m` is 0 or greater than 16.
+#[must_use]
+pub fn reconstruct(mav: &[i64], m: usize) -> ReconstructResult {
+    assert!((1..=16).contains(&m), "group size {m} out of range");
+    let size = 1usize << m;
+    assert_eq!(mav.len(), size, "MAV length must be 2^m");
+    let mut y = vec![0i64; m];
+    let mut adds = 0u64;
+    // y_{m-1} first, then downwards (register-reuse schedule of Fig 14-❹).
+    for i in (0..m).rev() {
+        let bit = 1usize << i;
+        let mut acc = 0i64;
+        for (p, &v) in mav.iter().enumerate().skip(1) {
+            if p & bit != 0 && v != 0 {
+                acc += v;
+                adds += 1;
+            }
+        }
+        y[i] = acc;
+    }
+    ReconstructResult { y, adds, fixed_datapath_adds: (m as u64) << (m - 1) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruct_matches_direct_formula() {
+        // m = 3: y2 = z4+z5+z6+z7, y1 = z2+z3+z6+z7, y0 = z1+z3+z5+z7.
+        let mav = [0i64, 1, 2, 3, 4, 5, 6, 7];
+        let r = reconstruct(&mav, 3);
+        assert_eq!(r.y, vec![1 + 3 + 5 + 7, 2 + 3 + 6 + 7, 4 + 5 + 6 + 7]);
+        assert_eq!(r.fixed_datapath_adds, 12);
+        assert_eq!(r.adds, 12); // all entries nonzero
+    }
+
+    #[test]
+    fn gating_skips_zero_entries() {
+        let mut mav = vec![0i64; 16];
+        mav[0b0001] = 9;
+        let r = reconstruct(&mav, 4);
+        assert_eq!(r.y, vec![9, 0, 0, 0]);
+        assert_eq!(r.adds, 1);
+        assert_eq!(r.fixed_datapath_adds, 32);
+    }
+
+    #[test]
+    fn single_row_group() {
+        let mav = [0i64, 42];
+        let r = reconstruct(&mav, 1);
+        assert_eq!(r.y, vec![42]);
+        assert_eq!(r.fixed_datapath_adds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAV length")]
+    fn wrong_mav_length_panics() {
+        let _ = reconstruct(&[0i64; 7], 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Property test: the hardware PE-cluster walk (CAM + AMU trees + GSB +
+//! RU) and the algorithmic engine compute identical results on arbitrary
+//! inputs, for every group size.
+
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_brcr::cluster::PeCluster;
+use mcbp_brcr::BrcrEngine;
+use proptest::prelude::*;
+
+fn int_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = IntMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-127i32..=127, r * c)
+            .prop_map(move |data| IntMatrix::from_flat(8, r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cluster_equals_engine_and_reference(w in int_matrix(10, 48), m in 1usize..=8,
+                                           x in proptest::collection::vec(-128i32..=127, 48)) {
+        let x = &x[..w.cols()];
+        let planes = BitPlanes::from_matrix(&w);
+        let (hw, hw_stats) = PeCluster::new(m).gemv(&planes, x);
+        let (alg, _) = BrcrEngine::new(m).gemv(&planes, x);
+        prop_assert_eq!(&hw, &alg);
+        prop_assert_eq!(hw, w.matvec(x).unwrap());
+        // Every tree pass updates exactly one GSB register.
+        prop_assert_eq!(hw_stats.tree_passes, hw_stats.gsb_updates);
+    }
+
+    #[test]
+    fn cluster_cycles_bounded_by_enumeration(w in int_matrix(8, 64), m in 2usize..=6) {
+        let planes = BitPlanes::from_matrix(&w);
+        let x = vec![1i32; w.cols()];
+        let (_, stats) = PeCluster::new(m).gemv(&planes, &x);
+        // Searches never exceed (2^m - 1) per loaded tile.
+        prop_assert!(stats.cam_searches <= stats.tiles * ((1u64 << m) - 1));
+    }
+}

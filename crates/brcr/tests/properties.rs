@@ -1,0 +1,83 @@
+//! Property-based verification of BRCR's central invariant: the grouped,
+//! merged, reconstructed bit-slice computation is *exactly* the reference
+//! integer GEMV/GEMM (the paper's losslessness claim, §6).
+
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_brcr::cost;
+use mcbp_brcr::BrcrEngine;
+use proptest::prelude::*;
+
+fn int_matrix(bits: u8, max_rows: usize, max_cols: usize) -> impl Strategy<Value = IntMatrix> {
+    let limit = (1i32 << (bits - 1)) - 1;
+    (1..=max_rows, 1..=max_cols).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(-limit..=limit, r * c)
+            .prop_map(move |data| IntMatrix::from_flat(bits, r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BRCR GEMV is bit-exact for every group size.
+    #[test]
+    fn gemv_exact(w in int_matrix(8, 10, 40), m in 1usize..=8,
+                  x in proptest::collection::vec(-128i32..=127, 40)) {
+        let x = &x[..w.cols()];
+        let planes = BitPlanes::from_matrix(&w);
+        let (y, _) = BrcrEngine::new(m).gemv(&planes, x);
+        prop_assert_eq!(y, w.matvec(x).unwrap());
+    }
+
+    /// BRCR GEMV is bit-exact for INT4 weights too (the Fig 25/26 regime).
+    #[test]
+    fn gemv_exact_int4(w in int_matrix(4, 10, 30), m in 1usize..=6,
+                       x in proptest::collection::vec(-128i32..=127, 30)) {
+        let x = &x[..w.cols()];
+        let planes = BitPlanes::from_matrix(&w);
+        let (y, _) = BrcrEngine::new(m).gemv(&planes, x);
+        prop_assert_eq!(y, w.matvec(x).unwrap());
+    }
+
+    /// BRCR GEMM equals column-by-column GEMV (and the reference product).
+    #[test]
+    fn gemm_exact(w in int_matrix(8, 8, 20), n in 1usize..=6, m in 1usize..=5) {
+        let mut data = Vec::new();
+        for i in 0..w.cols() * n {
+            data.push(((i * 37) as i32 % 255) - 127);
+        }
+        let xs = IntMatrix::from_flat(8, w.cols(), n, data).unwrap();
+        let planes = BitPlanes::from_matrix(&w);
+        let (out, _) = BrcrEngine::new(m).gemm(&planes, &xs);
+        prop_assert_eq!(out, w.matmul(&xs).unwrap());
+    }
+
+    /// Measured merge work respects the structural bound: at most two
+    /// accumulates (dual rail) per nonzero column.
+    #[test]
+    fn merge_bound(w in int_matrix(8, 12, 48), m in 1usize..=8,
+                   x in proptest::collection::vec(-128i32..=127, 48)) {
+        let x = &x[..w.cols()];
+        let planes = BitPlanes::from_matrix(&w);
+        let (_, ops) = BrcrEngine::new(m).gemv(&planes, x);
+        prop_assert!(ops.merge_accumulates <= 2 * (ops.columns_processed - ops.zero_columns));
+        prop_assert!(ops.zero_columns <= ops.columns_processed);
+    }
+
+    /// Reconstruction work never exceeds the fixed datapath.
+    #[test]
+    fn reconstruct_bound(w in int_matrix(8, 12, 48), m in 1usize..=8,
+                         x in proptest::collection::vec(-128i32..=127, 48)) {
+        let x = &x[..w.cols()];
+        let planes = BitPlanes::from_matrix(&w);
+        let (_, ops) = BrcrEngine::new(m).gemv(&planes, x);
+        prop_assert!(ops.reconstruct_adds <= ops.reconstruct_fixed_adds);
+    }
+
+    /// The closed-form cost is monotone: more sparsity never costs more.
+    #[test]
+    fn cost_monotone_in_sparsity(h in 64usize..4096, m in 1usize..=10,
+                                 bs1 in 0.0f64..1.0, bs2 in 0.0f64..1.0) {
+        let (lo, hi) = if bs1 <= bs2 { (bs1, bs2) } else { (bs2, bs1) };
+        prop_assert!(cost::brcr_group_adds(8, h, m, hi) <= cost::brcr_group_adds(8, h, m, lo));
+    }
+}

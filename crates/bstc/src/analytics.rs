@@ -1,0 +1,139 @@
+//! Compression-ratio analytics: the closed forms behind Fig 8(b) and the
+//! break-even threshold that selects which planes to code.
+//!
+//! For a plane with i.i.d. bit sparsity `p` and group size `m`, a column
+//! group is all-zero with probability `p^m`, so the expected coded size per
+//! group is `p^m · 1 + (1 − p^m)(m + 1)` bits against `m` raw bits:
+//!
+//! ```text
+//! CR(m, p) = m / (p^m + (1 − p^m)·(m + 1))
+//! ```
+//!
+//! The curves reproduce both qualitative findings of Fig 8(b): the ratio
+//! peaks at a moderate `m` (≈ 4) and only exceeds 1 once sparsity clears
+//! roughly 65 %.
+
+/// Expected compression ratio for i.i.d. bit sparsity `p` and group size
+/// `m`.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or greater than 32, or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn expected_cr(m: usize, p: f64) -> f64 {
+    assert!((1..=32).contains(&m), "group size {m} out of range");
+    assert!((0.0..=1.0).contains(&p), "sparsity {p} out of range");
+    let zero_prob = p.powi(m as i32);
+    m as f64 / (zero_prob + (1.0 - zero_prob) * (m as f64 + 1.0))
+}
+
+/// Measured compression ratio given the actual zero-group fraction `z`
+/// (from [`mcbp_bitslice::stats::zero_group_fraction`]); exact regardless
+/// of bit correlations.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or `z` is outside `[0, 1]`.
+#[must_use]
+pub fn measured_cr(m: usize, z: f64) -> f64 {
+    assert!(m >= 1, "group size must be positive");
+    assert!((0.0..=1.0).contains(&z), "zero fraction {z} out of range");
+    m as f64 / (z + (1.0 - z) * (m as f64 + 1.0))
+}
+
+/// The sparsity at which coding breaks even (`CR = 1`) for group size `m`,
+/// found by bisection. The paper quotes ≈ 0.65 for `m = 4`.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or greater than 32.
+#[must_use]
+pub fn break_even_sparsity(m: usize) -> f64 {
+    assert!((1..=32).contains(&m), "group size {m} out of range");
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if expected_cr(m, mid) < 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Sweeps `m` for a fixed sparsity, returning `(m, CR)` pairs — one curve
+/// of Fig 8(b).
+#[must_use]
+pub fn cr_curve(m_max: usize, p: f64) -> Vec<(usize, f64)> {
+    (1..=m_max).map(|m| (m, expected_cr(m, p))).collect()
+}
+
+/// The `m` maximizing the expected CR at sparsity `p`.
+#[must_use]
+pub fn optimal_group_size(m_max: usize, p: f64) -> usize {
+    cr_curve(m_max, p)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("CR is finite"))
+        .map(|(m, _)| m)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cr_exceeds_one_only_past_break_even() {
+        for m in [2usize, 4, 8] {
+            let be = break_even_sparsity(m);
+            assert!(expected_cr(m, be - 0.02) < 1.0);
+            assert!(expected_cr(m, be + 0.02) > 1.0);
+        }
+    }
+
+    #[test]
+    fn break_even_near_paper_65_percent() {
+        // Fig 8(b): "when SR exceeds 65%, BSTC can achieve positive benefits".
+        let be = break_even_sparsity(4);
+        assert!((0.60..=0.72).contains(&be), "break-even {be}");
+    }
+
+    #[test]
+    fn optimum_near_m4_at_high_sparsity() {
+        // Fig 8(b): "m=4 maximizes CR by capturing all-zero columns".
+        for p in [0.85, 0.9, 0.95] {
+            let m = optimal_group_size(10, p);
+            assert!((3..=6).contains(&m), "p={p}: optimal m={m}");
+        }
+    }
+
+    #[test]
+    fn very_large_groups_lose() {
+        // "an excessively large m may reduce the compression ratio".
+        assert!(expected_cr(10, 0.9) < expected_cr(4, 0.9));
+    }
+
+    #[test]
+    fn higher_sparsity_favors_larger_groups() {
+        // "when the SR is high, a larger group size m tends to yield a
+        // higher compression ratio".
+        assert!(optimal_group_size(12, 0.98) >= optimal_group_size(12, 0.80));
+    }
+
+    #[test]
+    fn m1_never_compresses() {
+        // With m=1 every nonzero bit costs 2 bits: CR <= 1 always.
+        for p in [0.0, 0.3, 0.6, 0.9, 0.99] {
+            assert!(expected_cr(1, p) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn measured_matches_expected_for_iid_zero_fraction() {
+        let p: f64 = 0.9;
+        let m = 4;
+        let z = p.powi(m as i32);
+        assert!((measured_cr(m, z) - expected_cr(m, p)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+/// An append-only bit stream writer (LSB-first within 64-bit words).
+///
+/// Models the serialized output of the BSTC encoder of Fig 15(a): a stream
+/// of `0` markers and `1 + m`-bit symbols of varying length.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bstc::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.push_bit(true);
+/// w.push_bits(0b1010, 4);
+/// let mut r = BitReader::new(w.as_words(), w.len());
+/// assert_eq!(r.read_bit(), Some(true));
+/// assert_eq!(r.read_bits(4), Some(0b1010));
+/// assert_eq!(r.read_bit(), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `n` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn push_bits(&mut self, value: u32, n: usize) {
+        assert!(n <= 32, "cannot push more than 32 bits at once");
+        for i in 0..n {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// The backing words (bits past `len()` are zero).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A sequential reader over a bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `len` bits of `words`.
+    #[must_use]
+    pub fn new(words: &'a [u64], len: usize) -> Self {
+        BitReader { words, len, pos: 0 }
+    }
+
+    /// Bits remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads one bit, or `None` at end of stream.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let bit = (self.words[self.pos / 64] >> (self.pos % 64)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits LSB-first, or `None` if fewer than `n` remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn read_bits(&mut self, n: usize) -> Option<u32> {
+        assert!(n <= 32, "cannot read more than 32 bits at once");
+        if self.remaining() < n {
+            return None;
+        }
+        let mut v = 0u32;
+        for i in 0..n {
+            if self.read_bit().expect("length checked") {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_across_word_boundaries() {
+        let mut w = BitWriter::new();
+        for i in 0..200u32 {
+            w.push_bits(i % 8, 3);
+        }
+        assert_eq!(w.len(), 600);
+        let mut r = BitReader::new(w.as_words(), w.len());
+        for i in 0..200u32 {
+            assert_eq!(r.read_bits(3), Some(i % 8));
+        }
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        let mut r = BitReader::new(w.as_words(), w.len());
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn partial_read_returns_none_without_consuming() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b11, 2);
+        let mut r = BitReader::new(w.as_words(), w.len());
+        assert_eq!(r.read_bits(3), None);
+        assert_eq!(r.read_bits(2), Some(0b11));
+    }
+}

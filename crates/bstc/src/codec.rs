@@ -1,0 +1,348 @@
+use mcbp_bitslice::{BitMatrix, BitPlanes};
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Which magnitude planes are two-state coded (the rest are stored raw).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlaneSelection {
+    /// Compress a fixed set of magnitude-plane indices (0 = LSB).
+    ByPosition(Vec<usize>),
+    /// Compress every plane whose measured sparsity exceeds the threshold
+    /// (the break-even analysis of Fig 8b puts it near 0.65).
+    BySparsity(f64),
+}
+
+impl PlaneSelection {
+    /// The paper's default for INT8: compress magnitude bits 3–7
+    /// (1-indexed), i.e. plane indices 2..=6 here; bits 1, 2 and the sign
+    /// plane stay raw (Fig 8a/c).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PlaneSelection::ByPosition(vec![2, 3, 4, 5, 6])
+    }
+
+    /// Decides whether plane `idx` with measured sparsity `sr` is coded.
+    #[must_use]
+    pub fn should_compress(&self, idx: usize, sr: f64) -> bool {
+        match self {
+            PlaneSelection::ByPosition(set) => set.contains(&idx),
+            PlaneSelection::BySparsity(thr) => sr > *thr,
+        }
+    }
+}
+
+/// One encoded magnitude plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedPlane {
+    /// Stored raw (low-sparsity planes; no coding gain).
+    Raw(BitMatrix),
+    /// Two-state coded stream of `m`-bit column groups.
+    Coded {
+        /// The bit stream: `0` per zero group, `1 + m` bits per nonzero one.
+        stream: BitWriter,
+        /// Groups encoded (for cycle accounting: one group per decoder
+        /// cycle, Fig 15b).
+        groups: u64,
+        /// Nonzero groups (each cost `m + 1` bits).
+        nonzero_groups: u64,
+    },
+}
+
+impl EncodedPlane {
+    /// Size of this plane's stored form in bits.
+    #[must_use]
+    pub fn stored_bits(&self) -> u64 {
+        match self {
+            EncodedPlane::Raw(p) => (p.rows() * p.cols()) as u64,
+            EncodedPlane::Coded { stream, .. } => stream.len() as u64,
+        }
+    }
+
+    /// Whether this plane required decoding work.
+    #[must_use]
+    pub fn is_coded(&self) -> bool {
+        matches!(self, EncodedPlane::Coded { .. })
+    }
+}
+
+/// Encoder/decoder work counters (drive the CODEC unit's cycle/energy
+/// accounting in the simulator).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Column groups passed through an encoder or decoder lane.
+    pub groups: u64,
+    /// Bits emitted (encode) or consumed (decode).
+    pub bits: u64,
+    /// Groups that were nonzero symbols (`m + 1` bits each).
+    pub nonzero_groups: u64,
+}
+
+/// A fully encoded weight tensor: per-plane two-state streams plus raw
+/// planes and the raw sign plane, at BRCR's group granularity `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedWeights {
+    bits: u8,
+    rows: usize,
+    cols: usize,
+    m: usize,
+    planes: Vec<EncodedPlane>,
+    sign: BitMatrix,
+}
+
+impl EncodedWeights {
+    /// Encodes a bit-plane decomposition with group size `m` under the
+    /// given plane-selection policy.
+    ///
+    /// Groups run along the row (group-size) dimension, matching the BRCR
+    /// compute granularity and the HBM layout of Fig 13. The tail group of
+    /// a plane whose row count is not a multiple of `m` is padded with
+    /// zeros in the stream (the pad is dropped on decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or greater than 16.
+    #[must_use]
+    pub fn encode(planes: &BitPlanes, m: usize, selection: PlaneSelection) -> Self {
+        assert!((1..=16).contains(&m), "group size {m} out of range");
+        let rows = planes.rows();
+        let cols = planes.cols();
+        let mut encoded = Vec::with_capacity(planes.magnitude_planes());
+        for b in 0..planes.magnitude_planes() {
+            let plane = planes.magnitude(b);
+            if !selection.should_compress(b, plane.sparsity()) {
+                encoded.push(EncodedPlane::Raw(plane.clone()));
+                continue;
+            }
+            let mut stream = BitWriter::new();
+            let mut groups = 0u64;
+            let mut nonzero_groups = 0u64;
+            let mut pats = vec![0u32; cols];
+            let mut row0 = 0;
+            while row0 < rows {
+                let size = m.min(rows - row0);
+                plane.column_patterns_into(row0, size, &mut pats);
+                for &p in &pats {
+                    groups += 1;
+                    if p == 0 {
+                        stream.push_bit(false);
+                    } else {
+                        nonzero_groups += 1;
+                        stream.push_bit(true);
+                        // Always emit m bits (tail groups zero-padded) so
+                        // the decoder's SIPO width is fixed, as in Fig 15b.
+                        stream.push_bits(p, m);
+                    }
+                }
+                row0 += size;
+            }
+            encoded.push(EncodedPlane::Coded { stream, groups, nonzero_groups });
+        }
+        EncodedWeights { bits: planes.bits(), rows, cols, m, planes: encoded, sign: planes.sign().clone() }
+    }
+
+    /// Group size used for coding.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.m
+    }
+
+    /// Per-plane encoded forms.
+    #[must_use]
+    pub fn planes(&self) -> &[EncodedPlane] {
+        &self.planes
+    }
+
+    /// Total stored size (all magnitude planes + raw sign plane) in bits.
+    #[must_use]
+    pub fn compressed_bits(&self) -> u64 {
+        let mag: u64 = self.planes.iter().map(EncodedPlane::stored_bits).sum();
+        mag + (self.rows * self.cols) as u64
+    }
+
+    /// Uncompressed size (`bits × rows × cols`) in bits.
+    #[must_use]
+    pub fn raw_bits(&self) -> u64 {
+        u64::from(self.bits) * (self.rows * self.cols) as u64
+    }
+
+    /// Overall compression ratio `raw / compressed` (> 1 is a win).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        self.raw_bits() as f64 / self.compressed_bits() as f64
+    }
+
+    /// Decodes back to the exact original decomposition, accumulating
+    /// decoder work into `stats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams are corrupt (cannot happen for values produced
+    /// by [`encode`](Self::encode)).
+    #[must_use]
+    pub fn decode_with_stats(&self, stats: &mut CodecStats) -> BitPlanes {
+        let mut mags: Vec<BitMatrix> = Vec::with_capacity(self.planes.len());
+        for plane in &self.planes {
+            match plane {
+                EncodedPlane::Raw(p) => mags.push(p.clone()),
+                EncodedPlane::Coded { stream, .. } => {
+                    let mut out = BitMatrix::zeros(self.rows, self.cols);
+                    let mut reader = BitReader::new(stream.as_words(), stream.len());
+                    let mut row0 = 0;
+                    while row0 < self.rows {
+                        let size = self.m.min(self.rows - row0);
+                        for c in 0..self.cols {
+                            stats.groups += 1;
+                            let marker = reader.read_bit().expect("truncated stream");
+                            stats.bits += 1;
+                            if !marker {
+                                continue;
+                            }
+                            let pat = reader.read_bits(self.m).expect("truncated symbol");
+                            stats.bits += self.m as u64;
+                            stats.nonzero_groups += 1;
+                            for i in 0..size {
+                                if (pat >> i) & 1 == 1 {
+                                    out.set(row0 + i, c, true);
+                                }
+                            }
+                        }
+                        row0 += size;
+                    }
+                    mags.push(out);
+                }
+            }
+        }
+        rebuild_planes(self.bits, &mags, &self.sign)
+    }
+
+    /// Decodes without collecting statistics.
+    #[must_use]
+    pub fn decode(&self) -> BitPlanes {
+        let mut stats = CodecStats::default();
+        self.decode_with_stats(&mut stats)
+    }
+}
+
+/// Rebuilds a [`BitPlanes`] from loose parts by reconstituting the value
+/// matrix (keeps `BitPlanes` encapsulated without a public constructor for
+/// arbitrary plane sets).
+fn rebuild_planes(bits: u8, mags: &[BitMatrix], sign: &BitMatrix) -> BitPlanes {
+    let rows = sign.rows();
+    let cols = sign.cols();
+    let mut flat = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut mag = 0i32;
+            for (b, plane) in mags.iter().enumerate() {
+                if plane.get(r, c) {
+                    mag |= 1 << b;
+                }
+            }
+            flat.push(if sign.get(r, c) { -mag } else { mag });
+        }
+    }
+    let m = mcbp_bitslice::IntMatrix::from_flat(bits, rows, cols, flat)
+        .expect("decoded magnitudes fit the declared width");
+    BitPlanes::from_matrix(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_bitslice::IntMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_like(rows: usize, cols: usize, seed: u64) -> IntMatrix {
+        // Small magnitudes dominate, like quantized LLM weights.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<i32> = (0..rows * cols)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                if r < 0.7 {
+                    rng.gen_range(-7..=7)
+                } else if r < 0.95 {
+                    rng.gen_range(-31..=31)
+                } else {
+                    rng.gen_range(-127..=127)
+                }
+            })
+            .collect();
+        IntMatrix::from_flat(8, rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_paper_default() {
+        let w = gaussian_like(16, 128, 1);
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+        assert_eq!(enc.decode().to_matrix(), w);
+    }
+
+    #[test]
+    fn roundtrip_with_ragged_rows() {
+        let w = gaussian_like(13, 50, 2); // 13 % 4 != 0 exercises tail pad
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::BySparsity(0.0));
+        assert_eq!(enc.decode().to_matrix(), w);
+    }
+
+    #[test]
+    fn high_order_planes_compress_well() {
+        let w = gaussian_like(64, 512, 3);
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+        assert!(
+            enc.compression_ratio() > 1.1,
+            "expected coding gain, got {}",
+            enc.compression_ratio()
+        );
+        // The MSB magnitude plane (index 6) must be coded and tiny.
+        let msb = &enc.planes()[6];
+        assert!(msb.is_coded());
+        assert!(msb.stored_bits() < (64 * 512) / 2);
+    }
+
+    #[test]
+    fn dense_plane_kept_raw_by_sparsity_policy() {
+        let w = gaussian_like(16, 64, 4);
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::BySparsity(0.65));
+        // Plane 0 (LSB) of LLM-like weights is dense => raw.
+        assert!(!enc.planes()[0].is_coded());
+    }
+
+    #[test]
+    fn coding_a_dense_plane_inflates() {
+        // Force-compress everything: the dense LSB plane should inflate,
+        // demonstrating why the paper leaves bits 1-2 raw.
+        let w = gaussian_like(16, 256, 5);
+        let planes = BitPlanes::from_matrix(&w);
+        let all = PlaneSelection::ByPosition((0..7).collect());
+        let enc = EncodedWeights::encode(&planes, 4, all);
+        let lsb = &enc.planes()[0];
+        assert!(lsb.stored_bits() > (16 * 256) as u64, "dense plane must inflate");
+    }
+
+    #[test]
+    fn decode_stats_count_groups() {
+        let w = gaussian_like(8, 32, 6);
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+        let mut stats = CodecStats::default();
+        let _ = enc.decode_with_stats(&mut stats);
+        // 5 coded planes x (8/4 groups per column) x 32 columns.
+        assert_eq!(stats.groups, 5 * 2 * 32);
+        assert!(stats.bits >= stats.groups);
+    }
+
+    #[test]
+    fn empty_selection_stores_everything_raw() {
+        let w = gaussian_like(8, 32, 7);
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::ByPosition(vec![]));
+        assert_eq!(enc.compressed_bits(), enc.raw_bits());
+        assert_eq!(enc.decode(), planes);
+    }
+}

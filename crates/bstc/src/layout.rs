@@ -1,0 +1,306 @@
+//! The segmented, parallel-decodable weight layout of Fig 15(c).
+//!
+//! A coded plane's stream has variable length, which would serialize
+//! decoding. MCBP partitions the weight matrix along the hidden dimension
+//! into fixed-width *sub-weights*, encodes each independently, stores each
+//! in its own SRAM bank, and keeps a directory of starting addresses (three
+//! directory rows cover up to 12 sub-matrices — "the weight size of most
+//! LLMs"). Decoders then run one-per-bank in parallel.
+
+use mcbp_bitslice::{BitMatrix, BitPlanes};
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::codec::CodecStats;
+
+/// Geometry of an SRAM bank holding coded sub-weights (Fig 15c: 64 columns
+/// × 1024 rows of 16-bit words in the paper's drawing; we model capacity in
+/// bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankGeometry {
+    /// Bits per bank row (one row is fetched per cycle).
+    pub row_bits: usize,
+    /// Rows per bank.
+    pub rows: usize,
+}
+
+impl Default for BankGeometry {
+    fn default() -> Self {
+        // 64 columns x 16-bit words per row = 1024 bits per row.
+        BankGeometry { row_bits: 1024, rows: 1024 }
+    }
+}
+
+impl BankGeometry {
+    /// Bank capacity in bits.
+    #[must_use]
+    pub fn capacity_bits(&self) -> usize {
+        self.row_bits * self.rows
+    }
+}
+
+/// One directory entry: where a sub-weight's stream starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Bank that stores the sub-weight.
+    pub bank: usize,
+    /// Starting bit offset within the bank.
+    pub bit_offset: usize,
+    /// Stream length in bits.
+    pub len_bits: usize,
+}
+
+/// A segmented layout of one coded magnitude plane.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_bitslice::{BitPlanes, IntMatrix};
+/// use mcbp_bstc::layout::SegmentedLayout;
+///
+/// let w = IntMatrix::from_rows(8, &[[64i32, 0, 0, 0], [0, 0, -64, 0]])?;
+/// let planes = BitPlanes::from_matrix(&w);
+/// let layout = SegmentedLayout::build(planes.magnitude(6), 4, 2);
+/// let decoded = layout.decode_parallel();
+/// assert_eq!(&decoded, planes.magnitude(6));
+/// # Ok::<(), mcbp_bitslice::BitSliceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedLayout {
+    rows: usize,
+    cols: usize,
+    m: usize,
+    segment_cols: usize,
+    directory: Vec<DirectoryEntry>,
+    banks: Vec<BitWriter>,
+    geometry: BankGeometry,
+}
+
+impl SegmentedLayout {
+    /// Encodes `plane` into segments of `segment_cols` columns with group
+    /// size `m`, one bank per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_cols` or `m` is zero, or `m > 16`.
+    #[must_use]
+    pub fn build(plane: &BitMatrix, m: usize, segment_cols: usize) -> Self {
+        Self::build_with_geometry(plane, m, segment_cols, BankGeometry::default())
+    }
+
+    /// [`build`](Self::build) with explicit bank geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes, `m > 16`, or a segment overflowing a bank.
+    #[must_use]
+    pub fn build_with_geometry(
+        plane: &BitMatrix,
+        m: usize,
+        segment_cols: usize,
+        geometry: BankGeometry,
+    ) -> Self {
+        assert!(segment_cols >= 1, "segment width must be positive");
+        assert!((1..=16).contains(&m), "group size {m} out of range");
+        let rows = plane.rows();
+        let cols = plane.cols();
+        let mut directory = Vec::new();
+        let mut banks = Vec::new();
+        let mut pats = vec![0u32; cols];
+        for (seg_idx, seg_start) in (0..cols).step_by(segment_cols).enumerate() {
+            let seg_end = (seg_start + segment_cols).min(cols);
+            let mut stream = BitWriter::new();
+            let mut row0 = 0;
+            while row0 < rows {
+                let size = m.min(rows - row0);
+                plane.column_patterns_into(row0, size, &mut pats);
+                for &p in &pats[seg_start..seg_end] {
+                    if p == 0 {
+                        stream.push_bit(false);
+                    } else {
+                        stream.push_bit(true);
+                        stream.push_bits(p, m);
+                    }
+                }
+                row0 += size;
+            }
+            assert!(
+                stream.len() <= geometry.capacity_bits(),
+                "segment {seg_idx} overflows its bank ({} > {} bits)",
+                stream.len(),
+                geometry.capacity_bits()
+            );
+            directory.push(DirectoryEntry { bank: seg_idx, bit_offset: 0, len_bits: stream.len() });
+            banks.push(stream);
+        }
+        SegmentedLayout { rows, cols, m, segment_cols, directory, banks, geometry }
+    }
+
+    /// The start-address directory (what the controller fetches first,
+    /// Fig 15c-❶).
+    #[must_use]
+    pub fn directory(&self) -> &[DirectoryEntry] {
+        &self.directory
+    }
+
+    /// Number of independent decoder lanes this layout supports.
+    #[must_use]
+    pub fn parallel_lanes(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Bank geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> BankGeometry {
+        self.geometry
+    }
+
+    /// Total stored bits across banks (directory overhead excluded).
+    #[must_use]
+    pub fn stored_bits(&self) -> u64 {
+        self.banks.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Decodes all segments (conceptually in parallel, one lane per bank)
+    /// back into the plane, with per-lane work accounting.
+    #[must_use]
+    pub fn decode_parallel_with_stats(&self, stats: &mut Vec<CodecStats>) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.rows, self.cols);
+        stats.clear();
+        for (entry, bank) in self.directory.iter().zip(&self.banks) {
+            let mut lane = CodecStats::default();
+            let seg_start = entry.bank * self.segment_cols;
+            let seg_end = (seg_start + self.segment_cols).min(self.cols);
+            let mut reader = BitReader::new(bank.as_words(), entry.len_bits);
+            let mut row0 = 0;
+            while row0 < self.rows {
+                let size = self.m.min(self.rows - row0);
+                for c in seg_start..seg_end {
+                    lane.groups += 1;
+                    let marker = reader.read_bit().expect("truncated stream");
+                    lane.bits += 1;
+                    if !marker {
+                        continue;
+                    }
+                    let pat = reader.read_bits(self.m).expect("truncated symbol");
+                    lane.bits += self.m as u64;
+                    lane.nonzero_groups += 1;
+                    for i in 0..size {
+                        if (pat >> i) & 1 == 1 {
+                            out.set(row0 + i, c, true);
+                        }
+                    }
+                }
+                row0 += size;
+            }
+            stats.push(lane);
+        }
+        out
+    }
+
+    /// Decodes without statistics.
+    #[must_use]
+    pub fn decode_parallel(&self) -> BitMatrix {
+        let mut stats = Vec::new();
+        self.decode_parallel_with_stats(&mut stats)
+    }
+
+    /// Decode latency in decoder cycles: serial is the sum of lane groups,
+    /// parallel is the maximum lane (one group per cycle per lane,
+    /// Fig 15b).
+    #[must_use]
+    pub fn decode_cycles(&self) -> (u64, u64) {
+        let mut stats = Vec::new();
+        let _ = self.decode_parallel_with_stats(&mut stats);
+        let serial: u64 = stats.iter().map(|s| s.groups).sum();
+        let parallel = stats.iter().map(|s| s.groups).max().unwrap_or(0);
+        (serial, parallel)
+    }
+}
+
+/// Builds layouts for every *coded* plane of a decomposition (planes the
+/// policy keeps raw are not laid out; they stream directly).
+#[must_use]
+pub fn layout_coded_planes(
+    planes: &BitPlanes,
+    m: usize,
+    segment_cols: usize,
+    coded: &[usize],
+) -> Vec<(usize, SegmentedLayout)> {
+    coded
+        .iter()
+        .map(|&b| (b, SegmentedLayout::build(planes.magnitude(b), m, segment_cols)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_bitslice::IntMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sparse_plane(rows: usize, cols: usize, density: f64, seed: u64) -> BitMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen::<f64>() < density {
+                    p.set(r, c, true);
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn parallel_decode_equals_original() {
+        let plane = sparse_plane(32, 300, 0.1, 1);
+        let layout = SegmentedLayout::build(&plane, 4, 100);
+        assert_eq!(layout.parallel_lanes(), 3);
+        assert_eq!(layout.decode_parallel(), plane);
+    }
+
+    #[test]
+    fn ragged_segment_and_rows_roundtrip() {
+        let plane = sparse_plane(13, 70, 0.3, 2);
+        let layout = SegmentedLayout::build(&plane, 4, 32); // 70 = 32+32+6
+        assert_eq!(layout.parallel_lanes(), 3);
+        assert_eq!(layout.decode_parallel(), plane);
+    }
+
+    #[test]
+    fn parallel_cuts_decode_latency() {
+        let plane = sparse_plane(64, 1024, 0.15, 3);
+        let layout = SegmentedLayout::build(&plane, 4, 256);
+        let (serial, parallel) = layout.decode_cycles();
+        assert!(parallel * 3 < serial, "parallel {parallel} vs serial {serial}");
+    }
+
+    #[test]
+    fn directory_lengths_match_bank_contents() {
+        let plane = sparse_plane(16, 128, 0.2, 4);
+        let layout = SegmentedLayout::build(&plane, 4, 64);
+        let dir_total: u64 = layout.directory().iter().map(|e| e.len_bits as u64).sum();
+        assert_eq!(dir_total, layout.stored_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its bank")]
+    fn bank_overflow_is_detected() {
+        let plane = sparse_plane(64, 64, 0.9, 5);
+        let tiny = BankGeometry { row_bits: 8, rows: 4 };
+        let _ = SegmentedLayout::build_with_geometry(&plane, 4, 64, tiny);
+    }
+
+    #[test]
+    fn layout_coded_planes_covers_selection() {
+        let w_data: Vec<i32> = (0..256).map(|i| (i % 15) - 7).collect();
+        let w = IntMatrix::from_flat(8, 16, 16, w_data).unwrap();
+        let planes = BitPlanes::from_matrix(&w);
+        let layouts = layout_coded_planes(&planes, 4, 8, &[2, 3, 4]);
+        assert_eq!(layouts.len(), 3);
+        for (b, layout) in layouts {
+            assert_eq!(layout.decode_parallel(), *planes.magnitude(b));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! BSTC — Bit-Slice-Sparsity-enabled Two-State Coding (§3.2, §4.4 of the
+//! MCBP paper): lossless weight compression along the bit-slice dimension.
+//!
+//! Quantized LLM weights are near-Gaussian, so high-order magnitude
+//! bit-planes are extremely sparse. BSTC encodes each plane independently in
+//! `m`-bit column groups (the *same* granularity as BRCR, so decompressed
+//! data feeds the compute unit without any reordering):
+//!
+//! * an all-zero column group encodes as the single bit `0`;
+//! * a nonzero group encodes as `1` followed by its `m` raw bits.
+//!
+//! Only planes whose sparsity clears the break-even point (~65 %) are
+//! compressed — in the paper, magnitude bits 3–7; bits 1, 2 and the sign
+//! plane are stored raw (Fig 8). The codec is lossless and the hardware
+//! encoder/decoder of Fig 15 is a comparator, a MUX and a 5-bit SIPO —
+//! modeled here with per-column cycle accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_bitslice::{BitPlanes, IntMatrix};
+//! use mcbp_bstc::{EncodedWeights, PlaneSelection};
+//!
+//! let w = IntMatrix::from_rows(8, &[[1i32, 0, 0, 0], [0, 0, 2, 0],
+//!                                   [0, 0, 0, 0], [3, 0, 0, -1]])?;
+//! let planes = BitPlanes::from_matrix(&w);
+//! let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+//! assert_eq!(enc.decode(), planes); // lossless
+//! assert!(enc.compressed_bits() < enc.raw_bits());
+//! # Ok::<(), mcbp_bitslice::BitSliceError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytics;
+pub mod hardware;
+pub mod layout;
+
+mod bitstream;
+mod codec;
+
+pub use bitstream::{BitReader, BitWriter};
+pub use codec::{CodecStats, EncodedPlane, EncodedWeights, PlaneSelection};

@@ -1,0 +1,80 @@
+//! Property-based tests: BSTC is lossless under every policy, group size,
+//! and layout, and its measured sizes obey the closed-form accounting.
+
+use mcbp_bitslice::stats::zero_group_fraction;
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_bstc::analytics::measured_cr;
+use mcbp_bstc::layout::SegmentedLayout;
+use mcbp_bstc::{EncodedPlane, EncodedWeights, PlaneSelection};
+use proptest::prelude::*;
+
+fn int_matrix(bits: u8, max_rows: usize, max_cols: usize) -> impl Strategy<Value = IntMatrix> {
+    let limit = (1i32 << (bits - 1)) - 1;
+    (1..=max_rows, 1..=max_cols).prop_flat_map(move |(r, c)| {
+        proptest::collection::vec(-limit..=limit, r * c)
+            .prop_map(move |data| IntMatrix::from_flat(bits, r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip through encode/decode is exact for any selection policy.
+    #[test]
+    fn codec_roundtrip(w in int_matrix(8, 20, 40), m in 1usize..=8, thr in 0.0f64..1.0) {
+        let planes = BitPlanes::from_matrix(&w);
+        for sel in [PlaneSelection::paper_default(), PlaneSelection::BySparsity(thr)] {
+            let enc = EncodedWeights::encode(&planes, m, sel);
+            prop_assert_eq!(enc.decode().to_matrix(), w.clone());
+        }
+    }
+
+    /// Round-trip for INT4 tensors (Fig 25/26 regime).
+    #[test]
+    fn codec_roundtrip_int4(w in int_matrix(4, 16, 32), m in 1usize..=6) {
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, m, PlaneSelection::BySparsity(0.5));
+        prop_assert_eq!(enc.decode().to_matrix(), w);
+    }
+
+    /// Per-plane coded size matches the two-state arithmetic exactly:
+    /// `zero_groups·1 + nonzero_groups·(m+1)` bits.
+    #[test]
+    fn coded_size_matches_arithmetic(w in int_matrix(8, 16, 32), m in 1usize..=8) {
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, m, PlaneSelection::BySparsity(0.0));
+        for (b, plane) in enc.planes().iter().enumerate() {
+            if let EncodedPlane::Coded { stream, groups, nonzero_groups } = plane {
+                let expected = (groups - nonzero_groups) + nonzero_groups * (m as u64 + 1);
+                prop_assert_eq!(stream.len() as u64, expected, "plane {}", b);
+                // ... and matches the analytics CR given the measured zero
+                // fraction, when rows divide evenly into groups.
+                if w.rows() % m == 0 {
+                    let z = zero_group_fraction(planes.magnitude(b), m);
+                    let raw = (w.rows() * w.cols()) as f64;
+                    let cr_measured = raw / stream.len() as f64;
+                    prop_assert!((cr_measured - measured_cr(m, z)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The segmented layout decodes identically to the monolithic codec.
+    #[test]
+    fn layout_roundtrip(w in int_matrix(8, 16, 60), m in 1usize..=8, seg in 1usize..=60) {
+        let planes = BitPlanes::from_matrix(&w);
+        for b in 0..planes.magnitude_planes() {
+            let layout = SegmentedLayout::build(planes.magnitude(b), m, seg);
+            prop_assert_eq!(&layout.decode_parallel(), planes.magnitude(b));
+        }
+    }
+
+    /// Raw storage is the exact fallback: an empty selection stores
+    /// `bits × rows × cols`.
+    #[test]
+    fn raw_fallback_size(w in int_matrix(8, 12, 24)) {
+        let planes = BitPlanes::from_matrix(&w);
+        let enc = EncodedWeights::encode(&planes, 4, PlaneSelection::ByPosition(vec![]));
+        prop_assert_eq!(enc.compressed_bits(), enc.raw_bits());
+    }
+}

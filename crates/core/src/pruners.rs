@@ -1,0 +1,142 @@
+use mcbp_bgpp::{BgppConfig, ProgressivePredictor, ValueTopK};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_model::{AttentionPruner, PrunerDecision};
+
+/// Plugs the bit-grained progressive predictor into the functional
+/// transformer's attention (the Fig 6 online flow): for each query, key
+/// bit-planes are streamed MSB-first and trivial keys are dropped early.
+///
+/// # Example
+///
+/// ```
+/// use mcbp::BgppPruner;
+/// use mcbp::bgpp::BgppConfig;
+/// use mcbp::model::{AttentionPruner, Transformer, TransformerConfig, QuantTransformer};
+/// use mcbp::quant::Calibration;
+///
+/// let model = Transformer::random(TransformerConfig::tiny(), 1);
+/// let tokens: Vec<usize> = (0..16).map(|i| i % 90).collect();
+/// let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+/// let pruner = BgppPruner::standard();
+/// let (_logits, stats) = quant.forward(&tokens, &pruner);
+/// assert!(stats.keys_kept <= stats.keys_total);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgppPruner {
+    predictor: ProgressivePredictor,
+}
+
+impl BgppPruner {
+    /// Creates a pruner from a BGPP configuration.
+    #[must_use]
+    pub fn new(cfg: BgppConfig) -> Self {
+        BgppPruner { predictor: ProgressivePredictor::new(cfg) }
+    }
+
+    /// The paper's standard operating point (α = 0.55, no accuracy loss
+    /// target).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(BgppConfig::standard())
+    }
+
+    /// The aggressive operating point (α = 0.45, ≤ 1 % loss target).
+    #[must_use]
+    pub fn aggressive() -> Self {
+        Self::new(BgppConfig::aggressive())
+    }
+
+    /// A pruner with an explicit per-round α (the Fig 24a sweep knob).
+    #[must_use]
+    pub fn with_alpha(alpha: f32) -> Self {
+        Self::new(BgppConfig { alpha: vec![alpha], ..BgppConfig::standard() })
+    }
+}
+
+impl AttentionPruner for BgppPruner {
+    fn select(&self, q: &[i32], keys: &IntMatrix, score_scale: f32) -> PrunerDecision {
+        // In hardware the K cache is already stored as bit planes ("BL K
+        // cache", Fig 6); decomposing here models that storage format.
+        let planes = BitPlanes::from_matrix(keys);
+        let out = self.predictor.predict(q, &planes, score_scale);
+        PrunerDecision { kept: out.survivors, bits_fetched: out.stats.k_bits_fetched }
+    }
+}
+
+/// The value-level top-k baseline as a pruner (4-bit MSB estimate over all
+/// keys, keep a fixed fraction) — the comparison point of Fig 5(e–g) and
+/// Table 2's conventional-top-k rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueTopKPruner {
+    /// Estimation precision in bits.
+    pub est_bits: usize,
+    /// Fraction of keys to keep (at least one key is always kept).
+    pub keep_fraction: f64,
+}
+
+impl ValueTopKPruner {
+    /// Creates the baseline pruner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(est_bits: usize, keep_fraction: f64) -> Self {
+        assert!(keep_fraction > 0.0 && keep_fraction <= 1.0, "invalid keep fraction");
+        ValueTopKPruner { est_bits, keep_fraction }
+    }
+}
+
+impl AttentionPruner for ValueTopKPruner {
+    fn select(&self, q: &[i32], keys: &IntMatrix, _score_scale: f32) -> PrunerDecision {
+        let k = ((keys.rows() as f64 * self.keep_fraction).ceil() as usize).max(1);
+        let planes = BitPlanes::from_matrix(keys);
+        let out = ValueTopK::new(self.est_bits, k).predict(q, &planes);
+        PrunerDecision { kept: out.selected, bits_fetched: out.k_bits_fetched }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_keys() -> IntMatrix {
+        IntMatrix::from_flat(
+            8,
+            6,
+            2,
+            vec![100, 100, -90, -90, 5, 5, 90, 90, 0, 0, -5, -5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bgpp_pruner_keeps_strong_keys() {
+        let pruner = BgppPruner::with_alpha(0.6);
+        let d = pruner.select(&[7, 7], &toy_keys(), 0.05);
+        assert!(d.kept.contains(&0), "strongest key must survive");
+        assert!(!d.kept.contains(&1), "most negative key must be dropped");
+        assert!(d.bits_fetched > 0);
+    }
+
+    #[test]
+    fn value_pruner_keeps_exact_fraction() {
+        let pruner = ValueTopKPruner::new(4, 0.5);
+        let d = pruner.select(&[7, 7], &toy_keys(), 0.05);
+        assert_eq!(d.kept.len(), 3);
+    }
+
+    #[test]
+    fn bgpp_fetches_fewer_bits_than_value_level() {
+        let keys = toy_keys();
+        let bgpp = BgppPruner::with_alpha(0.3).select(&[7, 7], &keys, 0.05);
+        let value = ValueTopKPruner::new(4, 0.5).select(&[7, 7], &keys, 0.05);
+        assert!(bgpp.bits_fetched <= value.bits_fetched + keys.cols() as u64 * keys.rows() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid keep fraction")]
+    fn value_pruner_validates_fraction() {
+        let _ = ValueTopKPruner::new(4, 0.0);
+    }
+}

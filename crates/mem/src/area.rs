@@ -1,0 +1,126 @@
+/// Silicon area by unit, in mm² (TSMC 28 nm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// CAM-based BRCR compute unit.
+    pub brcr_mm2: f64,
+    /// BSTC CODEC unit.
+    pub bstc_mm2: f64,
+    /// Clock-gated BGPP unit.
+    pub bgpp_mm2: f64,
+    /// On-chip SRAM (1248 KB total).
+    pub sram_mm2: f64,
+    /// Auxiliary processing unit.
+    pub apu_mm2: f64,
+    /// Scheduler / control.
+    pub scheduler_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area.
+    #[must_use]
+    pub fn total_mm2(&self) -> f64 {
+        self.brcr_mm2
+            + self.bstc_mm2
+            + self.bgpp_mm2
+            + self.sram_mm2
+            + self.apu_mm2
+            + self.scheduler_mm2
+    }
+
+    /// Fraction of the total taken by each unit, in the order
+    /// (BRCR, BSTC, BGPP, SRAM, APU, scheduler).
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total_mm2();
+        [
+            self.brcr_mm2 / t,
+            self.bstc_mm2 / t,
+            self.bgpp_mm2 / t,
+            self.sram_mm2 / t,
+            self.apu_mm2 / t,
+            self.scheduler_mm2 / t,
+        ]
+    }
+}
+
+/// Area model anchored to the paper's published breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    breakdown: AreaBreakdown,
+    technology_nm: u32,
+}
+
+impl AreaModel {
+    /// The paper's synthesized MCBP: 9.52 mm² at 28 nm split per Fig 22(a)
+    /// — BRCR 38.2 %, SRAM 19.1 %, APU 18.4 %, scheduler 13.4 %, BSTC
+    /// 6.2 %, BGPP 4.5 %.
+    #[must_use]
+    pub fn paper_mcbp() -> Self {
+        let total = 9.52;
+        AreaModel {
+            breakdown: AreaBreakdown {
+                brcr_mm2: total * 0.382,
+                sram_mm2: total * 0.191,
+                apu_mm2: total * 0.184,
+                scheduler_mm2: total * 0.134,
+                bstc_mm2: total * 0.062,
+                bgpp_mm2: total * 0.045,
+            },
+            technology_nm: 28,
+        }
+    }
+
+    /// The breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> &AreaBreakdown {
+        &self.breakdown
+    }
+
+    /// Process node in nm.
+    #[must_use]
+    pub fn technology_nm(&self) -> u32 {
+        self.technology_nm
+    }
+
+    /// Normalizes an area quoted at `from_nm` to `to_nm` with ideal
+    /// quadratic shrink — the normalization Table 4 applies to put SpAtten
+    /// (40 nm) on a 28 nm footing.
+    #[must_use]
+    pub fn normalize_area(area_mm2: f64, from_nm: u32, to_nm: u32) -> f64 {
+        let r = f64::from(to_nm) / f64::from(from_nm);
+        area_mm2 * r * r
+    }
+
+    /// Normalizes energy (∝ CV², roughly linear-squared in voltage/feature
+    /// scaling; Table 4 uses the common quadratic rule).
+    #[must_use]
+    pub fn normalize_energy(pj: f64, from_nm: u32, to_nm: u32) -> f64 {
+        let r = f64::from(to_nm) / f64::from(from_nm);
+        pj * r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_is_9_52mm2() {
+        let m = AreaModel::paper_mcbp();
+        assert!((m.breakdown().total_mm2() - 9.52 * 0.998).abs() < 0.1);
+    }
+
+    #[test]
+    fn brcr_dominates_area() {
+        let f = AreaModel::paper_mcbp().breakdown().fractions();
+        assert!(f[0] > f[1] && f[0] > f[2] && f[0] > f[3] && f[0] > f[4] && f[0] > f[5]);
+        assert!((f[0] - 0.382).abs() < 0.01);
+    }
+
+    #[test]
+    fn normalization_shrinks_quadratically() {
+        let a40 = 1.55; // SpAtten at 40 nm (Table 4)
+        let a28 = AreaModel::normalize_area(a40, 40, 28);
+        assert!((a28 - 1.55 * 0.49).abs() < 0.01);
+    }
+}

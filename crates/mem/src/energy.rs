@@ -1,0 +1,146 @@
+/// Per-operation dynamic energy constants (pJ) at TSMC 28 nm, 1 GHz.
+///
+/// The paper derives these from synthesized RTL (Synopsys DC) and CACTI; we
+/// use literature-typical 28 nm values chosen so the simulated workload mix
+/// reproduces the published power breakdown of Fig 22(b). All constants are
+/// public so studies can re-run the suite under different assumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// 8-bit integer add.
+    pub add8_pj: f64,
+    /// 32-bit accumulate.
+    pub add32_pj: f64,
+    /// 8-bit multiply (used by baseline MAC designs, the APU, quantizer).
+    pub mul8_pj: f64,
+    /// Barrel shift (bit-plane weighting).
+    pub shift_pj: f64,
+    /// One CAM search over a 16-entry tile (both 2-bit banks + AND).
+    pub cam_search_pj: f64,
+    /// One BSTC codec symbol (comparator + MUX/SIPO step, Fig 15a/b).
+    pub codec_group_pj: f64,
+    /// One BGPP bit-serial adder-tree input (AND + add, Fig 16).
+    pub bgpp_add_pj: f64,
+    /// FP16 special-function op (softmax/GELU/LayerNorm elements in APU).
+    pub sfu_op_pj: f64,
+    /// Register-file/control energy charged per PE-cluster active cycle.
+    pub ctrl_cycle_pj: f64,
+    /// Memory-interface (PHY/controller) energy per off-chip byte, pJ
+    /// (Leibowitz et al. mobile interface scaled to HBM2, \[44\]).
+    pub interface_pj_per_byte: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable {
+            add8_pj: 0.02,
+            add32_pj: 0.07,
+            mul8_pj: 0.2,
+            shift_pj: 0.024,
+            cam_search_pj: 0.7,
+            codec_group_pj: 0.08,
+            bgpp_add_pj: 0.04,
+            sfu_op_pj: 3.5,
+            ctrl_cycle_pj: 1.0,
+            interface_pj_per_byte: 10.0,
+        }
+    }
+}
+
+/// Energy broken down by architectural unit (the axes of Fig 22(b)).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// BRCR compute unit (CAM + AMUs + RUs + shift-adders).
+    pub brcr_pj: f64,
+    /// BSTC encoders/decoders.
+    pub bstc_pj: f64,
+    /// BGPP prediction unit.
+    pub bgpp_pj: f64,
+    /// On-chip SRAM accesses.
+    pub sram_pj: f64,
+    /// Auxiliary processing unit (SFU, embedding, quantizer).
+    pub apu_pj: f64,
+    /// Scheduler / control.
+    pub scheduler_pj: f64,
+    /// Memory interface (PHY + controller).
+    pub interface_pj: f64,
+    /// Off-chip DRAM (I/O + activations).
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Core-logic energy (everything on-die except the memory interface).
+    #[must_use]
+    pub fn core_pj(&self) -> f64 {
+        self.brcr_pj + self.bstc_pj + self.bgpp_pj + self.sram_pj + self.apu_pj + self.scheduler_pj
+    }
+
+    /// Total energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.core_pj() + self.interface_pj + self.dram_pj
+    }
+
+    /// Accumulates another breakdown.
+    pub fn absorb(&mut self, other: &EnergyBreakdown) {
+        self.brcr_pj += other.brcr_pj;
+        self.bstc_pj += other.bstc_pj;
+        self.bgpp_pj += other.bgpp_pj;
+        self.sram_pj += other.sram_pj;
+        self.apu_pj += other.apu_pj;
+        self.scheduler_pj += other.scheduler_pj;
+        self.interface_pj += other.interface_pj;
+        self.dram_pj += other.dram_pj;
+    }
+
+    /// Scales every component (e.g. replicating a cluster count).
+    #[must_use]
+    pub fn scaled(&self, f: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            brcr_pj: self.brcr_pj * f,
+            bstc_pj: self.bstc_pj * f,
+            bgpp_pj: self.bgpp_pj * f,
+            sram_pj: self.sram_pj * f,
+            apu_pj: self.apu_pj * f,
+            scheduler_pj: self.scheduler_pj * f,
+            interface_pj: self.interface_pj * f,
+            dram_pj: self.dram_pj * f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_consistent() {
+        let b = EnergyBreakdown {
+            brcr_pj: 1.0,
+            bstc_pj: 2.0,
+            bgpp_pj: 3.0,
+            sram_pj: 4.0,
+            apu_pj: 5.0,
+            scheduler_pj: 6.0,
+            interface_pj: 7.0,
+            dram_pj: 8.0,
+        };
+        assert!((b.core_pj() - 21.0).abs() < 1e-12);
+        assert!((b.total_pj() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_and_scale() {
+        let mut a = EnergyBreakdown { brcr_pj: 1.0, ..Default::default() };
+        a.absorb(&EnergyBreakdown { brcr_pj: 2.0, dram_pj: 4.0, ..Default::default() });
+        assert!((a.brcr_pj - 3.0).abs() < 1e-12);
+        let s = a.scaled(0.5);
+        assert!((s.dram_pj - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_order_sensible() {
+        let t = EnergyTable::default();
+        assert!(t.add8_pj < t.add32_pj);
+        assert!(t.add8_pj < t.mul8_pj, "adds must be cheaper than multiplies");
+    }
+}

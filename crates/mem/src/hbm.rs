@@ -1,0 +1,265 @@
+/// HBM2 configuration (Table 3: "HBM2, 8×128-bit HBM channels @ 2 GHz,
+/// 8 GB"; §5.1: "HBM bandwidth is fixed at 512-bit/cycle, with 4 pJ/bit").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmConfig {
+    /// Independent channels.
+    pub channels: usize,
+    /// Data bus width per channel in bits.
+    pub bus_bits: usize,
+    /// Aggregate deliverable bits per **core** (1 GHz) cycle.
+    pub bits_per_core_cycle: u64,
+    /// Row (page) size per bank in bytes.
+    pub row_bytes: u64,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Activate-to-read latency in core cycles (tRCD).
+    pub t_rcd: u64,
+    /// Precharge latency in core cycles (tRP).
+    pub t_rp: u64,
+    /// Column access latency in core cycles (tCAS).
+    pub t_cas: u64,
+    /// I/O energy per transferred bit, in pJ.
+    pub pj_per_bit: f64,
+    /// Energy per row activation, in pJ.
+    pub pj_per_activate: f64,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        HbmConfig {
+            channels: 8,
+            bus_bits: 128,
+            bits_per_core_cycle: 512,
+            row_bytes: 1024,
+            banks_per_channel: 16,
+            t_rcd: 14,
+            t_rp: 14,
+            t_cas: 14,
+            pj_per_bit: 4.0,
+            pj_per_activate: 909.0, // HBM2 ACT+PRE energy, fine-grained DRAM study [67]
+        }
+    }
+}
+
+/// Access statistics and energy accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HbmStats {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (activations).
+    pub row_misses: u64,
+    /// Total busy cycles charged.
+    pub cycles: u64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+}
+
+impl HbmStats {
+    /// Total bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Accumulates another stats block.
+    pub fn absorb(&mut self, other: &HbmStats) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.cycles += other.cycles;
+        self.energy_pj += other.energy_pj;
+    }
+}
+
+/// An open-row HBM model with per-bank row-buffer state.
+///
+/// Streams are charged bandwidth-limited transfer cycles plus activation
+/// penalties for every new row touched, amortized across channels (channel
+/// interleaving at `bus_bits` granularity, as in the Fig 13 layout that
+/// stripes group-size-dimension bits across banks).
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    cfg: HbmConfig,
+    /// Open row per (channel, bank); `u64::MAX` = closed.
+    open_rows: Vec<u64>,
+    stats: HbmStats,
+}
+
+impl Hbm {
+    /// Creates a model with all rows closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero channels, banks, or row size.
+    #[must_use]
+    pub fn new(cfg: HbmConfig) -> Self {
+        assert!(cfg.channels >= 1 && cfg.banks_per_channel >= 1, "need channels and banks");
+        assert!(cfg.row_bytes >= 1 && cfg.bits_per_core_cycle >= 1, "need positive sizes");
+        let open_rows = vec![u64::MAX; cfg.channels * cfg.banks_per_channel];
+        Hbm { cfg, open_rows, stats: HbmStats::default() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &HbmConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &HbmStats {
+        &self.stats
+    }
+
+    /// Resets statistics (row-buffer state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = HbmStats::default();
+    }
+
+    fn transfer_cycles(&self, bytes: u64) -> u64 {
+        (bytes * 8).div_ceil(self.cfg.bits_per_core_cycle)
+    }
+
+    fn charge(&mut self, bytes: u64, new_rows: u64, is_write: bool) -> u64 {
+        // Activation penalties overlap with transfers across channels *and*
+        // banks (an FR-FCFS controller activates the next rows while data
+        // streams); the serial exposure is one activation chain per
+        // channel × bank group.
+        let overlap = (self.cfg.channels * self.cfg.banks_per_channel) as u64;
+        let act_penalty =
+            (self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas) * new_rows.div_ceil(overlap);
+        let cycles = self.transfer_cycles(bytes) + act_penalty;
+        self.stats.cycles += cycles;
+        self.stats.row_misses += new_rows;
+        if is_write {
+            self.stats.write_bytes += bytes;
+        } else {
+            self.stats.read_bytes += bytes;
+        }
+        self.stats.energy_pj +=
+            bytes as f64 * 8.0 * self.cfg.pj_per_bit + new_rows as f64 * self.cfg.pj_per_activate;
+        cycles
+    }
+
+    /// Sequential stream starting at an arbitrary (row-aligned) address:
+    /// every `row_bytes × channels × banks`-sized stride opens new rows.
+    /// Returns charged cycles.
+    pub fn stream_read(&mut self, bytes: u64) -> u64 {
+        let stripe = self.cfg.row_bytes * self.cfg.channels as u64;
+        let new_rows = bytes.div_ceil(stripe) * self.cfg.channels as u64;
+        self.charge(bytes, new_rows, false)
+    }
+
+    /// Sequential stream write. Returns charged cycles.
+    pub fn stream_write(&mut self, bytes: u64) -> u64 {
+        let stripe = self.cfg.row_bytes * self.cfg.channels as u64;
+        let new_rows = bytes.div_ceil(stripe) * self.cfg.channels as u64;
+        self.charge(bytes, new_rows, true)
+    }
+
+    /// Address-accurate single access (used for KV-cache gathers): maps the
+    /// address to a (channel, bank, row) and models the row buffer.
+    /// Returns charged cycles.
+    pub fn access(&mut self, addr: u64, bytes: u64, is_write: bool) -> u64 {
+        let bus_bytes = (self.cfg.bus_bits / 8) as u64;
+        let channel = (addr / bus_bytes) as usize % self.cfg.channels;
+        let above = addr / (bus_bytes * self.cfg.channels as u64);
+        let bank = (above / self.cfg.row_bytes) as usize % self.cfg.banks_per_channel;
+        let row = above / (self.cfg.row_bytes * self.cfg.banks_per_channel as u64);
+        let slot = channel * self.cfg.banks_per_channel + bank;
+        let miss = self.open_rows[slot] != row;
+        if miss {
+            self.open_rows[slot] = row;
+        } else {
+            self.stats.row_hits += 1;
+        }
+        self.charge(bytes, u64::from(miss), is_write)
+    }
+
+    /// A gather of `count` scattered accesses of `bytes_each` with a given
+    /// expected row-buffer hit rate (used where per-address simulation is
+    /// statistically summarized). Returns charged cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_rate` is outside `[0, 1]`.
+    pub fn gather_read(&mut self, count: u64, bytes_each: u64, hit_rate: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate out of range");
+        let misses = ((count as f64) * (1.0 - hit_rate)).round() as u64;
+        self.stats.row_hits += count - misses;
+        self.charge(count * bytes_each, misses, false)
+    }
+
+    /// Peak bandwidth in bytes per core cycle.
+    #[must_use]
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        self.cfg.bits_per_core_cycle as f64 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_bandwidth_bound_plus_activations() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let bytes = 1u64 << 20;
+        let cycles = hbm.stream_read(bytes);
+        let min = bytes * 8 / 512;
+        assert!(cycles >= min);
+        assert!(cycles < min * 2, "activation overhead must stay modest for streams");
+    }
+
+    #[test]
+    fn repeated_access_to_same_row_hits() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        // Addresses 0 and 128 interleave back to channel 0, bank 0, row 0.
+        let _ = hbm.access(0, 64, false);
+        let _ = hbm.access(128, 64, false);
+        assert_eq!(hbm.stats().row_misses, 1);
+        assert_eq!(hbm.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn scattered_accesses_miss() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let stride = 1 << 22; // far apart => distinct rows
+        for i in 0..10u64 {
+            let _ = hbm.access(i * stride, 64, false);
+        }
+        assert_eq!(hbm.stats().row_misses, 10);
+    }
+
+    #[test]
+    fn energy_tracks_bits_moved() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let _ = hbm.stream_read(1000);
+        let floor = 1000.0 * 8.0 * 4.0;
+        assert!(hbm.stats().energy_pj >= floor);
+    }
+
+    #[test]
+    fn gather_hit_rate_bounds() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let all_hit = hbm.gather_read(100, 64, 1.0);
+        let mut hbm2 = Hbm::new(HbmConfig::default());
+        let all_miss = hbm2.gather_read(100, 64, 0.0);
+        assert!(all_hit < all_miss);
+    }
+
+    #[test]
+    fn writes_and_reads_accounted_separately() {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let _ = hbm.stream_write(512);
+        let _ = hbm.stream_read(256);
+        assert_eq!(hbm.stats().write_bytes, 512);
+        assert_eq!(hbm.stats().read_bytes, 256);
+        assert_eq!(hbm.stats().total_bytes(), 768);
+    }
+}

@@ -1,0 +1,40 @@
+//! Memory substrate for the MCBP simulator: off-chip HBM with row-buffer
+//! state, banked on-chip SRAM, and the 28 nm energy/area tables.
+//!
+//! The paper's methodology (§5.1) uses Ramulator for HBM latency, CACTI for
+//! SRAM, and Synopsys DC for logic; this crate replaces those externally
+//! licensed tools with parameterized models that capture the behaviours the
+//! evaluation depends on:
+//!
+//! * **HBM** ([`Hbm`]): 8 × 128-bit channels at 2 GHz, an aggregate of
+//!   512 bits per 1 GHz core cycle, open-row policy with activate/precharge
+//!   penalties, burst transfers, and 4 pJ/bit I/O energy (the paper's own
+//!   constant, after \[67\]).
+//! * **SRAM** ([`Sram`]): banked buffers with one-row-per-cycle access and
+//!   per-byte access energy in the CACTI 28 nm range.
+//! * **Energy/area** ([`EnergyTable`], [`AreaModel`]): per-operation
+//!   energies for the compute units and the Table 3 / Fig 22 area map.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_mem::{Hbm, HbmConfig};
+//!
+//! let mut hbm = Hbm::new(HbmConfig::default());
+//! let cycles = hbm.stream_read(1 << 20); // 1 MiB sequential
+//! assert!(cycles >= (1 << 20) * 8 / 512); // bounded by bus bandwidth
+//! assert!(hbm.stats().row_misses > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod area;
+mod energy;
+mod hbm;
+mod sram;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use energy::{EnergyBreakdown, EnergyTable};
+pub use hbm::{Hbm, HbmConfig, HbmStats};
+pub use sram::{Sram, SramConfig, SramStats};

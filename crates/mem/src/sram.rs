@@ -1,0 +1,184 @@
+/// Configuration of a banked on-chip SRAM buffer.
+///
+/// Table 3: MCBP carries a 384 KB token SRAM, a 768 KB weight SRAM and a
+/// 96 KB temp SRAM (1248 KB total, matching the §5.1 baseline setting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramConfig {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of banks (each serves one row per cycle).
+    pub banks: usize,
+    /// Row width per bank in bytes.
+    pub row_bytes: u64,
+    /// Read energy per byte in pJ (CACTI-like, 28 nm, ~1 MB arrays).
+    pub read_pj_per_byte: f64,
+    /// Write energy per byte in pJ.
+    pub write_pj_per_byte: f64,
+    /// Leakage power in mW (charged by the simulator per cycle).
+    pub leakage_mw: f64,
+}
+
+impl SramConfig {
+    /// The 768 KB weight SRAM of Table 3 / Fig 13 ("2×16×8 kB" banks).
+    #[must_use]
+    pub fn weight_sram() -> Self {
+        SramConfig {
+            capacity_bytes: 768 * 1024,
+            banks: 32,
+            row_bytes: 64,
+            read_pj_per_byte: 0.65,
+            write_pj_per_byte: 0.75,
+            leakage_mw: 18.0,
+        }
+    }
+
+    /// The 384 KB token (activation) SRAM of Table 3.
+    #[must_use]
+    pub fn token_sram() -> Self {
+        SramConfig {
+            capacity_bytes: 384 * 1024,
+            banks: 16,
+            row_bytes: 64,
+            read_pj_per_byte: 0.55,
+            write_pj_per_byte: 0.65,
+            leakage_mw: 9.0,
+        }
+    }
+
+    /// The 96 KB temp SRAM of Table 3 (BGPP's vital-KV index store).
+    #[must_use]
+    pub fn temp_sram() -> Self {
+        SramConfig {
+            capacity_bytes: 96 * 1024,
+            banks: 8,
+            row_bytes: 32,
+            read_pj_per_byte: 0.4,
+            write_pj_per_byte: 0.5,
+            leakage_mw: 2.5,
+        }
+    }
+}
+
+/// SRAM access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SramStats {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Row accesses (the cycle-limited resource).
+    pub row_accesses: u64,
+    /// Total access energy in pJ (leakage excluded).
+    pub energy_pj: f64,
+}
+
+impl SramStats {
+    /// Accumulates another stats block.
+    pub fn absorb(&mut self, other: &SramStats) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.row_accesses += other.row_accesses;
+        self.energy_pj += other.energy_pj;
+    }
+}
+
+/// A banked SRAM with one-row-per-cycle-per-bank timing (§4.2: "given the
+/// one-row-per-cycle access feature of SRAM banks").
+#[derive(Debug, Clone)]
+pub struct Sram {
+    cfg: SramConfig,
+    stats: SramStats,
+}
+
+impl Sram {
+    /// Creates an SRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if banks or row size are zero.
+    #[must_use]
+    pub fn new(cfg: SramConfig) -> Self {
+        assert!(cfg.banks >= 1 && cfg.row_bytes >= 1, "invalid sram geometry");
+        Sram { cfg, stats: SramStats::default() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SramStats {
+        &self.stats
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SramStats::default();
+    }
+
+    /// Reads `bytes`, using all banks in parallel. Returns cycles.
+    pub fn read(&mut self, bytes: u64) -> u64 {
+        let rows = bytes.div_ceil(self.cfg.row_bytes);
+        let cycles = rows.div_ceil(self.cfg.banks as u64);
+        self.stats.read_bytes += bytes;
+        self.stats.row_accesses += rows;
+        self.stats.energy_pj += bytes as f64 * self.cfg.read_pj_per_byte;
+        cycles
+    }
+
+    /// Writes `bytes`. Returns cycles.
+    pub fn write(&mut self, bytes: u64) -> u64 {
+        let rows = bytes.div_ceil(self.cfg.row_bytes);
+        let cycles = rows.div_ceil(self.cfg.banks as u64);
+        self.stats.write_bytes += bytes;
+        self.stats.row_accesses += rows;
+        self.stats.energy_pj += bytes as f64 * self.cfg.write_pj_per_byte;
+        cycles
+    }
+
+    /// Whether a working set fits in this buffer.
+    #[must_use]
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.cfg.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_banks_divide_cycles() {
+        let mut s = Sram::new(SramConfig::weight_sram());
+        let cycles = s.read(32 * 64); // exactly one row per bank
+        assert_eq!(cycles, 1);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let s = Sram::new(SramConfig::temp_sram());
+        assert!(s.fits(96 * 1024));
+        assert!(!s.fits(96 * 1024 + 1));
+    }
+
+    #[test]
+    fn energy_proportional_to_bytes() {
+        let mut s = Sram::new(SramConfig::token_sram());
+        let _ = s.read(1000);
+        let e1 = s.stats().energy_pj;
+        let _ = s.read(1000);
+        assert!((s.stats().energy_pj - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_sizes() {
+        assert_eq!(SramConfig::weight_sram().capacity_bytes, 768 * 1024);
+        assert_eq!(SramConfig::token_sram().capacity_bytes, 384 * 1024);
+        assert_eq!(SramConfig::temp_sram().capacity_bytes, 96 * 1024);
+        let total = 768 + 384 + 96;
+        assert_eq!(total, 1248, "§5.1: on-chip SRAM is set to 1248 kB");
+    }
+}

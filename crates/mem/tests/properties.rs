@@ -1,0 +1,76 @@
+//! Property-based tests for the memory substrate: conservation laws and
+//! monotonicity of the HBM/SRAM cycle and energy accounting.
+
+use mcbp_mem::{EnergyBreakdown, Hbm, HbmConfig, Sram, SramConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stream reads: cycles are at least the bandwidth bound and energy at
+    /// least the pJ/bit floor; both are monotone in bytes.
+    #[test]
+    fn hbm_stream_bounds(bytes_a in 1u64..1_000_000, bytes_b in 1u64..1_000_000) {
+        let cfg = HbmConfig::default();
+        let mut hbm = Hbm::new(cfg);
+        let c_a = hbm.stream_read(bytes_a);
+        prop_assert!(c_a >= bytes_a * 8 / cfg.bits_per_core_cycle);
+        prop_assert!(hbm.stats().energy_pj >= bytes_a as f64 * 8.0 * cfg.pj_per_bit);
+
+        let mut h2 = Hbm::new(cfg);
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let c_lo = h2.stream_read(lo);
+        let mut h3 = Hbm::new(cfg);
+        let c_hi = h3.stream_read(hi);
+        prop_assert!(c_hi >= c_lo);
+    }
+
+    /// Gathers: higher hit rate never costs more.
+    #[test]
+    fn gather_monotone_in_hit_rate(count in 1u64..5000, r1 in 0.0f64..1.0, r2 in 0.0f64..1.0) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let mut a = Hbm::new(HbmConfig::default());
+        let mut b = Hbm::new(HbmConfig::default());
+        let c_low_hit = a.gather_read(count, 64, lo);
+        let c_high_hit = b.gather_read(count, 64, hi);
+        prop_assert!(c_high_hit <= c_low_hit);
+    }
+
+    /// Byte accounting is conserved across arbitrary traffic mixes.
+    #[test]
+    fn hbm_byte_conservation(ops in proptest::collection::vec((0u8..3, 1u64..10_000), 1..20)) {
+        let mut hbm = Hbm::new(HbmConfig::default());
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (kind, bytes) in ops {
+            match kind {
+                0 => { let _ = hbm.stream_read(bytes); reads += bytes; }
+                1 => { let _ = hbm.stream_write(bytes); writes += bytes; }
+                _ => { let _ = hbm.access(bytes * 64, 64, false); reads += 64; }
+            }
+        }
+        prop_assert_eq!(hbm.stats().read_bytes, reads);
+        prop_assert_eq!(hbm.stats().write_bytes, writes);
+    }
+
+    /// SRAM: cycles honor the one-row-per-cycle-per-bank limit exactly.
+    #[test]
+    fn sram_cycle_law(bytes in 1u64..500_000) {
+        let cfg = SramConfig::weight_sram();
+        let mut s = Sram::new(cfg);
+        let cycles = s.read(bytes);
+        let rows = bytes.div_ceil(cfg.row_bytes);
+        prop_assert_eq!(cycles, rows.div_ceil(cfg.banks as u64));
+    }
+
+    /// Energy breakdown algebra: absorb is additive, scaled is linear.
+    #[test]
+    fn energy_breakdown_algebra(a in 0.0f64..1e9, b in 0.0f64..1e9, f in 0.0f64..10.0) {
+        let mut x = EnergyBreakdown { brcr_pj: a, dram_pj: b, ..Default::default() };
+        let y = EnergyBreakdown { brcr_pj: b, sram_pj: a, ..Default::default() };
+        x.absorb(&y);
+        prop_assert!((x.total_pj() - (2.0 * a + 2.0 * b)).abs() < 1e-6 * (1.0 + a + b));
+        let s = x.scaled(f);
+        prop_assert!((s.total_pj() - x.total_pj() * f).abs() < 1e-6 * (1.0 + x.total_pj() * f));
+    }
+}

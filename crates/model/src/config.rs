@@ -1,0 +1,240 @@
+/// Shape configuration of one evaluation LLM (§5.1 benchmark set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlmConfig {
+    /// Human-readable name as used in the paper's figures.
+    pub name: &'static str,
+    /// Hidden dimension `H`.
+    pub hidden: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl LlmConfig {
+    /// OPT-1.3B.
+    #[must_use]
+    pub fn opt1b3() -> Self {
+        LlmConfig { name: "OPT1B3", hidden: 2048, layers: 24, heads: 32, ffn: 8192, vocab: 50272 }
+    }
+
+    /// Bloom-1.7B.
+    #[must_use]
+    pub fn bloom1b7() -> Self {
+        LlmConfig { name: "Bloom1B7", hidden: 2048, layers: 24, heads: 16, ffn: 8192, vocab: 250_880 }
+    }
+
+    /// Qwen-7B.
+    #[must_use]
+    pub fn qwen7b() -> Self {
+        LlmConfig { name: "Qwen7B", hidden: 4096, layers: 32, heads: 32, ffn: 11008, vocab: 151_936 }
+    }
+
+    /// Llama-7B (Llama-2).
+    #[must_use]
+    pub fn llama7b() -> Self {
+        LlmConfig { name: "Llama7B", hidden: 4096, layers: 32, heads: 32, ffn: 11008, vocab: 32000 }
+    }
+
+    /// Llama-13B (Llama-2).
+    #[must_use]
+    pub fn llama13b() -> Self {
+        LlmConfig { name: "Llama13B", hidden: 5120, layers: 40, heads: 40, ffn: 13824, vocab: 32000 }
+    }
+
+    /// The paper's five-model benchmark suite, smallest first.
+    #[must_use]
+    pub fn paper_suite() -> Vec<LlmConfig> {
+        vec![Self::opt1b3(), Self::bloom1b7(), Self::qwen7b(), Self::llama7b(), Self::llama13b()]
+    }
+
+    /// Per-head dimension.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Total weight parameters of the decoder stack (embeddings excluded):
+    /// 4 attention projections + 2 FFN matrices per layer.
+    #[must_use]
+    pub fn decoder_params(&self) -> u64 {
+        let h = self.hidden as u64;
+        let f = self.ffn as u64;
+        self.layers as u64 * (4 * h * h + 2 * h * f)
+    }
+
+    /// KV-cache bytes for a context of `len` tokens at `bytes_per_value`
+    /// precision (both K and V, all layers).
+    #[must_use]
+    pub fn kv_cache_bytes(&self, len: usize, bytes_per_value: u64) -> u64 {
+        2 * self.layers as u64 * len as u64 * self.hidden as u64 * bytes_per_value
+    }
+}
+
+/// Which inference phase an op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Prompt processing: all `prompt` tokens in parallel.
+    Prefill {
+        /// Prompt length in tokens.
+        prompt: usize,
+    },
+    /// One autoregressive step with `context` tokens already cached.
+    Decode {
+        /// Current context length (prompt + generated so far).
+        context: usize,
+    },
+}
+
+/// The role a GEMM plays — determines which MCBP/baseline optimizations
+/// apply to it (weights are compressible and repetitive; attention operands
+/// are dynamic; KV GEMMs are gated by top-k prediction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKind {
+    /// Static-weight projection (QKV / output / FFN).
+    Weight,
+    /// `Q · K^T` score computation (touches the K cache).
+    AttentionQk,
+    /// `P · V` context computation (touches the V cache).
+    AttentionPv,
+}
+
+/// One GEMM issued by a layer: `M×K · K×N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpDescriptor {
+    /// Role of the op.
+    pub kind: GemmKind,
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Number of independent instances (e.g. per-head attention GEMMs).
+    pub count: usize,
+}
+
+impl OpDescriptor {
+    /// Multiply–accumulate operations across all instances.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64 * self.count as u64
+    }
+
+    /// Bytes of static weight data consumed (zero for attention ops) at
+    /// `bytes_per_value` precision.
+    #[must_use]
+    pub fn weight_bytes(&self, bytes_per_value: u64) -> u64 {
+        match self.kind {
+            GemmKind::Weight => self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64,
+            GemmKind::AttentionQk | GemmKind::AttentionPv => 0,
+        }
+    }
+
+    /// Bytes of KV-cache data consumed (zero for weight ops).
+    #[must_use]
+    pub fn kv_bytes(&self, bytes_per_value: u64) -> u64 {
+        match self.kind {
+            GemmKind::Weight => 0,
+            // K cache: K columns of the score GEMM; V cache: K rows of PV.
+            GemmKind::AttentionQk => self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64,
+            GemmKind::AttentionPv => self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64,
+        }
+    }
+}
+
+/// The GEMM inventory of **one** decoder layer in the given phase (weights
+/// are `out × in`; activations multiply from the right).
+///
+/// Prefill with `S` tokens: QKV (3 fused into one 3H-wide projection),
+/// per-head `S×d·d×S` scores, per-head `S×S·S×d` PV, output projection,
+/// FFN up, FFN down. Decode is the same with `S = 1` and attention width
+/// equal to the cached context.
+#[must_use]
+pub fn layer_ops(cfg: &LlmConfig, phase: Phase) -> Vec<OpDescriptor> {
+    let h = cfg.hidden;
+    let d = cfg.head_dim();
+    let (s, ctx) = match phase {
+        Phase::Prefill { prompt } => (prompt, prompt),
+        Phase::Decode { context } => (1, context),
+    };
+    vec![
+        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: 3 * h, count: 1 }, // QKV
+        OpDescriptor { kind: GemmKind::AttentionQk, m: s, k: d, n: ctx, count: cfg.heads },
+        OpDescriptor { kind: GemmKind::AttentionPv, m: s, k: ctx, n: d, count: cfg.heads },
+        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: h, count: 1 }, // out proj
+        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: cfg.ffn, count: 1 }, // FFN up
+        OpDescriptor { kind: GemmKind::Weight, m: s, k: cfg.ffn, n: h, count: 1 }, // FFN down
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama7b_params_about_6_5b_decoder() {
+        let cfg = LlmConfig::llama7b();
+        let p = cfg.decoder_params();
+        // 32 × (4·4096² + 2·4096·11008) = 5.03e9 decoder params.
+        assert!(p > 4_800_000_000 && p < 5_300_000_000, "{p}");
+    }
+
+    #[test]
+    fn prefill_inventory_shapes() {
+        let cfg = LlmConfig::llama7b();
+        let ops = layer_ops(&cfg, Phase::Prefill { prompt: 2048 });
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[0].kind, GemmKind::Weight));
+        assert_eq!(ops[0].n, 3 * 4096);
+        let qk = &ops[1];
+        assert_eq!((qk.m, qk.k, qk.n, qk.count), (2048, 128, 2048, 32));
+    }
+
+    #[test]
+    fn decode_is_single_row() {
+        let cfg = LlmConfig::opt1b3();
+        let ops = layer_ops(&cfg, Phase::Decode { context: 4096 });
+        for op in &ops {
+            assert_eq!(op.m, 1, "decode GEMMs are GEMVs: {op:?}");
+        }
+        let qk = ops.iter().find(|o| o.kind == GemmKind::AttentionQk).unwrap();
+        assert_eq!(qk.n, 4096);
+    }
+
+    #[test]
+    fn weight_and_kv_bytes_are_disjoint() {
+        let cfg = LlmConfig::llama7b();
+        for op in layer_ops(&cfg, Phase::Decode { context: 1024 }) {
+            assert!(op.weight_bytes(1) == 0 || op.kv_bytes(1) == 0);
+        }
+    }
+
+    #[test]
+    fn decode_weight_traffic_matches_params() {
+        // Reading every layer's weights once per decode step.
+        let cfg = LlmConfig::llama13b();
+        let per_layer: u64 = layer_ops(&cfg, Phase::Decode { context: 16 })
+            .iter()
+            .map(|o| o.weight_bytes(1))
+            .sum();
+        assert_eq!(per_layer * cfg.layers as u64, cfg.decoder_params());
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly() {
+        let cfg = LlmConfig::qwen7b();
+        assert_eq!(cfg.kv_cache_bytes(2000, 1), 2 * cfg.kv_cache_bytes(1000, 1));
+    }
+
+    #[test]
+    fn paper_suite_is_ordered_and_named() {
+        let suite = LlmConfig::paper_suite();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[3].name, "Llama7B");
+    }
+}

@@ -1,0 +1,146 @@
+//! Output-fidelity metrics for the accuracy-proxy experiments
+//! (Table 2 and Fig 24(a); see DESIGN.md, substitution 4).
+//!
+//! Absolute task accuracy requires real checkpoints; what is reproducible
+//! here is the *relative* degradation structure: FP32 → INT8 is nearly
+//! free, BGPP-standard stays near INT8, BGPP-aggressive trades bounded
+//! fidelity for attention sparsity. These metrics quantify that on logit
+//! matrices from the functional transformer.
+
+use mcbp_quant::FloatMatrix;
+
+use crate::ops::softmax_in_place;
+
+/// Fraction of rows whose argmax token agrees between two logit matrices
+/// (a proxy for classification/greedy-decoding accuracy).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the matrices are empty.
+#[must_use]
+pub fn top1_agreement(reference: &FloatMatrix, other: &FloatMatrix) -> f64 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (other.rows(), other.cols()),
+        "logit shapes must match"
+    );
+    assert!(reference.rows() > 0, "need at least one row");
+    let mut hits = 0usize;
+    for r in 0..reference.rows() {
+        if argmax(reference.row(r)) == argmax(other.row(r)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / reference.rows() as f64
+}
+
+/// Mean KL divergence `KL(softmax(reference) ‖ softmax(other))` across rows
+/// (a proxy for perplexity degradation).
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the matrices are empty.
+#[must_use]
+pub fn mean_kl_divergence(reference: &FloatMatrix, other: &FloatMatrix) -> f64 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (other.rows(), other.cols()),
+        "logit shapes must match"
+    );
+    assert!(reference.rows() > 0, "need at least one row");
+    let mut total = 0.0f64;
+    for r in 0..reference.rows() {
+        let mut p = reference.row(r).to_vec();
+        let mut q = other.row(r).to_vec();
+        softmax_in_place(&mut p);
+        softmax_in_place(&mut q);
+        let mut kl = 0.0f64;
+        for (&pi, &qi) in p.iter().zip(&q) {
+            if pi > 1e-12 {
+                kl += f64::from(pi) * (f64::from(pi) / f64::from(qi.max(1e-12))).ln();
+            }
+        }
+        total += kl;
+    }
+    total / reference.rows() as f64
+}
+
+/// Mean relative L2 error `‖a − b‖ / ‖a‖` across rows.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the matrices are empty.
+#[must_use]
+pub fn mean_relative_error(reference: &FloatMatrix, other: &FloatMatrix) -> f64 {
+    assert_eq!(
+        (reference.rows(), reference.cols()),
+        (other.rows(), other.cols()),
+        "logit shapes must match"
+    );
+    assert!(reference.rows() > 0, "need at least one row");
+    let mut total = 0.0f64;
+    for r in 0..reference.rows() {
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (&a, &b) in reference.row(r).iter().zip(other.row(r)) {
+            num += f64::from(a - b) * f64::from(a - b);
+            den += f64::from(a) * f64::from(a);
+        }
+        total += (num / den.max(1e-12)).sqrt();
+    }
+    total / reference.rows() as f64
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_are_perfect() {
+        let m = FloatMatrix::from_rows(&[[1.0f32, 2.0, 0.5], [0.1, -0.2, 3.0]]);
+        assert_eq!(top1_agreement(&m, &m), 1.0);
+        assert!(mean_kl_divergence(&m, &m) < 1e-9);
+        assert!(mean_relative_error(&m, &m) < 1e-9);
+    }
+
+    #[test]
+    fn swapped_argmax_detected() {
+        let a = FloatMatrix::from_rows(&[[1.0f32, 0.0]]);
+        let b = FloatMatrix::from_rows(&[[0.0f32, 1.0]]);
+        assert_eq!(top1_agreement(&a, &b), 0.0);
+        assert!(mean_kl_divergence(&a, &b) > 0.1);
+    }
+
+    #[test]
+    fn small_noise_keeps_agreement() {
+        let a = FloatMatrix::from_rows(&[[5.0f32, 1.0, 0.0], [0.0, 4.0, 1.0]]);
+        let b = FloatMatrix::from_rows(&[[5.01f32, 1.02, -0.01], [0.02, 3.99, 1.01]]);
+        assert_eq!(top1_agreement(&a, &b), 1.0);
+        assert!(mean_kl_divergence(&a, &b) < 0.01);
+        assert!(mean_relative_error(&a, &b) < 0.02);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_nonnegative() {
+        let a = FloatMatrix::from_rows(&[[2.0f32, 0.0, 0.0]]);
+        let b = FloatMatrix::from_rows(&[[0.5f32, 0.5, 0.0]]);
+        assert!(mean_kl_divergence(&a, &b) >= 0.0);
+        assert!(mean_kl_divergence(&b, &a) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn shape_mismatch_panics() {
+        let a = FloatMatrix::from_rows(&[[1.0f32, 2.0]]);
+        let b = FloatMatrix::from_rows(&[[1.0f32, 2.0, 3.0]]);
+        let _ = top1_agreement(&a, &b);
+    }
+}

@@ -1,0 +1,45 @@
+//! Transformer/LLM substrate for the MCBP reproduction.
+//!
+//! Two layers of abstraction live here:
+//!
+//! 1. **Shape-level model configs** ([`LlmConfig`]): the five evaluation
+//!    models of the paper (OPT-1.3B, Bloom-1.7B, Qwen-7B, Llama-7B,
+//!    Llama-13B) and the exact GEMM inventory each layer issues during
+//!    prefill and decode ([`layer_ops`], [`OpDescriptor`]). These drive the
+//!    cycle-level simulator and every baseline model.
+//!
+//! 2. **A functional reference transformer** ([`Transformer`],
+//!    [`QuantTransformer`]): a small but complete decoder-only model
+//!    (embeddings, causal multi-head attention with KV cache, GELU FFN,
+//!    LayerNorm, logits) that actually executes in FP32 and in the paper's
+//!    INT8 scheme (per-channel symmetric weights, per-tensor asymmetric
+//!    activations), with a pluggable [`AttentionPruner`] hook so BGPP's
+//!    vital-key selection can be measured end to end. This is the fidelity
+//!    proxy for Table 2 / Fig 24(a) — see DESIGN.md, substitution 4.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_model::{LlmConfig, Phase};
+//!
+//! let llama = LlmConfig::llama7b();
+//! let ops = mcbp_model::layer_ops(&llama, Phase::Prefill { prompt: 1024 });
+//! // QKV + scores + PV + out-proj + 2 FFN GEMMs per layer:
+//! assert_eq!(ops.len(), 6);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod fidelity;
+mod kvcache;
+mod ops;
+mod quantized;
+mod transformer;
+
+pub use config::{layer_ops, GemmKind, LlmConfig, OpDescriptor, Phase};
+pub use ops::{gelu, layer_norm, softmax_in_place};
+pub use kvcache::{last_position_logits, Generator};
+pub use quantized::{AttentionPruner, AttnStats, KeepAll, PrunerDecision, QuantTransformer};
+pub use transformer::{Transformer, TransformerConfig};

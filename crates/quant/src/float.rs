@@ -1,0 +1,182 @@
+/// A minimal dense row-major `f32` matrix used as the pre-quantization
+/// reference representation.
+///
+/// Only the operations needed by the quantizers and the reference
+/// transformer are provided; this is deliberately not a general linear
+/// algebra library.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_quant::FloatMatrix;
+///
+/// let m = FloatMatrix::from_rows(&[[1.0f32, 2.0], [3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl FloatMatrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        FloatMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        FloatMatrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from fixed-width rows.
+    #[must_use]
+    pub fn from_rows<const N: usize>(rows: &[[f32; N]]) -> Self {
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        FloatMatrix { rows: rows.len(), cols: N, data: flat }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view.
+    #[must_use]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "vector length must match cols");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &FloatMatrix) -> FloatMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must match");
+        let mut out = FloatMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for (k, &a) in self.row(r).iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(r);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transposed(&self) -> FloatMatrix {
+        let mut out = FloatMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_matvec() {
+        let a = FloatMatrix::from_rows(&[[1.0f32, 2.0], [3.0, -1.0]]);
+        let b = FloatMatrix::from_rows(&[[0.5f32, 1.0], [2.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 4.5);
+        assert_eq!(c.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = FloatMatrix::from_rows(&[[1.0f32, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_flat_checks_length() {
+        let _ = FloatMatrix::from_flat(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Integer quantization for MCBP (§4.1, Fig 11 of the paper).
+//!
+//! MCBP consumes integer-quantized LLMs: weights use **per-channel symmetric**
+//! quantization and activations use **per-tensor asymmetric** quantization
+//! (following SmoothQuant-style PTQ). The key algebraic identity (Fig 11)
+//! rewrites a float linear layer as
+//!
+//! ```text
+//! Y_q = Scale ⊙ (W_q · X_q) + Bias
+//! Scale = Δw·Δx/Δy   (channel-wise)
+//! Bias  = Z_y − Δw·Δx·(W_q · 1)·Z_x / Δy
+//! ```
+//!
+//! so the entire heavy computation is an integer GEMM `W_q · X_q` — exactly
+//! the operation BRCR accelerates at the bit-slice level.
+//!
+//! This crate provides:
+//!
+//! * [`FloatMatrix`] — a minimal dense `f32` matrix (reference math).
+//! * [`PerChannelSymmetric`] — weight quantizer (one scale per output row).
+//! * [`PerTensorAsymmetric`] — activation quantizer (scale + zero point).
+//! * [`PerTensorSymmetric`] — signed symmetric quantizer (used for Q/K in
+//!   the BGPP prediction path).
+//! * [`QuantizedLinear`] — a linear layer executing the Fig 11 identity with
+//!   exact integer arithmetic inside.
+//! * [`Calibration`] — min–max and percentile calibration; the percentile
+//!   variant emulates QAT-style learned clipping for the Fig 25 study.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_quant::{Calibration, FloatMatrix, QuantizedLinear};
+//!
+//! let w = FloatMatrix::from_rows(&[[0.5f32, -0.25], [1.0, 0.75]]);
+//! let xs = FloatMatrix::from_rows(&[[0.1f32, 0.9], [-0.3, 0.4]]);
+//! let layer = QuantizedLinear::prepare(&w, &xs, 8, Calibration::MinMax);
+//! let y = layer.forward_f32(&[0.2, -0.1]);
+//! // Close to the float reference [0.125, 0.125]:
+//! assert!((y[0] - 0.125).abs() < 0.02 && (y[1] - 0.125).abs() < 0.02);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod float;
+mod linear;
+mod schemes;
+
+pub use float::FloatMatrix;
+pub use linear::QuantizedLinear;
+pub use schemes::{Calibration, PerChannelSymmetric, PerTensorAsymmetric, PerTensorSymmetric};

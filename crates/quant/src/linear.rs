@@ -1,0 +1,219 @@
+use mcbp_bitslice::IntMatrix;
+
+use crate::{Calibration, FloatMatrix, PerChannelSymmetric, PerTensorAsymmetric};
+
+/// A quantized linear layer implementing the Fig 11 identity.
+///
+/// The float computation `Y_f = W_f · X_f` is carried out as
+///
+/// ```text
+/// Y_f[r] = Δw_r · Δx · ( Σ_c W_q[r,c]·X_q[c]  −  Z_x · Σ_c W_q[r,c] )
+/// ```
+///
+/// where the inner sums are exact integer arithmetic — precisely the GEMM
+/// that MCBP's BRCR unit accelerates. The per-row weight sums
+/// (`W_q · 1`, folded into the paper's `Bias` term) are precomputed at
+/// prepare time, as the paper precomputes them from the calibration set.
+///
+/// # Example
+///
+/// ```
+/// use mcbp_quant::{Calibration, FloatMatrix, QuantizedLinear};
+///
+/// let w = FloatMatrix::from_rows(&[[1.0f32, -1.0]]);
+/// let xs = FloatMatrix::from_rows(&[[0.0f32, 1.0]]);
+/// let layer = QuantizedLinear::prepare(&w, &xs, 8, Calibration::MinMax);
+/// let y = layer.forward_f32(&[0.75, 0.25]);
+/// assert!((y[0] - 0.5).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLinear {
+    wq: IntMatrix,
+    w_scheme: PerChannelSymmetric,
+    x_scheme: PerTensorAsymmetric,
+    /// Precomputed `W_q · 1` per output row (the paper's bias correction).
+    row_sums: Vec<i64>,
+}
+
+impl QuantizedLinear {
+    /// Quantizes a float weight matrix and calibrates the activation
+    /// quantizer from sample activations (any shape; flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    #[must_use]
+    pub fn prepare(w: &FloatMatrix, x_samples: &FloatMatrix, bits: u8, cal: Calibration) -> Self {
+        let (wq, w_scheme) = PerChannelSymmetric::quantize(w, bits, cal);
+        let x_scheme = PerTensorAsymmetric::calibrate(x_samples.as_flat(), bits, cal);
+        Self::from_parts(wq, w_scheme, x_scheme)
+    }
+
+    /// Assembles a layer from already-quantized parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wq.rows() != w_scheme.scales().len()`.
+    #[must_use]
+    pub fn from_parts(
+        wq: IntMatrix,
+        w_scheme: PerChannelSymmetric,
+        x_scheme: PerTensorAsymmetric,
+    ) -> Self {
+        assert_eq!(wq.rows(), w_scheme.scales().len(), "scale count mismatch");
+        let row_sums = (0..wq.rows())
+            .map(|r| wq.row(r).iter().map(|&v| i64::from(v)).sum())
+            .collect();
+        QuantizedLinear { wq, w_scheme, x_scheme, row_sums }
+    }
+
+    /// The integer weight matrix `W_q` (what BRCR/BSTC consume).
+    #[must_use]
+    pub fn weight_q(&self) -> &IntMatrix {
+        &self.wq
+    }
+
+    /// The weight quantization scheme.
+    #[must_use]
+    pub fn weight_scheme(&self) -> &PerChannelSymmetric {
+        &self.w_scheme
+    }
+
+    /// The activation quantization scheme.
+    #[must_use]
+    pub fn activation_scheme(&self) -> &PerTensorAsymmetric {
+        &self.x_scheme
+    }
+
+    /// Quantizes an input vector into the unsigned activation domain.
+    #[must_use]
+    pub fn quantize_input(&self, x: &[f32]) -> Vec<i32> {
+        self.x_scheme.quantize_slice(x)
+    }
+
+    /// The exact integer GEMV `W_q · x_q` (64-bit accumulators). This is the
+    /// computation handed to the accelerator; callers that have a bit-slice
+    /// engine substitute it here and then apply
+    /// [`rescale`](Self::rescale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_q.len() != in_features`.
+    #[must_use]
+    pub fn integer_gemv(&self, x_q: &[i32]) -> Vec<i64> {
+        self.wq.matvec(x_q).expect("input length checked by caller")
+    }
+
+    /// Applies the Fig 11 scale/bias to raw integer GEMV outputs, producing
+    /// float outputs: `Δw_r·Δx·(acc_r − Z_x·Σ_c W_q[r,c])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != out_features`.
+    #[must_use]
+    pub fn rescale(&self, acc: &[i64]) -> Vec<f32> {
+        assert_eq!(acc.len(), self.wq.rows(), "accumulator length mismatch");
+        let dx = self.x_scheme.scale();
+        let zx = i64::from(self.x_scheme.zero_point());
+        acc.iter()
+            .zip(&self.row_sums)
+            .zip(self.w_scheme.scales())
+            .map(|((&a, &rs), &dw)| dw * dx * (a - zx * rs) as f32)
+            .collect()
+    }
+
+    /// End-to-end quantized forward pass returning float outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_features`.
+    #[must_use]
+    pub fn forward_f32(&self, x: &[f32]) -> Vec<f32> {
+        let xq = self.quantize_input(x);
+        let acc = self.integer_gemv(&xq);
+        self.rescale(&acc)
+    }
+
+    /// Float reference output computed from the *dequantized* weights (i.e.
+    /// the error is due to activation quantization only). Used in tests to
+    /// separate weight- from activation-quantization error.
+    #[must_use]
+    pub fn forward_dequant_reference(&self, x: &[f32]) -> Vec<f32> {
+        let wf = self.w_scheme.dequantize(&self.wq);
+        wf.matvec(x)
+    }
+
+    /// Output features.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.wq.rows()
+    }
+
+    /// Input features.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.wq.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_layer() -> (FloatMatrix, QuantizedLinear) {
+        let w = FloatMatrix::from_rows(&[
+            [0.5f32, -0.25, 0.1, 0.0],
+            [1.0, 0.75, -0.5, 0.25],
+            [-0.125, 0.0, 0.625, -1.0],
+        ]);
+        let xs = FloatMatrix::from_rows(&[[-1.0f32, 1.0, 0.3, -0.2], [0.9, -0.8, 0.1, 0.0]]);
+        let layer = QuantizedLinear::prepare(&w, &xs, 8, Calibration::MinMax);
+        (w, layer)
+    }
+
+    #[test]
+    fn integer_path_matches_dequant_reference_up_to_activation_step() {
+        let (_, layer) = toy_layer();
+        let x = [0.4f32, -0.6, 0.2, 0.9];
+        let via_int = layer.forward_f32(&x);
+        let reference = layer.forward_dequant_reference(&x);
+        // The only divergence is activation rounding: |err| <= Δx/2 per
+        // element times the L1 row magnitude of the dequantized weights.
+        let dx = layer.activation_scheme().scale();
+        for (r, (a, b)) in via_int.iter().zip(&reference).enumerate() {
+            let wf = layer.weight_scheme().dequantize(layer.weight_q());
+            let l1: f32 = wf.row(r).iter().map(|v| v.abs()).sum();
+            assert!(
+                (a - b).abs() <= dx / 2.0 * l1 + 1e-5,
+                "row {r}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_close_to_float_reference() {
+        let (w, layer) = toy_layer();
+        let x = [0.4f32, -0.6, 0.2, 0.9];
+        let y = layer.forward_f32(&x);
+        let yf = w.matvec(&x);
+        for (a, b) in y.iter().zip(&yf) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn row_sums_equal_weight_row_totals() {
+        let (_, layer) = toy_layer();
+        for r in 0..layer.out_features() {
+            let s: i64 = layer.weight_q().row(r).iter().map(|&v| i64::from(v)).sum();
+            assert_eq!(layer.row_sums[r], s);
+        }
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let (_, layer) = toy_layer();
+        assert_eq!(layer.out_features(), 3);
+        assert_eq!(layer.in_features(), 4);
+    }
+}

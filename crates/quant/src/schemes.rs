@@ -1,0 +1,317 @@
+use mcbp_bitslice::{max_magnitude, IntMatrix};
+
+use crate::FloatMatrix;
+
+/// How quantization ranges are derived from calibration data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Calibration {
+    /// Use the exact minimum/maximum observed value (plain PTQ).
+    MinMax,
+    /// Clip to the given two-sided quantile (e.g. `0.999`). Emulates the
+    /// tighter learned ranges of quantization-aware training; used for the
+    /// paper's PTQ-vs-QAT sparsity study (Fig 25).
+    Percentile(f64),
+}
+
+impl Calibration {
+    /// Reduces a sample set to the (lo, hi) clipping range.
+    ///
+    /// Returns `(0.0, 0.0)` for an empty sample set.
+    #[must_use]
+    pub fn range(self, samples: &[f32]) -> (f32, f32) {
+        if samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        match self {
+            Calibration::MinMax => {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for &s in samples {
+                    lo = lo.min(s);
+                    hi = hi.max(s);
+                }
+                (lo, hi)
+            }
+            Calibration::Percentile(q) => {
+                let q = q.clamp(0.5, 1.0);
+                let mut sorted: Vec<f32> = samples.to_vec();
+                sorted.sort_by(f32::total_cmp);
+                let n = sorted.len();
+                let hi_idx = (((n - 1) as f64) * q).round() as usize;
+                let lo_idx = (((n - 1) as f64) * (1.0 - q)).round() as usize;
+                (sorted[lo_idx], sorted[hi_idx])
+            }
+        }
+    }
+
+    /// Symmetric absolute-maximum under this calibration.
+    #[must_use]
+    pub fn abs_max(self, samples: &[f32]) -> f32 {
+        let (lo, hi) = self.range(samples);
+        lo.abs().max(hi.abs())
+    }
+}
+
+/// Per-channel (per output row) symmetric weight quantizer.
+///
+/// Each weight row `r` is quantized as `q = round(w / Δ_r)` with
+/// `Δ_r = absmax(W[r, :]) / (2^{b−1} − 1)`, matching the paper's
+/// "per-channel symmetric quantization" for weights (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerChannelSymmetric {
+    scales: Vec<f32>,
+    bits: u8,
+}
+
+impl PerChannelSymmetric {
+    /// Quantizes a weight matrix; returns the integer matrix and the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `bits > 16`.
+    #[must_use]
+    pub fn quantize(w: &FloatMatrix, bits: u8, cal: Calibration) -> (IntMatrix, Self) {
+        assert!((2..=16).contains(&bits), "unsupported weight bit width {bits}");
+        let limit = max_magnitude(bits);
+        let mut scales = Vec::with_capacity(w.rows());
+        let mut data = Vec::with_capacity(w.rows() * w.cols());
+        for r in 0..w.rows() {
+            let amax = cal.abs_max(w.row(r)).max(f32::MIN_POSITIVE);
+            let delta = amax / limit as f32;
+            scales.push(delta);
+            for &v in w.row(r) {
+                let q = (v / delta).round() as i32;
+                data.push(q.clamp(-limit, limit));
+            }
+        }
+        let q = IntMatrix::from_flat(bits, w.rows(), w.cols(), data)
+            .expect("clamped values always fit");
+        (q, PerChannelSymmetric { scales, bits })
+    }
+
+    /// Per-row scale factors Δw.
+    #[must_use]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Weight bit width.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Dequantizes an integer weight matrix produced by this scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.rows() != scales.len()`.
+    #[must_use]
+    pub fn dequantize(&self, q: &IntMatrix) -> FloatMatrix {
+        assert_eq!(q.rows(), self.scales.len(), "row count mismatch");
+        let mut out = FloatMatrix::zeros(q.rows(), q.cols());
+        for r in 0..q.rows() {
+            let s = self.scales[r];
+            for c in 0..q.cols() {
+                out.set(r, c, q.get(r, c) as f32 * s);
+            }
+        }
+        out
+    }
+}
+
+/// Per-tensor asymmetric activation quantizer: `q = round(x/Δ) + Z`, with
+/// `q ∈ [0, 2^b − 1]` (§4.1: "activations are quantized using per-tensor
+/// asymmetric quantization").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerTensorAsymmetric {
+    /// Scale Δx.
+    scale: f32,
+    /// Zero point Z (an integer in the quantized range).
+    zero_point: i32,
+    bits: u8,
+}
+
+impl PerTensorAsymmetric {
+    /// Calibrates from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `bits > 16`.
+    #[must_use]
+    pub fn calibrate(samples: &[f32], bits: u8, cal: Calibration) -> Self {
+        assert!((2..=16).contains(&bits), "unsupported activation bit width {bits}");
+        let (lo, hi) = cal.range(samples);
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let qmax = (1u32 << bits) - 1;
+        let scale = ((hi - lo) / qmax as f32).max(f32::MIN_POSITIVE);
+        let zero_point = (-lo / scale).round() as i32;
+        PerTensorAsymmetric { scale, zero_point, bits }
+    }
+
+    /// Scale Δ.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Zero point Z.
+    #[must_use]
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Quantizes one value into `[0, 2^b − 1]`.
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> i32 {
+        let qmax = ((1u32 << self.bits) - 1) as i32;
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(0, qmax)
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Dequantizes one value.
+    #[must_use]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// Per-tensor symmetric signed quantizer: `q = round(x/Δ)`, `|q| ≤ 2^{b−1}−1`.
+///
+/// The BGPP prediction path uses this for Q and K so magnitude bit-planes
+/// can be streamed MSB-first with a separate sign plane (Fig 16's
+/// sign-decision unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerTensorSymmetric {
+    scale: f32,
+    bits: u8,
+}
+
+impl PerTensorSymmetric {
+    /// Calibrates from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 2` or `bits > 16`.
+    #[must_use]
+    pub fn calibrate(samples: &[f32], bits: u8, cal: Calibration) -> Self {
+        assert!((2..=16).contains(&bits), "unsupported bit width {bits}");
+        let amax = cal.abs_max(samples).max(f32::MIN_POSITIVE);
+        let scale = amax / max_magnitude(bits) as f32;
+        PerTensorSymmetric { scale, bits }
+    }
+
+    /// Scale Δ.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Quantizes one value.
+    #[must_use]
+    pub fn quantize(&self, x: f32) -> i32 {
+        let limit = max_magnitude(self.bits);
+        ((x / self.scale).round() as i32).clamp(-limit, limit)
+    }
+
+    /// Quantizes a slice.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Quantizes a whole matrix into an [`IntMatrix`].
+    #[must_use]
+    pub fn quantize_matrix(&self, m: &FloatMatrix) -> IntMatrix {
+        let data: Vec<i32> = m.as_flat().iter().map(|&x| self.quantize(x)).collect();
+        IntMatrix::from_flat(self.bits, m.rows(), m.cols(), data).expect("clamped values fit")
+    }
+
+    /// Dequantizes one value.
+    #[must_use]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_range_covers_samples() {
+        let s = [-1.0f32, 0.5, 2.0, -3.0];
+        assert_eq!(Calibration::MinMax.range(&s), (-3.0, 2.0));
+    }
+
+    #[test]
+    fn percentile_range_clips_outliers() {
+        let mut s: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        s.push(100.0); // outlier
+        let (_, hi) = Calibration::Percentile(0.99).range(&s);
+        assert!(hi < 1.01, "outlier must be clipped, got {hi}");
+    }
+
+    #[test]
+    fn per_channel_roundtrip_error_is_bounded() {
+        let w = FloatMatrix::from_rows(&[[0.1f32, -0.9, 0.5], [2.0, -2.0, 0.0]]);
+        let (q, scheme) = PerChannelSymmetric::quantize(&w, 8, Calibration::MinMax);
+        let back = scheme.dequantize(&q);
+        for r in 0..2 {
+            let step = scheme.scales()[r];
+            for c in 0..3 {
+                assert!((back.get(r, c) - w.get(r, c)).abs() <= step / 2.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_uses_full_range() {
+        let w = FloatMatrix::from_rows(&[[1.0f32, -0.5]]);
+        let (q, _) = PerChannelSymmetric::quantize(&w, 8, Calibration::MinMax);
+        assert_eq!(q.get(0, 0), 127);
+    }
+
+    #[test]
+    fn asymmetric_zero_maps_to_zero_point() {
+        let a = PerTensorAsymmetric::calibrate(&[-1.0, 3.0], 8, Calibration::MinMax);
+        assert_eq!(a.quantize(0.0), a.zero_point());
+        let err = a.dequantize(a.quantize(2.5)) - 2.5;
+        assert!(err.abs() <= a.scale() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_clamps_to_unsigned_range() {
+        let a = PerTensorAsymmetric::calibrate(&[0.0, 1.0], 8, Calibration::MinMax);
+        assert_eq!(a.quantize(-10.0), 0);
+        assert_eq!(a.quantize(10.0), 255);
+    }
+
+    #[test]
+    fn symmetric_quantize_matrix_fits_width() {
+        let m = FloatMatrix::from_rows(&[[0.3f32, -0.8], [0.0, 0.79]]);
+        let q4 = PerTensorSymmetric::calibrate(m.as_flat(), 4, Calibration::MinMax);
+        let qm = q4.quantize_matrix(&m);
+        assert_eq!(qm.bits(), 4);
+        assert!(qm.as_flat().iter().all(|v| v.abs() <= 7));
+    }
+}

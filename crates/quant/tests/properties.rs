@@ -1,0 +1,88 @@
+//! Property-based tests for the quantization schemes: error bounds,
+//! range discipline, and the Fig 11 integer-path identity.
+
+use mcbp_quant::{Calibration, FloatMatrix, PerChannelSymmetric, PerTensorAsymmetric, PerTensorSymmetric, QuantizedLinear};
+use proptest::prelude::*;
+
+fn float_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = FloatMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| FloatMatrix::from_flat(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-channel symmetric quantization: every row's reconstruction
+    /// error is bounded by half its step, and the full INT8 range is used
+    /// for the row maximum.
+    #[test]
+    fn per_channel_error_bound(w in float_matrix(8, 24)) {
+        let (q, scheme) = PerChannelSymmetric::quantize(&w, 8, Calibration::MinMax);
+        let back = scheme.dequantize(&q);
+        for r in 0..w.rows() {
+            let step = scheme.scales()[r];
+            for c in 0..w.cols() {
+                prop_assert!((back.get(r, c) - w.get(r, c)).abs() <= step / 2.0 + 1e-6);
+            }
+            // The row's absolute maximum hits the range end (±127).
+            let amax_idx = (0..w.cols())
+                .max_by(|&a, &b| w.get(r, a).abs().partial_cmp(&w.get(r, b).abs()).unwrap())
+                .unwrap();
+            if w.get(r, amax_idx).abs() > 1e-3 {
+                prop_assert_eq!(q.get(r, amax_idx).abs(), 127);
+            }
+        }
+    }
+
+    /// Asymmetric activation quantization: outputs stay in [0, 255] and
+    /// roundtrip error is bounded by half a step inside the range.
+    #[test]
+    fn asymmetric_roundtrip(samples in proptest::collection::vec(-8.0f32..8.0, 2..64),
+                            x in -8.0f32..8.0) {
+        let scheme = PerTensorAsymmetric::calibrate(&samples, 8, Calibration::MinMax);
+        let q = scheme.quantize(x);
+        prop_assert!((0..=255).contains(&q));
+        let (lo, hi) = Calibration::MinMax.range(&samples);
+        if x >= lo.min(0.0) && x <= hi.max(0.0) {
+            prop_assert!((scheme.dequantize(q) - x).abs() <= scheme.scale() / 2.0 + 1e-5);
+        }
+    }
+
+    /// Symmetric quantization never exceeds the declared magnitude.
+    #[test]
+    fn symmetric_range_discipline(samples in proptest::collection::vec(-100.0f32..100.0, 2..64),
+                                  bits in 2u8..=8, x in -500.0f32..500.0) {
+        let scheme = PerTensorSymmetric::calibrate(&samples, bits, Calibration::MinMax);
+        let limit = (1i32 << (bits - 1)) - 1;
+        prop_assert!(scheme.quantize(x).abs() <= limit);
+    }
+
+    /// Fig 11 identity: the integer path through QuantizedLinear matches
+    /// the dequantized-weight float reference within the activation step.
+    #[test]
+    fn fig11_identity(w in float_matrix(6, 12),
+                      x in proptest::collection::vec(-2.0f32..2.0, 12)) {
+        let x = &x[..w.cols()];
+        let xs = FloatMatrix::from_flat(1, x.len(), x.to_vec());
+        let layer = QuantizedLinear::prepare(&w, &xs, 8, Calibration::MinMax);
+        let via_int = layer.forward_f32(x);
+        let reference = layer.forward_dequant_reference(x);
+        let dx = layer.activation_scheme().scale();
+        let wf = layer.weight_scheme().dequantize(layer.weight_q());
+        for (r, (a, b)) in via_int.iter().zip(&reference).enumerate() {
+            let l1: f32 = wf.row(r).iter().map(|v| v.abs()).sum();
+            prop_assert!((a - b).abs() <= dx / 2.0 * l1 + 1e-4, "row {}: {} vs {}", r, a, b);
+        }
+    }
+
+    /// Percentile calibration never widens the range beyond min-max.
+    #[test]
+    fn percentile_is_tighter(samples in proptest::collection::vec(-10.0f32..10.0, 4..128),
+                             q in 0.5f64..1.0) {
+        let (mlo, mhi) = Calibration::MinMax.range(&samples);
+        let (plo, phi) = Calibration::Percentile(q).range(&samples);
+        prop_assert!(plo >= mlo && phi <= mhi);
+    }
+}

@@ -1,0 +1,193 @@
+use mcbp_bgpp::BgppConfig;
+use mcbp_mem::{EnergyTable, HbmConfig, SramConfig};
+
+/// Full configuration of the MCBP accelerator (Table 3), including the
+/// ablation switches used by Fig 19/21/24(b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McbpConfig {
+    /// PE clusters (Table 3 lists 20; §5.3 scales to 16 to match the HBM
+    /// interface — the default here).
+    pub pe_clusters: usize,
+    /// Bit-plane PEs per cluster (one per magnitude plane + sign handling).
+    pub pes_per_cluster: usize,
+    /// Addition-merge units per PE.
+    pub amus_per_pe: usize,
+    /// Inputs of each AMU's adder tree (Fig 14: "16 selected activations"
+    /// merge per search in one pass).
+    pub amu_tree_inputs: usize,
+    /// BRCR group size `m` (DSE optimum: 4, Fig 18).
+    pub group_size: usize,
+    /// Output-stationary tile sizes (T_M, T_K, T_N) of Fig 12.
+    pub tile: (usize, usize, usize),
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Average achieved PE utilization (§5.3 reports 78 %).
+    pub utilization: f64,
+    /// BSTC decoder lanes (Table 3: 20×4).
+    pub bstc_decoders: usize,
+    /// Decoded bits per decoder per cycle (one SRAM row stream).
+    pub decoder_bits_per_cycle: f64,
+    /// Plane-compression sparsity threshold (break-even ≈ 0.65, Fig 8b).
+    pub bstc_threshold: f64,
+    /// BGPP predictor configuration.
+    pub bgpp: BgppConfig,
+    /// Bit-serial adds per attention MAC-equivalent on dynamic (K/V)
+    /// operands, where no offline repetition analysis applies.
+    pub attn_adds_per_mac: f64,
+    /// Shift–accumulate overhead as a fraction of compute adds (the
+    /// "bit shift" component of Fig 20c).
+    pub shift_overhead: f64,
+    /// Enable BRCR (off = vanilla bit-serial compute).
+    pub enable_brcr: bool,
+    /// Enable BSTC (off = value-level Huffman weight compression).
+    pub enable_bstc: bool,
+    /// Enable BGPP (off = value-level 4-bit top-k prediction).
+    pub enable_bgpp: bool,
+    /// Compression ratio of the value-level Huffman fallback (≈ 8 bits /
+    /// ~6.2-bit empirical entropy of INT8 LLM weights).
+    pub value_huffman_cr: f64,
+    /// HBM configuration.
+    pub hbm: HbmConfig,
+    /// Weight SRAM configuration.
+    pub weight_sram: SramConfig,
+    /// Token SRAM configuration.
+    pub token_sram: SramConfig,
+    /// Temp SRAM configuration.
+    pub temp_sram: SramConfig,
+    /// Per-operation energy table.
+    pub energy: EnergyTable,
+    /// Core leakage + clock-tree power in watts (charged over runtime).
+    pub static_core_w: f64,
+}
+
+impl Default for McbpConfig {
+    fn default() -> Self {
+        McbpConfig {
+            pe_clusters: 16,
+            pes_per_cluster: 8,
+            amus_per_pe: 16,
+            amu_tree_inputs: 16,
+            group_size: 4,
+            tile: (64, 256, 32),
+            freq_hz: 1e9,
+            utilization: 0.78,
+            bstc_decoders: 80,
+            decoder_bits_per_cycle: 64.0,
+            bstc_threshold: 0.65,
+            bgpp: BgppConfig::standard(),
+            attn_adds_per_mac: 2.5,
+            shift_overhead: 0.2,
+            enable_brcr: true,
+            enable_bstc: true,
+            enable_bgpp: true,
+            value_huffman_cr: 1.3,
+            hbm: HbmConfig::default(),
+            weight_sram: SramConfig::weight_sram(),
+            token_sram: SramConfig::token_sram(),
+            temp_sram: SramConfig::temp_sram(),
+            energy: EnergyTable::default(),
+            static_core_w: 0.16,
+        }
+    }
+}
+
+impl McbpConfig {
+    /// The ablation baseline of Fig 19: vanilla bit-serial compute +
+    /// value-level Huffman weight compression + value-level top-k.
+    #[must_use]
+    pub fn ablation_baseline() -> Self {
+        McbpConfig {
+            enable_brcr: false,
+            enable_bstc: false,
+            enable_bgpp: false,
+            ..McbpConfig::default()
+        }
+    }
+
+    /// The paper's aggressive operating point (α = 0.45, ≤ 1 % loss).
+    #[must_use]
+    pub fn aggressive() -> Self {
+        McbpConfig { bgpp: BgppConfig::aggressive(), ..McbpConfig::default() }
+    }
+
+    /// Merge additions the array retires per cycle at full utilization:
+    /// every AMU is an adder tree consuming `amu_tree_inputs` operands per
+    /// pass (`inputs − 1` adds).
+    #[must_use]
+    pub fn adds_per_cycle(&self) -> f64 {
+        (self.pe_clusters
+            * self.pes_per_cluster
+            * self.amus_per_pe
+            * (self.amu_tree_inputs - 1)) as f64
+    }
+
+    /// Aggregate decoder bandwidth in bits per cycle.
+    #[must_use]
+    pub fn decode_bits_per_cycle(&self) -> f64 {
+        self.bstc_decoders as f64 * self.decoder_bits_per_cycle
+    }
+
+    /// Total on-chip SRAM capacity in bytes (§5.1 fixes 1248 KB).
+    #[must_use]
+    pub fn sram_bytes(&self) -> u64 {
+        self.weight_sram.capacity_bytes
+            + self.token_sram.capacity_bytes
+            + self.temp_sram.capacity_bytes
+    }
+
+    /// Renders the Table 3 configuration summary.
+    #[must_use]
+    pub fn table3(&self) -> String {
+        format!(
+            "CAM-based BRCR Unit    | {} PE clusters ({} PEs)\n\
+             Processing Element     | 512B CAM; {} index converters; {} add-merge units; 1 reconstruction unit\n\
+             BSTC CODEC Unit        | {} decoders; {} encoders\n\
+             Clock-gated BGPP Unit  | 64 64-input adder trees; 4 progressive filters\n\
+             On-chip Buffer         | {} KB token + {} KB weight + {} KB temp SRAM\n\
+             Main Memory            | HBM2, {}x{}-bit channels, {} GB/s-class\n\
+             Clock                  | {:.1} GHz, group size m = {}",
+            self.pe_clusters,
+            self.pe_clusters * self.pes_per_cluster,
+            self.amus_per_pe,
+            self.amus_per_pe,
+            self.bstc_decoders,
+            self.bstc_decoders / 2,
+            self.token_sram.capacity_bytes / 1024,
+            self.weight_sram.capacity_bytes / 1024,
+            self.temp_sram.capacity_bytes / 1024,
+            self.hbm.channels,
+            self.hbm.bus_bits,
+            (self.hbm.bits_per_core_cycle as f64 / 8.0) * self.freq_hz / 1e9,
+            self.freq_hz / 1e9,
+            self.group_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3_scale() {
+        let c = McbpConfig::default();
+        assert_eq!(c.sram_bytes(), 1248 * 1024);
+        assert_eq!(c.pe_clusters * c.pes_per_cluster, 128);
+        assert_eq!(c.group_size, 4);
+        assert_eq!(c.tile, (64, 256, 32));
+    }
+
+    #[test]
+    fn ablation_baseline_disables_all() {
+        let c = McbpConfig::ablation_baseline();
+        assert!(!c.enable_brcr && !c.enable_bstc && !c.enable_bgpp);
+    }
+
+    #[test]
+    fn table3_renders_key_numbers() {
+        let s = McbpConfig::default().table3();
+        assert!(s.contains("16 PE clusters"));
+        assert!(s.contains("768 KB"));
+        assert!(s.contains("HBM2"));
+    }
+}

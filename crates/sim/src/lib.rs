@@ -1,0 +1,44 @@
+//! Cycle-level model of the MCBP accelerator (§4, Fig 10): the eight-step
+//! pipeline — fetch, BSTC decode, CAM match, merge, reconstruct, write-back
+//! with BGPP prediction running concurrently — over the HBM/SRAM substrate
+//! of `mcbp-mem`, driven by *measured* workload statistics from
+//! `mcbp-workloads` and the functional BGPP predictor from `mcbp-bgpp`.
+//!
+//! The simulator implements [`mcbp_workloads::Accelerator`], so it is
+//! directly comparable against every baseline on identical traces. Its
+//! ablation constructors (`McbpSim::baseline()`, `.with_brcr()`, …)
+//! realize the Fig 19/21/24(b) studies: the ablation baseline is the
+//! paper's "vanilla bit computation + value-level Huffman compression +
+//! value-level top-k prediction".
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_sim::{McbpConfig, McbpSim};
+//! use mcbp_workloads::{Accelerator, SparsityProfile, Task, TraceContext, WeightGenerator};
+//! use mcbp_model::LlmConfig;
+//!
+//! let model = LlmConfig::llama7b();
+//! let gen = WeightGenerator::for_model(&model);
+//! let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 1), 4);
+//! let ctx = TraceContext {
+//!     model, task: Task::cola(), batch: 1,
+//!     weight_profile: profile, attention_keep: 0.3,
+//! };
+//! let mcbp = McbpSim::new(McbpConfig::default());
+//! let report = mcbp.run(&ctx);
+//! assert!(report.total_cycles() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+pub mod dataflow;
+mod engine;
+pub mod pipeline;
+mod power;
+
+pub use config::McbpConfig;
+pub use engine::{McbpSim, PredictionCalibration, UnitEnergy};
+pub use power::{PowerReport, ThroughputReport};

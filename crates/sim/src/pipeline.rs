@@ -1,0 +1,166 @@
+//! The eight-step execution pipeline of Fig 10, walked tile by tile for
+//! one GEMM: ❶ fetch/dispatch, ❷ BSTC decode, ❸ CAM match, ❹ activation
+//! fetch + merge, ❺ write-back — with the BGPP steps ❻–❽ running
+//! concurrently on the prediction side. Each stage gets its own occupancy
+//! so the bottleneck and the pipeline efficiency are visible, which is
+//! what the coarse phase model in `engine.rs` summarizes.
+
+use mcbp_workloads::SparsityProfile;
+
+use crate::McbpConfig;
+
+/// Per-stage busy cycles for one GEMM walked through the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageOccupancy {
+    /// ❶ Weight fetch from HBM into weight SRAM.
+    pub fetch: f64,
+    /// ❷ BSTC decode.
+    pub decode: f64,
+    /// ❸ CAM matching.
+    pub cam: f64,
+    /// ❹ Activation fetch + addition merge + reconstruction.
+    pub merge: f64,
+    /// ❺ Result write-back.
+    pub writeback: f64,
+    /// ❻–❽ BGPP prediction (overlapped).
+    pub predict: f64,
+}
+
+impl StageOccupancy {
+    /// The bottleneck stage's occupancy — the pipelined latency, since all
+    /// stages overlap across tiles (plus one fill latency, negligible at
+    /// thousands of tiles).
+    #[must_use]
+    pub fn pipelined_cycles(&self) -> f64 {
+        self.fetch
+            .max(self.decode)
+            .max(self.cam)
+            .max(self.merge)
+            .max(self.writeback)
+            .max(self.predict)
+    }
+
+    /// What a non-pipelined walk would cost.
+    #[must_use]
+    pub fn serial_cycles(&self) -> f64 {
+        self.fetch + self.decode + self.cam + self.merge + self.writeback + self.predict
+    }
+
+    /// The name of the bottleneck stage.
+    #[must_use]
+    pub fn bottleneck(&self) -> &'static str {
+        let stages = [
+            (self.fetch, "fetch"),
+            (self.decode, "decode"),
+            (self.cam, "cam"),
+            (self.merge, "merge"),
+            (self.writeback, "writeback"),
+            (self.predict, "predict"),
+        ];
+        stages
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite occupancies"))
+            .expect("non-empty")
+            .1
+    }
+}
+
+/// Walks one `rows×cols` weight GEMM (against `n` activation columns)
+/// through the Fig 10 pipeline using measured weight statistics.
+#[must_use]
+pub fn walk_gemm(
+    cfg: &McbpConfig,
+    profile: &SparsityProfile,
+    rows: usize,
+    cols: usize,
+    n: usize,
+) -> StageOccupancy {
+    let elems = rows as f64 * cols as f64;
+    let macs = elems * n as f64;
+
+    // ❶ fetch: compressed weight bits over the HBM bus.
+    let bits_per_elem = if cfg.enable_bstc {
+        profile.bstc_bits_per_element(cfg.bstc_threshold)
+    } else {
+        f64::from(profile.bits) / cfg.value_huffman_cr
+    };
+    let fetch = elems * bits_per_elem / cfg.hbm.bits_per_core_cycle as f64;
+
+    // ❷ decode: coded groups through the decoder lanes.
+    let decode = elems * bits_per_elem / cfg.decode_bits_per_cycle();
+
+    // ❸ CAM: one search per key per *nonzero* 16-column tile per plane
+    // (all-zero tiles are skipped; most high-plane tiles are), across PEs.
+    let tiles: f64 = profile
+        .planes
+        .iter()
+        .map(|p| elems / (cfg.group_size as f64 * 16.0) * p.nonzero_tile_fraction)
+        .sum();
+    let searches = tiles * ((1u64 << cfg.group_size) - 1) as f64;
+    let cam = searches / (cfg.pe_clusters * cfg.pes_per_cluster) as f64;
+
+    // ❹ merge: tree passes (latency) through the AMU array.
+    let passes_per_elem = profile.brcr_latency_passes(64, 512) / (64.0 * 512.0);
+    let merge = macs * passes_per_elem * (1.0 + cfg.shift_overhead)
+        / (cfg.adds_per_cycle() * cfg.utilization);
+
+    // ❺ write-back: INT32 partials once per output element.
+    let outputs = rows as f64 * n as f64;
+    let writeback = outputs * 4.0 / cfg.hbm.bits_per_core_cycle as f64 * 8.0;
+
+    StageOccupancy { fetch, decode, cam, merge, writeback, predict: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_model::LlmConfig;
+    use mcbp_workloads::WeightGenerator;
+
+    fn profile() -> SparsityProfile {
+        let gen = WeightGenerator::for_model(&LlmConfig::llama7b());
+        SparsityProfile::measure(&gen.quantized_sample(64, 512, 9), 4)
+    }
+
+    #[test]
+    fn pipelining_beats_serial_execution() {
+        let cfg = McbpConfig::default();
+        let occ = walk_gemm(&cfg, &profile(), 4096, 4096, 32);
+        assert!(occ.pipelined_cycles() * 2.0 < occ.serial_cycles());
+    }
+
+    #[test]
+    fn prefill_tiles_are_merge_bound() {
+        // Wide activation tiles amortize fetch/decode: compute dominates.
+        let cfg = McbpConfig::default();
+        let occ = walk_gemm(&cfg, &profile(), 4096, 4096, 512);
+        assert_eq!(occ.bottleneck(), "merge", "{occ:?}");
+    }
+
+    #[test]
+    fn gemv_tiles_are_fetch_bound() {
+        // n = 1 (decode): weight streaming dominates.
+        let cfg = McbpConfig::default();
+        let occ = walk_gemm(&cfg, &profile(), 4096, 4096, 1);
+        assert_eq!(occ.bottleneck(), "fetch", "{occ:?}");
+    }
+
+    #[test]
+    fn bstc_relieves_the_fetch_stage() {
+        let on = McbpConfig::default();
+        let off = McbpConfig { enable_bstc: false, value_huffman_cr: 1.0, ..McbpConfig::default() };
+        let p = profile();
+        let with = walk_gemm(&on, &p, 2048, 2048, 1);
+        let without = walk_gemm(&off, &p, 2048, 2048, 1);
+        assert!(with.fetch < without.fetch);
+    }
+
+    #[test]
+    fn decoder_keeps_up_with_the_bus() {
+        // §4.4's premise: the parallel decoders must not become the
+        // bottleneck behind the HBM stream.
+        let cfg = McbpConfig::default();
+        let occ = walk_gemm(&cfg, &profile(), 4096, 4096, 1);
+        assert!(occ.decode <= occ.fetch * 1.05, "decode {} vs fetch {}", occ.decode, occ.fetch);
+    }
+}

@@ -1,0 +1,144 @@
+use mcbp_model::LlmConfig;
+
+use crate::{SparsityProfile, Task};
+
+/// Everything an accelerator model needs to cost a workload: the model and
+/// task shapes plus the *measured* statistics of the weights and the
+/// attention-sparsity operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceContext {
+    /// Model shapes.
+    pub model: LlmConfig,
+    /// Task shape.
+    pub task: Task,
+    /// Batch size.
+    pub batch: usize,
+    /// Measured weight sparsity/repetition profile (from synthetic weights
+    /// calibrated for `model`).
+    pub weight_profile: SparsityProfile,
+    /// Fraction of KV pairs kept by attention-sparsity prediction
+    /// (1.0 = dense attention). MCBP and the top-k baselines each decide
+    /// how much of the benefit they can realize.
+    pub attention_keep: f64,
+}
+
+/// Per-phase cost report. Cycles are 1 GHz core cycles; energies in pJ,
+/// split by the categories of Fig 23 (compute, bit-reorder, off-chip).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseCost {
+    /// Cycles spent in GEMM compute.
+    pub gemm_cycles: f64,
+    /// Cycles exposed waiting on weight traffic.
+    pub weight_load_cycles: f64,
+    /// Cycles exposed waiting on KV-cache traffic.
+    pub kv_load_cycles: f64,
+    /// Everything else (prediction, softmax, control).
+    pub other_cycles: f64,
+    /// Compute energy.
+    pub compute_pj: f64,
+    /// Bit-reordering energy (value↔bit layout conversion; §5.4).
+    pub reorder_pj: f64,
+    /// On-chip memory energy.
+    pub onchip_pj: f64,
+    /// Off-chip memory energy.
+    pub offchip_pj: f64,
+}
+
+impl PhaseCost {
+    /// Total cycles (components are serialized exposures, already overlap-
+    /// adjusted by each model).
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.gemm_cycles + self.weight_load_cycles + self.kv_load_cycles + self.other_cycles
+    }
+
+    /// Total energy in pJ.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.reorder_pj + self.onchip_pj + self.offchip_pj
+    }
+
+    /// Accumulates another phase cost.
+    pub fn absorb(&mut self, other: &PhaseCost) {
+        self.gemm_cycles += other.gemm_cycles;
+        self.weight_load_cycles += other.weight_load_cycles;
+        self.kv_load_cycles += other.kv_load_cycles;
+        self.other_cycles += other.other_cycles;
+        self.compute_pj += other.compute_pj;
+        self.reorder_pj += other.reorder_pj;
+        self.onchip_pj += other.onchip_pj;
+        self.offchip_pj += other.offchip_pj;
+    }
+}
+
+/// A full workload report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunReport {
+    /// Prefill phase cost.
+    pub prefill: PhaseCost,
+    /// Decode phase cost.
+    pub decode: PhaseCost,
+}
+
+impl RunReport {
+    /// End-to-end cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.prefill.total_cycles() + self.decode.total_cycles()
+    }
+
+    /// End-to-end energy in pJ.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.prefill.total_pj() + self.decode.total_pj()
+    }
+
+    /// Latency in seconds at the given clock.
+    #[must_use]
+    pub fn seconds_at(&self, freq_hz: f64) -> f64 {
+        self.total_cycles() / freq_hz
+    }
+}
+
+/// The interface every modeled design implements — MCBP, its ablations,
+/// and all baselines — so every comparison figure runs identical inputs.
+pub trait Accelerator {
+    /// Display name (as used in figure legends).
+    fn name(&self) -> &str;
+
+    /// Costs one workload.
+    fn run(&self, ctx: &TraceContext) -> RunReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_cost_totals() {
+        let p = PhaseCost {
+            gemm_cycles: 1.0,
+            weight_load_cycles: 2.0,
+            kv_load_cycles: 3.0,
+            other_cycles: 4.0,
+            compute_pj: 5.0,
+            reorder_pj: 6.0,
+            onchip_pj: 7.0,
+            offchip_pj: 8.0,
+        };
+        assert_eq!(p.total_cycles(), 10.0);
+        assert_eq!(p.total_pj(), 26.0);
+        let mut q = p;
+        q.absorb(&p);
+        assert_eq!(q.total_cycles(), 20.0);
+    }
+
+    #[test]
+    fn seconds_at_one_ghz() {
+        let r = RunReport {
+            prefill: PhaseCost { gemm_cycles: 5e8, ..Default::default() },
+            decode: PhaseCost { gemm_cycles: 5e8, ..Default::default() },
+        };
+        assert!((r.seconds_at(1e9) - 1.0).abs() < 1e-12);
+    }
+}

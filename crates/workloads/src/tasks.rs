@@ -1,0 +1,151 @@
+/// What kind of work a task does — governs its prompt/decode balance and
+/// which optimization dominates it (Fig 19b's crossover analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Short-prompt classification (GLUE-style): weight-load bound decode.
+    Classification,
+    /// Language modeling / summarization: balanced.
+    LanguageModeling,
+    /// Reasoning (MMLU, Winogrande).
+    Reasoning,
+    /// Code generation (MBPP): decode-dominated.
+    Generation,
+    /// Long-context processing (Dolly): KV-cache bound.
+    LongContext,
+}
+
+/// One benchmark task with the sequence shape the paper evaluates (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task name as printed in the figures.
+    pub name: &'static str,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Decode length in tokens.
+    pub decode_len: usize,
+    /// Task kind.
+    pub kind: TaskKind,
+}
+
+impl Task {
+    /// Cola (GLUE), S = 0.25k.
+    #[must_use]
+    pub fn cola() -> Self {
+        Task { name: "Cola", prompt_len: 256, decode_len: 16, kind: TaskKind::Classification }
+    }
+
+    /// MNLI (GLUE), S = 0.5k.
+    #[must_use]
+    pub fn mnli() -> Self {
+        Task { name: "MNLI", prompt_len: 512, decode_len: 16, kind: TaskKind::Classification }
+    }
+
+    /// SST-2 (GLUE), S = 0.25k.
+    #[must_use]
+    pub fn sst2() -> Self {
+        Task { name: "SST2", prompt_len: 256, decode_len: 16, kind: TaskKind::Classification }
+    }
+
+    /// Wikitext-2 language modeling, S = 2k.
+    #[must_use]
+    pub fn wikitext2() -> Self {
+        Task { name: "Wiki2", prompt_len: 2048, decode_len: 16, kind: TaskKind::LanguageModeling }
+    }
+
+    /// Wikilingua summarization, S = 2k (decode ≈ 48, as in Fig 23).
+    #[must_use]
+    pub fn wikilingua() -> Self {
+        Task { name: "Wikiling", prompt_len: 2048, decode_len: 48, kind: TaskKind::LanguageModeling }
+    }
+
+    /// Winogrande, S = 0.25k.
+    #[must_use]
+    pub fn winogrande() -> Self {
+        Task { name: "Winogran", prompt_len: 256, decode_len: 16, kind: TaskKind::Reasoning }
+    }
+
+    /// MMLU, S = 0.5k.
+    #[must_use]
+    pub fn mmlu() -> Self {
+        Task { name: "MMLU", prompt_len: 512, decode_len: 16, kind: TaskKind::Reasoning }
+    }
+
+    /// MBPP code generation, S = 1k prompt budget; Fig 19(b) studies it
+    /// with a ~48-token prompt and a long decode — this default keeps the
+    /// benchmark-list shape (1k) with a 1k decode.
+    #[must_use]
+    pub fn mbpp() -> Self {
+        Task { name: "MBPP", prompt_len: 1024, decode_len: 1024, kind: TaskKind::Generation }
+    }
+
+    /// Dolly long-context processing, S = 8k (decode ≈ 48, Fig 19/23).
+    #[must_use]
+    pub fn dolly() -> Self {
+        Task { name: "Dolly", prompt_len: 8192, decode_len: 48, kind: TaskKind::LongContext }
+    }
+
+    /// The paper's nine-task suite.
+    #[must_use]
+    pub fn paper_suite() -> Vec<Task> {
+        vec![
+            Self::cola(),
+            Self::mnli(),
+            Self::sst2(),
+            Self::wikitext2(),
+            Self::wikilingua(),
+            Self::winogrande(),
+            Self::mmlu(),
+            Self::mbpp(),
+            Self::dolly(),
+        ]
+    }
+
+    /// A copy with a different prompt length (for the Fig 1 / Fig 19
+    /// prompt sweeps).
+    #[must_use]
+    pub fn with_prompt(mut self, prompt: usize) -> Self {
+        self.prompt_len = prompt;
+        self
+    }
+
+    /// A copy with a different decode length.
+    #[must_use]
+    pub fn with_decode(mut self, decode: usize) -> Self {
+        self.decode_len = decode;
+        self
+    }
+
+    /// Final context length after generation completes.
+    #[must_use]
+    pub fn final_context(&self) -> usize {
+        self.prompt_len + self.decode_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_tasks() {
+        let suite = Task::paper_suite();
+        assert_eq!(suite.len(), 9);
+        let names: Vec<&str> = suite.iter().map(|t| t.name).collect();
+        assert!(names.contains(&"Dolly") && names.contains(&"MBPP"));
+    }
+
+    #[test]
+    fn paper_sequence_lengths() {
+        assert_eq!(Task::cola().prompt_len, 256);
+        assert_eq!(Task::wikitext2().prompt_len, 2048);
+        assert_eq!(Task::dolly().prompt_len, 8192);
+        assert_eq!(Task::mbpp().prompt_len, 1024);
+    }
+
+    #[test]
+    fn builders_adjust_shape() {
+        let t = Task::dolly().with_prompt(4096).with_decode(48);
+        assert_eq!(t.final_context(), 4096 + 48);
+        assert_eq!(t.kind, TaskKind::LongContext);
+    }
+}

@@ -1,0 +1,207 @@
+use mcbp_model::{layer_ops, GemmKind, LlmConfig, OpDescriptor, Phase};
+
+use crate::Task;
+
+/// Which end-to-end phase an op belongs to (the two bars of Fig 23).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// Prompt processing.
+    Prefill,
+    /// Autoregressive generation.
+    Decode,
+}
+
+/// One op with its repetition count across the workload.
+///
+/// Decode steps are exactly aggregated: MACs and KV bytes are linear in the
+/// context length, so `decode_len` steps at contexts `prompt..prompt+decode`
+/// equal `decode_len` steps at the mean context. Weight bytes per step are
+/// context-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedOp {
+    /// Phase the op runs in.
+    pub phase: PhaseTag,
+    /// The op shape.
+    pub op: OpDescriptor,
+    /// How many times it executes (layers × steps × batch).
+    pub repeats: f64,
+}
+
+impl TracedOp {
+    /// Total MACs across repeats.
+    #[must_use]
+    pub fn total_macs(&self) -> f64 {
+        self.op.macs() as f64 * self.repeats
+    }
+
+    /// Total weight bytes across repeats at 1 byte per value.
+    #[must_use]
+    pub fn total_weight_bytes(&self) -> f64 {
+        self.op.weight_bytes(1) as f64 * self.repeats
+    }
+
+    /// Total KV bytes across repeats at 1 byte per value.
+    #[must_use]
+    pub fn total_kv_bytes(&self) -> f64 {
+        self.op.kv_bytes(1) as f64 * self.repeats
+    }
+}
+
+/// Builds the full op trace of a (model, task, batch) workload: prefill at
+/// the prompt length plus the aggregated decode steps, including the final
+/// logits projection once per generated token.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+#[must_use]
+pub fn build_trace(model: &LlmConfig, task: &Task, batch: usize) -> Vec<TracedOp> {
+    assert!(batch >= 1, "batch must be positive");
+    let b = batch as f64;
+    let mut ops = Vec::new();
+
+    // ---- prefill ----
+    for op in layer_ops(model, Phase::Prefill { prompt: task.prompt_len }) {
+        ops.push(TracedOp { phase: PhaseTag::Prefill, op, repeats: model.layers as f64 * b });
+    }
+    // Logits for the first generated token.
+    ops.push(TracedOp {
+        phase: PhaseTag::Prefill,
+        op: OpDescriptor { kind: GemmKind::Weight, m: 1, k: model.hidden, n: model.vocab, count: 1 },
+        repeats: b,
+    });
+
+    // ---- decode (aggregated at the mean context) ----
+    if task.decode_len > 0 {
+        let mean_ctx = task.prompt_len + task.decode_len / 2;
+        for op in layer_ops(model, Phase::Decode { context: mean_ctx.max(1) }) {
+            ops.push(TracedOp {
+                phase: PhaseTag::Decode,
+                op,
+                repeats: model.layers as f64 * task.decode_len as f64 * b,
+            });
+        }
+        ops.push(TracedOp {
+            phase: PhaseTag::Decode,
+            op: OpDescriptor {
+                kind: GemmKind::Weight,
+                m: 1,
+                k: model.hidden,
+                n: model.vocab,
+                count: 1,
+            },
+            repeats: task.decode_len as f64 * b,
+        });
+    }
+    ops
+}
+
+/// Aggregate totals of a trace, split by phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceTotals {
+    /// Prefill MACs.
+    pub prefill_macs: f64,
+    /// Decode MACs.
+    pub decode_macs: f64,
+    /// Prefill weight bytes (1 B/value).
+    pub prefill_weight_bytes: f64,
+    /// Decode weight bytes.
+    pub decode_weight_bytes: f64,
+    /// Prefill KV bytes.
+    pub prefill_kv_bytes: f64,
+    /// Decode KV bytes.
+    pub decode_kv_bytes: f64,
+}
+
+/// Sums a trace into per-phase totals.
+#[must_use]
+pub fn trace_totals(trace: &[TracedOp]) -> TraceTotals {
+    let mut t = TraceTotals::default();
+    for op in trace {
+        match op.phase {
+            PhaseTag::Prefill => {
+                t.prefill_macs += op.total_macs();
+                t.prefill_weight_bytes += op.total_weight_bytes();
+                t.prefill_kv_bytes += op.total_kv_bytes();
+            }
+            PhaseTag::Decode => {
+                t.decode_macs += op.total_macs();
+                t.decode_weight_bytes += op.total_weight_bytes();
+                t.decode_kv_bytes += op.total_kv_bytes();
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_weight_bytes_equal_params_times_steps() {
+        // Each decode step streams the full decoder (plus lm_head once).
+        let model = LlmConfig::llama7b();
+        let task = Task::mbpp();
+        let trace = build_trace(&model, &task, 1);
+        let totals = trace_totals(&trace);
+        let expected = (model.decoder_params()
+            + model.hidden as u64 * model.vocab as u64) as f64
+            * task.decode_len as f64;
+        assert!((totals.decode_weight_bytes - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn prefill_macs_dominated_by_quadratic_attention_for_long_prompts() {
+        let model = LlmConfig::llama7b();
+        let short = trace_totals(&build_trace(&model, &Task::cola(), 1));
+        let long = trace_totals(&build_trace(&model, &Task::dolly(), 1));
+        // Attention share must grow with prompt length.
+        let attn_share = |t: &TraceTotals, task: &Task, _model: &LlmConfig| {
+            let attn: f64 = build_trace(&LlmConfig::llama7b(), task, 1)
+                .iter()
+                .filter(|o| {
+                    o.phase == PhaseTag::Prefill && o.op.kind != GemmKind::Weight
+                })
+                .map(TracedOp::total_macs)
+                .sum();
+            attn / t.prefill_macs
+        };
+        assert!(
+            attn_share(&long, &Task::dolly(), &model) > attn_share(&short, &Task::cola(), &model)
+        );
+    }
+
+    #[test]
+    fn batch_scales_everything_linearly() {
+        let model = LlmConfig::opt1b3();
+        let t1 = trace_totals(&build_trace(&model, &Task::mmlu(), 1));
+        let t4 = trace_totals(&build_trace(&model, &Task::mmlu(), 4));
+        assert!((t4.prefill_macs - 4.0 * t1.prefill_macs).abs() < 1e-6 * t4.prefill_macs);
+        assert!((t4.decode_kv_bytes - 4.0 * t1.decode_kv_bytes).abs() < 1e-6 * t4.decode_kv_bytes);
+    }
+
+    #[test]
+    fn decode_aggregation_is_exact_for_linear_quantities() {
+        // Sum over explicit steps == aggregate at the mean context.
+        let model = LlmConfig::opt1b3();
+        let task = Task::cola().with_decode(8);
+        let agg = trace_totals(&build_trace(&model, &task, 1));
+        let mut explicit_kv = 0.0;
+        for step in 0..8usize {
+            let ctx = task.prompt_len + step;
+            for op in layer_ops(&model, Phase::Decode { context: ctx }) {
+                explicit_kv += op.kv_bytes(1) as f64 * model.layers as f64;
+            }
+        }
+        let rel = (agg.decode_kv_bytes - explicit_kv).abs() / explicit_kv;
+        assert!(rel < 0.01, "aggregated {} vs explicit {explicit_kv}", agg.decode_kv_bytes);
+    }
+
+    #[test]
+    fn zero_decode_produces_no_decode_ops() {
+        let model = LlmConfig::opt1b3();
+        let trace = build_trace(&model, &Task::cola().with_decode(0), 1);
+        assert!(trace.iter().all(|o| o.phase == PhaseTag::Prefill));
+    }
+}

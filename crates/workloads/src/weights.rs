@@ -1,0 +1,415 @@
+use mcbp_bitslice::group::{GroupView, SignedPattern};
+use mcbp_bitslice::stats::{value_sparsity, zero_group_fraction};
+use mcbp_bitslice::{BitPlanes, IntMatrix};
+use mcbp_model::LlmConfig;
+use mcbp_quant::{Calibration, FloatMatrix, PerChannelSymmetric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic LLM weight generator: a Gaussian bulk plus *channel-correlated*
+/// outliers, calibrated per model so the post-quantization statistics land
+/// in the paper's reported bands (DESIGN.md, substitution 1).
+///
+/// Outliers in real LLM weights concentrate in a small set of input
+/// channels (the LLM.int8 observation), so a fraction of *columns* carries
+/// large magnitudes across all rows. This correlation is what makes
+/// high-order bit-plane nonzeros cluster into a few column groups — the
+/// structure both BSTC (all-zero groups elsewhere) and BRCR (repeated
+/// group patterns) exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightGenerator {
+    /// Model the parameters were calibrated for.
+    pub model_name: &'static str,
+    /// Fraction of columns that are outlier channels.
+    pub outlier_col_fraction: f64,
+    /// Outlier-channel standard deviation relative to the bulk.
+    pub outlier_scale: f32,
+    /// Probability of an isolated element outlier outside those channels.
+    pub element_outlier_prob: f64,
+}
+
+impl WeightGenerator {
+    /// Calibrated generator for one of the five evaluation models. The
+    /// per-model constants differ slightly, mirroring the per-model spread
+    /// of value/bit sparsity in Fig 5(d).
+    #[must_use]
+    pub fn for_model(cfg: &LlmConfig) -> Self {
+        let (outlier_col_fraction, outlier_scale) = match cfg.name {
+            "OPT1B3" => (0.016, 15.0),
+            "Bloom1B7" => (0.014, 16.0),
+            "Qwen7B" => (0.012, 16.0),
+            "Llama7B" => (0.012, 17.0),
+            "Llama13B" => (0.011, 16.5),
+            _ => (0.012, 16.0),
+        };
+        WeightGenerator {
+            model_name: cfg.name,
+            outlier_col_fraction,
+            outlier_scale,
+            element_outlier_prob: 0.0005,
+        }
+    }
+
+    /// Draws a float weight matrix (bulk std 1.0; scale is irrelevant after
+    /// per-channel quantization).
+    #[must_use]
+    pub fn generate(&self, rows: usize, cols: usize, seed: u64) -> FloatMatrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(self.model_name));
+        let outlier_col: Vec<bool> =
+            (0..cols).map(|_| rng.gen::<f64>() < self.outlier_col_fraction).collect();
+        let mut data = Vec::with_capacity(rows * cols);
+        for _r in 0..rows {
+            for oc in &outlier_col {
+                let g = gaussian(&mut rng);
+                let v = if *oc || rng.gen::<f64>() < self.element_outlier_prob {
+                    g * self.outlier_scale
+                } else {
+                    g
+                };
+                data.push(v);
+            }
+        }
+        FloatMatrix::from_flat(rows, cols, data)
+    }
+
+    /// Draws and INT8-quantizes (per-channel symmetric PTQ) a weight
+    /// sample — the tensor every MCBP component consumes.
+    #[must_use]
+    pub fn quantized_sample(&self, rows: usize, cols: usize, seed: u64) -> IntMatrix {
+        self.quantized_sample_bits(rows, cols, seed, 8, Calibration::MinMax)
+    }
+
+    /// [`quantized_sample`](Self::quantized_sample) at an arbitrary width
+    /// and calibration (PTQ INT4, percentile-clipped QAT-like INT8, … —
+    /// the Fig 25 quantization study).
+    #[must_use]
+    pub fn quantized_sample_bits(
+        &self,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        bits: u8,
+        cal: Calibration,
+    ) -> IntMatrix {
+        let w = self.generate(rows, cols, seed);
+        let (q, _) = PerChannelSymmetric::quantize(&w, bits, cal);
+        q
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7f32..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Per-magnitude-plane statistics of a quantized weight tensor at BRCR
+/// group granularity `m`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneProfile {
+    /// Zero-bit fraction of the plane.
+    pub sparsity: f64,
+    /// Fraction of all-zero `m`-bit column groups (drives the BSTC CR).
+    pub zero_group_fraction: f64,
+    /// Mean merge accumulates per group column (≤ 2; dual-rail).
+    pub accumulates_per_column: f64,
+    /// Mean AMU tree passes per group column: the CAM matches all columns
+    /// of a 16-wide tile sharing one pattern and the adder tree merges
+    /// them in a single pass (Fig 14), so latency follows *distinct*
+    /// patterns per tile, not scalar adds (which govern energy).
+    pub tree_passes_per_column: f64,
+    /// Mean reconstruction adds per `m`-row group (both rails).
+    pub recon_adds_per_group: f64,
+    /// Fraction of 16-column CAM tiles containing at least one nonzero
+    /// group (all-zero tiles skip loading and matching entirely).
+    pub nonzero_tile_fraction: f64,
+}
+
+/// Measured sparsity/repetition profile of one weight tensor — everything
+/// the cycle-level simulator needs to cost a GEMM of this weight's
+/// distribution without re-simulating every element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityProfile {
+    /// Group size the profile was measured at.
+    pub m: usize,
+    /// Weight bit width (including sign).
+    pub bits: u8,
+    /// Fraction of zero values.
+    pub value_sparsity: f64,
+    /// Mean magnitude-plane sparsity (the paper's "bit sparsity").
+    pub mean_bit_sparsity: f64,
+    /// Per-plane profiles, LSB→MSB.
+    pub planes: Vec<PlaneProfile>,
+}
+
+impl SparsityProfile {
+    /// Measures a profile from an actual quantized tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0 or greater than 16, or the tensor has fewer rows
+    /// than 1.
+    #[must_use]
+    pub fn measure(w: &IntMatrix, m: usize) -> Self {
+        assert!((1..=16).contains(&m), "group size {m} out of range");
+        let planes = BitPlanes::from_matrix(w);
+        let rows = w.rows();
+        let cols = w.cols();
+        let mut plane_profiles = Vec::with_capacity(planes.magnitude_planes());
+        let mut pats = vec![SignedPattern::default(); cols];
+        for b in 0..planes.magnitude_planes() {
+            let plane = planes.magnitude(b);
+            let mut accumulates = 0u64;
+            let mut tree_passes = 0u64;
+            let mut recon = 0u64;
+            let mut groups = 0u64;
+            let mut tiles = 0u64;
+            let mut nonzero_tiles = 0u64;
+            let mut row0 = 0;
+            while row0 < rows {
+                let size = m.min(rows - row0);
+                let g = GroupView::new(&planes, b, row0, size);
+                g.signed_patterns_into(&mut pats);
+                let entries = 1usize << size;
+                let mut pos_seen = vec![false; entries];
+                let mut neg_seen = vec![false; entries];
+                for p in &pats {
+                    if p.pos != 0 {
+                        accumulates += 1;
+                        pos_seen[p.pos as usize] = true;
+                    }
+                    if p.neg != 0 {
+                        accumulates += 1;
+                        neg_seen[p.neg as usize] = true;
+                    }
+                }
+                // Tree passes: one AMU pass per distinct nonzero rail
+                // pattern per CAM tile of 16 columns.
+                for tile in pats.chunks(16) {
+                    let mut pos_tile = vec![false; entries];
+                    let mut neg_tile = vec![false; entries];
+                    for p in tile {
+                        if p.pos != 0 {
+                            pos_tile[p.pos as usize] = true;
+                        }
+                        if p.neg != 0 {
+                            neg_tile[p.neg as usize] = true;
+                        }
+                    }
+                    let passes = pos_tile.iter().filter(|x| **x).count() as u64
+                        + neg_tile.iter().filter(|x| **x).count() as u64;
+                    tree_passes += passes;
+                    tiles += 1;
+                    if passes > 0 {
+                        nonzero_tiles += 1;
+                    }
+                }
+                for e in 1..entries {
+                    if pos_seen[e] {
+                        recon += u64::from((e as u32).count_ones());
+                    }
+                    if neg_seen[e] {
+                        recon += u64::from((e as u32).count_ones());
+                    }
+                }
+                groups += 1;
+                row0 += size;
+            }
+            let g = groups.max(1) as f64;
+            plane_profiles.push(PlaneProfile {
+                sparsity: plane.sparsity(),
+                zero_group_fraction: zero_group_fraction(plane, m),
+                accumulates_per_column: accumulates as f64 / (g * cols.max(1) as f64),
+                tree_passes_per_column: tree_passes as f64 / (g * cols.max(1) as f64),
+                recon_adds_per_group: recon as f64 / g,
+                nonzero_tile_fraction: nonzero_tiles as f64 / tiles.max(1) as f64,
+            });
+        }
+        let mean_bit_sparsity = if plane_profiles.is_empty() {
+            1.0
+        } else {
+            plane_profiles.iter().map(|p| p.sparsity).sum::<f64>() / plane_profiles.len() as f64
+        };
+        SparsityProfile {
+            m,
+            bits: w.bits(),
+            value_sparsity: value_sparsity(w),
+            mean_bit_sparsity,
+            planes: plane_profiles,
+        }
+    }
+
+    /// Measured BRCR additions for a GEMV against an `rows × cols` weight
+    /// of this distribution (merge + reconstruction over all planes).
+    #[must_use]
+    pub fn brcr_adds(&self, rows: usize, cols: usize) -> f64 {
+        let groups = (rows as f64 / self.m as f64).ceil();
+        self.planes
+            .iter()
+            .map(|p| groups * (cols as f64 * p.accumulates_per_column + p.recon_adds_per_group))
+            .sum()
+    }
+
+    /// Measured BRCR AMU *tree passes* for a GEMV — the latency-governing
+    /// quantity: matched columns of one pattern merge in a single
+    /// adder-tree pass (energy still pays per scalar add, `brcr_adds`).
+    #[must_use]
+    pub fn brcr_latency_passes(&self, rows: usize, cols: usize) -> f64 {
+        let groups = (rows as f64 / self.m as f64).ceil();
+        self.planes
+            .iter()
+            .map(|p| groups * (cols as f64 * p.tree_passes_per_column + p.recon_adds_per_group))
+            .sum()
+    }
+
+    /// Sparsity-aware naive bit-serial additions (one add per set bit).
+    #[must_use]
+    pub fn naive_bit_serial_adds(&self, rows: usize, cols: usize) -> f64 {
+        let elems = rows as f64 * cols as f64;
+        self.planes.iter().map(|p| elems * (1.0 - p.sparsity)).sum()
+    }
+
+    /// Dense bit-serial additions (all planes, zeros included).
+    #[must_use]
+    pub fn dense_bit_serial_adds(&self, rows: usize, cols: usize) -> f64 {
+        rows as f64 * cols as f64 * self.planes.len() as f64
+    }
+
+    /// Stored bits per weight element under BSTC with the given plane-
+    /// compression threshold (sign plane always raw). A plane above the
+    /// sparsity threshold is still stored raw when its measured zero-group
+    /// rate would make coding inflate — the deployment-time decision the
+    /// Fig 8(b) break-even analysis drives.
+    #[must_use]
+    pub fn bstc_bits_per_element(&self, sparsity_threshold: f64) -> f64 {
+        let m = self.m as f64;
+        let mag: f64 = self
+            .planes
+            .iter()
+            .map(|p| {
+                let coded =
+                    (p.zero_group_fraction + (1.0 - p.zero_group_fraction) * (m + 1.0)) / m;
+                if p.sparsity > sparsity_threshold && coded < 1.0 {
+                    coded
+                } else {
+                    1.0
+                }
+            })
+            .sum();
+        mag + 1.0 // sign plane
+    }
+
+    /// Mean fraction of CAM tiles that require matching, across planes.
+    #[must_use]
+    pub fn mean_nonzero_tile_fraction(&self) -> f64 {
+        if self.planes.is_empty() {
+            return 0.0;
+        }
+        self.planes.iter().map(|p| p.nonzero_tile_fraction).sum::<f64>() / self.planes.len() as f64
+    }
+
+    /// Weight compression ratio under BSTC (`raw bits / stored bits`).
+    #[must_use]
+    pub fn bstc_compression_ratio(&self, sparsity_threshold: f64) -> f64 {
+        f64::from(self.bits) / self.bstc_bits_per_element(sparsity_threshold)
+    }
+
+    /// Ratio of mean bit sparsity to value sparsity (the Fig 5(d) metric).
+    /// Returns `f64::INFINITY` for a tensor with no zero values.
+    #[must_use]
+    pub fn bit_to_value_ratio(&self) -> f64 {
+        if self.value_sparsity == 0.0 {
+            f64::INFINITY
+        } else {
+            self.mean_bit_sparsity / self.value_sparsity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_bands_for_all_models() {
+        for cfg in LlmConfig::paper_suite() {
+            let gen = WeightGenerator::for_model(&cfg);
+            let w = gen.quantized_sample(128, 1024, 7);
+            let p = SparsityProfile::measure(&w, 4);
+            assert!(
+                (0.02..=0.14).contains(&p.value_sparsity),
+                "{}: value sparsity {}",
+                cfg.name,
+                p.value_sparsity
+            );
+            assert!(
+                (0.55..=0.88).contains(&p.mean_bit_sparsity),
+                "{}: bit sparsity {}",
+                cfg.name,
+                p.mean_bit_sparsity
+            );
+            assert!(
+                p.mean_bit_sparsity / p.value_sparsity > 5.0,
+                "{}: ratio {}",
+                cfg.name,
+                p.mean_bit_sparsity / p.value_sparsity
+            );
+        }
+    }
+
+    #[test]
+    fn high_order_planes_exceed_break_even() {
+        // Fig 8(c): magnitude bits 3-7 all clear 65 % sparsity.
+        let gen = WeightGenerator::for_model(&LlmConfig::llama7b());
+        let w = gen.quantized_sample(128, 1024, 3);
+        let p = SparsityProfile::measure(&w, 4);
+        for (b, plane) in p.planes.iter().enumerate().skip(2) {
+            assert!(plane.sparsity > 0.65, "plane {b}: {}", plane.sparsity);
+        }
+    }
+
+    #[test]
+    fn bstc_ratio_beats_one_on_llm_weights() {
+        let gen = WeightGenerator::for_model(&LlmConfig::qwen7b());
+        let w = gen.quantized_sample(128, 512, 9);
+        let p = SparsityProfile::measure(&w, 4);
+        assert!(p.bstc_compression_ratio(0.65) > 1.15, "{}", p.bstc_compression_ratio(0.65));
+    }
+
+    #[test]
+    fn brcr_beats_naive_and_dense_on_llm_weights() {
+        let gen = WeightGenerator::for_model(&LlmConfig::llama13b());
+        let w = gen.quantized_sample(64, 2048, 11);
+        let p = SparsityProfile::measure(&w, 4);
+        let brcr = p.brcr_adds(64, 2048);
+        assert!(brcr < p.naive_bit_serial_adds(64, 2048));
+        assert!(brcr * 2.5 < p.dense_bit_serial_adds(64, 2048));
+    }
+
+    #[test]
+    fn int4_has_more_value_sparsity_but_bits_still_win() {
+        // Fig 25(c): PTQ INT4 raises value sparsity to ~16 % while bit
+        // sparsity stays several times higher. INT4 PTQ uses clipped ranges
+        // (the paper quantizes with the QLLM framework, which optimizes the
+        // clipping), modeled by percentile calibration.
+        let gen = WeightGenerator::for_model(&LlmConfig::llama13b());
+        let w8 = gen.quantized_sample(96, 1024, 13);
+        let w4 = gen.quantized_sample_bits(96, 1024, 13, 4, Calibration::Percentile(0.995));
+        let p8 = SparsityProfile::measure(&w8, 4);
+        let p4 = SparsityProfile::measure(&w4, 4);
+        assert!(p4.value_sparsity > 1.5 * p8.value_sparsity);
+        assert!(p4.mean_bit_sparsity / p4.value_sparsity > 2.0);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_model_and_seed() {
+        let gen = WeightGenerator::for_model(&LlmConfig::llama7b());
+        assert_eq!(gen.quantized_sample(8, 8, 42), gen.quantized_sample(8, 8, 42));
+        let other = WeightGenerator::for_model(&LlmConfig::opt1b3());
+        assert_ne!(gen.quantized_sample(8, 8, 42), other.quantized_sample(8, 8, 42));
+    }
+}

@@ -1,0 +1,52 @@
+//! Design-space exploration: sweep the BRCR/BSTC group size `m` on *your*
+//! weight distribution and compare measured costs against the paper's
+//! closed-form model (the Fig 18 methodology, applied to measured data).
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use mcbp::brcr::cost;
+use mcbp::bstc::analytics;
+use mcbp::prelude::*;
+
+fn main() {
+    let model = LlmConfig::llama7b();
+    let generator = WeightGenerator::for_model(&model);
+    let wq = generator.quantized_sample(128, 2048, 11);
+
+    println!("group-size sweep on a 128x2048 INT8 sample for {}\n", model.name);
+    println!(
+        "{:>3} {:>16} {:>16} {:>12} {:>12}",
+        "m", "measured adds", "measured passes", "measured CR", "paper CPR"
+    );
+
+    let dense = 128.0 * 2048.0 * 7.0;
+    for m in 1..=8usize {
+        let profile = SparsityProfile::measure(&wq, m);
+        let adds = profile.brcr_adds(128, 2048);
+        let passes = profile.brcr_latency_passes(128, 2048);
+        let cr = profile.bstc_compression_ratio(0.65);
+        let paper_cpr = cost::comp_reduction_vs_dense(8, 2048, m, profile.mean_bit_sparsity);
+        println!(
+            "{:>3} {:>13.0} ({:>4.1}x) {:>10.0} ({:>4.1}x) {:>11.2} {:>11.1}",
+            m,
+            adds,
+            dense / adds,
+            passes,
+            dense / passes,
+            cr,
+            paper_cpr,
+        );
+    }
+
+    println!("\nanalytic CR optimum (iid model) per sparsity:");
+    for sr in [0.7, 0.8, 0.9, 0.95] {
+        println!(
+            "  SR {:.2}: best m = {} (CR {:.2})",
+            sr,
+            analytics::optimal_group_size(10, sr),
+            analytics::expected_cr(analytics::optimal_group_size(10, sr), sr)
+        );
+    }
+    println!("\nm = 4 balances computation reduction, compression, and divisibility of LLM");
+    println!("hidden sizes — the paper's chosen operating point.");
+}

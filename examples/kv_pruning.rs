@@ -1,0 +1,58 @@
+//! KV-cache pruning in a *running* transformer: plug BGPP into the INT8
+//! functional model, sweep the pruning knob α, and watch the trade-off
+//! between output fidelity and attention sparsity (the Fig 24(a) study).
+//!
+//! Run with: `cargo run --release --example kv_pruning`
+
+use mcbp::model::{fidelity, KeepAll, QuantTransformer, Transformer, TransformerConfig};
+use mcbp::prelude::*;
+use mcbp::BgppPruner;
+
+fn main() {
+    let cfg = TransformerConfig::tiny();
+    let model = Transformer::random(cfg, 2024);
+    let tokens: Vec<usize> = (0..48).map(|i| (i * 31 + 3) % cfg.vocab).collect();
+
+    println!("model: {} layers, hidden {}, {} heads; sequence of {} tokens", cfg.layers, cfg.hidden, cfg.heads, tokens.len());
+
+    // Reference outputs.
+    let fp32 = model.forward_f32(&tokens);
+    let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+    let (int8, dense_stats) = quant.forward(&tokens, &KeepAll);
+    println!(
+        "INT8 vs FP32: top-1 agreement {:.1}%, KL {:.5} (attention dense: {} pairs)\n",
+        fidelity::top1_agreement(&fp32, &int8) * 100.0,
+        fidelity::mean_kl_divergence(&fp32, &int8),
+        dense_stats.keys_total
+    );
+
+    println!("{:>6} {:>10} {:>12} {:>12} {:>14}", "alpha", "agreement", "KL vs FP32", "sparsity", "pred. bits");
+    for alpha in [0.9f32, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2] {
+        let pruner = BgppPruner::with_alpha(alpha);
+        let (logits, stats) = quant.forward(&tokens, &pruner);
+        println!(
+            "{:>6.1} {:>9.1}% {:>12.5} {:>11.1}% {:>14}",
+            alpha,
+            fidelity::top1_agreement(&fp32, &logits) * 100.0,
+            fidelity::mean_kl_divergence(&fp32, &logits),
+            stats.sparsity() * 100.0,
+            stats.prediction_bits,
+        );
+    }
+    println!("\nthe paper operates at alpha in [0.5, 0.6]: meaningful sparsity, near-INT8 fidelity");
+
+    // Compare prediction traffic against the value-level baseline at a
+    // matched sparsity point.
+    let bgpp = BgppPruner::with_alpha(0.5);
+    let (_, s_bg) = quant.forward(&tokens, &bgpp);
+    let keep = 1.0 - s_bg.sparsity();
+    let value = ValueTopKPruner::new(4, keep.clamp(0.05, 1.0));
+    let (_, s_val) = quant.forward(&tokens, &value);
+    println!(
+        "\nprediction traffic at matched keep ({:.0}%): BGPP {} bits vs value-level {} bits ({:.2}x less)",
+        keep * 100.0,
+        s_bg.prediction_bits,
+        s_val.prediction_bits,
+        s_val.prediction_bits as f64 / s_bg.prediction_bits.max(1) as f64
+    );
+}

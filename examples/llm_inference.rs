@@ -1,0 +1,60 @@
+//! End-to-end LLM inference comparison: simulate the paper's five models on
+//! MCBP and every baseline accelerator over a realistic serving scenario
+//! (long-context summarization), reporting latency breakdowns and energy.
+//!
+//! Run with: `cargo run --release --example llm_inference`
+
+use mcbp::baselines::{Bitwave, FuseKna, GpuA100, Sofa, Spatten, SystolicArray};
+use mcbp::prelude::*;
+
+fn main() {
+    let task = Task::wikilingua();
+    let batch = 8;
+    let keep = 0.3;
+    println!(
+        "workload: {} (prompt {}, decode {}), batch {batch}, attention keep {keep}\n",
+        task.name, task.prompt_len, task.decode_len
+    );
+
+    for model in LlmConfig::paper_suite() {
+        let engine = Engine::new(model.clone(), 42);
+        println!("== {} (hidden {}, {} layers) ==", model.name, model.hidden, model.layers);
+
+        // MCBP with the full breakdown.
+        let (report, _energy) = engine.evaluate_detailed(&task, batch, keep);
+        println!(
+            "  MCBP          prefill {:>8.1} ms  decode {:>8.1} ms   (gemm {:.0}% / weight {:.0}% / kv {:.0}%)",
+            report.prefill.total_cycles() / 1e6,
+            report.decode.total_cycles() / 1e6,
+            100.0 * (report.prefill.gemm_cycles + report.decode.gemm_cycles)
+                / report.total_cycles(),
+            100.0 * (report.prefill.weight_load_cycles + report.decode.weight_load_cycles)
+                / report.total_cycles(),
+            100.0 * (report.prefill.kv_load_cycles + report.decode.kv_load_cycles)
+                / report.total_cycles(),
+        );
+
+        // Every baseline on the same trace.
+        let baselines: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(SystolicArray::new()),
+            Box::new(Sofa::new()),
+            Box::new(Spatten::new()),
+            Box::new(Bitwave::new()),
+            Box::new(FuseKna::new()),
+            Box::new(GpuA100::dense()),
+        ];
+        for b in &baselines {
+            let r = engine.evaluate_on(b.as_ref(), &task, batch, keep);
+            println!(
+                "  {:<13} prefill {:>8.1} ms  decode {:>8.1} ms   ({:.2}x MCBP latency)",
+                b.name(),
+                r.prefill.total_cycles() / 1e6,
+                r.decode.total_cycles() / 1e6,
+                r.total_cycles() / report.total_cycles(),
+            );
+        }
+        println!();
+    }
+    println!("note: the A100 row is a single GPU at 624 TOPS peak; the paper's Fig 20");
+    println!("comparison scales MCBP to 148 devices for iso-peak-TOPS (see `repro fig20`).");
+}

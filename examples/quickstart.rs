@@ -1,0 +1,73 @@
+//! Quickstart: quantize a weight matrix, decompose it into bit-slices, run
+//! an exact BRCR GEMV, compress it with BSTC, and predict vital keys with
+//! BGPP — the full MCBP pipeline on one small tensor.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mcbp::prelude::*;
+
+fn main() {
+    // ----- 1. A "layer" of LLM-like weights, quantized to INT8 -----
+    let model = LlmConfig::llama7b();
+    let generator = WeightGenerator::for_model(&model);
+    let wq = generator.quantized_sample(64, 512, 42);
+    let profile = SparsityProfile::measure(&wq, 4);
+    println!("weights: 64x512 INT8 (calibrated for {})", model.name);
+    println!(
+        "  value sparsity {:.1}%   mean bit sparsity {:.1}%  ({:.1}x richer at bit level)",
+        profile.value_sparsity * 100.0,
+        profile.mean_bit_sparsity * 100.0,
+        profile.bit_to_value_ratio()
+    );
+
+    // ----- 2. BRCR: exact bit-slice GEMV with measured op reduction -----
+    let planes = BitPlanes::from_matrix(&wq);
+    let x: Vec<i32> = (0..512).map(|i| ((i * 37) % 255) - 127).collect();
+    let engine = BrcrEngine::new(4);
+    let (y, ops) = engine.gemv(&planes, &x);
+    let reference = wq.matvec(&x).expect("shapes match");
+    assert_eq!(y, reference, "BRCR is lossless");
+    let naive = BrcrEngine::naive_bit_serial_adds(&planes);
+    let dense = 64 * 512 * 7;
+    println!("\nBRCR GEMV (group size m=4):");
+    println!("  dense bit-serial adds : {dense}");
+    println!("  sparse bit-serial adds: {naive}");
+    println!("  BRCR adds             : {} (exact result verified)", ops.total_adds());
+
+    // ----- 3. BSTC: lossless two-state weight compression -----
+    let encoded = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+    assert_eq!(encoded.decode().to_matrix(), wq, "BSTC is lossless");
+    println!("\nBSTC compression:");
+    println!(
+        "  {} -> {} bits  (CR = {:.2})",
+        encoded.raw_bits(),
+        encoded.compressed_bits(),
+        encoded.compression_ratio()
+    );
+
+    // ----- 4. BGPP: progressive prediction of vital keys -----
+    let keys = generator.quantized_sample(128, 64, 7); // 128 keys, d=64
+    let key_planes = BitPlanes::from_matrix(&keys);
+    let q: Vec<i32> = (0..64).map(|i| ((i * 13) % 15) - 7).collect();
+    let predictor = ProgressivePredictor::new(BgppConfig::standard());
+    let out = predictor.predict(&q, &key_planes, 0.002);
+    let value_level = predictor.value_level_bits(128, 64);
+    println!("\nBGPP prediction over 128 keys:");
+    println!(
+        "  kept {} keys; fetched {} key bits (value-level top-k would fetch {})",
+        out.survivors.len(),
+        out.stats.k_bits_fetched,
+        value_level
+    );
+
+    // ----- 5. End-to-end: simulate a workload on the accelerator -----
+    let engine = Engine::new(model, 42);
+    let report = engine.evaluate(&Task::wikilingua(), 8, 0.3);
+    println!("\nSimulated Llama7B / Wikilingua (batch 8) on MCBP:");
+    println!(
+        "  prefill {:.2e} cycles, decode {:.2e} cycles, total {:.1} ms @ 1 GHz",
+        report.prefill.total_cycles(),
+        report.decode.total_cycles(),
+        report.total_cycles() / 1e6
+    );
+}

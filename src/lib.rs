@@ -1,0 +1,6 @@
+//! Facade crate for the MCBP reproduction workspace.
+//!
+//! Hosts the workspace-level examples (`examples/`) and cross-crate
+//! integration tests (`tests/`). All functionality lives in the member
+//! crates re-exported by [`mcbp`].
+pub use mcbp as core;

@@ -1,0 +1,51 @@
+//! Integration: the bit-slice engine computes *inside* the live quantized
+//! transformer — every linear layer's integer GEMV is executed through
+//! BRCR (decomposed, merged, reconstructed) and must reproduce the plain
+//! integer path bit-for-bit, which in turn keeps the logits identical.
+
+use mcbp::model::{QuantTransformer, Transformer, TransformerConfig};
+use mcbp::prelude::*;
+
+#[test]
+fn every_transformer_linear_runs_exactly_through_brcr() {
+    let cfg = TransformerConfig::tiny();
+    let model = Transformer::random(cfg, 31);
+    let tokens: Vec<usize> = (0..16).map(|i| (i * 7 + 2) % cfg.vocab).collect();
+    let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+
+    let engine = BrcrEngine::new(4);
+    let mut total_brcr_adds = 0u64;
+    let mut total_dense_bit_adds = 0u64;
+    for (idx, wq) in quant.weight_matrices().into_iter().enumerate() {
+        let planes = BitPlanes::from_matrix(wq);
+        // A representative activation vector in the unsigned INT8 domain.
+        let x: Vec<i32> = (0..wq.cols()).map(|i| ((i * 37 + idx) % 256) as i32).collect();
+        let (via_brcr, ops) = engine.gemv(&planes, &x);
+        let reference = wq.matvec(&x).expect("shape");
+        assert_eq!(via_brcr, reference, "layer {idx} diverged");
+        total_brcr_adds += ops.total_adds();
+        total_dense_bit_adds += wq.dense_macs() * 7;
+    }
+    assert!(
+        total_brcr_adds < total_dense_bit_adds,
+        "BRCR must beat dense bit-serial across the whole model: {total_brcr_adds} vs {total_dense_bit_adds}"
+    );
+}
+
+#[test]
+fn compressed_weights_feed_brcr_without_decompression_mismatch() {
+    // Offline: BSTC-compress every layer; online: decode and compute.
+    let cfg = TransformerConfig::tiny();
+    let model = Transformer::random(cfg, 8);
+    let tokens: Vec<usize> = (0..12).map(|i| i % cfg.vocab).collect();
+    let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+    let engine = BrcrEngine::new(4);
+    for wq in quant.weight_matrices() {
+        let planes = BitPlanes::from_matrix(wq);
+        let encoded = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+        let decoded = encoded.decode();
+        let x: Vec<i32> = (0..wq.cols()).map(|i| (i % 200) as i32).collect();
+        let (y, _) = engine.gemv(&decoded, &x);
+        assert_eq!(y, wq.matvec(&x).unwrap());
+    }
+}

@@ -1,0 +1,55 @@
+//! Smoke-level integration of the figure/table reproduction harness: every
+//! experiment must run, be deterministic, and carry its key structural
+//! claims in the rendered output.
+
+use mcbp_bench::experiments;
+
+#[test]
+fn every_experiment_id_runs() {
+    for id in experiments::all_ids() {
+        // The heavyweight sweeps are exercised individually below; here we
+        // only guarantee dispatch works for the cheap ones.
+        if matches!(id, "fig4" | "fig8b" | "tab1" | "tab3" | "fig22" | "fig18") {
+            let out = experiments::run(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert!(!out.is_empty(), "{id} produced no output");
+        }
+    }
+    assert!(experiments::run("nonsense").is_err());
+}
+
+#[test]
+fn fig4_reproduces_the_paper_numbers_exactly() {
+    let out = experiments::fig4();
+    // Fig 4(c): 9 adds naive, 2 + 4 factored, 30% saved; Fig 4(a): 14 zeros
+    // in the MSB plane of the toy matrix (70% sparsity).
+    assert!(out.contains("naive 9 adds"), "{out}");
+    assert!(out.contains("merge 2 + reconstruct 4"), "{out}");
+    assert!(out.contains("33.3% saved"), "{out}");
+}
+
+#[test]
+fn fig8b_break_even_matches_analysis() {
+    let out = experiments::fig8b();
+    assert!(out.contains("break-even sparsity at m=4"), "{out}");
+}
+
+#[test]
+fn tab3_and_fig22_report_paper_constants() {
+    assert!(experiments::tab3().contains("768 KB weight"));
+    let f22 = experiments::fig22();
+    assert!(f22.contains("9.5"), "area total: {f22}");
+    assert!(f22.contains("DRAM"), "{f22}");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    assert_eq!(experiments::fig8c(), experiments::fig8c());
+    assert_eq!(experiments::fig18(), experiments::fig18());
+}
+
+#[test]
+fn tab4_preserves_published_ratios() {
+    let out = experiments::tab4();
+    assert!(out.contains("22740"), "{out}");
+    assert!(out.contains("MCBP advantage"), "{out}");
+}

@@ -1,0 +1,76 @@
+//! Cross-crate integration: the accuracy-proxy structure of Table 2 /
+//! Fig 24(a) holds end to end through the functional transformer with the
+//! real BGPP predictor plugged into attention.
+
+use mcbp::model::{fidelity, KeepAll, QuantTransformer, Transformer, TransformerConfig};
+use mcbp::prelude::*;
+use mcbp::BgppPruner;
+
+fn setup() -> (Transformer, QuantTransformer, Vec<usize>) {
+    let cfg = TransformerConfig::tiny();
+    let model = Transformer::random(cfg, 7);
+    let tokens: Vec<usize> = (0..32).map(|i| (i * 29 + 11) % cfg.vocab).collect();
+    let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
+    (model, quant, tokens)
+}
+
+#[test]
+fn int8_stays_close_to_fp32() {
+    let (model, quant, tokens) = setup();
+    let fp = model.forward_f32(&tokens);
+    let (q, stats) = quant.forward(&tokens, &KeepAll);
+    assert_eq!(stats.sparsity(), 0.0);
+    assert!(fidelity::top1_agreement(&fp, &q) >= 0.85);
+    assert!(fidelity::mean_kl_divergence(&fp, &q) < 0.05);
+}
+
+#[test]
+fn alpha_controls_the_sparsity_fidelity_tradeoff() {
+    let (_, quant, tokens) = setup();
+    let mut last_sparsity = -1.0;
+    let mut kls = Vec::new();
+    for alpha in [0.9f32, 0.6, 0.3] {
+        let pruner = BgppPruner::with_alpha(alpha);
+        let (logits, stats) = quant.forward(&tokens, &pruner);
+        assert!(
+            stats.sparsity() > last_sparsity,
+            "sparsity must grow as alpha shrinks"
+        );
+        last_sparsity = stats.sparsity();
+        let (dense, _) = quant.forward(&tokens, &KeepAll);
+        kls.push(fidelity::mean_kl_divergence(&dense, &logits));
+    }
+    assert!(
+        kls.windows(2).all(|w| w[1] >= w[0] * 0.5),
+        "fidelity should broadly degrade with pruning: {kls:?}"
+    );
+    assert!(kls[2] > kls[0], "aggressive pruning must perturb more than mild");
+}
+
+#[test]
+fn bgpp_prediction_traffic_beats_value_level_at_matched_keep() {
+    let (_, quant, tokens) = setup();
+    let bgpp = BgppPruner::standard();
+    let (_, s_bg) = quant.forward(&tokens, &bgpp);
+    let keep = (1.0 - s_bg.sparsity()).clamp(0.05, 1.0);
+    let value = ValueTopKPruner::new(4, keep);
+    let (_, s_val) = quant.forward(&tokens, &value);
+    assert!(
+        s_bg.prediction_bits < s_val.prediction_bits,
+        "BGPP {} bits vs value-level {} bits",
+        s_bg.prediction_bits,
+        s_val.prediction_bits
+    );
+}
+
+#[test]
+fn standard_config_beats_aggressive_on_fidelity() {
+    let (model, quant, tokens) = setup();
+    let fp = model.forward_f32(&tokens);
+    let (std_logits, std_stats) = quant.forward(&tokens, &BgppPruner::standard());
+    let (agg_logits, agg_stats) = quant.forward(&tokens, &BgppPruner::aggressive());
+    assert!(agg_stats.sparsity() >= std_stats.sparsity());
+    let std_kl = fidelity::mean_kl_divergence(&fp, &std_logits);
+    let agg_kl = fidelity::mean_kl_divergence(&fp, &agg_logits);
+    assert!(agg_kl >= std_kl * 0.8, "aggressive should not be meaningfully more faithful");
+}

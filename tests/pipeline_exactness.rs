@@ -1,0 +1,68 @@
+//! Cross-crate integration: the full offline→online pipeline of Fig 6 is
+//! lossless end to end — float weights → INT8 PTQ → bit-planes → BSTC
+//! encode → HBM-style segmented layout → decode → BRCR GEMV must equal the
+//! reference float computation up to quantization rounding only.
+
+use mcbp::bstc::layout::SegmentedLayout;
+use mcbp::prelude::*;
+use mcbp::quant::PerChannelSymmetric;
+
+#[test]
+fn offline_online_pipeline_is_exact_after_quantization() {
+    // Offline: generate float weights, quantize, slice, compress.
+    let model = LlmConfig::llama7b();
+    let generator = WeightGenerator::for_model(&model);
+    let wf = generator.generate(48, 384, 99);
+    let (wq, scheme) = PerChannelSymmetric::quantize(&wf, 8, Calibration::MinMax);
+    let planes = BitPlanes::from_matrix(&wq);
+    let encoded = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());
+
+    // Online: decompress and compute with BRCR.
+    let decoded = encoded.decode();
+    assert_eq!(decoded, planes, "BSTC round-trip must be bit-exact");
+    let x: Vec<i32> = (0..384).map(|i| ((i * 91) % 255) - 127).collect();
+    let engine = BrcrEngine::new(4);
+    let (y_brcr, ops) = engine.gemv(&decoded, &x);
+
+    // Equivalence to the integer reference:
+    assert_eq!(y_brcr, wq.matvec(&x).unwrap());
+    assert!(ops.total_adds() > 0);
+
+    // ... and to the float reference, up to quantization error.
+    let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let yf = wf.matvec(&xf);
+    for (r, (&yi, &yr)) in y_brcr.iter().zip(&yf).enumerate() {
+        let scale = scheme.scales()[r];
+        let dequant = yi as f32 * scale;
+        // Per-element rounding error is at most scale/2, times the L1 of x.
+        let budget = scale / 2.0 * xf.iter().map(|v| v.abs()).sum::<f32>();
+        assert!(
+            (dequant - yr).abs() <= budget,
+            "row {r}: dequantized {dequant} vs float {yr}"
+        );
+    }
+}
+
+#[test]
+fn segmented_layout_matches_monolithic_codec() {
+    let generator = WeightGenerator::for_model(&LlmConfig::qwen7b());
+    let wq = generator.quantized_sample(32, 300, 5);
+    let planes = BitPlanes::from_matrix(&wq);
+    for b in [3usize, 5, 6] {
+        let layout = SegmentedLayout::build(planes.magnitude(b), 4, 128);
+        assert_eq!(&layout.decode_parallel(), planes.magnitude(b), "plane {b}");
+    }
+}
+
+#[test]
+fn brcr_group_size_sweep_stays_exact_on_calibrated_weights() {
+    let generator = WeightGenerator::for_model(&LlmConfig::opt1b3());
+    let wq = generator.quantized_sample(40, 256, 17);
+    let planes = BitPlanes::from_matrix(&wq);
+    let x: Vec<i32> = (0..256).map(|i| (i % 17) - 8).collect();
+    let reference = wq.matvec(&x).unwrap();
+    for m in 1..=8 {
+        let (y, _) = BrcrEngine::new(m).gemv(&planes, &x);
+        assert_eq!(y, reference, "group size {m}");
+    }
+}
