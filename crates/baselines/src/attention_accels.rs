@@ -66,7 +66,13 @@ impl AttentionOnly {
     /// All five, for sweep harnesses.
     #[must_use]
     pub fn survey_set() -> Vec<AttentionOnly> {
-        vec![Self::a3(), Self::elsa(), Self::sanger(), Self::dota(), Self::dtatrans()]
+        vec![
+            Self::a3(),
+            Self::elsa(),
+            Self::sanger(),
+            Self::dota(),
+            Self::dtatrans(),
+        ]
     }
 }
 
@@ -103,7 +109,13 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 8), 4);
-        TraceContext { model, task, batch: 1, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
@@ -137,8 +149,10 @@ mod tests {
 
     #[test]
     fn names_match_table1() {
-        let names: Vec<String> =
-            AttentionOnly::survey_set().iter().map(|a| a.name().to_owned()).collect();
+        let names: Vec<String> = AttentionOnly::survey_set()
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect();
         assert_eq!(names, ["A3", "ELSA", "Sanger", "DOTA", "DTATrans"]);
     }
 }

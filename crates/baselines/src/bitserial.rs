@@ -28,7 +28,9 @@ impl Bitwave {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        Bitwave { machine: Machine::normalized_asic("Bitwave") }
+        Bitwave {
+            machine: Machine::normalized_asic("Bitwave"),
+        }
     }
 
     fn factors(ctx: &TraceContext) -> Factors {
@@ -45,7 +47,7 @@ impl Bitwave {
             // Bit-serial over planes: dense cost is `bit_planes` adds per
             // MAC-equivalent; skipping zero columns leaves (1-exploitable).
             weight_compute: bit_planes * (1.0 - exploitable) / 8.0,
-            attn_compute: 1.0, // no attention sparsity support
+            attn_compute: 1.0,         // no attention sparsity support
             weight_traffic: 1.0 / 1.3, // bit-column compression
             kv_traffic: 1.0,
             prediction_overhead: 0.0,
@@ -86,7 +88,9 @@ impl FuseKna {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        FuseKna { machine: Machine::normalized_asic("FuseKNA") }
+        FuseKna {
+            machine: Machine::normalized_asic("FuseKNA"),
+        }
     }
 
     fn factors(ctx: &TraceContext) -> Factors {
@@ -135,7 +139,13 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 3), 4);
-        TraceContext { model, task, batch: 1, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
@@ -154,7 +164,10 @@ mod tests {
         let bw = Bitwave::new().run(&c);
         let fk_share = (fk.prefill.reorder_pj + fk.decode.reorder_pj) / fk.total_pj();
         let bw_share = (bw.prefill.reorder_pj + bw.decode.reorder_pj) / bw.total_pj();
-        assert!(fk_share > bw_share, "fusekna {fk_share} vs bitwave {bw_share}");
+        assert!(
+            fk_share > bw_share,
+            "fusekna {fk_share} vs bitwave {bw_share}"
+        );
         assert!(fk_share > 0.05);
     }
 

@@ -29,7 +29,9 @@ impl CambriconC {
     /// Creates the model (same PE-array area and SRAM as MCBP, §6).
     #[must_use]
     pub fn new() -> Self {
-        CambriconC { machine: Machine::normalized_asic("Cambricon-C") }
+        CambriconC {
+            machine: Machine::normalized_asic("Cambricon-C"),
+        }
     }
 
     fn factors(ctx: &TraceContext) -> Factors {

@@ -1,6 +1,4 @@
-use mcbp_workloads::{
-    build_trace, trace_totals, PhaseCost, RunReport, TraceContext, TraceTotals,
-};
+use mcbp_workloads::{build_trace, trace_totals, PhaseCost, RunReport, TraceContext, TraceTotals};
 
 /// Machine-level parameters shared by the analytic baseline models.
 ///
@@ -129,10 +127,7 @@ pub fn run_with_factors(
     }
 }
 
-fn attention_macs(
-    _totals: &TraceTotals,
-    trace: &[mcbp_workloads::TracedOp],
-) -> (f64, f64) {
+fn attention_macs(_totals: &TraceTotals, trace: &[mcbp_workloads::TracedOp]) -> (f64, f64) {
     use mcbp_model::GemmKind;
     use mcbp_workloads::PhaseTag;
     let mut prefill = 0.0;
@@ -198,7 +193,13 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 42), 4);
-        TraceContext { model, task, batch, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
@@ -235,7 +236,10 @@ mod tests {
         let m = Machine::normalized_asic("test");
         let ctx = test_ctx(Task::mbpp(), 1);
         let dense = run_with_factors(&m, &ctx, &Factors::dense(), &Factors::dense());
-        let compressed = Factors { weight_traffic: 0.5, ..Factors::dense() };
+        let compressed = Factors {
+            weight_traffic: 0.5,
+            ..Factors::dense()
+        };
         let opt = run_with_factors(&m, &ctx, &Factors::dense(), &compressed);
         assert!(opt.decode.weight_load_cycles < dense.decode.weight_load_cycles);
         assert!(opt.decode.weight_load_cycles > 0.4 * dense.decode.weight_load_cycles);

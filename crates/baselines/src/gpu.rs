@@ -45,7 +45,11 @@ impl GpuA100 {
                 pj_per_onchip_byte: 8.0,
                 pj_per_reorder_byte: 8.0,
             },
-            software: SoftwareSchemes { brcr: false, bstc: false, bgpp: false },
+            software: SoftwareSchemes {
+                brcr: false,
+                bstc: false,
+                bgpp: false,
+            },
         }
     }
 
@@ -55,7 +59,11 @@ impl GpuA100 {
     pub fn with_mcbp_algorithms() -> Self {
         let mut g = Self::dense();
         g.machine.name = "A100+MCBP-sw".to_owned();
-        g.software = SoftwareSchemes { brcr: true, bstc: true, bgpp: true };
+        g.software = SoftwareSchemes {
+            brcr: true,
+            bstc: true,
+            bgpp: true,
+        };
         g
     }
 
@@ -118,7 +126,13 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 1), 4);
-        TraceContext { model, task, batch, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
@@ -131,7 +145,10 @@ mod tests {
         let t_sw = sw.run(&c).total_cycles();
         let gain = t_dense / t_sw;
         assert!(gain > 1.0, "software schemes must not hurt, gain {gain}");
-        assert!(gain < 2.2, "GPU cannot realize bit-level gains, gain {gain}");
+        assert!(
+            gain < 2.2,
+            "GPU cannot realize bit-level gains, gain {gain}"
+        );
     }
 
     #[test]
@@ -141,7 +158,10 @@ mod tests {
         let t8 = gpu.run(&ctx(Task::mbpp(), 8)).seconds_at(1e9);
         let t128 = gpu.run(&ctx(Task::mbpp(), 128)).seconds_at(1e9);
         let per_seq_gain = (t8 / 8.0) / (t128 / 128.0);
-        assert!(per_seq_gain > 1.4 && per_seq_gain < 8.0, "gain {per_seq_gain}");
+        assert!(
+            per_seq_gain > 1.4 && per_seq_gain < 8.0,
+            "gain {per_seq_gain}"
+        );
     }
 
     #[test]

@@ -50,9 +50,13 @@ pub fn table1() -> Vec<FeatureRow> {
     vec![
         row("A3", "HPCA'20", false, true, false, false, false, Value),
         row("ELSA", "ISCA'21", false, true, false, false, false, Value),
-        row("Sanger", "MICRO'21", false, true, false, false, false, Value),
+        row(
+            "Sanger", "MICRO'21", false, true, false, false, false, Value,
+        ),
         row("DOTA", "ASPLOS'22", false, true, false, false, false, Value),
-        row("DTATrans", "TCAD'22", false, true, false, false, false, Value),
+        row(
+            "DTATrans", "TCAD'22", false, true, false, false, false, Value,
+        ),
         row("Energon", "TCAD'22", false, true, false, true, false, Value),
         row("SpAtten", "HPCA'21", true, true, false, true, true, Value),
         row("SOFA", "MICRO'24", false, true, true, false, false, Value),
@@ -137,7 +141,10 @@ mod tests {
         let full: Vec<&FeatureRow> = rows
             .iter()
             .filter(|r| {
-                r.gemm_qkv_ffn && r.gemm_attention && r.weight_access && r.kv_access
+                r.gemm_qkv_ffn
+                    && r.gemm_attention
+                    && r.weight_access
+                    && r.kv_access
                     && r.prefill_and_decode
             })
             .collect();
@@ -156,7 +163,10 @@ mod tests {
         let spatten_ratio = mcbp / get("SpAtten").efficiency_at_28nm();
         let fact_ratio = mcbp / get("FACT").efficiency_at_28nm();
         let sofa_ratio = mcbp / get("SOFA").efficiency_at_28nm();
-        assert!((spatten_ratio - 35.0).abs() < 7.0, "spatten {spatten_ratio}");
+        assert!(
+            (spatten_ratio - 35.0).abs() < 7.0,
+            "spatten {spatten_ratio}"
+        );
         assert!((fact_ratio - 5.2).abs() < 0.3, "fact {fact_ratio}");
         assert!((sofa_ratio - 3.2).abs() < 0.3, "sofa {sofa_ratio}");
     }

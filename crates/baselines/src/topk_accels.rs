@@ -26,7 +26,9 @@ impl SystolicArray {
     /// Creates the area-normalized dense array.
     #[must_use]
     pub fn new() -> Self {
-        SystolicArray { machine: Machine::normalized_asic("SystolicArray") }
+        SystolicArray {
+            machine: Machine::normalized_asic("SystolicArray"),
+        }
     }
 }
 
@@ -58,7 +60,9 @@ impl Spatten {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        Spatten { machine: Machine::normalized_asic("SpAtten") }
+        Spatten {
+            machine: Machine::normalized_asic("SpAtten"),
+        }
     }
 
     fn factors(ctx: &TraceContext) -> Factors {
@@ -108,7 +112,9 @@ impl Fact {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        Fact { machine: Machine::normalized_asic("FACT") }
+        Fact {
+            machine: Machine::normalized_asic("FACT"),
+        }
     }
 }
 
@@ -134,7 +140,10 @@ impl Accelerator for Fact {
         // Designed for prefill: decode keeps the precision benefit but the
         // eager predictor must rerun per generated token over the full
         // context, and there is no KV/weight streaming optimization.
-        let decode = Factors { kv_traffic: 0.75 + keep * 0.5, ..prefill };
+        let decode = Factors {
+            kv_traffic: 0.75 + keep * 0.5,
+            ..prefill
+        };
         run_with_factors(&self.machine, ctx, &prefill, &decode)
     }
 }
@@ -157,7 +166,9 @@ impl Sofa {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        Sofa { machine: Machine::normalized_asic("SOFA") }
+        Sofa {
+            machine: Machine::normalized_asic("SOFA"),
+        }
     }
 }
 
@@ -201,7 +212,9 @@ impl Energon {
     /// Creates the model.
     #[must_use]
     pub fn new() -> Self {
-        Energon { machine: Machine::normalized_asic("Energon") }
+        Energon {
+            machine: Machine::normalized_asic("Energon"),
+        }
     }
 }
 
@@ -237,14 +250,24 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 5), 4);
-        TraceContext { model, task, batch: 1, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
     fn topk_designs_beat_dense_on_long_prefill() {
         let c = ctx(Task::dolly());
         let dense = SystolicArray::new().run(&c).prefill.total_cycles();
-        for accel in [&Spatten::new() as &dyn Accelerator, &Sofa::new(), &Energon::new()] {
+        for accel in [
+            &Spatten::new() as &dyn Accelerator,
+            &Sofa::new(),
+            &Energon::new(),
+        ] {
             let t = accel.run(&c).prefill.total_cycles();
             assert!(t < dense, "{} prefill {t} vs dense {dense}", accel.name());
         }

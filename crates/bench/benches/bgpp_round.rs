@@ -6,7 +6,9 @@ use mcbp_bgpp::{BgppConfig, ProgressivePredictor, ValueTopK};
 use mcbp_bitslice::{BitPlanes, IntMatrix};
 
 fn keys(s: usize, d: usize) -> BitPlanes {
-    let data: Vec<i32> = (0..s * d).map(|i| ((i.wrapping_mul(2654435761) >> 7) % 255) as i32 - 127).collect();
+    let data: Vec<i32> = (0..s * d)
+        .map(|i| ((i.wrapping_mul(2654435761) >> 7) % 255) as i32 - 127)
+        .collect();
     BitPlanes::from_matrix(&IntMatrix::from_flat(8, s, d, data).unwrap())
 }
 

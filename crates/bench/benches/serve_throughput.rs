@@ -1,0 +1,63 @@
+//! Serving-throughput micro-benchmark: one closed-loop serving simulation
+//! per coalescing width, sweeping the continuous-batching `max_batch` to
+//! show where weight-stream amortization saturates. The measured quantity
+//! is harness wall time per simulation; each run also reports the
+//! simulated goodput via the returned `ServeReport`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcbp_model::LlmConfig;
+use mcbp_serve::{
+    ArrivalProcess, ContinuousBatchScheduler, LoadGenerator, ServeConfig, ServeSim, Workload,
+};
+use mcbp_sim::{McbpConfig, McbpSim};
+use mcbp_workloads::{SparsityProfile, Task, TraceContext, WeightGenerator};
+
+fn template() -> TraceContext {
+    let model = LlmConfig::opt1b3();
+    let gen = WeightGenerator::for_model(&model);
+    let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 0x4d43_4250), 4);
+    TraceContext {
+        model,
+        task: Task::mnli(),
+        batch: 1,
+        weight_profile: profile,
+        attention_keep: 0.3,
+    }
+}
+
+fn workload() -> Workload {
+    LoadGenerator::uniform(
+        Task::mnli().with_decode(32),
+        32,
+        ArrivalProcess::ClosedLoop { concurrency: 16 },
+    )
+    .generate()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mcbp = McbpSim::new(McbpConfig::default());
+    let load = workload();
+    let ctx = template();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for width in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = ServeConfig {
+            max_batch: width,
+            ..ServeConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("coalesce", width), &cfg, |b, cfg| {
+            // Fresh simulator per iteration so the step-cost cache is cold:
+            // the measurement covers the full cost-model + event-loop path
+            // (the trace context is prebuilt — weight sampling is not the
+            // quantity under test).
+            b.iter(|| {
+                let sim = ServeSim::new(&mcbp, ctx.clone(), cfg.clone());
+                sim.run(&load, &mut ContinuousBatchScheduler::new())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -11,7 +11,13 @@ use crate::{context, f2, pct, render_table, STANDARD_KEEP};
 fn mcbp_variants() -> [(&'static str, McbpConfig); 4] {
     [
         ("Baseline", McbpConfig::ablation_baseline()),
-        ("+BRCR", McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() }),
+        (
+            "+BRCR",
+            McbpConfig {
+                enable_brcr: true,
+                ..McbpConfig::ablation_baseline()
+            },
+        ),
         (
             "+BSTC",
             McbpConfig {
@@ -34,7 +40,13 @@ fn run_variant(cfg: &McbpConfig, model: &LlmConfig, task: &Task, batch: usize) -
 #[must_use]
 pub fn fig19() -> String {
     // ---- (a): cumulative ablation per model ----
-    let tasks = [Task::cola(), Task::wikitext2(), Task::wikilingua(), Task::mbpp(), Task::dolly()];
+    let tasks = [
+        Task::cola(),
+        Task::wikitext2(),
+        Task::wikilingua(),
+        Task::mbpp(),
+        Task::dolly(),
+    ];
     let mut rows = Vec::new();
     for model in LlmConfig::paper_suite() {
         let mut cells = vec![model.name.to_owned()];
@@ -43,8 +55,10 @@ pub fn fig19() -> String {
             .map(|t| run_variant(&McbpConfig::ablation_baseline(), &model, t, 8).total_cycles())
             .sum();
         for (_, cfg) in mcbp_variants() {
-            let total: f64 =
-                tasks.iter().map(|t| run_variant(&cfg, &model, t, 8).total_cycles()).sum();
+            let total: f64 = tasks
+                .iter()
+                .map(|t| run_variant(&cfg, &model, t, 8).total_cycles())
+                .sum();
             cells.push(f2(total / base));
         }
         rows.push(cells);
@@ -59,17 +73,32 @@ pub fn fig19() -> String {
     let mut rows_b = Vec::new();
     let model = LlmConfig::llama7b();
     let scenarios = [
-        ("Dolly p=1k", Task::dolly().with_prompt(1024).with_decode(48)),
-        ("Dolly p=4k", Task::dolly().with_prompt(4096).with_decode(48)),
+        (
+            "Dolly p=1k",
+            Task::dolly().with_prompt(1024).with_decode(48),
+        ),
+        (
+            "Dolly p=4k",
+            Task::dolly().with_prompt(4096).with_decode(48),
+        ),
         ("MBPP d=1k", Task::mbpp().with_prompt(48).with_decode(1024)),
         ("MBPP d=4k", Task::mbpp().with_prompt(48).with_decode(4096)),
     ];
     for (name, task) in scenarios {
         let base = run_variant(&McbpConfig::ablation_baseline(), &model, &task, 8).total_cycles();
         let solo = |cfg: McbpConfig| base / run_variant(&cfg, &model, &task, 8).total_cycles();
-        let brcr = solo(McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() });
-        let bstc = solo(McbpConfig { enable_bstc: true, ..McbpConfig::ablation_baseline() });
-        let bgpp = solo(McbpConfig { enable_bgpp: true, ..McbpConfig::ablation_baseline() });
+        let brcr = solo(McbpConfig {
+            enable_brcr: true,
+            ..McbpConfig::ablation_baseline()
+        });
+        let bstc = solo(McbpConfig {
+            enable_bstc: true,
+            ..McbpConfig::ablation_baseline()
+        });
+        let bgpp = solo(McbpConfig {
+            enable_bgpp: true,
+            ..McbpConfig::ablation_baseline()
+        });
         rows_b.push(vec![name.to_owned(), f2(brcr), f2(bstc), f2(bgpp)]);
     }
     out.push('\n');
@@ -90,7 +119,10 @@ pub fn fig19() -> String {
 /// parallelism), plus the bit-shift overhead breakdown of Fig 20(c).
 #[must_use]
 pub fn fig20() -> String {
-    let fleet = mcbp::Fleet { devices: 148, scaling_efficiency: mcbp::Fleet::efficiency_for(148) };
+    let fleet = mcbp::Fleet {
+        devices: 148,
+        scaling_efficiency: mcbp::Fleet::efficiency_for(148),
+    };
     let mut rows = Vec::new();
     let task = Task::wikilingua();
     let mut speed_s = Vec::new();
@@ -171,9 +203,15 @@ pub fn fig21() -> String {
 
     // Software: cumulative schemes on the GPU.
     let g0 = GpuA100::dense().run(&ctx).total_cycles();
-    let g1 = GpuA100::with_schemes(true, false, false).run(&ctx).total_cycles();
-    let g2 = GpuA100::with_schemes(true, true, false).run(&ctx).total_cycles();
-    let g3 = GpuA100::with_schemes(true, true, true).run(&ctx).total_cycles();
+    let g1 = GpuA100::with_schemes(true, false, false)
+        .run(&ctx)
+        .total_cycles();
+    let g2 = GpuA100::with_schemes(true, true, false)
+        .run(&ctx)
+        .total_cycles();
+    let g3 = GpuA100::with_schemes(true, true, true)
+        .run(&ctx)
+        .total_cycles();
 
     // Hardware: cumulative ablation on the accelerator.
     let m: Vec<f64> = mcbp_variants()
@@ -203,10 +241,17 @@ pub fn fig21() -> String {
     ];
     let mut out = render_table(
         "Fig 21 - per-technique gain: software (on GPU) vs hardware (on MCBP)",
-        &["technique", "software gain", "hardware gain", "paper (sw/hw)"],
+        &[
+            "technique",
+            "software gain",
+            "hardware gain",
+            "paper (sw/hw)",
+        ],
         &rows,
     );
-    out.push_str("shape check: every technique gains more with its dedicated hardware than on the GPU\n");
+    out.push_str(
+        "shape check: every technique gains more with its dedicated hardware than on the GPU\n",
+    );
     out
 }
 

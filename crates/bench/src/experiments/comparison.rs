@@ -30,8 +30,10 @@ pub fn fig17() -> String {
     let mut mem_rows = Vec::new();
     for model in LlmConfig::paper_suite() {
         let ctx = context(&model, &task, 1, STANDARD_KEEP);
-        let reports: Vec<(String, RunReport)> =
-            designs().iter().map(|d| (d.name().to_owned(), d.run(&ctx))).collect();
+        let reports: Vec<(String, RunReport)> = designs()
+            .iter()
+            .map(|d| (d.name().to_owned(), d.run(&ctx)))
+            .collect();
         let comp_base = reports[0].1.prefill.gemm_cycles.max(1.0); // SOFA
         let mem = |r: &RunReport| r.decode.weight_load_cycles + r.decode.kv_load_cycles;
         let mem_base = mem(&reports[4].1).max(1.0); // FuseKNA
@@ -44,7 +46,9 @@ pub fn fig17() -> String {
         comp_rows.push(comp_cells);
         mem_rows.push(mem_cells);
     }
-    let names: Vec<&str> = vec!["model", "SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP"];
+    let names: Vec<&str> = vec![
+        "model", "SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP",
+    ];
     let mut out = render_table(
         "Fig 17 (left) - normalized prefill computation (SOFA = 1.00)",
         &names,
@@ -66,27 +70,33 @@ pub fn fig17() -> String {
 pub fn fig23() -> String {
     let model = LlmConfig::llama7b();
     let mut out = String::new();
-    for (phase_name, pick) in [
-        ("prefill", true),
-        ("decoding", false),
-    ] {
+    for (phase_name, pick) in [("prefill", true), ("decoding", false)] {
         let mut rows = Vec::new();
         for task in [Task::dolly(), Task::wikilingua(), Task::mbpp()] {
             let ctx = context(&model, &task, 1, STANDARD_KEEP);
             let base = SystolicArray::new().run(&ctx);
-            let base_cycles =
-                if pick { base.prefill.total_cycles() } else { base.decode.total_cycles() };
+            let base_cycles = if pick {
+                base.prefill.total_cycles()
+            } else {
+                base.decode.total_cycles()
+            };
             let mut cells = vec![task.name.to_owned()];
             for d in designs() {
                 let r = d.run(&ctx);
-                let c = if pick { r.prefill.total_cycles() } else { r.decode.total_cycles() };
+                let c = if pick {
+                    r.prefill.total_cycles()
+                } else {
+                    r.decode.total_cycles()
+                };
                 cells.push(f2(base_cycles / c.max(1.0)));
             }
             rows.push(cells);
         }
         out.push_str(&render_table(
             &format!("Fig 23 - {phase_name} speedup over dense systolic array (Llama7B)"),
-            &["task", "SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP"],
+            &[
+                "task", "SOFA", "SpAtten", "FACT", "Bitwave", "FuseKNA", "MCBP",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -133,14 +143,28 @@ pub fn tab1() -> String {
                 mark(r.gemm_attention),
                 mark(r.weight_access),
                 mark(r.kv_access),
-                if r.prefill_and_decode { "P&D" } else { "P only" }.to_owned(),
+                if r.prefill_and_decode {
+                    "P&D"
+                } else {
+                    "P only"
+                }
+                .to_owned(),
                 format!("{:?}", r.level),
             ]
         })
         .collect();
     render_table(
         "Table 1 - accelerator feature survey",
-        &["design", "venue", "QKV&FFN", "attention", "weight", "KV cache", "stage", "level"],
+        &[
+            "design",
+            "venue",
+            "QKV&FFN",
+            "attention",
+            "weight",
+            "KV cache",
+            "stage",
+            "level",
+        ],
         &rows,
     )
 }
@@ -165,7 +189,15 @@ pub fn tab4() -> String {
     }
     let mut out = render_table(
         "Table 4 - published specs normalized to 28 nm",
-        &["design", "node", "area", "area@28nm", "GOPS", "GOPS/W@28nm", "MCBP advantage"],
+        &[
+            "design",
+            "node",
+            "area",
+            "area@28nm",
+            "GOPS",
+            "GOPS/W@28nm",
+            "MCBP advantage",
+        ],
         &rows,
     );
 
@@ -207,7 +239,12 @@ pub fn fig24a() -> String {
     }
     let mut out = render_table(
         "Fig 24(a) - alpha sweep: fidelity vs attention sparsity (INT8 reference)",
-        &["alpha", "top-1 agreement", "KL vs FP32", "attention sparsity"],
+        &[
+            "alpha",
+            "top-1 agreement",
+            "KL vs FP32",
+            "attention sparsity",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -232,7 +269,10 @@ pub fn fig24b() -> String {
     let variants: [(&str, McbpConfig, f64, f64); 3] = [
         (
             "BRCR",
-            McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() },
+            McbpConfig {
+                enable_brcr: true,
+                ..McbpConfig::ablation_baseline()
+            },
             0.55,
             0.28,
         ),
@@ -248,8 +288,13 @@ pub fn fig24b() -> String {
         ),
         ("+BGPP", McbpConfig::default(), 0.70, 0.38),
     ];
-    let mut rows =
-        vec![vec!["SystolicArray".to_owned(), "1.00".into(), "1.00".into(), "1.00".into(), "1.00".into()]];
+    let mut rows = vec![vec![
+        "SystolicArray".to_owned(),
+        "1.00".into(),
+        "1.00".into(),
+        "1.00".into(),
+        "1.00".into(),
+    ]];
     for (name, cfg, area, power) in variants {
         let r = McbpSim::new(cfg).run(&ctx);
         let thr = sa_cycles / r.total_cycles();
@@ -292,7 +337,14 @@ pub fn fig25() -> String {
     }
     let mut out = render_table(
         "Fig 25 - sparsity and BRCR/BSTC gains across quantization strategies (Llama13B)",
-        &["scheme", "value SR", "bit SR", "bit/value", "BRCR comp. red.", "BSTC mem. red."],
+        &[
+            "scheme",
+            "value SR",
+            "bit SR",
+            "bit/value",
+            "BRCR comp. red.",
+            "BSTC mem. red.",
+        ],
         &rows,
     );
     out.push_str(
@@ -305,7 +357,11 @@ pub fn fig25() -> String {
 #[must_use]
 pub fn fig26() -> String {
     let mut rows = Vec::new();
-    for model in [LlmConfig::bloom1b7(), LlmConfig::llama7b(), LlmConfig::llama13b()] {
+    for model in [
+        LlmConfig::bloom1b7(),
+        LlmConfig::llama7b(),
+        LlmConfig::llama13b(),
+    ] {
         let gen = WeightGenerator::for_model(&model);
         // W4A8: INT4 weights for both designs (§6 extends Cam-C to W4A8 and
         // runs MCBP on the same QLLM-quantized models).

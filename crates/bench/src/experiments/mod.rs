@@ -4,18 +4,41 @@
 mod architecture;
 mod comparison;
 mod motivation;
+mod serving;
 
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
 pub use motivation::{fig18, fig1a, fig4, fig5ab, fig5cd, fig5fg, fig8b, fig8c, tab2};
+pub use serving::{serving, serving_capacity};
 
 /// All experiment ids in paper order.
 #[must_use]
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig1a", "fig4", "fig5ab", "fig5cd", "fig5fg", "fig8b", "fig8c", "tab1", "tab2", "fig17",
-        "fig18", "fig19", "fig20", "fig21", "tab3", "fig22", "fig23", "tab4", "fig24a", "fig24b",
-        "fig25", "fig26",
+        "fig1a",
+        "fig4",
+        "fig5ab",
+        "fig5cd",
+        "fig5fg",
+        "fig8b",
+        "fig8c",
+        "tab1",
+        "tab2",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "tab3",
+        "fig22",
+        "fig23",
+        "tab4",
+        "fig24a",
+        "fig24b",
+        "fig25",
+        "fig26",
+        "serving",
+        "serving_capacity",
     ]
 }
 
@@ -48,6 +71,8 @@ pub fn run(id: &str) -> Result<String, String> {
         "fig24b" => Ok(fig24b()),
         "fig25" => Ok(fig25()),
         "fig26" => Ok(fig26()),
+        "serving" => Ok(serving()),
+        "serving_capacity" => Ok(serving_capacity()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

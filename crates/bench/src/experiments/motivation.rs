@@ -125,7 +125,13 @@ pub fn fig5ab() -> String {
     }
     let mut out = render_table(
         "Fig 5(a)(b) - repetition and computation reduction: full-size vs group-wise merge",
-        &["model", "uniq full cols (LSB)", "uniq 4-row patterns", "full-size red.", "group-wise red."],
+        &[
+            "model",
+            "uniq full cols (LSB)",
+            "uniq 4-row patterns",
+            "full-size red.",
+            "group-wise red.",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -157,7 +163,10 @@ pub fn fig5cd() -> String {
         &["model", "value sparsity", "bit sparsity", "bit/value ratio"],
         &rows,
     );
-    out.push_str(&format!("mean ratio: {:.1}x (paper: 10.1x)\n", ratio_sum / 5.0));
+    out.push_str(&format!(
+        "mean ratio: {:.1}x (paper: 10.1x)\n",
+        ratio_sum / 5.0
+    ));
     out
 }
 
@@ -193,8 +202,11 @@ pub fn fig5fg() -> String {
     // stage fetches the kept keys' remaining bits plus their V rows.
     let mut rows = Vec::new();
     let keep_target = STANDARD_KEEP;
-    for (name, s) in [("Llama7B-cola", 256usize), ("Llama7B-dolly", 2048), ("Llama13B-dolly", 2048)]
-    {
+    for (name, s) in [
+        ("Llama7B-cola", 256usize),
+        ("Llama7B-dolly", 2048),
+        ("Llama13B-dolly", 2048),
+    ] {
         let d = 64usize;
         let mut rng = StdRng::seed_from_u64(SEED ^ s as u64);
         let kdata: Vec<i32> = (0..s * d)
@@ -233,8 +245,10 @@ pub fn fig5fg() -> String {
                 hi = mid;
             }
         }
-        let predictor =
-            ProgressivePredictor::new(BgppConfig { alpha: vec![hi], ..BgppConfig::standard() });
+        let predictor = ProgressivePredictor::new(BgppConfig {
+            alpha: vec![hi],
+            ..BgppConfig::standard()
+        });
         let bg = predictor.predict(&q, &planes, 0.002);
         // Remaining K bits of survivors (8 - signs - 4 rounds = 3) + V.
         let bg_bits = bg.stats.k_bits_fetched + (bg.survivors.len() * d * (3 + 8)) as u64;
@@ -251,7 +265,13 @@ pub fn fig5fg() -> String {
     out.push('\n');
     out.push_str(&render_table(
         "Fig 5(g) - KV access reduction vs dense, matched keep fraction (higher is better)",
-        &["scenario", "vanilla top-k", "BGPP (ours)", "oracle", "BGPP top-k recall"],
+        &[
+            "scenario",
+            "vanilla top-k",
+            "BGPP (ours)",
+            "oracle",
+            "BGPP top-k recall",
+        ],
         &rows,
     ));
     out
@@ -300,7 +320,9 @@ pub fn fig8c() -> String {
         &["model", "1st", "2nd", "3rd", "4th", "5th", "6th", "7th"],
         &rows,
     );
-    out.push_str("two-state coding gain > 1 for positions 3rd-7th (compressed); 1st/2nd/sign raw\n");
+    out.push_str(
+        "two-state coding gain > 1 for positions 3rd-7th (compressed); 1st/2nd/sign raw\n",
+    );
     out
 }
 
@@ -317,7 +339,12 @@ pub fn fig18() -> String {
     let best = cost::optimal_m(&points).unwrap_or(4);
     let mut out = render_table(
         "Fig 18 - group-size DSE (paper cost model, H=4096, k=8)",
-        &["m", "comp reduction (min)", "comp reduction (max)", "compression ratio"],
+        &[
+            "m",
+            "comp reduction (min)",
+            "comp reduction (max)",
+            "compression ratio",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -334,12 +361,18 @@ pub fn tab2() -> String {
     let mut rows = Vec::new();
     // One tiny functional transformer per named model (seeded per name);
     // metrics are relative to that model's own FP32 logits.
-    for (name, seed) in
-        [("Llama7B", 1u64), ("Llama13B", 2), ("OPT1B3", 3), ("Bloom1B7", 4), ("Qwen7B", 5)]
-    {
+    for (name, seed) in [
+        ("Llama7B", 1u64),
+        ("Llama13B", 2),
+        ("OPT1B3", 3),
+        ("Bloom1B7", 4),
+        ("Qwen7B", 5),
+    ] {
         let cfg = TransformerConfig::tiny();
         let model = Transformer::random(cfg, seed);
-        let tokens: Vec<usize> = (0..32).map(|i| (i * 17 + seed as usize) % cfg.vocab).collect();
+        let tokens: Vec<usize> = (0..32)
+            .map(|i| (i * 17 + seed as usize) % cfg.vocab)
+            .collect();
         let fp = model.forward_f32(&tokens);
         let quant = QuantTransformer::quantize(&model, &tokens, 8, Calibration::MinMax);
         let (int8, _) = quant.forward(&tokens, &KeepAll);
@@ -357,7 +390,15 @@ pub fn tab2() -> String {
     }
     let mut out = render_table(
         "Table 2 (proxy) - output fidelity vs FP32 reference (top-1 agreement)",
-        &["model", "INT8", "MCBP(S)", "MCBP(A)", "sparsity(S)", "sparsity(A)", "KL(S)"],
+        &[
+            "model",
+            "INT8",
+            "MCBP(S)",
+            "MCBP(A)",
+            "sparsity(S)",
+            "sparsity(A)",
+            "KL(S)",
+        ],
         &rows,
     );
     out.push_str(

@@ -18,7 +18,11 @@ pub struct BgppConfig {
 
 impl Default for BgppConfig {
     fn default() -> Self {
-        BgppConfig { rounds: 4, alpha: vec![0.55], radius: 3.0 }
+        BgppConfig {
+            rounds: 4,
+            alpha: vec![0.55],
+            radius: 3.0,
+        }
     }
 }
 
@@ -33,13 +37,21 @@ impl BgppConfig {
     /// α prunes harder.
     #[must_use]
     pub fn aggressive() -> Self {
-        BgppConfig { rounds: 4, alpha: vec![0.45], radius: 3.0 }
+        BgppConfig {
+            rounds: 4,
+            alpha: vec![0.45],
+            radius: 3.0,
+        }
     }
 
     /// α for round `r` (0-based).
     #[must_use]
     pub fn alpha_for(&self, r: usize) -> f32 {
-        *self.alpha.get(r).or_else(|| self.alpha.last()).unwrap_or(&0.5)
+        *self
+            .alpha
+            .get(r)
+            .or_else(|| self.alpha.last())
+            .unwrap_or(&0.5)
     }
 }
 
@@ -138,7 +150,11 @@ impl ProgressivePredictor {
                 let mut dot = 0i64;
                 for (i, &qv) in q.iter().enumerate() {
                     if plane.get(j, i) {
-                        let signed = if keys.sign().get(j, i) { -i64::from(qv) } else { i64::from(qv) };
+                        let signed = if keys.sign().get(j, i) {
+                            -i64::from(qv)
+                        } else {
+                            i64::from(qv)
+                        };
                         dot += signed;
                         stats.adds += 1;
                     }
@@ -163,7 +179,11 @@ impl ProgressivePredictor {
         }
 
         let estimates = alive.iter().map(|&j| psum[j]).collect();
-        PredictionOutcome { survivors: alive, estimates, stats }
+        PredictionOutcome {
+            survivors: alive,
+            estimates,
+            stats,
+        }
     }
 
     /// Bits a non-progressive value-level predictor would fetch for the
@@ -192,7 +212,11 @@ mod tests {
     #[test]
     fn dominant_key_survives_weak_key_dropped() {
         let keys = keys_with_scores(&[5, -120, 120, 10, 60]);
-        let p = ProgressivePredictor::new(BgppConfig { rounds: 7, alpha: vec![1.0], radius: 30.0 });
+        let p = ProgressivePredictor::new(BgppConfig {
+            rounds: 7,
+            alpha: vec![1.0],
+            radius: 30.0,
+        });
         let out = p.predict(&[1], &keys, 1.0);
         assert!(out.survivors.contains(&2), "max key must survive");
         assert!(!out.survivors.contains(&1), "far-below key must be dropped");
@@ -201,7 +225,11 @@ mod tests {
     #[test]
     fn alpha_zero_keeps_only_the_max_band() {
         let keys = keys_with_scores(&[10, 50, 120, 119, 3]);
-        let p = ProgressivePredictor::new(BgppConfig { rounds: 7, alpha: vec![0.0], radius: 3.0 });
+        let p = ProgressivePredictor::new(BgppConfig {
+            rounds: 7,
+            alpha: vec![0.0],
+            radius: 3.0,
+        });
         let out = p.predict(&[1], &keys, 1.0);
         // θ = max: only keys matching the running max survive.
         assert!(out.survivors.contains(&2));
@@ -246,17 +274,32 @@ mod tests {
         let keys = keys_with_scores(&scores);
         let out = ProgressivePredictor::new(BgppConfig::standard()).predict(&[1], &keys, 1.0);
         for w in out.stats.survivors_per_round.windows(2) {
-            assert!(w[1] <= w[0], "survivors must be monotone: {:?}", out.stats.survivors_per_round);
+            assert!(
+                w[1] <= w[0],
+                "survivors must be monotone: {:?}",
+                out.stats.survivors_per_round
+            );
         }
     }
 
     #[test]
     fn uniform_keys_gate_the_clipper() {
         let keys = keys_with_scores(&[64; 16]);
-        let p = ProgressivePredictor::new(BgppConfig { rounds: 3, alpha: vec![1.0], radius: 100.0 });
+        let p = ProgressivePredictor::new(BgppConfig {
+            rounds: 3,
+            alpha: vec![1.0],
+            radius: 100.0,
+        });
         let out = p.predict(&[1], &keys, 1.0);
-        assert_eq!(out.survivors.len(), 16, "identical keys can never be pruned");
-        assert_eq!(out.stats.gated_rounds, 3, "threshold below min gates every round");
+        assert_eq!(
+            out.survivors.len(),
+            16,
+            "identical keys can never be pruned"
+        );
+        assert_eq!(
+            out.stats.gated_rounds, 3,
+            "threshold below min gates every round"
+        );
     }
 
     #[test]
@@ -267,7 +310,11 @@ mod tests {
         let keys = BitPlanes::from_matrix(&k);
         let q: Vec<i32> = (0..16).map(|_| rng.gen_range(-7..=7)).collect();
         // All 7 rounds + huge radius = exact scores, nobody pruned.
-        let p = ProgressivePredictor::new(BgppConfig { rounds: 7, alpha: vec![1.0], radius: 1e9 });
+        let p = ProgressivePredictor::new(BgppConfig {
+            rounds: 7,
+            alpha: vec![1.0],
+            radius: 1e9,
+        });
         let out = p.predict(&q, &keys, 1.0);
         assert_eq!(out.survivors.len(), 8);
         let reference = k.matvec(&q).unwrap();

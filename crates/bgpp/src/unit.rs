@@ -64,7 +64,11 @@ impl BgppUnit {
     /// Builds the unit at the paper's scale.
     #[must_use]
     pub fn new(cfg: BgppConfig) -> Self {
-        BgppUnit { predictor: ProgressivePredictor::new(cfg), lanes: 16, tree_inputs: 64 }
+        BgppUnit {
+            predictor: ProgressivePredictor::new(cfg),
+            lanes: 16,
+            tree_inputs: 64,
+        }
     }
 
     /// Runs a prediction, returning the algorithmic outcome (identical to
@@ -100,7 +104,12 @@ impl BgppUnit {
         // recorded survivors.
         let mut alive_counts = Vec::with_capacity(rounds);
         alive_counts.push(s);
-        for w in outcome.stats.survivors_per_round.windows(1).take(rounds.saturating_sub(1)) {
+        for w in outcome
+            .stats
+            .survivors_per_round
+            .windows(1)
+            .take(rounds.saturating_sub(1))
+        {
             alive_counts.push(w[0]);
         }
 
@@ -121,8 +130,12 @@ impl BgppUnit {
             stats.sdu_negations += (active_inputs as f64 * neg).round() as u64;
             // TU scans all alive psums serially for max/min.
             stats.tu_compares += 2 * alive as u64;
-            let survivors_after =
-                outcome.stats.survivors_per_round.get(r).copied().unwrap_or(alive);
+            let survivors_after = outcome
+                .stats
+                .survivors_per_round
+                .get(r)
+                .copied()
+                .unwrap_or(alive);
             if survivors_after == alive && outcome.stats.gated_rounds > 0 {
                 stats.gated_rounds += 1;
             } else {
@@ -163,11 +176,20 @@ mod tests {
     #[test]
     fn waves_scale_with_survivors() {
         let (keys, q) = setup(128, 64);
-        let tight = BgppUnit::new(BgppConfig { alpha: vec![0.1], ..BgppConfig::standard() });
-        let loose = BgppUnit::new(BgppConfig { alpha: vec![1.0], ..BgppConfig::standard() });
+        let tight = BgppUnit::new(BgppConfig {
+            alpha: vec![0.1],
+            ..BgppConfig::standard()
+        });
+        let loose = BgppUnit::new(BgppConfig {
+            alpha: vec![1.0],
+            ..BgppConfig::standard()
+        });
         let (_, s_tight) = tight.predict(&q, &keys, 0.01);
         let (_, s_loose) = loose.predict(&q, &keys, 0.01);
-        assert!(s_tight.waves <= s_loose.waves, "harder pruning cannot issue more waves");
+        assert!(
+            s_tight.waves <= s_loose.waves,
+            "harder pruning cannot issue more waves"
+        );
         assert!(s_tight.tree_inputs <= s_loose.tree_inputs);
     }
 
@@ -183,7 +205,10 @@ mod tests {
     #[test]
     fn wide_keys_take_multiple_tree_passes() {
         let (keys, q) = setup(16, 128); // d=128 > 64-input tree
-        let unit = BgppUnit::new(BgppConfig { rounds: 1, ..BgppConfig::standard() });
+        let unit = BgppUnit::new(BgppConfig {
+            rounds: 1,
+            ..BgppConfig::standard()
+        });
         let (_, stats) = unit.predict(&q, &keys, 0.01);
         // 16 keys in one wave-group x 2 passes (128/64).
         assert!(stats.waves >= 2, "waves {}", stats.waves);

@@ -61,8 +61,11 @@ impl ValueTopK {
                 let mut dot = 0i64;
                 for (i, &qv) in q.iter().enumerate() {
                     if plane.get(j, i) {
-                        let signed =
-                            if keys.sign().get(j, i) { -i64::from(qv) } else { i64::from(qv) };
+                        let signed = if keys.sign().get(j, i) {
+                            -i64::from(qv)
+                        } else {
+                            i64::from(qv)
+                        };
                         dot += signed;
                         ops += 1;
                     }
@@ -76,7 +79,12 @@ impl ValueTopK {
 
         let mut selected = top_k_indices(&estimates, self.k);
         selected.sort_unstable();
-        TopKOutcome { selected, estimates, k_bits_fetched, ops }
+        TopKOutcome {
+            selected,
+            estimates,
+            k_bits_fetched,
+            ops,
+        }
     }
 }
 

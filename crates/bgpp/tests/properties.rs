@@ -4,10 +4,7 @@ use mcbp_bgpp::{exact_top_k, recall_against, BgppConfig, ProgressivePredictor, V
 use mcbp_bitslice::{BitPlanes, IntMatrix};
 use proptest::prelude::*;
 
-fn keys_and_query(
-    max_s: usize,
-    d: usize,
-) -> impl Strategy<Value = (IntMatrix, Vec<i32>)> {
+fn keys_and_query(max_s: usize, d: usize) -> impl Strategy<Value = (IntMatrix, Vec<i32>)> {
     (2..=max_s).prop_flat_map(move |s| {
         (
             proptest::collection::vec(-127i32..=127, s * d)

@@ -30,7 +30,12 @@ impl BitMatrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let words_per_row = cols.div_ceil(64);
-        BitMatrix { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
     }
 
     /// Number of rows.
@@ -52,7 +57,10 @@ impl BitMatrix {
     /// Panics if the index is out of bounds.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let w = self.words[r * self.words_per_row + c / 64];
         (w >> (c % 64)) & 1 == 1
     }
@@ -63,7 +71,10 @@ impl BitMatrix {
     ///
     /// Panics if the index is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let idx = r * self.words_per_row + c / 64;
         let mask = 1u64 << (c % 64);
         if v {
@@ -98,7 +109,10 @@ impl BitMatrix {
     /// Panics if `r >= rows`.
     #[must_use]
     pub fn row_count_ones(&self, r: usize) -> u64 {
-        self.row_words(r).iter().map(|w| u64::from(w.count_ones())).sum()
+        self.row_words(r)
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// Fraction of zero bits (the paper's per-plane sparsity ratio, Fig 8c).
@@ -124,7 +138,11 @@ impl BitMatrix {
     #[must_use]
     pub fn column_pattern(&self, row0: usize, m: usize, c: usize) -> u32 {
         assert!(m <= 32, "group size {m} exceeds pattern width");
-        assert!(row0 + m <= self.rows, "row group [{row0}, {})] out of bounds", row0 + m);
+        assert!(
+            row0 + m <= self.rows,
+            "row group [{row0}, {})] out of bounds",
+            row0 + m
+        );
         assert!(c < self.cols, "column {c} out of bounds");
         let mut pat = 0u32;
         let word = c / 64;
@@ -146,7 +164,11 @@ impl BitMatrix {
     /// `out.len() != cols`.
     pub fn column_patterns_into(&self, row0: usize, m: usize, out: &mut [u32]) {
         assert!(m <= 32, "group size {m} exceeds pattern width");
-        assert!(row0 + m <= self.rows, "row group [{row0}, {}) out of bounds", row0 + m);
+        assert!(
+            row0 + m <= self.rows,
+            "row group [{row0}, {}) out of bounds",
+            row0 + m
+        );
         assert_eq!(out.len(), self.cols, "output buffer length mismatch");
         out.fill(0);
         for i in 0..m {
@@ -178,7 +200,13 @@ impl BitMatrix {
 
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BitMatrix({}x{}, {} ones)", self.rows, self.cols, self.count_ones())
+        write!(
+            f,
+            "BitMatrix({}x{}, {} ones)",
+            self.rows,
+            self.cols,
+            self.count_ones()
+        )
     }
 }
 

@@ -32,13 +32,19 @@ impl fmt::Display for BitSliceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BitSliceError::ValueOutOfRange { value, bits } => {
-                write!(f, "value {value} does not fit in a signed {bits}-bit magnitude")
+                write!(
+                    f,
+                    "value {value} does not fit in a signed {bits}-bit magnitude"
+                )
             }
             BitSliceError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
             BitSliceError::BadDataLength { expected, actual } => {
-                write!(f, "data length {actual} does not match matrix size {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match matrix size {expected}"
+                )
             }
         }
     }
@@ -52,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_lowercase() {
-        let e = BitSliceError::ValueOutOfRange { value: 300, bits: 8 };
+        let e = BitSliceError::ValueOutOfRange {
+            value: 300,
+            bits: 8,
+        };
         let s = e.to_string();
         assert!(s.contains("300"));
         assert!(s.chars().next().unwrap().is_lowercase());

@@ -73,9 +73,17 @@ impl<'a> GroupView<'a> {
     /// `m > 16`, or the row range exceeds the matrix.
     #[must_use]
     pub fn new(planes: &'a BitPlanes, bit: usize, row0: usize, m: usize) -> Self {
-        assert!((1..=16).contains(&m), "group size {m} out of supported range 1..=16");
+        assert!(
+            (1..=16).contains(&m),
+            "group size {m} out of supported range 1..=16"
+        );
         assert!(row0 + m <= planes.rows(), "row group out of bounds");
-        GroupView { plane: planes.magnitude(bit), sign: planes.sign(), row0, m }
+        GroupView {
+            plane: planes.magnitude(bit),
+            sign: planes.sign(),
+            row0,
+            m,
+        }
     }
 
     /// Group size `m`.
@@ -170,12 +178,8 @@ mod tests {
 
     #[test]
     fn rails_are_disjoint_and_cover_magnitude() {
-        let m = IntMatrix::from_rows(8, &[
-            [3i32, -3, 0, 1],
-            [-1, 1, 2, -2],
-            [5, 0, -5, 4],
-        ])
-        .unwrap();
+        let m =
+            IntMatrix::from_rows(8, &[[3i32, -3, 0, 1], [-1, 1, 2, -2], [5, 0, -5, 4]]).unwrap();
         let planes = BitPlanes::from_matrix(&m);
         for b in 0..planes.magnitude_planes() {
             let g = GroupView::new(&planes, b, 0, 3);

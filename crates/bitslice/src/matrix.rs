@@ -34,7 +34,12 @@ impl IntMatrix {
     #[must_use]
     pub fn zeros(bits: u8, rows: usize, cols: usize) -> Self {
         let _ = max_magnitude(bits); // validates bits
-        IntMatrix { rows, cols, bits, data: vec![0; rows * cols] }
+        IntMatrix {
+            rows,
+            cols,
+            bits,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major slice.
@@ -44,15 +49,28 @@ impl IntMatrix {
     /// Returns [`BitSliceError::BadDataLength`] if `data.len() != rows * cols`
     /// and [`BitSliceError::ValueOutOfRange`] if any element's magnitude does
     /// not fit in `bits − 1` bits.
-    pub fn from_flat(bits: u8, rows: usize, cols: usize, data: Vec<i32>) -> Result<Self, BitSliceError> {
+    pub fn from_flat(
+        bits: u8,
+        rows: usize,
+        cols: usize,
+        data: Vec<i32>,
+    ) -> Result<Self, BitSliceError> {
         if data.len() != rows * cols {
-            return Err(BitSliceError::BadDataLength { expected: rows * cols, actual: data.len() });
+            return Err(BitSliceError::BadDataLength {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         let limit = max_magnitude(bits);
         if let Some(&bad) = data.iter().find(|v| v.abs() > limit) {
             return Err(BitSliceError::ValueOutOfRange { value: bad, bits });
         }
-        Ok(IntMatrix { rows, cols, bits, data })
+        Ok(IntMatrix {
+            rows,
+            cols,
+            bits,
+            data,
+        })
     }
 
     /// Creates a matrix from an array of equally sized rows.
@@ -91,7 +109,10 @@ impl IntMatrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> i32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -105,9 +126,15 @@ impl IntMatrix {
     ///
     /// Panics if the index is out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: i32) -> Result<(), BitSliceError> {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         if v.abs() > max_magnitude(self.bits) {
-            return Err(BitSliceError::ValueOutOfRange { value: v, bits: self.bits });
+            return Err(BitSliceError::ValueOutOfRange {
+                value: v,
+                bits: self.bits,
+            });
         }
         self.data[r * self.cols + c] = v;
         Ok(())
@@ -208,7 +235,13 @@ mod tests {
     #[test]
     fn rejects_bad_length() {
         let err = IntMatrix::from_flat(8, 2, 2, vec![1, 2, 3]).unwrap_err();
-        assert_eq!(err, BitSliceError::BadDataLength { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            BitSliceError::BadDataLength {
+                expected: 4,
+                actual: 3
+            }
+        );
     }
 
     #[test]
@@ -220,7 +253,10 @@ mod tests {
     #[test]
     fn matvec_dimension_check() {
         let m = IntMatrix::zeros(8, 2, 3);
-        assert!(matches!(m.matvec(&[1, 2]), Err(BitSliceError::DimensionMismatch { .. })));
+        assert!(matches!(
+            m.matvec(&[1, 2]),
+            Err(BitSliceError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

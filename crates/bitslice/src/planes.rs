@@ -56,7 +56,13 @@ impl BitPlanes {
                 }
             }
         }
-        BitPlanes { bits, rows, cols, magnitude, sign }
+        BitPlanes {
+            bits,
+            rows,
+            cols,
+            magnitude,
+            sign,
+        }
     }
 
     /// Declared bit width of the source matrix (including sign).
@@ -176,12 +182,15 @@ mod tests {
     fn paper_fig4_example_decomposition() {
         // Fig 4(a): a 2-bit matrix; MSB plane much sparser than the
         // value-level zero count suggests.
-        let m = IntMatrix::from_rows(2, &[
-            [0, 1, 0, 0, 1],
-            [0, 1, 0, 1, 1],
-            [1, 1, 1, 1, 1],
-            [1, 0, 1, 1, 0],
-        ])
+        let m = IntMatrix::from_rows(
+            2,
+            &[
+                [0, 1, 0, 0, 1],
+                [0, 1, 0, 1, 1],
+                [1, 1, 1, 1, 1],
+                [1, 0, 1, 1, 0],
+            ],
+        )
         .unwrap();
         let p = BitPlanes::from_matrix(&m);
         // Bit width 2 means a single magnitude plane; sign plane empty.

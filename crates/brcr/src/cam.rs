@@ -27,7 +27,11 @@ pub struct CamModel {
 
 impl Default for CamModel {
     fn default() -> Self {
-        CamModel { m: 4, block_bits: 2, tile_columns: 16 }
+        CamModel {
+            m: 4,
+            block_bits: 2,
+            tile_columns: 16,
+        }
     }
 }
 
@@ -72,13 +76,20 @@ impl CamModel {
     /// `block_bits`.
     #[must_use]
     pub fn new(m: usize) -> Self {
-        let model = CamModel { m, ..CamModel::default() };
+        let model = CamModel {
+            m,
+            ..CamModel::default()
+        };
         model.validate();
         model
     }
 
     fn validate(&self) {
-        assert!(self.m >= 1 && self.m <= 16, "group size {} out of range", self.m);
+        assert!(
+            self.m >= 1 && self.m <= 16,
+            "group size {} out of range",
+            self.m
+        );
         // Odd sizes use a partially masked final block; `blocks_per_key`
         // rounds up accordingly ("reconfigured by re-matching the outputs
         // of multiple basic blocks", §4.3).
@@ -197,7 +208,10 @@ mod tests {
         let cam = CamModel::new(4);
         let patterns: Vec<u32> = (0..160).map(|i| (i % 16) as u32).collect();
         let (cam_cycles, serial_ops) = cam.speedup_vs_serial(&patterns);
-        assert!(cam_cycles < serial_ops, "cam {cam_cycles} vs serial {serial_ops}");
+        assert!(
+            cam_cycles < serial_ops,
+            "cam {cam_cycles} vs serial {serial_ops}"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl PeCluster {
     /// Panics if `m` is 0 or greater than 16.
     #[must_use]
     pub fn new(m: usize) -> Self {
-        PeCluster { cam: CamModel::new(m), m }
+        PeCluster {
+            cam: CamModel::new(m),
+            m,
+        }
     }
 
     /// The group size.
@@ -104,8 +107,7 @@ impl PeCluster {
                 for (tile_idx, tile) in pats.chunks(self.cam.tile_columns).enumerate() {
                     let base_col = tile_idx * self.cam.tile_columns;
                     for rail in [Rail::Pos, Rail::Neg] {
-                        let tile_keys: Vec<u32> =
-                            tile.iter().map(|p| rail.select(*p)).collect();
+                        let tile_keys: Vec<u32> = tile.iter().map(|p| rail.select(*p)).collect();
                         if tile_keys.iter().all(|k| *k == 0) {
                             continue; // nothing to load for this rail
                         }
@@ -193,7 +195,9 @@ mod tests {
 
     fn random_matrix(seed: u64, rows: usize, cols: usize) -> IntMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-127..=127)).collect();
+        let data: Vec<i32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-127..=127))
+            .collect();
         IntMatrix::from_flat(8, rows, cols, data).unwrap()
     }
 

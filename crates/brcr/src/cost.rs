@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn zero_sparsity_still_pays_reconstruction() {
         let dense_equiv = comp_reduction_vs_dense(8, 4096, 4, 0.0);
-        assert!(dense_equiv < 4.0, "without sparsity the gain is bounded by m");
+        assert!(
+            dense_equiv < 4.0,
+            "without sparsity the gain is bounded by m"
+        );
         assert!(dense_equiv > 1.0, "merging alone still helps");
     }
 

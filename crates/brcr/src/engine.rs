@@ -241,7 +241,9 @@ impl BrcrEngine {
     /// magnitude bit. Used as the comparison baseline of §3.1.
     #[must_use]
     pub fn naive_bit_serial_adds(planes: &BitPlanes) -> u64 {
-        (0..planes.magnitude_planes()).map(|b| planes.magnitude(b).count_ones()).sum()
+        (0..planes.magnitude_planes())
+            .map(|b| planes.magnitude(b).count_ones())
+            .sum()
     }
 }
 
@@ -252,7 +254,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> IntMatrix {
-        let data: Vec<i32> = (0..rows * cols).map(|_| rng.gen_range(-127..=127)).collect();
+        let data: Vec<i32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-127..=127))
+            .collect();
         IntMatrix::from_flat(8, rows, cols, data).unwrap()
     }
 
@@ -332,8 +336,15 @@ mod tests {
 
     #[test]
     fn op_counts_absorb_sums_fields() {
-        let a = OpCounts { merge_accumulates: 1, shift_adds: 2, ..OpCounts::default() };
-        let mut b = OpCounts { merge_accumulates: 10, ..OpCounts::default() };
+        let a = OpCounts {
+            merge_accumulates: 1,
+            shift_adds: 2,
+            ..OpCounts::default()
+        };
+        let mut b = OpCounts {
+            merge_accumulates: 10,
+            ..OpCounts::default()
+        };
         b.absorb(&a);
         assert_eq!(b.merge_accumulates, 11);
         assert_eq!(b.shift_adds, 2);

@@ -91,7 +91,14 @@ pub fn factorize(plane: &BitMatrix, row0: usize, m: usize) -> Factorization {
         reconstruct_adds += terms.saturating_sub(1);
     }
 
-    Factorization { m, enumeration, index, naive_adds, merge_adds, reconstruct_adds }
+    Factorization {
+        m,
+        enumeration,
+        index,
+        naive_adds,
+        merge_adds,
+        reconstruct_adds,
+    }
 }
 
 #[cfg(test)]

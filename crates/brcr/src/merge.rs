@@ -47,7 +47,11 @@ impl MergeResult {
 /// pattern has bits set at or above `m`.
 #[must_use]
 pub fn merge_activations(patterns: &[SignedPattern], x: &[i32], m: usize) -> MergeResult {
-    assert_eq!(patterns.len(), x.len(), "pattern/activation length mismatch");
+    assert_eq!(
+        patterns.len(),
+        x.len(),
+        "pattern/activation length mismatch"
+    );
     assert!((1..=16).contains(&m), "group size {m} out of range");
     let size = 1usize << m;
     let mut mav_pos = vec![0i64; size];
@@ -85,7 +89,13 @@ pub fn merge_activations(patterns: &[SignedPattern], x: &[i32], m: usize) -> Mer
             accumulates += 1;
         }
     }
-    MergeResult { mav_pos, mav_neg, accumulates, true_adds, zero_columns }
+    MergeResult {
+        mav_pos,
+        mav_neg,
+        accumulates,
+        true_adds,
+        zero_columns,
+    }
 }
 
 #[cfg(test)]

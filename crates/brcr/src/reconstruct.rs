@@ -42,7 +42,11 @@ pub fn reconstruct(mav: &[i64], m: usize) -> ReconstructResult {
         }
         y[i] = acc;
     }
-    ReconstructResult { y, adds, fixed_datapath_adds: (m as u64) << (m - 1) }
+    ReconstructResult {
+        y,
+        adds,
+        fixed_datapath_adds: (m as u64) << (m - 1),
+    }
 }
 
 #[cfg(test)]

@@ -136,9 +136,20 @@ impl EncodedWeights {
                 }
                 row0 += size;
             }
-            encoded.push(EncodedPlane::Coded { stream, groups, nonzero_groups });
+            encoded.push(EncodedPlane::Coded {
+                stream,
+                groups,
+                nonzero_groups,
+            });
         }
-        EncodedWeights { bits: planes.bits(), rows, cols, m, planes: encoded, sign: planes.sign().clone() }
+        EncodedWeights {
+            bits: planes.bits(),
+            rows,
+            cols,
+            m,
+            planes: encoded,
+            sign: planes.sign().clone(),
+        }
     }
 
     /// Group size used for coding.
@@ -322,7 +333,10 @@ mod tests {
         let all = PlaneSelection::ByPosition((0..7).collect());
         let enc = EncodedWeights::encode(&planes, 4, all);
         let lsb = &enc.planes()[0];
-        assert!(lsb.stored_bits() > (16 * 256) as u64, "dense plane must inflate");
+        assert!(
+            lsb.stored_bits() > (16 * 256) as u64,
+            "dense plane must inflate"
+        );
     }
 
     #[test]

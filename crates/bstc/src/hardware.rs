@@ -33,7 +33,11 @@ impl BstcEncoder {
     #[must_use]
     pub fn new(m: usize) -> Self {
         assert!((1..=16).contains(&m), "group size {m} out of range");
-        BstcEncoder { m, cycles: 0, bits_out: 0 }
+        BstcEncoder {
+            m,
+            cycles: 0,
+            bits_out: 0,
+        }
     }
 
     /// Encodes one `m`-bit group into the stream (one cycle).
@@ -83,7 +87,14 @@ impl BstcDecoder {
     #[must_use]
     pub fn new(m: usize) -> Self {
         assert!((1..=16).contains(&m), "group size {m} out of range");
-        BstcDecoder { m, sipo: 0, sipo_fill: 0, expecting_payload: false, cycles: 0, groups_out: 0 }
+        BstcDecoder {
+            m,
+            sipo: 0,
+            sipo_fill: 0,
+            expecting_payload: false,
+            cycles: 0,
+            groups_out: 0,
+        }
     }
 
     /// Consumes one stream bit; may complete a group.

@@ -26,7 +26,10 @@ pub struct BankGeometry {
 impl Default for BankGeometry {
     fn default() -> Self {
         // 64 columns x 16-bit words per row = 1024 bits per row.
-        BankGeometry { row_bits: 1024, rows: 1024 }
+        BankGeometry {
+            row_bits: 1024,
+            rows: 1024,
+        }
     }
 }
 
@@ -129,10 +132,22 @@ impl SegmentedLayout {
                 stream.len(),
                 geometry.capacity_bits()
             );
-            directory.push(DirectoryEntry { bank: seg_idx, bit_offset: 0, len_bits: stream.len() });
+            directory.push(DirectoryEntry {
+                bank: seg_idx,
+                bit_offset: 0,
+                len_bits: stream.len(),
+            });
             banks.push(stream);
         }
-        SegmentedLayout { rows, cols, m, segment_cols, directory, banks, geometry }
+        SegmentedLayout {
+            rows,
+            cols,
+            m,
+            segment_cols,
+            directory,
+            banks,
+            geometry,
+        }
     }
 
     /// The start-address directory (what the controller fetches first,
@@ -228,7 +243,12 @@ pub fn layout_coded_planes(
 ) -> Vec<(usize, SegmentedLayout)> {
     coded
         .iter()
-        .map(|&b| (b, SegmentedLayout::build(planes.magnitude(b), m, segment_cols)))
+        .map(|&b| {
+            (
+                b,
+                SegmentedLayout::build(planes.magnitude(b), m, segment_cols),
+            )
+        })
         .collect()
 }
 
@@ -273,7 +293,10 @@ mod tests {
         let plane = sparse_plane(64, 1024, 0.15, 3);
         let layout = SegmentedLayout::build(&plane, 4, 256);
         let (serial, parallel) = layout.decode_cycles();
-        assert!(parallel * 3 < serial, "parallel {parallel} vs serial {serial}");
+        assert!(
+            parallel * 3 < serial,
+            "parallel {parallel} vs serial {serial}"
+        );
     }
 
     #[test]
@@ -288,7 +311,10 @@ mod tests {
     #[should_panic(expected = "overflows its bank")]
     fn bank_overflow_is_detected() {
         let plane = sparse_plane(64, 64, 0.9, 5);
-        let tiny = BankGeometry { row_bits: 8, rows: 4 };
+        let tiny = BankGeometry {
+            row_bits: 8,
+            rows: 4,
+        };
         let _ = SegmentedLayout::build_with_geometry(&plane, 4, 64, tiny);
     }
 

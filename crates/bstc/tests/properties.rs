@@ -49,7 +49,7 @@ proptest! {
                 prop_assert_eq!(stream.len() as u64, expected, "plane {}", b);
                 // ... and matches the analytics CR given the measured zero
                 // fraction, when rows divide evenly into groups.
-                if w.rows() % m == 0 {
+                if w.rows().is_multiple_of(m) {
                     let z = zero_group_fraction(planes.magnitude(b), m);
                     let raw = (w.rows() * w.cols()) as f64;
                     let cr_measured = raw / stream.len() as f64;

@@ -42,7 +42,13 @@ impl Engine {
         let generator = WeightGenerator::for_model(&model);
         let sample = generator.quantized_sample(64, 1024, seed);
         let profile = SparsityProfile::measure(&sample, cfg.group_size);
-        Engine { model, generator, profile, sim: McbpSim::new(cfg), seed }
+        Engine {
+            model,
+            generator,
+            profile,
+            sim: McbpSim::new(cfg),
+            seed,
+        }
     }
 
     /// The model configuration.
@@ -90,7 +96,12 @@ impl Engine {
 
     /// Simulates a workload, also returning the per-unit energy breakdown.
     #[must_use]
-    pub fn evaluate_detailed(&self, task: &Task, batch: usize, keep: f64) -> (RunReport, UnitEnergy) {
+    pub fn evaluate_detailed(
+        &self,
+        task: &Task,
+        batch: usize,
+        keep: f64,
+    ) -> (RunReport, UnitEnergy) {
         self.sim.run_detailed(&self.context(task, batch, keep))
     }
 
@@ -107,13 +118,40 @@ impl Engine {
         accel.run(&self.context(task, batch, keep))
     }
 
+    /// Builds a request-serving simulator over this engine's accelerator
+    /// at the given attention-keep operating point: the entry point to the
+    /// `mcbp::serve` subsystem.
+    ///
+    /// ```
+    /// use mcbp::serve::{ArrivalProcess, ContinuousBatchScheduler, LoadGenerator, ServeConfig};
+    /// use mcbp::{model::LlmConfig, workloads::Task, Engine};
+    ///
+    /// let engine = Engine::new(LlmConfig::opt1b3(), 7);
+    /// let sim = engine.serve_sim(0.3, ServeConfig::default());
+    /// let load = LoadGenerator::uniform(
+    ///     Task::cola(), 3, ArrivalProcess::ClosedLoop { concurrency: 3 },
+    /// ).generate();
+    /// let report = sim.run(&load, &mut ContinuousBatchScheduler::new());
+    /// assert_eq!(report.completed, 3);
+    /// ```
+    #[must_use]
+    pub fn serve_sim(&self, keep: f64, cfg: mcbp_serve::ServeConfig) -> mcbp_serve::ServeSim<'_> {
+        mcbp_serve::ServeSim::new(&self.sim, self.context(&Task::cola(), 1, keep), cfg)
+    }
+
     /// BSTC-compresses a fresh weight sample and returns the encoded form
     /// (offline pre-deployment step of Fig 6).
     #[must_use]
     pub fn compress_sample(&self, rows: usize, cols: usize) -> EncodedWeights {
-        let sample = self.generator.quantized_sample(rows, cols, self.seed ^ 0xc0de);
+        let sample = self
+            .generator
+            .quantized_sample(rows, cols, self.seed ^ 0xc0de);
         let planes = mcbp_bitslice::BitPlanes::from_matrix(&sample);
-        EncodedWeights::encode(&planes, self.sim.config().group_size, PlaneSelection::paper_default())
+        EncodedWeights::encode(
+            &planes,
+            self.sim.config().group_size,
+            PlaneSelection::paper_default(),
+        )
     }
 }
 

@@ -44,31 +44,34 @@
 #![forbid(unsafe_code)]
 
 mod engine;
-mod fleet;
 mod pruners;
 
 pub use engine::Engine;
-pub use fleet::Fleet;
+/// Multi-device scaling model (§5.3); lives in `mcbp-workloads` so the
+/// serving subsystem can reuse it, re-exported here for API stability.
+pub use mcbp_workloads::Fleet;
 pub use pruners::{BgppPruner, ValueTopKPruner};
 
+/// Analytic models of the compared designs.
+pub use mcbp_baselines as baselines;
+/// BGPP: progressive bit-grained top-k prediction.
+pub use mcbp_bgpp as bgpp;
 /// Bit-packed matrices, sign–magnitude planes, sparsity statistics.
 pub use mcbp_bitslice as bitslice;
-/// INT quantization schemes and the integer linear layer.
-pub use mcbp_quant as quant;
-/// LLM shape configs and the functional reference transformer.
-pub use mcbp_model as model;
 /// BRCR: repetition-merging bit-slice GEMM (the core contribution).
 pub use mcbp_brcr as brcr;
 /// BSTC: two-state bit-plane weight codec.
 pub use mcbp_bstc as bstc;
-/// BGPP: progressive bit-grained top-k prediction.
-pub use mcbp_bgpp as bgpp;
 /// HBM/SRAM models and energy/area tables.
 pub use mcbp_mem as mem;
+/// LLM shape configs and the functional reference transformer.
+pub use mcbp_model as model;
+/// INT quantization schemes and the integer linear layer.
+pub use mcbp_quant as quant;
+/// Request serving: arrival processes, schedulers, KV-pool admission.
+pub use mcbp_serve as serve;
 /// The cycle-level MCBP accelerator model.
 pub use mcbp_sim as sim;
-/// Analytic models of the compared designs.
-pub use mcbp_baselines as baselines;
 /// Tasks, synthetic weights, traces, the `Accelerator` interface.
 pub use mcbp_workloads as workloads;
 
@@ -80,7 +83,11 @@ pub mod prelude {
     pub use crate::bstc::{EncodedWeights, PlaneSelection};
     pub use crate::model::LlmConfig;
     pub use crate::quant::{Calibration, FloatMatrix, QuantizedLinear};
+    pub use crate::serve::{
+        ArrivalProcess, ContinuousBatchScheduler, FcfsScheduler, LoadGenerator, ServeConfig,
+        ServeReport, ServeSim,
+    };
     pub use crate::sim::{McbpConfig, McbpSim};
     pub use crate::workloads::{Accelerator, SparsityProfile, Task, TraceContext, WeightGenerator};
-    pub use crate::{BgppPruner, Engine, ValueTopKPruner};
+    pub use crate::{BgppPruner, Engine, Fleet, ValueTopKPruner};
 }

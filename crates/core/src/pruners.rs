@@ -30,7 +30,9 @@ impl BgppPruner {
     /// Creates a pruner from a BGPP configuration.
     #[must_use]
     pub fn new(cfg: BgppConfig) -> Self {
-        BgppPruner { predictor: ProgressivePredictor::new(cfg) }
+        BgppPruner {
+            predictor: ProgressivePredictor::new(cfg),
+        }
     }
 
     /// The paper's standard operating point (α = 0.55, no accuracy loss
@@ -49,7 +51,10 @@ impl BgppPruner {
     /// A pruner with an explicit per-round α (the Fig 24a sweep knob).
     #[must_use]
     pub fn with_alpha(alpha: f32) -> Self {
-        Self::new(BgppConfig { alpha: vec![alpha], ..BgppConfig::standard() })
+        Self::new(BgppConfig {
+            alpha: vec![alpha],
+            ..BgppConfig::standard()
+        })
     }
 }
 
@@ -59,7 +64,10 @@ impl AttentionPruner for BgppPruner {
         // cache", Fig 6); decomposing here models that storage format.
         let planes = BitPlanes::from_matrix(keys);
         let out = self.predictor.predict(q, &planes, score_scale);
-        PrunerDecision { kept: out.survivors, bits_fetched: out.stats.k_bits_fetched }
+        PrunerDecision {
+            kept: out.survivors,
+            bits_fetched: out.stats.k_bits_fetched,
+        }
     }
 }
 
@@ -82,8 +90,14 @@ impl ValueTopKPruner {
     /// Panics if `keep_fraction` is outside `(0, 1]`.
     #[must_use]
     pub fn new(est_bits: usize, keep_fraction: f64) -> Self {
-        assert!(keep_fraction > 0.0 && keep_fraction <= 1.0, "invalid keep fraction");
-        ValueTopKPruner { est_bits, keep_fraction }
+        assert!(
+            keep_fraction > 0.0 && keep_fraction <= 1.0,
+            "invalid keep fraction"
+        );
+        ValueTopKPruner {
+            est_bits,
+            keep_fraction,
+        }
     }
 }
 
@@ -92,7 +106,10 @@ impl AttentionPruner for ValueTopKPruner {
         let k = ((keys.rows() as f64 * self.keep_fraction).ceil() as usize).max(1);
         let planes = BitPlanes::from_matrix(keys);
         let out = ValueTopK::new(self.est_bits, k).predict(q, &planes);
-        PrunerDecision { kept: out.selected, bits_fetched: out.k_bits_fetched }
+        PrunerDecision {
+            kept: out.selected,
+            bits_fetched: out.k_bits_fetched,
+        }
     }
 }
 

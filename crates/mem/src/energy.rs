@@ -130,8 +130,15 @@ mod tests {
 
     #[test]
     fn absorb_and_scale() {
-        let mut a = EnergyBreakdown { brcr_pj: 1.0, ..Default::default() };
-        a.absorb(&EnergyBreakdown { brcr_pj: 2.0, dram_pj: 4.0, ..Default::default() });
+        let mut a = EnergyBreakdown {
+            brcr_pj: 1.0,
+            ..Default::default()
+        };
+        a.absorb(&EnergyBreakdown {
+            brcr_pj: 2.0,
+            dram_pj: 4.0,
+            ..Default::default()
+        });
         assert!((a.brcr_pj - 3.0).abs() < 1e-12);
         let s = a.scaled(0.5);
         assert!((s.dram_pj - 2.0).abs() < 1e-12);
@@ -141,6 +148,9 @@ mod tests {
     fn defaults_order_sensible() {
         let t = EnergyTable::default();
         assert!(t.add8_pj < t.add32_pj);
-        assert!(t.add8_pj < t.mul8_pj, "adds must be cheaper than multiplies");
+        assert!(
+            t.add8_pj < t.mul8_pj,
+            "adds must be cheaper than multiplies"
+        );
     }
 }

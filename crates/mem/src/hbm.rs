@@ -22,6 +22,10 @@ pub struct HbmConfig {
     pub pj_per_bit: f64,
     /// Energy per row activation, in pJ.
     pub pj_per_activate: f64,
+    /// Total device capacity in bytes (Table 3: "HBM2 … 8 GB"). The
+    /// serving subsystem budgets its KV-cache pool from this figure minus
+    /// the resident model weights.
+    pub capacity_bytes: u64,
 }
 
 impl Default for HbmConfig {
@@ -37,6 +41,7 @@ impl Default for HbmConfig {
             t_cas: 14,
             pj_per_bit: 4.0,
             pj_per_activate: 909.0, // HBM2 ACT+PRE energy, fine-grained DRAM study [67]
+            capacity_bytes: 8 * 1024 * 1024 * 1024,
         }
     }
 }
@@ -98,10 +103,20 @@ impl Hbm {
     /// Panics if the configuration has zero channels, banks, or row size.
     #[must_use]
     pub fn new(cfg: HbmConfig) -> Self {
-        assert!(cfg.channels >= 1 && cfg.banks_per_channel >= 1, "need channels and banks");
-        assert!(cfg.row_bytes >= 1 && cfg.bits_per_core_cycle >= 1, "need positive sizes");
+        assert!(
+            cfg.channels >= 1 && cfg.banks_per_channel >= 1,
+            "need channels and banks"
+        );
+        assert!(
+            cfg.row_bytes >= 1 && cfg.bits_per_core_cycle >= 1,
+            "need positive sizes"
+        );
         let open_rows = vec![u64::MAX; cfg.channels * cfg.banks_per_channel];
-        Hbm { cfg, open_rows, stats: HbmStats::default() }
+        Hbm {
+            cfg,
+            open_rows,
+            stats: HbmStats::default(),
+        }
     }
 
     /// The configuration.
@@ -213,7 +228,10 @@ mod tests {
         let cycles = hbm.stream_read(bytes);
         let min = bytes * 8 / 512;
         assert!(cycles >= min);
-        assert!(cycles < min * 2, "activation overhead must stay modest for streams");
+        assert!(
+            cycles < min * 2,
+            "activation overhead must stay modest for streams"
+        );
     }
 
     #[test]

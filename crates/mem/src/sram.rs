@@ -98,8 +98,14 @@ impl Sram {
     /// Panics if banks or row size are zero.
     #[must_use]
     pub fn new(cfg: SramConfig) -> Self {
-        assert!(cfg.banks >= 1 && cfg.row_bytes >= 1, "invalid sram geometry");
-        Sram { cfg, stats: SramStats::default() }
+        assert!(
+            cfg.banks >= 1 && cfg.row_bytes >= 1,
+            "invalid sram geometry"
+        );
+        Sram {
+            cfg,
+            stats: SramStats::default(),
+        }
     }
 
     /// The configuration.

@@ -19,37 +19,78 @@ impl LlmConfig {
     /// OPT-1.3B.
     #[must_use]
     pub fn opt1b3() -> Self {
-        LlmConfig { name: "OPT1B3", hidden: 2048, layers: 24, heads: 32, ffn: 8192, vocab: 50272 }
+        LlmConfig {
+            name: "OPT1B3",
+            hidden: 2048,
+            layers: 24,
+            heads: 32,
+            ffn: 8192,
+            vocab: 50272,
+        }
     }
 
     /// Bloom-1.7B.
     #[must_use]
     pub fn bloom1b7() -> Self {
-        LlmConfig { name: "Bloom1B7", hidden: 2048, layers: 24, heads: 16, ffn: 8192, vocab: 250_880 }
+        LlmConfig {
+            name: "Bloom1B7",
+            hidden: 2048,
+            layers: 24,
+            heads: 16,
+            ffn: 8192,
+            vocab: 250_880,
+        }
     }
 
     /// Qwen-7B.
     #[must_use]
     pub fn qwen7b() -> Self {
-        LlmConfig { name: "Qwen7B", hidden: 4096, layers: 32, heads: 32, ffn: 11008, vocab: 151_936 }
+        LlmConfig {
+            name: "Qwen7B",
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            ffn: 11008,
+            vocab: 151_936,
+        }
     }
 
     /// Llama-7B (Llama-2).
     #[must_use]
     pub fn llama7b() -> Self {
-        LlmConfig { name: "Llama7B", hidden: 4096, layers: 32, heads: 32, ffn: 11008, vocab: 32000 }
+        LlmConfig {
+            name: "Llama7B",
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            ffn: 11008,
+            vocab: 32000,
+        }
     }
 
     /// Llama-13B (Llama-2).
     #[must_use]
     pub fn llama13b() -> Self {
-        LlmConfig { name: "Llama13B", hidden: 5120, layers: 40, heads: 40, ffn: 13824, vocab: 32000 }
+        LlmConfig {
+            name: "Llama13B",
+            hidden: 5120,
+            layers: 40,
+            heads: 40,
+            ffn: 13824,
+            vocab: 32000,
+        }
     }
 
     /// The paper's five-model benchmark suite, smallest first.
     #[must_use]
     pub fn paper_suite() -> Vec<LlmConfig> {
-        vec![Self::opt1b3(), Self::bloom1b7(), Self::qwen7b(), Self::llama7b(), Self::llama13b()]
+        vec![
+            Self::opt1b3(),
+            Self::bloom1b7(),
+            Self::qwen7b(),
+            Self::llama7b(),
+            Self::llama13b(),
+        ]
     }
 
     /// Per-head dimension.
@@ -141,8 +182,12 @@ impl OpDescriptor {
         match self.kind {
             GemmKind::Weight => 0,
             // K cache: K columns of the score GEMM; V cache: K rows of PV.
-            GemmKind::AttentionQk => self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64,
-            GemmKind::AttentionPv => self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64,
+            GemmKind::AttentionQk => {
+                self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64
+            }
+            GemmKind::AttentionPv => {
+                self.k as u64 * self.n as u64 * bytes_per_value * self.count as u64
+            }
         }
     }
 }
@@ -163,12 +208,48 @@ pub fn layer_ops(cfg: &LlmConfig, phase: Phase) -> Vec<OpDescriptor> {
         Phase::Decode { context } => (1, context),
     };
     vec![
-        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: 3 * h, count: 1 }, // QKV
-        OpDescriptor { kind: GemmKind::AttentionQk, m: s, k: d, n: ctx, count: cfg.heads },
-        OpDescriptor { kind: GemmKind::AttentionPv, m: s, k: ctx, n: d, count: cfg.heads },
-        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: h, count: 1 }, // out proj
-        OpDescriptor { kind: GemmKind::Weight, m: s, k: h, n: cfg.ffn, count: 1 }, // FFN up
-        OpDescriptor { kind: GemmKind::Weight, m: s, k: cfg.ffn, n: h, count: 1 }, // FFN down
+        OpDescriptor {
+            kind: GemmKind::Weight,
+            m: s,
+            k: h,
+            n: 3 * h,
+            count: 1,
+        }, // QKV
+        OpDescriptor {
+            kind: GemmKind::AttentionQk,
+            m: s,
+            k: d,
+            n: ctx,
+            count: cfg.heads,
+        },
+        OpDescriptor {
+            kind: GemmKind::AttentionPv,
+            m: s,
+            k: ctx,
+            n: d,
+            count: cfg.heads,
+        },
+        OpDescriptor {
+            kind: GemmKind::Weight,
+            m: s,
+            k: h,
+            n: h,
+            count: 1,
+        }, // out proj
+        OpDescriptor {
+            kind: GemmKind::Weight,
+            m: s,
+            k: h,
+            n: cfg.ffn,
+            count: 1,
+        }, // FFN up
+        OpDescriptor {
+            kind: GemmKind::Weight,
+            m: s,
+            k: cfg.ffn,
+            n: h,
+            count: 1,
+        }, // FFN down
     ]
 }
 
@@ -202,7 +283,10 @@ mod tests {
         for op in &ops {
             assert_eq!(op.m, 1, "decode GEMMs are GEMVs: {op:?}");
         }
-        let qk = ops.iter().find(|o| o.kind == GemmKind::AttentionQk).unwrap();
+        let qk = ops
+            .iter()
+            .find(|o| o.kind == GemmKind::AttentionQk)
+            .unwrap();
         assert_eq!(qk.n, 4096);
     }
 

@@ -33,8 +33,14 @@ impl<'a> Generator<'a> {
     /// Creates an empty-context generator.
     #[must_use]
     pub fn new(model: &'a Transformer) -> Self {
-        let caches = (0..model.config().layers).map(|_| LayerCache::default()).collect();
-        Generator { model, caches, tokens_seen: 0 }
+        let caches = (0..model.config().layers)
+            .map(|_| LayerCache::default())
+            .collect();
+        Generator {
+            model,
+            caches,
+            tokens_seen: 0,
+        }
     }
 
     /// Tokens currently in the cache.
@@ -80,7 +86,11 @@ impl<'a> Generator<'a> {
                     .k
                     .iter()
                     .map(|krow| {
-                        qh.iter().zip(&krow[off..off + d]).map(|(a, b)| a * b).sum::<f32>() * scale
+                        qh.iter()
+                            .zip(&krow[off..off + d])
+                            .map(|(a, b)| a * b)
+                            .sum::<f32>()
+                            * scale
                     })
                     .collect();
                 softmax_in_place(&mut scores);

@@ -39,7 +39,7 @@ mod quantized;
 mod transformer;
 
 pub use config::{layer_ops, GemmKind, LlmConfig, OpDescriptor, Phase};
-pub use ops::{gelu, layer_norm, softmax_in_place};
 pub use kvcache::{last_position_logits, Generator};
+pub use ops::{gelu, layer_norm, softmax_in_place};
 pub use quantized::{AttentionPruner, AttnStats, KeepAll, PrunerDecision, QuantTransformer};
 pub use transformer::{Transformer, TransformerConfig};

@@ -31,7 +31,10 @@ pub struct KeepAll;
 
 impl AttentionPruner for KeepAll {
     fn select(&self, _q: &[i32], keys: &IntMatrix, _score_scale: f32) -> PrunerDecision {
-        PrunerDecision { kept: (0..keys.rows()).collect(), bits_fetched: 0 }
+        PrunerDecision {
+            kept: (0..keys.rows()).collect(),
+            bits_fetched: 0,
+        }
     }
 }
 
@@ -92,8 +95,16 @@ impl QuantTransformer {
     ///
     /// Panics if `calib_tokens` is empty or contains out-of-vocabulary ids.
     #[must_use]
-    pub fn quantize(model: &Transformer, calib_tokens: &[usize], bits: u8, cal: Calibration) -> Self {
-        assert!(!calib_tokens.is_empty(), "calibration needs at least one token");
+    pub fn quantize(
+        model: &Transformer,
+        calib_tokens: &[usize],
+        bits: u8,
+        cal: Calibration,
+    ) -> Self {
+        assert!(
+            !calib_tokens.is_empty(),
+            "calibration needs at least one token"
+        );
         let cfg = *model.config();
         // A single float forward pass provides activation samples for every
         // linear's input domain; per-layer capture would be tighter but the
@@ -159,7 +170,11 @@ impl QuantTransformer {
     ///
     /// Panics if `tokens` is empty or out of vocabulary.
     #[must_use]
-    pub fn forward(&self, tokens: &[usize], pruner: &dyn AttentionPruner) -> (FloatMatrix, AttnStats) {
+    pub fn forward(
+        &self,
+        tokens: &[usize],
+        pruner: &dyn AttentionPruner,
+    ) -> (FloatMatrix, AttnStats) {
         assert!(!tokens.is_empty(), "need at least one token");
         let h = self.cfg.hidden;
         let d = self.cfg.head_dim();
@@ -186,8 +201,10 @@ impl QuantTransformer {
             }
             // Quantize Q/K to the symmetric INT domain for score compute
             // and prediction (the "BL K cache" form).
-            let qq_scheme = PerTensorSymmetric::calibrate(q.as_flat(), self.qk_bits, Calibration::MinMax);
-            let kq_scheme = PerTensorSymmetric::calibrate(k.as_flat(), self.qk_bits, Calibration::MinMax);
+            let qq_scheme =
+                PerTensorSymmetric::calibrate(q.as_flat(), self.qk_bits, Calibration::MinMax);
+            let kq_scheme =
+                PerTensorSymmetric::calibrate(k.as_flat(), self.qk_bits, Calibration::MinMax);
             let score_scale = qq_scheme.scale() * kq_scheme.scale() * scale;
 
             let mut ctx = FloatMatrix::zeros(s, h);
@@ -205,8 +222,8 @@ impl QuantTransformer {
                             kdata.push(kq_scheme.quantize(kv));
                         }
                     }
-                    let keys =
-                        IntMatrix::from_flat(self.qk_bits, t + 1, d, kdata).expect("quantized keys fit");
+                    let keys = IntMatrix::from_flat(self.qk_bits, t + 1, d, kdata)
+                        .expect("quantized keys fit");
                     let decision = pruner.select(&q_int, &keys, score_scale);
                     stats.keys_total += (t + 1) as u64;
                     stats.keys_kept += decision.kept.len() as u64;
@@ -260,7 +277,9 @@ impl QuantTransformer {
         let mut logits = FloatMatrix::zeros(s, self.cfg.vocab);
         for t in 0..s {
             let normed = layer_norm(x.row(t), &self.final_gain, &self.final_bias, 1e-5);
-            logits.row_mut(t).copy_from_slice(&self.lm_head.forward_f32(&normed));
+            logits
+                .row_mut(t)
+                .copy_from_slice(&self.lm_head.forward_f32(&normed));
         }
         (logits, stats)
     }
@@ -348,14 +367,22 @@ impl CalibrationProbe {
                     *o += dv;
                 }
             }
-            layer_inputs.push(LayerCapture { normed1, ctx, normed2, ffn_act });
+            layer_inputs.push(LayerCapture {
+                normed1,
+                ctx,
+                normed2,
+                ffn_act,
+            });
         }
         let mut final_normed = FloatMatrix::zeros(s, h);
         for t in 0..s {
             let n = layer_norm(x.row(t), &model.final_gain, &model.final_bias, 1e-5);
             final_normed.row_mut(t).copy_from_slice(&n);
         }
-        CalibrationProbe { layer_inputs, final_normed }
+        CalibrationProbe {
+            layer_inputs,
+            final_normed,
+        }
     }
 }
 
@@ -408,7 +435,10 @@ mod tests {
     impl AttentionPruner for Top1 {
         fn select(&self, q: &[i32], keys: &IntMatrix, _s: f32) -> PrunerDecision {
             let kept = mcbp_bgpp_free_top1(q, keys);
-            PrunerDecision { kept, bits_fetched: (keys.rows() * keys.cols() * 8) as u64 }
+            PrunerDecision {
+                kept,
+                bits_fetched: (keys.rows() * keys.cols() * 8) as u64,
+            }
         }
     }
     fn mcbp_bgpp_free_top1(q: &[i32], keys: &IntMatrix) -> Vec<usize> {

@@ -27,7 +27,13 @@ impl TransformerConfig {
     /// A small default used throughout the fidelity experiments.
     #[must_use]
     pub fn tiny() -> Self {
-        TransformerConfig { hidden: 64, layers: 2, heads: 4, ffn: 128, vocab: 97 }
+        TransformerConfig {
+            hidden: 64,
+            layers: 2,
+            heads: 4,
+            ffn: 128,
+            vocab: 97,
+        }
     }
 
     /// Per-head dimension.

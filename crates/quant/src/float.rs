@@ -24,7 +24,11 @@ impl FloatMatrix {
     /// Creates a zero matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        FloatMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        FloatMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -42,7 +46,11 @@ impl FloatMatrix {
     #[must_use]
     pub fn from_rows<const N: usize>(rows: &[[f32; N]]) -> Self {
         let flat: Vec<f32> = rows.iter().flatten().copied().collect();
-        FloatMatrix { rows: rows.len(), cols: N, data: flat }
+        FloatMatrix {
+            rows: rows.len(),
+            cols: N,
+            data: flat,
+        }
     }
 
     /// Number of rows.

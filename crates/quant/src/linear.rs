@@ -64,7 +64,12 @@ impl QuantizedLinear {
         let row_sums = (0..wq.rows())
             .map(|r| wq.row(r).iter().map(|&v| i64::from(v)).sum())
             .collect();
-        QuantizedLinear { wq, w_scheme, x_scheme, row_sums }
+        QuantizedLinear {
+            wq,
+            w_scheme,
+            x_scheme,
+            row_sums,
+        }
     }
 
     /// The integer weight matrix `W_q` (what BRCR/BSTC consume).
@@ -183,10 +188,7 @@ mod tests {
         for (r, (a, b)) in via_int.iter().zip(&reference).enumerate() {
             let wf = layer.weight_scheme().dequantize(layer.weight_q());
             let l1: f32 = wf.row(r).iter().map(|v| v.abs()).sum();
-            assert!(
-                (a - b).abs() <= dx / 2.0 * l1 + 1e-5,
-                "row {r}: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= dx / 2.0 * l1 + 1e-5, "row {r}: {a} vs {b}");
         }
     }
 

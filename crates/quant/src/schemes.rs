@@ -72,7 +72,10 @@ impl PerChannelSymmetric {
     /// Panics if `bits < 2` or `bits > 16`.
     #[must_use]
     pub fn quantize(w: &FloatMatrix, bits: u8, cal: Calibration) -> (IntMatrix, Self) {
-        assert!((2..=16).contains(&bits), "unsupported weight bit width {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "unsupported weight bit width {bits}"
+        );
         let limit = max_magnitude(bits);
         let mut scales = Vec::with_capacity(w.rows());
         let mut data = Vec::with_capacity(w.rows() * w.cols());
@@ -141,14 +144,21 @@ impl PerTensorAsymmetric {
     /// Panics if `bits < 2` or `bits > 16`.
     #[must_use]
     pub fn calibrate(samples: &[f32], bits: u8, cal: Calibration) -> Self {
-        assert!((2..=16).contains(&bits), "unsupported activation bit width {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "unsupported activation bit width {bits}"
+        );
         let (lo, hi) = cal.range(samples);
         let lo = lo.min(0.0);
         let hi = hi.max(0.0);
         let qmax = (1u32 << bits) - 1;
         let scale = ((hi - lo) / qmax as f32).max(f32::MIN_POSITIVE);
         let zero_point = (-lo / scale).round() as i32;
-        PerTensorAsymmetric { scale, zero_point, bits }
+        PerTensorAsymmetric {
+            scale,
+            zero_point,
+            bits,
+        }
     }
 
     /// Scale Δ.

@@ -1,7 +1,10 @@
 //! Property-based tests for the quantization schemes: error bounds,
 //! range discipline, and the Fig 11 integer-path identity.
 
-use mcbp_quant::{Calibration, FloatMatrix, PerChannelSymmetric, PerTensorAsymmetric, PerTensorSymmetric, QuantizedLinear};
+use mcbp_quant::{
+    Calibration, FloatMatrix, PerChannelSymmetric, PerTensorAsymmetric, PerTensorSymmetric,
+    QuantizedLinear,
+};
 use proptest::prelude::*;
 
 fn float_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = FloatMatrix> {

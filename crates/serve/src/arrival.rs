@@ -1,0 +1,284 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcbp_workloads::Task;
+
+use crate::request::Request;
+use crate::CLOCK_HZ;
+
+/// How requests arrive on the simulated clock. Every process is driven by
+/// an explicit seed — there is no wall-clock anywhere in the subsystem, so
+/// identical configurations replay identical traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: `concurrency` requests are in flight at all times; a
+    /// completion immediately releases the next request (classic
+    /// fixed-population load, used for capacity probing).
+    ClosedLoop {
+        /// In-flight population size.
+        concurrency: usize,
+    },
+    /// Open-loop Poisson arrivals at `rate_rps` requests per second,
+    /// exponential inter-arrival times drawn from the seeded RNG.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+        /// RNG seed for the inter-arrival draws.
+        seed: u64,
+    },
+    /// On/off modulated Poisson: bursts of `burst_len` back-to-back
+    /// arrivals at `burst_factor` × the base rate, separated by quiet
+    /// periods that preserve the long-run mean rate — the bursty traffic
+    /// regime where continuous batching separates from FCFS.
+    Bursty {
+        /// Long-run mean arrival rate in requests per second.
+        rate_rps: f64,
+        /// Rate multiplier inside a burst (> 1).
+        burst_factor: f64,
+        /// Requests per burst.
+        burst_len: usize,
+        /// RNG seed for the inter-arrival draws.
+        seed: u64,
+    },
+}
+
+/// A fully materialized request trace ready to serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Requests sorted by arrival cycle (closed-loop releases carry
+    /// `f64::INFINITY` and are released in order upon completions).
+    pub requests: Vec<Request>,
+    /// `Some(concurrency)` when the trace is closed-loop.
+    pub closed_loop: Option<usize>,
+}
+
+impl Workload {
+    /// Offered load in requests per second (open-loop processes only):
+    /// request count over the span of finite arrivals.
+    #[must_use]
+    pub fn offered_rps(&self) -> Option<f64> {
+        if self.closed_loop.is_some() {
+            return None;
+        }
+        let last = self
+            .requests
+            .iter()
+            .map(|r| r.arrival_cycle)
+            .fold(0.0f64, f64::max);
+        if last <= 0.0 {
+            return None;
+        }
+        Some(self.requests.len() as f64 / (last / CLOCK_HZ))
+    }
+
+    /// Total tokens the trace asks to decode.
+    #[must_use]
+    pub fn total_decode_tokens(&self) -> usize {
+        self.requests.iter().map(|r| r.decode_len).sum()
+    }
+}
+
+/// Builds deterministic request traces from a task mix and an arrival
+/// process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenerator {
+    /// Task shapes cycled round-robin across generated requests.
+    pub task_mix: Vec<Task>,
+    /// Requests to generate.
+    pub count: usize,
+    /// Arrival process.
+    pub process: ArrivalProcess,
+}
+
+impl LoadGenerator {
+    /// A generator serving one task shape.
+    #[must_use]
+    pub fn uniform(task: Task, count: usize, process: ArrivalProcess) -> Self {
+        LoadGenerator {
+            task_mix: vec![task],
+            count,
+            process,
+        }
+    }
+
+    /// Materializes the request trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task mix is empty, the count is zero, or an open-loop
+    /// rate is not positive.
+    #[must_use]
+    pub fn generate(&self) -> Workload {
+        assert!(!self.task_mix.is_empty(), "empty task mix");
+        assert!(self.count > 0, "empty workload");
+        let task = |i: usize| &self.task_mix[i % self.task_mix.len()];
+        match &self.process {
+            ArrivalProcess::ClosedLoop { concurrency } => {
+                assert!(*concurrency > 0, "closed loop needs concurrency >= 1");
+                let requests = (0..self.count)
+                    .map(|i| {
+                        let arrival = if i < *concurrency { 0.0 } else { f64::INFINITY };
+                        Request::from_task(i as u64, task(i), arrival)
+                    })
+                    .collect();
+                Workload {
+                    requests,
+                    closed_loop: Some(*concurrency),
+                }
+            }
+            ArrivalProcess::Poisson { rate_rps, seed } => {
+                assert!(*rate_rps > 0.0, "rate must be positive");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mean_gap = CLOCK_HZ / rate_rps;
+                let mut now = 0.0f64;
+                let requests = (0..self.count)
+                    .map(|i| {
+                        now += exponential_gap(&mut rng, mean_gap);
+                        Request::from_task(i as u64, task(i), now)
+                    })
+                    .collect();
+                Workload {
+                    requests,
+                    closed_loop: None,
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate_rps,
+                burst_factor,
+                burst_len,
+                seed,
+            } => {
+                assert!(*rate_rps > 0.0, "rate must be positive");
+                assert!(*burst_factor > 1.0, "burst factor must exceed 1");
+                assert!(*burst_len > 0, "burst length must be positive");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mean_gap = CLOCK_HZ / rate_rps;
+                // Inside a burst arrivals run at burst_factor × rate; the
+                // first gap of each burst is stretched so the long-run mean
+                // stays at `rate_rps`: burst_len gaps must average mean_gap.
+                let in_burst_gap = mean_gap / burst_factor;
+                let lead_gap =
+                    mean_gap * *burst_len as f64 - in_burst_gap * (*burst_len as f64 - 1.0);
+                let mut now = 0.0f64;
+                let requests = (0..self.count)
+                    .map(|i| {
+                        let gap = if i % burst_len == 0 {
+                            lead_gap
+                        } else {
+                            in_burst_gap
+                        };
+                        now += exponential_gap(&mut rng, gap);
+                        Request::from_task(i as u64, task(i), now)
+                    })
+                    .collect();
+                Workload {
+                    requests,
+                    closed_loop: None,
+                }
+            }
+        }
+    }
+}
+
+/// Exponential inter-arrival draw with the given mean, in cycles.
+fn exponential_gap(rng: &mut StdRng, mean_cycles: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12f64..1.0);
+    -u.ln() * mean_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_deterministic() {
+        let generator = LoadGenerator::uniform(
+            Task::cola(),
+            64,
+            ArrivalProcess::Poisson {
+                rate_rps: 100.0,
+                seed: 9,
+            },
+        );
+        let a = generator.generate();
+        let b = generator.generate();
+        assert_eq!(a, b);
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_cycle <= w[1].arrival_cycle));
+        let rps = a.offered_rps().unwrap();
+        assert!(rps > 50.0 && rps < 200.0, "offered {rps}");
+    }
+
+    #[test]
+    fn bursty_preserves_long_run_rate() {
+        let generator = LoadGenerator::uniform(
+            Task::cola(),
+            256,
+            ArrivalProcess::Bursty {
+                rate_rps: 50.0,
+                burst_factor: 8.0,
+                burst_len: 16,
+                seed: 4,
+            },
+        );
+        let w = generator.generate();
+        let rps = w.offered_rps().unwrap();
+        assert!(rps > 25.0 && rps < 100.0, "offered {rps}");
+        // Gaps inside a burst are much shorter than burst-leading gaps.
+        let gaps: Vec<f64> = w
+            .requests
+            .windows(2)
+            .map(|w| w[1].arrival_cycle - w[0].arrival_cycle)
+            .collect();
+        let lead_mean = gaps.iter().skip(15).step_by(16).sum::<f64>() / (gaps.len() / 16) as f64;
+        let in_mean = gaps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 16 != 15)
+            .map(|(_, g)| g)
+            .sum::<f64>()
+            / (gaps.len() - gaps.len() / 16) as f64;
+        assert!(
+            lead_mean > 4.0 * in_mean,
+            "lead {lead_mean} vs in-burst {in_mean}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_releases_only_concurrency_upfront() {
+        let generator = LoadGenerator::uniform(
+            Task::mnli(),
+            10,
+            ArrivalProcess::ClosedLoop { concurrency: 3 },
+        );
+        let w = generator.generate();
+        assert_eq!(w.closed_loop, Some(3));
+        assert_eq!(
+            w.requests.iter().filter(|r| r.arrival_cycle == 0.0).count(),
+            3
+        );
+        assert_eq!(
+            w.requests
+                .iter()
+                .filter(|r| r.arrival_cycle.is_infinite())
+                .count(),
+            7
+        );
+        assert!(w.offered_rps().is_none());
+    }
+
+    #[test]
+    fn task_mix_round_robins() {
+        let generator = LoadGenerator {
+            task_mix: vec![Task::cola(), Task::dolly()],
+            count: 4,
+            process: ArrivalProcess::ClosedLoop { concurrency: 4 },
+        };
+        let w = generator.generate();
+        assert_eq!(w.requests[0].task_name, "Cola");
+        assert_eq!(w.requests[1].task_name, "Dolly");
+        assert_eq!(w.requests[2].task_name, "Cola");
+    }
+}

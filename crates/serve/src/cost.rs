@@ -1,0 +1,209 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mcbp_workloads::{Accelerator, Task, TaskKind, TraceContext};
+
+/// Cost of one scheduler step (a single batched accelerator invocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCost {
+    /// Latency in core cycles.
+    pub cycles: f64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+    /// Bit-reordering share of `energy_pj` — kept separate because the
+    /// §5.3 fleet model's communication tax does not apply to it (see
+    /// [`mcbp_workloads::Fleet::scale`]).
+    pub reorder_pj: f64,
+}
+
+/// Memoizing per-step cost model over any [`Accelerator`].
+///
+/// The cycle-level simulator is far too slow to invoke once per decode
+/// step of a long serving trace (its BGPP calibration alone bisects a
+/// functional predictor), so contexts are quantized to `ctx_bucket`-token
+/// buckets and each distinct `(phase, batch, bucket)` invocation is costed
+/// once and cached. Decode-step costs are linear in context within a
+/// bucket (KV bytes and attention MACs are the only context-dependent
+/// terms), so bucketing bounds the modeling error by the bucket width
+/// relative to the context.
+pub struct StepCostModel<'a> {
+    accel: &'a dyn Accelerator,
+    template: TraceContext,
+    ctx_bucket: usize,
+    cache: RefCell<HashMap<(StepKind, usize, usize), StepCost>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StepKind {
+    Prefill,
+    Decode,
+}
+
+impl<'a> StepCostModel<'a> {
+    /// Builds a cost model. `template` supplies the model shapes, weight
+    /// profile, and attention-keep operating point; its task and batch are
+    /// replaced per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx_bucket` is zero.
+    #[must_use]
+    pub fn new(accel: &'a dyn Accelerator, template: TraceContext, ctx_bucket: usize) -> Self {
+        assert!(ctx_bucket > 0, "context bucket must be positive");
+        StepCostModel {
+            accel,
+            template,
+            ctx_bucket,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The trace-context template.
+    #[must_use]
+    pub fn template(&self) -> &TraceContext {
+        &self.template
+    }
+
+    /// Rounds a context length up to its bucket boundary.
+    #[must_use]
+    pub fn bucketed(&self, context: usize) -> usize {
+        context.max(1).div_ceil(self.ctx_bucket) * self.ctx_bucket
+    }
+
+    /// Cost of prefilling `batch` coalesced prompts of (bucketed) length
+    /// `prompt` in one invocation.
+    #[must_use]
+    pub fn prefill_cost(&self, prompt: usize, batch: usize) -> StepCost {
+        let prompt = self.bucketed(prompt);
+        self.costed(StepKind::Prefill, batch.max(1), prompt)
+    }
+
+    /// Cost of one coalesced decode step: `batch` streams each advancing
+    /// one token at (bucketed) context `context`.
+    #[must_use]
+    pub fn decode_cost(&self, context: usize, batch: usize) -> StepCost {
+        let context = self.bucketed(context);
+        self.costed(StepKind::Decode, batch.max(1), context)
+    }
+
+    /// Distinct accelerator invocations performed so far (cache misses).
+    #[must_use]
+    pub fn invocations(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn costed(&self, kind: StepKind, batch: usize, len: usize) -> StepCost {
+        if let Some(hit) = self.cache.borrow().get(&(kind, batch, len)) {
+            return *hit;
+        }
+        let task = match kind {
+            StepKind::Prefill => Task {
+                name: "serve-prefill",
+                prompt_len: len,
+                decode_len: 0,
+                kind: TaskKind::LanguageModeling,
+            },
+            StepKind::Decode => Task {
+                name: "serve-decode",
+                prompt_len: len,
+                decode_len: 1,
+                kind: TaskKind::LanguageModeling,
+            },
+        };
+        let ctx = TraceContext {
+            task,
+            batch,
+            ..self.template.clone()
+        };
+        let report = self.accel.run(&ctx);
+        let phase = match kind {
+            StepKind::Prefill => report.prefill,
+            StepKind::Decode => report.decode,
+        };
+        let cost = StepCost {
+            cycles: phase.total_cycles(),
+            energy_pj: phase.total_pj(),
+            reorder_pj: phase.reorder_pj,
+        };
+        self.cache.borrow_mut().insert((kind, batch, len), cost);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_model::LlmConfig;
+    use mcbp_workloads::{PhaseCost, RunReport, SparsityProfile, WeightGenerator};
+
+    /// A linear-cost analytic accelerator for fast, exact unit tests.
+    struct Linear;
+
+    impl Accelerator for Linear {
+        fn name(&self) -> &str {
+            "linear"
+        }
+
+        fn run(&self, ctx: &TraceContext) -> RunReport {
+            let b = ctx.batch as f64;
+            let prefill = PhaseCost {
+                gemm_cycles: ctx.task.prompt_len as f64 * b,
+                ..Default::default()
+            };
+            let decode = PhaseCost {
+                // Fixed weight-stream cost plus per-stream context cost.
+                weight_load_cycles: 1000.0,
+                kv_load_cycles: ctx.task.prompt_len as f64 * ctx.task.decode_len as f64 * b,
+                ..Default::default()
+            };
+            RunReport { prefill, decode }
+        }
+    }
+
+    fn template() -> TraceContext {
+        let model = LlmConfig::opt1b3();
+        let gen = WeightGenerator::for_model(&model);
+        let profile = SparsityProfile::measure(&gen.quantized_sample(16, 64, 1), 4);
+        TraceContext {
+            model,
+            task: Task::cola(),
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
+    }
+
+    #[test]
+    fn buckets_round_up() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 256);
+        assert_eq!(model.bucketed(1), 256);
+        assert_eq!(model.bucketed(256), 256);
+        assert_eq!(model.bucketed(257), 512);
+    }
+
+    #[test]
+    fn caches_by_bucket_and_batch() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 128);
+        let a = model.decode_cost(100, 4);
+        let b = model.decode_cost(120, 4);
+        assert_eq!(a, b, "same bucket must hit the cache");
+        assert_eq!(model.invocations(), 1);
+        let c = model.decode_cost(130, 4);
+        assert!(c.cycles > a.cycles);
+        let _ = model.decode_cost(100, 8);
+        assert_eq!(model.invocations(), 3, "batch is part of the key");
+    }
+
+    #[test]
+    fn decode_amortizes_fixed_cost_across_batch() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        let single = model.decode_cost(64, 1);
+        let batched = model.decode_cost(64, 8);
+        // Per-stream cost shrinks with coalescing (fixed 1000-cycle
+        // weight stream amortized 8 ways).
+        assert!(batched.cycles / 8.0 < single.cycles);
+    }
+}

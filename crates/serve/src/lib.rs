@@ -1,0 +1,110 @@
+//! `mcbp-serve` — a discrete-event request-serving simulator over the MCBP
+//! accelerator model: queues, arrival processes, batching schedulers, and
+//! KV-cache admission control for many concurrent decode streams.
+//!
+//! The rest of the workspace evaluates one task at one batch size; this
+//! crate models *serving* — the regime the BGPP motivation (§3.3) and the
+//! SLIM line of work actually target, where many requests contend for
+//! device memory and the scheduler decides what one accelerator invocation
+//! coalesces.
+//!
+//! # The queueing/serving model
+//!
+//! **Clock.** Simulated time is the accelerator's 1 GHz core clock
+//! ([`CLOCK_HZ`]), the same unit as [`mcbp_workloads::RunReport`] cycles.
+//! Nothing reads the wall clock and every random draw comes from a seeded
+//! generator, so a `(workload, scheduler, config)` triple replays
+//! bit-identically.
+//!
+//! **Requests.** A [`Request`] is a prompt of `prompt_len` tokens followed
+//! by `decode_len` generated tokens, derived from a benchmark
+//! [`mcbp_workloads::Task`] shape. Its lifecycle
+//! ([`RequestState`]) is `Queued → AwaitingPrefill → Decoding → Completed`
+//! (or `Dropped` if its KV footprint can never fit).
+//!
+//! **Arrivals.** A [`LoadGenerator`] materializes a [`Workload`] from an
+//! [`ArrivalProcess`]: `ClosedLoop` (a fixed in-flight population, for
+//! capacity probing), `Poisson` (open-loop, exponential gaps), or `Bursty`
+//! (on/off modulated Poisson preserving the long-run rate — the regime
+//! that separates continuous batching from FCFS).
+//!
+//! **Steps, not events.** The simulator advances in *scheduler steps*:
+//! each iteration the [`Scheduler`] inspects admitted work and plans one
+//! batched accelerator invocation — either a prefill of admitted prompts
+//! or one decode token across up to `max_batch` coalesced streams
+//! ([`StepPlan`]). The step is costed by the cycle-level model through a
+//! memoizing [`StepCostModel`] (contexts quantized to `ctx_bucket`), the
+//! clock advances by the step latency, and completions retire. Decode
+//! invocations amortize the weight stream across coalesced streams exactly
+//! as the underlying simulator does for batched workloads — that
+//! amortization is what continuous batching harvests and FCFS forfeits.
+//!
+//! **KV-cache admission.** A [`KvCachePool`] holds the byte budget —
+//! device HBM capacity minus resident INT8 weights
+//! ([`KvCachePool::from_memory_spec`]) — and admission reserves each
+//! request's *peak* residency up front: KV bytes at final context scaled
+//! by the BGPP attention-keep ratio ([`request_kv_bytes`]). Reserving the
+//! peak makes the budget invariant unbreakable by decode-time growth;
+//! lowering the keep ratio shrinks every reservation and therefore raises
+//! admissible concurrency under the same budget. When the pool is full the
+//! queue head blocks (in-order admission), and the stall is reported.
+//!
+//! **Fleets.** [`ServeConfig::fleet`] dispatches steps onto the §5.3
+//! multi-device scaling model ([`mcbp_workloads::Fleet`]): step latency
+//! divides by the fleet's effective speedup, energy pays the communication
+//! tax, and the KV budget multiplies by the device count (data-parallel
+//! replicas hold their own KV shards).
+//!
+//! **Reports.** A [`ServeReport`] aggregates TTFT, per-output-token
+//! latency, and end-to-end latency (mean/p50/p95/p99), goodput
+//! (decoded tokens per second of completed requests), request throughput,
+//! mean decode coalescing, peak concurrency, pool occupancy, and energy.
+//!
+//! # Example
+//!
+//! ```
+//! use mcbp_model::LlmConfig;
+//! use mcbp_serve::{
+//!     ArrivalProcess, ContinuousBatchScheduler, LoadGenerator, ServeConfig, ServeSim,
+//! };
+//! use mcbp_sim::{McbpConfig, McbpSim};
+//! use mcbp_workloads::{SparsityProfile, Task, TraceContext, WeightGenerator};
+//!
+//! let model = LlmConfig::opt1b3();
+//! let gen = WeightGenerator::for_model(&model);
+//! let profile = SparsityProfile::measure(&gen.quantized_sample(32, 256, 1), 4);
+//! let template = TraceContext {
+//!     model, task: Task::cola(), batch: 1,
+//!     weight_profile: profile, attention_keep: 0.3,
+//! };
+//! let mcbp = McbpSim::new(McbpConfig::default());
+//! let sim = ServeSim::new(&mcbp, template, ServeConfig::default());
+//! let workload = LoadGenerator::uniform(
+//!     Task::cola(), 4, ArrivalProcess::ClosedLoop { concurrency: 2 },
+//! ).generate();
+//! let report = sim.run(&workload, &mut ContinuousBatchScheduler::new());
+//! assert_eq!(report.completed, 4);
+//! assert!(report.goodput_tokens_per_s > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arrival;
+mod cost;
+mod pool;
+mod report;
+mod request;
+mod scheduler;
+mod sim;
+
+pub use arrival::{ArrivalProcess, LoadGenerator, Workload};
+pub use cost::{StepCost, StepCostModel};
+pub use pool::{request_kv_bytes, KvCachePool};
+pub use report::{LatencyStats, PoolReport, RunTotals, ServeReport};
+pub use request::{Request, RequestId, RequestRecord, RequestState};
+pub use scheduler::{ContinuousBatchScheduler, FcfsScheduler, SchedView, Scheduler, StepPlan};
+pub use sim::{ServeConfig, ServeSim};
+
+/// The simulated core clock in Hz (1 GHz, matching the cycle model).
+pub const CLOCK_HZ: f64 = 1e9;

@@ -1,0 +1,213 @@
+use mcbp_mem::HbmConfig;
+use mcbp_model::LlmConfig;
+
+/// Byte-budgeted KV-cache pool with conservative peak reservations.
+///
+/// Admission control reserves a request's **peak** residency (its KV bytes
+/// at final context, scaled by the BGPP attention-keep ratio) up front, so
+/// the pool can never be driven over budget by decode-time growth — the
+/// invariant the serving integration tests check. Actual residency is
+/// tracked separately and integrated over time for occupancy reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCachePool {
+    budget_bytes: u64,
+    reserved_bytes: u64,
+    resident_bytes: u64,
+    peak_resident_bytes: u64,
+    peak_reserved_bytes: u64,
+    occupancy_integral: f64,
+    last_update_cycle: f64,
+}
+
+impl KvCachePool {
+    /// A pool with an explicit byte budget.
+    #[must_use]
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        KvCachePool {
+            budget_bytes,
+            reserved_bytes: 0,
+            resident_bytes: 0,
+            peak_resident_bytes: 0,
+            peak_reserved_bytes: 0,
+            occupancy_integral: 0.0,
+            last_update_cycle: 0.0,
+        }
+    }
+
+    /// Budgets the pool from the device memory spec: HBM capacity minus the
+    /// resident INT8 decoder weights (1 byte per parameter, the paper's
+    /// deployment precision), across `devices` data-parallel devices (each
+    /// holds a weight replica and its own KV shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's weights do not fit the device memory.
+    #[must_use]
+    pub fn from_memory_spec(hbm: &HbmConfig, model: &LlmConfig, devices: usize) -> Self {
+        let capacity = hbm.capacity_bytes;
+        let weights = model.decoder_params() + model.hidden as u64 * model.vocab as u64;
+        assert!(weights < capacity, "model weights exceed device memory");
+        Self::with_budget((capacity - weights) * devices.max(1) as u64)
+    }
+
+    /// The pool budget in bytes.
+    #[must_use]
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently reserved by admitted requests.
+    #[must_use]
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Bytes currently resident (grows token by token).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Highest residency observed.
+    #[must_use]
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.peak_resident_bytes
+    }
+
+    /// Highest reservation level observed.
+    #[must_use]
+    pub fn peak_reserved_bytes(&self) -> u64 {
+        self.peak_reserved_bytes
+    }
+
+    /// Whether nothing is admitted.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.reserved_bytes == 0
+    }
+
+    /// Whether a request with the given peak residency can ever be admitted
+    /// (even into an empty pool).
+    #[must_use]
+    pub fn can_ever_fit(&self, peak_bytes: u64) -> bool {
+        peak_bytes <= self.budget_bytes
+    }
+
+    /// Attempts to reserve `peak_bytes` for an incoming request.
+    pub fn try_reserve(&mut self, peak_bytes: u64) -> bool {
+        if self.reserved_bytes + peak_bytes > self.budget_bytes {
+            return false;
+        }
+        self.reserved_bytes += peak_bytes;
+        self.peak_reserved_bytes = self.peak_reserved_bytes.max(self.reserved_bytes);
+        true
+    }
+
+    /// Releases a reservation and whatever residency the request still
+    /// holds (on completion or drop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than is held (an accounting bug).
+    pub fn release(&mut self, peak_bytes: u64, resident_bytes: u64) {
+        assert!(self.reserved_bytes >= peak_bytes, "reservation underflow");
+        assert!(self.resident_bytes >= resident_bytes, "residency underflow");
+        self.reserved_bytes -= peak_bytes;
+        self.resident_bytes -= resident_bytes;
+    }
+
+    /// Grows actual residency (prompt admission or one decoded token).
+    ///
+    /// # Panics
+    ///
+    /// Panics if residency would exceed reservations — the conservative
+    /// peak reservation makes that impossible for well-formed callers.
+    pub fn grow_resident(&mut self, bytes: u64) {
+        self.resident_bytes += bytes;
+        assert!(
+            self.resident_bytes <= self.reserved_bytes,
+            "residency {} exceeded reservations {}",
+            self.resident_bytes,
+            self.reserved_bytes
+        );
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    /// Advances the occupancy clock to `now_cycle`, integrating residency
+    /// for the mean-occupancy statistic.
+    pub fn advance_clock(&mut self, now_cycle: f64) {
+        let dt = (now_cycle - self.last_update_cycle).max(0.0);
+        self.occupancy_integral += self.resident_bytes as f64 * dt;
+        self.last_update_cycle = now_cycle;
+    }
+
+    /// Mean resident bytes over the integrated interval.
+    #[must_use]
+    pub fn mean_resident_bytes(&self) -> f64 {
+        if self.last_update_cycle <= 0.0 {
+            return 0.0;
+        }
+        self.occupancy_integral / self.last_update_cycle
+    }
+}
+
+/// Peak KV residency of one request: full-precision KV bytes at `context`
+/// tokens, scaled by the BGPP attention-keep ratio. BGPP's progressive
+/// prediction identifies the vital fraction of keys (§3.3); only that
+/// fraction must stay hot in device memory — the SLIM-style residency
+/// saving that lets a lower keep admit more concurrent streams.
+#[must_use]
+pub fn request_kv_bytes(model: &LlmConfig, context: usize, attention_keep: f64) -> u64 {
+    let full = model.kv_cache_bytes(context, 1) as f64;
+    (full * attention_keep.clamp(0.01, 1.0)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_subtracts_weights_from_capacity() {
+        let model = LlmConfig::llama7b();
+        let pool = KvCachePool::from_memory_spec(&HbmConfig::default(), &model, 1);
+        let weights = model.decoder_params() + model.hidden as u64 * model.vocab as u64;
+        assert_eq!(pool.budget_bytes(), 8 * (1 << 30) - weights);
+        let two = KvCachePool::from_memory_spec(&HbmConfig::default(), &model, 2);
+        assert_eq!(two.budget_bytes(), 2 * pool.budget_bytes());
+    }
+
+    #[test]
+    fn reservation_admission_and_release() {
+        let mut pool = KvCachePool::with_budget(1000);
+        assert!(pool.try_reserve(600));
+        assert!(!pool.try_reserve(500), "over-budget admission must fail");
+        assert!(pool.try_reserve(400));
+        pool.grow_resident(300);
+        assert_eq!(pool.resident_bytes(), 300);
+        pool.release(600, 300);
+        assert_eq!(pool.reserved_bytes(), 400);
+        assert!(pool.try_reserve(500));
+        assert_eq!(pool.peak_reserved_bytes(), 1000);
+    }
+
+    #[test]
+    fn lower_keep_shrinks_residency() {
+        let model = LlmConfig::llama7b();
+        let dense = request_kv_bytes(&model, 4096, 1.0);
+        let pruned = request_kv_bytes(&model, 4096, 0.3);
+        assert_eq!(dense, model.kv_cache_bytes(4096, 1));
+        assert!(pruned < dense / 3 + 2);
+        assert!(pruned > dense / 4);
+    }
+
+    #[test]
+    fn occupancy_integrates_over_time() {
+        let mut pool = KvCachePool::with_budget(100);
+        assert!(pool.try_reserve(100));
+        pool.advance_clock(10.0);
+        pool.grow_resident(50);
+        pool.advance_clock(20.0);
+        // 0 bytes for 10 cycles, 50 bytes for 10 cycles → mean 25.
+        assert!((pool.mean_resident_bytes() - 25.0).abs() < 1e-9);
+    }
+}

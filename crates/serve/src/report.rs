@@ -1,0 +1,253 @@
+use std::fmt;
+
+use crate::request::RequestRecord;
+use crate::CLOCK_HZ;
+
+/// Latency distribution summary in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample of latencies given in cycles.
+    #[must_use]
+    pub fn from_cycles(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<f64> = samples.iter().map(|c| c / CLOCK_HZ).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        LatencyStats {
+            mean,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile on a sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// KV-cache-pool statistics of one serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolReport {
+    /// Pool byte budget.
+    pub budget_bytes: u64,
+    /// Peak resident bytes observed.
+    pub peak_resident_bytes: u64,
+    /// Peak reserved bytes observed (admission high-water mark).
+    pub peak_reserved_bytes: u64,
+    /// Time-weighted mean resident bytes.
+    pub mean_resident_bytes: f64,
+    /// Total admission-stall time summed over requests, in seconds.
+    pub admission_stall_seconds: f64,
+}
+
+impl PoolReport {
+    /// Peak occupancy as a fraction of the budget.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> f64 {
+        if self.budget_bytes == 0 {
+            return 0.0;
+        }
+        self.peak_resident_bytes as f64 / self.budget_bytes as f64
+    }
+}
+
+/// Aggregate results of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Scheduler that produced the run.
+    pub scheduler: String,
+    /// Requests that completed all their tokens.
+    pub completed: usize,
+    /// Requests dropped because their peak KV residency can never fit.
+    pub dropped: usize,
+    /// Simulated duration in seconds (last completion).
+    pub duration_seconds: f64,
+    /// Time to first token.
+    pub ttft: LatencyStats,
+    /// Time per output token after the first.
+    pub tpot: LatencyStats,
+    /// End-to-end request latency.
+    pub e2e: LatencyStats,
+    /// Decoded tokens of completed requests per second.
+    pub goodput_tokens_per_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Offered arrival rate (open-loop traces only).
+    pub offered_rps: Option<f64>,
+    /// Mean decode-streams coalesced per batched decode invocation.
+    pub mean_decode_batch: f64,
+    /// Peak in-flight concurrency (admitted, incomplete requests).
+    pub peak_concurrency: usize,
+    /// Total accelerator energy in joules.
+    pub energy_joules: f64,
+    /// KV-pool statistics.
+    pub pool: PoolReport,
+    /// Per-request timelines (completed and dropped).
+    pub records: Vec<RequestRecord>,
+}
+
+/// Raw run counters the simulator hands to [`ServeReport::summarize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunTotals {
+    /// Simulated duration in cycles.
+    pub duration_cycles: f64,
+    /// Mean decode-streams coalesced per batched decode invocation.
+    pub mean_decode_batch: f64,
+    /// Peak in-flight concurrency.
+    pub peak_concurrency: usize,
+    /// Total accelerator energy in pJ.
+    pub energy_pj: f64,
+    /// Offered arrival rate (open-loop traces only).
+    pub offered_rps: Option<f64>,
+}
+
+impl ServeReport {
+    /// Builds the latency/goodput aggregates from per-request records.
+    #[must_use]
+    pub fn summarize(
+        scheduler: String,
+        records: Vec<RequestRecord>,
+        totals: RunTotals,
+        pool: PoolReport,
+    ) -> Self {
+        let RunTotals {
+            duration_cycles,
+            mean_decode_batch,
+            peak_concurrency,
+            energy_pj,
+            offered_rps,
+        } = totals;
+        let completed: Vec<&RequestRecord> = records
+            .iter()
+            .filter(|r| matches!(r.state, crate::RequestState::Completed))
+            .collect();
+        let dropped = records.len() - completed.len();
+        let duration_seconds = duration_cycles / CLOCK_HZ;
+        let tokens: usize = completed.iter().map(|r| r.tokens).sum();
+        let ttft = LatencyStats::from_cycles(
+            &completed
+                .iter()
+                .map(|r| r.ttft_cycles())
+                .collect::<Vec<_>>(),
+        );
+        let tpot = LatencyStats::from_cycles(
+            &completed
+                .iter()
+                .map(|r| r.tpot_cycles())
+                .collect::<Vec<_>>(),
+        );
+        let e2e = LatencyStats::from_cycles(
+            &completed.iter().map(|r| r.e2e_cycles()).collect::<Vec<_>>(),
+        );
+        let span = duration_seconds.max(1e-12);
+        ServeReport {
+            scheduler,
+            completed: completed.len(),
+            dropped,
+            duration_seconds,
+            ttft,
+            tpot,
+            e2e,
+            goodput_tokens_per_s: tokens as f64 / span,
+            throughput_rps: completed.len() as f64 / span,
+            offered_rps,
+            mean_decode_batch,
+            peak_concurrency,
+            energy_joules: energy_pj * 1e-12,
+            pool,
+            records,
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve report [{}]", self.scheduler)?;
+        writeln!(
+            f,
+            "  requests: {} completed, {} dropped in {:.3} s{}",
+            self.completed,
+            self.dropped,
+            self.duration_seconds,
+            match self.offered_rps {
+                Some(rps) => format!(" (offered {rps:.1} req/s)"),
+                None => String::new(),
+            }
+        )?;
+        writeln!(
+            f,
+            "  goodput: {:.1} tok/s   throughput: {:.2} req/s   mean decode batch: {:.2}   peak concurrency: {}",
+            self.goodput_tokens_per_s, self.throughput_rps, self.mean_decode_batch, self.peak_concurrency
+        )?;
+        writeln!(
+            f,
+            "  ttft  ms: mean {:8.2}  p50 {:8.2}  p95 {:8.2}  p99 {:8.2}",
+            self.ttft.mean * 1e3,
+            self.ttft.p50 * 1e3,
+            self.ttft.p95 * 1e3,
+            self.ttft.p99 * 1e3
+        )?;
+        writeln!(
+            f,
+            "  tpot  ms: mean {:8.2}  p50 {:8.2}  p95 {:8.2}  p99 {:8.2}",
+            self.tpot.mean * 1e3,
+            self.tpot.p50 * 1e3,
+            self.tpot.p95 * 1e3,
+            self.tpot.p99 * 1e3
+        )?;
+        writeln!(
+            f,
+            "  e2e    s: mean {:8.3}  p50 {:8.3}  p95 {:8.3}  p99 {:8.3}",
+            self.e2e.mean, self.e2e.p50, self.e2e.p95, self.e2e.p99
+        )?;
+        writeln!(
+            f,
+            "  kv pool: budget {:.2} GiB, peak {:.1}%, mean resident {:.2} GiB, stall {:.3} s",
+            self.pool.budget_bytes as f64 / f64::from(1u32 << 30),
+            self.pool.peak_occupancy() * 100.0,
+            self.pool.mean_resident_bytes / f64::from(1u32 << 30),
+            self.pool.admission_stall_seconds
+        )?;
+        write!(f, "  energy: {:.3} J", self.energy_joules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let cycles: Vec<f64> = (1..=100).map(|i| i as f64 * CLOCK_HZ).collect();
+        let stats = LatencyStats::from_cycles(&cycles);
+        assert!((stats.p50 - 50.0).abs() < 1e-9);
+        assert!((stats.p95 - 95.0).abs() < 1e-9);
+        assert!((stats.p99 - 99.0).abs() < 1e-9);
+        assert!((stats.max - 100.0).abs() < 1e-9);
+        assert!((stats.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        assert_eq!(LatencyStats::from_cycles(&[]), LatencyStats::default());
+    }
+}

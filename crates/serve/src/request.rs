@@ -1,0 +1,151 @@
+use mcbp_workloads::Task;
+
+/// Identifier of one request within a [`crate::Workload`].
+pub type RequestId = u64;
+
+/// One inference request: a prompt to prefill and a number of tokens to
+/// decode, with an arrival time on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Stable id (index order of generation).
+    pub id: RequestId,
+    /// Arrival time in core cycles. Closed-loop workloads use
+    /// [`f64::INFINITY`] for requests released only upon a completion.
+    pub arrival_cycle: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Number of tokens to decode.
+    pub decode_len: usize,
+    /// Task name the request was derived from (for reporting).
+    pub task_name: &'static str,
+}
+
+impl Request {
+    /// Builds a request from a benchmark [`Task`] shape.
+    #[must_use]
+    pub fn from_task(id: RequestId, task: &Task, arrival_cycle: f64) -> Self {
+        Request {
+            id,
+            arrival_cycle,
+            prompt_len: task.prompt_len,
+            decode_len: task.decode_len,
+            task_name: task.name,
+        }
+    }
+
+    /// Context length once generation completes.
+    #[must_use]
+    pub fn final_context(&self) -> usize {
+        self.prompt_len + self.decode_len
+    }
+}
+
+/// Lifecycle of a request inside the serving simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Arrived, not yet admitted (waiting for KV-pool reservation).
+    Queued,
+    /// Admitted, prompt not yet processed.
+    AwaitingPrefill,
+    /// Prompt processed; `generated` tokens decoded so far.
+    Decoding {
+        /// Tokens decoded so far.
+        generated: usize,
+    },
+    /// All tokens decoded and the KV residency released.
+    Completed,
+    /// Rejected: its peak KV residency can never fit the pool budget.
+    Dropped,
+}
+
+/// Per-request timeline recorded by the simulator (cycles; converted to
+/// seconds in [`crate::ServeReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// The request.
+    pub request: Request,
+    /// Final state ([`RequestState::Completed`] or [`RequestState::Dropped`]).
+    pub state: RequestState,
+    /// When the KV-pool reservation succeeded. For a dropped request this
+    /// is the rejection instant (as are the other cycle fields), so its
+    /// latency accessors are not meaningful and aggregate latency/stall
+    /// statistics are computed over completed requests only.
+    pub admitted_cycle: f64,
+    /// When the first decoded token completed (TTFT reference point).
+    pub first_token_cycle: f64,
+    /// When the last token completed.
+    pub completed_cycle: f64,
+    /// Tokens actually decoded.
+    pub tokens: usize,
+}
+
+impl RequestRecord {
+    /// Queueing delay before admission, in cycles.
+    #[must_use]
+    pub fn admission_stall_cycles(&self) -> f64 {
+        (self.admitted_cycle - self.arrival_cycle()).max(0.0)
+    }
+
+    /// Arrival cycle (0 for closed-loop releases at simulation start).
+    #[must_use]
+    pub fn arrival_cycle(&self) -> f64 {
+        if self.request.arrival_cycle.is_finite() {
+            self.request.arrival_cycle
+        } else {
+            self.admitted_cycle
+        }
+    }
+
+    /// Time to first token, in cycles.
+    #[must_use]
+    pub fn ttft_cycles(&self) -> f64 {
+        self.first_token_cycle - self.arrival_cycle()
+    }
+
+    /// Mean time per decoded output token after the first, in cycles.
+    /// Falls back to the TTFT for single-token requests.
+    #[must_use]
+    pub fn tpot_cycles(&self) -> f64 {
+        if self.tokens > 1 {
+            (self.completed_cycle - self.first_token_cycle) / (self.tokens - 1) as f64
+        } else {
+            self.ttft_cycles()
+        }
+    }
+
+    /// End-to-end latency (arrival to last token), in cycles.
+    #[must_use]
+    pub fn e2e_cycles(&self) -> f64 {
+        self.completed_cycle - self.arrival_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_task_copies_shape() {
+        let r = Request::from_task(3, &Task::mbpp(), 1e6);
+        assert_eq!(r.prompt_len, 1024);
+        assert_eq!(r.decode_len, 1024);
+        assert_eq!(r.final_context(), 2048);
+        assert_eq!(r.task_name, "MBPP");
+    }
+
+    #[test]
+    fn record_derived_latencies() {
+        let rec = RequestRecord {
+            request: Request::from_task(0, &Task::cola(), 100.0),
+            state: RequestState::Completed,
+            admitted_cycle: 300.0,
+            first_token_cycle: 1100.0,
+            completed_cycle: 2600.0,
+            tokens: 16,
+        };
+        assert!((rec.admission_stall_cycles() - 200.0).abs() < 1e-12);
+        assert!((rec.ttft_cycles() - 1000.0).abs() < 1e-12);
+        assert!((rec.tpot_cycles() - 100.0).abs() < 1e-12);
+        assert!((rec.e2e_cycles() - 2500.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+use crate::request::RequestId;
+
+/// What the scheduler can see when planning the next step: admitted
+/// requests awaiting prefill and requests mid-decode, both in admission
+/// order, plus the configured coalescing width.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedView<'a> {
+    /// Admitted requests whose prompt has not been processed:
+    /// `(id, prompt_len)` in admission order.
+    pub waiting_prefill: &'a [(RequestId, usize)],
+    /// Requests mid-decode: `(id, current_context)` in admission order.
+    pub decoding: &'a [(RequestId, usize)],
+    /// Maximum streams one batched invocation may coalesce.
+    pub max_batch: usize,
+}
+
+/// The next step to execute: one batched accelerator invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepPlan {
+    /// Nothing runnable. Only valid when both views are empty — the
+    /// simulator never calls [`Scheduler::plan`] in that state, so
+    /// returning `Idle` with work visible is a contract violation and
+    /// panics the run (silently stalling would lose in-flight requests).
+    Idle,
+    /// Prefill these admitted prompts in one batched invocation.
+    Prefill(Vec<RequestId>),
+    /// Advance these streams by one token in one batched invocation.
+    Decode(Vec<RequestId>),
+}
+
+/// A serving scheduler: turns queue state into the next batched step.
+///
+/// Implementations must be deterministic functions of the observed views
+/// (plus internal state) — no randomness, no wall clock — so that serving
+/// simulations replay exactly.
+pub trait Scheduler {
+    /// Display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Plans the next step. The simulator only calls this with at least
+    /// one request in the views, and panics if the plan is [`StepPlan::Idle`]
+    /// or selects no live request — a scheduler must always make progress.
+    fn plan(&mut self, view: &SchedView<'_>) -> StepPlan;
+}
+
+/// First-come-first-served, run-to-completion, no coalescing: the oldest
+/// admitted request is served alone — its prompt, then every decode step
+/// at batch 1 — before the next request starts. This is the classic
+/// static-serving baseline: weight streaming is never amortized across
+/// streams, and a long generation head-of-line-blocks the queue.
+#[derive(Debug, Clone, Default)]
+pub struct FcfsScheduler {
+    current: Option<RequestId>,
+}
+
+impl FcfsScheduler {
+    /// A fresh FCFS scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FcfsScheduler { current: None }
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
+        if let Some(id) = self.current {
+            if let Some(&(id, _)) = view.decoding.iter().find(|(d, _)| *d == id) {
+                return StepPlan::Decode(vec![id]);
+            }
+            self.current = None; // finished
+        }
+        // Oldest admitted request next: a decoding stream always predates
+        // any waiting prefill (admission order).
+        match (view.waiting_prefill.first(), view.decoding.first()) {
+            (_, Some(&(d, _))) => {
+                self.current = Some(d);
+                StepPlan::Decode(vec![d])
+            }
+            (Some(&(p, _)), None) => {
+                self.current = Some(p);
+                StepPlan::Prefill(vec![p])
+            }
+            (None, None) => StepPlan::Idle,
+        }
+    }
+}
+
+/// Continuous batching (Orca-style iteration-level scheduling): every tick
+/// coalesces up to `max_batch` active decode streams into one batched
+/// invocation, and newly admitted prompts join the running batch at the
+/// next tick boundary instead of waiting for a drain. Prefills take
+/// priority while the decode batch has spare width, so arriving streams
+/// start contributing to coalescing as early as possible.
+#[derive(Debug, Clone, Default)]
+pub struct ContinuousBatchScheduler {
+    rotate: usize,
+}
+
+impl ContinuousBatchScheduler {
+    /// A fresh continuous-batching scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        ContinuousBatchScheduler { rotate: 0 }
+    }
+}
+
+impl Scheduler for ContinuousBatchScheduler {
+    fn name(&self) -> &str {
+        "continuous-batching"
+    }
+
+    fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
+        let width = view.max_batch.max(1);
+        // Admit new streams while the decode batch has spare width. Batch
+        // only same-length prompts together so one invocation's cost is
+        // well-defined by a single prompt length.
+        if !view.waiting_prefill.is_empty() && view.decoding.len() < width {
+            let spare = width - view.decoding.len();
+            let lead = view.waiting_prefill[0].1;
+            let ids: Vec<RequestId> = view
+                .waiting_prefill
+                .iter()
+                .filter(|(_, p)| *p == lead)
+                .take(spare)
+                .map(|(id, _)| *id)
+                .collect();
+            return StepPlan::Prefill(ids);
+        }
+        if view.decoding.is_empty() {
+            return StepPlan::Idle;
+        }
+        // Coalesce up to `width` streams; rotate the window start so
+        // oversubscribed pools round-robin fairly instead of starving the
+        // tail of the admission order.
+        let n = view.decoding.len();
+        let take = n.min(width);
+        let start = if n > take { self.rotate % n } else { 0 };
+        self.rotate = self.rotate.wrapping_add(take);
+        let ids = (0..take)
+            .map(|i| view.decoding[(start + i) % n].0)
+            .collect();
+        StepPlan::Decode(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_serves_one_request_to_completion() {
+        let mut s = FcfsScheduler::new();
+        let view = SchedView {
+            waiting_prefill: &[(1, 256), (2, 256)],
+            decoding: &[],
+            max_batch: 8,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![1]));
+        let view = SchedView {
+            waiting_prefill: &[(2, 256)],
+            decoding: &[(1, 256)],
+            max_batch: 8,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Decode(vec![1]));
+        // Request 1 finished and left the views: move on to request 2.
+        let view = SchedView {
+            waiting_prefill: &[(2, 256)],
+            decoding: &[],
+            max_batch: 8,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![2]));
+    }
+
+    #[test]
+    fn continuous_batching_coalesces_decodes() {
+        let mut s = ContinuousBatchScheduler::new();
+        let view = SchedView {
+            waiting_prefill: &[],
+            decoding: &[(1, 300), (2, 280), (3, 600)],
+            max_batch: 8,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Decode(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn continuous_batching_prefills_into_spare_width() {
+        let mut s = ContinuousBatchScheduler::new();
+        let view = SchedView {
+            waiting_prefill: &[(7, 256), (8, 512), (9, 256)],
+            decoding: &[(1, 300)],
+            max_batch: 4,
+        };
+        // Only the prompts matching the queue head's length join its batch.
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![7, 9]));
+    }
+
+    #[test]
+    fn continuous_batching_rotates_when_oversubscribed() {
+        let mut s = ContinuousBatchScheduler::new();
+        let decoding: Vec<(RequestId, usize)> = (0..6).map(|i| (i, 100)).collect();
+        let view = SchedView {
+            waiting_prefill: &[],
+            decoding: &decoding,
+            max_batch: 4,
+        };
+        let first = s.plan(&view);
+        let second = s.plan(&view);
+        assert_eq!(first, StepPlan::Decode(vec![0, 1, 2, 3]));
+        assert_eq!(second, StepPlan::Decode(vec![4, 5, 0, 1]));
+    }
+}

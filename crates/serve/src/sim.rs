@@ -1,0 +1,625 @@
+use std::collections::VecDeque;
+
+use mcbp_workloads::{Accelerator, Fleet, TraceContext};
+
+use crate::arrival::Workload;
+use crate::cost::{StepCost, StepCostModel};
+use crate::pool::{request_kv_bytes, KvCachePool};
+use crate::report::{PoolReport, RunTotals, ServeReport};
+use crate::request::{Request, RequestId, RequestRecord, RequestState};
+use crate::scheduler::{SchedView, Scheduler, StepPlan};
+use crate::CLOCK_HZ;
+
+/// Configuration of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum streams one batched invocation may coalesce (the
+    /// continuous-batching width).
+    pub max_batch: usize,
+    /// Context-length quantization of the step-cost cache, in tokens.
+    pub ctx_bucket: usize,
+    /// KV-pool byte budget for the whole deployment. `Some(bytes)` is
+    /// used verbatim — it is a fleet-wide total and is *not* multiplied
+    /// by the device count. `None` derives a per-device budget from the
+    /// HBM capacity minus the resident INT8 weights and scales it by the
+    /// fleet's device count via [`KvCachePool::from_memory_spec`].
+    pub kv_budget_bytes: Option<u64>,
+    /// Device fleet the steps dispatch onto. [`Fleet::single`] serves
+    /// from one device; larger fleets divide step latency by the fleet's
+    /// effective speedup (energy pays the communication tax), reusing the
+    /// §5.3 multi-device scaling model. With a derived KV budget
+    /// (`kv_budget_bytes: None`) each data-parallel replica contributes
+    /// its own KV shard to the pool.
+    pub fleet: Fleet,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            ctx_bucket: 256,
+            kv_budget_bytes: None,
+            fleet: Fleet::single(),
+        }
+    }
+}
+
+/// A request in flight: its timeline and KV accounting.
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    admitted_cycle: f64,
+    prefilled: bool,
+    tokens: usize,
+    first_token_cycle: f64,
+    resident_bytes: u64,
+    reserved_bytes: u64,
+}
+
+impl InFlight {
+    fn context(&self) -> usize {
+        self.req.prompt_len + self.tokens
+    }
+}
+
+/// The discrete-event serving simulator: drives an [`Accelerator`] under
+/// multi-request load through a pluggable [`Scheduler`], with KV-pool
+/// admission control and full latency accounting. Time is the simulated
+/// 1 GHz core clock; there is no wall-clock dependence anywhere, so a
+/// `(workload, scheduler, config)` triple replays bit-identically.
+pub struct ServeSim<'a> {
+    cost: StepCostModel<'a>,
+    cfg: ServeConfig,
+}
+
+impl<'a> ServeSim<'a> {
+    /// Builds a serving simulator over any accelerator model. `template`
+    /// supplies model shapes, the measured weight profile, and the
+    /// attention-keep operating point (its task/batch fields are replaced
+    /// per scheduled step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `max_batch` or `ctx_bucket`.
+    #[must_use]
+    pub fn new(accel: &'a dyn Accelerator, template: TraceContext, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "coalescing width must be positive");
+        let cost = StepCostModel::new(accel, template, cfg.ctx_bucket);
+        ServeSim { cost, cfg }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The step-cost model (exposed for diagnostics).
+    #[must_use]
+    pub fn cost_model(&self) -> &StepCostModel<'a> {
+        &self.cost
+    }
+
+    fn fresh_pool(&self) -> KvCachePool {
+        match self.cfg.kv_budget_bytes {
+            Some(bytes) => KvCachePool::with_budget(bytes),
+            None => KvCachePool::from_memory_spec(
+                &mcbp_mem::HbmConfig::default(),
+                &self.cost.template().model,
+                self.cfg.fleet.devices,
+            ),
+        }
+    }
+
+    /// Applies the fleet scaling model to one step: latency divides by the
+    /// effective speedup, energy pays the communication tax (the same
+    /// model as [`Fleet::scale`], applied per step — like it, the tax
+    /// spares the bit-reorder component).
+    fn fleet_scaled(&self, cost: StepCost) -> StepCost {
+        let fleet = &self.cfg.fleet;
+        if fleet.devices <= 1 {
+            return cost;
+        }
+        let comm_tax = 2.0 - fleet.scaling_efficiency;
+        StepCost {
+            cycles: cost.cycles / fleet.speedup(),
+            energy_pj: (cost.energy_pj - cost.reorder_pj) * comm_tax + cost.reorder_pj,
+            reorder_pj: cost.reorder_pj,
+        }
+    }
+
+    /// Runs one workload under one scheduler to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal accounting violations (the KV pool asserts its
+    /// budget invariants).
+    #[must_use]
+    pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> ServeReport {
+        let keep = self.cost.template().attention_keep;
+        let model = self.cost.template().model.clone();
+        let mut pool = self.fresh_pool();
+        let mut pending: VecDeque<Request> = workload.requests.clone().into();
+        let mut active: Vec<InFlight> = Vec::new();
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut now = 0.0f64;
+        let mut energy_pj = 0.0f64;
+        let mut decode_invocations = 0u64;
+        let mut decode_streams = 0u64;
+        let mut peak_concurrency = 0usize;
+
+        loop {
+            // ---- in-order admission under the KV byte budget ----
+            while let Some(head) = pending.front() {
+                if head.arrival_cycle > now {
+                    break;
+                }
+                let peak = request_kv_bytes(&model, head.final_context(), keep);
+                if !pool.can_ever_fit(peak) {
+                    let req = pending.pop_front().expect("head exists");
+                    records.push(RequestRecord {
+                        state: RequestState::Dropped,
+                        admitted_cycle: now,
+                        first_token_cycle: now,
+                        completed_cycle: now,
+                        tokens: 0,
+                        request: req,
+                    });
+                    // A drop vacates a closed-loop slot just like a
+                    // completion; without this release the population
+                    // shrinks and trailing requests are never served.
+                    if workload.closed_loop.is_some() {
+                        release_next_closed_loop(&mut pending, now);
+                    }
+                    continue;
+                }
+                if !pool.try_reserve(peak) {
+                    break; // head-of-line blocks until a completion frees bytes
+                }
+                let req = pending.pop_front().expect("head exists");
+                active.push(InFlight {
+                    req,
+                    admitted_cycle: now,
+                    prefilled: false,
+                    tokens: 0,
+                    first_token_cycle: 0.0,
+                    resident_bytes: 0,
+                    reserved_bytes: peak,
+                });
+            }
+            peak_concurrency = peak_concurrency.max(active.len());
+
+            if active.is_empty() {
+                match pending.front() {
+                    Some(head) if head.arrival_cycle.is_finite() => {
+                        // Idle until the next arrival.
+                        now = now.max(head.arrival_cycle);
+                        pool.advance_clock(now);
+                        continue;
+                    }
+                    _ => break, // drained (closed-loop leftovers can never release)
+                }
+            }
+
+            // ---- plan one batched step ----
+            let waiting: Vec<(RequestId, usize)> = active
+                .iter()
+                .filter(|f| !f.prefilled)
+                .map(|f| (f.req.id, f.req.prompt_len))
+                .collect();
+            let decoding: Vec<(RequestId, usize)> = active
+                .iter()
+                .filter(|f| f.prefilled && f.tokens < f.req.decode_len)
+                .map(|f| (f.req.id, f.context()))
+                .collect();
+            let view = SchedView {
+                waiting_prefill: &waiting,
+                decoding: &decoding,
+                max_batch: self.cfg.max_batch,
+            };
+            let plan = scheduler.plan(&view);
+
+            match plan {
+                StepPlan::Idle => {
+                    // Planning only happens with admitted work in the
+                    // views (every active request is either awaiting
+                    // prefill or mid-decode), so Idle here is a scheduler
+                    // contract violation. Failing loudly beats silently
+                    // losing in-flight requests or livelocking.
+                    panic!(
+                        "scheduler `{}` returned Idle with {} prompt(s) waiting and {} stream(s) decoding",
+                        scheduler.name(),
+                        waiting.len(),
+                        decoding.len()
+                    );
+                }
+                StepPlan::Prefill(ids) => {
+                    let ids = clamp_ids(&ids, &waiting, self.cfg.max_batch);
+                    assert!(!ids.is_empty(), "prefill plan selected no admitted prompt");
+                    let longest = ids
+                        .iter()
+                        .map(|id| lookup(&active, *id).req.prompt_len)
+                        .max()
+                        .expect("non-empty");
+                    let cost = self.fleet_scaled(self.cost.prefill_cost(longest, ids.len()));
+                    now += cost.cycles;
+                    // Integrate pre-step residency over the step before the
+                    // step's own growth lands, so the occupancy mean is not
+                    // biased upward by end-of-step byte arrivals.
+                    pool.advance_clock(now);
+                    energy_pj += cost.energy_pj;
+                    for id in &ids {
+                        let f = lookup_mut(&mut active, *id);
+                        f.prefilled = true;
+                        let prompt_bytes = request_kv_bytes(&model, f.req.prompt_len, keep);
+                        f.resident_bytes = prompt_bytes.min(f.reserved_bytes);
+                        let grow = f.resident_bytes;
+                        pool.grow_resident(grow);
+                        if f.req.decode_len == 0 {
+                            f.first_token_cycle = now; // prompt-only request
+                        }
+                    }
+                }
+                StepPlan::Decode(ids) => {
+                    let ids = clamp_ids(&ids, &decoding, self.cfg.max_batch);
+                    assert!(!ids.is_empty(), "decode plan selected no active stream");
+                    let mean_ctx = (ids
+                        .iter()
+                        .map(|id| lookup(&active, *id).context())
+                        .sum::<usize>() as f64
+                        / ids.len() as f64)
+                        .round() as usize;
+                    let cost = self.fleet_scaled(self.cost.decode_cost(mean_ctx.max(1), ids.len()));
+                    now += cost.cycles;
+                    // As in the prefill arm: charge the step's duration at
+                    // pre-step residency before this step's growth lands.
+                    pool.advance_clock(now);
+                    energy_pj += cost.energy_pj;
+                    decode_invocations += 1;
+                    decode_streams += ids.len() as u64;
+                    for id in &ids {
+                        let f = lookup_mut(&mut active, *id);
+                        f.tokens += 1;
+                        if f.tokens == 1 {
+                            f.first_token_cycle = now;
+                        }
+                        let target =
+                            request_kv_bytes(&model, f.context(), keep).min(f.reserved_bytes);
+                        let grow = target.saturating_sub(f.resident_bytes);
+                        f.resident_bytes = f.resident_bytes.max(target);
+                        pool.grow_resident(grow);
+                    }
+                }
+            }
+
+            // ---- retire completions ----
+            let mut i = 0;
+            while i < active.len() {
+                let done = {
+                    let f = &active[i];
+                    f.prefilled && f.tokens >= f.req.decode_len
+                };
+                if !done {
+                    i += 1;
+                    continue;
+                }
+                let f = active.remove(i);
+                pool.release(f.reserved_bytes, f.resident_bytes);
+                records.push(RequestRecord {
+                    state: RequestState::Completed,
+                    admitted_cycle: f.admitted_cycle,
+                    first_token_cycle: f.first_token_cycle,
+                    completed_cycle: now,
+                    tokens: f.tokens,
+                    request: f.req,
+                });
+                if workload.closed_loop.is_some() {
+                    release_next_closed_loop(&mut pending, now);
+                }
+            }
+        }
+
+        // Admission stall is a statistic of *served* traffic: dropped
+        // requests never held a reservation, so their queue wait is not a
+        // pool stall.
+        let stall_cycles: f64 = records
+            .iter()
+            .filter(|r| matches!(r.state, RequestState::Completed))
+            .map(RequestRecord::admission_stall_cycles)
+            .sum();
+        let pool_report = PoolReport {
+            budget_bytes: pool.budget_bytes(),
+            peak_resident_bytes: pool.peak_resident_bytes(),
+            peak_reserved_bytes: pool.peak_reserved_bytes(),
+            mean_resident_bytes: pool.mean_resident_bytes(),
+            admission_stall_seconds: stall_cycles / CLOCK_HZ,
+        };
+        let mean_decode_batch = if decode_invocations == 0 {
+            0.0
+        } else {
+            decode_streams as f64 / decode_invocations as f64
+        };
+        records.sort_by_key(|r| r.request.id);
+        ServeReport::summarize(
+            scheduler.name().to_string(),
+            records,
+            RunTotals {
+                duration_cycles: now,
+                mean_decode_batch,
+                peak_concurrency,
+                energy_pj,
+                offered_rps: workload.offered_rps(),
+            },
+            pool_report,
+        )
+    }
+}
+
+/// Releases the next closed-loop request (if any) at the given instant —
+/// a completion or a drop each vacate exactly one population slot.
+fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
+    if let Some(next) = pending.iter_mut().find(|r| r.arrival_cycle.is_infinite()) {
+        next.arrival_cycle = now;
+    }
+}
+
+/// Restricts a plan to ids actually present in the view, preserving plan
+/// order, with duplicates removed, capped at the coalescing width. A
+/// custom scheduler naming the same stream twice must advance it once,
+/// not twice.
+fn clamp_ids(ids: &[RequestId], view: &[(RequestId, usize)], max_batch: usize) -> Vec<RequestId> {
+    let mut seen = Vec::with_capacity(ids.len().min(max_batch));
+    for id in ids {
+        if seen.len() == max_batch {
+            break;
+        }
+        if !seen.contains(id) && view.iter().any(|(v, _)| v == id) {
+            seen.push(*id);
+        }
+    }
+    seen
+}
+
+fn lookup(active: &[InFlight], id: RequestId) -> &InFlight {
+    active
+        .iter()
+        .find(|f| f.req.id == id)
+        .expect("scheduler referenced unknown request")
+}
+
+fn lookup_mut(active: &mut [InFlight], id: RequestId) -> &mut InFlight {
+    active
+        .iter_mut()
+        .find(|f| f.req.id == id)
+        .expect("scheduler referenced unknown request")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalProcess, LoadGenerator};
+    use crate::scheduler::{ContinuousBatchScheduler, FcfsScheduler};
+    use mcbp_model::LlmConfig;
+    use mcbp_workloads::{PhaseCost, RunReport, SparsityProfile, Task, WeightGenerator};
+
+    /// Analytic accelerator: decode pays a fixed weight-stream cost plus a
+    /// per-stream context cost — the qualitative shape that makes
+    /// batching matter, with exact arithmetic for assertions.
+    struct Toy;
+
+    impl Accelerator for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn run(&self, ctx: &TraceContext) -> RunReport {
+            let b = ctx.batch as f64;
+            RunReport {
+                prefill: PhaseCost {
+                    gemm_cycles: 10.0 * ctx.task.prompt_len as f64 * b,
+                    compute_pj: ctx.task.prompt_len as f64 * b,
+                    ..Default::default()
+                },
+                decode: PhaseCost {
+                    weight_load_cycles: 1_000_000.0,
+                    kv_load_cycles: 100.0
+                        * ctx.task.prompt_len as f64
+                        * b
+                        * ctx.task.decode_len as f64,
+                    compute_pj: b,
+                    ..Default::default()
+                },
+            }
+        }
+    }
+
+    fn template(keep: f64) -> TraceContext {
+        let model = LlmConfig::opt1b3();
+        let gen = WeightGenerator::for_model(&model);
+        let profile = SparsityProfile::measure(&gen.quantized_sample(16, 64, 1), 4);
+        TraceContext {
+            model,
+            task: Task::cola(),
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: keep,
+        }
+    }
+
+    fn closed_loop(n: usize, total: usize) -> Workload {
+        LoadGenerator::uniform(
+            Task::cola(),
+            total,
+            ArrivalProcess::ClosedLoop { concurrency: n },
+        )
+        .generate()
+    }
+
+    #[test]
+    fn every_request_completes_with_full_token_count() {
+        let accel = Toy;
+        let sim = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let w = closed_loop(4, 12);
+        let report = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.dropped, 0);
+        for rec in &report.records {
+            assert_eq!(rec.tokens, rec.request.decode_len);
+        }
+    }
+
+    #[test]
+    fn continuous_batching_coalesces_and_beats_fcfs() {
+        let accel = Toy;
+        let sim = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let w = closed_loop(8, 16);
+        let cb = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        let fcfs = sim.run(&w, &mut FcfsScheduler::new());
+        assert!(
+            cb.mean_decode_batch > 4.0,
+            "coalescing {}",
+            cb.mean_decode_batch
+        );
+        assert!((fcfs.mean_decode_batch - 1.0).abs() < 1e-9);
+        assert!(
+            cb.goodput_tokens_per_s > fcfs.goodput_tokens_per_s,
+            "cb {} vs fcfs {}",
+            cb.goodput_tokens_per_s,
+            fcfs.goodput_tokens_per_s
+        );
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let accel = Toy;
+        let sim = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let gen = LoadGenerator::uniform(
+            Task::cola(),
+            24,
+            ArrivalProcess::Poisson {
+                rate_rps: 2000.0,
+                seed: 11,
+            },
+        );
+        let a = sim.run(&gen.generate(), &mut ContinuousBatchScheduler::new());
+        let b = sim.run(&gen.generate(), &mut ContinuousBatchScheduler::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tight_pool_stalls_admission_but_stays_within_budget() {
+        let accel = Toy;
+        let model = LlmConfig::opt1b3();
+        // Room for about two Cola requests' pruned KV at a time.
+        let per_req = request_kv_bytes(&model, Task::cola().final_context(), 0.3);
+        let cfg = ServeConfig {
+            kv_budget_bytes: Some(per_req * 2 + 1024),
+            ..ServeConfig::default()
+        };
+        let sim = ServeSim::new(&accel, template(0.3), cfg);
+        let w = closed_loop(6, 6);
+        let report = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(report.completed, 6);
+        assert!(report.peak_concurrency <= 2);
+        assert!(report.pool.peak_reserved_bytes <= report.pool.budget_bytes);
+        assert!(report.pool.admission_stall_seconds > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_drop_releases_the_next_request() {
+        // Mixed closed-loop population where every other request (Dolly)
+        // can never fit the pool: each drop must vacate its slot so the
+        // trailing Cola requests still get served — total records must
+        // equal the workload size.
+        let accel = Toy;
+        let model = LlmConfig::opt1b3();
+        let budget = request_kv_bytes(&model, Task::cola().final_context(), 1.0) * 2;
+        let cfg = ServeConfig {
+            kv_budget_bytes: Some(budget),
+            ..ServeConfig::default()
+        };
+        let sim = ServeSim::new(&accel, template(1.0), cfg);
+        let w = LoadGenerator {
+            task_mix: vec![Task::cola(), Task::dolly()],
+            count: 10,
+            process: ArrivalProcess::ClosedLoop { concurrency: 2 },
+        }
+        .generate();
+        let report = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(
+            report.completed + report.dropped,
+            10,
+            "no request may vanish"
+        );
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.dropped, 5);
+    }
+
+    #[test]
+    fn oversized_request_is_dropped_not_wedged() {
+        let accel = Toy;
+        let cfg = ServeConfig {
+            kv_budget_bytes: Some(1024),
+            ..ServeConfig::default()
+        };
+        let sim = ServeSim::new(&accel, template(1.0), cfg);
+        let w = closed_loop(2, 2);
+        let report = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.dropped, 2);
+    }
+
+    #[test]
+    fn lower_keep_admits_more_concurrency_under_same_budget() {
+        let accel = Toy;
+        let model = LlmConfig::opt1b3();
+        let per_req_dense = request_kv_bytes(&model, Task::cola().final_context(), 1.0);
+        let budget = per_req_dense * 3;
+        let mk = |keep: f64| {
+            let cfg = ServeConfig {
+                kv_budget_bytes: Some(budget),
+                ..ServeConfig::default()
+            };
+            let sim = ServeSim::new(&accel, template(keep), cfg);
+            sim.run(&closed_loop(12, 12), &mut ContinuousBatchScheduler::new())
+        };
+        let dense = mk(1.0);
+        let pruned = mk(0.3);
+        assert!(
+            pruned.peak_concurrency > dense.peak_concurrency,
+            "pruned {} vs dense {}",
+            pruned.peak_concurrency,
+            dense.peak_concurrency
+        );
+    }
+
+    #[test]
+    fn fleet_dispatch_scales_throughput() {
+        let accel = Toy;
+        let single = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let fleet = ServeSim::new(
+            &accel,
+            template(0.3),
+            ServeConfig {
+                fleet: Fleet {
+                    devices: 8,
+                    scaling_efficiency: Fleet::efficiency_for(8),
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let w = closed_loop(8, 16);
+        let one = single.run(&w, &mut ContinuousBatchScheduler::new());
+        let eight = fleet.run(&w, &mut ContinuousBatchScheduler::new());
+        assert!(
+            eight.goodput_tokens_per_s > 4.0 * one.goodput_tokens_per_s,
+            "8 devices {} vs 1 device {}",
+            eight.goodput_tokens_per_s,
+            one.goodput_tokens_per_s
+        );
+        assert!(
+            eight.energy_joules >= one.energy_joules,
+            "energy is fleet-wide"
+        );
+    }
+}

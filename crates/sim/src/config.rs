@@ -107,7 +107,10 @@ impl McbpConfig {
     /// The paper's aggressive operating point (α = 0.45, ≤ 1 % loss).
     #[must_use]
     pub fn aggressive() -> Self {
-        McbpConfig { bgpp: BgppConfig::aggressive(), ..McbpConfig::default() }
+        McbpConfig {
+            bgpp: BgppConfig::aggressive(),
+            ..McbpConfig::default()
+        }
     }
 
     /// Merge additions the array retires per cycle at full utilization:
@@ -115,10 +118,8 @@ impl McbpConfig {
     /// pass (`inputs − 1` adds).
     #[must_use]
     pub fn adds_per_cycle(&self) -> f64 {
-        (self.pe_clusters
-            * self.pes_per_cluster
-            * self.amus_per_pe
-            * (self.amu_tree_inputs - 1)) as f64
+        (self.pe_clusters * self.pes_per_cluster * self.amus_per_pe * (self.amu_tree_inputs - 1))
+            as f64
     }
 
     /// Aggregate decoder bandwidth in bits per cycle.

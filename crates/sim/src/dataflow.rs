@@ -40,7 +40,14 @@ impl WeightLayout {
     #[must_use]
     pub fn int8(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "empty tensor");
-        WeightLayout { m: 4, planes: 7, rows, cols, beat_bytes: 16, channels: 8 }
+        WeightLayout {
+            m: 4,
+            planes: 7,
+            rows,
+            cols,
+            beat_bytes: 16,
+            channels: 8,
+        }
     }
 
     /// Bits stored per plane (uncompressed; compressed planes shrink but
@@ -92,7 +99,10 @@ impl WeightLayout {
         tile_rows: usize,
         tile_cols: usize,
     ) -> u64 {
-        assert!(row0 + tile_rows <= self.rows && col0 + tile_cols <= self.cols, "tile out of range");
+        assert!(
+            row0 + tile_rows <= self.rows && col0 + tile_cols <= self.cols,
+            "tile out of range"
+        );
         let mut cycles = 0;
         for _plane in 0..=self.planes {
             let bits = (tile_rows * tile_cols) as u64;
@@ -112,7 +122,10 @@ impl WeightLayout {
 /// Builds an HBM model matching the layout's channel count.
 #[must_use]
 pub fn hbm_for(layout: &WeightLayout) -> Hbm {
-    Hbm::new(HbmConfig { channels: layout.channels, ..HbmConfig::default() })
+    Hbm::new(HbmConfig {
+        channels: layout.channels,
+        ..HbmConfig::default()
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +159,11 @@ mod tests {
         let groups_per_beat = (l.beat_bytes * 8) as usize / l.m;
         let a0 = l.group_address(0, 0);
         let a1 = l.group_address(0, groups_per_beat);
-        assert_eq!(a1 - a0, l.beat_bytes, "next beat lands in the next channel slot");
+        assert_eq!(
+            a1 - a0,
+            l.beat_bytes,
+            "next beat lands in the next channel slot"
+        );
     }
 
     #[test]
@@ -157,7 +174,10 @@ mod tests {
         let bits = (64 * 1024 * 8) as u64; // 8 planes incl. sign
         let floor = bits / 512;
         assert!(cycles >= floor);
-        assert!(cycles < floor * 2, "layout must keep the stream near peak bandwidth");
+        assert!(
+            cycles < floor * 2,
+            "layout must keep the stream near peak bandwidth"
+        );
     }
 
     #[test]

@@ -39,19 +39,25 @@ impl PredictionCalibration {
     /// Panics if `target_keep` is outside `(0, 1]`.
     #[must_use]
     pub fn measure(base: &BgppConfig, target_keep: f64, seed: u64) -> Self {
-        assert!(target_keep > 0.0 && target_keep <= 1.0, "invalid keep target");
+        assert!(
+            target_keep > 0.0 && target_keep <= 1.0,
+            "invalid keep target"
+        );
         let (s, d, queries) = (256usize, 64usize, 8usize);
         let mut rng = StdRng::seed_from_u64(seed);
         let kdata: Vec<i32> = (0..s * d).map(|_| gaussian_i8(&mut rng)).collect();
         let keys = IntMatrix::from_flat(8, s, d, kdata).expect("generated keys fit INT8");
         let planes = BitPlanes::from_matrix(&keys);
         let qs: Vec<Vec<i32>> = (0..queries)
-            .map(|_| (0..d).map(|_| gaussian_i8(&mut rng) / 16 ).collect())
+            .map(|_| (0..d).map(|_| gaussian_i8(&mut rng) / 16).collect())
             .collect();
         // Radius in integer units is α-scaled; bisect α (allowing > 1 to
         // reach keep → 1.0).
         let eval = |alpha: f32| -> (f64, f64, f64) {
-            let cfg = BgppConfig { alpha: vec![alpha], ..base.clone() };
+            let cfg = BgppConfig {
+                alpha: vec![alpha],
+                ..base.clone()
+            };
             let p = ProgressivePredictor::new(cfg);
             let mut kept = 0.0;
             let mut bits = 0.0;
@@ -151,7 +157,13 @@ impl McbpSim {
         let mut unit = EnergyBreakdown::default();
         let p = self.cost_phase(ctx, &prefill, &pred, &mut unit);
         let d = self.cost_phase(ctx, &decode, &pred, &mut unit);
-        (RunReport { prefill: p, decode: d }, unit)
+        (
+            RunReport {
+                prefill: p,
+                decode: d,
+            },
+            unit,
+        )
     }
 
     fn phase_totals(&self, trace: &[TracedOp], tag: PhaseTag, ctx: &TraceContext) -> PhaseTotals {
@@ -224,7 +236,8 @@ impl McbpSim {
         // ---------- compute: attention (dynamic operands) ----------
         let attn_adds = t.attn_macs * keep * cfg.attn_adds_per_mac;
         let shift_adds = (weight_adds + attn_adds) * cfg.shift_overhead;
-        let lat_adds = weight_lat_adds + attn_adds + (weight_lat_adds + attn_adds) * cfg.shift_overhead;
+        let lat_adds =
+            weight_lat_adds + attn_adds + (weight_lat_adds + attn_adds) * cfg.shift_overhead;
         let add_cycles = lat_adds / (cfg.adds_per_cycle() * cfg.utilization);
 
         // CAM matching: 16-column tiles per group per coded+raw plane, all
@@ -284,9 +297,11 @@ impl McbpSim {
         let mut kv_cycles = hbm.stream_read(seq_kv) as f64;
         let gather_bytes = (k_stream + v_stream - seq_kv as f64).max(0.0);
         let gather_unit = 64u64; // one head-dim row per access
-        kv_cycles +=
-            hbm.gather_read((gather_bytes / gather_unit as f64).ceil() as u64, gather_unit, 0.5)
-                as f64;
+        kv_cycles += hbm.gather_read(
+            (gather_bytes / gather_unit as f64).ceil() as u64,
+            gather_unit,
+            0.5,
+        ) as f64;
         let kv_energy = hbm.stats().energy_pj;
 
         // ---------- APU (softmax / LayerNorm / GELU / quantizer) ----------
@@ -300,7 +315,10 @@ impl McbpSim {
         let apu_cycles = apu_ops / (256.0 * cfg.utilization); // 256-lane SFU
 
         // ---------- assemble latency (pipelined, Fig 10) ----------
-        let compute_side = add_cycles.max(cam_cycles).max(decode_cycles).max(bgpp_cycles);
+        let compute_side = add_cycles
+            .max(cam_cycles)
+            .max(decode_cycles)
+            .max(bgpp_cycles);
         let mem_side = w_cycles + kv_cycles;
         let latency = compute_side.max(mem_side) + apu_cycles;
 
@@ -319,7 +337,11 @@ impl McbpSim {
         let cam_pj = cam_searches * e.cam_search_pj;
         unit.brcr_pj += merge_pj + recon_shift_pj + cam_pj;
         unit.bstc_pj += codec_groups * e.codec_group_pj
-            + if cfg.enable_bstc { 0.0 } else { weight_elems_streamed * 0.15 };
+            + if cfg.enable_bstc {
+                0.0
+            } else {
+                weight_elems_streamed * 0.15
+            };
         unit.bgpp_pj += pred_adds * e.bgpp_add_pj;
         // SRAM: weights written+read once; activations reused T_M-fold.
         let act_bytes = elems(t.weight_macs + t.attn_macs * keep, cfg.tile.0 as f64);
@@ -334,7 +356,11 @@ impl McbpSim {
         cost.compute_pj =
             merge_pj + recon_shift_pj + cam_pj + pred_adds * e.bgpp_add_pj + apu_ops * e.sfu_op_pj;
         cost.reorder_pj = weight_stream_bytes * label_reorder_fraction * 1.6
-            + if cfg.enable_bstc { 0.0 } else { weight_elems_streamed * 1.6 };
+            + if cfg.enable_bstc {
+                0.0
+            } else {
+                weight_elems_streamed * 1.6
+            };
         cost.onchip_pj = sram_bytes * 0.9 + codec_groups * e.codec_group_pj;
         cost.offchip_pj = w_energy + kv_energy + offchip_bytes * e.interface_pj_per_byte;
         cost
@@ -372,7 +398,13 @@ mod tests {
         let model = LlmConfig::llama7b();
         let gen = WeightGenerator::for_model(&model);
         let profile = SparsityProfile::measure(&gen.quantized_sample(64, 512, 77), 4);
-        TraceContext { model, task, batch, weight_profile: profile, attention_keep: 0.3 }
+        TraceContext {
+            model,
+            task,
+            batch,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        }
     }
 
     #[test]
@@ -396,7 +428,9 @@ mod tests {
         // Fig 19(a): +BRCR, then +BSTC, then +BGPP each cut latency
         // (the paper runs this at batch size 8).
         let c = ctx(Task::wikilingua(), 8);
-        let base = McbpSim::new(McbpConfig::ablation_baseline()).run(&c).total_cycles();
+        let base = McbpSim::new(McbpConfig::ablation_baseline())
+            .run(&c)
+            .total_cycles();
         let brcr = McbpSim::new(McbpConfig {
             enable_brcr: true,
             ..McbpConfig::ablation_baseline()
@@ -430,7 +464,11 @@ mod tests {
     #[test]
     fn bgpp_calibration_hits_keep_target() {
         let cal = PredictionCalibration::measure(&BgppConfig::standard(), 0.3, 1);
-        assert!((cal.keep_fraction - 0.3).abs() < 0.12, "keep {}", cal.keep_fraction);
+        assert!(
+            (cal.keep_fraction - 0.3).abs() < 0.12,
+            "keep {}",
+            cal.keep_fraction
+        );
         // Progressive fetch must beat the value-level 5/8 fraction.
         assert!(
             cal.predicted_bits_fraction < 0.625,

@@ -108,7 +108,14 @@ pub fn walk_gemm(
     let outputs = rows as f64 * n as f64;
     let writeback = outputs * 4.0 / cfg.hbm.bits_per_core_cycle as f64 * 8.0;
 
-    StageOccupancy { fetch, decode, cam, merge, writeback, predict: 0.0 }
+    StageOccupancy {
+        fetch,
+        decode,
+        cam,
+        merge,
+        writeback,
+        predict: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +155,11 @@ mod tests {
     #[test]
     fn bstc_relieves_the_fetch_stage() {
         let on = McbpConfig::default();
-        let off = McbpConfig { enable_bstc: false, value_huffman_cr: 1.0, ..McbpConfig::default() };
+        let off = McbpConfig {
+            enable_bstc: false,
+            value_huffman_cr: 1.0,
+            ..McbpConfig::default()
+        };
         let p = profile();
         let with = walk_gemm(&on, &p, 2048, 2048, 1);
         let without = walk_gemm(&off, &p, 2048, 2048, 1);
@@ -161,6 +172,11 @@ mod tests {
         // bottleneck behind the HBM stream.
         let cfg = McbpConfig::default();
         let occ = walk_gemm(&cfg, &profile(), 4096, 4096, 1);
-        assert!(occ.decode <= occ.fetch * 1.05, "decode {} vs fetch {}", occ.decode, occ.fetch);
+        assert!(
+            occ.decode <= occ.fetch * 1.05,
+            "decode {} vs fetch {}",
+            occ.decode,
+            occ.fetch
+        );
     }
 }

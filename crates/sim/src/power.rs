@@ -141,7 +141,11 @@ mod tests {
         let c = ctx();
         let (r, e) = sim.run_detailed(&c);
         let p = PowerReport::from_run(sim.config(), &r, e);
-        assert!(p.total_w() > 0.5 && p.total_w() < 8.0, "power {}", p.total_w());
+        assert!(
+            p.total_w() > 0.5 && p.total_w() < 8.0,
+            "power {}",
+            p.total_w()
+        );
         // DRAM must be the single largest consumer (Fig 22b: 47.6 %).
         assert!(p.energy.dram_pj > p.energy.brcr_pj);
     }

@@ -136,8 +136,14 @@ mod tests {
     #[test]
     fn seconds_at_one_ghz() {
         let r = RunReport {
-            prefill: PhaseCost { gemm_cycles: 5e8, ..Default::default() },
-            decode: PhaseCost { gemm_cycles: 5e8, ..Default::default() },
+            prefill: PhaseCost {
+                gemm_cycles: 5e8,
+                ..Default::default()
+            },
+            decode: PhaseCost {
+                gemm_cycles: 5e8,
+                ..Default::default()
+            },
         };
         assert!((r.seconds_at(1e9) - 1.0).abs() < 1e-12);
     }

@@ -1,4 +1,4 @@
-use mcbp_workloads::{PhaseCost, RunReport};
+use crate::{PhaseCost, RunReport};
 
 /// Multi-device scaling model for the Fig 20 comparison.
 ///
@@ -21,7 +21,10 @@ impl Fleet {
     /// A single device (identity scaling).
     #[must_use]
     pub fn single() -> Self {
-        Fleet { devices: 1, scaling_efficiency: 1.0 }
+        Fleet {
+            devices: 1,
+            scaling_efficiency: 1.0,
+        }
     }
 
     /// Sizes a fleet to match a target peak-TOPS budget, with a
@@ -32,9 +35,15 @@ impl Fleet {
     /// Panics if either TOPS figure is not positive.
     #[must_use]
     pub fn iso_tops(target_tops: f64, device_tops: f64) -> Self {
-        assert!(target_tops > 0.0 && device_tops > 0.0, "TOPS must be positive");
+        assert!(
+            target_tops > 0.0 && device_tops > 0.0,
+            "TOPS must be positive"
+        );
         let devices = (target_tops / device_tops).round().max(1.0) as usize;
-        Fleet { devices, scaling_efficiency: Self::efficiency_for(devices) }
+        Fleet {
+            devices,
+            scaling_efficiency: Self::efficiency_for(devices),
+        }
     }
 
     /// The communication-efficiency model: `1 / (1 + 0.021·log2(n))`.
@@ -67,7 +76,10 @@ impl Fleet {
             onchip_pj: p.onchip_pj * comm_tax,
             offchip_pj: p.offchip_pj * comm_tax,
         };
-        RunReport { prefill: scale_phase(&report.prefill), decode: scale_phase(&report.decode) }
+        RunReport {
+            prefill: scale_phase(&report.prefill),
+            decode: scale_phase(&report.decode),
+        }
     }
 }
 
@@ -77,7 +89,11 @@ mod tests {
 
     fn toy_report() -> RunReport {
         RunReport {
-            prefill: PhaseCost { gemm_cycles: 1480.0, compute_pj: 100.0, ..Default::default() },
+            prefill: PhaseCost {
+                gemm_cycles: 1480.0,
+                compute_pj: 100.0,
+                ..Default::default()
+            },
             decode: PhaseCost {
                 weight_load_cycles: 2960.0,
                 offchip_pj: 200.0,
@@ -89,16 +105,27 @@ mod tests {
     #[test]
     fn paper_fleet_is_148_devices() {
         let fleet = Fleet::iso_tops(624.0, 4.2);
-        assert_eq!(fleet.devices, 149_usize.min(fleet.devices.max(147)), "{}", fleet.devices);
+        assert_eq!(
+            fleet.devices,
+            149_usize.min(fleet.devices.max(147)),
+            "{}",
+            fleet.devices
+        );
         assert!(fleet.speedup() > 120.0 && fleet.speedup() < 148.0);
     }
 
     #[test]
     fn scaling_divides_latency_not_energy() {
-        let fleet = Fleet { devices: 10, scaling_efficiency: 0.9 };
+        let fleet = Fleet {
+            devices: 10,
+            scaling_efficiency: 0.9,
+        };
         let scaled = fleet.scale(&toy_report());
         assert!((scaled.total_cycles() - 4440.0 / 9.0).abs() < 1e-9);
-        assert!(scaled.total_pj() >= 300.0, "energy must not shrink with devices");
+        assert!(
+            scaled.total_pj() >= 300.0,
+            "energy must not shrink with devices"
+        );
     }
 
     #[test]

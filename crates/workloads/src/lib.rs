@@ -31,11 +31,13 @@
 #![forbid(unsafe_code)]
 
 mod accel;
+mod fleet;
 mod tasks;
 mod trace;
 mod weights;
 
 pub use accel::{Accelerator, PhaseCost, RunReport, TraceContext};
+pub use fleet::Fleet;
 pub use tasks::{Task, TaskKind};
 pub use trace::{build_trace, trace_totals, PhaseTag, TraceTotals, TracedOp};
 pub use weights::{SparsityProfile, WeightGenerator};

@@ -31,43 +31,78 @@ impl Task {
     /// Cola (GLUE), S = 0.25k.
     #[must_use]
     pub fn cola() -> Self {
-        Task { name: "Cola", prompt_len: 256, decode_len: 16, kind: TaskKind::Classification }
+        Task {
+            name: "Cola",
+            prompt_len: 256,
+            decode_len: 16,
+            kind: TaskKind::Classification,
+        }
     }
 
     /// MNLI (GLUE), S = 0.5k.
     #[must_use]
     pub fn mnli() -> Self {
-        Task { name: "MNLI", prompt_len: 512, decode_len: 16, kind: TaskKind::Classification }
+        Task {
+            name: "MNLI",
+            prompt_len: 512,
+            decode_len: 16,
+            kind: TaskKind::Classification,
+        }
     }
 
     /// SST-2 (GLUE), S = 0.25k.
     #[must_use]
     pub fn sst2() -> Self {
-        Task { name: "SST2", prompt_len: 256, decode_len: 16, kind: TaskKind::Classification }
+        Task {
+            name: "SST2",
+            prompt_len: 256,
+            decode_len: 16,
+            kind: TaskKind::Classification,
+        }
     }
 
     /// Wikitext-2 language modeling, S = 2k.
     #[must_use]
     pub fn wikitext2() -> Self {
-        Task { name: "Wiki2", prompt_len: 2048, decode_len: 16, kind: TaskKind::LanguageModeling }
+        Task {
+            name: "Wiki2",
+            prompt_len: 2048,
+            decode_len: 16,
+            kind: TaskKind::LanguageModeling,
+        }
     }
 
     /// Wikilingua summarization, S = 2k (decode ≈ 48, as in Fig 23).
     #[must_use]
     pub fn wikilingua() -> Self {
-        Task { name: "Wikiling", prompt_len: 2048, decode_len: 48, kind: TaskKind::LanguageModeling }
+        Task {
+            name: "Wikiling",
+            prompt_len: 2048,
+            decode_len: 48,
+            kind: TaskKind::LanguageModeling,
+        }
     }
 
     /// Winogrande, S = 0.25k.
     #[must_use]
     pub fn winogrande() -> Self {
-        Task { name: "Winogran", prompt_len: 256, decode_len: 16, kind: TaskKind::Reasoning }
+        Task {
+            name: "Winogran",
+            prompt_len: 256,
+            decode_len: 16,
+            kind: TaskKind::Reasoning,
+        }
     }
 
     /// MMLU, S = 0.5k.
     #[must_use]
     pub fn mmlu() -> Self {
-        Task { name: "MMLU", prompt_len: 512, decode_len: 16, kind: TaskKind::Reasoning }
+        Task {
+            name: "MMLU",
+            prompt_len: 512,
+            decode_len: 16,
+            kind: TaskKind::Reasoning,
+        }
     }
 
     /// MBPP code generation, S = 1k prompt budget; Fig 19(b) studies it
@@ -75,13 +110,23 @@ impl Task {
     /// benchmark-list shape (1k) with a 1k decode.
     #[must_use]
     pub fn mbpp() -> Self {
-        Task { name: "MBPP", prompt_len: 1024, decode_len: 1024, kind: TaskKind::Generation }
+        Task {
+            name: "MBPP",
+            prompt_len: 1024,
+            decode_len: 1024,
+            kind: TaskKind::Generation,
+        }
     }
 
     /// Dolly long-context processing, S = 8k (decode ≈ 48, Fig 19/23).
     #[must_use]
     pub fn dolly() -> Self {
-        Task { name: "Dolly", prompt_len: 8192, decode_len: 48, kind: TaskKind::LongContext }
+        Task {
+            name: "Dolly",
+            prompt_len: 8192,
+            decode_len: 48,
+            kind: TaskKind::LongContext,
+        }
     }
 
     /// The paper's nine-task suite.

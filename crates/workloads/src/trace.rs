@@ -61,20 +61,40 @@ pub fn build_trace(model: &LlmConfig, task: &Task, batch: usize) -> Vec<TracedOp
     let mut ops = Vec::new();
 
     // ---- prefill ----
-    for op in layer_ops(model, Phase::Prefill { prompt: task.prompt_len }) {
-        ops.push(TracedOp { phase: PhaseTag::Prefill, op, repeats: model.layers as f64 * b });
+    for op in layer_ops(
+        model,
+        Phase::Prefill {
+            prompt: task.prompt_len,
+        },
+    ) {
+        ops.push(TracedOp {
+            phase: PhaseTag::Prefill,
+            op,
+            repeats: model.layers as f64 * b,
+        });
     }
     // Logits for the first generated token.
     ops.push(TracedOp {
         phase: PhaseTag::Prefill,
-        op: OpDescriptor { kind: GemmKind::Weight, m: 1, k: model.hidden, n: model.vocab, count: 1 },
+        op: OpDescriptor {
+            kind: GemmKind::Weight,
+            m: 1,
+            k: model.hidden,
+            n: model.vocab,
+            count: 1,
+        },
         repeats: b,
     });
 
     // ---- decode (aggregated at the mean context) ----
     if task.decode_len > 0 {
         let mean_ctx = task.prompt_len + task.decode_len / 2;
-        for op in layer_ops(model, Phase::Decode { context: mean_ctx.max(1) }) {
+        for op in layer_ops(
+            model,
+            Phase::Decode {
+                context: mean_ctx.max(1),
+            },
+        ) {
             ops.push(TracedOp {
                 phase: PhaseTag::Decode,
                 op,
@@ -145,8 +165,7 @@ mod tests {
         let task = Task::mbpp();
         let trace = build_trace(&model, &task, 1);
         let totals = trace_totals(&trace);
-        let expected = (model.decoder_params()
-            + model.hidden as u64 * model.vocab as u64) as f64
+        let expected = (model.decoder_params() + model.hidden as u64 * model.vocab as u64) as f64
             * task.decode_len as f64;
         assert!((totals.decode_weight_bytes - expected).abs() / expected < 1e-9);
     }
@@ -160,9 +179,7 @@ mod tests {
         let attn_share = |t: &TraceTotals, task: &Task, _model: &LlmConfig| {
             let attn: f64 = build_trace(&LlmConfig::llama7b(), task, 1)
                 .iter()
-                .filter(|o| {
-                    o.phase == PhaseTag::Prefill && o.op.kind != GemmKind::Weight
-                })
+                .filter(|o| o.phase == PhaseTag::Prefill && o.op.kind != GemmKind::Weight)
                 .map(TracedOp::total_macs)
                 .sum();
             attn / t.prefill_macs
@@ -195,7 +212,11 @@ mod tests {
             }
         }
         let rel = (agg.decode_kv_bytes - explicit_kv).abs() / explicit_kv;
-        assert!(rel < 0.01, "aggregated {} vs explicit {explicit_kv}", agg.decode_kv_bytes);
+        assert!(
+            rel < 0.01,
+            "aggregated {} vs explicit {explicit_kv}",
+            agg.decode_kv_bytes
+        );
     }
 
     #[test]

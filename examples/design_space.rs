@@ -13,7 +13,10 @@ fn main() {
     let generator = WeightGenerator::for_model(&model);
     let wq = generator.quantized_sample(128, 2048, 11);
 
-    println!("group-size sweep on a 128x2048 INT8 sample for {}\n", model.name);
+    println!(
+        "group-size sweep on a 128x2048 INT8 sample for {}\n",
+        model.name
+    );
     println!(
         "{:>3} {:>16} {:>16} {:>12} {:>12}",
         "m", "measured adds", "measured passes", "measured CR", "paper CPR"

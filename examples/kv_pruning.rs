@@ -13,7 +13,13 @@ fn main() {
     let model = Transformer::random(cfg, 2024);
     let tokens: Vec<usize> = (0..48).map(|i| (i * 31 + 3) % cfg.vocab).collect();
 
-    println!("model: {} layers, hidden {}, {} heads; sequence of {} tokens", cfg.layers, cfg.hidden, cfg.heads, tokens.len());
+    println!(
+        "model: {} layers, hidden {}, {} heads; sequence of {} tokens",
+        cfg.layers,
+        cfg.hidden,
+        cfg.heads,
+        tokens.len()
+    );
 
     // Reference outputs.
     let fp32 = model.forward_f32(&tokens);
@@ -26,7 +32,10 @@ fn main() {
         dense_stats.keys_total
     );
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>14}", "alpha", "agreement", "KL vs FP32", "sparsity", "pred. bits");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>14}",
+        "alpha", "agreement", "KL vs FP32", "sparsity", "pred. bits"
+    );
     for alpha in [0.9f32, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2] {
         let pruner = BgppPruner::with_alpha(alpha);
         let (logits, stats) = quant.forward(&tokens, &pruner);
@@ -39,7 +48,9 @@ fn main() {
             stats.prediction_bits,
         );
     }
-    println!("\nthe paper operates at alpha in [0.5, 0.6]: meaningful sparsity, near-INT8 fidelity");
+    println!(
+        "\nthe paper operates at alpha in [0.5, 0.6]: meaningful sparsity, near-INT8 fidelity"
+    );
 
     // Compare prediction traffic against the value-level baseline at a
     // matched sparsity point.

@@ -18,7 +18,10 @@ fn main() {
 
     for model in LlmConfig::paper_suite() {
         let engine = Engine::new(model.clone(), 42);
-        println!("== {} (hidden {}, {} layers) ==", model.name, model.hidden, model.layers);
+        println!(
+            "== {} (hidden {}, {} layers) ==",
+            model.name, model.hidden, model.layers
+        );
 
         // MCBP with the full breakdown.
         let (report, _energy) = engine.evaluate_detailed(&task, batch, keep);

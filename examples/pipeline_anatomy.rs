@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example pipeline_anatomy`
 
+use mcbp::prelude::*;
 use mcbp::sim::dataflow::{hbm_for, WeightLayout};
 use mcbp::sim::pipeline::walk_gemm;
-use mcbp::prelude::*;
 
 fn main() {
     let model = LlmConfig::llama7b();
@@ -15,7 +15,10 @@ fn main() {
     let profile = SparsityProfile::measure(&generator.quantized_sample(64, 1024, 3), 4);
     let cfg = McbpConfig::default();
 
-    println!("one {}x{} weight GEMM through the Fig 10 pipeline\n", model.hidden, model.hidden);
+    println!(
+        "one {}x{} weight GEMM through the Fig 10 pipeline\n",
+        model.hidden, model.hidden
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "act cols", "fetch", "decode", "cam", "merge", "writeback", "bottleneck"
@@ -24,7 +27,13 @@ fn main() {
         let occ = walk_gemm(&cfg, &profile, model.hidden, model.hidden, n);
         println!(
             "{:>10} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>14}",
-            n, occ.fetch, occ.decode, occ.cam, occ.merge, occ.writeback, occ.bottleneck()
+            n,
+            occ.fetch,
+            occ.decode,
+            occ.cam,
+            occ.merge,
+            occ.writeback,
+            occ.bottleneck()
         );
     }
     println!("\nn=1 is a decode step (fetch-bound: weights stream once per token);");

@@ -32,7 +32,10 @@ fn main() {
     println!("\nBRCR GEMV (group size m=4):");
     println!("  dense bit-serial adds : {dense}");
     println!("  sparse bit-serial adds: {naive}");
-    println!("  BRCR adds             : {} (exact result verified)", ops.total_adds());
+    println!(
+        "  BRCR adds             : {} (exact result verified)",
+        ops.total_adds()
+    );
 
     // ----- 3. BSTC: lossless two-state weight compression -----
     let encoded = EncodedWeights::encode(&planes, 4, PlaneSelection::paper_default());

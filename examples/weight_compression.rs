@@ -11,13 +11,21 @@ fn main() {
     let model = LlmConfig::qwen7b();
     let generator = WeightGenerator::for_model(&model);
 
-    println!("offline pre-compression for {} (per-layer sample tensors)\n", model.name);
+    println!(
+        "offline pre-compression for {} (per-layer sample tensors)\n",
+        model.name
+    );
     println!(
         "{:>12} {:>10} {:>12} {:>12} {:>8}",
         "tensor", "shape", "raw bits", "stored bits", "CR"
     );
 
-    let shapes = [("wq/wk/wv", 128, 512), ("w_out", 128, 512), ("ffn_up", 344, 512), ("ffn_down", 128, 1376)];
+    let shapes = [
+        ("wq/wk/wv", 128, 512),
+        ("w_out", 128, 512),
+        ("ffn_up", 344, 512),
+        ("ffn_down", 128, 1376),
+    ];
     let mut total_raw = 0u64;
     let mut total_stored = 0u64;
     for (i, (name, rows, cols)) in shapes.iter().enumerate() {

@@ -23,7 +23,11 @@ fn mcbp_beats_every_asic_baseline_end_to_end() {
     ];
     for b in baselines {
         let t = engine.evaluate_on(b.as_ref(), &task, 1, 0.3).total_cycles();
-        assert!(t > mcbp, "{} ({t}) must be slower than MCBP ({mcbp})", b.name());
+        assert!(
+            t > mcbp,
+            "{} ({t}) must be slower than MCBP ({mcbp})",
+            b.name()
+        );
     }
 }
 
@@ -35,17 +39,40 @@ fn stage_sensitivity_matches_fig19b() {
     let decode_heavy = Task::mbpp().with_prompt(48).with_decode(2048);
 
     let run = |cfg: McbpConfig, task: &Task| {
-        Engine::with_config(LlmConfig::llama7b(), cfg, 42).evaluate(task, 8, 0.3).total_cycles()
+        Engine::with_config(LlmConfig::llama7b(), cfg, 42)
+            .evaluate(task, 8, 0.3)
+            .total_cycles()
     };
     let base_p = run(McbpConfig::ablation_baseline(), &prompt_heavy);
     let base_d = run(McbpConfig::ablation_baseline(), &decode_heavy);
-    let brcr_gain_p =
-        base_p / run(McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() }, &prompt_heavy);
-    let brcr_gain_d =
-        base_d / run(McbpConfig { enable_brcr: true, ..McbpConfig::ablation_baseline() }, &decode_heavy);
-    let bstc_gain_d =
-        base_d / run(McbpConfig { enable_bstc: true, ..McbpConfig::ablation_baseline() }, &decode_heavy);
-    assert!(brcr_gain_p > brcr_gain_d, "BRCR must matter more on prompt-heavy work");
+    let brcr_gain_p = base_p
+        / run(
+            McbpConfig {
+                enable_brcr: true,
+                ..McbpConfig::ablation_baseline()
+            },
+            &prompt_heavy,
+        );
+    let brcr_gain_d = base_d
+        / run(
+            McbpConfig {
+                enable_brcr: true,
+                ..McbpConfig::ablation_baseline()
+            },
+            &decode_heavy,
+        );
+    let bstc_gain_d = base_d
+        / run(
+            McbpConfig {
+                enable_bstc: true,
+                ..McbpConfig::ablation_baseline()
+            },
+            &decode_heavy,
+        );
+    assert!(
+        brcr_gain_p > brcr_gain_d,
+        "BRCR must matter more on prompt-heavy work"
+    );
     assert!(bstc_gain_d > 1.02, "BSTC must cut decode weight traffic");
     let _ = engine; // silence: constructed for parity with other tests
 }
@@ -55,8 +82,12 @@ fn gpu_software_port_gains_little() {
     // Fig 20(a)/21: MCBP's algorithms on the GPU give only modest gains.
     let engine = engine();
     let task = Task::mbpp();
-    let dense = engine.evaluate_on(&GpuA100::dense(), &task, 8, 0.3).total_cycles();
-    let sw = engine.evaluate_on(&GpuA100::with_mcbp_algorithms(), &task, 8, 0.3).total_cycles();
+    let dense = engine
+        .evaluate_on(&GpuA100::dense(), &task, 8, 0.3)
+        .total_cycles();
+    let sw = engine
+        .evaluate_on(&GpuA100::with_mcbp_algorithms(), &task, 8, 0.3)
+        .total_cycles();
     let gain = dense / sw;
     assert!((1.0..2.5).contains(&gain), "software-only gain {gain}");
 }
@@ -70,15 +101,30 @@ fn sofa_ordering_depends_on_sequence_length() {
     let bitwave = Bitwave::new();
     let long = Task::dolly();
     let short = Task::cola();
-    let sofa_long = engine.evaluate_on(&sofa, &long, 1, 0.3).decode.total_cycles();
-    let bw_long = engine.evaluate_on(&bitwave, &long, 1, 0.3).decode.total_cycles();
-    let sofa_short = engine.evaluate_on(&sofa, &short, 1, 0.3).decode.total_cycles();
-    let bw_short = engine.evaluate_on(&bitwave, &short, 1, 0.3).decode.total_cycles();
+    let sofa_long = engine
+        .evaluate_on(&sofa, &long, 1, 0.3)
+        .decode
+        .total_cycles();
+    let bw_long = engine
+        .evaluate_on(&bitwave, &long, 1, 0.3)
+        .decode
+        .total_cycles();
+    let sofa_short = engine
+        .evaluate_on(&sofa, &short, 1, 0.3)
+        .decode
+        .total_cycles();
+    let bw_short = engine
+        .evaluate_on(&bitwave, &short, 1, 0.3)
+        .decode
+        .total_cycles();
     // Long-sequence: SOFA's KV tiling matters; it must at least close the
     // gap relative to the short-sequence case.
     let rel_long = sofa_long / bw_long;
     let rel_short = sofa_short / bw_short;
-    assert!(rel_long < rel_short, "SOFA must look relatively better on long sequences");
+    assert!(
+        rel_long < rel_short,
+        "SOFA must look relatively better on long sequences"
+    );
 }
 
 #[test]
@@ -88,7 +134,10 @@ fn attention_keep_monotonically_helps_mcbp_decode() {
     let mut last = f64::INFINITY;
     for keep in [1.0, 0.6, 0.3, 0.15] {
         let t = engine.evaluate(&task, 1, keep).decode.total_cycles();
-        assert!(t <= last * 1.001, "keep {keep} regressed decode: {t} vs {last}");
+        assert!(
+            t <= last * 1.001,
+            "keep {keep} regressed decode: {t} vs {last}"
+        );
         last = t;
     }
 }

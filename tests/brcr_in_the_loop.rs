@@ -19,7 +19,9 @@ fn every_transformer_linear_runs_exactly_through_brcr() {
     for (idx, wq) in quant.weight_matrices().into_iter().enumerate() {
         let planes = BitPlanes::from_matrix(wq);
         // A representative activation vector in the unsigned INT8 domain.
-        let x: Vec<i32> = (0..wq.cols()).map(|i| ((i * 37 + idx) % 256) as i32).collect();
+        let x: Vec<i32> = (0..wq.cols())
+            .map(|i| ((i * 37 + idx) % 256) as i32)
+            .collect();
         let (via_brcr, ops) = engine.gemv(&planes, &x);
         let reference = wq.matvec(&x).expect("shape");
         assert_eq!(via_brcr, reference, "layer {idx} diverged");

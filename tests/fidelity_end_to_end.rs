@@ -44,7 +44,10 @@ fn alpha_controls_the_sparsity_fidelity_tradeoff() {
         kls.windows(2).all(|w| w[1] >= w[0] * 0.5),
         "fidelity should broadly degrade with pruning: {kls:?}"
     );
-    assert!(kls[2] > kls[0], "aggressive pruning must perturb more than mild");
+    assert!(
+        kls[2] > kls[0],
+        "aggressive pruning must perturb more than mild"
+    );
 }
 
 #[test]
@@ -72,5 +75,8 @@ fn standard_config_beats_aggressive_on_fidelity() {
     assert!(agg_stats.sparsity() >= std_stats.sparsity());
     let std_kl = fidelity::mean_kl_divergence(&fp, &std_logits);
     let agg_kl = fidelity::mean_kl_divergence(&fp, &agg_logits);
-    assert!(agg_kl >= std_kl * 0.8, "aggressive should not be meaningfully more faithful");
+    assert!(
+        agg_kl >= std_kl * 0.8,
+        "aggressive should not be meaningfully more faithful"
+    );
 }

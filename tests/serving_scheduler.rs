@@ -1,0 +1,148 @@
+//! Integration tests of the serving subsystem over the real cycle-level
+//! accelerator model: conservation, KV-budget safety, the continuous
+//! batching advantage on bursty traffic, and determinism.
+
+use mcbp::prelude::*;
+use mcbp::serve::{ArrivalProcess, LoadGenerator, ServeConfig, Workload};
+
+fn engine() -> Engine {
+    Engine::new(LlmConfig::opt1b3(), 7)
+}
+
+fn serve_task() -> Task {
+    Task::mnli().with_decode(24)
+}
+
+fn bursty(count: usize) -> Workload {
+    LoadGenerator::uniform(
+        serve_task(),
+        count,
+        ArrivalProcess::Bursty {
+            rate_rps: 6.0,
+            burst_factor: 10.0,
+            burst_len: 8,
+            seed: 21,
+        },
+    )
+    .generate()
+}
+
+/// Conservation: every admitted request completes with exactly its task's
+/// token count, under both schedulers.
+#[test]
+fn every_admitted_request_completes_with_exact_token_counts() {
+    let engine = engine();
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let load = bursty(16);
+    for (name, report) in [
+        ("fcfs", sim.run(&load, &mut FcfsScheduler::new())),
+        ("cb", sim.run(&load, &mut ContinuousBatchScheduler::new())),
+    ] {
+        assert_eq!(report.completed, 16, "{name}: all requests must complete");
+        assert_eq!(report.dropped, 0, "{name}");
+        assert_eq!(report.records.len(), 16, "{name}");
+        for rec in &report.records {
+            assert_eq!(
+                rec.tokens,
+                serve_task().decode_len,
+                "{name}: request {}",
+                rec.request.id
+            );
+            assert!(rec.completed_cycle >= rec.first_token_cycle, "{name}");
+            assert!(rec.first_token_cycle >= rec.admitted_cycle, "{name}");
+        }
+    }
+}
+
+/// The KV pool's byte budget is never exceeded, either by reservations
+/// (admission control) or by actual residency, even when the pool is far
+/// too small for the offered concurrency.
+#[test]
+fn kv_pool_budget_is_never_exceeded() {
+    let engine = engine();
+    let model = LlmConfig::opt1b3();
+    // Room for only two dense requests at a time.
+    let budget = model.kv_cache_bytes(serve_task().final_context(), 1) * 2;
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(budget),
+        ..ServeConfig::default()
+    };
+    let sim = engine.serve_sim(1.0, cfg);
+    let report = sim.run(&bursty(12), &mut ContinuousBatchScheduler::new());
+    assert_eq!(
+        report.completed, 12,
+        "tight pool must still drain the queue"
+    );
+    assert!(report.pool.peak_reserved_bytes <= report.pool.budget_bytes);
+    assert!(report.pool.peak_resident_bytes <= report.pool.budget_bytes);
+    assert!(
+        u64::from(report.peak_concurrency as u32) <= 2,
+        "{}",
+        report.peak_concurrency
+    );
+    assert!(
+        report.pool.admission_stall_seconds > 0.0,
+        "a 2-wide pool must stall admission"
+    );
+}
+
+/// Continuous batching sustains at least FCFS goodput on a bursty trace
+/// (strictly more here: bursts pile up decode streams it can coalesce).
+#[test]
+fn continuous_batching_beats_fcfs_on_bursty_traffic() {
+    let engine = engine();
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let load = bursty(24);
+    let fcfs = sim.run(&load, &mut FcfsScheduler::new());
+    let cb = sim.run(&load, &mut ContinuousBatchScheduler::new());
+    assert!(
+        cb.goodput_tokens_per_s > fcfs.goodput_tokens_per_s,
+        "cb {} vs fcfs {}",
+        cb.goodput_tokens_per_s,
+        fcfs.goodput_tokens_per_s
+    );
+    assert!(
+        cb.mean_decode_batch > 1.5,
+        "bursts must actually coalesce: {}",
+        cb.mean_decode_batch
+    );
+    assert!(
+        cb.ttft.p95 <= fcfs.ttft.p95,
+        "coalescing must not worsen tail TTFT here: cb {} vs fcfs {}",
+        cb.ttft.p95,
+        fcfs.ttft.p95
+    );
+}
+
+/// Identical seeds replay bit-identically: workload generation and the
+/// full serving simulation are pure functions of their seeds.
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let engine = engine();
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let a = sim.run(&bursty(12), &mut ContinuousBatchScheduler::new());
+    let b = sim.run(&bursty(12), &mut ContinuousBatchScheduler::new());
+    assert_eq!(a, b);
+    // And a different arrival seed produces a different (but valid) run.
+    let other = LoadGenerator::uniform(
+        serve_task(),
+        12,
+        ArrivalProcess::Bursty {
+            rate_rps: 6.0,
+            burst_factor: 10.0,
+            burst_len: 8,
+            seed: 22,
+        },
+    )
+    .generate();
+    let c = sim.run(&other, &mut ContinuousBatchScheduler::new());
+    assert_ne!(a.duration_seconds.to_bits(), c.duration_seconds.to_bits());
+}
+
+/// The serving experiments dispatch through the repro harness.
+#[test]
+fn serving_experiment_ids_dispatch() {
+    use mcbp_bench::experiments;
+    assert!(experiments::all_ids().contains(&"serving"));
+    assert!(experiments::all_ids().contains(&"serving_capacity"));
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small wall-clock benchmarking harness with the `criterion` API surface
+//! its benches use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Behaviour follows criterion's convention for `harness = false` targets:
+//! when cargo invokes the binary with `--bench` (i.e. `cargo bench`) each
+//! benchmark is warmed up and sampled repeatedly and a mean/min/max summary
+//! line is printed; under `cargo test` (no `--bench` argument) every
+//! benchmark body runs exactly once as a smoke test.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per configured iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation for a group (reported next to timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sampling: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` runs harness-less bench targets with `--bench`;
+        // `cargo test` runs them bare. Sample properly only when benching.
+        let sampling = std::env::args().any(|a| a == "--bench");
+        Criterion { sampling }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.sampling, id, None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// stand-in derives its own fixed sample budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.sampling, &label, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    sampling: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let iters = if sampling { 20 } else { 1 };
+    let mut b = Bencher {
+        iters,
+        samples: Vec::new(),
+    };
+    // Warm-up pass (results discarded) only when sampling.
+    if sampling {
+        let mut warm = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+        };
+        f(&mut warm);
+    }
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no measurement (closure never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mut line = format!(
+        "{label}: mean {:.3?} (min {:.3?}, max {:.3?}, n={})",
+        mean,
+        min,
+        max,
+        b.samples.len()
+    );
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Bytes(bytes) => {
+                let _ = write!(
+                    line,
+                    ", {:.1} MiB/s",
+                    bytes as f64 / secs / (1 << 20) as f64
+                );
+            }
+            Throughput::Elements(elems) => {
+                let _ = write!(line, ", {:.0} elem/s", elems as f64 / secs);
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_bench_once_without_bench_flag() {
+        let mut c = Criterion { sampling: false };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1024)).bench_with_input(
+                BenchmarkId::new("f", 3),
+                &3u32,
+                |b, &x| {
+                    b.iter(|| {
+                        calls += 1;
+                        x * 2
+                    });
+                },
+            );
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+}
