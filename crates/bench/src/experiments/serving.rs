@@ -1,12 +1,15 @@
 //! Serving-regime experiments: arrival rate × attention-keep × scheduler
 //! sweeps over the `mcbp::serve` subsystem, showing that continuous
 //! batching plus BGPP's KV pruning raises the sustainable request rate of
-//! one MCBP device.
+//! one MCBP device — and, under overload, that priority preemption
+//! protects interactive SLOs and that the drop-vs-swap eviction tradeoff
+//! crosses over with context length.
 
 use mcbp::prelude::*;
 use mcbp::serve::{
-    ArrivalProcess, ContinuousBatchScheduler, FcfsScheduler, LoadGenerator, Scheduler, ServeConfig,
-    ServeReport,
+    ArrivalProcess, ContinuousBatchScheduler, EvictionPolicy, FcfsScheduler, LoadGenerator,
+    PreemptConfig, Priority, PriorityScheduler, Request, RequestClass, Scheduler, ServeConfig,
+    ServeReport, Workload,
 };
 
 use crate::{f2, render_table, SEED};
@@ -148,9 +151,259 @@ pub fn serving_capacity() -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// serving_slo: preemption, priority classes, and SLO-aware goodput
+// ---------------------------------------------------------------------
+
+/// Interactive-class latency objectives of the SLO experiment: generous
+/// enough that an unloaded run meets them easily, tight enough that
+/// head-of-line blocking under overload misses them.
+const SLO_TTFT_S: f64 = 0.5;
+const SLO_TPOT_S: f64 = 0.05;
+
+/// The overloaded bursty trace: one interactive request (with TTFT/TPOT
+/// deadlines) per three batch-class requests, arriving in bursts well
+/// above what one device sustains on the tight pool.
+fn slo_trace() -> Workload {
+    LoadGenerator::uniform(
+        serve_task(),
+        32,
+        ArrivalProcess::Bursty {
+            rate_rps: 24.0,
+            burst_factor: 8.0,
+            burst_len: 8,
+            seed: SEED,
+        },
+    )
+    .with_classes(vec![
+        RequestClass::interactive(SLO_TTFT_S, SLO_TPOT_S),
+        RequestClass::batch(),
+        RequestClass::batch(),
+        RequestClass::batch(),
+    ])
+    .generate()
+}
+
+/// One point of the SLO comparison: the same trace and pool under one
+/// scheduler and one eviction policy.
+fn run_slo_point(
+    engine: &Engine,
+    budget: u64,
+    scheduler: &mut dyn Scheduler,
+    policy: EvictionPolicy,
+) -> ServeReport {
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(budget),
+        preempt: PreemptConfig {
+            policy,
+            ..PreemptConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    engine.serve_sim(0.3, cfg).run(&slo_trace(), scheduler)
+}
+
+/// A two-request contention scenario at one context scale: a batch-class
+/// request owns the pool when an interactive request arrives that cannot
+/// fit beside it — the admission must evict, and the eviction policy's
+/// overhead (replay vs transfer) is the measured quantity.
+fn contention_trace(victim_task: &Task) -> Workload {
+    let victim = Request::from_task(0, victim_task, 0.0);
+    let interactive = Request::from_task(1, &Task::cola().with_decode(8), 1.0e6)
+        .with_priority(Priority::Interactive)
+        .with_slo(mcbp::serve::SloSpec::interactive(SLO_TTFT_S, SLO_TPOT_S));
+    Workload {
+        requests: vec![victim, interactive],
+        closed_loop: None,
+    }
+}
+
+/// Runs one crossover point: the contention scenario under one eviction
+/// policy, on a pool sized to hold the victim xor the interactive request.
+fn run_crossover_point(engine: &Engine, victim_task: &Task, policy: EvictionPolicy) -> ServeReport {
+    let model = LlmConfig::opt1b3();
+    let keep = 0.3;
+    let budget = mcbp::serve::request_kv_bytes(&model, victim_task.final_context(), keep) + 4096;
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(budget),
+        preempt: PreemptConfig {
+            policy,
+            ..PreemptConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    engine.serve_sim(keep, cfg).run(
+        &contention_trace(victim_task),
+        &mut PriorityScheduler::new(),
+    )
+}
+
+/// The SLO/preemption experiment: (a) the same overloaded bursty trace
+/// under FCFS, plain continuous batching (both without preemption), and
+/// priority-aware continuous batching with drop-and-recompute or swap
+/// eviction — priority preemption is the only configuration that keeps
+/// the interactive class's SLO-goodput high; and (b) the drop-vs-swap
+/// eviction-overhead crossover: drop-and-recompute wins at short contexts
+/// (little KV to rebuild), swap wins at long contexts (moving O(c) bytes
+/// beats recomputing O(c²) attention). Every point replays byte-identically
+/// under the fixed seed; the rendered output asserts it.
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn serving_slo() -> String {
+    let model = LlmConfig::opt1b3();
+    let engine = Engine::new(model.clone(), SEED);
+    // A pool two dense requests wide: bursts oversubscribe it immediately.
+    let budget = tight_budget(&model, 2);
+
+    let fresh: fn(&str) -> Box<dyn Scheduler> = |kind| match kind {
+        "fcfs" => Box::new(FcfsScheduler::new()),
+        "cb" => Box::new(ContinuousBatchScheduler::new()),
+        _ => Box::new(PriorityScheduler::new()),
+    };
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for (name, kind, policy) in [
+        ("fcfs / no preempt", "fcfs", EvictionPolicy::None),
+        ("continuous / no preempt", "cb", EvictionPolicy::None),
+        (
+            "priority / drop-recompute",
+            "priority",
+            EvictionPolicy::DropRecompute,
+        ),
+        ("priority / swap", "priority", EvictionPolicy::Swap),
+    ] {
+        let r = run_slo_point(&engine, budget, fresh(kind).as_mut(), policy);
+        assert_eq!(
+            r,
+            run_slo_point(&engine, budget, fresh(kind).as_mut(), policy),
+            "{name} must replay byte-identically"
+        );
+        rows.push(vec![
+            name.to_owned(),
+            f2(r.slo_goodput_for(Priority::Interactive)),
+            f2(r.slo_goodput_for(Priority::Batch)),
+            f2(r.goodput_tokens_per_s),
+            format!("{}/{}", r.slo_met, r.completed),
+            format!("{}", r.preempt.preemptions),
+            format!("{:.3}", r.preempt.overhead_seconds()),
+        ]);
+    }
+    out.push_str(&render_table(
+        "serving SLO: overloaded bursty trace, 1:3 interactive:batch (OPT-1.3B, keep 0.3, replay-checked)",
+        &[
+            "scheduler / policy",
+            "inter slo tok/s",
+            "batch slo tok/s",
+            "tok/s",
+            "slo met",
+            "evict",
+            "evict s",
+        ],
+        &rows,
+    ));
+
+    let mut rows = Vec::new();
+    for (label, task) in [
+        ("short (MNLI, ctx 0.5k)", serve_task()),
+        ("long (Dolly, ctx 8k)", Task::dolly().with_decode(16)),
+    ] {
+        for policy in [EvictionPolicy::DropRecompute, EvictionPolicy::Swap] {
+            let r = run_crossover_point(&engine, &task, policy);
+            assert_eq!(
+                r,
+                run_crossover_point(&engine, &task, policy),
+                "crossover points must replay byte-identically"
+            );
+            rows.push(vec![
+                label.to_owned(),
+                match policy {
+                    EvictionPolicy::DropRecompute => "drop-recompute".to_owned(),
+                    _ => "swap".to_owned(),
+                },
+                format!("{}", r.preempt.preemptions),
+                format!("{:.4}", r.preempt.recompute_seconds),
+                format!("{:.4}", r.preempt.swap_seconds),
+                format!("{:.4}", r.preempt.overhead_seconds()),
+                format!("{:.4}", r.e2e.max),
+            ]);
+        }
+    }
+    out.push('\n');
+    out.push_str(&render_table(
+        "eviction crossover: drop-recompute wins short contexts, swap wins long (OPT-1.3B, keep 0.3)",
+        &[
+            "victim context",
+            "policy",
+            "evict",
+            "replay s",
+            "xfer s",
+            "overhead s",
+            "max e2e s",
+        ],
+        &rows,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn priority_preemption_wins_interactive_slo_goodput_under_overload() {
+        let model = LlmConfig::opt1b3();
+        let engine = Engine::new(model.clone(), SEED);
+        let budget = tight_budget(&model, 2);
+        let fcfs = run_slo_point(
+            &engine,
+            budget,
+            &mut FcfsScheduler::new(),
+            EvictionPolicy::None,
+        );
+        let cb = run_slo_point(
+            &engine,
+            budget,
+            &mut ContinuousBatchScheduler::new(),
+            EvictionPolicy::None,
+        );
+        let preempt = run_slo_point(
+            &engine,
+            budget,
+            &mut PriorityScheduler::new(),
+            EvictionPolicy::DropRecompute,
+        );
+        assert!(preempt.preempt.preemptions > 0, "overload must evict");
+        let inter = |r: &ServeReport| r.slo_goodput_for(Priority::Interactive);
+        assert!(
+            inter(&preempt) > inter(&cb) && inter(&preempt) > inter(&fcfs),
+            "priority preemption {} vs cb {} vs fcfs {}",
+            inter(&preempt),
+            inter(&cb),
+            inter(&fcfs)
+        );
+    }
+
+    #[test]
+    fn eviction_overhead_crosses_over_with_context() {
+        let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+        let short = serve_task();
+        let long = Task::dolly().with_decode(16);
+        let overhead = |task: &Task, policy| {
+            let r = run_crossover_point(&engine, task, policy);
+            assert!(r.preempt.preemptions > 0, "contention must evict");
+            assert_eq!(r.completed, 2, "both requests must still complete");
+            r.preempt.overhead_seconds()
+        };
+        assert!(
+            overhead(&short, EvictionPolicy::DropRecompute)
+                < overhead(&short, EvictionPolicy::Swap),
+            "drop-and-recompute must win at short contexts"
+        );
+        assert!(
+            overhead(&long, EvictionPolicy::Swap) < overhead(&long, EvictionPolicy::DropRecompute),
+            "swap must win at long contexts"
+        );
+    }
 
     #[test]
     fn serving_sweep_prefers_continuous_batching() {

@@ -3,7 +3,7 @@ use rand::{Rng, SeedableRng};
 
 use mcbp_workloads::Task;
 
-use crate::request::Request;
+use crate::request::{Priority, Request, SloSpec};
 use crate::CLOCK_HZ;
 
 /// How requests arrive on the simulated clock. Every process is driven by
@@ -40,6 +40,36 @@ pub enum ArrivalProcess {
         /// RNG seed for the inter-arrival draws.
         seed: u64,
     },
+}
+
+/// One slot of a [`LoadGenerator`]'s class mix: the scheduling class and
+/// latency objectives stamped onto generated requests. Like the task mix,
+/// the class mix cycles round-robin across requests (independently of the
+/// task cycle), so e.g. `[interactive, batch, batch, batch]` yields a
+/// 1-in-4 interactive share on any arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestClass {
+    /// Scheduling class of requests generated in this slot.
+    pub priority: Priority,
+    /// Latency objectives of requests generated in this slot.
+    pub slo: SloSpec,
+}
+
+impl RequestClass {
+    /// An [`Priority::Interactive`] slot with TTFT/TPOT deadlines.
+    #[must_use]
+    pub fn interactive(ttft_s: f64, tpot_s: f64) -> Self {
+        RequestClass {
+            priority: Priority::Interactive,
+            slo: SloSpec::interactive(ttft_s, tpot_s),
+        }
+    }
+
+    /// A [`Priority::Batch`] slot with no deadlines (the default).
+    #[must_use]
+    pub fn batch() -> Self {
+        RequestClass::default()
+    }
 }
 
 /// A fully materialized request trace ready to serve.
@@ -84,6 +114,9 @@ impl Workload {
 pub struct LoadGenerator {
     /// Task shapes cycled round-robin across generated requests.
     pub task_mix: Vec<Task>,
+    /// Scheduling classes cycled round-robin across generated requests
+    /// (independently of the task cycle).
+    pub class_mix: Vec<RequestClass>,
     /// Requests to generate.
     pub count: usize,
     /// Arrival process.
@@ -91,34 +124,47 @@ pub struct LoadGenerator {
 }
 
 impl LoadGenerator {
-    /// A generator serving one task shape.
+    /// A generator serving one task shape in the default batch class.
     #[must_use]
     pub fn uniform(task: Task, count: usize, process: ArrivalProcess) -> Self {
         LoadGenerator {
             task_mix: vec![task],
+            class_mix: vec![RequestClass::batch()],
             count,
             process,
         }
+    }
+
+    /// A copy stamping the given class mix onto generated requests.
+    #[must_use]
+    pub fn with_classes(mut self, class_mix: Vec<RequestClass>) -> Self {
+        self.class_mix = class_mix;
+        self
     }
 
     /// Materializes the request trace.
     ///
     /// # Panics
     ///
-    /// Panics if the task mix is empty, the count is zero, or an open-loop
-    /// rate is not positive.
+    /// Panics if the task or class mix is empty, the count is zero, or an
+    /// open-loop rate is not positive.
     #[must_use]
     pub fn generate(&self) -> Workload {
         assert!(!self.task_mix.is_empty(), "empty task mix");
+        assert!(!self.class_mix.is_empty(), "empty class mix");
         assert!(self.count > 0, "empty workload");
         let task = |i: usize| &self.task_mix[i % self.task_mix.len()];
+        let classed = |i: usize, r: Request| {
+            let class = &self.class_mix[i % self.class_mix.len()];
+            r.with_priority(class.priority).with_slo(class.slo)
+        };
         match &self.process {
             ArrivalProcess::ClosedLoop { concurrency } => {
                 assert!(*concurrency > 0, "closed loop needs concurrency >= 1");
                 let requests = (0..self.count)
                     .map(|i| {
                         let arrival = if i < *concurrency { 0.0 } else { f64::INFINITY };
-                        Request::from_task(i as u64, task(i), arrival)
+                        classed(i, Request::from_task(i as u64, task(i), arrival))
                     })
                     .collect();
                 Workload {
@@ -134,7 +180,7 @@ impl LoadGenerator {
                 let requests = (0..self.count)
                     .map(|i| {
                         now += exponential_gap(&mut rng, mean_gap);
-                        Request::from_task(i as u64, task(i), now)
+                        classed(i, Request::from_task(i as u64, task(i), now))
                     })
                     .collect();
                 Workload {
@@ -168,7 +214,7 @@ impl LoadGenerator {
                             in_burst_gap
                         };
                         now += exponential_gap(&mut rng, gap);
-                        Request::from_task(i as u64, task(i), now)
+                        classed(i, Request::from_task(i as u64, task(i), now))
                     })
                     .collect();
                 Workload {
@@ -273,6 +319,7 @@ mod tests {
     fn task_mix_round_robins() {
         let generator = LoadGenerator {
             task_mix: vec![Task::cola(), Task::dolly()],
+            class_mix: vec![RequestClass::batch()],
             count: 4,
             process: ArrivalProcess::ClosedLoop { concurrency: 4 },
         };
@@ -280,5 +327,36 @@ mod tests {
         assert_eq!(w.requests[0].task_name, "Cola");
         assert_eq!(w.requests[1].task_name, "Dolly");
         assert_eq!(w.requests[2].task_name, "Cola");
+    }
+
+    #[test]
+    fn class_mix_round_robins_independently_of_tasks() {
+        let generator = LoadGenerator {
+            task_mix: vec![Task::cola(), Task::dolly()],
+            class_mix: vec![
+                RequestClass::interactive(0.5, 0.05),
+                RequestClass::batch(),
+                RequestClass::batch(),
+            ],
+            count: 6,
+            process: ArrivalProcess::ClosedLoop { concurrency: 6 },
+        };
+        let w = generator.generate();
+        let classes: Vec<Priority> = w.requests.iter().map(|r| r.priority).collect();
+        assert_eq!(
+            classes,
+            vec![
+                Priority::Interactive,
+                Priority::Batch,
+                Priority::Batch,
+                Priority::Interactive,
+                Priority::Batch,
+                Priority::Batch,
+            ]
+        );
+        assert_eq!(w.requests[0].slo, SloSpec::interactive(0.5, 0.05));
+        assert_eq!(w.requests[1].slo, SloSpec::none());
+        // The 3-long class cycle is independent of the 2-long task cycle.
+        assert_eq!(w.requests[3].task_name, "Dolly");
     }
 }

@@ -46,8 +46,22 @@
 //! by the BGPP attention-keep ratio ([`request_kv_bytes`]). Reserving the
 //! peak makes the budget invariant unbreakable by decode-time growth;
 //! lowering the keep ratio shrinks every reservation and therefore raises
-//! admissible concurrency under the same budget. When the pool is full the
-//! queue head blocks (in-order admission), and the stall is reported.
+//! admissible concurrency under the same budget. Reservations are tracked
+//! per request in the pool's own ledger, so releases and evictions free
+//! exactly what was held. When the pool is full the best-ordered candidate
+//! blocks, and the stall is reported.
+//!
+//! **Priorities, preemption, SLOs.** Requests carry a scheduling class
+//! ([`Priority::Interactive`] outranks [`Priority::Batch`]) and optional
+//! TTFT/TPOT deadlines ([`SloSpec`]). Admission is priority-ordered, and
+//! under pool pressure an [`EvictionPolicy`] may *preempt* strictly
+//! lower-priority victims: drop-and-recompute discards their KV and
+//! replays the prefill on resume, while swap spills it over a host link
+//! and restores it later (see [`preempt`](crate::EvictionPolicy) for the
+//! cost tradeoff). [`ServeReport`] separates raw goodput from SLO-aware
+//! goodput (only SLO-met requests' tokens), per class via
+//! [`ServeReport::slo_goodput_for`]. The [`PriorityScheduler`] coalesces
+//! like continuous batching but never displaces interactive streams.
 //!
 //! **Fleets.** [`ServeConfig::fleet`] dispatches steps onto the §5.3
 //! multi-device scaling model ([`mcbp_workloads::Fleet`]): step latency
@@ -93,17 +107,22 @@
 mod arrival;
 mod cost;
 mod pool;
+mod preempt;
 mod report;
 mod request;
 mod scheduler;
 mod sim;
 
-pub use arrival::{ArrivalProcess, LoadGenerator, Workload};
+pub use arrival::{ArrivalProcess, LoadGenerator, RequestClass, Workload};
 pub use cost::{StepCost, StepCostModel};
-pub use pool::{request_kv_bytes, KvCachePool};
-pub use report::{LatencyStats, PoolReport, RunTotals, ServeReport};
-pub use request::{Request, RequestId, RequestRecord, RequestState};
-pub use scheduler::{ContinuousBatchScheduler, FcfsScheduler, SchedView, Scheduler, StepPlan};
+pub use pool::{request_kv_bytes, KvCachePool, Reservation};
+pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
+pub use report::{LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport};
+pub use request::{Priority, Request, RequestId, RequestRecord, RequestState, SloSpec};
+pub use scheduler::{
+    ContinuousBatchScheduler, FcfsScheduler, PriorityScheduler, SchedEntry, SchedView, Scheduler,
+    StepPlan,
+};
 pub use sim::{ServeConfig, ServeSim};
 
 /// The simulated core clock in Hz (1 GHz, matching the cycle model).

@@ -1,13 +1,33 @@
+use std::collections::BTreeMap;
+
 use mcbp_mem::HbmConfig;
 use mcbp_model::LlmConfig;
 
-/// Byte-budgeted KV-cache pool with conservative peak reservations.
+use crate::request::RequestId;
+
+/// One request's slice of the pool: its admission-time reservation and the
+/// bytes it has actually materialized so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reservation {
+    /// Bytes reserved at admission (the request's peak residency).
+    pub reserved_bytes: u64,
+    /// Bytes currently resident (grows token by token, never past the
+    /// reservation).
+    pub resident_bytes: u64,
+}
+
+/// Byte-budgeted KV-cache pool with conservative peak reservations,
+/// tracked per request.
 ///
 /// Admission control reserves a request's **peak** residency (its KV bytes
 /// at final context, scaled by the BGPP attention-keep ratio) up front, so
 /// the pool can never be driven over budget by decode-time growth — the
-/// invariant the serving integration tests check. Actual residency is
-/// tracked separately and integrated over time for occupancy reporting.
+/// invariant the serving integration and property tests check. Every
+/// reservation is keyed by [`RequestId`] in an internal ledger, so release
+/// amounts are taken from the ledger rather than trusted from the caller:
+/// accounting cannot drift even if a caller's own bookkeeping disagrees.
+/// Actual residency is tracked separately and integrated over time for
+/// occupancy reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KvCachePool {
     budget_bytes: u64,
@@ -17,6 +37,7 @@ pub struct KvCachePool {
     peak_reserved_bytes: u64,
     occupancy_integral: f64,
     last_update_cycle: f64,
+    ledger: BTreeMap<RequestId, Reservation>,
 }
 
 impl KvCachePool {
@@ -31,6 +52,7 @@ impl KvCachePool {
             peak_reserved_bytes: 0,
             occupancy_integral: 0.0,
             last_update_cycle: 0.0,
+            ledger: BTreeMap::new(),
         }
     }
 
@@ -83,7 +105,19 @@ impl KvCachePool {
     /// Whether nothing is admitted.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.reserved_bytes == 0
+        self.ledger.is_empty()
+    }
+
+    /// Requests currently holding a reservation.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// This request's ledger entry, if it holds a reservation.
+    #[must_use]
+    pub fn reservation(&self, id: RequestId) -> Option<Reservation> {
+        self.ledger.get(&id).copied()
     }
 
     /// Whether a request with the given peak residency can ever be admitted
@@ -93,43 +127,69 @@ impl KvCachePool {
         peak_bytes <= self.budget_bytes
     }
 
-    /// Attempts to reserve `peak_bytes` for an incoming request.
-    pub fn try_reserve(&mut self, peak_bytes: u64) -> bool {
+    /// Attempts to reserve `peak_bytes` for request `id`. Returns `false`
+    /// (and changes nothing) if the budget has no room.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` already holds a reservation (an accounting bug: a
+    /// request must be released or evicted before it is admitted again).
+    pub fn try_reserve(&mut self, id: RequestId, peak_bytes: u64) -> bool {
         if self.reserved_bytes + peak_bytes > self.budget_bytes {
             return false;
         }
+        let prior = self.ledger.insert(
+            id,
+            Reservation {
+                reserved_bytes: peak_bytes,
+                resident_bytes: 0,
+            },
+        );
+        assert!(prior.is_none(), "request {id} reserved twice");
         self.reserved_bytes += peak_bytes;
         self.peak_reserved_bytes = self.peak_reserved_bytes.max(self.reserved_bytes);
         true
     }
 
-    /// Releases a reservation and whatever residency the request still
-    /// holds (on completion or drop).
+    /// Releases request `id`'s reservation and whatever residency it still
+    /// holds (on completion, drop, or eviction), returning the freed ledger
+    /// entry. The freed amounts come from the ledger, not the caller, so a
+    /// release can never understate or overstate what the request held.
     ///
     /// # Panics
     ///
-    /// Panics if more is released than is held (an accounting bug).
-    pub fn release(&mut self, peak_bytes: u64, resident_bytes: u64) {
-        assert!(self.reserved_bytes >= peak_bytes, "reservation underflow");
-        assert!(self.resident_bytes >= resident_bytes, "residency underflow");
-        self.reserved_bytes -= peak_bytes;
-        self.resident_bytes -= resident_bytes;
+    /// Panics if `id` holds no reservation.
+    pub fn release(&mut self, id: RequestId) -> Reservation {
+        let entry = self
+            .ledger
+            .remove(&id)
+            .expect("released a request with no reservation");
+        self.reserved_bytes -= entry.reserved_bytes;
+        self.resident_bytes -= entry.resident_bytes;
+        entry
     }
 
-    /// Grows actual residency (prompt admission or one decoded token).
+    /// Grows request `id`'s residency by `bytes` (prompt admission, a
+    /// decoded token, or a swap-in restore).
     ///
     /// # Panics
     ///
-    /// Panics if residency would exceed reservations — the conservative
-    /// peak reservation makes that impossible for well-formed callers.
-    pub fn grow_resident(&mut self, bytes: u64) {
-        self.resident_bytes += bytes;
+    /// Panics if `id` holds no reservation, or if its residency would
+    /// exceed its own reservation — the conservative peak reservation
+    /// makes that impossible for well-formed callers.
+    pub fn grow_resident(&mut self, id: RequestId, bytes: u64) {
+        let entry = self
+            .ledger
+            .get_mut(&id)
+            .expect("grew a request with no reservation");
+        entry.resident_bytes += bytes;
         assert!(
-            self.resident_bytes <= self.reserved_bytes,
-            "residency {} exceeded reservations {}",
-            self.resident_bytes,
-            self.reserved_bytes
+            entry.resident_bytes <= entry.reserved_bytes,
+            "request {id} residency {} exceeded its reservation {}",
+            entry.resident_bytes,
+            entry.reserved_bytes
         );
+        self.resident_bytes += bytes;
         self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
     }
 
@@ -179,15 +239,56 @@ mod tests {
     #[test]
     fn reservation_admission_and_release() {
         let mut pool = KvCachePool::with_budget(1000);
-        assert!(pool.try_reserve(600));
-        assert!(!pool.try_reserve(500), "over-budget admission must fail");
-        assert!(pool.try_reserve(400));
-        pool.grow_resident(300);
+        assert!(pool.try_reserve(1, 600));
+        assert!(!pool.try_reserve(2, 500), "over-budget admission must fail");
+        assert!(pool.try_reserve(2, 400));
+        pool.grow_resident(1, 300);
         assert_eq!(pool.resident_bytes(), 300);
-        pool.release(600, 300);
+        assert_eq!(pool.in_flight(), 2);
+        let freed = pool.release(1);
+        assert_eq!(freed.reserved_bytes, 600);
+        assert_eq!(freed.resident_bytes, 300);
         assert_eq!(pool.reserved_bytes(), 400);
-        assert!(pool.try_reserve(500));
+        assert_eq!(pool.resident_bytes(), 0);
+        assert!(pool.try_reserve(3, 500));
         assert_eq!(pool.peak_reserved_bytes(), 1000);
+        assert_eq!(pool.reservation(2).unwrap().reserved_bytes, 400);
+        assert!(pool.reservation(1).is_none());
+    }
+
+    #[test]
+    fn release_amounts_come_from_the_ledger() {
+        // The caller cannot misstate a release: the pool frees exactly
+        // what its ledger recorded for the request.
+        let mut pool = KvCachePool::with_budget(100);
+        assert!(pool.try_reserve(9, 60));
+        pool.grow_resident(9, 10);
+        pool.grow_resident(9, 25);
+        let freed = pool.release(9);
+        assert_eq!((freed.reserved_bytes, freed.resident_bytes), (60, 35));
+        assert!(pool.is_idle());
+        assert_eq!(pool.reserved_bytes(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reservation")]
+    fn double_release_is_an_accounting_bug() {
+        let mut pool = KvCachePool::with_budget(100);
+        assert!(pool.try_reserve(1, 50));
+        pool.release(1);
+        pool.release(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its reservation")]
+    fn per_request_growth_is_capped_by_its_own_reservation() {
+        // Even with global headroom, one request cannot grow past its own
+        // reservation (it would be stealing another request's bytes).
+        let mut pool = KvCachePool::with_budget(1000);
+        assert!(pool.try_reserve(1, 100));
+        assert!(pool.try_reserve(2, 100));
+        pool.grow_resident(1, 101);
     }
 
     #[test]
@@ -203,9 +304,9 @@ mod tests {
     #[test]
     fn occupancy_integrates_over_time() {
         let mut pool = KvCachePool::with_budget(100);
-        assert!(pool.try_reserve(100));
+        assert!(pool.try_reserve(1, 100));
         pool.advance_clock(10.0);
-        pool.grow_resident(50);
+        pool.grow_resident(1, 50);
         pool.advance_clock(20.0);
         // 0 bytes for 10 cycles, 50 bytes for 10 cycles → mean 25.
         assert!((pool.mean_resident_bytes() - 25.0).abs() < 1e-9);

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::request::RequestRecord;
+use crate::request::{Priority, RequestRecord};
 use crate::CLOCK_HZ;
 
 /// Latency distribution summary in seconds.
@@ -70,6 +70,33 @@ impl PoolReport {
     }
 }
 
+/// Preemption/eviction statistics of one serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PreemptReport {
+    /// Victim evictions performed (one request may be counted repeatedly).
+    pub preemptions: u64,
+    /// KV bytes copied device → host by swap evictions.
+    pub swap_out_bytes: u64,
+    /// KV bytes copied host → device by swap resumes.
+    pub swap_in_bytes: u64,
+    /// Device stall charged to host-link swap transfers, in seconds.
+    pub swap_seconds: f64,
+    /// Prefill time spent replaying evicted KV (drop-and-recompute
+    /// resumes), in seconds.
+    pub recompute_seconds: f64,
+    /// Highest host-memory residency the swap ledger observed.
+    pub peak_swap_held_bytes: u64,
+}
+
+impl PreemptReport {
+    /// Total eviction overhead: swap transfers plus recompute replays, in
+    /// seconds — the quantity the drop-vs-swap crossover compares.
+    #[must_use]
+    pub fn overhead_seconds(&self) -> f64 {
+        self.swap_seconds + self.recompute_seconds
+    }
+}
+
 /// Aggregate results of one serving simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -89,6 +116,12 @@ pub struct ServeReport {
     pub e2e: LatencyStats,
     /// Decoded tokens of completed requests per second.
     pub goodput_tokens_per_s: f64,
+    /// Completed requests that met every declared SLO deadline.
+    pub slo_met: usize,
+    /// SLO-aware goodput: decoded tokens of SLO-met completed requests
+    /// per second. Tokens delivered past their deadlines count toward
+    /// [`ServeReport::goodput_tokens_per_s`] but not here.
+    pub slo_goodput_tokens_per_s: f64,
     /// Completed requests per second.
     pub throughput_rps: f64,
     /// Offered arrival rate (open-loop traces only).
@@ -101,6 +134,8 @@ pub struct ServeReport {
     pub energy_joules: f64,
     /// KV-pool statistics.
     pub pool: PoolReport,
+    /// Preemption/eviction statistics.
+    pub preempt: PreemptReport,
     /// Per-request timelines (completed and dropped).
     pub records: Vec<RequestRecord>,
 }
@@ -118,6 +153,8 @@ pub struct RunTotals {
     pub energy_pj: f64,
     /// Offered arrival rate (open-loop traces only).
     pub offered_rps: Option<f64>,
+    /// Preemption/eviction statistics.
+    pub preempt: PreemptReport,
 }
 
 impl ServeReport {
@@ -135,11 +172,18 @@ impl ServeReport {
             peak_concurrency,
             energy_pj,
             offered_rps,
+            preempt,
         } = totals;
         let completed: Vec<&RequestRecord> = records
             .iter()
             .filter(|r| matches!(r.state, crate::RequestState::Completed))
             .collect();
+        let slo_met = completed.iter().filter(|r| r.slo_met()).count();
+        let slo_tokens: usize = completed
+            .iter()
+            .filter(|r| r.slo_met())
+            .map(|r| r.tokens)
+            .sum();
         let dropped = records.len() - completed.len();
         let duration_seconds = duration_cycles / CLOCK_HZ;
         let tokens: usize = completed.iter().map(|r| r.tokens).sum();
@@ -168,14 +212,42 @@ impl ServeReport {
             tpot,
             e2e,
             goodput_tokens_per_s: tokens as f64 / span,
+            slo_met,
+            slo_goodput_tokens_per_s: slo_tokens as f64 / span,
             throughput_rps: completed.len() as f64 / span,
             offered_rps,
             mean_decode_batch,
             peak_concurrency,
             energy_joules: energy_pj * 1e-12,
             pool,
+            preempt,
             records,
         }
+    }
+
+    /// SLO-aware goodput restricted to one priority class: decoded tokens
+    /// of SLO-met completed requests of that class per second of simulated
+    /// time.
+    #[must_use]
+    pub fn slo_goodput_for(&self, priority: Priority) -> f64 {
+        let tokens: usize = self
+            .records
+            .iter()
+            .filter(|r| r.request.priority == priority && r.slo_met())
+            .map(|r| r.tokens)
+            .sum();
+        tokens as f64 / self.duration_seconds.max(1e-12)
+    }
+
+    /// Completed requests in one priority class.
+    #[must_use]
+    pub fn completed_for(&self, priority: Priority) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.request.priority == priority && matches!(r.state, crate::RequestState::Completed)
+            })
+            .count()
     }
 }
 
@@ -198,6 +270,22 @@ impl fmt::Display for ServeReport {
             "  goodput: {:.1} tok/s   throughput: {:.2} req/s   mean decode batch: {:.2}   peak concurrency: {}",
             self.goodput_tokens_per_s, self.throughput_rps, self.mean_decode_batch, self.peak_concurrency
         )?;
+        writeln!(
+            f,
+            "  slo: {}/{} requests met, slo-goodput {:.1} tok/s",
+            self.slo_met, self.completed, self.slo_goodput_tokens_per_s
+        )?;
+        if self.preempt.preemptions > 0 {
+            writeln!(
+                f,
+                "  preempt: {} evictions, swap {:.2} MiB out / {:.2} MiB in ({:.3} s), recompute {:.3} s",
+                self.preempt.preemptions,
+                self.preempt.swap_out_bytes as f64 / f64::from(1u32 << 20),
+                self.preempt.swap_in_bytes as f64 / f64::from(1u32 << 20),
+                self.preempt.swap_seconds,
+                self.preempt.recompute_seconds
+            )?;
+        }
         writeln!(
             f,
             "  ttft  ms: mean {:8.2}  p50 {:8.2}  p95 {:8.2}  p99 {:8.2}",

@@ -3,8 +3,70 @@ use mcbp_workloads::Task;
 /// Identifier of one request within a [`crate::Workload`].
 pub type RequestId = u64;
 
+/// Scheduling class of a request. Ordered: [`Priority::Interactive`]
+/// outranks [`Priority::Batch`], and the preemption subsystem only ever
+/// evicts victims of *strictly lower* priority than the request being
+/// admitted (equal-priority preemption would thrash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Throughput-oriented background work: admitted opportunistically,
+    /// first in line for eviction. The default class.
+    #[default]
+    Batch = 0,
+    /// Latency-sensitive foreground traffic: admitted first and may
+    /// preempt `Batch` victims under pool pressure.
+    Interactive = 1,
+}
+
+impl Priority {
+    /// Short display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Interactive => "interactive",
+        }
+    }
+}
+
+/// Per-request latency objectives, in seconds of simulated time. `None`
+/// deadlines are trivially met; [`SloSpec::default`] declares none, so
+/// every completed request without explicit deadlines counts toward
+/// SLO-aware goodput.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSpec {
+    /// Time-to-first-token deadline in seconds.
+    pub ttft_s: Option<f64>,
+    /// Mean time-per-output-token deadline in seconds.
+    pub tpot_s: Option<f64>,
+}
+
+impl SloSpec {
+    /// No deadlines (always met).
+    #[must_use]
+    pub fn none() -> Self {
+        SloSpec::default()
+    }
+
+    /// Both deadlines set — the usual interactive-class objective.
+    #[must_use]
+    pub fn interactive(ttft_s: f64, tpot_s: f64) -> Self {
+        SloSpec {
+            ttft_s: Some(ttft_s),
+            tpot_s: Some(tpot_s),
+        }
+    }
+
+    /// Whether measured latencies satisfy every declared deadline.
+    #[must_use]
+    pub fn met(&self, ttft_s: f64, tpot_s: f64) -> bool {
+        self.ttft_s.is_none_or(|d| ttft_s <= d) && self.tpot_s.is_none_or(|d| tpot_s <= d)
+    }
+}
+
 /// One inference request: a prompt to prefill and a number of tokens to
-/// decode, with an arrival time on the simulated clock.
+/// decode, with an arrival time on the simulated clock, a scheduling
+/// priority, and optional latency SLOs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Stable id (index order of generation).
@@ -18,10 +80,15 @@ pub struct Request {
     pub decode_len: usize,
     /// Task name the request was derived from (for reporting).
     pub task_name: &'static str,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Latency objectives.
+    pub slo: SloSpec,
 }
 
 impl Request {
-    /// Builds a request from a benchmark [`Task`] shape.
+    /// Builds a request from a benchmark [`Task`] shape, in the default
+    /// [`Priority::Batch`] class with no SLOs.
     #[must_use]
     pub fn from_task(id: RequestId, task: &Task, arrival_cycle: f64) -> Self {
         Request {
@@ -30,7 +97,23 @@ impl Request {
             prompt_len: task.prompt_len,
             decode_len: task.decode_len,
             task_name: task.name,
+            priority: Priority::default(),
+            slo: SloSpec::default(),
         }
+    }
+
+    /// A copy in the given scheduling class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// A copy with the given latency objectives.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
     }
 
     /// Context length once generation completes.
@@ -40,7 +123,12 @@ impl Request {
     }
 }
 
-/// Lifecycle of a request inside the serving simulator.
+/// Lifecycle of a request inside the serving simulator: `Queued →
+/// AwaitingPrefill → Decoding → Completed` (or `Dropped` if its KV
+/// footprint can never fit). Preemption loops a request back: an evicted
+/// victim returns to `Queued` and, once re-admitted, to `AwaitingPrefill`
+/// (drop-and-recompute replays the prefill) or straight to `Decoding`
+/// (swap restores its KV from host memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestState {
     /// Arrived, not yet admitted (waiting for KV-pool reservation).
@@ -66,9 +154,9 @@ pub struct RequestRecord {
     pub request: Request,
     /// Final state ([`RequestState::Completed`] or [`RequestState::Dropped`]).
     pub state: RequestState,
-    /// When the KV-pool reservation succeeded. For a dropped request this
-    /// is the rejection instant (as are the other cycle fields), so its
-    /// latency accessors are not meaningful and aggregate latency/stall
+    /// When the KV-pool reservation first succeeded. For a dropped request
+    /// this is the rejection instant (as are the other cycle fields), so
+    /// its latency accessors are not meaningful and aggregate latency/stall
     /// statistics are computed over completed requests only.
     pub admitted_cycle: f64,
     /// When the first decoded token completed (TTFT reference point).
@@ -77,6 +165,8 @@ pub struct RequestRecord {
     pub completed_cycle: f64,
     /// Tokens actually decoded.
     pub tokens: usize,
+    /// Times this request was evicted from the pool and later resumed.
+    pub preemptions: usize,
 }
 
 impl RequestRecord {
@@ -118,6 +208,25 @@ impl RequestRecord {
     pub fn e2e_cycles(&self) -> f64 {
         self.completed_cycle - self.arrival_cycle()
     }
+
+    /// Whether the request completed within every deadline it declared.
+    /// Dropped requests never meet their SLO. A single-token request has
+    /// no inter-token gaps, so its TPOT deadline is trivially met — the
+    /// [`RequestRecord::tpot_cycles`] TTFT fallback is a reporting
+    /// convention and must not gate the SLO.
+    #[must_use]
+    pub fn slo_met(&self) -> bool {
+        let tpot_s = if self.tokens > 1 {
+            self.tpot_cycles() / crate::CLOCK_HZ
+        } else {
+            0.0
+        };
+        matches!(self.state, RequestState::Completed)
+            && self
+                .request
+                .slo
+                .met(self.ttft_cycles() / crate::CLOCK_HZ, tpot_s)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +240,23 @@ mod tests {
         assert_eq!(r.decode_len, 1024);
         assert_eq!(r.final_context(), 2048);
         assert_eq!(r.task_name, "MBPP");
+        assert_eq!(r.priority, Priority::Batch);
+        assert_eq!(r.slo, SloSpec::none());
+    }
+
+    #[test]
+    fn priority_orders_interactive_above_batch() {
+        assert!(Priority::Interactive > Priority::Batch);
+        assert_eq!(Priority::default(), Priority::Batch);
+    }
+
+    #[test]
+    fn slo_deadlines_gate_on_both_axes() {
+        let slo = SloSpec::interactive(0.5, 0.05);
+        assert!(slo.met(0.5, 0.05));
+        assert!(!slo.met(0.51, 0.01));
+        assert!(!slo.met(0.1, 0.06));
+        assert!(SloSpec::none().met(1e9, 1e9));
     }
 
     #[test]
@@ -142,10 +268,53 @@ mod tests {
             first_token_cycle: 1100.0,
             completed_cycle: 2600.0,
             tokens: 16,
+            preemptions: 0,
         };
         assert!((rec.admission_stall_cycles() - 200.0).abs() < 1e-12);
         assert!((rec.ttft_cycles() - 1000.0).abs() < 1e-12);
         assert!((rec.tpot_cycles() - 100.0).abs() < 1e-12);
         assert!((rec.e2e_cycles() - 2500.0).abs() < 1e-12);
+        assert!(rec.slo_met(), "no declared deadlines are trivially met");
+    }
+
+    #[test]
+    fn record_slo_uses_declared_deadlines() {
+        let mut rec = RequestRecord {
+            request: Request::from_task(0, &Task::cola(), 0.0)
+                .with_priority(Priority::Interactive)
+                .with_slo(SloSpec::interactive(1e-6, 1e-7)),
+            state: RequestState::Completed,
+            admitted_cycle: 0.0,
+            first_token_cycle: 900.0, // 0.9 us TTFT
+            completed_cycle: 2400.0,  // 0.1 us TPOT over 16 tokens
+            tokens: 16,
+            preemptions: 1,
+        };
+        assert!(rec.slo_met());
+        rec.request.slo = SloSpec::interactive(1e-6, 0.9e-7);
+        assert!(!rec.slo_met(), "TPOT deadline must gate");
+        rec.state = RequestState::Dropped;
+        rec.request.slo = SloSpec::none();
+        assert!(!rec.slo_met(), "dropped requests never meet an SLO");
+    }
+
+    #[test]
+    fn single_token_request_has_no_tpot_gaps_to_miss() {
+        // One decoded token means no inter-token interval exists; only the
+        // TTFT deadline can gate. The tpot_cycles() TTFT fallback must not
+        // be compared against the (much tighter) TPOT deadline.
+        let mut rec = RequestRecord {
+            request: Request::from_task(0, &Task::cola().with_decode(1), 0.0)
+                .with_slo(SloSpec::interactive(1e-6, 1e-9)),
+            state: RequestState::Completed,
+            admitted_cycle: 0.0,
+            first_token_cycle: 900.0, // 0.9 us TTFT, within the 1 us deadline
+            completed_cycle: 900.0,
+            tokens: 1,
+            preemptions: 0,
+        };
+        assert!(rec.slo_met(), "TPOT cannot be missed with a single token");
+        rec.request.slo = SloSpec::interactive(0.8e-6, 1e-9);
+        assert!(!rec.slo_met(), "the TTFT deadline still gates");
     }
 }

@@ -1,15 +1,28 @@
-use crate::request::RequestId;
+use crate::request::{Priority, RequestId};
+
+/// One schedulable request as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedEntry {
+    /// Request id.
+    pub id: RequestId,
+    /// For a waiting prefill: the context the prefill must cover (the
+    /// prompt, plus any already-generated tokens when a drop-and-recompute
+    /// victim replays). For a decoding stream: its current context.
+    pub len: usize,
+    /// Scheduling class.
+    pub priority: Priority,
+}
 
 /// What the scheduler can see when planning the next step: admitted
 /// requests awaiting prefill and requests mid-decode, both in admission
 /// order, plus the configured coalescing width.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedView<'a> {
-    /// Admitted requests whose prompt has not been processed:
-    /// `(id, prompt_len)` in admission order.
-    pub waiting_prefill: &'a [(RequestId, usize)],
-    /// Requests mid-decode: `(id, current_context)` in admission order.
-    pub decoding: &'a [(RequestId, usize)],
+    /// Admitted requests whose prompt has not been processed, in admission
+    /// order.
+    pub waiting_prefill: &'a [SchedEntry],
+    /// Requests mid-decode, in admission order.
+    pub decoding: &'a [SchedEntry],
     /// Maximum streams one batched invocation may coalesce.
     pub max_batch: usize,
 }
@@ -47,7 +60,8 @@ pub trait Scheduler {
 /// admitted request is served alone — its prompt, then every decode step
 /// at batch 1 — before the next request starts. This is the classic
 /// static-serving baseline: weight streaming is never amortized across
-/// streams, and a long generation head-of-line-blocks the queue.
+/// streams, and a long generation head-of-line-blocks the queue. Priority
+/// classes are ignored.
 #[derive(Debug, Clone, Default)]
 pub struct FcfsScheduler {
     current: Option<RequestId>,
@@ -68,21 +82,21 @@ impl Scheduler for FcfsScheduler {
 
     fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
         if let Some(id) = self.current {
-            if let Some(&(id, _)) = view.decoding.iter().find(|(d, _)| *d == id) {
-                return StepPlan::Decode(vec![id]);
+            if let Some(entry) = view.decoding.iter().find(|e| e.id == id) {
+                return StepPlan::Decode(vec![entry.id]);
             }
-            self.current = None; // finished
+            self.current = None; // finished (or preempted out of the views)
         }
         // Oldest admitted request next: a decoding stream always predates
         // any waiting prefill (admission order).
         match (view.waiting_prefill.first(), view.decoding.first()) {
-            (_, Some(&(d, _))) => {
-                self.current = Some(d);
-                StepPlan::Decode(vec![d])
+            (_, Some(d)) => {
+                self.current = Some(d.id);
+                StepPlan::Decode(vec![d.id])
             }
-            (Some(&(p, _)), None) => {
-                self.current = Some(p);
-                StepPlan::Prefill(vec![p])
+            (Some(p), None) => {
+                self.current = Some(p.id);
+                StepPlan::Prefill(vec![p.id])
             }
             (None, None) => StepPlan::Idle,
         }
@@ -94,7 +108,8 @@ impl Scheduler for FcfsScheduler {
 /// invocation, and newly admitted prompts join the running batch at the
 /// next tick boundary instead of waiting for a drain. Prefills take
 /// priority while the decode batch has spare width, so arriving streams
-/// start contributing to coalescing as early as possible.
+/// start contributing to coalescing as early as possible. Priority classes
+/// are ignored (see [`PriorityScheduler`] for the class-aware variant).
 #[derive(Debug, Clone, Default)]
 pub struct ContinuousBatchScheduler {
     rotate: usize,
@@ -120,29 +135,116 @@ impl Scheduler for ContinuousBatchScheduler {
         // well-defined by a single prompt length.
         if !view.waiting_prefill.is_empty() && view.decoding.len() < width {
             let spare = width - view.decoding.len();
-            let lead = view.waiting_prefill[0].1;
+            let lead = view.waiting_prefill[0].len;
             let ids: Vec<RequestId> = view
                 .waiting_prefill
                 .iter()
-                .filter(|(_, p)| *p == lead)
+                .filter(|e| e.len == lead)
                 .take(spare)
-                .map(|(id, _)| *id)
+                .map(|e| e.id)
                 .collect();
             return StepPlan::Prefill(ids);
         }
         if view.decoding.is_empty() {
             return StepPlan::Idle;
         }
-        // Coalesce up to `width` streams; rotate the window start so
-        // oversubscribed pools round-robin fairly instead of starving the
-        // tail of the admission order.
-        let n = view.decoding.len();
-        let take = n.min(width);
-        let start = if n > take { self.rotate % n } else { 0 };
-        self.rotate = self.rotate.wrapping_add(take);
-        let ids = (0..take)
-            .map(|i| view.decoding[(start + i) % n].0)
+        StepPlan::Decode(rotate_take(&mut self.rotate, view.decoding, width))
+    }
+}
+
+/// Takes up to `take` ids from `list` starting at a rotating offset
+/// (identity when the list fits entirely), advancing the rotation counter.
+/// The rotating window is how both coalescing schedulers round-robin an
+/// oversubscribed pool fairly instead of starving the tail of the
+/// admission order.
+fn rotate_take(rotate: &mut usize, list: &[SchedEntry], take: usize) -> Vec<RequestId> {
+    let n = list.len();
+    if n == 0 || take == 0 {
+        return Vec::new();
+    }
+    let take = take.min(n);
+    let start = if n > take { *rotate % n } else { 0 };
+    *rotate = rotate.wrapping_add(take);
+    (0..take).map(|i| list[(start + i) % n].id).collect()
+}
+
+/// Priority-aware continuous batching: the same iteration-level coalescing
+/// as [`ContinuousBatchScheduler`], but when the machine is oversubscribed
+/// the [`Priority::Interactive`] class is served first — interactive
+/// prefills win the spare width, and interactive decode streams are never
+/// displaced from a full batch by batch-class streams. Within each class
+/// the window rotates round-robin so no stream starves its own class.
+/// (Eviction of batch-class victims under *pool* pressure is the
+/// simulator's job, driven by [`crate::PreemptConfig`]; this scheduler
+/// decides only what each accelerator invocation coalesces.)
+#[derive(Debug, Clone, Default)]
+pub struct PriorityScheduler {
+    rotate_interactive: usize,
+    rotate_batch: usize,
+}
+
+impl PriorityScheduler {
+    /// A fresh priority scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        PriorityScheduler::default()
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn name(&self) -> &str {
+        "priority-cb"
+    }
+
+    fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
+        let width = view.max_batch.max(1);
+        if !view.waiting_prefill.is_empty() && view.decoding.len() < width {
+            let spare = width - view.decoding.len();
+            // Serve the highest waiting class; within it, batch prompts
+            // matching the class's first prompt length (one invocation's
+            // cost must be defined by a single length).
+            let best = view
+                .waiting_prefill
+                .iter()
+                .map(|e| e.priority)
+                .max()
+                .expect("non-empty");
+            let lead = view
+                .waiting_prefill
+                .iter()
+                .find(|e| e.priority == best)
+                .expect("class present")
+                .len;
+            let ids: Vec<RequestId> = view
+                .waiting_prefill
+                .iter()
+                .filter(|e| e.priority == best && e.len == lead)
+                .take(spare)
+                .map(|e| e.id)
+                .collect();
+            return StepPlan::Prefill(ids);
+        }
+        if view.decoding.is_empty() {
+            return StepPlan::Idle;
+        }
+        // Fill the batch interactive-first, then pad with batch-class
+        // streams; rotate within each class when it alone oversubscribes
+        // its share of the width.
+        let interactive: Vec<SchedEntry> = view
+            .decoding
+            .iter()
+            .filter(|e| e.priority == Priority::Interactive)
+            .copied()
             .collect();
+        let background: Vec<SchedEntry> = view
+            .decoding
+            .iter()
+            .filter(|e| e.priority == Priority::Batch)
+            .copied()
+            .collect();
+        let mut ids = rotate_take(&mut self.rotate_interactive, &interactive, width);
+        let spare = width - ids.len();
+        ids.extend(rotate_take(&mut self.rotate_batch, &background, spare));
         StepPlan::Decode(ids)
     }
 }
@@ -151,24 +253,40 @@ impl Scheduler for ContinuousBatchScheduler {
 mod tests {
     use super::*;
 
+    fn entry(id: RequestId, len: usize) -> SchedEntry {
+        SchedEntry {
+            id,
+            len,
+            priority: Priority::Batch,
+        }
+    }
+
+    fn interactive(id: RequestId, len: usize) -> SchedEntry {
+        SchedEntry {
+            id,
+            len,
+            priority: Priority::Interactive,
+        }
+    }
+
     #[test]
     fn fcfs_serves_one_request_to_completion() {
         let mut s = FcfsScheduler::new();
         let view = SchedView {
-            waiting_prefill: &[(1, 256), (2, 256)],
+            waiting_prefill: &[entry(1, 256), entry(2, 256)],
             decoding: &[],
             max_batch: 8,
         };
         assert_eq!(s.plan(&view), StepPlan::Prefill(vec![1]));
         let view = SchedView {
-            waiting_prefill: &[(2, 256)],
-            decoding: &[(1, 256)],
+            waiting_prefill: &[entry(2, 256)],
+            decoding: &[entry(1, 256)],
             max_batch: 8,
         };
         assert_eq!(s.plan(&view), StepPlan::Decode(vec![1]));
         // Request 1 finished and left the views: move on to request 2.
         let view = SchedView {
-            waiting_prefill: &[(2, 256)],
+            waiting_prefill: &[entry(2, 256)],
             decoding: &[],
             max_batch: 8,
         };
@@ -180,7 +298,7 @@ mod tests {
         let mut s = ContinuousBatchScheduler::new();
         let view = SchedView {
             waiting_prefill: &[],
-            decoding: &[(1, 300), (2, 280), (3, 600)],
+            decoding: &[entry(1, 300), entry(2, 280), entry(3, 600)],
             max_batch: 8,
         };
         assert_eq!(s.plan(&view), StepPlan::Decode(vec![1, 2, 3]));
@@ -190,8 +308,8 @@ mod tests {
     fn continuous_batching_prefills_into_spare_width() {
         let mut s = ContinuousBatchScheduler::new();
         let view = SchedView {
-            waiting_prefill: &[(7, 256), (8, 512), (9, 256)],
-            decoding: &[(1, 300)],
+            waiting_prefill: &[entry(7, 256), entry(8, 512), entry(9, 256)],
+            decoding: &[entry(1, 300)],
             max_batch: 4,
         };
         // Only the prompts matching the queue head's length join its batch.
@@ -201,7 +319,7 @@ mod tests {
     #[test]
     fn continuous_batching_rotates_when_oversubscribed() {
         let mut s = ContinuousBatchScheduler::new();
-        let decoding: Vec<(RequestId, usize)> = (0..6).map(|i| (i, 100)).collect();
+        let decoding: Vec<SchedEntry> = (0..6).map(|i| entry(i, 100)).collect();
         let view = SchedView {
             waiting_prefill: &[],
             decoding: &decoding,
@@ -211,5 +329,63 @@ mod tests {
         let second = s.plan(&view);
         assert_eq!(first, StepPlan::Decode(vec![0, 1, 2, 3]));
         assert_eq!(second, StepPlan::Decode(vec![4, 5, 0, 1]));
+    }
+
+    #[test]
+    fn priority_prefill_serves_the_interactive_class_first() {
+        let mut s = PriorityScheduler::new();
+        let view = SchedView {
+            waiting_prefill: &[entry(1, 2048), interactive(2, 512), interactive(3, 512)],
+            decoding: &[],
+            max_batch: 8,
+        };
+        // The batch-class 2048-token prompt arrived first but waits.
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![2, 3]));
+    }
+
+    #[test]
+    fn priority_decode_never_displaces_interactive_streams() {
+        let mut s = PriorityScheduler::new();
+        let decoding = [
+            entry(0, 100),
+            interactive(1, 100),
+            entry(2, 100),
+            interactive(3, 100),
+            entry(4, 100),
+        ];
+        let view = SchedView {
+            waiting_prefill: &[],
+            decoding: &decoding,
+            max_batch: 3,
+        };
+        // Both interactive streams ride every invocation; the third slot
+        // rotates over the three batch-class streams.
+        let first = s.plan(&view);
+        let second = s.plan(&view);
+        assert_eq!(first, StepPlan::Decode(vec![1, 3, 0]));
+        match second {
+            StepPlan::Decode(ids) => {
+                assert_eq!(&ids[..2], &[1, 3]);
+                assert_ne!(ids[2], 0, "batch slot must rotate");
+            }
+            other => panic!("expected decode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_matches_cb_on_uniform_class() {
+        // With a single class the priority scheduler degenerates to plain
+        // continuous batching (same coalescing, same rotation).
+        let mut p = PriorityScheduler::new();
+        let mut cb = ContinuousBatchScheduler::new();
+        let decoding: Vec<SchedEntry> = (0..6).map(|i| entry(i, 100)).collect();
+        let view = SchedView {
+            waiting_prefill: &[],
+            decoding: &decoding,
+            max_batch: 4,
+        };
+        for _ in 0..5 {
+            assert_eq!(p.plan(&view), cb.plan(&view));
+        }
     }
 }

@@ -5,9 +5,10 @@ use mcbp_workloads::{Accelerator, Fleet, TraceContext};
 use crate::arrival::Workload;
 use crate::cost::{StepCost, StepCostModel};
 use crate::pool::{request_kv_bytes, KvCachePool};
-use crate::report::{PoolReport, RunTotals, ServeReport};
-use crate::request::{Request, RequestId, RequestRecord, RequestState};
-use crate::scheduler::{SchedView, Scheduler, StepPlan};
+use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
+use crate::report::{PoolReport, PreemptReport, RunTotals, ServeReport};
+use crate::request::{Priority, Request, RequestId, RequestRecord, RequestState};
+use crate::scheduler::{SchedEntry, SchedView, Scheduler, StepPlan};
 use crate::CLOCK_HZ;
 
 /// Configuration of one serving simulation.
@@ -31,6 +32,10 @@ pub struct ServeConfig {
     /// (`kv_budget_bytes: None`) each data-parallel replica contributes
     /// its own KV shard to the pool.
     pub fleet: Fleet,
+    /// Preemption/eviction policy and host-link bandwidth. Swap transfer
+    /// latency is charged at the configured host link and is *not* scaled
+    /// by the fleet (one host link per deployment).
+    pub preempt: PreemptConfig,
 }
 
 impl Default for ServeConfig {
@@ -40,20 +45,24 @@ impl Default for ServeConfig {
             ctx_bucket: 256,
             kv_budget_bytes: None,
             fleet: Fleet::single(),
+            preempt: PreemptConfig::default(),
         }
     }
 }
 
-/// A request in flight: its timeline and KV accounting.
+/// A request in flight: its timeline and prefill/decode progress. KV byte
+/// accounting lives in the [`KvCachePool`] ledger, keyed by request id.
 #[derive(Debug, Clone)]
 struct InFlight {
     req: Request,
+    /// First admission instant (preserved across preemptions).
     admitted_cycle: f64,
     prefilled: bool,
+    /// The pending prefill recomputes KV that an eviction discarded.
+    replay_prefill: bool,
     tokens: usize,
     first_token_cycle: f64,
-    resident_bytes: u64,
-    reserved_bytes: u64,
+    preemptions: usize,
 }
 
 impl InFlight {
@@ -62,11 +71,56 @@ impl InFlight {
     }
 }
 
+/// An evicted request waiting to resume: its progress survives eviction,
+/// only its device-resident KV is gone (discarded or held in host memory).
+#[derive(Debug, Clone)]
+struct Suspended {
+    req: Request,
+    admitted_cycle: f64,
+    tokens: usize,
+    first_token_cycle: f64,
+    preemptions: usize,
+    /// Whether the victim had completed its prefill (a drop-and-recompute
+    /// resume must then replay it; a fresh victim just prefills normally).
+    had_prefilled: bool,
+    /// KV bytes held in the swap ledger (0 under drop-and-recompute).
+    swapped_bytes: u64,
+}
+
+impl Suspended {
+    /// Queue-ordering arrival key (closed-loop releases carry infinity;
+    /// fall back to the first admission instant).
+    fn arrival_key(&self) -> f64 {
+        if self.req.arrival_cycle.is_finite() {
+            self.req.arrival_cycle
+        } else {
+            self.admitted_cycle
+        }
+    }
+}
+
+/// Running preemption counters (cycles; converted to seconds at the end).
+#[derive(Debug, Clone, Copy, Default)]
+struct PreemptTally {
+    preemptions: u64,
+    swap_out_bytes: u64,
+    swap_in_bytes: u64,
+    swap_cycles: f64,
+    recompute_cycles: f64,
+}
+
+/// `a` strictly ahead of `b` in admission order: higher priority first,
+/// then earlier arrival, then lower id.
+fn admits_before(a: (Priority, f64, RequestId), b: (Priority, f64, RequestId)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && (a.1 < b.1 || (a.1 == b.1 && a.2 < b.2)))
+}
+
 /// The discrete-event serving simulator: drives an [`Accelerator`] under
 /// multi-request load through a pluggable [`Scheduler`], with KV-pool
-/// admission control and full latency accounting. Time is the simulated
-/// 1 GHz core clock; there is no wall-clock dependence anywhere, so a
-/// `(workload, scheduler, config)` triple replays bit-identically.
+/// admission control, priority-aware preemption, and full latency
+/// accounting. Time is the simulated 1 GHz core clock; there is no
+/// wall-clock dependence anywhere, so a `(workload, scheduler, config)`
+/// triple replays bit-identically.
 pub struct ServeSim<'a> {
     cost: StepCostModel<'a>,
     cfg: ServeConfig,
@@ -135,12 +189,26 @@ impl<'a> ServeSim<'a> {
     /// Panics on internal accounting violations (the KV pool asserts its
     /// budget invariants).
     #[must_use]
+    #[allow(clippy::too_many_lines)]
     pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> ServeReport {
         let keep = self.cost.template().attention_keep;
         let model = self.cost.template().model.clone();
+        let preempt = self.cfg.preempt.clone();
         let mut pool = self.fresh_pool();
+        let mut ledger = SwapLedger::new();
+        let mut tally = PreemptTally::default();
+        // Kept arrival-sorted (generated workloads already are; sorting
+        // here makes hand-built ones safe too, and closed-loop releases
+        // preserve the order because they assign nondecreasing `now`
+        // instants to the infinite prefix-ordered tail): the admission
+        // scan below stops at the first not-yet-arrived entry instead of
+        // walking the whole deque every iteration.
         let mut pending: VecDeque<Request> = workload.requests.clone().into();
+        pending
+            .make_contiguous()
+            .sort_by(|a, b| a.arrival_cycle.total_cmp(&b.arrival_cycle));
         let mut active: Vec<InFlight> = Vec::new();
+        let mut suspended: Vec<Suspended> = Vec::new();
         let mut records: Vec<RequestRecord> = Vec::new();
         let mut now = 0.0f64;
         let mut energy_pj = 0.0f64;
@@ -149,68 +217,158 @@ impl<'a> ServeSim<'a> {
         let mut peak_concurrency = 0usize;
 
         loop {
-            // ---- in-order admission under the KV byte budget ----
-            while let Some(head) = pending.front() {
-                if head.arrival_cycle > now {
-                    break;
-                }
-                let peak = request_kv_bytes(&model, head.final_context(), keep);
-                if !pool.can_ever_fit(peak) {
-                    let req = pending.pop_front().expect("head exists");
-                    records.push(RequestRecord {
-                        state: RequestState::Dropped,
-                        admitted_cycle: now,
-                        first_token_cycle: now,
-                        completed_cycle: now,
-                        tokens: 0,
-                        request: req,
-                    });
-                    // A drop vacates a closed-loop slot just like a
-                    // completion; without this release the population
-                    // shrinks and trailing requests are never served.
-                    if workload.closed_loop.is_some() {
-                        release_next_closed_loop(&mut pending, now);
+            // ---- admission: best candidate first, evicting if allowed ----
+            //
+            // Candidates are resumable evicted victims plus arrived queue
+            // entries, ordered by (priority desc, arrival asc, id asc);
+            // when the best candidate cannot reserve (even after allowed
+            // evictions) admission blocks — lower-ordered candidates never
+            // jump it.
+            loop {
+                let best_susp = suspended
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (i, (s.req.priority, s.arrival_key(), s.req.id)))
+                    .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
+                let best_pend = pending
+                    .iter()
+                    .enumerate()
+                    .take_while(|(_, r)| r.arrival_cycle <= now)
+                    .map(|(i, r)| (i, (r.priority, r.arrival_cycle, r.id)))
+                    .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
+                let resume = match (best_susp, best_pend) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    // Ids are unique, so keys never tie exactly; prefer
+                    // whichever is strictly ahead.
+                    (Some(s), Some(p)) => admits_before(s.1, p.1),
+                };
+                if resume {
+                    let (idx, (prio, _, id)) = best_susp.expect("resume candidate");
+                    let peak = request_kv_bytes(&model, suspended[idx].req.final_context(), keep);
+                    if !try_admit(
+                        &mut pool,
+                        &mut active,
+                        &mut suspended,
+                        &mut ledger,
+                        &preempt,
+                        &mut tally,
+                        &mut now,
+                        id,
+                        peak,
+                        prio,
+                    ) {
+                        break;
                     }
-                    continue;
+                    let s = suspended.remove(idx);
+                    if s.swapped_bytes > 0 {
+                        // Swap-in: restore the victim's KV from host
+                        // memory, stalling the device for the transfer.
+                        let cycles = preempt.transfer_cycles(s.swapped_bytes);
+                        now += cycles;
+                        pool.advance_clock(now);
+                        tally.swap_cycles += cycles;
+                        tally.swap_in_bytes += ledger.swap_in(s.req.id);
+                        pool.grow_resident(s.req.id, s.swapped_bytes);
+                    }
+                    active.push(InFlight {
+                        prefilled: s.swapped_bytes > 0,
+                        replay_prefill: s.had_prefilled && s.swapped_bytes == 0,
+                        req: s.req,
+                        admitted_cycle: s.admitted_cycle,
+                        tokens: s.tokens,
+                        first_token_cycle: s.first_token_cycle,
+                        preemptions: s.preemptions,
+                    });
+                } else {
+                    let (idx, (prio, _, id)) = best_pend.expect("pending candidate");
+                    let peak = request_kv_bytes(&model, pending[idx].final_context(), keep);
+                    if !pool.can_ever_fit(peak) {
+                        let req = pending.remove(idx).expect("index valid");
+                        records.push(RequestRecord {
+                            state: RequestState::Dropped,
+                            admitted_cycle: now,
+                            first_token_cycle: now,
+                            completed_cycle: now,
+                            tokens: 0,
+                            preemptions: 0,
+                            request: req,
+                        });
+                        // A drop vacates a closed-loop slot just like a
+                        // completion; without this release the population
+                        // shrinks and trailing requests are never served.
+                        if workload.closed_loop.is_some() {
+                            release_next_closed_loop(&mut pending, now);
+                        }
+                        continue;
+                    }
+                    if !try_admit(
+                        &mut pool,
+                        &mut active,
+                        &mut suspended,
+                        &mut ledger,
+                        &preempt,
+                        &mut tally,
+                        &mut now,
+                        id,
+                        peak,
+                        prio,
+                    ) {
+                        break;
+                    }
+                    let req = pending.remove(idx).expect("index valid");
+                    active.push(InFlight {
+                        req,
+                        admitted_cycle: now,
+                        prefilled: false,
+                        replay_prefill: false,
+                        tokens: 0,
+                        first_token_cycle: 0.0,
+                        preemptions: 0,
+                    });
                 }
-                if !pool.try_reserve(peak) {
-                    break; // head-of-line blocks until a completion frees bytes
-                }
-                let req = pending.pop_front().expect("head exists");
-                active.push(InFlight {
-                    req,
-                    admitted_cycle: now,
-                    prefilled: false,
-                    tokens: 0,
-                    first_token_cycle: 0.0,
-                    resident_bytes: 0,
-                    reserved_bytes: peak,
-                });
             }
             peak_concurrency = peak_concurrency.max(active.len());
 
             if active.is_empty() {
-                match pending.front() {
-                    Some(head) if head.arrival_cycle.is_finite() => {
-                        // Idle until the next arrival.
-                        now = now.max(head.arrival_cycle);
+                // Admission into an idle pool cannot block, so nothing is
+                // suspended either: idle until the next timed arrival, or
+                // done.
+                debug_assert!(suspended.is_empty(), "suspended work with an idle pool");
+                let next = pending
+                    .iter()
+                    .map(|r| r.arrival_cycle)
+                    .filter(|a| a.is_finite())
+                    .min_by(f64::total_cmp);
+                match next {
+                    Some(arrival) => {
+                        now = now.max(arrival);
                         pool.advance_clock(now);
                         continue;
                     }
-                    _ => break, // drained (closed-loop leftovers can never release)
+                    None => break, // drained (closed-loop leftovers can never release)
                 }
             }
 
             // ---- plan one batched step ----
-            let waiting: Vec<(RequestId, usize)> = active
+            let waiting: Vec<SchedEntry> = active
                 .iter()
                 .filter(|f| !f.prefilled)
-                .map(|f| (f.req.id, f.req.prompt_len))
+                .map(|f| SchedEntry {
+                    id: f.req.id,
+                    len: f.context(),
+                    priority: f.req.priority,
+                })
                 .collect();
-            let decoding: Vec<(RequestId, usize)> = active
+            let decoding: Vec<SchedEntry> = active
                 .iter()
                 .filter(|f| f.prefilled && f.tokens < f.req.decode_len)
-                .map(|f| (f.req.id, f.context()))
+                .map(|f| SchedEntry {
+                    id: f.req.id,
+                    len: f.context(),
+                    priority: f.req.priority,
+                })
                 .collect();
             let view = SchedView {
                 waiting_prefill: &waiting,
@@ -238,7 +396,7 @@ impl<'a> ServeSim<'a> {
                     assert!(!ids.is_empty(), "prefill plan selected no admitted prompt");
                     let longest = ids
                         .iter()
-                        .map(|id| lookup(&active, *id).req.prompt_len)
+                        .map(|id| lookup(&active, *id).context())
                         .max()
                         .expect("non-empty");
                     let cost = self.fleet_scaled(self.cost.prefill_cost(longest, ids.len()));
@@ -248,16 +406,27 @@ impl<'a> ServeSim<'a> {
                     // biased upward by end-of-step byte arrivals.
                     pool.advance_clock(now);
                     energy_pj += cost.energy_pj;
+                    // Attribute the replayed share of this invocation to
+                    // recompute overhead (drop-and-recompute's resume bill).
+                    let replays = ids
+                        .iter()
+                        .filter(|id| lookup(&active, **id).replay_prefill)
+                        .count();
+                    tally.recompute_cycles += cost.cycles * replays as f64 / ids.len() as f64;
                     for id in &ids {
                         let f = lookup_mut(&mut active, *id);
                         f.prefilled = true;
-                        let prompt_bytes = request_kv_bytes(&model, f.req.prompt_len, keep);
-                        f.resident_bytes = prompt_bytes.min(f.reserved_bytes);
-                        let grow = f.resident_bytes;
-                        pool.grow_resident(grow);
-                        if f.req.decode_len == 0 {
+                        f.replay_prefill = false;
+                        if f.req.decode_len == 0 && f.tokens == 0 {
                             f.first_token_cycle = now; // prompt-only request
                         }
+                        let context = f.context();
+                        let reserved = pool
+                            .reservation(*id)
+                            .expect("prefilled request holds a reservation");
+                        let target =
+                            request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
+                        pool.grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
                     }
                 }
                 StepPlan::Decode(ids) => {
@@ -283,11 +452,13 @@ impl<'a> ServeSim<'a> {
                         if f.tokens == 1 {
                             f.first_token_cycle = now;
                         }
+                        let context = f.context();
+                        let reserved = pool
+                            .reservation(*id)
+                            .expect("decoding request holds a reservation");
                         let target =
-                            request_kv_bytes(&model, f.context(), keep).min(f.reserved_bytes);
-                        let grow = target.saturating_sub(f.resident_bytes);
-                        f.resident_bytes = f.resident_bytes.max(target);
-                        pool.grow_resident(grow);
+                            request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
+                        pool.grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
                     }
                 }
             }
@@ -304,13 +475,14 @@ impl<'a> ServeSim<'a> {
                     continue;
                 }
                 let f = active.remove(i);
-                pool.release(f.reserved_bytes, f.resident_bytes);
+                pool.release(f.req.id);
                 records.push(RequestRecord {
                     state: RequestState::Completed,
                     admitted_cycle: f.admitted_cycle,
                     first_token_cycle: f.first_token_cycle,
                     completed_cycle: now,
                     tokens: f.tokens,
+                    preemptions: f.preemptions,
                     request: f.req,
                 });
                 if workload.closed_loop.is_some() {
@@ -334,6 +506,14 @@ impl<'a> ServeSim<'a> {
             mean_resident_bytes: pool.mean_resident_bytes(),
             admission_stall_seconds: stall_cycles / CLOCK_HZ,
         };
+        let preempt_report = PreemptReport {
+            preemptions: tally.preemptions,
+            swap_out_bytes: tally.swap_out_bytes,
+            swap_in_bytes: tally.swap_in_bytes,
+            swap_seconds: tally.swap_cycles / CLOCK_HZ,
+            recompute_seconds: tally.recompute_cycles / CLOCK_HZ,
+            peak_swap_held_bytes: ledger.peak_held_bytes(),
+        };
         let mean_decode_batch = if decode_invocations == 0 {
             0.0
         } else {
@@ -349,10 +529,101 @@ impl<'a> ServeSim<'a> {
                 peak_concurrency,
                 energy_pj,
                 offered_rps: workload.offered_rps(),
+                preempt: preempt_report,
             },
             pool_report,
         )
     }
+}
+
+/// Reserves `peak` bytes for candidate `id`, evicting strictly
+/// lower-priority victims if the configured policy allows and the eviction
+/// would actually make room. Returns whether the reservation succeeded.
+#[allow(clippy::too_many_arguments)]
+fn try_admit(
+    pool: &mut KvCachePool,
+    active: &mut Vec<InFlight>,
+    suspended: &mut Vec<Suspended>,
+    ledger: &mut SwapLedger,
+    preempt: &PreemptConfig,
+    tally: &mut PreemptTally,
+    now: &mut f64,
+    id: RequestId,
+    peak: u64,
+    priority: Priority,
+) -> bool {
+    if pool.try_reserve(id, peak) {
+        return true;
+    }
+    if preempt.policy == EvictionPolicy::None {
+        return false;
+    }
+    // Feasibility first: evicting every allowed victim must make room,
+    // otherwise don't thrash the pool for nothing.
+    let evictable: u64 = active
+        .iter()
+        .filter(|f| f.req.priority < priority)
+        .map(|f| {
+            pool.reservation(f.req.id)
+                .expect("active request holds a reservation")
+                .reserved_bytes
+        })
+        .sum();
+    let free = pool.budget_bytes() - pool.reserved_bytes();
+    if free + evictable < peak {
+        return false;
+    }
+    while !pool.try_reserve(id, peak) {
+        // Victim order: lowest class first; within it the youngest
+        // admission (least sunk progress), ties broken by highest id.
+        let victim = active
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.req.priority < priority)
+            .map(|(i, f)| (i, (f.req.priority, f.admitted_cycle, f.req.id)))
+            .reduce(|a, b| {
+                let later = b.1 .0 < a.1 .0
+                    || (b.1 .0 == a.1 .0
+                        && (b.1 .1 > a.1 .1 || (b.1 .1 == a.1 .1 && b.1 .2 > a.1 .2)));
+                if later {
+                    b
+                } else {
+                    a
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("feasibility guaranteed a victim");
+        let f = active.remove(victim);
+        let freed = pool.release(f.req.id);
+        tally.preemptions += 1;
+        let swapped_bytes = match preempt.policy {
+            EvictionPolicy::None => unreachable!("checked above"),
+            EvictionPolicy::DropRecompute => 0,
+            EvictionPolicy::Swap => {
+                if freed.resident_bytes > 0 {
+                    // Swap-out: spill the victim's KV to host memory,
+                    // stalling the device for the transfer.
+                    let cycles = preempt.transfer_cycles(freed.resident_bytes);
+                    *now += cycles;
+                    pool.advance_clock(*now);
+                    tally.swap_cycles += cycles;
+                    tally.swap_out_bytes += freed.resident_bytes;
+                    ledger.swap_out(f.req.id, freed.resident_bytes);
+                }
+                freed.resident_bytes
+            }
+        };
+        suspended.push(Suspended {
+            had_prefilled: f.prefilled,
+            swapped_bytes,
+            req: f.req,
+            admitted_cycle: f.admitted_cycle,
+            tokens: f.tokens,
+            first_token_cycle: f.first_token_cycle,
+            preemptions: f.preemptions + 1,
+        });
+    }
+    true
 }
 
 /// Releases the next closed-loop request (if any) at the given instant —
@@ -367,13 +638,13 @@ fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
 /// order, with duplicates removed, capped at the coalescing width. A
 /// custom scheduler naming the same stream twice must advance it once,
 /// not twice.
-fn clamp_ids(ids: &[RequestId], view: &[(RequestId, usize)], max_batch: usize) -> Vec<RequestId> {
+fn clamp_ids(ids: &[RequestId], view: &[SchedEntry], max_batch: usize) -> Vec<RequestId> {
     let mut seen = Vec::with_capacity(ids.len().min(max_batch));
     for id in ids {
         if seen.len() == max_batch {
             break;
         }
-        if !seen.contains(id) && view.iter().any(|(v, _)| v == id) {
+        if !seen.contains(id) && view.iter().any(|e| e.id == *id) {
             seen.push(*id);
         }
     }
@@ -397,8 +668,9 @@ fn lookup_mut(active: &mut [InFlight], id: RequestId) -> &mut InFlight {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrival::{ArrivalProcess, LoadGenerator};
-    use crate::scheduler::{ContinuousBatchScheduler, FcfsScheduler};
+    use crate::arrival::{ArrivalProcess, LoadGenerator, RequestClass};
+    use crate::request::SloSpec;
+    use crate::scheduler::{ContinuousBatchScheduler, FcfsScheduler, PriorityScheduler};
     use mcbp_model::LlmConfig;
     use mcbp_workloads::{PhaseCost, RunReport, SparsityProfile, Task, WeightGenerator};
 
@@ -466,6 +738,9 @@ mod tests {
         for rec in &report.records {
             assert_eq!(rec.tokens, rec.request.decode_len);
         }
+        // No declared deadlines: every completion counts toward SLO goodput.
+        assert_eq!(report.slo_met, 12);
+        assert!((report.slo_goodput_tokens_per_s - report.goodput_tokens_per_s).abs() < 1e-9);
     }
 
     #[test]
@@ -523,6 +798,10 @@ mod tests {
         assert!(report.peak_concurrency <= 2);
         assert!(report.pool.peak_reserved_bytes <= report.pool.budget_bytes);
         assert!(report.pool.admission_stall_seconds > 0.0);
+        assert_eq!(
+            report.preempt.preemptions, 0,
+            "the default policy never preempts"
+        );
     }
 
     #[test]
@@ -541,6 +820,7 @@ mod tests {
         let sim = ServeSim::new(&accel, template(1.0), cfg);
         let w = LoadGenerator {
             task_mix: vec![Task::cola(), Task::dolly()],
+            class_mix: vec![RequestClass::default()],
             count: 10,
             process: ArrivalProcess::ClosedLoop { concurrency: 2 },
         }
@@ -621,5 +901,122 @@ mod tests {
             eight.energy_joules >= one.energy_joules,
             "energy is fleet-wide"
         );
+    }
+
+    /// A two-request contention scenario: one batch-class request owns the
+    /// pool, then an interactive request arrives that cannot fit.
+    fn contention_workload() -> Workload {
+        let batch = Request::from_task(0, &Task::mnli().with_decode(8), 0.0);
+        let interactive = Request::from_task(1, &Task::cola().with_decode(4), 1.0)
+            .with_priority(Priority::Interactive);
+        Workload {
+            requests: vec![batch, interactive],
+            closed_loop: None,
+        }
+    }
+
+    fn contention_budget(model: &LlmConfig) -> u64 {
+        // Fits the batch request, or the interactive one, but never both.
+        request_kv_bytes(model, Task::mnli().with_decode(8).final_context(), 1.0) + 1024
+    }
+
+    fn run_contention(policy: EvictionPolicy) -> ServeReport {
+        let accel = Toy;
+        let model = LlmConfig::opt1b3();
+        let cfg = ServeConfig {
+            kv_budget_bytes: Some(contention_budget(&model)),
+            preempt: PreemptConfig {
+                policy,
+                ..PreemptConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let sim = ServeSim::new(&accel, template(1.0), cfg);
+        sim.run(&contention_workload(), &mut PriorityScheduler::new())
+    }
+
+    #[test]
+    fn without_preemption_the_interactive_request_waits() {
+        let report = run_contention(EvictionPolicy::None);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.preempt.preemptions, 0);
+        // The interactive request is admitted only after the batch one
+        // completes and frees the pool.
+        let inter = &report.records[1];
+        assert!(inter.admission_stall_cycles() > 0.0);
+    }
+
+    #[test]
+    fn drop_recompute_evicts_and_replays() {
+        let report = run_contention(EvictionPolicy::DropRecompute);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.dropped, 0);
+        assert!(report.preempt.preemptions >= 1);
+        assert_eq!(report.preempt.swap_out_bytes, 0);
+        assert!(
+            report.preempt.recompute_seconds > 0.0,
+            "the victim's prefill must replay"
+        );
+        let batch = &report.records[0];
+        let inter = &report.records[1];
+        assert!(batch.preemptions >= 1, "the batch request was the victim");
+        assert_eq!(batch.tokens, batch.request.decode_len);
+        assert_eq!(inter.preemptions, 0);
+        // Admission happens at step boundaries, so the interactive request
+        // stalls at most ~one step under preemption — far below the
+        // no-preemption stall (the victim's entire remaining service).
+        let blocked = run_contention(EvictionPolicy::None);
+        assert!(
+            inter.admission_stall_cycles() * 10.0 < blocked.records[1].admission_stall_cycles(),
+            "preemption stall {} vs blocked stall {}",
+            inter.admission_stall_cycles(),
+            blocked.records[1].admission_stall_cycles()
+        );
+        // The victim finishes after the interactive request despite
+        // arriving first.
+        assert!(batch.completed_cycle > inter.completed_cycle);
+    }
+
+    #[test]
+    fn swap_spills_and_restores_without_replay() {
+        let report = run_contention(EvictionPolicy::Swap);
+        assert_eq!(report.completed, 2);
+        assert!(report.preempt.preemptions >= 1);
+        assert!(report.preempt.swap_out_bytes > 0);
+        assert_eq!(
+            report.preempt.swap_in_bytes, report.preempt.swap_out_bytes,
+            "every spilled byte is restored"
+        );
+        assert!(report.preempt.swap_seconds > 0.0);
+        assert!(
+            report.preempt.recompute_seconds == 0.0,
+            "swap never recomputes"
+        );
+        let batch = &report.records[0];
+        assert_eq!(batch.tokens, batch.request.decode_len);
+    }
+
+    #[test]
+    fn preemption_policies_replay_deterministically() {
+        for policy in [EvictionPolicy::DropRecompute, EvictionPolicy::Swap] {
+            let a = run_contention(policy);
+            let b = run_contention(policy);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn impossible_slo_zeroes_slo_goodput() {
+        let accel = Toy;
+        let sim = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let mut w = closed_loop(2, 4);
+        for r in &mut w.requests {
+            r.slo = SloSpec::interactive(0.0, 0.0); // unmeetable
+        }
+        let report = sim.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.slo_met, 0);
+        assert_eq!(report.slo_goodput_tokens_per_s, 0.0);
+        assert!(report.goodput_tokens_per_s > 0.0);
     }
 }

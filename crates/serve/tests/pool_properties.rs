@@ -1,0 +1,191 @@
+//! Property-based tests for [`KvCachePool`] and [`SwapLedger`]: the
+//! accounting invariants the serving simulator leans on, under arbitrary
+//! legal reserve/grow/release/evict sequences.
+//!
+//! Raw `(op, id, bytes)` tuples from the strategy are interpreted against
+//! a shadow model of the pool so every issued call is legal (the pool
+//! panics on illegal calls by design — those paths have their own
+//! `#[should_panic]` unit tests). The shadow model lets each property
+//! cross-check the pool's global counters against an independent sum of
+//! per-request state.
+
+use std::collections::BTreeMap;
+
+use mcbp_serve::{KvCachePool, SwapLedger};
+use proptest::prelude::*;
+
+/// Shadow of one request's ledger entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Shadow {
+    reserved: u64,
+    resident: u64,
+}
+
+/// Checks the pool's global counters against the shadow model and the
+/// budget/ordering invariants.
+fn check_invariants(
+    pool: &KvCachePool,
+    shadow: &BTreeMap<u64, Shadow>,
+) -> Result<(), TestCaseError> {
+    let reserved: u64 = shadow.values().map(|s| s.reserved).sum();
+    let resident: u64 = shadow.values().map(|s| s.resident).sum();
+    prop_assert_eq!(pool.reserved_bytes(), reserved);
+    prop_assert_eq!(pool.resident_bytes(), resident);
+    prop_assert!(pool.resident_bytes() <= pool.reserved_bytes());
+    prop_assert!(pool.reserved_bytes() <= pool.budget_bytes());
+    prop_assert_eq!(pool.in_flight(), shadow.len());
+    for (id, s) in shadow {
+        let entry = pool.reservation(*id).expect("shadowed request is live");
+        prop_assert_eq!(entry.reserved_bytes, s.reserved);
+        prop_assert_eq!(entry.resident_bytes, s.resident);
+        prop_assert!(entry.resident_bytes <= entry.reserved_bytes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under arbitrary reserve/grow/release/evict sequences the pool never
+    /// violates `resident <= reserved <= budget`, its global counters
+    /// always equal the sum of its per-request ledger, release amounts
+    /// come from the ledger (never underflowing), and the pool returns to
+    /// `is_idle()` once every request drains.
+    #[test]
+    fn pool_invariants_hold_under_arbitrary_sequences(
+        budget in 1u64..100_000,
+        ops in collection::vec((0u8..4, 0u64..16, 1u64..40_000), 1..120),
+    ) {
+        let mut pool = KvCachePool::with_budget(budget);
+        let mut ledger = SwapLedger::new();
+        let mut shadow: BTreeMap<u64, Shadow> = BTreeMap::new();
+        let mut next_id = 16u64; // fresh ids for re-admissions after release
+        for (op, id_hint, bytes) in ops {
+            match op {
+                // Reserve a fresh id (re-using a hinted id only if free).
+                0 => {
+                    let id = if shadow.contains_key(&id_hint) {
+                        next_id += 1;
+                        next_id
+                    } else {
+                        id_hint
+                    };
+                    let admitted = pool.try_reserve(id, bytes);
+                    let fits = pool.reserved_bytes() <= budget;
+                    prop_assert!(fits, "reserve may never overshoot the budget");
+                    if admitted {
+                        shadow.insert(id, Shadow { reserved: bytes, resident: 0 });
+                    } else {
+                        // A refusal must be honest: the bytes really did
+                        // not fit on top of what the shadow holds.
+                        let held: u64 = shadow.values().map(|s| s.reserved).sum();
+                        prop_assert!(held + bytes > budget);
+                    }
+                }
+                // Grow a live request within its own headroom.
+                1 => {
+                    let picked = shadow
+                        .keys()
+                        .nth(id_hint as usize % shadow.len().max(1))
+                        .copied();
+                    if let Some(id) = picked {
+                        let s = shadow.get_mut(&id).expect("picked live id");
+                        let headroom = s.reserved - s.resident;
+                        let grow = bytes.min(headroom);
+                        if grow > 0 {
+                            pool.grow_resident(id, grow);
+                            s.resident += grow;
+                        }
+                    }
+                }
+                // Release (completion): freed amounts must match the shadow.
+                2 => {
+                    let picked = shadow
+                        .keys()
+                        .nth(id_hint as usize % shadow.len().max(1))
+                        .copied();
+                    if let Some(id) = picked {
+                        let s = shadow.remove(&id).expect("picked live id");
+                        let freed = pool.release(id);
+                        prop_assert_eq!(freed.reserved_bytes, s.reserved);
+                        prop_assert_eq!(freed.resident_bytes, s.resident);
+                    }
+                }
+                // Evict (swap flavor): release and park the resident bytes
+                // in the swap ledger; swapped bytes are conserved.
+                _ => {
+                    let picked = shadow
+                        .keys()
+                        .nth(id_hint as usize % shadow.len().max(1))
+                        .copied();
+                    if let Some(id) = picked {
+                        let s = shadow.remove(&id).expect("picked live id");
+                        let freed = pool.release(id);
+                        prop_assert_eq!(freed.resident_bytes, s.resident);
+                        if freed.resident_bytes > 0 {
+                            ledger.swap_out(id, freed.resident_bytes);
+                            prop_assert_eq!(ledger.swap_in(id), freed.resident_bytes);
+                        }
+                    }
+                }
+            }
+            check_invariants(&pool, &shadow)?;
+        }
+        // Drain everything: the pool must come back to idle exactly.
+        let live: Vec<u64> = shadow.keys().copied().collect();
+        for id in live {
+            let s = shadow.remove(&id).expect("live");
+            let freed = pool.release(id);
+            prop_assert_eq!(freed.reserved_bytes, s.reserved);
+            prop_assert_eq!(freed.resident_bytes, s.resident);
+        }
+        prop_assert!(pool.is_idle());
+        prop_assert_eq!(pool.reserved_bytes(), 0);
+        prop_assert_eq!(pool.resident_bytes(), 0);
+        prop_assert!(ledger.is_empty());
+        prop_assert_eq!(ledger.total_out_bytes(), ledger.total_in_bytes());
+    }
+
+    /// Peak statistics are monotone high-water marks: they never decrease,
+    /// and they bound every instantaneous level the run ever produced.
+    #[test]
+    fn pool_peaks_are_high_water_marks(
+        budget in 1u64..50_000,
+        ops in collection::vec((0u8..3, 1u64..20_000), 1..60),
+    ) {
+        let mut pool = KvCachePool::with_budget(budget);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        let mut max_reserved_seen = 0u64;
+        let mut max_resident_seen = 0u64;
+        for (op, bytes) in ops {
+            match op {
+                0 => {
+                    next += 1;
+                    if pool.try_reserve(next, bytes) {
+                        live.push(next);
+                    }
+                }
+                1 => {
+                    if let Some(&id) = live.first() {
+                        let e = pool.reservation(id).expect("live");
+                        let grow = bytes.min(e.reserved_bytes - e.resident_bytes);
+                        if grow > 0 {
+                            pool.grow_resident(id, grow);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(id) = live.pop() {
+                        pool.release(id);
+                    }
+                }
+            }
+            max_reserved_seen = max_reserved_seen.max(pool.reserved_bytes());
+            max_resident_seen = max_resident_seen.max(pool.resident_bytes());
+            prop_assert_eq!(pool.peak_reserved_bytes(), max_reserved_seen);
+            prop_assert_eq!(pool.peak_resident_bytes(), max_resident_seen);
+            prop_assert!(pool.peak_reserved_bytes() <= pool.budget_bytes());
+        }
+    }
+}

@@ -1,9 +1,12 @@
 //! Integration tests of the serving subsystem over the real cycle-level
 //! accelerator model: conservation, KV-budget safety, the continuous
-//! batching advantage on bursty traffic, and determinism.
+//! batching advantage on bursty traffic, determinism (including the
+//! preemption/SLO counters), and drop-and-recompute victim conservation.
 
 use mcbp::prelude::*;
-use mcbp::serve::{ArrivalProcess, LoadGenerator, ServeConfig, Workload};
+use mcbp::serve::{
+    request_kv_bytes, ArrivalProcess, LoadGenerator, RequestState, ServeConfig, Workload,
+};
 
 fn engine() -> Engine {
     Engine::new(LlmConfig::opt1b3(), 7)
@@ -139,10 +142,118 @@ fn identical_seeds_are_bit_identical() {
     assert_ne!(a.duration_seconds.to_bits(), c.duration_seconds.to_bits());
 }
 
+/// A preemption-heavy configuration: a mixed-class bursty trace on a pool
+/// two dense requests wide, so interactive arrivals keep evicting
+/// batch-class victims.
+fn preemption_heavy(policy: EvictionPolicy) -> ServeReport {
+    let engine = engine();
+    let model = LlmConfig::opt1b3();
+    let keep = 0.3;
+    let budget = request_kv_bytes(&model, serve_task().final_context(), 1.0) * 2;
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(budget),
+        preempt: PreemptConfig {
+            policy,
+            ..PreemptConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let load = LoadGenerator::uniform(
+        serve_task(),
+        16,
+        ArrivalProcess::Bursty {
+            rate_rps: 12.0,
+            burst_factor: 10.0,
+            burst_len: 8,
+            seed: 21,
+        },
+    )
+    .with_classes(vec![
+        RequestClass::interactive(0.5, 0.05),
+        RequestClass::batch(),
+        RequestClass::batch(),
+    ])
+    .generate();
+    engine
+        .serve_sim(keep, cfg)
+        .run(&load, &mut PriorityScheduler::new())
+}
+
+/// The same `ServeConfig` + seed run twice yields a byte-identical
+/// `ServeReport`, including the preemption and SLO counters — under both
+/// eviction policies.
+#[test]
+fn preemptive_runs_replay_byte_identically() {
+    for policy in [EvictionPolicy::DropRecompute, EvictionPolicy::Swap] {
+        let a = preemption_heavy(policy);
+        let b = preemption_heavy(policy);
+        assert!(
+            a.preempt.preemptions > 0,
+            "{policy:?}: the scenario must actually preempt"
+        );
+        assert_eq!(a, b, "{policy:?}");
+        // Spot-check byte identity of the float aggregates (PartialEq on
+        // f64 is bitwise only up to NaN/-0.0 subtleties; these must be
+        // exactly the same bits).
+        assert_eq!(
+            a.duration_seconds.to_bits(),
+            b.duration_seconds.to_bits(),
+            "{policy:?}"
+        );
+        assert_eq!(
+            a.slo_goodput_tokens_per_s.to_bits(),
+            b.slo_goodput_tokens_per_s.to_bits(),
+            "{policy:?}"
+        );
+        assert_eq!(
+            a.preempt.overhead_seconds().to_bits(),
+            b.preempt.overhead_seconds().to_bits(),
+            "{policy:?}"
+        );
+    }
+}
+
+/// Conservation under preemption: every drop-and-recompute victim is
+/// eventually resumed and completes with exactly its task's token count;
+/// nothing is lost or double-counted across evictions.
+#[test]
+fn drop_recompute_victims_complete_with_exact_token_counts() {
+    let report = preemption_heavy(EvictionPolicy::DropRecompute);
+    assert!(report.preempt.preemptions > 0, "scenario must preempt");
+    assert!(
+        report.records.iter().any(|r| r.preemptions > 0),
+        "some victim must have been evicted and resumed"
+    );
+    assert_eq!(
+        report.completed + report.dropped,
+        16,
+        "no request may vanish"
+    );
+    assert_eq!(report.dropped, 0, "every request fits this pool");
+    assert_eq!(report.preempt.swap_out_bytes, 0, "drop never swaps");
+    assert!(report.preempt.recompute_seconds > 0.0);
+    for rec in &report.records {
+        assert_eq!(rec.state, RequestState::Completed);
+        assert_eq!(
+            rec.tokens, rec.request.decode_len,
+            "request {} (evicted {} times)",
+            rec.request.id, rec.preemptions
+        );
+    }
+    // Swap conserves too, and restores exactly what it spilled.
+    let swap = preemption_heavy(EvictionPolicy::Swap);
+    assert_eq!(swap.completed, 16);
+    assert_eq!(swap.preempt.swap_in_bytes, swap.preempt.swap_out_bytes);
+    for rec in &swap.records {
+        assert_eq!(rec.tokens, rec.request.decode_len);
+    }
+}
+
 /// The serving experiments dispatch through the repro harness.
 #[test]
 fn serving_experiment_ids_dispatch() {
     use mcbp_bench::experiments;
     assert!(experiments::all_ids().contains(&"serving"));
     assert!(experiments::all_ids().contains(&"serving_capacity"));
+    assert!(experiments::all_ids().contains(&"serving_slo"));
 }
