@@ -84,9 +84,9 @@ pub mod prelude {
     pub use crate::model::LlmConfig;
     pub use crate::quant::{Calibration, FloatMatrix, QuantizedLinear};
     pub use crate::serve::{
-        ArrivalProcess, ContinuousBatchScheduler, EvictionPolicy, FcfsScheduler, LoadGenerator,
-        PreemptConfig, Priority, PriorityScheduler, RequestClass, ServeConfig, ServeReport,
-        ServeSim, SloSpec,
+        ArrivalProcess, ContinuousBatchScheduler, DispatchPolicy, EvictionPolicy, FcfsScheduler,
+        LoadGenerator, PreemptConfig, Priority, PriorityScheduler, RequestClass, ServeConfig,
+        ServeReport, ServeSim, SloSpec,
     };
     pub use crate::sim::{McbpConfig, McbpSim};
     pub use crate::workloads::{Accelerator, SparsityProfile, Task, TraceContext, WeightGenerator};

@@ -1,3 +1,22 @@
+//! Memoized per-step costing of batched accelerator invocations.
+//!
+//! The cycle-level simulator is far too slow to invoke once per decode
+//! step of a long serving trace, so [`StepCostModel`] quantizes context
+//! lengths to `ctx_bucket`-token boundaries, costs each distinct
+//! `(phase, batch, boundary)` invocation once, and **linearly
+//! interpolates** between the two enclosing boundaries for every query in
+//! between. Decode costs are near-linear in context (KV bytes and
+//! attention MACs are the only context-dependent terms) and prefill costs
+//! are convex in prompt length (the O(c²) attention term), so the chord
+//! between boundary costs tracks the exact curve closely — the error is
+//! quantified end-to-end in `tests/step_cost_bucketing.rs`.
+//!
+//! Chunked prefill is costed incrementally: advancing a prompt's prefill
+//! cursor from `done` to `upto` tokens costs the *difference* of the
+//! cumulative prefill costs, plus one minimal-prefill floor per resumed
+//! invocation (each chunk re-streams the layer weights) — see
+//! [`StepCostModel::prefill_chunk_cost`].
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -16,16 +35,46 @@ pub struct StepCost {
     pub reorder_pj: f64,
 }
 
+impl StepCost {
+    /// Linear interpolation between two step costs at parameter `t ∈ [0, 1]`.
+    fn lerp(a: StepCost, b: StepCost, t: f64) -> StepCost {
+        let mix = |x: f64, y: f64| x + (y - x) * t;
+        StepCost {
+            cycles: mix(a.cycles, b.cycles),
+            energy_pj: mix(a.energy_pj, b.energy_pj),
+            reorder_pj: mix(a.reorder_pj, b.reorder_pj),
+        }
+    }
+
+    /// Component-wise `self - other`, clamped at zero (interpolated
+    /// cumulative costs are monotone for monotone boundary costs, so the
+    /// clamp only guards float round-off).
+    fn saturating_sub(self, other: StepCost) -> StepCost {
+        StepCost {
+            cycles: (self.cycles - other.cycles).max(0.0),
+            energy_pj: (self.energy_pj - other.energy_pj).max(0.0),
+            reorder_pj: (self.reorder_pj - other.reorder_pj).max(0.0),
+        }
+    }
+
+    /// Component-wise sum.
+    fn add(self, other: StepCost) -> StepCost {
+        StepCost {
+            cycles: self.cycles + other.cycles,
+            energy_pj: self.energy_pj + other.energy_pj,
+            reorder_pj: self.reorder_pj + other.reorder_pj,
+        }
+    }
+}
+
 /// Memoizing per-step cost model over any [`Accelerator`].
 ///
-/// The cycle-level simulator is far too slow to invoke once per decode
-/// step of a long serving trace (its BGPP calibration alone bisects a
-/// functional predictor), so contexts are quantized to `ctx_bucket`-token
-/// buckets and each distinct `(phase, batch, bucket)` invocation is costed
-/// once and cached. Decode-step costs are linear in context within a
-/// bucket (KV bytes and attention MACs are the only context-dependent
-/// terms), so bucketing bounds the modeling error by the bucket width
-/// relative to the context.
+/// Contexts are quantized to `ctx_bucket`-token boundaries; each distinct
+/// `(phase, batch, boundary)` invocation is costed once and cached, and
+/// off-boundary queries linearly interpolate between the two enclosing
+/// boundary costs. Decode costs are near-linear and prefill costs convex
+/// in context, so the chord tracks the exact curve closely — the error is
+/// quantified end-to-end in `tests/step_cost_bucketing.rs`.
 pub struct StepCostModel<'a> {
     accel: &'a dyn Accelerator,
     template: TraceContext,
@@ -64,26 +113,73 @@ impl<'a> StepCostModel<'a> {
         &self.template
     }
 
-    /// Rounds a context length up to its bucket boundary.
+    /// Rounds a context length up to its bucket boundary (the upper
+    /// interpolation knot for off-boundary queries).
     #[must_use]
     pub fn bucketed(&self, context: usize) -> usize {
         context.max(1).div_ceil(self.ctx_bucket) * self.ctx_bucket
     }
 
-    /// Cost of prefilling `batch` coalesced prompts of (bucketed) length
-    /// `prompt` in one invocation.
+    /// Cost of prefilling `batch` coalesced prompts of length `prompt` in
+    /// one invocation, interpolated between the enclosing bucket
+    /// boundaries.
     #[must_use]
     pub fn prefill_cost(&self, prompt: usize, batch: usize) -> StepCost {
-        let prompt = self.bucketed(prompt);
-        self.costed(StepKind::Prefill, batch.max(1), prompt)
+        self.interpolated(StepKind::Prefill, batch.max(1), prompt)
     }
 
     /// Cost of one coalesced decode step: `batch` streams each advancing
-    /// one token at (bucketed) context `context`.
+    /// one token at context `context`, interpolated between the enclosing
+    /// bucket boundaries.
     #[must_use]
     pub fn decode_cost(&self, context: usize, batch: usize) -> StepCost {
-        let context = self.bucketed(context);
-        self.costed(StepKind::Decode, batch.max(1), context)
+        self.interpolated(StepKind::Decode, batch.max(1), context)
+    }
+
+    /// Cost of one chunked-prefill invocation advancing `batch` coalesced
+    /// prompts from `done` to `upto` prefilled tokens each: the difference
+    /// of the cumulative prefill costs (which charges the chunk's tokens
+    /// *and* their attention over the already-prefilled prefix), plus one
+    /// minimal-prefill floor when resuming (`done > 0`) because every
+    /// invocation re-streams the layer weights.
+    ///
+    /// Chunk costs telescope: summing the chunks of one prompt recovers
+    /// the unchunked prefill cost plus one floor per extra invocation —
+    /// chunking buys scheduling granularity, not free cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `upto > done` (an empty chunk is a scheduling bug).
+    #[must_use]
+    pub fn prefill_chunk_cost(&self, done: usize, upto: usize, batch: usize) -> StepCost {
+        assert!(upto > done, "empty prefill chunk ({done}..{upto})");
+        let full = self.prefill_cost(upto, batch);
+        if done == 0 {
+            return full;
+        }
+        let prefix = self.prefill_cost(done, batch);
+        let floor = self.prefill_cost(1, batch);
+        full.saturating_sub(prefix).add(floor)
+    }
+
+    /// Interpolated cost at `context`: exact at bucket boundaries, the
+    /// chord between the enclosing boundary costs in between. The lower
+    /// knot clamps to context 1 (a zero-length invocation has no meaning,
+    /// and the sub-bucket range still interpolates from the smallest real
+    /// invocation instead of rounding a 1-token query up a whole bucket).
+    fn interpolated(&self, kind: StepKind, batch: usize, context: usize) -> StepCost {
+        let c = context.max(1);
+        let hi = self.bucketed(c);
+        if c == hi {
+            return self.costed(kind, batch, c);
+        }
+        let lo = hi.saturating_sub(self.ctx_bucket).max(1);
+        let t = (c - lo) as f64 / (hi - lo) as f64;
+        StepCost::lerp(
+            self.costed(kind, batch, lo),
+            self.costed(kind, batch, hi),
+            t,
+        )
     }
 
     /// Distinct accelerator invocations performed so far (cache misses).
@@ -183,17 +279,55 @@ mod tests {
     }
 
     #[test]
-    fn caches_by_bucket_and_batch() {
+    fn interpolates_between_cached_boundaries() {
         let accel = Linear;
         let model = StepCostModel::new(&accel, template(), 128);
-        let a = model.decode_cost(100, 4);
-        let b = model.decode_cost(120, 4);
-        assert_eq!(a, b, "same bucket must hit the cache");
-        assert_eq!(model.invocations(), 1);
-        let c = model.decode_cost(130, 4);
-        assert!(c.cycles > a.cycles);
-        let _ = model.decode_cost(100, 8);
+        let lo = model.decode_cost(128, 4);
+        let hi = model.decode_cost(256, 4);
+        assert_eq!(model.invocations(), 2);
+        let mid = model.decode_cost(192, 4);
+        assert_eq!(
+            model.invocations(),
+            2,
+            "off-boundary queries interpolate cached boundaries"
+        );
+        // 192 is the midpoint of [128, 256]: the chord value is the mean.
+        assert!((mid.cycles - (lo.cycles + hi.cycles) / 2.0).abs() < 1e-9);
+        assert!(lo.cycles < mid.cycles && mid.cycles < hi.cycles);
+        let _ = model.decode_cost(128, 8);
         assert_eq!(model.invocations(), 3, "batch is part of the key");
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_costs() {
+        // The Linear accelerator's decode cost is affine in context, so the
+        // chord reproduces it exactly away from the sub-bucket clamp.
+        let accel = Linear;
+        let coarse = StepCostModel::new(&accel, template(), 256);
+        let exact = StepCostModel::new(&accel, template(), 1);
+        for ctx in [300, 511, 512, 700] {
+            let c = coarse.decode_cost(ctx, 2).cycles;
+            let e = exact.decode_cost(ctx, 2).cycles;
+            assert!((c - e).abs() < 1e-6, "ctx {ctx}: {c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn chunk_costs_telescope_to_full_prefill_plus_floors() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        let full = model.prefill_cost(256, 1).cycles;
+        let floor = model.prefill_cost(1, 1).cycles;
+        let chunks: f64 = [(0, 64), (64, 128), (128, 256)]
+            .iter()
+            .map(|&(a, b)| model.prefill_chunk_cost(a, b, 1).cycles)
+            .sum();
+        // Three invocations: the full work plus one weight-restream floor
+        // per resumed chunk.
+        assert!((chunks - (full + 2.0 * floor)).abs() < 1e-6);
+        // A fresh chunk covering the whole prompt is exactly the unchunked
+        // prefill.
+        assert!((model.prefill_chunk_cost(0, 256, 1).cycles - full).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Per-device fleet dispatch: serving one workload across N independent
+//! simulated devices.
+//!
+//! Unlike the §5.3 tensor-parallel scaling in
+//! [`ServeConfig::fleet`](crate::ServeConfig::fleet)
+//! (which makes *one* serving instance faster), fleet dispatch models
+//! **data parallelism across whole devices**: every device owns its own
+//! [`crate::KvCachePool`], scheduler state, and clock, and a front-end
+//! dispatcher assigns each arriving request to exactly one device under a
+//! pluggable [`DispatchPolicy`]. This is the regime where per-device
+//! memory capacity — not aggregate compute — bounds serving concurrency,
+//! which is precisely what the BGPP attention-keep ratio relaxes.
+//!
+//! # The drive loop
+//!
+//! Devices advance asynchronously on their own clocks. The driver
+//! repeatedly (1) runs admission on every device, (2) dispatches every
+//! arrival that is due — i.e. not later than the earliest clock among
+//! busy devices (with all devices idle the next arrival dispatches
+//! immediately and the target device fast-forwards to it) — and (3)
+//! executes one step on the busy device with the earliest clock.
+//! Closed-loop workloads release their next request through the global
+//! dispatcher whenever any device completes (or drops) one, so the
+//! in-flight population is fleet-wide.
+//!
+//! Dispatch decisions read each device's state as of its *own* clock. A
+//! device whose clock runs ahead of an arrival admits it at its next
+//! boundary, exactly as a single device admits requests that arrive
+//! mid-step — the modeled dispatcher observes queue contents, which only
+//! change at step boundaries.
+//!
+//! Everything is deterministic: ties in every policy break toward the
+//! lowest device index, so a `(workload, policy, config)` triple replays
+//! bit-identically.
+
+use std::collections::VecDeque;
+
+use crate::arrival::Workload;
+use crate::report::{DeviceReport, PoolReport, PreemptReport, RunTotals, ServeReport};
+use crate::request::{Request, RequestState};
+use crate::scheduler::Scheduler;
+use crate::sim::{DeviceSim, ServeSim};
+use crate::CLOCK_HZ;
+
+/// How the fleet front-end assigns an arriving request to a device.
+///
+/// All policies are deterministic; ties break toward the lowest device
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Cycle through devices in index order, ignoring load — the
+    /// baseline that a load-aware policy must beat on skewed traffic.
+    RoundRobin,
+    /// Join shortest queue: pick the device with the fewest queued tokens
+    /// (pending prompts and decodes plus unfinished admitted/suspended
+    /// work) — see [`DispatchPolicy::JoinShortestQueue`]'s metric in
+    /// `DeviceSim::queued_tokens`.
+    JoinShortestQueue,
+    /// Pick the device whose KV pool has the smallest reserved fraction —
+    /// balances *memory* pressure rather than compute backlog, which
+    /// matters when long-context requests dominate the pool.
+    LeastLoadedPool,
+}
+
+impl DispatchPolicy {
+    /// Short display label used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "rr",
+            DispatchPolicy::JoinShortestQueue => "jsq",
+            DispatchPolicy::LeastLoadedPool => "llp",
+        }
+    }
+
+    /// Every dispatch policy, for sweeps.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::LeastLoadedPool,
+    ];
+}
+
+impl<'a> ServeSim<'a> {
+    /// Runs one workload across `devices` independent simulated devices
+    /// under the given dispatch policy. Every device gets its own KV pool
+    /// (budgeted per
+    /// [`ServeConfig::kv_budget_bytes`](crate::ServeConfig::kv_budget_bytes)),
+    /// its own scheduler
+    /// from `make_scheduler`, and its own clock; the merged
+    /// [`ServeReport`] carries a per-device breakdown in
+    /// [`ServeReport::devices`].
+    ///
+    /// ```
+    /// use mcbp_model::LlmConfig;
+    /// use mcbp_serve::{
+    ///     ArrivalProcess, ContinuousBatchScheduler, DispatchPolicy, LoadGenerator,
+    ///     ServeConfig, ServeSim,
+    /// };
+    /// use mcbp_sim::{McbpConfig, McbpSim};
+    /// use mcbp_workloads::{SparsityProfile, Task, TraceContext, WeightGenerator};
+    ///
+    /// let model = LlmConfig::opt1b3();
+    /// let gen = WeightGenerator::for_model(&model);
+    /// let profile = SparsityProfile::measure(&gen.quantized_sample(32, 256, 1), 4);
+    /// let template = TraceContext {
+    ///     model, task: Task::cola(), batch: 1,
+    ///     weight_profile: profile, attention_keep: 0.3,
+    /// };
+    /// let mcbp = McbpSim::new(McbpConfig::default());
+    /// let sim = ServeSim::new(&mcbp, template, ServeConfig::default());
+    /// let workload = LoadGenerator::uniform(
+    ///     Task::cola(), 6, ArrivalProcess::ClosedLoop { concurrency: 6 },
+    /// ).generate();
+    /// let report = sim.run_fleet(
+    ///     &workload, 2, DispatchPolicy::JoinShortestQueue,
+    ///     &mut || Box::new(ContinuousBatchScheduler::new()),
+    /// );
+    /// assert_eq!(report.completed, 6);
+    /// assert_eq!(report.devices.len(), 2);
+    /// let dispatched: usize = report.devices.iter().map(|d| d.dispatched).sum();
+    /// assert_eq!(dispatched, 6);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero device count, on internal accounting violations,
+    /// or on a scheduler contract violation.
+    #[must_use]
+    pub fn run_fleet(
+        &self,
+        workload: &Workload,
+        devices: usize,
+        policy: DispatchPolicy,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> ServeReport {
+        assert!(devices >= 1, "a fleet needs at least one device");
+        let mut scheds: Vec<Box<dyn Scheduler>> = (0..devices).map(|_| make_scheduler()).collect();
+        let mut refs: Vec<&mut dyn Scheduler> =
+            scheds.iter_mut().map(|s| s.as_mut() as _).collect();
+        drive(self, workload, &mut refs, policy)
+    }
+}
+
+/// Picks the target device for one arrival under the given policy.
+fn pick_device(policy: DispatchPolicy, devs: &[DeviceSim<'_, '_>], rr: &mut usize) -> usize {
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let i = *rr % devs.len();
+            *rr += 1;
+            i
+        }
+        DispatchPolicy::JoinShortestQueue => (0..devs.len())
+            .min_by_key(|&i| (devs[i].queued_tokens(), i))
+            .expect("non-empty fleet"),
+        DispatchPolicy::LeastLoadedPool => (0..devs.len())
+            .min_by(|&a, &b| {
+                devs[a]
+                    .pool_load()
+                    .total_cmp(&devs[b].pool_load())
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty fleet"),
+    }
+}
+
+/// Releases the next closed-loop request (if any) at the given instant —
+/// a completion or a drop each vacate exactly one population slot. The
+/// released entry is re-inserted in arrival order: fleet devices complete
+/// on asynchronous clocks, so release instants are *not* nondecreasing
+/// and an in-place write would break the sorted-deque invariant the
+/// front-gated dispatch loop relies on.
+fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
+    let Some(idx) = pending.iter().position(|r| r.arrival_cycle.is_infinite()) else {
+        return;
+    };
+    let mut req = pending.remove(idx).expect("index valid");
+    req.arrival_cycle = now;
+    let pos = pending
+        .iter()
+        .position(|r| r.arrival_cycle > now)
+        .unwrap_or(pending.len());
+    pending.insert(pos, req);
+}
+
+/// The shared drive loop: one scheduler slice entry per device.
+pub(crate) fn drive(
+    sim: &ServeSim<'_>,
+    workload: &Workload,
+    scheds: &mut [&mut dyn Scheduler],
+    policy: DispatchPolicy,
+) -> ServeReport {
+    let n = scheds.len();
+    assert!(n >= 1, "at least one device");
+    let closed = workload.closed_loop.is_some();
+    let mut devs: Vec<DeviceSim<'_, '_>> = (0..n).map(|_| DeviceSim::new(sim)).collect();
+    // Kept arrival-sorted (generated workloads already are; sorting here
+    // makes hand-built ones safe too, and closed-loop releases re-insert
+    // their entry at its sorted position).
+    let mut pending: VecDeque<Request> = workload.requests.clone().into();
+    pending
+        .make_contiguous()
+        .sort_by(|a, b| a.arrival_cycle.total_cmp(&b.arrival_cycle));
+    let mut rr = 0usize;
+
+    loop {
+        // ---- admission + dispatch, to a fixpoint ----
+        loop {
+            let mut progress = false;
+            for dev in &mut devs {
+                let drops = dev.admit();
+                if drops > 0 {
+                    progress = true;
+                    if closed {
+                        for _ in 0..drops {
+                            release_next_closed_loop(&mut pending, dev.now);
+                        }
+                    }
+                }
+            }
+            // Dispatch every arrival due at or before the earliest busy
+            // device clock; with the whole fleet idle the next arrival is
+            // due immediately (its device fast-forwards to it).
+            while let Some(head) = pending.front() {
+                if !head.arrival_cycle.is_finite() {
+                    break;
+                }
+                let min_busy = devs
+                    .iter()
+                    .filter(|d| d.has_active())
+                    .map(|d| d.now)
+                    .min_by(f64::total_cmp);
+                if min_busy.is_some_and(|clock| head.arrival_cycle > clock) {
+                    break;
+                }
+                let req = pending.pop_front().expect("head exists");
+                let target = pick_device(policy, &devs, &mut rr);
+                devs[target].enqueue(req);
+                let drops = devs[target].admit();
+                if closed && drops > 0 {
+                    let t = devs[target].now;
+                    for _ in 0..drops {
+                        release_next_closed_loop(&mut pending, t);
+                    }
+                }
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // ---- step the busy device with the earliest clock ----
+        let Some(i) = (0..n)
+            .filter(|&i| devs[i].has_active())
+            .min_by(|&a, &b| devs[a].now.total_cmp(&devs[b].now))
+        else {
+            break; // drained (closed-loop leftovers can never release)
+        };
+        let completions = devs[i].step(scheds[i]);
+        if closed && completions > 0 {
+            let t = devs[i].now;
+            for _ in 0..completions {
+                release_next_closed_loop(&mut pending, t);
+            }
+        }
+    }
+    debug_assert!(
+        devs.iter().all(DeviceSim::is_drained),
+        "driver exited with undone device work"
+    );
+
+    // ---- merge per-device results ----
+    let duration_cycles = devs.iter().map(|d| d.now).fold(0.0, f64::max);
+    let span_s = (duration_cycles / CLOCK_HZ).max(1e-12);
+    let mut records = Vec::new();
+    let mut lanes = Vec::new();
+    let mut pool = PoolReport::default();
+    let mut preempt = PreemptReport::default();
+    let mut energy_pj = 0.0;
+    let mut decode_invocations = 0u64;
+    let mut decode_streams = 0u64;
+    let mut peak_concurrency = 0usize;
+    for (i, d) in devs.iter_mut().enumerate() {
+        let lane_pool = d.pool_report();
+        let lane_preempt = d.preempt_report();
+        let completed = d
+            .records
+            .iter()
+            .filter(|r| matches!(r.state, RequestState::Completed))
+            .count();
+        let tokens: usize = d
+            .records
+            .iter()
+            .filter(|r| matches!(r.state, RequestState::Completed))
+            .map(|r| r.tokens)
+            .sum();
+        lanes.push(DeviceReport {
+            device: i,
+            dispatched: d.dispatched,
+            completed,
+            dropped: d.records.len() - completed,
+            goodput_tokens_per_s: tokens as f64 / span_s,
+            utilization: if duration_cycles > 0.0 {
+                d.busy_cycles() / duration_cycles
+            } else {
+                0.0
+            },
+            energy_joules: d.energy_pj * 1e-12,
+            pool: lane_pool,
+            preempt: lane_preempt,
+        });
+        // Fleet aggregates: budgets and stalls add; the byte peaks are
+        // per-device maxima taken at different local instants, so their
+        // sum is an upper bound on any fleet-wide simultaneous figure.
+        // Means are time-weighted onto the fleet span: each device's
+        // mean covers only its own clock window, so a device that
+        // drained early must not count as if it stayed resident for the
+        // whole run.
+        pool.budget_bytes += lane_pool.budget_bytes;
+        pool.peak_resident_bytes += lane_pool.peak_resident_bytes;
+        pool.peak_reserved_bytes += lane_pool.peak_reserved_bytes;
+        if duration_cycles > 0.0 {
+            pool.mean_resident_bytes += lane_pool.mean_resident_bytes * d.now / duration_cycles;
+        }
+        pool.admission_stall_seconds += lane_pool.admission_stall_seconds;
+        preempt.preemptions += lane_preempt.preemptions;
+        preempt.swap_out_bytes += lane_preempt.swap_out_bytes;
+        preempt.swap_in_bytes += lane_preempt.swap_in_bytes;
+        preempt.swap_seconds += lane_preempt.swap_seconds;
+        preempt.recompute_seconds += lane_preempt.recompute_seconds;
+        preempt.peak_swap_held_bytes += lane_preempt.peak_swap_held_bytes;
+        energy_pj += d.energy_pj;
+        decode_invocations += d.decode_invocations;
+        decode_streams += d.decode_streams;
+        peak_concurrency += d.peak_concurrency;
+        records.append(&mut d.records);
+    }
+    records.sort_by_key(|r| r.request.id);
+    let mean_decode_batch = if decode_invocations == 0 {
+        0.0
+    } else {
+        decode_streams as f64 / decode_invocations as f64
+    };
+    let name = if n == 1 {
+        scheds[0].name().to_owned()
+    } else {
+        format!("{} [{}x {}]", scheds[0].name(), n, policy.name())
+    };
+    ServeReport::summarize(
+        name,
+        records,
+        RunTotals {
+            duration_cycles,
+            mean_decode_batch,
+            peak_concurrency,
+            energy_pj,
+            offered_rps: workload.offered_rps(),
+            preempt,
+        },
+        pool,
+        lanes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use mcbp_workloads::Task;
+
+    #[test]
+    fn out_of_order_releases_keep_the_pending_deque_sorted() {
+        // Fleet devices complete on asynchronous clocks, so release
+        // instants arrive out of order; each release must land at its
+        // sorted position, not at the front of the infinite tail.
+        let mut pending: VecDeque<Request> = (0..3)
+            .map(|i| Request::from_task(i, &Task::cola(), f64::INFINITY))
+            .collect();
+        release_next_closed_loop(&mut pending, 110.0);
+        release_next_closed_loop(&mut pending, 105.0);
+        let arrivals: Vec<f64> = pending.iter().map(|r| r.arrival_cycle).collect();
+        assert_eq!(arrivals[..2], [105.0, 110.0]);
+        assert!(arrivals[2].is_infinite());
+        // An early release sorts ahead of the finite entries; once no
+        // infinite entry remains, further releases are no-ops.
+        release_next_closed_loop(&mut pending, 1.0);
+        release_next_closed_loop(&mut pending, 120.0);
+        assert_eq!(pending.len(), 3);
+        let arrivals: Vec<f64> = pending.iter().map(|r| r.arrival_cycle).collect();
+        assert_eq!(arrivals, [1.0, 105.0, 110.0]);
+    }
+}

@@ -30,14 +30,25 @@
 //!
 //! **Steps, not events.** The simulator advances in *scheduler steps*:
 //! each iteration the [`Scheduler`] inspects admitted work and plans one
-//! batched accelerator invocation — either a prefill of admitted prompts
-//! or one decode token across up to `max_batch` coalesced streams
+//! batched accelerator invocation — either a prefill chunk of admitted
+//! prompts or one decode token across up to `max_batch` coalesced streams
 //! ([`StepPlan`]). The step is costed by the cycle-level model through a
-//! memoizing [`StepCostModel`] (contexts quantized to `ctx_bucket`), the
-//! clock advances by the step latency, and completions retire. Decode
-//! invocations amortize the weight stream across coalesced streams exactly
-//! as the underlying simulator does for batched workloads — that
-//! amortization is what continuous batching harvests and FCFS forfeits.
+//! memoizing [`StepCostModel`] (contexts quantized to `ctx_bucket`-token
+//! boundaries with linear interpolation in between), the clock advances
+//! by the step latency, and completions retire. Decode invocations
+//! amortize the weight stream across coalesced streams exactly as the
+//! underlying simulator does for batched workloads — that amortization is
+//! what continuous batching harvests and FCFS forfeits.
+//!
+//! **Chunked prefill.** Long prompts do not monopolize the device: a
+//! prefill invocation advances each selected prompt's *prefill cursor* by
+//! at most [`ServeConfig::prefill_chunk`] tokens (default 512), costed
+//! incrementally, and the coalescing schedulers alternate prefill chunks
+//! with decode steps. TTFT of a queued interactive request no longer
+//! hides behind an 8k-token prefill: under the [`PriorityScheduler`] its
+//! prompt's first chunk cuts in between a batch-class prompt's chunks. KV
+//! residency grows per chunk, and a mid-prefill drop-and-recompute victim
+//! replays only the chunks it had completed.
 //!
 //! **KV-cache admission.** A [`KvCachePool`] holds the byte budget —
 //! device HBM capacity minus resident INT8 weights
@@ -63,11 +74,16 @@
 //! [`ServeReport::slo_goodput_for`]. The [`PriorityScheduler`] coalesces
 //! like continuous batching but never displaces interactive streams.
 //!
-//! **Fleets.** [`ServeConfig::fleet`] dispatches steps onto the §5.3
-//! multi-device scaling model ([`mcbp_workloads::Fleet`]): step latency
-//! divides by the fleet's effective speedup, energy pays the communication
-//! tax, and the KV budget multiplies by the device count (data-parallel
-//! replicas hold their own KV shards).
+//! **Fleets.** Two orthogonal scaling axes. [`ServeConfig::fleet`] makes
+//! *one* serving instance faster via the §5.3 tensor-parallel scaling
+//! model ([`mcbp_workloads::Fleet`]): step latency divides by the group's
+//! effective speedup and energy pays the communication tax.
+//! [`ServeSim::run_fleet`] scales *out* instead: N independent simulated
+//! devices, each with its own [`KvCachePool`], scheduler state, and
+//! clock, behind a pluggable [`DispatchPolicy`] (round-robin,
+//! join-shortest-queue by queued tokens, least-loaded-pool), with
+//! per-device utilization/goodput breakdowns in
+//! [`ServeReport::devices`].
 //!
 //! **Reports.** A [`ServeReport`] aggregates TTFT, per-output-token
 //! latency, and end-to-end latency (mean/p50/p95/p99), goodput
@@ -106,6 +122,7 @@
 
 mod arrival;
 mod cost;
+mod dispatch;
 mod pool;
 mod preempt;
 mod report;
@@ -115,9 +132,10 @@ mod sim;
 
 pub use arrival::{ArrivalProcess, LoadGenerator, RequestClass, Workload};
 pub use cost::{StepCost, StepCostModel};
+pub use dispatch::DispatchPolicy;
 pub use pool::{request_kv_bytes, KvCachePool, Reservation};
 pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
-pub use report::{LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport};
+pub use report::{DeviceReport, LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport};
 pub use request::{Priority, Request, RequestId, RequestRecord, RequestState, SloSpec};
 pub use scheduler::{
     ContinuousBatchScheduler, FcfsScheduler, PriorityScheduler, SchedEntry, SchedView, Scheduler,

@@ -1,3 +1,44 @@
+//! The KV-cache pool: byte-budgeted admission control with a per-request
+//! reservation ledger.
+//!
+//! # Reservation-ledger invariants
+//!
+//! Three invariants make the pool's accounting unbreakable from outside:
+//!
+//! 1. **Peak reservation at admission.** [`KvCachePool::try_reserve`]
+//!    reserves a request's residency at *final* context up front (scaled
+//!    by the BGPP attention-keep ratio, [`request_kv_bytes`]), so
+//!    decode-time growth can never drive the pool over budget — the
+//!    budget check happens once, at admission, and
+//!    `reserved_bytes ≤ budget_bytes` holds at every instant.
+//! 2. **Residency within reservation.** Actual residency grows token by
+//!    token (or chunk by chunk under chunked prefill) via
+//!    [`KvCachePool::grow_resident`] and asserts
+//!    `resident ≤ reserved` per request: one stream can never steal
+//!    another's admitted bytes.
+//! 3. **Ledger-sourced releases.** [`KvCachePool::release`] frees exactly
+//!    what the internal ledger recorded for the request — callers cannot
+//!    misstate a release, so accounting cannot drift even if a caller's
+//!    own bookkeeping disagrees.
+//!
+//! Double reservation, double release, and over-growth are accounting
+//! bugs and panic immediately rather than corrupting the budget. The
+//! property tests in `crates/serve/tests/pool_properties.rs` drive
+//! random admit/grow/release/evict interleavings against these
+//! invariants.
+//!
+//! ```
+//! use mcbp_serve::KvCachePool;
+//!
+//! let mut pool = KvCachePool::with_budget(1000);
+//! assert!(pool.try_reserve(1, 600));
+//! assert!(!pool.try_reserve(2, 500), "over budget");
+//! pool.grow_resident(1, 250);
+//! let freed = pool.release(1);
+//! assert_eq!((freed.reserved_bytes, freed.resident_bytes), (600, 250));
+//! assert!(pool.is_idle());
+//! ```
+
 use std::collections::BTreeMap;
 
 use mcbp_mem::HbmConfig;

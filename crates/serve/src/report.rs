@@ -97,6 +97,34 @@ impl PreemptReport {
     }
 }
 
+/// One device's share of a fleet serving run (see
+/// [`crate::ServeSim::run_fleet`]): what the dispatcher sent it, what it
+/// completed, and how busy it was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceReport {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Requests the dispatcher assigned to this device.
+    pub dispatched: usize,
+    /// Requests this device completed.
+    pub completed: usize,
+    /// Requests this device dropped (peak KV residency can never fit its
+    /// pool).
+    pub dropped: usize,
+    /// Decoded tokens of this device's completed requests per second of
+    /// the *fleet* span (so device goodputs add up to the fleet total).
+    pub goodput_tokens_per_s: f64,
+    /// Fraction of the fleet span this device spent executing steps or
+    /// stalled on swap transfers.
+    pub utilization: f64,
+    /// Accelerator energy this device consumed, in joules.
+    pub energy_joules: f64,
+    /// This device's KV-pool statistics.
+    pub pool: PoolReport,
+    /// This device's preemption statistics.
+    pub preempt: PreemptReport,
+}
+
 /// Aggregate results of one serving simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -132,10 +160,19 @@ pub struct ServeReport {
     pub peak_concurrency: usize,
     /// Total accelerator energy in joules.
     pub energy_joules: f64,
-    /// KV-pool statistics.
+    /// KV-pool statistics. For a fleet run this is the aggregate: budgets
+    /// and stalls add, the byte peaks are sums of per-device maxima taken
+    /// at different local instants (an upper bound on any simultaneous
+    /// fleet-wide figure), and the mean residency is each device's mean
+    /// weighted by its own active window over the fleet span — per-device
+    /// truth lives in [`ServeReport::devices`].
     pub pool: PoolReport,
-    /// Preemption/eviction statistics.
+    /// Preemption/eviction statistics (fleet-wide sums for a fleet run).
     pub preempt: PreemptReport,
+    /// Per-device breakdown of a fleet run
+    /// ([`crate::ServeSim::run_fleet`]); a single-device run carries its
+    /// one lane here too.
+    pub devices: Vec<DeviceReport>,
     /// Per-request timelines (completed and dropped).
     pub records: Vec<RequestRecord>,
 }
@@ -165,6 +202,7 @@ impl ServeReport {
         records: Vec<RequestRecord>,
         totals: RunTotals,
         pool: PoolReport,
+        devices: Vec<DeviceReport>,
     ) -> Self {
         let RunTotals {
             duration_cycles,
@@ -221,6 +259,7 @@ impl ServeReport {
             energy_joules: energy_pj * 1e-12,
             pool,
             preempt,
+            devices,
             records,
         }
     }
@@ -315,6 +354,20 @@ impl fmt::Display for ServeReport {
             self.pool.mean_resident_bytes / f64::from(1u32 << 30),
             self.pool.admission_stall_seconds
         )?;
+        if self.devices.len() > 1 {
+            for d in &self.devices {
+                writeln!(
+                    f,
+                    "  device {}: {} dispatched, {} completed, goodput {:>8.1} tok/s, util {:>5.1}%, pool peak {:>5.1}%",
+                    d.device,
+                    d.dispatched,
+                    d.completed,
+                    d.goodput_tokens_per_s,
+                    d.utilization * 100.0,
+                    d.pool.peak_occupancy() * 100.0
+                )?;
+            }
+        }
         write!(f, "  energy: {:.3} J", self.energy_joules)
     }
 }

@@ -127,13 +127,17 @@ impl Request {
 /// AwaitingPrefill → Decoding → Completed` (or `Dropped` if its KV
 /// footprint can never fit). Preemption loops a request back: an evicted
 /// victim returns to `Queued` and, once re-admitted, to `AwaitingPrefill`
-/// (drop-and-recompute replays the prefill) or straight to `Decoding`
-/// (swap restores its KV from host memory).
+/// (drop-and-recompute replays the prefill — only the chunks it had
+/// completed, when evicted mid-prefill) or straight to `Decoding` (swap
+/// restores its KV from host memory; a mid-prefill swap victim resumes
+/// `AwaitingPrefill` at its preserved cursor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestState {
     /// Arrived, not yet admitted (waiting for KV-pool reservation).
     Queued,
-    /// Admitted, prompt not yet processed.
+    /// Admitted, prompt not fully processed: the prefill cursor advances
+    /// chunk by chunk under [`crate::ServeConfig::prefill_chunk`] (see
+    /// [`crate::SchedEntry::done`]).
     AwaitingPrefill,
     /// Prompt processed; `generated` tokens decoded so far.
     Decoding {

@@ -1,3 +1,32 @@
+//! Serving schedulers: how queue state becomes the next batched step.
+//!
+//! Every scheduler implements one decision: given the admitted requests
+//! awaiting prefill and the streams mid-decode ([`SchedView`]), what does
+//! the next accelerator invocation coalesce ([`StepPlan`])? Three
+//! implementations ladder up the serving literature:
+//!
+//! * [`FcfsScheduler`] — run-to-completion, batch 1: the static-serving
+//!   baseline that forfeits weight-stream amortization.
+//! * [`ContinuousBatchScheduler`] — Orca-style iteration-level
+//!   scheduling: decode streams coalesce up to `max_batch` wide and new
+//!   prompts join at tick boundaries.
+//! * [`PriorityScheduler`] — the same coalescing, but the interactive
+//!   class wins spare width and is never displaced by batch-class work.
+//!
+//! **Chunked prefill.** A waiting prefill carries a cursor
+//! ([`SchedEntry::done`]): the simulator advances it by at most
+//! `ServeConfig::prefill_chunk` tokens per invocation, so a long prompt
+//! occupies the device in chunk-sized steps instead of one monolithic
+//! prefill. The coalescing schedulers *alternate* prefill chunks with
+//! decode steps whenever both are runnable, which is what keeps decode
+//! streams flowing (and lets a queued interactive prompt cut in between
+//! chunks under [`PriorityScheduler`]) while an 8k-token prompt prefills.
+//!
+//! Schedulers must be deterministic functions of the observed views plus
+//! internal state — no randomness, no wall clock — so serving simulations
+//! replay exactly. Returning [`StepPlan::Idle`] while work is visible is a
+//! contract violation and panics the simulator (see [`Scheduler::plan`]).
+
 use crate::request::{Priority, RequestId};
 
 /// One schedulable request as the scheduler sees it.
@@ -9,6 +38,11 @@ pub struct SchedEntry {
     /// prompt, plus any already-generated tokens when a drop-and-recompute
     /// victim replays). For a decoding stream: its current context.
     pub len: usize,
+    /// The prefill cursor: tokens of `len` already prefilled by earlier
+    /// chunk invocations (0 for a fresh prompt, `len` for a decoding
+    /// stream). Schedulers batch prefills whose `(len, done)` match so one
+    /// invocation advances every selected prompt by the same chunk.
+    pub done: usize,
     /// Scheduling class.
     pub priority: Priority,
 }
@@ -106,20 +140,23 @@ impl Scheduler for FcfsScheduler {
 /// Continuous batching (Orca-style iteration-level scheduling): every tick
 /// coalesces up to `max_batch` active decode streams into one batched
 /// invocation, and newly admitted prompts join the running batch at the
-/// next tick boundary instead of waiting for a drain. Prefills take
-/// priority while the decode batch has spare width, so arriving streams
-/// start contributing to coalescing as early as possible. Priority classes
-/// are ignored (see [`PriorityScheduler`] for the class-aware variant).
+/// next tick boundary instead of waiting for a drain. Prefills win the
+/// spare width while the decode batch has room, but when prompts and
+/// decode streams are both runnable the scheduler *alternates* prefill and
+/// decode steps, so a chunked long prompt cannot stall decoding for its
+/// whole prefill. Priority classes are ignored (see [`PriorityScheduler`]
+/// for the class-aware variant).
 #[derive(Debug, Clone, Default)]
 pub struct ContinuousBatchScheduler {
     rotate: usize,
+    last_was_prefill: bool,
 }
 
 impl ContinuousBatchScheduler {
     /// A fresh continuous-batching scheduler.
     #[must_use]
     pub fn new() -> Self {
-        ContinuousBatchScheduler { rotate: 0 }
+        ContinuousBatchScheduler::default()
     }
 }
 
@@ -130,21 +167,27 @@ impl Scheduler for ContinuousBatchScheduler {
 
     fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
         let width = view.max_batch.max(1);
-        // Admit new streams while the decode batch has spare width. Batch
-        // only same-length prompts together so one invocation's cost is
-        // well-defined by a single prompt length.
-        if !view.waiting_prefill.is_empty() && view.decoding.len() < width {
+        let wants_prefill = !view.waiting_prefill.is_empty() && view.decoding.len() < width;
+        // Alternate prefill chunks with decode steps when both are
+        // runnable (decode streams must not starve behind a chunked long
+        // prompt); prefill unconditionally when nothing is decoding.
+        if wants_prefill && (view.decoding.is_empty() || !self.last_was_prefill) {
+            self.last_was_prefill = true;
             let spare = width - view.decoding.len();
-            let lead = view.waiting_prefill[0].len;
+            // Batch only prompts matching the queue head's (length,
+            // cursor) so one invocation advances every selected prompt by
+            // the same chunk and its cost is well-defined.
+            let lead = view.waiting_prefill[0];
             let ids: Vec<RequestId> = view
                 .waiting_prefill
                 .iter()
-                .filter(|e| e.len == lead)
+                .filter(|e| e.len == lead.len && e.done == lead.done)
                 .take(spare)
                 .map(|e| e.id)
                 .collect();
             return StepPlan::Prefill(ids);
         }
+        self.last_was_prefill = false;
         if view.decoding.is_empty() {
             return StepPlan::Idle;
         }
@@ -169,18 +212,21 @@ fn rotate_take(rotate: &mut usize, list: &[SchedEntry], take: usize) -> Vec<Requ
 }
 
 /// Priority-aware continuous batching: the same iteration-level coalescing
-/// as [`ContinuousBatchScheduler`], but when the machine is oversubscribed
-/// the [`Priority::Interactive`] class is served first — interactive
-/// prefills win the spare width, and interactive decode streams are never
-/// displaced from a full batch by batch-class streams. Within each class
-/// the window rotates round-robin so no stream starves its own class.
-/// (Eviction of batch-class victims under *pool* pressure is the
+/// as [`ContinuousBatchScheduler`] (including prefill/decode alternation
+/// for chunked prompts), but when the machine is oversubscribed the
+/// [`Priority::Interactive`] class is served first — interactive prefills
+/// win the spare width (an interactive prompt's next chunk jumps ahead of
+/// a half-prefilled batch-class prompt), and interactive decode streams
+/// are never displaced from a full batch by batch-class streams. Within
+/// each class the window rotates round-robin so no stream starves its own
+/// class. (Eviction of batch-class victims under *pool* pressure is the
 /// simulator's job, driven by [`crate::PreemptConfig`]; this scheduler
 /// decides only what each accelerator invocation coalesces.)
 #[derive(Debug, Clone, Default)]
 pub struct PriorityScheduler {
     rotate_interactive: usize,
     rotate_batch: usize,
+    last_was_prefill: bool,
 }
 
 impl PriorityScheduler {
@@ -198,11 +244,13 @@ impl Scheduler for PriorityScheduler {
 
     fn plan(&mut self, view: &SchedView<'_>) -> StepPlan {
         let width = view.max_batch.max(1);
-        if !view.waiting_prefill.is_empty() && view.decoding.len() < width {
+        let wants_prefill = !view.waiting_prefill.is_empty() && view.decoding.len() < width;
+        if wants_prefill && (view.decoding.is_empty() || !self.last_was_prefill) {
+            self.last_was_prefill = true;
             let spare = width - view.decoding.len();
             // Serve the highest waiting class; within it, batch prompts
-            // matching the class's first prompt length (one invocation's
-            // cost must be defined by a single length).
+            // matching the class lead's (length, cursor) so one invocation
+            // advances every selected prompt by the same chunk.
             let best = view
                 .waiting_prefill
                 .iter()
@@ -213,17 +261,17 @@ impl Scheduler for PriorityScheduler {
                 .waiting_prefill
                 .iter()
                 .find(|e| e.priority == best)
-                .expect("class present")
-                .len;
+                .expect("class present");
             let ids: Vec<RequestId> = view
                 .waiting_prefill
                 .iter()
-                .filter(|e| e.priority == best && e.len == lead)
+                .filter(|e| e.priority == best && e.len == lead.len && e.done == lead.done)
                 .take(spare)
                 .map(|e| e.id)
                 .collect();
             return StepPlan::Prefill(ids);
         }
+        self.last_was_prefill = false;
         if view.decoding.is_empty() {
             return StepPlan::Idle;
         }
@@ -257,6 +305,7 @@ mod tests {
         SchedEntry {
             id,
             len,
+            done: 0,
             priority: Priority::Batch,
         }
     }
@@ -265,6 +314,7 @@ mod tests {
         SchedEntry {
             id,
             len,
+            done: 0,
             priority: Priority::Interactive,
         }
     }
@@ -329,6 +379,63 @@ mod tests {
         let second = s.plan(&view);
         assert_eq!(first, StepPlan::Decode(vec![0, 1, 2, 3]));
         assert_eq!(second, StepPlan::Decode(vec![4, 5, 0, 1]));
+    }
+
+    #[test]
+    fn continuous_batching_alternates_prefill_chunks_with_decode() {
+        // A long prompt mid-chunking must not monopolize the device: with
+        // decode streams live, every other step is a decode.
+        let mut s = ContinuousBatchScheduler::new();
+        let waiting = [SchedEntry {
+            id: 9,
+            len: 8192,
+            done: 512,
+            priority: Priority::Batch,
+        }];
+        let view = SchedView {
+            waiting_prefill: &waiting,
+            decoding: &[entry(1, 300)],
+            max_batch: 4,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![9]));
+        assert_eq!(s.plan(&view), StepPlan::Decode(vec![1]));
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![9]));
+        // With nothing decoding the prompt chunks run back to back.
+        let view = SchedView {
+            waiting_prefill: &waiting,
+            decoding: &[],
+            max_batch: 4,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![9]));
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![9]));
+    }
+
+    #[test]
+    fn prefill_batches_require_matching_cursors() {
+        // Two same-length prompts at different chunk cursors cannot share
+        // one invocation: the chunk they would execute differs.
+        let mut s = ContinuousBatchScheduler::new();
+        let waiting = [
+            SchedEntry {
+                id: 1,
+                len: 1024,
+                done: 512,
+                priority: Priority::Batch,
+            },
+            entry(2, 1024),
+            SchedEntry {
+                id: 3,
+                len: 1024,
+                done: 512,
+                priority: Priority::Batch,
+            },
+        ];
+        let view = SchedView {
+            waiting_prefill: &waiting,
+            decoding: &[],
+            max_batch: 8,
+        };
+        assert_eq!(s.plan(&view), StepPlan::Prefill(vec![1, 3]));
     }
 
     #[test]

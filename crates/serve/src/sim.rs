@@ -1,15 +1,63 @@
+//! The discrete-event serving core: one device's event loop, admission
+//! control, and step execution.
+//!
+//! # The event loop
+//!
+//! A [`DeviceSim`] (crate-internal) owns one device's complete serving
+//! state: its [`KvCachePool`], its suspended-victim set, its clock, and
+//! its in-flight requests. The loop driven by [`crate::dispatch`] repeats
+//! three phases per step:
+//!
+//! 1. **Admission** — resumable evicted victims and arrived queue entries
+//!    are considered best-first (priority desc, arrival asc, id asc); the
+//!    best candidate reserves its *peak* KV residency or, failing that,
+//!    preempts strictly lower-priority victims when the configured
+//!    [`crate::EvictionPolicy`] allows. When the best candidate cannot be
+//!    placed, admission blocks — lower-ordered candidates never jump it.
+//! 2. **Planning** — the pluggable [`Scheduler`] sees admitted prompts
+//!    (with their prefill cursors) and decoding streams, and plans one
+//!    batched invocation ([`StepPlan`]).
+//! 3. **Execution** — the invocation is costed by the memoizing
+//!    [`StepCostModel`], the device clock advances by its latency, KV
+//!    residency grows, and completions retire (releasing their
+//!    reservations).
+//!
+//! # Chunked prefill
+//!
+//! Each in-flight request carries a **prefill cursor**. A prefill
+//! invocation advances the cursor by at most
+//! [`ServeConfig::prefill_chunk`] tokens, costed incrementally by
+//! [`StepCostModel::prefill_chunk_cost`], and the request's KV residency
+//! grows *per chunk* (the bytes of the prefilled prefix) instead of
+//! landing all at once. A request evicted mid-prefill under
+//! drop-and-recompute replays **only its completed chunks** on resume —
+//! the unprefilled remainder was never computed, so it is first-time
+//! work, not replay; only the replayed share of each invocation is
+//! attributed to `recompute_seconds`. A mid-prefill swap victim keeps its
+//! cursor: swap preserves the prefix KV, so the prefill continues where
+//! it stopped.
+//!
+//! # Reservation-ledger invariants
+//!
+//! Admission reserves a request's peak residency up front in the pool's
+//! per-request ledger, so decode-time growth can never drive the pool
+//! over budget, and releases/evictions free exactly what the ledger
+//! recorded (see [`crate::pool`] — the pool asserts both invariants).
+//! The simulator never reads a wall clock and draws no randomness, so a
+//! `(workload, scheduler, config)` triple replays bit-identically.
+
 use std::collections::VecDeque;
 
 use mcbp_workloads::{Accelerator, Fleet, TraceContext};
 
 use crate::arrival::Workload;
 use crate::cost::{StepCost, StepCostModel};
+use crate::dispatch::{drive, DispatchPolicy};
 use crate::pool::{request_kv_bytes, KvCachePool};
 use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
-use crate::report::{PoolReport, PreemptReport, RunTotals, ServeReport};
+use crate::report::{PoolReport, PreemptReport, ServeReport};
 use crate::request::{Priority, Request, RequestId, RequestRecord, RequestState};
 use crate::scheduler::{SchedEntry, SchedView, Scheduler, StepPlan};
-use crate::CLOCK_HZ;
 
 /// Configuration of one serving simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,24 +65,31 @@ pub struct ServeConfig {
     /// Maximum streams one batched invocation may coalesce (the
     /// continuous-batching width).
     pub max_batch: usize,
-    /// Context-length quantization of the step-cost cache, in tokens.
+    /// Context-length quantization of the step-cost cache, in tokens
+    /// (costs interpolate between bucket boundaries).
     pub ctx_bucket: usize,
-    /// KV-pool byte budget for the whole deployment. `Some(bytes)` is
-    /// used verbatim — it is a fleet-wide total and is *not* multiplied
-    /// by the device count. `None` derives a per-device budget from the
-    /// HBM capacity minus the resident INT8 weights and scales it by the
-    /// fleet's device count via [`KvCachePool::from_memory_spec`].
+    /// Maximum prefill tokens one invocation advances per request.
+    /// `Some(n)` splits long prompts into `n`-token chunks that the
+    /// coalescing schedulers interleave with decode steps; `None`
+    /// prefills every prompt in a single monolithic invocation (the
+    /// pre-chunking behavior, kept as the ablation baseline).
+    pub prefill_chunk: Option<usize>,
+    /// KV-pool byte budget per device. `Some(bytes)` is used verbatim.
+    /// `None` derives the budget from the HBM capacity minus the resident
+    /// INT8 weights and scales it by [`ServeConfig::fleet`]'s device
+    /// count via [`KvCachePool::from_memory_spec`] (the tensor-parallel
+    /// group holds one KV shard per member).
     pub kv_budget_bytes: Option<u64>,
-    /// Device fleet the steps dispatch onto. [`Fleet::single`] serves
-    /// from one device; larger fleets divide step latency by the fleet's
-    /// effective speedup (energy pays the communication tax), reusing the
-    /// §5.3 multi-device scaling model. With a derived KV budget
-    /// (`kv_budget_bytes: None`) each data-parallel replica contributes
-    /// its own KV shard to the pool.
+    /// §5.3 tensor-parallel scaling applied to every step *within* one
+    /// simulated device: step latency divides by the group's effective
+    /// speedup and energy pays the communication tax (see
+    /// [`Fleet::scale`]). This models one multi-chip serving instance;
+    /// for data-parallel serving across *independent* devices with their
+    /// own pools and queues, see [`ServeSim::run_fleet`].
     pub fleet: Fleet,
     /// Preemption/eviction policy and host-link bandwidth. Swap transfer
     /// latency is charged at the configured host link and is *not* scaled
-    /// by the fleet (one host link per deployment).
+    /// by the fleet (one host link per serving instance).
     pub preempt: PreemptConfig,
 }
 
@@ -43,6 +98,7 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: 16,
             ctx_bucket: 256,
+            prefill_chunk: Some(512),
             kv_budget_bytes: None,
             fleet: Fleet::single(),
             preempt: PreemptConfig::default(),
@@ -57,9 +113,15 @@ struct InFlight {
     req: Request,
     /// First admission instant (preserved across preemptions).
     admitted_cycle: f64,
-    prefilled: bool,
-    /// The pending prefill recomputes KV that an eviction discarded.
-    replay_prefill: bool,
+    /// The prefill cursor: tokens of `prefill_target` already processed.
+    prefill_done: usize,
+    /// Tokens the pending prefill must cover: the prompt, plus any
+    /// already-generated tokens when a drop-and-recompute victim replays.
+    prefill_target: usize,
+    /// Leading portion of `prefill_target` that recomputes KV an eviction
+    /// discarded (0 for fresh prompts). Chunk invocations overlapping this
+    /// region bill their share to `recompute_seconds`.
+    replay_tokens: usize,
     tokens: usize,
     first_token_cycle: f64,
     preemptions: usize,
@@ -68,6 +130,10 @@ struct InFlight {
 impl InFlight {
     fn context(&self) -> usize {
         self.req.prompt_len + self.tokens
+    }
+
+    fn prefilled(&self) -> bool {
+        self.prefill_done >= self.prefill_target
     }
 }
 
@@ -80,9 +146,15 @@ struct Suspended {
     tokens: usize,
     first_token_cycle: f64,
     preemptions: usize,
-    /// Whether the victim had completed its prefill (a drop-and-recompute
-    /// resume must then replay it; a fresh victim just prefills normally).
-    had_prefilled: bool,
+    /// Prefill cursor at eviction. A swap victim resumes from it (its
+    /// prefix KV is preserved in host memory); a drop-and-recompute
+    /// victim restarts from zero and replays exactly this many completed
+    /// tokens (plus its generated tokens when the prefill had finished).
+    prefill_done: usize,
+    /// Prefill target at eviction.
+    prefill_target: usize,
+    /// Replay attribution the victim still carried at eviction.
+    replay_tokens: usize,
     /// KV bytes held in the swap ledger (0 under drop-and-recompute).
     swapped_bytes: u64,
 }
@@ -117,10 +189,10 @@ fn admits_before(a: (Priority, f64, RequestId), b: (Priority, f64, RequestId)) -
 
 /// The discrete-event serving simulator: drives an [`Accelerator`] under
 /// multi-request load through a pluggable [`Scheduler`], with KV-pool
-/// admission control, priority-aware preemption, and full latency
-/// accounting. Time is the simulated 1 GHz core clock; there is no
-/// wall-clock dependence anywhere, so a `(workload, scheduler, config)`
-/// triple replays bit-identically.
+/// admission control, chunked prefill, priority-aware preemption, and
+/// full latency accounting. Time is the simulated 1 GHz core clock; there
+/// is no wall-clock dependence anywhere, so a `(workload, scheduler,
+/// config)` triple replays bit-identically.
 pub struct ServeSim<'a> {
     cost: StepCostModel<'a>,
     cfg: ServeConfig,
@@ -134,10 +206,14 @@ impl<'a> ServeSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on a zero `max_batch` or `ctx_bucket`.
+    /// Panics on a zero `max_batch`, `ctx_bucket`, or `prefill_chunk`.
     #[must_use]
     pub fn new(accel: &'a dyn Accelerator, template: TraceContext, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch >= 1, "coalescing width must be positive");
+        assert!(
+            cfg.prefill_chunk != Some(0),
+            "prefill chunk must be positive (use None for unchunked)"
+        );
         let cost = StepCostModel::new(accel, template, cfg.ctx_bucket);
         ServeSim { cost, cfg }
     }
@@ -154,7 +230,19 @@ impl<'a> ServeSim<'a> {
         &self.cost
     }
 
-    fn fresh_pool(&self) -> KvCachePool {
+    /// Runs one workload under one scheduler to completion on a single
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal accounting violations (the KV pool asserts its
+    /// budget invariants) or a scheduler contract violation.
+    #[must_use]
+    pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> ServeReport {
+        drive(self, workload, &mut [scheduler], DispatchPolicy::RoundRobin)
+    }
+
+    pub(crate) fn fresh_pool(&self) -> KvCachePool {
         match self.cfg.kv_budget_bytes {
             Some(bytes) => KvCachePool::with_budget(bytes),
             None => KvCachePool::from_memory_spec(
@@ -165,10 +253,10 @@ impl<'a> ServeSim<'a> {
         }
     }
 
-    /// Applies the fleet scaling model to one step: latency divides by the
-    /// effective speedup, energy pays the communication tax (the same
-    /// model as [`Fleet::scale`], applied per step — like it, the tax
-    /// spares the bit-reorder component).
+    /// Applies the §5.3 tensor-parallel scaling model to one step: latency
+    /// divides by the effective speedup, energy pays the communication tax
+    /// (the same model as [`Fleet::scale`], applied per step — like it,
+    /// the tax spares the bit-reorder component).
     fn fleet_scaled(&self, cost: StepCost) -> StepCost {
         let fleet = &self.cfg.fleet;
         if fleet.devices <= 1 {
@@ -181,100 +269,192 @@ impl<'a> ServeSim<'a> {
             reorder_pj: cost.reorder_pj,
         }
     }
+}
 
-    /// Runs one workload under one scheduler to completion.
-    ///
-    /// # Panics
-    ///
-    /// Panics on internal accounting violations (the KV pool asserts its
-    /// budget invariants).
-    #[must_use]
-    #[allow(clippy::too_many_lines)]
-    pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> ServeReport {
-        let keep = self.cost.template().attention_keep;
-        let model = self.cost.template().model.clone();
-        let preempt = self.cfg.preempt.clone();
-        let mut pool = self.fresh_pool();
-        let mut ledger = SwapLedger::new();
-        let mut tally = PreemptTally::default();
-        // Kept arrival-sorted (generated workloads already are; sorting
-        // here makes hand-built ones safe too, and closed-loop releases
-        // preserve the order because they assign nondecreasing `now`
-        // instants to the infinite prefix-ordered tail): the admission
-        // scan below stops at the first not-yet-arrived entry instead of
-        // walking the whole deque every iteration.
-        let mut pending: VecDeque<Request> = workload.requests.clone().into();
-        pending
-            .make_contiguous()
-            .sort_by(|a, b| a.arrival_cycle.total_cmp(&b.arrival_cycle));
-        let mut active: Vec<InFlight> = Vec::new();
-        let mut suspended: Vec<Suspended> = Vec::new();
-        let mut records: Vec<RequestRecord> = Vec::new();
-        let mut now = 0.0f64;
-        let mut energy_pj = 0.0f64;
-        let mut decode_invocations = 0u64;
-        let mut decode_streams = 0u64;
-        let mut peak_concurrency = 0usize;
+/// One simulated device's complete serving state: local queue, KV pool,
+/// suspended victims, clock, and counters. The dispatch driver
+/// ([`crate::dispatch`]) owns one of these per fleet device and steps
+/// whichever has runnable work and the earliest clock.
+pub(crate) struct DeviceSim<'s, 'a> {
+    sim: &'s ServeSim<'a>,
+    pub(crate) pool: KvCachePool,
+    ledger: SwapLedger,
+    tally: PreemptTally,
+    /// Requests dispatched to this device, arrival-sorted, not yet
+    /// admitted.
+    pending: VecDeque<Request>,
+    active: Vec<InFlight>,
+    suspended: Vec<Suspended>,
+    pub(crate) records: Vec<RequestRecord>,
+    /// This device's clock, in core cycles.
+    pub(crate) now: f64,
+    /// Cycles spent executing steps (plus swap stalls tallied
+    /// separately), for utilization reporting.
+    busy_cycles: f64,
+    pub(crate) energy_pj: f64,
+    pub(crate) decode_invocations: u64,
+    pub(crate) decode_streams: u64,
+    pub(crate) peak_concurrency: usize,
+    pub(crate) dispatched: usize,
+}
 
+impl<'s, 'a> DeviceSim<'s, 'a> {
+    pub(crate) fn new(sim: &'s ServeSim<'a>) -> Self {
+        DeviceSim {
+            sim,
+            pool: sim.fresh_pool(),
+            ledger: SwapLedger::new(),
+            tally: PreemptTally::default(),
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            suspended: Vec::new(),
+            records: Vec::new(),
+            now: 0.0,
+            busy_cycles: 0.0,
+            energy_pj: 0.0,
+            decode_invocations: 0,
+            decode_streams: 0,
+            peak_concurrency: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// Hands this device a dispatched request, keeping the local queue
+    /// arrival-sorted (dispatch order is global arrival order, so this is
+    /// a tail insert except around closed-loop releases).
+    pub(crate) fn enqueue(&mut self, req: Request) {
+        self.dispatched += 1;
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|r| r.arrival_cycle <= req.arrival_cycle)
+            .map_or(0, |i| i + 1);
+        self.pending.insert(pos, req);
+    }
+
+    pub(crate) fn has_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Whether this device still holds undone work of any kind.
+    pub(crate) fn is_drained(&self) -> bool {
+        self.active.is_empty() && self.suspended.is_empty() && self.pending.is_empty()
+    }
+
+    /// Remaining work queued on this device, in tokens (pending prompts
+    /// and decodes, plus unprefilled and undecoded tokens of admitted and
+    /// suspended requests) — the join-shortest-queue dispatch metric.
+    pub(crate) fn queued_tokens(&self) -> u64 {
+        let pending: usize = self
+            .pending
+            .iter()
+            .map(|r| r.prompt_len + r.decode_len)
+            .sum();
+        let active: usize = self
+            .active
+            .iter()
+            .map(|f| (f.prefill_target - f.prefill_done) + (f.req.decode_len - f.tokens))
+            .sum();
+        let suspended: usize = self
+            .suspended
+            .iter()
+            .map(|s| (s.prefill_target - s.prefill_done) + (s.req.decode_len - s.tokens))
+            .sum();
+        (pending + active + suspended) as u64
+    }
+
+    /// Fraction of the KV budget currently reserved — the
+    /// least-loaded-pool dispatch metric.
+    pub(crate) fn pool_load(&self) -> f64 {
+        if self.pool.budget_bytes() == 0 {
+            return 1.0;
+        }
+        self.pool.reserved_bytes() as f64 / self.pool.budget_bytes() as f64
+    }
+
+    /// Runs admission to a fixpoint: resumable victims and arrived queue
+    /// entries are admitted best-first until the best candidate blocks.
+    /// An idle device fast-forwards its clock to the next timed arrival.
+    /// Returns the number of requests dropped (peak residency can never
+    /// fit) — the driver releases one closed-loop slot per drop.
+    pub(crate) fn admit(&mut self) -> usize {
+        let mut drops = 0;
         loop {
-            // ---- admission: best candidate first, evicting if allowed ----
-            //
-            // Candidates are resumable evicted victims plus arrived queue
-            // entries, ordered by (priority desc, arrival asc, id asc);
-            // when the best candidate cannot reserve (even after allowed
-            // evictions) admission blocks — lower-ordered candidates never
-            // jump it.
-            loop {
-                let best_susp = suspended
+            self.admit_pass(&mut drops);
+            if self.active.is_empty() {
+                // Admission into an idle pool cannot block, so nothing is
+                // suspended either.
+                debug_assert!(
+                    self.suspended.is_empty(),
+                    "suspended work on an idle device"
+                );
+                let next = self
+                    .pending
                     .iter()
-                    .enumerate()
-                    .map(|(i, s)| (i, (s.req.priority, s.arrival_key(), s.req.id)))
-                    .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
-                let best_pend = pending
-                    .iter()
-                    .enumerate()
-                    .take_while(|(_, r)| r.arrival_cycle <= now)
-                    .map(|(i, r)| (i, (r.priority, r.arrival_cycle, r.id)))
-                    .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
-                let resume = match (best_susp, best_pend) {
-                    (None, None) => break,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    // Ids are unique, so keys never tie exactly; prefer
-                    // whichever is strictly ahead.
-                    (Some(s), Some(p)) => admits_before(s.1, p.1),
-                };
-                if resume {
-                    let (idx, (prio, _, id)) = best_susp.expect("resume candidate");
-                    let peak = request_kv_bytes(&model, suspended[idx].req.final_context(), keep);
-                    if !try_admit(
-                        &mut pool,
-                        &mut active,
-                        &mut suspended,
-                        &mut ledger,
-                        &preempt,
-                        &mut tally,
-                        &mut now,
-                        id,
-                        peak,
-                        prio,
-                    ) {
-                        break;
+                    .map(|r| r.arrival_cycle)
+                    .filter(|a| a.is_finite())
+                    .min_by(f64::total_cmp);
+                if let Some(arrival) = next {
+                    if arrival > self.now {
+                        self.now = arrival;
+                        self.pool.advance_clock(self.now);
+                        continue;
                     }
-                    let s = suspended.remove(idx);
-                    if s.swapped_bytes > 0 {
-                        // Swap-in: restore the victim's KV from host
-                        // memory, stalling the device for the transfer.
-                        let cycles = preempt.transfer_cycles(s.swapped_bytes);
-                        now += cycles;
-                        pool.advance_clock(now);
-                        tally.swap_cycles += cycles;
-                        tally.swap_in_bytes += ledger.swap_in(s.req.id);
-                        pool.grow_resident(s.req.id, s.swapped_bytes);
-                    }
-                    active.push(InFlight {
-                        prefilled: s.swapped_bytes > 0,
-                        replay_prefill: s.had_prefilled && s.swapped_bytes == 0,
+                }
+            }
+            break;
+        }
+        self.peak_concurrency = self.peak_concurrency.max(self.active.len());
+        drops
+    }
+
+    /// One admission sweep at the current clock.
+    fn admit_pass(&mut self, drops: &mut usize) {
+        let keep = self.sim.cost.template().attention_keep;
+        let model = self.sim.cost.template().model.clone();
+        loop {
+            let best_susp = self
+                .suspended
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, (s.req.priority, s.arrival_key(), s.req.id)))
+                .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
+            let best_pend = self
+                .pending
+                .iter()
+                .enumerate()
+                .take_while(|(_, r)| r.arrival_cycle <= self.now)
+                .map(|(i, r)| (i, (r.priority, r.arrival_cycle, r.id)))
+                .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
+            let resume = match (best_susp, best_pend) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                // Ids are unique, so keys never tie exactly; prefer
+                // whichever is strictly ahead.
+                (Some(s), Some(p)) => admits_before(s.1, p.1),
+            };
+            if resume {
+                let (idx, (prio, _, id)) = best_susp.expect("resume candidate");
+                let peak = request_kv_bytes(&model, self.suspended[idx].req.final_context(), keep);
+                if !self.try_admit(id, peak, prio) {
+                    break;
+                }
+                let s = self.suspended.remove(idx);
+                if s.swapped_bytes > 0 {
+                    // Swap-in: restore the victim's KV from host memory,
+                    // stalling the device for the transfer; the prefill
+                    // cursor survives because the prefix KV does.
+                    let cycles = self.sim.cfg.preempt.transfer_cycles(s.swapped_bytes);
+                    self.now += cycles;
+                    self.pool.advance_clock(self.now);
+                    self.tally.swap_cycles += cycles;
+                    self.tally.swap_in_bytes += self.ledger.swap_in(s.req.id);
+                    self.pool.grow_resident(s.req.id, s.swapped_bytes);
+                    self.active.push(InFlight {
+                        prefill_done: s.prefill_done,
+                        prefill_target: s.prefill_target,
+                        replay_tokens: s.replay_tokens,
                         req: s.req,
                         admitted_cycle: s.admitted_cycle,
                         tokens: s.tokens,
@@ -282,355 +462,358 @@ impl<'a> ServeSim<'a> {
                         preemptions: s.preemptions,
                     });
                 } else {
-                    let (idx, (prio, _, id)) = best_pend.expect("pending candidate");
-                    let peak = request_kv_bytes(&model, pending[idx].final_context(), keep);
-                    if !pool.can_ever_fit(peak) {
-                        let req = pending.remove(idx).expect("index valid");
-                        records.push(RequestRecord {
-                            state: RequestState::Dropped,
-                            admitted_cycle: now,
-                            first_token_cycle: now,
-                            completed_cycle: now,
-                            tokens: 0,
-                            preemptions: 0,
-                            request: req,
-                        });
-                        // A drop vacates a closed-loop slot just like a
-                        // completion; without this release the population
-                        // shrinks and trailing requests are never served.
-                        if workload.closed_loop.is_some() {
-                            release_next_closed_loop(&mut pending, now);
-                        }
-                        continue;
-                    }
-                    if !try_admit(
-                        &mut pool,
-                        &mut active,
-                        &mut suspended,
-                        &mut ledger,
-                        &preempt,
-                        &mut tally,
-                        &mut now,
-                        id,
-                        peak,
-                        prio,
-                    ) {
-                        break;
-                    }
-                    let req = pending.remove(idx).expect("index valid");
-                    active.push(InFlight {
-                        req,
-                        admitted_cycle: now,
-                        prefilled: false,
-                        replay_prefill: false,
-                        tokens: 0,
-                        first_token_cycle: 0.0,
-                        preemptions: 0,
+                    // Drop-and-recompute resume: the prefill restarts from
+                    // zero over prompt + generated tokens. Replay covers
+                    // exactly the work the eviction discarded: everything
+                    // when the prefill had completed, otherwise only the
+                    // chunks it had finished (or the replay region it was
+                    // already re-running).
+                    let target = s.req.prompt_len + s.tokens;
+                    let replay = if s.prefill_done >= s.prefill_target {
+                        target
+                    } else {
+                        s.replay_tokens.max(s.prefill_done).min(target)
+                    };
+                    self.active.push(InFlight {
+                        prefill_done: 0,
+                        prefill_target: target,
+                        replay_tokens: replay,
+                        req: s.req,
+                        admitted_cycle: s.admitted_cycle,
+                        tokens: s.tokens,
+                        first_token_cycle: s.first_token_cycle,
+                        preemptions: s.preemptions,
                     });
                 }
-            }
-            peak_concurrency = peak_concurrency.max(active.len());
-
-            if active.is_empty() {
-                // Admission into an idle pool cannot block, so nothing is
-                // suspended either: idle until the next timed arrival, or
-                // done.
-                debug_assert!(suspended.is_empty(), "suspended work with an idle pool");
-                let next = pending
-                    .iter()
-                    .map(|r| r.arrival_cycle)
-                    .filter(|a| a.is_finite())
-                    .min_by(f64::total_cmp);
-                match next {
-                    Some(arrival) => {
-                        now = now.max(arrival);
-                        pool.advance_clock(now);
-                        continue;
-                    }
-                    None => break, // drained (closed-loop leftovers can never release)
-                }
-            }
-
-            // ---- plan one batched step ----
-            let waiting: Vec<SchedEntry> = active
-                .iter()
-                .filter(|f| !f.prefilled)
-                .map(|f| SchedEntry {
-                    id: f.req.id,
-                    len: f.context(),
-                    priority: f.req.priority,
-                })
-                .collect();
-            let decoding: Vec<SchedEntry> = active
-                .iter()
-                .filter(|f| f.prefilled && f.tokens < f.req.decode_len)
-                .map(|f| SchedEntry {
-                    id: f.req.id,
-                    len: f.context(),
-                    priority: f.req.priority,
-                })
-                .collect();
-            let view = SchedView {
-                waiting_prefill: &waiting,
-                decoding: &decoding,
-                max_batch: self.cfg.max_batch,
-            };
-            let plan = scheduler.plan(&view);
-
-            match plan {
-                StepPlan::Idle => {
-                    // Planning only happens with admitted work in the
-                    // views (every active request is either awaiting
-                    // prefill or mid-decode), so Idle here is a scheduler
-                    // contract violation. Failing loudly beats silently
-                    // losing in-flight requests or livelocking.
-                    panic!(
-                        "scheduler `{}` returned Idle with {} prompt(s) waiting and {} stream(s) decoding",
-                        scheduler.name(),
-                        waiting.len(),
-                        decoding.len()
-                    );
-                }
-                StepPlan::Prefill(ids) => {
-                    let ids = clamp_ids(&ids, &waiting, self.cfg.max_batch);
-                    assert!(!ids.is_empty(), "prefill plan selected no admitted prompt");
-                    let longest = ids
-                        .iter()
-                        .map(|id| lookup(&active, *id).context())
-                        .max()
-                        .expect("non-empty");
-                    let cost = self.fleet_scaled(self.cost.prefill_cost(longest, ids.len()));
-                    now += cost.cycles;
-                    // Integrate pre-step residency over the step before the
-                    // step's own growth lands, so the occupancy mean is not
-                    // biased upward by end-of-step byte arrivals.
-                    pool.advance_clock(now);
-                    energy_pj += cost.energy_pj;
-                    // Attribute the replayed share of this invocation to
-                    // recompute overhead (drop-and-recompute's resume bill).
-                    let replays = ids
-                        .iter()
-                        .filter(|id| lookup(&active, **id).replay_prefill)
-                        .count();
-                    tally.recompute_cycles += cost.cycles * replays as f64 / ids.len() as f64;
-                    for id in &ids {
-                        let f = lookup_mut(&mut active, *id);
-                        f.prefilled = true;
-                        f.replay_prefill = false;
-                        if f.req.decode_len == 0 && f.tokens == 0 {
-                            f.first_token_cycle = now; // prompt-only request
-                        }
-                        let context = f.context();
-                        let reserved = pool
-                            .reservation(*id)
-                            .expect("prefilled request holds a reservation");
-                        let target =
-                            request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
-                        pool.grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
-                    }
-                }
-                StepPlan::Decode(ids) => {
-                    let ids = clamp_ids(&ids, &decoding, self.cfg.max_batch);
-                    assert!(!ids.is_empty(), "decode plan selected no active stream");
-                    let mean_ctx = (ids
-                        .iter()
-                        .map(|id| lookup(&active, *id).context())
-                        .sum::<usize>() as f64
-                        / ids.len() as f64)
-                        .round() as usize;
-                    let cost = self.fleet_scaled(self.cost.decode_cost(mean_ctx.max(1), ids.len()));
-                    now += cost.cycles;
-                    // As in the prefill arm: charge the step's duration at
-                    // pre-step residency before this step's growth lands.
-                    pool.advance_clock(now);
-                    energy_pj += cost.energy_pj;
-                    decode_invocations += 1;
-                    decode_streams += ids.len() as u64;
-                    for id in &ids {
-                        let f = lookup_mut(&mut active, *id);
-                        f.tokens += 1;
-                        if f.tokens == 1 {
-                            f.first_token_cycle = now;
-                        }
-                        let context = f.context();
-                        let reserved = pool
-                            .reservation(*id)
-                            .expect("decoding request holds a reservation");
-                        let target =
-                            request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
-                        pool.grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
-                    }
-                }
-            }
-
-            // ---- retire completions ----
-            let mut i = 0;
-            while i < active.len() {
-                let done = {
-                    let f = &active[i];
-                    f.prefilled && f.tokens >= f.req.decode_len
-                };
-                if !done {
-                    i += 1;
+            } else {
+                let (idx, (prio, _, id)) = best_pend.expect("pending candidate");
+                let peak = request_kv_bytes(&model, self.pending[idx].final_context(), keep);
+                if !self.pool.can_ever_fit(peak) {
+                    let req = self.pending.remove(idx).expect("index valid");
+                    self.records.push(RequestRecord {
+                        state: RequestState::Dropped,
+                        admitted_cycle: self.now,
+                        first_token_cycle: self.now,
+                        completed_cycle: self.now,
+                        tokens: 0,
+                        preemptions: 0,
+                        request: req,
+                    });
+                    *drops += 1;
                     continue;
                 }
-                let f = active.remove(i);
-                pool.release(f.req.id);
-                records.push(RequestRecord {
-                    state: RequestState::Completed,
-                    admitted_cycle: f.admitted_cycle,
-                    first_token_cycle: f.first_token_cycle,
-                    completed_cycle: now,
-                    tokens: f.tokens,
-                    preemptions: f.preemptions,
-                    request: f.req,
+                if !self.try_admit(id, peak, prio) {
+                    break;
+                }
+                let req = self.pending.remove(idx).expect("index valid");
+                let prefill_target = req.prompt_len;
+                self.active.push(InFlight {
+                    req,
+                    admitted_cycle: self.now,
+                    prefill_done: 0,
+                    prefill_target,
+                    replay_tokens: 0,
+                    tokens: 0,
+                    first_token_cycle: 0.0,
+                    preemptions: 0,
                 });
-                if workload.closed_loop.is_some() {
-                    release_next_closed_loop(&mut pending, now);
+            }
+        }
+    }
+
+    /// Reserves `peak` bytes for candidate `id`, evicting strictly
+    /// lower-priority victims if the configured policy allows and the
+    /// eviction would actually make room. Returns whether the reservation
+    /// succeeded.
+    fn try_admit(&mut self, id: RequestId, peak: u64, priority: Priority) -> bool {
+        if self.pool.try_reserve(id, peak) {
+            return true;
+        }
+        let preempt = &self.sim.cfg.preempt;
+        if preempt.policy == EvictionPolicy::None {
+            return false;
+        }
+        // Feasibility first: evicting every allowed victim must make room,
+        // otherwise don't thrash the pool for nothing.
+        let evictable: u64 = self
+            .active
+            .iter()
+            .filter(|f| f.req.priority < priority)
+            .map(|f| {
+                self.pool
+                    .reservation(f.req.id)
+                    .expect("active request holds a reservation")
+                    .reserved_bytes
+            })
+            .sum();
+        let free = self.pool.budget_bytes() - self.pool.reserved_bytes();
+        if free + evictable < peak {
+            return false;
+        }
+        while !self.pool.try_reserve(id, peak) {
+            // Victim order: lowest class first; within it the youngest
+            // admission (least sunk progress), ties broken by highest id.
+            let victim = self
+                .active
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.req.priority < priority)
+                .map(|(i, f)| (i, (f.req.priority, f.admitted_cycle, f.req.id)))
+                .reduce(|a, b| {
+                    let later = b.1 .0 < a.1 .0
+                        || (b.1 .0 == a.1 .0
+                            && (b.1 .1 > a.1 .1 || (b.1 .1 == a.1 .1 && b.1 .2 > a.1 .2)));
+                    if later {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .map(|(i, _)| i)
+                .expect("feasibility guaranteed a victim");
+            let f = self.active.remove(victim);
+            let freed = self.pool.release(f.req.id);
+            self.tally.preemptions += 1;
+            let swapped_bytes = match preempt.policy {
+                EvictionPolicy::None => unreachable!("checked above"),
+                EvictionPolicy::DropRecompute => 0,
+                EvictionPolicy::Swap => {
+                    if freed.resident_bytes > 0 {
+                        // Swap-out: spill the victim's KV to host memory,
+                        // stalling the device for the transfer.
+                        let cycles = preempt.transfer_cycles(freed.resident_bytes);
+                        self.now += cycles;
+                        self.pool.advance_clock(self.now);
+                        self.tally.swap_cycles += cycles;
+                        self.tally.swap_out_bytes += freed.resident_bytes;
+                        self.ledger.swap_out(f.req.id, freed.resident_bytes);
+                    }
+                    freed.resident_bytes
+                }
+            };
+            self.suspended.push(Suspended {
+                prefill_done: f.prefill_done,
+                prefill_target: f.prefill_target,
+                replay_tokens: f.replay_tokens,
+                swapped_bytes,
+                req: f.req,
+                admitted_cycle: f.admitted_cycle,
+                tokens: f.tokens,
+                first_token_cycle: f.first_token_cycle,
+                preemptions: f.preemptions + 1,
+            });
+        }
+        true
+    }
+
+    /// Plans and executes one batched step, retiring completions.
+    /// Returns the number of requests that completed — the driver
+    /// releases one closed-loop slot per completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler returns [`StepPlan::Idle`] or selects no
+    /// live request while work is visible (a contract violation — failing
+    /// loudly beats silently losing in-flight requests).
+    pub(crate) fn step(&mut self, scheduler: &mut dyn Scheduler) -> usize {
+        let keep = self.sim.cost.template().attention_keep;
+        let model = self.sim.cost.template().model.clone();
+        let waiting: Vec<SchedEntry> = self
+            .active
+            .iter()
+            .filter(|f| !f.prefilled())
+            .map(|f| SchedEntry {
+                id: f.req.id,
+                len: f.prefill_target,
+                done: f.prefill_done,
+                priority: f.req.priority,
+            })
+            .collect();
+        let decoding: Vec<SchedEntry> = self
+            .active
+            .iter()
+            .filter(|f| f.prefilled() && f.tokens < f.req.decode_len)
+            .map(|f| SchedEntry {
+                id: f.req.id,
+                len: f.context(),
+                done: f.context(),
+                priority: f.req.priority,
+            })
+            .collect();
+        let view = SchedView {
+            waiting_prefill: &waiting,
+            decoding: &decoding,
+            max_batch: self.sim.cfg.max_batch,
+        };
+        let plan = scheduler.plan(&view);
+
+        match plan {
+            StepPlan::Idle => {
+                panic!(
+                    "scheduler `{}` returned Idle with {} prompt(s) waiting and {} stream(s) decoding",
+                    scheduler.name(),
+                    waiting.len(),
+                    decoding.len()
+                );
+            }
+            StepPlan::Prefill(ids) => {
+                let ids = clamp_ids(&ids, &waiting, self.sim.cfg.max_batch);
+                assert!(!ids.is_empty(), "prefill plan selected no admitted prompt");
+                let chunk = self.sim.cfg.prefill_chunk.unwrap_or(usize::MAX);
+                // Per-request chunk spans. The schedulers batch matching
+                // (target, cursor) pairs so spans are uniform; a custom
+                // scheduler mixing cursors is costed by its heaviest span.
+                let spans: Vec<(RequestId, usize, usize, usize)> = ids
+                    .iter()
+                    .map(|id| {
+                        let f = lookup(&self.active, *id);
+                        let upto = f.prefill_target.min(f.prefill_done.saturating_add(chunk));
+                        (*id, f.prefill_done, upto, f.replay_tokens)
+                    })
+                    .collect();
+                let (_, done, upto, _) = spans
+                    .iter()
+                    .copied()
+                    .max_by_key(|&(_, done, upto, _)| (upto - done, upto))
+                    .expect("non-empty");
+                let cost = self.sim.fleet_scaled(self.sim.cost.prefill_chunk_cost(
+                    done,
+                    upto,
+                    spans.len(),
+                ));
+                self.now += cost.cycles;
+                self.busy_cycles += cost.cycles;
+                // Integrate pre-step residency over the step before the
+                // step's own growth lands, so the occupancy mean is not
+                // biased upward by end-of-step byte arrivals.
+                self.pool.advance_clock(self.now);
+                self.energy_pj += cost.energy_pj;
+                // Attribute the replayed share of this invocation to
+                // recompute overhead (drop-and-recompute's resume bill):
+                // the tokens of each span overlapping its replay region.
+                let taken: usize = spans.iter().map(|&(_, d, u, _)| u - d).sum();
+                let replayed: usize = spans
+                    .iter()
+                    .map(|&(_, d, u, rep)| u.min(rep).saturating_sub(d))
+                    .sum();
+                self.tally.recompute_cycles += cost.cycles * replayed as f64 / taken as f64;
+                for &(id, _, upto, _) in &spans {
+                    let f = lookup_mut(&mut self.active, id);
+                    f.prefill_done = upto;
+                    if f.prefilled() && f.req.decode_len == 0 && f.tokens == 0 {
+                        f.first_token_cycle = self.now; // prompt-only request
+                    }
+                    // Residency grows per chunk: the KV bytes of the
+                    // prefilled prefix, never past the peak reservation.
+                    let reserved = self
+                        .pool
+                        .reservation(id)
+                        .expect("prefilling request holds a reservation");
+                    let target = request_kv_bytes(&model, upto, keep).min(reserved.reserved_bytes);
+                    self.pool
+                        .grow_resident(id, target.saturating_sub(reserved.resident_bytes));
+                }
+            }
+            StepPlan::Decode(ids) => {
+                let ids = clamp_ids(&ids, &decoding, self.sim.cfg.max_batch);
+                assert!(!ids.is_empty(), "decode plan selected no active stream");
+                let mean_ctx = (ids
+                    .iter()
+                    .map(|id| lookup(&self.active, *id).context())
+                    .sum::<usize>() as f64
+                    / ids.len() as f64)
+                    .round() as usize;
+                let cost = self
+                    .sim
+                    .fleet_scaled(self.sim.cost.decode_cost(mean_ctx.max(1), ids.len()));
+                self.now += cost.cycles;
+                self.busy_cycles += cost.cycles;
+                // As in the prefill arm: charge the step's duration at
+                // pre-step residency before this step's growth lands.
+                self.pool.advance_clock(self.now);
+                self.energy_pj += cost.energy_pj;
+                self.decode_invocations += 1;
+                self.decode_streams += ids.len() as u64;
+                for id in &ids {
+                    let f = lookup_mut(&mut self.active, *id);
+                    f.tokens += 1;
+                    if f.tokens == 1 {
+                        f.first_token_cycle = self.now;
+                    }
+                    let context = f.context();
+                    let reserved = self
+                        .pool
+                        .reservation(*id)
+                        .expect("decoding request holds a reservation");
+                    let target =
+                        request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
+                    self.pool
+                        .grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
                 }
             }
         }
 
-        // Admission stall is a statistic of *served* traffic: dropped
-        // requests never held a reservation, so their queue wait is not a
-        // pool stall.
-        let stall_cycles: f64 = records
+        // ---- retire completions ----
+        let mut completions = 0;
+        let mut i = 0;
+        while i < self.active.len() {
+            let done = {
+                let f = &self.active[i];
+                f.prefilled() && f.tokens >= f.req.decode_len
+            };
+            if !done {
+                i += 1;
+                continue;
+            }
+            let f = self.active.remove(i);
+            self.pool.release(f.req.id);
+            self.records.push(RequestRecord {
+                state: RequestState::Completed,
+                admitted_cycle: f.admitted_cycle,
+                first_token_cycle: f.first_token_cycle,
+                completed_cycle: self.now,
+                tokens: f.tokens,
+                preemptions: f.preemptions,
+                request: f.req,
+            });
+            completions += 1;
+        }
+        completions
+    }
+
+    /// Total device-busy cycles: executed steps plus swap stalls.
+    pub(crate) fn busy_cycles(&self) -> f64 {
+        self.busy_cycles + self.tally.swap_cycles
+    }
+
+    /// This device's KV-pool statistics (admission stall over its own
+    /// completed records).
+    pub(crate) fn pool_report(&self) -> PoolReport {
+        let stall_cycles: f64 = self
+            .records
             .iter()
             .filter(|r| matches!(r.state, RequestState::Completed))
             .map(RequestRecord::admission_stall_cycles)
             .sum();
-        let pool_report = PoolReport {
-            budget_bytes: pool.budget_bytes(),
-            peak_resident_bytes: pool.peak_resident_bytes(),
-            peak_reserved_bytes: pool.peak_reserved_bytes(),
-            mean_resident_bytes: pool.mean_resident_bytes(),
-            admission_stall_seconds: stall_cycles / CLOCK_HZ,
-        };
-        let preempt_report = PreemptReport {
-            preemptions: tally.preemptions,
-            swap_out_bytes: tally.swap_out_bytes,
-            swap_in_bytes: tally.swap_in_bytes,
-            swap_seconds: tally.swap_cycles / CLOCK_HZ,
-            recompute_seconds: tally.recompute_cycles / CLOCK_HZ,
-            peak_swap_held_bytes: ledger.peak_held_bytes(),
-        };
-        let mean_decode_batch = if decode_invocations == 0 {
-            0.0
-        } else {
-            decode_streams as f64 / decode_invocations as f64
-        };
-        records.sort_by_key(|r| r.request.id);
-        ServeReport::summarize(
-            scheduler.name().to_string(),
-            records,
-            RunTotals {
-                duration_cycles: now,
-                mean_decode_batch,
-                peak_concurrency,
-                energy_pj,
-                offered_rps: workload.offered_rps(),
-                preempt: preempt_report,
-            },
-            pool_report,
-        )
+        PoolReport {
+            budget_bytes: self.pool.budget_bytes(),
+            peak_resident_bytes: self.pool.peak_resident_bytes(),
+            peak_reserved_bytes: self.pool.peak_reserved_bytes(),
+            mean_resident_bytes: self.pool.mean_resident_bytes(),
+            admission_stall_seconds: stall_cycles / crate::CLOCK_HZ,
+        }
     }
-}
 
-/// Reserves `peak` bytes for candidate `id`, evicting strictly
-/// lower-priority victims if the configured policy allows and the eviction
-/// would actually make room. Returns whether the reservation succeeded.
-#[allow(clippy::too_many_arguments)]
-fn try_admit(
-    pool: &mut KvCachePool,
-    active: &mut Vec<InFlight>,
-    suspended: &mut Vec<Suspended>,
-    ledger: &mut SwapLedger,
-    preempt: &PreemptConfig,
-    tally: &mut PreemptTally,
-    now: &mut f64,
-    id: RequestId,
-    peak: u64,
-    priority: Priority,
-) -> bool {
-    if pool.try_reserve(id, peak) {
-        return true;
-    }
-    if preempt.policy == EvictionPolicy::None {
-        return false;
-    }
-    // Feasibility first: evicting every allowed victim must make room,
-    // otherwise don't thrash the pool for nothing.
-    let evictable: u64 = active
-        .iter()
-        .filter(|f| f.req.priority < priority)
-        .map(|f| {
-            pool.reservation(f.req.id)
-                .expect("active request holds a reservation")
-                .reserved_bytes
-        })
-        .sum();
-    let free = pool.budget_bytes() - pool.reserved_bytes();
-    if free + evictable < peak {
-        return false;
-    }
-    while !pool.try_reserve(id, peak) {
-        // Victim order: lowest class first; within it the youngest
-        // admission (least sunk progress), ties broken by highest id.
-        let victim = active
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.req.priority < priority)
-            .map(|(i, f)| (i, (f.req.priority, f.admitted_cycle, f.req.id)))
-            .reduce(|a, b| {
-                let later = b.1 .0 < a.1 .0
-                    || (b.1 .0 == a.1 .0
-                        && (b.1 .1 > a.1 .1 || (b.1 .1 == a.1 .1 && b.1 .2 > a.1 .2)));
-                if later {
-                    b
-                } else {
-                    a
-                }
-            })
-            .map(|(i, _)| i)
-            .expect("feasibility guaranteed a victim");
-        let f = active.remove(victim);
-        let freed = pool.release(f.req.id);
-        tally.preemptions += 1;
-        let swapped_bytes = match preempt.policy {
-            EvictionPolicy::None => unreachable!("checked above"),
-            EvictionPolicy::DropRecompute => 0,
-            EvictionPolicy::Swap => {
-                if freed.resident_bytes > 0 {
-                    // Swap-out: spill the victim's KV to host memory,
-                    // stalling the device for the transfer.
-                    let cycles = preempt.transfer_cycles(freed.resident_bytes);
-                    *now += cycles;
-                    pool.advance_clock(*now);
-                    tally.swap_cycles += cycles;
-                    tally.swap_out_bytes += freed.resident_bytes;
-                    ledger.swap_out(f.req.id, freed.resident_bytes);
-                }
-                freed.resident_bytes
-            }
-        };
-        suspended.push(Suspended {
-            had_prefilled: f.prefilled,
-            swapped_bytes,
-            req: f.req,
-            admitted_cycle: f.admitted_cycle,
-            tokens: f.tokens,
-            first_token_cycle: f.first_token_cycle,
-            preemptions: f.preemptions + 1,
-        });
-    }
-    true
-}
-
-/// Releases the next closed-loop request (if any) at the given instant —
-/// a completion or a drop each vacate exactly one population slot.
-fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
-    if let Some(next) = pending.iter_mut().find(|r| r.arrival_cycle.is_infinite()) {
-        next.arrival_cycle = now;
+    /// This device's preemption statistics.
+    pub(crate) fn preempt_report(&self) -> PreemptReport {
+        PreemptReport {
+            preemptions: self.tally.preemptions,
+            swap_out_bytes: self.tally.swap_out_bytes,
+            swap_in_bytes: self.tally.swap_in_bytes,
+            swap_seconds: self.tally.swap_cycles / crate::CLOCK_HZ,
+            recompute_seconds: self.tally.recompute_cycles / crate::CLOCK_HZ,
+            peak_swap_held_bytes: self.ledger.peak_held_bytes(),
+        }
     }
 }
 
@@ -874,7 +1057,7 @@ mod tests {
     }
 
     #[test]
-    fn fleet_dispatch_scales_throughput() {
+    fn tensor_parallel_fleet_scales_throughput() {
         let accel = Toy;
         let single = ServeSim::new(&accel, template(0.3), ServeConfig::default());
         let fleet = ServeSim::new(
@@ -900,6 +1083,44 @@ mod tests {
         assert!(
             eight.energy_joules >= one.energy_joules,
             "energy is fleet-wide"
+        );
+    }
+
+    #[test]
+    fn chunked_prefill_splits_long_prompts_across_steps() {
+        // An 8k prompt at chunk 512 takes 16 prefill invocations; the
+        // chunk costs telescope, so total prefill cycles exceed the
+        // unchunked run only by the per-invocation floors.
+        let accel = Toy;
+        let task = Task::dolly().with_decode(4);
+        let w = Workload {
+            requests: vec![Request::from_task(0, &task, 0.0)],
+            closed_loop: None,
+        };
+        let chunked = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let mono = ServeSim::new(
+            &accel,
+            template(0.3),
+            ServeConfig {
+                prefill_chunk: None,
+                ..ServeConfig::default()
+            },
+        );
+        let c = chunked.run(&w, &mut ContinuousBatchScheduler::new());
+        let m = mono.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(c.completed, 1);
+        assert_eq!(m.completed, 1);
+        assert!(
+            c.duration_seconds > m.duration_seconds,
+            "chunking pays per-invocation floors: {} vs {}",
+            c.duration_seconds,
+            m.duration_seconds
+        );
+        assert!(
+            c.duration_seconds < 1.2 * m.duration_seconds,
+            "chunk costs must telescope, not balloon: {} vs {}",
+            c.duration_seconds,
+            m.duration_seconds
         );
     }
 

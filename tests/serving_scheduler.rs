@@ -158,13 +158,19 @@ fn preemption_heavy(policy: EvictionPolicy) -> ServeReport {
         },
         ..ServeConfig::default()
     };
+    // Moderately spread bursts (factor 4, length 4): back-to-back bursts
+    // would only ever evict just-admitted victims with no prefilled work
+    // (free under drop-and-recompute — chunked admission makes that the
+    // common case), whereas this spacing lets batch victims prefill and
+    // decode before the next interactive arrival preempts them, so the
+    // replay path is actually exercised.
     let load = LoadGenerator::uniform(
         serve_task(),
         16,
         ArrivalProcess::Bursty {
             rate_rps: 12.0,
-            burst_factor: 10.0,
-            burst_len: 8,
+            burst_factor: 4.0,
+            burst_len: 4,
             seed: 21,
         },
     )
