@@ -9,7 +9,7 @@ mod serving;
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
 pub use motivation::{fig18, fig1a, fig4, fig5ab, fig5cd, fig5fg, fig8b, fig8c, tab2};
-pub use serving::{serving, serving_capacity, serving_fleet, serving_slo};
+pub use serving::{serving, serving_capacity, serving_fleet, serving_mixed, serving_slo};
 
 /// All experiment ids in paper order.
 #[must_use]
@@ -41,6 +41,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "serving_capacity",
         "serving_slo",
         "serving_fleet",
+        "serving_mixed",
     ]
 }
 
@@ -77,6 +78,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "serving_capacity" => Ok(serving_capacity()),
         "serving_slo" => Ok(serving_slo()),
         "serving_fleet" => Ok(serving_fleet()),
+        "serving_mixed" => Ok(serving_mixed()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

@@ -524,6 +524,131 @@ pub fn serving_fleet() -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// serving_mixed: budgeted mixed prefill+decode steps (Sarathi-style)
+// ---------------------------------------------------------------------
+
+/// The mixed-step trace: 8k batch-class Dolly prompts keep chunk steps in
+/// flight, batch-class MNLI streams decode through them (the TPOT
+/// victims of phase alternation), and interactive Cola requests guard the
+/// TTFT axis. Tasks and classes pair by index (1:3 interactive:batch).
+fn mixed_trace() -> Workload {
+    LoadGenerator {
+        task_mix: vec![
+            Task::dolly().with_decode(16),
+            Task::mnli().with_decode(64),
+            Task::cola().with_decode(16),
+        ],
+        class_mix: vec![
+            RequestClass::batch(),
+            RequestClass::batch(),
+            RequestClass::interactive(1.0, 0.1),
+        ],
+        count: 18,
+        process: ArrivalProcess::Poisson {
+            rate_rps: 6.0,
+            seed: SEED,
+        },
+    }
+    .generate()
+}
+
+/// One mixed-step point: the mixed trace on one device under the priority
+/// scheduler, with the step token budget as the only knob (`None` = the
+/// PR 3 phase-alternating baseline).
+fn run_mixed_point(engine: &Engine, budget: Option<usize>) -> ServeReport {
+    let cfg = ServeConfig {
+        step_token_budget: budget,
+        ..ServeConfig::default()
+    };
+    engine
+        .serve_sim(0.3, cfg)
+        .run(&mixed_trace(), &mut PriorityScheduler::new())
+}
+
+/// p95 TPOT of one priority class's completed requests, in seconds.
+fn class_p95_tpot(r: &ServeReport, priority: Priority) -> f64 {
+    let cycles: Vec<f64> = r
+        .records
+        .iter()
+        .filter(|rec| rec.request.priority == priority && rec.completed())
+        .map(mcbp::serve::RequestRecord::tpot_cycles)
+        .collect();
+    LatencyStats::from_cycles(&cycles).p95
+}
+
+/// The mixed-step experiment: the same seeded trace swept over the step
+/// token budget, with budget `None` as the phase-alternating ablation
+/// baseline. With a budget, every chunk step carries piggybacked decode
+/// tokens (they ride the chunk's weight stream at incremental cost), so
+/// batch-class decode streams stop stalling behind 8k prefills: the
+/// headline assertion is that batch-class p95 TPOT improves at
+/// equal-or-better interactive p95 TTFT on the same trace. The table also
+/// reports the mixed-step fraction and mean budget utilization per
+/// budget. Replay-checked at the headline budget.
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn serving_mixed() -> String {
+    let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+    let baseline = run_mixed_point(&engine, None);
+    let headline = run_mixed_point(&engine, Some(1024));
+    assert_eq!(
+        headline,
+        run_mixed_point(&engine, Some(1024)),
+        "mixed-step runs must replay byte-identically"
+    );
+    assert!(
+        class_p95_tpot(&headline, Priority::Batch) < class_p95_tpot(&baseline, Priority::Batch),
+        "piggybacking must cut batch-class p95 TPOT: {} vs {}",
+        class_p95_tpot(&headline, Priority::Batch),
+        class_p95_tpot(&baseline, Priority::Batch)
+    );
+    assert!(
+        interactive_p95_ttft(&headline) <= interactive_p95_ttft(&baseline),
+        "the TPOT win must not cost interactive TTFT: {} vs {}",
+        interactive_p95_ttft(&headline),
+        interactive_p95_ttft(&baseline)
+    );
+
+    let mut rows = Vec::new();
+    for budget in [None, Some(512), Some(768), Some(1024), Some(2048)] {
+        let r = match budget {
+            None => baseline.clone(),
+            Some(1024) => headline.clone(),
+            _ => run_mixed_point(&engine, budget),
+        };
+        rows.push(vec![
+            budget.map_or("none (alt)".to_owned(), |b| format!("{b}")),
+            format!("{:.1}", class_p95_tpot(&r, Priority::Batch) * 1e3),
+            format!("{:.1}", interactive_p95_ttft(&r) * 1e3),
+            f2(r.goodput_tokens_per_s),
+            format!("{:.0}%", r.steps.mixed_fraction() * 100.0),
+            if r.steps.mean_budget_utilization > 0.0 {
+                format!("{:.0}%", r.steps.mean_budget_utilization * 100.0)
+            } else {
+                "-".to_owned()
+            },
+            format!("{}", r.steps.steps),
+            format!("{:.3}", r.duration_seconds),
+        ]);
+    }
+    render_table(
+        "serving mixed steps: step-token-budget sweep, same seeded trace (OPT-1.3B, keep 0.3, \
+         priority scheduler, chunk 512; budget none = PR3 alternating baseline)",
+        &[
+            "budget tok",
+            "batch p95 tpot ms",
+            "inter p95 ttft ms",
+            "tok/s",
+            "mixed",
+            "budget util",
+            "steps",
+            "duration s",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +726,29 @@ mod tests {
             overhead(&long, EvictionPolicy::Swap) < overhead(&long, EvictionPolicy::DropRecompute),
             "swap must win at long contexts"
         );
+    }
+
+    #[test]
+    fn mixed_steps_cut_batch_tpot_at_equal_interactive_ttft() {
+        let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+        let baseline = run_mixed_point(&engine, None);
+        let mixed = run_mixed_point(&engine, Some(1024));
+        assert!(mixed.steps.mixed_steps > 0, "{:?}", mixed.steps);
+        assert_eq!(baseline.steps.mixed_steps, 0);
+        assert!(
+            class_p95_tpot(&mixed, Priority::Batch) < class_p95_tpot(&baseline, Priority::Batch),
+            "batch p95 TPOT: mixed {} vs alternating {}",
+            class_p95_tpot(&mixed, Priority::Batch),
+            class_p95_tpot(&baseline, Priority::Batch)
+        );
+        assert!(
+            interactive_p95_ttft(&mixed) <= interactive_p95_ttft(&baseline),
+            "interactive p95 TTFT: mixed {} vs alternating {}",
+            interactive_p95_ttft(&mixed),
+            interactive_p95_ttft(&baseline)
+        );
+        assert_eq!(mixed.completed + mixed.dropped, 18);
+        assert_eq!(baseline.completed + baseline.dropped, 18);
     }
 
     #[test]

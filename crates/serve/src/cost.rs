@@ -16,6 +16,40 @@
 //! cumulative prefill costs, plus one minimal-prefill floor per resumed
 //! invocation (each chunk re-streams the layer weights) — see
 //! [`StepCostModel::prefill_chunk_cost`].
+//!
+//! # The mixed-step cost model
+//!
+//! A budgeted scheduler step ([`crate::ServeConfig::step_token_budget`])
+//! can carry a prefill chunk *and* piggybacked decode streams in one
+//! invocation. The key physical fact the model encodes: **the invocation
+//! streams the layer weights once**, and the chunk already pays for that
+//! stream. A decode step run standalone pays a fixed, batch-independent
+//! weight-stream cost before any per-stream work; piggybacked onto a
+//! chunk it does not pay it again. So
+//!
+//! ```text
+//! mixed_step_cost(chunk, decode)
+//!   = prefill_chunk_cost(chunk)            // includes one weight stream
+//!   + decode_cost(decode) − decode_floor   // per-stream work only
+//! ```
+//!
+//! where the *decode floor* — the cost a decode invocation pays
+//! regardless of how many streams it coalesces — is recovered from the
+//! cached boundary costs by linearly extrapolating the batch axis to zero
+//! streams: `floor(c) = 2·decode_cost(c, 1) − decode_cost(c, 2)`, clamped
+//! at zero per component. For cost curves affine in batch (a fixed weight
+//! stream plus per-stream KV/compute terms — the shape of every
+//! accelerator model in this workspace) the extrapolation recovers the
+//! floor *exactly*; convex curves under-estimate it, which errs toward
+//! charging the piggyback more, never less. The piggybacked share is
+//! therefore the pure incremental cost of the extra streams
+//! ([`StepCostModel::piggyback_decode_cost`]), and a mixed step is always
+//! costed at least as high as its chunk alone and strictly below the
+//! chunk-step-plus-decode-step pair it replaces — that gap (one decode
+//! floor per step) is exactly what Sarathi-style piggybacking harvests.
+//! Both terms reuse the bucket interpolation above; the model is
+//! exercised end-to-end in `tests/step_cost_bucketing.rs` and the
+//! mixed-step serving tests.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -58,11 +92,23 @@ impl StepCost {
     }
 
     /// Component-wise sum.
-    fn add(self, other: StepCost) -> StepCost {
+    pub(crate) fn add(self, other: StepCost) -> StepCost {
         StepCost {
             cycles: self.cycles + other.cycles,
             energy_pj: self.energy_pj + other.energy_pj,
             reorder_pj: self.reorder_pj + other.reorder_pj,
+        }
+    }
+
+    /// Linear extrapolation of the batch axis to zero streams: `2a − b`
+    /// where `a` is the batch-1 and `b` the batch-2 cost, clamped at zero
+    /// per component (a convex-in-batch curve could otherwise extrapolate
+    /// below zero).
+    fn extrapolate_floor(a: StepCost, b: StepCost) -> StepCost {
+        StepCost {
+            cycles: (2.0 * a.cycles - b.cycles).max(0.0),
+            energy_pj: (2.0 * a.energy_pj - b.energy_pj).max(0.0),
+            reorder_pj: (2.0 * a.reorder_pj - b.reorder_pj).max(0.0),
         }
     }
 }
@@ -160,6 +206,53 @@ impl<'a> StepCostModel<'a> {
         let prefix = self.prefill_cost(done, batch);
         let floor = self.prefill_cost(1, batch);
         full.saturating_sub(prefix).add(floor)
+    }
+
+    /// The fixed cost every standalone decode invocation at context
+    /// `context` pays once regardless of coalescing — the weight stream —
+    /// recovered by linearly extrapolating the batch axis to zero streams
+    /// (exact for batch-affine cost curves; see the module docs).
+    fn decode_floor(&self, context: usize) -> StepCost {
+        StepCost::extrapolate_floor(self.decode_cost(context, 1), self.decode_cost(context, 2))
+    }
+
+    /// Incremental cost of piggybacking `batch` decode streams (each at
+    /// mean context `context`) onto an invocation that already streams
+    /// the layer weights: the standalone decode cost minus the decode
+    /// floor, clamped at zero. This is the decode share of a budgeted
+    /// mixed step (see the module docs and
+    /// [`StepCostModel::mixed_step_cost`]).
+    #[must_use]
+    pub fn piggyback_decode_cost(&self, context: usize, batch: usize) -> StepCost {
+        self.decode_cost(context, batch)
+            .saturating_sub(self.decode_floor(context))
+    }
+
+    /// Cost of one budgeted **mixed step**: a chunked-prefill invocation
+    /// advancing `prefill_batch` prompts from `done` to `upto` prefilled
+    /// tokens, with `decode_batch` decode streams (mean context
+    /// `decode_context`) piggybacked onto its weight stream — the chunk
+    /// cost plus the incremental piggybacked-decode cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `upto > done` (an empty chunk is a scheduling bug);
+    /// a step with no chunk is a plain decode step, costed by
+    /// [`StepCostModel::decode_cost`].
+    #[must_use]
+    pub fn mixed_step_cost(
+        &self,
+        done: usize,
+        upto: usize,
+        prefill_batch: usize,
+        decode_context: usize,
+        decode_batch: usize,
+    ) -> StepCost {
+        let chunk = self.prefill_chunk_cost(done, upto, prefill_batch);
+        if decode_batch == 0 {
+            return chunk;
+        }
+        chunk.add(self.piggyback_decode_cost(decode_context, decode_batch))
     }
 
     /// Interpolated cost at `context`: exact at bucket boundaries, the
@@ -339,5 +432,84 @@ mod tests {
         // Per-stream cost shrinks with coalescing (fixed 1000-cycle
         // weight stream amortized 8 ways).
         assert!(batched.cycles / 8.0 < single.cycles);
+    }
+
+    #[test]
+    fn piggyback_decode_subtracts_exactly_the_weight_stream_floor() {
+        // The Linear accelerator's decode cost is 1000 (weight stream) +
+        // ctx·b (per-stream work): the batch-axis extrapolation recovers
+        // the 1000-cycle floor exactly, so the piggyback cost is the pure
+        // per-stream work.
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        for (ctx, batch) in [(64, 1), (64, 4), (256, 8)] {
+            let full = model.decode_cost(ctx, batch).cycles;
+            let piggy = model.piggyback_decode_cost(ctx, batch).cycles;
+            assert!(
+                (piggy - (full - 1000.0)).abs() < 1e-6,
+                "ctx {ctx} batch {batch}: piggy {piggy} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_step_cost_is_chunk_plus_incremental_decode() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        let chunk = model.prefill_chunk_cost(128, 192, 2);
+        let piggy = model.piggyback_decode_cost(300, 4);
+        let mixed = model.mixed_step_cost(128, 192, 2, 300, 4);
+        assert!((mixed.cycles - (chunk.cycles + piggy.cycles)).abs() < 1e-9);
+        assert!((mixed.energy_pj - (chunk.energy_pj + piggy.energy_pj)).abs() < 1e-9);
+        // Degenerate cases: no decodes → the chunk alone.
+        let bare = model.mixed_step_cost(128, 192, 2, 300, 0);
+        assert!((bare.cycles - chunk.cycles).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_step_beats_the_alternating_pair_by_one_decode_floor() {
+        // The whole point of piggybacking: one mixed step costs strictly
+        // less than the chunk step + decode step pair it replaces, and
+        // the gap is exactly the decode invocation's weight-stream floor.
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        let mixed = model.mixed_step_cost(512, 1024, 1, 640, 6).cycles;
+        let pair = model.prefill_chunk_cost(512, 1024, 1).cycles + model.decode_cost(640, 6).cycles;
+        assert!(mixed < pair, "mixed {mixed} vs alternating pair {pair}");
+        assert!(
+            (pair - mixed - 1000.0).abs() < 1e-6,
+            "the saving is the 1000-cycle decode floor, got {}",
+            pair - mixed
+        );
+    }
+
+    #[test]
+    fn piggyback_cost_is_never_negative() {
+        /// Decode cost independent of batch: the floor extrapolation
+        /// degenerates to the full cost and the piggyback share clamps
+        /// at zero instead of going negative.
+        struct Fixed;
+        impl Accelerator for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn run(&self, _ctx: &TraceContext) -> RunReport {
+                RunReport {
+                    prefill: PhaseCost {
+                        gemm_cycles: 10.0,
+                        ..Default::default()
+                    },
+                    decode: PhaseCost {
+                        weight_load_cycles: 500.0,
+                        ..Default::default()
+                    },
+                }
+            }
+        }
+        let accel = Fixed;
+        let model = StepCostModel::new(&accel, template(), 64);
+        let piggy = model.piggyback_decode_cost(128, 4);
+        assert!(piggy.cycles >= 0.0 && piggy.cycles < 1e-9);
+        assert!(piggy.energy_pj >= 0.0);
     }
 }

@@ -36,8 +36,8 @@
 use std::collections::VecDeque;
 
 use crate::arrival::Workload;
-use crate::report::{DeviceReport, PoolReport, PreemptReport, RunTotals, ServeReport};
-use crate::request::{Request, RequestState};
+use crate::report::{DeviceReport, PoolReport, PreemptReport, RunTotals, ServeReport, StepReport};
+use crate::request::Request;
 use crate::scheduler::Scheduler;
 use crate::sim::{DeviceSim, ServeSim};
 use crate::CLOCK_HZ;
@@ -277,6 +277,7 @@ pub(crate) fn drive(
     let mut lanes = Vec::new();
     let mut pool = PoolReport::default();
     let mut preempt = PreemptReport::default();
+    let mut steps = StepReport::default();
     let mut energy_pj = 0.0;
     let mut decode_invocations = 0u64;
     let mut decode_streams = 0u64;
@@ -284,15 +285,12 @@ pub(crate) fn drive(
     for (i, d) in devs.iter_mut().enumerate() {
         let lane_pool = d.pool_report();
         let lane_preempt = d.preempt_report();
-        let completed = d
-            .records
-            .iter()
-            .filter(|r| matches!(r.state, RequestState::Completed))
-            .count();
+        let lane_steps = d.step_report();
+        let completed = d.records.iter().filter(|r| r.completed()).count();
         let tokens: usize = d
             .records
             .iter()
-            .filter(|r| matches!(r.state, RequestState::Completed))
+            .filter(|r| r.completed())
             .map(|r| r.tokens)
             .sum();
         lanes.push(DeviceReport {
@@ -309,6 +307,7 @@ pub(crate) fn drive(
             energy_joules: d.energy_pj * 1e-12,
             pool: lane_pool,
             preempt: lane_preempt,
+            steps: lane_steps,
         });
         // Fleet aggregates: budgets and stalls add; the byte peaks are
         // per-device maxima taken at different local instants, so their
@@ -330,6 +329,14 @@ pub(crate) fn drive(
         preempt.swap_seconds += lane_preempt.swap_seconds;
         preempt.recompute_seconds += lane_preempt.recompute_seconds;
         preempt.peak_swap_held_bytes += lane_preempt.peak_swap_held_bytes;
+        // Step counts add; the budget utilization is each device's mean
+        // weighted by its step count (renormalized below).
+        steps.steps += lane_steps.steps;
+        steps.prefill_steps += lane_steps.prefill_steps;
+        steps.decode_steps += lane_steps.decode_steps;
+        steps.mixed_steps += lane_steps.mixed_steps;
+        steps.mean_budget_utilization +=
+            lane_steps.mean_budget_utilization * lane_steps.steps as f64;
         energy_pj += d.energy_pj;
         decode_invocations += d.decode_invocations;
         decode_streams += d.decode_streams;
@@ -337,6 +344,9 @@ pub(crate) fn drive(
         records.append(&mut d.records);
     }
     records.sort_by_key(|r| r.request.id);
+    if steps.steps > 0 {
+        steps.mean_budget_utilization /= steps.steps as f64;
+    }
     let mean_decode_batch = if decode_invocations == 0 {
         0.0
     } else {
@@ -357,6 +367,7 @@ pub(crate) fn drive(
             energy_pj,
             offered_rps: workload.offered_rps(),
             preempt,
+            steps,
         },
         pool,
         lanes,
@@ -367,7 +378,11 @@ pub(crate) fn drive(
 mod tests {
     use super::*;
     use crate::request::Request;
-    use mcbp_workloads::Task;
+    use crate::sim::ServeConfig;
+    use mcbp_model::LlmConfig;
+    use mcbp_workloads::{
+        Accelerator, PhaseCost, RunReport, SparsityProfile, Task, TraceContext, WeightGenerator,
+    };
 
     #[test]
     fn out_of_order_releases_keep_the_pending_deque_sorted() {
@@ -389,5 +404,78 @@ mod tests {
         assert_eq!(pending.len(), 3);
         let arrivals: Vec<f64> = pending.iter().map(|r| r.arrival_cycle).collect();
         assert_eq!(arrivals, [1.0, 105.0, 110.0]);
+    }
+
+    struct Flat;
+
+    impl Accelerator for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+
+        fn run(&self, _ctx: &TraceContext) -> RunReport {
+            RunReport {
+                prefill: PhaseCost {
+                    gemm_cycles: 100.0,
+                    ..Default::default()
+                },
+                decode: PhaseCost {
+                    weight_load_cycles: 100.0,
+                    ..Default::default()
+                },
+            }
+        }
+    }
+
+    /// Exactly tied devices must deterministically dispatch to the lowest
+    /// device id under every load-aware policy, so fleet runs replay
+    /// identically across platforms (no dependence on iteration order or
+    /// float comparison quirks).
+    #[test]
+    fn tied_devices_break_toward_the_lowest_id() {
+        let accel = Flat;
+        let model = LlmConfig::opt1b3();
+        let gen = WeightGenerator::for_model(&model);
+        let profile = SparsityProfile::measure(&gen.quantized_sample(16, 64, 1), 4);
+        let template = TraceContext {
+            model,
+            task: Task::cola(),
+            batch: 1,
+            weight_profile: profile,
+            attention_keep: 0.3,
+        };
+        let sim = ServeSim::new(&accel, template, ServeConfig::default());
+        let mut devs: Vec<DeviceSim<'_, '_>> = (0..3).map(|_| DeviceSim::new(&sim)).collect();
+        let mut rr = 0usize;
+        // All three devices are fresh: queued tokens and pool loads tie
+        // exactly, so the lowest id must win.
+        assert_eq!(
+            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
+            0
+        );
+        assert_eq!(
+            pick_device(DispatchPolicy::LeastLoadedPool, &devs, &mut rr),
+            0
+        );
+        // Load device 0; JSQ now prefers the still-empty device 1, and a
+        // 1-vs-2 tie again breaks toward the lower id.
+        devs[0].enqueue(Request::from_task(0, &Task::cola(), 0.0));
+        assert_eq!(
+            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
+            1
+        );
+        // Identical partial loads on 0 and 1 still tie-break to 0 once 2
+        // is the loaded one.
+        let mut devs: Vec<DeviceSim<'_, '_>> = (0..3).map(|_| DeviceSim::new(&sim)).collect();
+        devs[2].enqueue(Request::from_task(1, &Task::cola(), 0.0));
+        let mut rr = 0usize;
+        assert_eq!(
+            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
+            0
+        );
+        assert_eq!(
+            pick_device(DispatchPolicy::LeastLoadedPool, &devs, &mut rr),
+            0
+        );
     }
 }

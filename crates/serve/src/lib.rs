@@ -30,9 +30,10 @@
 //!
 //! **Steps, not events.** The simulator advances in *scheduler steps*:
 //! each iteration the [`Scheduler`] inspects admitted work and plans one
-//! batched accelerator invocation — either a prefill chunk of admitted
-//! prompts or one decode token across up to `max_batch` coalesced streams
-//! ([`StepPlan`]). The step is costed by the cycle-level model through a
+//! batched accelerator invocation — a prefill chunk of admitted prompts,
+//! one decode token across up to `max_batch` coalesced streams, or (under
+//! a step token budget) both at once ([`StepPlan`]). The step is costed
+//! by the cycle-level model through a
 //! memoizing [`StepCostModel`] (contexts quantized to `ctx_bucket`-token
 //! boundaries with linear interpolation in between), the clock advances
 //! by the step latency, and completions retire. Decode invocations
@@ -49,6 +50,27 @@
 //! prompt's first chunk cuts in between a batch-class prompt's chunks. KV
 //! residency grows per chunk, and a mid-prefill drop-and-recompute victim
 //! replays only the chunks it had completed.
+//!
+//! **Mixed steps under a shared token budget.** With
+//! [`ServeConfig::step_token_budget`] set, a scheduler step is no longer
+//! *either* a prefill chunk *or* a decode batch: every step is one
+//! budgeted invocation in which prefill members count their chunk's
+//! tokens and decode members count one token each, and the coalescing
+//! schedulers pack decode streams into the budget left over by the
+//! prefill chunk (Sarathi-style piggybacking). Decode streams keep
+//! advancing *every* step while a long prompt prefills — and the
+//! piggybacked tokens ride the chunk's weight stream, paying only their
+//! incremental cost ([`StepCostModel::mixed_step_cost`]). The
+//! [`PriorityScheduler`] additionally protects TTFT: an interactive
+//! stream's pending first token wins a short decode-only step over a
+//! batch-class chunk, so the mixed-step TPOT gain never costs the
+//! interactive class its chunked-prefill TTFT win. Budget `None`
+//! (the default) keeps the PR 3 phase-alternating behavior bit-exact as
+//! the ablation baseline; invalid combinations (zero budget, zero chunk,
+//! chunk wider than the budget, budget without chunking) are rejected
+//! with a typed [`ServeConfigError`]. [`ServeReport::steps`] reports the
+//! composition: step counts per kind, mixed-step fraction, and mean
+//! budget utilization.
 //!
 //! **KV-cache admission.** A [`KvCachePool`] holds the byte budget —
 //! device HBM capacity minus resident INT8 weights
@@ -135,13 +157,15 @@ pub use cost::{StepCost, StepCostModel};
 pub use dispatch::DispatchPolicy;
 pub use pool::{request_kv_bytes, KvCachePool, Reservation};
 pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
-pub use report::{DeviceReport, LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport};
+pub use report::{
+    DeviceReport, LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport, StepReport,
+};
 pub use request::{Priority, Request, RequestId, RequestRecord, RequestState, SloSpec};
 pub use scheduler::{
     ContinuousBatchScheduler, FcfsScheduler, PriorityScheduler, SchedEntry, SchedView, Scheduler,
     StepPlan,
 };
-pub use sim::{ServeConfig, ServeSim};
+pub use sim::{ServeConfig, ServeConfigError, ServeSim};
 
 /// The simulated core clock in Hz (1 GHz, matching the cycle model).
 pub const CLOCK_HZ: f64 = 1e9;

@@ -97,6 +97,38 @@ impl PreemptReport {
     }
 }
 
+/// Per-step composition statistics of one serving run: how many scheduler
+/// steps executed, what each coalesced (pure prefill chunk, pure decode,
+/// or a budgeted **mixed step** carrying both), and how much of the
+/// shared [`crate::ServeConfig::step_token_budget`] the executed steps
+/// actually used.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepReport {
+    /// Total scheduler steps executed.
+    pub steps: u64,
+    /// Steps that carried only a prefill chunk.
+    pub prefill_steps: u64,
+    /// Steps that carried only decode streams.
+    pub decode_steps: u64,
+    /// Mixed steps: a prefill chunk with piggybacked decode streams.
+    pub mixed_steps: u64,
+    /// Mean executed-token utilization of the step token budget over all
+    /// steps (0 when no budget was configured).
+    pub mean_budget_utilization: f64,
+}
+
+impl StepReport {
+    /// Fraction of steps that mixed a prefill chunk with piggybacked
+    /// decodes.
+    #[must_use]
+    pub fn mixed_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.mixed_steps as f64 / self.steps as f64
+    }
+}
+
 /// One device's share of a fleet serving run (see
 /// [`crate::ServeSim::run_fleet`]): what the dispatcher sent it, what it
 /// completed, and how busy it was.
@@ -123,6 +155,8 @@ pub struct DeviceReport {
     pub pool: PoolReport,
     /// This device's preemption statistics.
     pub preempt: PreemptReport,
+    /// This device's per-step composition statistics.
+    pub steps: StepReport,
 }
 
 /// Aggregate results of one serving simulation.
@@ -169,6 +203,10 @@ pub struct ServeReport {
     pub pool: PoolReport,
     /// Preemption/eviction statistics (fleet-wide sums for a fleet run).
     pub preempt: PreemptReport,
+    /// Per-step composition statistics (fleet-wide: counts add, the
+    /// budget utilization is each device's mean weighted by its step
+    /// count).
+    pub steps: StepReport,
     /// Per-device breakdown of a fleet run
     /// ([`crate::ServeSim::run_fleet`]); a single-device run carries its
     /// one lane here too.
@@ -192,6 +230,8 @@ pub struct RunTotals {
     pub offered_rps: Option<f64>,
     /// Preemption/eviction statistics.
     pub preempt: PreemptReport,
+    /// Per-step composition statistics.
+    pub steps: StepReport,
 }
 
 impl ServeReport {
@@ -211,11 +251,9 @@ impl ServeReport {
             energy_pj,
             offered_rps,
             preempt,
+            steps,
         } = totals;
-        let completed: Vec<&RequestRecord> = records
-            .iter()
-            .filter(|r| matches!(r.state, crate::RequestState::Completed))
-            .collect();
+        let completed: Vec<&RequestRecord> = records.iter().filter(|r| r.completed()).collect();
         let slo_met = completed.iter().filter(|r| r.slo_met()).count();
         let slo_tokens: usize = completed
             .iter()
@@ -259,6 +297,7 @@ impl ServeReport {
             energy_joules: energy_pj * 1e-12,
             pool,
             preempt,
+            steps,
             devices,
             records,
         }
@@ -283,9 +322,7 @@ impl ServeReport {
     pub fn completed_for(&self, priority: Priority) -> usize {
         self.records
             .iter()
-            .filter(|r| {
-                r.request.priority == priority && matches!(r.state, crate::RequestState::Completed)
-            })
+            .filter(|r| r.request.priority == priority && r.completed())
             .count()
     }
 }
@@ -314,6 +351,23 @@ impl fmt::Display for ServeReport {
             "  slo: {}/{} requests met, slo-goodput {:.1} tok/s",
             self.slo_met, self.completed, self.slo_goodput_tokens_per_s
         )?;
+        write!(
+            f,
+            "  steps: {} ({} prefill / {} decode / {} mixed, {:.1}% mixed)",
+            self.steps.steps,
+            self.steps.prefill_steps,
+            self.steps.decode_steps,
+            self.steps.mixed_steps,
+            self.steps.mixed_fraction() * 100.0
+        )?;
+        if self.steps.mean_budget_utilization > 0.0 {
+            write!(
+                f,
+                ", budget util {:.1}%",
+                self.steps.mean_budget_utilization * 100.0
+            )?;
+        }
+        writeln!(f)?;
         if self.preempt.preemptions > 0 {
             writeln!(
                 f,
@@ -390,5 +444,18 @@ mod tests {
     #[test]
     fn empty_sample_is_all_zero() {
         assert_eq!(LatencyStats::from_cycles(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn step_report_mixed_fraction() {
+        let steps = StepReport {
+            steps: 8,
+            prefill_steps: 2,
+            decode_steps: 4,
+            mixed_steps: 2,
+            mean_budget_utilization: 0.75,
+        };
+        assert!((steps.mixed_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(StepReport::default().mixed_fraction(), 0.0);
     }
 }

@@ -131,13 +131,24 @@ impl Request {
 /// completed, when evicted mid-prefill) or straight to `Decoding` (swap
 /// restores its KV from host memory; a mid-prefill swap victim resumes
 /// `AwaitingPrefill` at its preserved cursor).
+///
+/// Under a step token budget ([`crate::ServeConfig::step_token_budget`])
+/// one scheduler step can advance `AwaitingPrefill` *and* `Decoding`
+/// requests together (a mixed step), but each request is still in exactly
+/// one state per step — a prompt's cursor must reach its target before
+/// the request's first decode token, so the transition diagram is
+/// unchanged. Eviction can interrupt a request between any two steps,
+/// including right after a mixed step advanced it: the victim's cursor
+/// (or token count) is whatever that step left behind, and drop-and-
+/// recompute replays exactly the completed-chunk prefix it recorded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestState {
     /// Arrived, not yet admitted (waiting for KV-pool reservation).
     Queued,
     /// Admitted, prompt not fully processed: the prefill cursor advances
     /// chunk by chunk under [`crate::ServeConfig::prefill_chunk`] (see
-    /// [`crate::SchedEntry::done`]).
+    /// [`crate::SchedEntry::done`]), possibly sharing each step with
+    /// piggybacked decode streams.
     AwaitingPrefill,
     /// Prompt processed; `generated` tokens decoded so far.
     Decoding {
@@ -174,6 +185,13 @@ pub struct RequestRecord {
 }
 
 impl RequestRecord {
+    /// Whether the request ran to completion (as opposed to being
+    /// dropped).
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        matches!(self.state, RequestState::Completed)
+    }
+
     /// Queueing delay before admission, in cycles.
     #[must_use]
     pub fn admission_stall_cycles(&self) -> f64 {

@@ -55,9 +55,9 @@ use crate::cost::{StepCost, StepCostModel};
 use crate::dispatch::{drive, DispatchPolicy};
 use crate::pool::{request_kv_bytes, KvCachePool};
 use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
-use crate::report::{PoolReport, PreemptReport, ServeReport};
+use crate::report::{PoolReport, PreemptReport, ServeReport, StepReport};
 use crate::request::{Priority, Request, RequestId, RequestRecord, RequestState};
-use crate::scheduler::{SchedEntry, SchedView, Scheduler, StepPlan};
+use crate::scheduler::{SchedEntry, SchedView, Scheduler};
 
 /// Configuration of one serving simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +74,18 @@ pub struct ServeConfig {
     /// prefills every prompt in a single monolithic invocation (the
     /// pre-chunking behavior, kept as the ablation baseline).
     pub prefill_chunk: Option<usize>,
+    /// Shared per-step token budget. `Some(b)` makes every scheduler step
+    /// a single budgeted invocation: prefill members count their chunk's
+    /// tokens, decode members count one token each, and the coalescing
+    /// schedulers pack decode streams into the budget left over by the
+    /// prefill chunk (Sarathi-style mixed steps — decoding advances every
+    /// step while a long prompt prefills). Requires chunked prefill with
+    /// `prefill_chunk ≤ b` (validated; see [`ServeConfigError`]); the
+    /// piggyback slack per chunk step is `b − prefill_chunk`. `None`
+    /// disables budgeting: the schedulers alternate pure prefill and pure
+    /// decode steps (the pre-budget behavior, kept bit-exact as the
+    /// ablation baseline).
+    pub step_token_budget: Option<usize>,
     /// KV-pool byte budget per device. `Some(bytes)` is used verbatim.
     /// `None` derives the budget from the HBM capacity minus the resident
     /// INT8 weights and scales it by [`ServeConfig::fleet`]'s device
@@ -99,9 +111,98 @@ impl Default for ServeConfig {
             max_batch: 16,
             ctx_bucket: 256,
             prefill_chunk: Some(512),
+            step_token_budget: None,
             kv_budget_bytes: None,
             fleet: Fleet::single(),
             preempt: PreemptConfig::default(),
+        }
+    }
+}
+
+/// Why a [`ServeConfig`] is rejected by [`ServeConfig::validate`] — the
+/// typed alternative to a downstream panic (a zero chunk would divide by
+/// zero in the scheduler; a chunk wider than the step budget could never
+/// be scheduled and would wedge the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `max_batch` is zero: no invocation could coalesce anything.
+    ZeroMaxBatch,
+    /// `ctx_bucket` is zero: the step-cost cache cannot quantize contexts.
+    ZeroCtxBucket,
+    /// `prefill_chunk == Some(0)`: a chunk invocation could never advance
+    /// a prompt (use `None` for monolithic prefill instead).
+    ZeroPrefillChunk,
+    /// `step_token_budget == Some(0)`: no step could schedule any token.
+    ZeroStepTokenBudget,
+    /// The prefill chunk does not fit the step token budget, so a chunk
+    /// step could never be scheduled and waiting prompts would starve.
+    ChunkExceedsBudget {
+        /// Configured `prefill_chunk`.
+        chunk: usize,
+        /// Configured `step_token_budget`.
+        budget: usize,
+    },
+    /// A step token budget with monolithic prefill
+    /// (`prefill_chunk == None`): an unbounded prefill invocation cannot
+    /// be packed under any finite budget.
+    BudgetRequiresChunkedPrefill,
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroMaxBatch => write!(f, "coalescing width must be positive"),
+            ServeConfigError::ZeroCtxBucket => write!(f, "context bucket must be positive"),
+            ServeConfigError::ZeroPrefillChunk => {
+                write!(f, "prefill chunk must be positive (use None for unchunked)")
+            }
+            ServeConfigError::ZeroStepTokenBudget => {
+                write!(
+                    f,
+                    "step token budget must be positive (use None for alternating steps)"
+                )
+            }
+            ServeConfigError::ChunkExceedsBudget { chunk, budget } => write!(
+                f,
+                "prefill chunk ({chunk} tokens) exceeds the step token budget \
+                 ({budget} tokens): no chunk step could ever be scheduled"
+            ),
+            ServeConfigError::BudgetRequiresChunkedPrefill => write!(
+                f,
+                "a step token budget requires chunked prefill (prefill_chunk = Some(..)): \
+                 a monolithic prefill cannot be packed under a finite budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+impl ServeConfig {
+    /// Checks the configuration's internal consistency, returning the
+    /// first violation as a typed [`ServeConfigError`] instead of letting
+    /// it surface as a downstream panic or a silently wedged simulation.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeConfigError`] for the rejected shapes.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.max_batch == 0 {
+            return Err(ServeConfigError::ZeroMaxBatch);
+        }
+        if self.ctx_bucket == 0 {
+            return Err(ServeConfigError::ZeroCtxBucket);
+        }
+        if self.prefill_chunk == Some(0) {
+            return Err(ServeConfigError::ZeroPrefillChunk);
+        }
+        match (self.step_token_budget, self.prefill_chunk) {
+            (Some(0), _) => Err(ServeConfigError::ZeroStepTokenBudget),
+            (Some(_), None) => Err(ServeConfigError::BudgetRequiresChunkedPrefill),
+            (Some(budget), Some(chunk)) if chunk > budget => {
+                Err(ServeConfigError::ChunkExceedsBudget { chunk, budget })
+            }
+            _ => Ok(()),
         }
     }
 }
@@ -181,6 +282,17 @@ struct PreemptTally {
     recompute_cycles: f64,
 }
 
+/// Running per-step composition counters (see [`crate::StepReport`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct StepTally {
+    steps: u64,
+    prefill_steps: u64,
+    decode_steps: u64,
+    mixed_steps: u64,
+    /// Sum over budgeted steps of `executed tokens / budget`.
+    utilization_sum: f64,
+}
+
 /// `a` strictly ahead of `b` in admission order: higher priority first,
 /// then earlier arrival, then lower id.
 fn admits_before(a: (Priority, f64, RequestId), b: (Priority, f64, RequestId)) -> bool {
@@ -206,16 +318,30 @@ impl<'a> ServeSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on a zero `max_batch`, `ctx_bucket`, or `prefill_chunk`.
+    /// Panics on an invalid configuration (see [`ServeConfig::validate`]);
+    /// use [`ServeSim::try_new`] to handle the error instead.
     #[must_use]
     pub fn new(accel: &'a dyn Accelerator, template: TraceContext, cfg: ServeConfig) -> Self {
-        assert!(cfg.max_batch >= 1, "coalescing width must be positive");
-        assert!(
-            cfg.prefill_chunk != Some(0),
-            "prefill chunk must be positive (use None for unchunked)"
-        );
+        match Self::try_new(accel, template, cfg) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid ServeConfig: {e}"),
+        }
+    }
+
+    /// Builds a serving simulator, rejecting inconsistent configurations
+    /// with a typed error instead of a downstream panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ServeConfigError`] the configuration violates.
+    pub fn try_new(
+        accel: &'a dyn Accelerator,
+        template: TraceContext,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeConfigError> {
+        cfg.validate()?;
         let cost = StepCostModel::new(accel, template, cfg.ctx_bucket);
-        ServeSim { cost, cfg }
+        Ok(ServeSim { cost, cfg })
     }
 
     /// The configuration.
@@ -280,6 +406,7 @@ pub(crate) struct DeviceSim<'s, 'a> {
     pub(crate) pool: KvCachePool,
     ledger: SwapLedger,
     tally: PreemptTally,
+    step_tally: StepTally,
     /// Requests dispatched to this device, arrival-sorted, not yet
     /// admitted.
     pending: VecDeque<Request>,
@@ -305,6 +432,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             pool: sim.fresh_pool(),
             ledger: SwapLedger::new(),
             tally: PreemptTally::default(),
+            step_tally: StepTally::default(),
             pending: VecDeque::new(),
             active: Vec::new(),
             suspended: Vec::new(),
@@ -606,15 +734,24 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
         true
     }
 
-    /// Plans and executes one batched step, retiring completions.
-    /// Returns the number of requests that completed — the driver
-    /// releases one closed-loop slot per completion.
+    /// Plans and executes one batched step — pure prefill, pure decode,
+    /// or a budgeted **mixed step** carrying a prefill chunk plus
+    /// piggybacked decode streams — retiring completions. Returns the
+    /// number of requests that completed — the driver releases one
+    /// closed-loop slot per completion.
+    ///
+    /// In a mixed step the chunk members' KV residency grows to their new
+    /// cursor and the piggybacked members' decode-token accounting (token
+    /// counts, first-token stamps, per-token KV growth) lands in the same
+    /// step; the step is costed as chunk cost plus incremental
+    /// piggybacked-decode cost ([`StepCostModel::mixed_step_cost`]).
     ///
     /// # Panics
     ///
-    /// Panics if the scheduler returns [`StepPlan::Idle`] or selects no
-    /// live request while work is visible (a contract violation — failing
-    /// loudly beats silently losing in-flight requests).
+    /// Panics if the scheduler returns an idle plan or selects no live
+    /// request while work is visible, or schedules more tokens than
+    /// [`ServeConfig::step_token_budget`] allows (contract violations —
+    /// failing loudly beats silently losing in-flight requests).
     pub(crate) fn step(&mut self, scheduler: &mut dyn Scheduler) -> usize {
         let keep = self.sim.cost.template().attention_keep;
         let model = self.sim.cost.template().model.clone();
@@ -626,6 +763,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 id: f.req.id,
                 len: f.prefill_target,
                 done: f.prefill_done,
+                generated: f.tokens,
                 priority: f.req.priority,
             })
             .collect();
@@ -637,6 +775,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 id: f.req.id,
                 len: f.context(),
                 done: f.context(),
+                generated: f.tokens,
                 priority: f.req.priority,
             })
             .collect();
@@ -644,112 +783,149 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             waiting_prefill: &waiting,
             decoding: &decoding,
             max_batch: self.sim.cfg.max_batch,
+            prefill_chunk: self.sim.cfg.prefill_chunk,
+            step_token_budget: self.sim.cfg.step_token_budget,
         };
         let plan = scheduler.plan(&view);
+        assert!(
+            !plan.is_idle(),
+            "scheduler `{}` returned an idle plan with {} prompt(s) waiting and {} stream(s) decoding",
+            scheduler.name(),
+            waiting.len(),
+            decoding.len()
+        );
+        // Prefill and decode members share the coalescing width.
+        let prefill_ids = clamp_ids(&plan.prefill, &waiting, self.sim.cfg.max_batch);
+        let decode_ids = clamp_ids(
+            &plan.decode,
+            &decoding,
+            self.sim.cfg.max_batch - prefill_ids.len(),
+        );
+        assert!(
+            !(prefill_ids.is_empty() && decode_ids.is_empty()),
+            "scheduler `{}` plan selected no live request",
+            scheduler.name()
+        );
 
-        match plan {
-            StepPlan::Idle => {
-                panic!(
-                    "scheduler `{}` returned Idle with {} prompt(s) waiting and {} stream(s) decoding",
-                    scheduler.name(),
-                    waiting.len(),
-                    decoding.len()
-                );
-            }
-            StepPlan::Prefill(ids) => {
-                let ids = clamp_ids(&ids, &waiting, self.sim.cfg.max_batch);
-                assert!(!ids.is_empty(), "prefill plan selected no admitted prompt");
-                let chunk = self.sim.cfg.prefill_chunk.unwrap_or(usize::MAX);
-                // Per-request chunk spans. The schedulers batch matching
-                // (target, cursor) pairs so spans are uniform; a custom
-                // scheduler mixing cursors is costed by its heaviest span.
-                let spans: Vec<(RequestId, usize, usize, usize)> = ids
-                    .iter()
-                    .map(|id| {
-                        let f = lookup(&self.active, *id);
-                        let upto = f.prefill_target.min(f.prefill_done.saturating_add(chunk));
-                        (*id, f.prefill_done, upto, f.replay_tokens)
-                    })
-                    .collect();
-                let (_, done, upto, _) = spans
-                    .iter()
-                    .copied()
-                    .max_by_key(|&(_, done, upto, _)| (upto - done, upto))
-                    .expect("non-empty");
-                let cost = self.sim.fleet_scaled(self.sim.cost.prefill_chunk_cost(
-                    done,
-                    upto,
-                    spans.len(),
-                ));
-                self.now += cost.cycles;
-                self.busy_cycles += cost.cycles;
-                // Integrate pre-step residency over the step before the
-                // step's own growth lands, so the occupancy mean is not
-                // biased upward by end-of-step byte arrivals.
-                self.pool.advance_clock(self.now);
-                self.energy_pj += cost.energy_pj;
-                // Attribute the replayed share of this invocation to
-                // recompute overhead (drop-and-recompute's resume bill):
-                // the tokens of each span overlapping its replay region.
-                let taken: usize = spans.iter().map(|&(_, d, u, _)| u - d).sum();
-                let replayed: usize = spans
-                    .iter()
-                    .map(|&(_, d, u, rep)| u.min(rep).saturating_sub(d))
-                    .sum();
-                self.tally.recompute_cycles += cost.cycles * replayed as f64 / taken as f64;
-                for &(id, _, upto, _) in &spans {
-                    let f = lookup_mut(&mut self.active, id);
-                    f.prefill_done = upto;
-                    if f.prefilled() && f.req.decode_len == 0 && f.tokens == 0 {
-                        f.first_token_cycle = self.now; // prompt-only request
-                    }
-                    // Residency grows per chunk: the KV bytes of the
-                    // prefilled prefix, never past the peak reservation.
-                    let reserved = self
-                        .pool
-                        .reservation(id)
-                        .expect("prefilling request holds a reservation");
-                    let target = request_kv_bytes(&model, upto, keep).min(reserved.reserved_bytes);
-                    self.pool
-                        .grow_resident(id, target.saturating_sub(reserved.resident_bytes));
+        let chunk = self.sim.cfg.prefill_chunk.unwrap_or(usize::MAX);
+        // Per-request chunk spans. The schedulers batch matching
+        // (target, cursor) pairs so spans are uniform; a custom
+        // scheduler mixing cursors is costed by its heaviest span.
+        let spans: Vec<(RequestId, usize, usize, usize)> = prefill_ids
+            .iter()
+            .map(|id| {
+                let f = lookup(&self.active, *id);
+                let upto = f.prefill_target.min(f.prefill_done.saturating_add(chunk));
+                (*id, f.prefill_done, upto, f.replay_tokens)
+            })
+            .collect();
+        // Budget contract: the executed step never exceeds the shared
+        // token budget (chunk tokens + one per decode member).
+        if let Some(budget) = self.sim.cfg.step_token_budget {
+            let tokens = spans.iter().map(|&(_, d, u, _)| u - d).sum::<usize>() + decode_ids.len();
+            assert!(
+                tokens <= budget,
+                "scheduler `{}` scheduled {tokens} tokens over the {budget}-token step budget",
+                scheduler.name()
+            );
+            self.step_tally.utilization_sum += tokens as f64 / budget as f64;
+        }
+
+        // ---- cost the invocation (chunk + piggybacked decodes) ----
+        let chunk_cost = (!spans.is_empty()).then(|| {
+            let (_, done, upto, _) = spans
+                .iter()
+                .copied()
+                .max_by_key(|&(_, done, upto, _)| (upto - done, upto))
+                .expect("non-empty");
+            self.sim
+                .fleet_scaled(self.sim.cost.prefill_chunk_cost(done, upto, spans.len()))
+        });
+        let decode_cost = (!decode_ids.is_empty()).then(|| {
+            let mean_ctx = (decode_ids
+                .iter()
+                .map(|id| lookup(&self.active, *id).context())
+                .sum::<usize>() as f64
+                / decode_ids.len() as f64)
+                .round() as usize;
+            // Piggybacked decodes ride the chunk's weight stream and pay
+            // only their incremental cost; a pure decode step pays the
+            // full invocation cost including the stream.
+            let raw = if spans.is_empty() {
+                self.sim.cost.decode_cost(mean_ctx.max(1), decode_ids.len())
+            } else {
+                self.sim
+                    .cost
+                    .piggyback_decode_cost(mean_ctx.max(1), decode_ids.len())
+            };
+            self.sim.fleet_scaled(raw)
+        });
+        let step_cycles =
+            chunk_cost.map_or(0.0, |c| c.cycles) + decode_cost.map_or(0.0, |c| c.cycles);
+        self.now += step_cycles;
+        self.busy_cycles += step_cycles;
+        // Integrate pre-step residency over the step before the step's
+        // own growth lands, so the occupancy mean is not biased upward
+        // by end-of-step byte arrivals.
+        self.pool.advance_clock(self.now);
+        self.energy_pj +=
+            chunk_cost.map_or(0.0, |c| c.energy_pj) + decode_cost.map_or(0.0, |c| c.energy_pj);
+        self.step_tally.steps += 1;
+        match (chunk_cost.is_some(), decode_cost.is_some()) {
+            (true, true) => self.step_tally.mixed_steps += 1,
+            (true, false) => self.step_tally.prefill_steps += 1,
+            (false, true) => self.step_tally.decode_steps += 1,
+            (false, false) => unreachable!("empty plans are rejected above"),
+        }
+
+        // ---- apply the chunk members' cursor and KV growth ----
+        if let Some(cost) = chunk_cost {
+            // Attribute the replayed share of the chunk (not of the
+            // piggybacked decodes) to recompute overhead
+            // (drop-and-recompute's resume bill): the tokens of each span
+            // overlapping its replay region.
+            let taken: usize = spans.iter().map(|&(_, d, u, _)| u - d).sum();
+            let replayed: usize = spans
+                .iter()
+                .map(|&(_, d, u, rep)| u.min(rep).saturating_sub(d))
+                .sum();
+            self.tally.recompute_cycles += cost.cycles * replayed as f64 / taken as f64;
+            for &(id, _, upto, _) in &spans {
+                let f = lookup_mut(&mut self.active, id);
+                f.prefill_done = upto;
+                if f.prefilled() && f.req.decode_len == 0 && f.tokens == 0 {
+                    f.first_token_cycle = self.now; // prompt-only request
                 }
+                // Residency grows per chunk: the KV bytes of the
+                // prefilled prefix, never past the peak reservation.
+                let reserved = self
+                    .pool
+                    .reservation(id)
+                    .expect("prefilling request holds a reservation");
+                let target = request_kv_bytes(&model, upto, keep).min(reserved.reserved_bytes);
+                self.pool
+                    .grow_resident(id, target.saturating_sub(reserved.resident_bytes));
             }
-            StepPlan::Decode(ids) => {
-                let ids = clamp_ids(&ids, &decoding, self.sim.cfg.max_batch);
-                assert!(!ids.is_empty(), "decode plan selected no active stream");
-                let mean_ctx = (ids
-                    .iter()
-                    .map(|id| lookup(&self.active, *id).context())
-                    .sum::<usize>() as f64
-                    / ids.len() as f64)
-                    .round() as usize;
-                let cost = self
-                    .sim
-                    .fleet_scaled(self.sim.cost.decode_cost(mean_ctx.max(1), ids.len()));
-                self.now += cost.cycles;
-                self.busy_cycles += cost.cycles;
-                // As in the prefill arm: charge the step's duration at
-                // pre-step residency before this step's growth lands.
-                self.pool.advance_clock(self.now);
-                self.energy_pj += cost.energy_pj;
-                self.decode_invocations += 1;
-                self.decode_streams += ids.len() as u64;
-                for id in &ids {
-                    let f = lookup_mut(&mut self.active, *id);
-                    f.tokens += 1;
-                    if f.tokens == 1 {
-                        f.first_token_cycle = self.now;
-                    }
-                    let context = f.context();
-                    let reserved = self
-                        .pool
-                        .reservation(*id)
-                        .expect("decoding request holds a reservation");
-                    let target =
-                        request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
-                    self.pool
-                        .grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
+        }
+
+        // ---- apply the decode members' token accounting ----
+        if !decode_ids.is_empty() {
+            self.decode_invocations += 1;
+            self.decode_streams += decode_ids.len() as u64;
+            for id in &decode_ids {
+                let f = lookup_mut(&mut self.active, *id);
+                f.tokens += 1;
+                if f.tokens == 1 {
+                    f.first_token_cycle = self.now;
                 }
+                let context = f.context();
+                let reserved = self
+                    .pool
+                    .reservation(*id)
+                    .expect("decoding request holds a reservation");
+                let target = request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
+                self.pool
+                    .grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
             }
         }
 
@@ -792,7 +968,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
         let stall_cycles: f64 = self
             .records
             .iter()
-            .filter(|r| matches!(r.state, RequestState::Completed))
+            .filter(|r| r.completed())
             .map(RequestRecord::admission_stall_cycles)
             .sum();
         PoolReport {
@@ -801,6 +977,21 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             peak_reserved_bytes: self.pool.peak_reserved_bytes(),
             mean_resident_bytes: self.pool.mean_resident_bytes(),
             admission_stall_seconds: stall_cycles / crate::CLOCK_HZ,
+        }
+    }
+
+    /// This device's per-step composition statistics.
+    pub(crate) fn step_report(&self) -> StepReport {
+        StepReport {
+            steps: self.step_tally.steps,
+            prefill_steps: self.step_tally.prefill_steps,
+            decode_steps: self.step_tally.decode_steps,
+            mixed_steps: self.step_tally.mixed_steps,
+            mean_budget_utilization: if self.step_tally.steps == 0 {
+                0.0
+            } else {
+                self.step_tally.utilization_sum / self.step_tally.steps as f64
+            },
         }
     }
 
@@ -1224,6 +1415,148 @@ mod tests {
             let b = run_contention(policy);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn config_validation_rejects_inconsistent_shapes_with_typed_errors() {
+        let accel = Toy;
+        let bad = |cfg: ServeConfig| {
+            ServeSim::try_new(&accel, template(0.3), cfg)
+                .err()
+                .expect("config must be rejected")
+        };
+        assert_eq!(
+            bad(ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::ZeroMaxBatch
+        );
+        assert_eq!(
+            bad(ServeConfig {
+                ctx_bucket: 0,
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::ZeroCtxBucket
+        );
+        assert_eq!(
+            bad(ServeConfig {
+                prefill_chunk: Some(0),
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::ZeroPrefillChunk
+        );
+        assert_eq!(
+            bad(ServeConfig {
+                prefill_chunk: Some(512),
+                step_token_budget: Some(0),
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::ZeroStepTokenBudget
+        );
+        assert_eq!(
+            bad(ServeConfig {
+                prefill_chunk: Some(512),
+                step_token_budget: Some(511),
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::ChunkExceedsBudget {
+                chunk: 512,
+                budget: 511
+            }
+        );
+        assert_eq!(
+            bad(ServeConfig {
+                prefill_chunk: None,
+                step_token_budget: Some(1024),
+                ..ServeConfig::default()
+            }),
+            ServeConfigError::BudgetRequiresChunkedPrefill
+        );
+        // The boundary case chunk == budget is legal (no piggyback slack,
+        // but chunk steps can still be scheduled), as are the defaults.
+        assert!(ServeConfig {
+            prefill_chunk: Some(512),
+            step_token_budget: Some(512),
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_ok());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ServeConfig")]
+    fn new_panics_on_invalid_config_with_the_typed_message() {
+        let accel = Toy;
+        let _ = ServeSim::new(
+            &accel,
+            template(0.3),
+            ServeConfig {
+                prefill_chunk: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn budgeted_run_mixes_steps_and_conserves_tokens() {
+        let accel = Toy;
+        let budgeted = ServeSim::new(
+            &accel,
+            template(0.3),
+            ServeConfig {
+                step_token_budget: Some(576),
+                ..ServeConfig::default()
+            },
+        );
+        let w = closed_loop(4, 12);
+        let report = budgeted.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(report.completed, 12);
+        for rec in &report.records {
+            assert_eq!(rec.tokens, rec.request.decode_len);
+        }
+        // Closed-loop releases land while earlier streams decode, so the
+        // budgeted scheduler must have piggybacked decodes onto chunks.
+        assert!(
+            report.steps.mixed_steps > 0,
+            "expected mixed steps, got {:?}",
+            report.steps
+        );
+        assert_eq!(
+            report.steps.steps,
+            report.steps.prefill_steps + report.steps.decode_steps + report.steps.mixed_steps
+        );
+        assert!(report.steps.mean_budget_utilization > 0.0);
+        assert!(report.steps.mean_budget_utilization <= 1.0);
+        // The unbudgeted baseline on the same trace reports no mixed
+        // steps and no budget utilization.
+        let baseline = ServeSim::new(&accel, template(0.3), ServeConfig::default());
+        let base = baseline.run(&w, &mut ContinuousBatchScheduler::new());
+        assert_eq!(base.steps.mixed_steps, 0);
+        assert_eq!(base.steps.mean_budget_utilization, 0.0);
+        assert_eq!(base.completed, 12);
+    }
+
+    #[test]
+    fn budgeted_runs_replay_identically() {
+        let accel = Toy;
+        let cfg = ServeConfig {
+            step_token_budget: Some(576),
+            ..ServeConfig::default()
+        };
+        let sim = ServeSim::new(&accel, template(0.3), cfg);
+        let gen = LoadGenerator::uniform(
+            Task::cola(),
+            24,
+            ArrivalProcess::Poisson {
+                rate_rps: 2000.0,
+                seed: 11,
+            },
+        );
+        let a = sim.run(&gen.generate(), &mut ContinuousBatchScheduler::new());
+        let b = sim.run(&gen.generate(), &mut ContinuousBatchScheduler::new());
+        assert_eq!(a, b);
     }
 
     #[test]

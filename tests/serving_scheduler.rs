@@ -144,14 +144,18 @@ fn identical_seeds_are_bit_identical() {
 
 /// A preemption-heavy configuration: a mixed-class bursty trace on a pool
 /// two dense requests wide, so interactive arrivals keep evicting
-/// batch-class victims.
-fn preemption_heavy(policy: EvictionPolicy) -> ServeReport {
+/// batch-class victims. `step_budget` switches the schedulers between the
+/// phase-alternating baseline (`None`) and budgeted mixed steps — the
+/// conservation and determinism guarantees must hold identically when
+/// victims are mid-flight inside mixed steps.
+fn preemption_heavy(policy: EvictionPolicy, step_budget: Option<usize>) -> ServeReport {
     let engine = engine();
     let model = LlmConfig::opt1b3();
     let keep = 0.3;
     let budget = request_kv_bytes(&model, serve_task().final_context(), 1.0) * 2;
     let cfg = ServeConfig {
         kv_budget_bytes: Some(budget),
+        step_token_budget: step_budget,
         preempt: PreemptConfig {
             policy,
             ..PreemptConfig::default()
@@ -187,71 +191,89 @@ fn preemption_heavy(policy: EvictionPolicy) -> ServeReport {
 
 /// The same `ServeConfig` + seed run twice yields a byte-identical
 /// `ServeReport`, including the preemption and SLO counters — under both
-/// eviction policies.
+/// eviction policies, with and without budgeted mixed steps.
 #[test]
 fn preemptive_runs_replay_byte_identically() {
-    for policy in [EvictionPolicy::DropRecompute, EvictionPolicy::Swap] {
-        let a = preemption_heavy(policy);
-        let b = preemption_heavy(policy);
-        assert!(
-            a.preempt.preemptions > 0,
-            "{policy:?}: the scenario must actually preempt"
-        );
-        assert_eq!(a, b, "{policy:?}");
-        // Spot-check byte identity of the float aggregates (PartialEq on
-        // f64 is bitwise only up to NaN/-0.0 subtleties; these must be
-        // exactly the same bits).
-        assert_eq!(
-            a.duration_seconds.to_bits(),
-            b.duration_seconds.to_bits(),
-            "{policy:?}"
-        );
-        assert_eq!(
-            a.slo_goodput_tokens_per_s.to_bits(),
-            b.slo_goodput_tokens_per_s.to_bits(),
-            "{policy:?}"
-        );
-        assert_eq!(
-            a.preempt.overhead_seconds().to_bits(),
-            b.preempt.overhead_seconds().to_bits(),
-            "{policy:?}"
-        );
+    for step_budget in [None, Some(768)] {
+        for policy in [EvictionPolicy::DropRecompute, EvictionPolicy::Swap] {
+            let a = preemption_heavy(policy, step_budget);
+            let b = preemption_heavy(policy, step_budget);
+            assert!(
+                a.preempt.preemptions > 0,
+                "{policy:?}/{step_budget:?}: the scenario must actually preempt"
+            );
+            assert_eq!(a, b, "{policy:?}/{step_budget:?}");
+            // Spot-check byte identity of the float aggregates (PartialEq
+            // on f64 is bitwise only up to NaN/-0.0 subtleties; these must
+            // be exactly the same bits).
+            assert_eq!(
+                a.duration_seconds.to_bits(),
+                b.duration_seconds.to_bits(),
+                "{policy:?}/{step_budget:?}"
+            );
+            assert_eq!(
+                a.slo_goodput_tokens_per_s.to_bits(),
+                b.slo_goodput_tokens_per_s.to_bits(),
+                "{policy:?}/{step_budget:?}"
+            );
+            assert_eq!(
+                a.preempt.overhead_seconds().to_bits(),
+                b.preempt.overhead_seconds().to_bits(),
+                "{policy:?}/{step_budget:?}"
+            );
+        }
     }
 }
 
 /// Conservation under preemption: every drop-and-recompute victim is
 /// eventually resumed and completes with exactly its task's token count;
-/// nothing is lost or double-counted across evictions.
+/// nothing is lost or double-counted across evictions — including when
+/// victims are mid-flight inside budgeted mixed steps.
 #[test]
 fn drop_recompute_victims_complete_with_exact_token_counts() {
-    let report = preemption_heavy(EvictionPolicy::DropRecompute);
-    assert!(report.preempt.preemptions > 0, "scenario must preempt");
-    assert!(
-        report.records.iter().any(|r| r.preemptions > 0),
-        "some victim must have been evicted and resumed"
-    );
-    assert_eq!(
-        report.completed + report.dropped,
-        16,
-        "no request may vanish"
-    );
-    assert_eq!(report.dropped, 0, "every request fits this pool");
-    assert_eq!(report.preempt.swap_out_bytes, 0, "drop never swaps");
-    assert!(report.preempt.recompute_seconds > 0.0);
-    for rec in &report.records {
-        assert_eq!(rec.state, RequestState::Completed);
-        assert_eq!(
-            rec.tokens, rec.request.decode_len,
-            "request {} (evicted {} times)",
-            rec.request.id, rec.preemptions
+    for step_budget in [None, Some(768)] {
+        let report = preemption_heavy(EvictionPolicy::DropRecompute, step_budget);
+        assert!(
+            report.preempt.preemptions > 0,
+            "{step_budget:?}: scenario must preempt"
         );
-    }
-    // Swap conserves too, and restores exactly what it spilled.
-    let swap = preemption_heavy(EvictionPolicy::Swap);
-    assert_eq!(swap.completed, 16);
-    assert_eq!(swap.preempt.swap_in_bytes, swap.preempt.swap_out_bytes);
-    for rec in &swap.records {
-        assert_eq!(rec.tokens, rec.request.decode_len);
+        assert!(
+            report.records.iter().any(|r| r.preemptions > 0),
+            "{step_budget:?}: some victim must have been evicted and resumed"
+        );
+        assert_eq!(
+            report.completed + report.dropped,
+            16,
+            "{step_budget:?}: no request may vanish"
+        );
+        assert_eq!(
+            report.dropped, 0,
+            "{step_budget:?}: every request fits this pool"
+        );
+        assert_eq!(report.preempt.swap_out_bytes, 0, "drop never swaps");
+        assert!(report.preempt.recompute_seconds > 0.0, "{step_budget:?}");
+        if step_budget.is_some() {
+            assert!(
+                report.steps.mixed_steps > 0,
+                "the budgeted variant must exercise mixed steps: {:?}",
+                report.steps
+            );
+        }
+        for rec in &report.records {
+            assert_eq!(rec.state, RequestState::Completed);
+            assert_eq!(
+                rec.tokens, rec.request.decode_len,
+                "{step_budget:?}: request {} (evicted {} times)",
+                rec.request.id, rec.preemptions
+            );
+        }
+        // Swap conserves too, and restores exactly what it spilled.
+        let swap = preemption_heavy(EvictionPolicy::Swap, step_budget);
+        assert_eq!(swap.completed, 16, "{step_budget:?}");
+        assert_eq!(swap.preempt.swap_in_bytes, swap.preempt.swap_out_bytes);
+        for rec in &swap.records {
+            assert_eq!(rec.tokens, rec.request.decode_len);
+        }
     }
 }
 
@@ -262,4 +284,5 @@ fn serving_experiment_ids_dispatch() {
     assert!(experiments::all_ids().contains(&"serving"));
     assert!(experiments::all_ids().contains(&"serving_capacity"));
     assert!(experiments::all_ids().contains(&"serving_slo"));
+    assert!(experiments::all_ids().contains(&"serving_mixed"));
 }
