@@ -9,7 +9,10 @@ mod serving;
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
 pub use motivation::{fig18, fig1a, fig4, fig5ab, fig5cd, fig5fg, fig8b, fig8c, tab2};
-pub use serving::{serving, serving_capacity, serving_fleet, serving_mixed, serving_slo};
+pub use serving::{
+    serving, serving_capacity, serving_fleet, serving_hetero, serving_mixed, serving_models,
+    serving_slo,
+};
 
 /// All experiment ids in paper order.
 #[must_use]
@@ -42,6 +45,8 @@ pub fn all_ids() -> Vec<&'static str> {
         "serving_slo",
         "serving_fleet",
         "serving_mixed",
+        "serving_hetero",
+        "serving_models",
     ]
 }
 
@@ -79,6 +84,8 @@ pub fn run(id: &str) -> Result<String, String> {
         "serving_slo" => Ok(serving_slo()),
         "serving_fleet" => Ok(serving_fleet()),
         "serving_mixed" => Ok(serving_mixed()),
+        "serving_hetero" => Ok(serving_hetero()),
+        "serving_models" => Ok(serving_models()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

@@ -9,10 +9,11 @@ use mcbp::prelude::*;
 use mcbp::serve::{
     ArrivalProcess, ContinuousBatchScheduler, DispatchPolicy, EvictionPolicy, FcfsScheduler,
     LatencyStats, LoadGenerator, PreemptConfig, Priority, PriorityScheduler, Request, RequestClass,
-    Scheduler, ServeConfig, ServeReport, Workload,
+    Scheduler, ServeConfig, ServeReport, ServeSim, Workload,
 };
+use mcbp::workloads::Derated;
 
-use crate::{f2, render_table, SEED};
+use crate::{context, f2, render_table, SEED, STANDARD_KEEP};
 
 /// The serving sweep task: an MNLI-shaped prompt with a 32-token
 /// generation — long enough that decode dominates and coalescing matters,
@@ -362,6 +363,7 @@ fn fleet_trace() -> Workload {
     LoadGenerator {
         task_mix: vec![serve_task(), Task::cola().with_decode(32)],
         class_mix: vec![RequestClass::batch()],
+        prefix_mix: vec![None],
         count: 48,
         process: ArrivalProcess::Bursty {
             rate_rps: 24.0,
@@ -414,6 +416,7 @@ fn run_chunk_point(engine: &Engine, chunk: Option<usize>) -> ServeReport {
     let load = LoadGenerator {
         task_mix: vec![Task::dolly().with_decode(16), Task::cola().with_decode(16)],
         class_mix: vec![RequestClass::batch(), RequestClass::interactive(1.0, 0.1)],
+        prefix_mix: vec![None],
         count: 12,
         process: ArrivalProcess::Poisson {
             rate_rps: 6.0,
@@ -544,6 +547,7 @@ fn mixed_trace() -> Workload {
             RequestClass::batch(),
             RequestClass::interactive(1.0, 0.1),
         ],
+        prefix_mix: vec![None],
         count: 18,
         process: ArrivalProcess::Poisson {
             rate_rps: 6.0,
@@ -644,6 +648,315 @@ pub fn serving_mixed() -> String {
             "budget util",
             "steps",
             "duration s",
+        ],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// serving_hetero: mixed-generation fleets and prefix-affinity routing
+// ---------------------------------------------------------------------
+
+/// Latency slowdown of the previous device generation (modeled by
+/// wrapping the current accelerator in [`Derated`]).
+const OLD_GEN_SLOWDOWN: f64 = 2.5;
+
+/// The heterogeneous load-balancing trace: the bursty 2:1 length mix of
+/// the fleet sweep, heavier so the slow generation's backlog matters.
+fn hetero_trace() -> Workload {
+    LoadGenerator {
+        task_mix: vec![serve_task(), Task::cola().with_decode(32)],
+        class_mix: vec![RequestClass::batch()],
+        prefix_mix: vec![None],
+        count: 64,
+        process: ArrivalProcess::Bursty {
+            rate_rps: 32.0,
+            burst_factor: 8.0,
+            burst_len: 8,
+            seed: SEED,
+        },
+    }
+    .generate()
+}
+
+/// One hetero point: the trace on a `[current gen, previous gen]` fleet
+/// under one dispatch policy, throughputs calibrated from each
+/// generation's own cost model at a reference decode point.
+fn run_hetero_point(engine: &Engine, workload: &Workload, policy: DispatchPolicy) -> ServeReport {
+    let model = LlmConfig::opt1b3();
+    let old_gen = Derated::new(engine.simulator(), OLD_GEN_SLOWDOWN);
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(tight_budget(&model, 4)),
+        ..ServeConfig::default()
+    };
+    let sim = engine.serve_sim(STANDARD_KEEP, cfg);
+    let fast = sim.cost_model().decode_rate(512, 8);
+    let fleet = [
+        DeviceProfile::uniform().with_throughput(fast),
+        DeviceProfile::uniform()
+            .with_accel(&old_gen)
+            .with_throughput(fast / OLD_GEN_SLOWDOWN),
+    ];
+    sim.run_fleet_profiles(workload, &fleet, policy, &mut || {
+        Box::new(ContinuousBatchScheduler::new())
+    })
+}
+
+/// The shared-prefix trace: two tenant system prompts (7680 of Dolly's
+/// 8192 prompt tokens) alternated across interactive requests — a device
+/// holding a prefix resident prefills 512 tokens instead of 8192.
+fn prefix_trace() -> Workload {
+    LoadGenerator {
+        task_mix: vec![Task::dolly().with_decode(16)],
+        class_mix: vec![RequestClass::interactive(2.0, 0.1)],
+        prefix_mix: vec![
+            Some(SharedPrefix::new(0, 7680)),
+            Some(SharedPrefix::new(1, 7680)),
+        ],
+        count: 48,
+        process: ArrivalProcess::Poisson {
+            rate_rps: 0.6,
+            seed: SEED,
+        },
+    }
+    .generate()
+}
+
+/// One prefix-routing point: the shared-prefix trace on the same
+/// two-generation fleet as table (a), with pools holding exactly **one**
+/// resident prefix each (a second tenant's full prompt forces a
+/// reclaim). Affinity-blind weighted JSQ concentrates both tenants on
+/// the fast device and thrashes its prefix cache; affinity routing pins
+/// each tenant to its holder.
+fn run_prefix_point(engine: &Engine, workload: &Workload, policy: DispatchPolicy) -> ServeReport {
+    let model = LlmConfig::opt1b3();
+    let prefix_bytes = mcbp::serve::request_kv_bytes(&model, 7680, STANDARD_KEEP);
+    let working = mcbp::serve::request_kv_bytes(
+        &model,
+        Task::dolly().with_decode(16).final_context(),
+        STANDARD_KEEP,
+    );
+    let old_gen = Derated::new(engine.simulator(), OLD_GEN_SLOWDOWN);
+    let cfg = ServeConfig {
+        // One resident prefix plus suffix headroom per device: below two
+        // full prefixes, above one prefix plus one full prompt's worth of
+        // transient admission pressure.
+        kv_budget_bytes: Some(prefix_bytes + working / 2),
+        ..ServeConfig::default()
+    };
+    let sim = engine.serve_sim(STANDARD_KEEP, cfg);
+    let fast = sim.cost_model().decode_rate(512, 8);
+    let fleet = [
+        DeviceProfile::uniform().with_throughput(fast),
+        DeviceProfile::uniform()
+            .with_accel(&old_gen)
+            .with_throughput(fast / OLD_GEN_SLOWDOWN),
+    ];
+    sim.run_fleet_profiles(workload, &fleet, policy, &mut || {
+        Box::new(ContinuousBatchScheduler::new())
+    })
+}
+
+/// The heterogeneous-fleet experiment: (a) a two-generation fleet
+/// (current MCBP + a 2.5× slower previous generation) on the bursty
+/// length-skewed trace — plain JSQ is throughput-blind and parks half
+/// the backlog on the slow device, weighted JSQ normalizes queue depth
+/// by profile throughput and wins goodput (asserted); and (b)
+/// prefix-affinity routing on a two-tenant shared-prefix trace whose
+/// per-device pools hold only one resident prefix — affinity-blind
+/// dispatch thrashes the prefix cache while affinity routing pins each
+/// tenant to its holder, cutting interactive p95 TTFT (asserted). Both
+/// headline points are replay-checked.
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn serving_hetero() -> String {
+    let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+    let mut out = String::new();
+
+    // ---- (a) two-generation fleet: policy sweep ----
+    let workload = hetero_trace();
+    let mut rows = Vec::new();
+    let mut goodput = |policy: DispatchPolicy| {
+        let r = run_hetero_point(&engine, &workload, policy);
+        rows.push(vec![
+            policy.name().to_owned(),
+            f2(r.goodput_tokens_per_s),
+            format!("{:.1}", r.ttft.p95 * 1e3),
+            format!("{}|{}", r.devices[0].dispatched, r.devices[1].dispatched),
+            format!(
+                "{:.0}%|{:.0}%",
+                r.devices[0].utilization * 100.0,
+                r.devices[1].utilization * 100.0
+            ),
+        ]);
+        r
+    };
+    let rr = goodput(DispatchPolicy::RoundRobin);
+    let jsq = goodput(DispatchPolicy::JoinShortestQueue);
+    let wjsq = goodput(DispatchPolicy::WeightedJsq);
+    assert_eq!(
+        wjsq,
+        run_hetero_point(&engine, &workload, DispatchPolicy::WeightedJsq),
+        "hetero fleet runs must replay byte-identically"
+    );
+    assert!(
+        wjsq.goodput_tokens_per_s > jsq.goodput_tokens_per_s,
+        "weighted JSQ must beat plain JSQ on a mixed-generation fleet: {} vs {}",
+        wjsq.goodput_tokens_per_s,
+        jsq.goodput_tokens_per_s
+    );
+    let _ = &rr; // shown for context; the asserted claim is the JSQ comparison
+    out.push_str(&render_table(
+        "hetero fleet: current gen + 2.5x slower previous gen (OPT-1.3B, keep 0.3, bursty 2:1 \
+         length mix; throughput-weighted JSQ vs throughput-blind policies, asserted)",
+        &["policy", "tok/s", "p95 ttft ms", "disp f|s", "util f|s"],
+        &rows,
+    ));
+
+    // ---- (b) prefix-affinity routing ----
+    let workload = prefix_trace();
+    let mut rows = Vec::new();
+    let mut ttft = |policy: DispatchPolicy| {
+        let r = run_prefix_point(&engine, &workload, policy);
+        rows.push(vec![
+            policy.name().to_owned(),
+            format!("{:.0}", interactive_p95_ttft(&r) * 1e3),
+            format!("{}/{}", r.prefix.hits, r.prefix.hits + r.prefix.misses),
+            format!("{}", r.prefix.reused_tokens),
+            format!("{}", r.prefix.reclaimed),
+            f2(r.goodput_tokens_per_s),
+        ]);
+        r
+    };
+    let blind = ttft(DispatchPolicy::WeightedJsq);
+    let affine = ttft(DispatchPolicy::PrefixAffinity);
+    assert_eq!(
+        affine,
+        run_prefix_point(&engine, &workload, DispatchPolicy::PrefixAffinity),
+        "prefix-affinity runs must replay byte-identically"
+    );
+    assert!(
+        affine.prefix.hits > blind.prefix.hits,
+        "affinity routing must raise the prefix hit count: {} vs {}",
+        affine.prefix.hits,
+        blind.prefix.hits
+    );
+    assert!(
+        interactive_p95_ttft(&affine) < interactive_p95_ttft(&blind),
+        "prefix affinity must cut interactive p95 TTFT vs affinity-blind dispatch: {} vs {}",
+        interactive_p95_ttft(&affine),
+        interactive_p95_ttft(&blind)
+    );
+    out.push('\n');
+    out.push_str(&render_table(
+        "prefix routing: two 7680-token tenant prefixes on the two-generation fleet, one \
+         resident prefix per device (OPT-1.3B, keep 0.3; blind wjsq thrashes the cache, asserted)",
+        &[
+            "policy",
+            "inter p95 ttft ms",
+            "prefix hits",
+            "tok reused",
+            "reclaims",
+            "tok/s",
+        ],
+        &rows,
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// serving_models: the scale sweep across the five paper models
+// ---------------------------------------------------------------------
+
+/// One serving-capacity point: a closed-loop population of the serving
+/// task on one accelerator (scaled by the §5.3 `fleet` model) with a
+/// model-relative tight pool.
+fn run_model_point(accel: &dyn Accelerator, model: &LlmConfig, fleet: Fleet) -> ServeReport {
+    let cfg = ServeConfig {
+        kv_budget_bytes: Some(tight_budget(model, 8)),
+        fleet,
+        ..ServeConfig::default()
+    };
+    let template = context(model, &Task::cola(), 1, STANDARD_KEEP);
+    let sim = ServeSim::new(accel, template, cfg);
+    let load = LoadGenerator::uniform(
+        serve_task(),
+        24,
+        ArrivalProcess::ClosedLoop { concurrency: 8 },
+    )
+    .generate();
+    sim.run(&load, &mut ContinuousBatchScheduler::new())
+}
+
+/// The scale sweep: serving capacity (closed-loop goodput, p95 TPOT,
+/// energy per token) across the five paper models — the paper's §5.3
+/// iso-TOPS serving instance (148 MCBP processors ≈ one A100's 624 INT8
+/// TOPS, tensor-parallel with the communication tax) vs the
+/// `mcbp_baselines::GpuA100` roofline on identical traces and identical
+/// KV pools: the serving restatement of the Fig 20 comparison. MCBP's
+/// goodput advantage must hold on every model (asserted).
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn serving_models() -> String {
+    let iso_tops = Fleet::iso_tops(624.0, 4.2);
+    let mut rows = Vec::new();
+    for model in LlmConfig::paper_suite() {
+        let engine = Engine::new(model.clone(), SEED);
+        let gpu = mcbp::baselines::GpuA100::dense();
+        let ours = run_model_point(engine.simulator(), &model, iso_tops);
+        let theirs = run_model_point(&gpu, &model, Fleet::single());
+        assert_eq!(ours.completed, 24, "{}", model.name);
+        assert_eq!(theirs.completed, 24, "{}", model.name);
+        assert!(
+            ours.goodput_tokens_per_s > theirs.goodput_tokens_per_s,
+            "{}: MCBP serving goodput must beat the A100 roofline ({} vs {})",
+            model.name,
+            ours.goodput_tokens_per_s,
+            theirs.goodput_tokens_per_s
+        );
+        let per_token = |r: &ServeReport| {
+            let tokens: usize = r
+                .records
+                .iter()
+                .filter(|rec| rec.completed())
+                .map(|rec| rec.tokens)
+                .sum();
+            r.energy_joules * 1e3 / tokens.max(1) as f64
+        };
+        assert!(
+            per_token(&ours) < per_token(&theirs),
+            "{}: MCBP energy per token must beat the A100 roofline ({} vs {} mJ/tok)",
+            model.name,
+            per_token(&ours),
+            per_token(&theirs)
+        );
+        rows.push(vec![
+            model.name.to_owned(),
+            f2(ours.goodput_tokens_per_s),
+            f2(theirs.goodput_tokens_per_s),
+            format!(
+                "{:.2}x",
+                ours.goodput_tokens_per_s / theirs.goodput_tokens_per_s
+            ),
+            format!("{:.1}", ours.tpot.p95 * 1e3),
+            format!("{:.1}", theirs.tpot.p95 * 1e3),
+            format!("{:.3}", per_token(&ours)),
+            format!("{:.3}", per_token(&theirs)),
+        ]);
+    }
+    render_table(
+        "serving capacity across the paper suite: iso-TOPS MCBP instance (148 devices, Sec 5.3) \
+         vs A100 roofline, identical closed-loop traces and pools (keep 0.3, 8-deep population; \
+         goodput win asserted)",
+        &[
+            "model",
+            "mcbp tok/s",
+            "a100 tok/s",
+            "speedup",
+            "mcbp p95 tpot ms",
+            "a100 p95 tpot ms",
+            "mcbp mJ/tok",
+            "a100 mJ/tok",
         ],
         &rows,
     )

@@ -3,7 +3,7 @@ use rand::{Rng, SeedableRng};
 
 use mcbp_workloads::Task;
 
-use crate::request::{Priority, Request, SloSpec};
+use crate::request::{Priority, Request, SharedPrefix, SloSpec};
 use crate::CLOCK_HZ;
 
 /// How requests arrive on the simulated clock. Every process is driven by
@@ -117,6 +117,14 @@ pub struct LoadGenerator {
     /// Scheduling classes cycled round-robin across generated requests
     /// (independently of the task cycle).
     pub class_mix: Vec<RequestClass>,
+    /// Shared prompt prefixes cycled round-robin across generated
+    /// requests (independently of the task and class cycles): each slot
+    /// stamps its [`SharedPrefix`] onto the requests it lands on, `None`
+    /// slots leave the prompt fully unique. E.g.
+    /// `[Some(a), Some(b), None]` models two tenant system prompts plus
+    /// a one-in-three stream of ad-hoc prompts. The default single-`None`
+    /// mix declares no prefixes at all.
+    pub prefix_mix: Vec<Option<SharedPrefix>>,
     /// Requests to generate.
     pub count: usize,
     /// Arrival process.
@@ -130,6 +138,7 @@ impl LoadGenerator {
         LoadGenerator {
             task_mix: vec![task],
             class_mix: vec![RequestClass::batch()],
+            prefix_mix: vec![None],
             count,
             process,
         }
@@ -142,21 +151,44 @@ impl LoadGenerator {
         self
     }
 
+    /// A copy stamping the given shared-prefix mix onto generated
+    /// requests (`None` slots generate fully unique prompts).
+    #[must_use]
+    pub fn with_prefixes(mut self, prefix_mix: Vec<Option<SharedPrefix>>) -> Self {
+        self.prefix_mix = prefix_mix;
+        self
+    }
+
     /// Materializes the request trace.
     ///
     /// # Panics
     ///
-    /// Panics if the task or class mix is empty, the count is zero, or an
-    /// open-loop rate is not positive.
+    /// Panics if the task, class, or prefix mix is empty, the count is
+    /// zero, an open-loop rate is not positive, or a prefix slot is
+    /// longer than the prompt it lands on.
     #[must_use]
     pub fn generate(&self) -> Workload {
         assert!(!self.task_mix.is_empty(), "empty task mix");
         assert!(!self.class_mix.is_empty(), "empty class mix");
+        assert!(!self.prefix_mix.is_empty(), "empty prefix mix");
         assert!(self.count > 0, "empty workload");
         let task = |i: usize| &self.task_mix[i % self.task_mix.len()];
         let classed = |i: usize, r: Request| {
             let class = &self.class_mix[i % self.class_mix.len()];
-            r.with_priority(class.priority).with_slo(class.slo)
+            let r = r.with_priority(class.priority).with_slo(class.slo);
+            match self.prefix_mix[i % self.prefix_mix.len()] {
+                Some(prefix) => {
+                    assert!(
+                        prefix.tokens <= r.prompt_len,
+                        "prefix slot {} ({} tokens) exceeds the {}-token prompt it landed on",
+                        prefix.id,
+                        prefix.tokens,
+                        r.prompt_len
+                    );
+                    r.with_prefix(prefix)
+                }
+                None => r,
+            }
         };
         match &self.process {
             ArrivalProcess::ClosedLoop { concurrency } => {
@@ -320,6 +352,7 @@ mod tests {
         let generator = LoadGenerator {
             task_mix: vec![Task::cola(), Task::dolly()],
             class_mix: vec![RequestClass::batch()],
+            prefix_mix: vec![None],
             count: 4,
             process: ArrivalProcess::ClosedLoop { concurrency: 4 },
         };
@@ -338,6 +371,7 @@ mod tests {
                 RequestClass::batch(),
                 RequestClass::batch(),
             ],
+            prefix_mix: vec![None],
             count: 6,
             process: ArrivalProcess::ClosedLoop { concurrency: 6 },
         };
@@ -358,5 +392,44 @@ mod tests {
         assert_eq!(w.requests[1].slo, SloSpec::none());
         // The 3-long class cycle is independent of the 2-long task cycle.
         assert_eq!(w.requests[3].task_name, "Dolly");
+    }
+
+    #[test]
+    fn prefix_mix_round_robins_independently() {
+        let header = SharedPrefix::new(1, 64);
+        let system = SharedPrefix::new(2, 32);
+        let generator = LoadGenerator::uniform(
+            Task::mnli(),
+            6,
+            ArrivalProcess::ClosedLoop { concurrency: 6 },
+        )
+        .with_prefixes(vec![Some(header), Some(system), None]);
+        let w = generator.generate();
+        let prefixes: Vec<Option<SharedPrefix>> = w.requests.iter().map(|r| r.prefix).collect();
+        assert_eq!(
+            prefixes,
+            vec![
+                Some(header),
+                Some(system),
+                None,
+                Some(header),
+                Some(system),
+                None
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_prefix_slot_is_rejected_at_generation() {
+        // Cola prompts are shorter than this prefix: the generator
+        // refuses to emit a self-contradictory trace.
+        let _ = LoadGenerator::uniform(
+            Task::cola(),
+            2,
+            ArrivalProcess::ClosedLoop { concurrency: 2 },
+        )
+        .with_prefixes(vec![Some(SharedPrefix::new(1, 1 << 20))])
+        .generate();
     }
 }

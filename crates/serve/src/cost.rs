@@ -159,6 +159,29 @@ impl<'a> StepCostModel<'a> {
         &self.template
     }
 
+    /// The accelerator model being costed (used to derive per-device cost
+    /// models for heterogeneous fleet profiles).
+    #[must_use]
+    pub fn accel(&self) -> &'a dyn Accelerator {
+        self.accel
+    }
+
+    /// Decode throughput at a reference operating point, in tokens per
+    /// core cycle: `batch / decode_cost(context, batch).cycles`. The
+    /// absolute figure is model-relative; its *ratio* across two cost
+    /// models is the natural [`crate::DeviceProfile::throughput`] weight
+    /// for weighted-JSQ dispatch over a mixed-generation fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator reports a non-positive decode latency.
+    #[must_use]
+    pub fn decode_rate(&self, context: usize, batch: usize) -> f64 {
+        let cost = self.decode_cost(context, batch.max(1));
+        assert!(cost.cycles > 0.0, "decode step must take time");
+        batch.max(1) as f64 / cost.cycles
+    }
+
     /// Rounds a context length up to its bucket boundary (the upper
     /// interpolation knot for off-boundary queries).
     #[must_use]
@@ -421,6 +444,18 @@ mod tests {
         // A fresh chunk covering the whole prompt is exactly the unchunked
         // prefill.
         assert!((model.prefill_chunk_cost(0, 256, 1).cycles - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_rate_reflects_coalescing_and_device_speed() {
+        let accel = Linear;
+        let model = StepCostModel::new(&accel, template(), 64);
+        // Coalescing amortizes the fixed weight stream: higher per-token
+        // rate at batch 8 than batch 1.
+        assert!(model.decode_rate(64, 8) > model.decode_rate(64, 1));
+        // Exact on the Linear model: batch/(1000 + ctx·batch).
+        let r = model.decode_rate(64, 8);
+        assert!((r - 8.0 / (1000.0 + 64.0 * 8.0)).abs() < 1e-12);
     }
 
     #[test]

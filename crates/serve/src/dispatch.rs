@@ -1,4 +1,4 @@
-//! Per-device fleet dispatch: serving one workload across N independent
+//! Per-device fleet dispatch: routing one workload across N independently
 //! simulated devices.
 //!
 //! Unlike the §5.3 tensor-parallel scaling in
@@ -6,10 +6,33 @@
 //! (which makes *one* serving instance faster), fleet dispatch models
 //! **data parallelism across whole devices**: every device owns its own
 //! [`crate::KvCachePool`], scheduler state, and clock, and a front-end
-//! dispatcher assigns each arriving request to exactly one device under a
-//! pluggable [`DispatchPolicy`]. This is the regime where per-device
-//! memory capacity — not aggregate compute — bounds serving concurrency,
-//! which is precisely what the BGPP attention-keep ratio relaxes.
+//! [`Router`] assigns each arriving request to exactly one device. Devices
+//! are described by per-device [`crate::DeviceProfile`]s — accelerator
+//! generation, BGPP keep ratio, pool budget, host link, and relative
+//! throughput — so a fleet can mix device generations instead of cloning
+//! one configuration N times.
+//!
+//! # The router
+//!
+//! A [`Router`] sees one [`DeviceView`] per device — queued tokens, pool
+//! headroom, profile throughput, and the device's **resident prefixes** —
+//! and picks the target index. [`DispatchPolicy`] provides five built-in
+//! routers:
+//!
+//! * [`DispatchPolicy::RoundRobin`] — load-blind baseline.
+//! * [`DispatchPolicy::JoinShortestQueue`] — fewest queued tokens.
+//! * [`DispatchPolicy::LeastLoadedPool`] — smallest reserved pool share.
+//! * [`DispatchPolicy::WeightedJsq`] — queued tokens **normalized by the
+//!   profile's throughput**, so a device at half the throughput is
+//!   treated as holding twice the backlog per token: the policy that
+//!   makes heterogeneous fleets pay off (SLIM-style load-aware placement).
+//! * [`DispatchPolicy::PrefixAffinity`] — prefers the device already
+//!   holding the longest matching resident [`crate::SharedPrefix`]
+//!   (its KV can be reused, so only the unshared suffix prefills), and
+//!   falls back to weighted JSQ when no device holds the prefix.
+//!
+//! Custom routers plug in through
+//! [`ServeSim::run_fleet_with_router`](crate::ServeSim::run_fleet_with_router).
 //!
 //! # The drive loop
 //!
@@ -30,22 +53,27 @@
 //! change at step boundaries.
 //!
 //! Everything is deterministic: ties in every policy break toward the
-//! lowest device index, so a `(workload, policy, config)` triple replays
-//! bit-identically.
+//! lowest device index, so a `(workload, policy, profiles)` triple
+//! replays bit-identically.
 
 use std::collections::VecDeque;
 
 use crate::arrival::Workload;
-use crate::report::{DeviceReport, PoolReport, PreemptReport, RunTotals, ServeReport, StepReport};
-use crate::request::Request;
+use crate::profile::DeviceProfile;
+use crate::report::{
+    DeviceReport, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport, StepReport,
+};
+use crate::request::{PrefixId, Request, SharedPrefix};
 use crate::scheduler::Scheduler;
-use crate::sim::{DeviceSim, ServeSim};
+use crate::sim::{DeviceSim, ServeConfigError, ServeSim};
 use crate::CLOCK_HZ;
 
 /// How the fleet front-end assigns an arriving request to a device.
 ///
 /// All policies are deterministic; ties break toward the lowest device
-/// index.
+/// index. Each policy is a ready-made [`Router`] (see
+/// [`DispatchPolicy::router`]); custom routing plugs in through
+/// [`ServeSim::run_fleet_with_router`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchPolicy {
     /// Cycle through devices in index order, ignoring load — the
@@ -53,13 +81,27 @@ pub enum DispatchPolicy {
     RoundRobin,
     /// Join shortest queue: pick the device with the fewest queued tokens
     /// (pending prompts and decodes plus unfinished admitted/suspended
-    /// work) — see [`DispatchPolicy::JoinShortestQueue`]'s metric in
-    /// `DeviceSim::queued_tokens`.
+    /// work) — see [`DeviceView::queued_tokens`]. Load-aware but
+    /// throughput-blind: on a mixed-generation fleet it parks as much
+    /// work on the slow device as on the fast one.
     JoinShortestQueue,
     /// Pick the device whose KV pool has the smallest reserved fraction —
     /// balances *memory* pressure rather than compute backlog, which
     /// matters when long-context requests dominate the pool.
     LeastLoadedPool,
+    /// Weighted join-shortest-queue: pick the device minimizing
+    /// `queued_tokens / throughput` ([`DeviceView::weighted_queue`]), so
+    /// backlog is measured in the device's *time to drain* rather than
+    /// raw tokens. On a uniform fleet this coincides with
+    /// [`DispatchPolicy::JoinShortestQueue`]; on a heterogeneous one it
+    /// keeps the fast generation fed.
+    WeightedJsq,
+    /// Prefix-affinity routing: send a request carrying a
+    /// [`crate::SharedPrefix`] to the device already holding the longest
+    /// matching resident prefix (ties by weighted queue, then lowest
+    /// index); requests without a prefix — or whose prefix no device
+    /// holds — fall back to [`DispatchPolicy::WeightedJsq`].
+    PrefixAffinity,
 }
 
 impl DispatchPolicy {
@@ -70,25 +112,186 @@ impl DispatchPolicy {
             DispatchPolicy::RoundRobin => "rr",
             DispatchPolicy::JoinShortestQueue => "jsq",
             DispatchPolicy::LeastLoadedPool => "llp",
+            DispatchPolicy::WeightedJsq => "wjsq",
+            DispatchPolicy::PrefixAffinity => "prefix",
         }
     }
 
+    /// A fresh stateful [`Router`] implementing this policy.
+    #[must_use]
+    pub fn router(&self) -> PolicyRouter {
+        PolicyRouter::new(*self)
+    }
+
     /// Every dispatch policy, for sweeps.
-    pub const ALL: [DispatchPolicy; 3] = [
+    pub const ALL: [DispatchPolicy; 5] = [
         DispatchPolicy::RoundRobin,
         DispatchPolicy::JoinShortestQueue,
         DispatchPolicy::LeastLoadedPool,
+        DispatchPolicy::WeightedJsq,
+        DispatchPolicy::PrefixAffinity,
     ];
 }
 
+/// One device's state as the router sees it at dispatch time: backlog,
+/// pool pressure, profile throughput, and which shared prefixes its pool
+/// holds resident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceView {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Remaining work queued on the device, in tokens (pending prompts
+    /// and decodes plus unfinished admitted/suspended work).
+    pub queued_tokens: u64,
+    /// The device's KV-pool byte budget.
+    pub pool_budget_bytes: u64,
+    /// Bytes currently reserved in the device's KV pool.
+    pub pool_reserved_bytes: u64,
+    /// The device profile's relative throughput weight.
+    pub throughput: f64,
+    /// Shared prefixes resident in the device's pool, as
+    /// `(prefix id, prefix tokens)` pairs in id order.
+    pub resident_prefixes: Vec<(PrefixId, usize)>,
+}
+
+impl DeviceView {
+    /// Reserved fraction of the pool budget (1.0 for a zero budget) —
+    /// the least-loaded-pool metric.
+    #[must_use]
+    pub fn pool_load(&self) -> f64 {
+        if self.pool_budget_bytes == 0 {
+            return 1.0;
+        }
+        self.pool_reserved_bytes as f64 / self.pool_budget_bytes as f64
+    }
+
+    /// Queued tokens normalized by the profile throughput — the
+    /// weighted-JSQ metric (an estimate of the device's time to drain its
+    /// backlog, in arbitrary but fleet-consistent units).
+    #[must_use]
+    pub fn weighted_queue(&self) -> f64 {
+        self.queued_tokens as f64 / self.throughput
+    }
+
+    /// Tokens of `prefix` this device already holds resident (0 when the
+    /// prefix is absent) — the prefix-affinity metric.
+    #[must_use]
+    pub fn matching_prefix_tokens(&self, prefix: &SharedPrefix) -> usize {
+        self.resident_prefixes
+            .iter()
+            .find(|(id, _)| *id == prefix.id)
+            .map_or(0, |(_, tokens)| (*tokens).min(prefix.tokens))
+    }
+}
+
+/// A fleet front-end: assigns each arriving request to one device, given
+/// a per-device [`DeviceView`] of the fleet.
+///
+/// Implementations must be deterministic functions of the observed views
+/// (plus internal state) — no randomness, no wall clock — so fleet runs
+/// replay exactly. The returned index must be within `fleet.len()` (the
+/// driver asserts it).
+pub trait Router {
+    /// Display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Picks the target device for one arriving request.
+    fn route(&mut self, request: &Request, fleet: &[DeviceView]) -> usize;
+}
+
+/// The built-in stateful router behind each [`DispatchPolicy`].
+#[derive(Debug, Clone)]
+pub struct PolicyRouter {
+    policy: DispatchPolicy,
+    rr: usize,
+}
+
+impl PolicyRouter {
+    /// A fresh router for the given policy.
+    #[must_use]
+    pub fn new(policy: DispatchPolicy) -> Self {
+        PolicyRouter { policy, rr: 0 }
+    }
+}
+
+/// The device minimizing `queued_tokens / throughput`, ties toward the
+/// lowest index.
+fn weighted_jsq(fleet: &[DeviceView]) -> usize {
+    fleet
+        .iter()
+        .min_by(|a, b| {
+            a.weighted_queue()
+                .total_cmp(&b.weighted_queue())
+                .then(a.device.cmp(&b.device))
+        })
+        .expect("non-empty fleet")
+        .device
+}
+
+impl Router for PolicyRouter {
+    fn name(&self) -> &str {
+        self.policy.name()
+    }
+
+    fn route(&mut self, request: &Request, fleet: &[DeviceView]) -> usize {
+        match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let i = self.rr % fleet.len();
+                self.rr += 1;
+                i
+            }
+            DispatchPolicy::JoinShortestQueue => {
+                fleet
+                    .iter()
+                    .min_by_key(|d| (d.queued_tokens, d.device))
+                    .expect("non-empty fleet")
+                    .device
+            }
+            DispatchPolicy::LeastLoadedPool => {
+                fleet
+                    .iter()
+                    .min_by(|a, b| {
+                        a.pool_load()
+                            .total_cmp(&b.pool_load())
+                            .then(a.device.cmp(&b.device))
+                    })
+                    .expect("non-empty fleet")
+                    .device
+            }
+            DispatchPolicy::WeightedJsq => weighted_jsq(fleet),
+            DispatchPolicy::PrefixAffinity => {
+                let holder = request.prefix.as_ref().and_then(|p| {
+                    fleet
+                        .iter()
+                        .filter(|d| d.matching_prefix_tokens(p) > 0)
+                        // Longest match first; then shortest weighted
+                        // queue; then lowest index.
+                        .max_by(|a, b| {
+                            a.matching_prefix_tokens(p)
+                                .cmp(&b.matching_prefix_tokens(p))
+                                .then(
+                                    b.weighted_queue()
+                                        .total_cmp(&a.weighted_queue())
+                                        .then(b.device.cmp(&a.device)),
+                                )
+                        })
+                        .map(|d| d.device)
+                });
+                holder.unwrap_or_else(|| weighted_jsq(fleet))
+            }
+        }
+    }
+}
+
 impl<'a> ServeSim<'a> {
-    /// Runs one workload across `devices` independent simulated devices
-    /// under the given dispatch policy. Every device gets its own KV pool
+    /// Runs one workload across `devices` identical devices under the
+    /// given dispatch policy — the classic uniform fleet, equivalent to
+    /// [`ServeSim::run_fleet_profiles`] with `devices` copies of
+    /// [`DeviceProfile::uniform`]. Every device gets its own KV pool
     /// (budgeted per
     /// [`ServeConfig::kv_budget_bytes`](crate::ServeConfig::kv_budget_bytes)),
-    /// its own scheduler
-    /// from `make_scheduler`, and its own clock; the merged
-    /// [`ServeReport`] carries a per-device breakdown in
+    /// its own scheduler from `make_scheduler`, and its own clock; the
+    /// merged [`ServeReport`] carries a per-device breakdown in
     /// [`ServeReport::devices`].
     ///
     /// ```
@@ -124,8 +327,8 @@ impl<'a> ServeSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on a zero device count, on internal accounting violations,
-    /// or on a scheduler contract violation.
+    /// Panics on a zero device count, an invalid workload, internal
+    /// accounting violations, or a scheduler contract violation.
     #[must_use]
     pub fn run_fleet(
         &self,
@@ -134,33 +337,96 @@ impl<'a> ServeSim<'a> {
         policy: DispatchPolicy,
         make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
     ) -> ServeReport {
-        assert!(devices >= 1, "a fleet needs at least one device");
-        let mut scheds: Vec<Box<dyn Scheduler>> = (0..devices).map(|_| make_scheduler()).collect();
+        let profiles = vec![DeviceProfile::uniform(); devices];
+        self.run_fleet_profiles(workload, &profiles, policy, make_scheduler)
+    }
+
+    /// Runs one workload across a fleet described by per-device
+    /// [`DeviceProfile`]s under a built-in dispatch policy. A fleet of
+    /// [`DeviceProfile::uniform`] profiles is bit-exact with
+    /// [`ServeSim::run_fleet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ServeSim::try_run_fleet_profiles`] would return an
+    /// error, and on internal accounting or scheduler contract violations.
+    #[must_use]
+    pub fn run_fleet_profiles(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        policy: DispatchPolicy,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> ServeReport {
+        match self.try_run_fleet_profiles(workload, profiles, policy, make_scheduler) {
+            Ok(report) => report,
+            Err(e) => panic!("invalid fleet run: {e}"),
+        }
+    }
+
+    /// Like [`ServeSim::run_fleet_profiles`], but rejects an invalid
+    /// fleet or workload with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeConfigError::EmptyFleet`],
+    /// [`ServeConfigError::ZeroThroughputProfile`], or
+    /// [`ServeConfigError::PrefixExceedsPrompt`].
+    pub fn try_run_fleet_profiles(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        policy: DispatchPolicy,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<ServeReport, ServeConfigError> {
+        let mut router = policy.router();
+        self.try_run_fleet_with_router(workload, profiles, &mut router, make_scheduler)
+    }
+
+    /// Runs one workload across a profiled fleet under a **custom**
+    /// [`Router`].
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ServeSim::try_run_fleet_with_router`] would return
+    /// an error, and on internal accounting or scheduler contract
+    /// violations.
+    #[must_use]
+    pub fn run_fleet_with_router(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        router: &mut dyn Router,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> ServeReport {
+        match self.try_run_fleet_with_router(workload, profiles, router, make_scheduler) {
+            Ok(report) => report,
+            Err(e) => panic!("invalid fleet run: {e}"),
+        }
+    }
+
+    /// Like [`ServeSim::run_fleet_with_router`], but rejects an invalid
+    /// fleet or workload with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeConfigError::EmptyFleet`],
+    /// [`ServeConfigError::ZeroThroughputProfile`], or
+    /// [`ServeConfigError::PrefixExceedsPrompt`].
+    pub fn try_run_fleet_with_router(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        router: &mut dyn Router,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<ServeReport, ServeConfigError> {
+        DeviceProfile::validate_fleet(profiles)?;
+        ServeSim::validate_workload(workload)?;
+        let mut scheds: Vec<Box<dyn Scheduler>> =
+            (0..profiles.len()).map(|_| make_scheduler()).collect();
         let mut refs: Vec<&mut dyn Scheduler> =
             scheds.iter_mut().map(|s| s.as_mut() as _).collect();
-        drive(self, workload, &mut refs, policy)
-    }
-}
-
-/// Picks the target device for one arrival under the given policy.
-fn pick_device(policy: DispatchPolicy, devs: &[DeviceSim<'_, '_>], rr: &mut usize) -> usize {
-    match policy {
-        DispatchPolicy::RoundRobin => {
-            let i = *rr % devs.len();
-            *rr += 1;
-            i
-        }
-        DispatchPolicy::JoinShortestQueue => (0..devs.len())
-            .min_by_key(|&i| (devs[i].queued_tokens(), i))
-            .expect("non-empty fleet"),
-        DispatchPolicy::LeastLoadedPool => (0..devs.len())
-            .min_by(|&a, &b| {
-                devs[a]
-                    .pool_load()
-                    .total_cmp(&devs[b].pool_load())
-                    .then(a.cmp(&b))
-            })
-            .expect("non-empty fleet"),
+        Ok(drive(self, workload, &mut refs, profiles, router))
     }
 }
 
@@ -183,17 +449,40 @@ fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
     pending.insert(pos, req);
 }
 
-/// The shared drive loop: one scheduler slice entry per device.
-pub(crate) fn drive(
-    sim: &ServeSim<'_>,
+/// One [`DeviceView`] per device, as of each device's own clock.
+fn fleet_views(devs: &[DeviceSim<'_, '_>]) -> Vec<DeviceView> {
+    devs.iter()
+        .enumerate()
+        .map(|(i, d)| DeviceView {
+            device: i,
+            queued_tokens: d.queued_tokens(),
+            pool_budget_bytes: d.pool.budget_bytes(),
+            pool_reserved_bytes: d.pool.reserved_bytes(),
+            throughput: d.throughput(),
+            resident_prefixes: d
+                .pool
+                .resident_prefixes()
+                .into_iter()
+                .map(|(id, e)| (id, e.tokens))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The shared drive loop: one scheduler slice and one profile per device.
+pub(crate) fn drive<'a>(
+    sim: &ServeSim<'a>,
     workload: &Workload,
     scheds: &mut [&mut dyn Scheduler],
-    policy: DispatchPolicy,
+    profiles: &[DeviceProfile<'a>],
+    router: &mut dyn Router,
 ) -> ServeReport {
     let n = scheds.len();
     assert!(n >= 1, "at least one device");
+    assert_eq!(n, profiles.len(), "one profile per scheduler slice");
     let closed = workload.closed_loop.is_some();
-    let mut devs: Vec<DeviceSim<'_, '_>> = (0..n).map(|_| DeviceSim::new(sim)).collect();
+    let mut devs: Vec<DeviceSim<'_, '_>> =
+        profiles.iter().map(|p| DeviceSim::new(sim, p)).collect();
     // Kept arrival-sorted (generated workloads already are; sorting here
     // makes hand-built ones safe too, and closed-loop releases re-insert
     // their entry at its sorted position).
@@ -201,7 +490,6 @@ pub(crate) fn drive(
     pending
         .make_contiguous()
         .sort_by(|a, b| a.arrival_cycle.total_cmp(&b.arrival_cycle));
-    let mut rr = 0usize;
 
     loop {
         // ---- admission + dispatch, to a fixpoint ----
@@ -234,7 +522,13 @@ pub(crate) fn drive(
                     break;
                 }
                 let req = pending.pop_front().expect("head exists");
-                let target = pick_device(policy, &devs, &mut rr);
+                let views = fleet_views(&devs);
+                let target = router.route(&req, &views);
+                assert!(
+                    target < n,
+                    "router `{}` picked device {target} of {n}",
+                    router.name()
+                );
                 devs[target].enqueue(req);
                 let drops = devs[target].admit();
                 if closed && drops > 0 {
@@ -278,6 +572,7 @@ pub(crate) fn drive(
     let mut pool = PoolReport::default();
     let mut preempt = PreemptReport::default();
     let mut steps = StepReport::default();
+    let mut prefix = PrefixReport::default();
     let mut energy_pj = 0.0;
     let mut decode_invocations = 0u64;
     let mut decode_streams = 0u64;
@@ -286,6 +581,7 @@ pub(crate) fn drive(
         let lane_pool = d.pool_report();
         let lane_preempt = d.preempt_report();
         let lane_steps = d.step_report();
+        let lane_prefix = d.prefix_report();
         let completed = d.records.iter().filter(|r| r.completed()).count();
         let tokens: usize = d
             .records
@@ -308,6 +604,7 @@ pub(crate) fn drive(
             pool: lane_pool,
             preempt: lane_preempt,
             steps: lane_steps,
+            prefix: lane_prefix,
         });
         // Fleet aggregates: budgets and stalls add; the byte peaks are
         // per-device maxima taken at different local instants, so their
@@ -337,6 +634,11 @@ pub(crate) fn drive(
         steps.mixed_steps += lane_steps.mixed_steps;
         steps.mean_budget_utilization +=
             lane_steps.mean_budget_utilization * lane_steps.steps as f64;
+        prefix.hits += lane_prefix.hits;
+        prefix.misses += lane_prefix.misses;
+        prefix.reused_tokens += lane_prefix.reused_tokens;
+        prefix.reclaimed += lane_prefix.reclaimed;
+        prefix.reclaimed_bytes += lane_prefix.reclaimed_bytes;
         energy_pj += d.energy_pj;
         decode_invocations += d.decode_invocations;
         decode_streams += d.decode_streams;
@@ -355,7 +657,7 @@ pub(crate) fn drive(
     let name = if n == 1 {
         scheds[0].name().to_owned()
     } else {
-        format!("{} [{}x {}]", scheds[0].name(), n, policy.name())
+        format!("{} [{}x {}]", scheds[0].name(), n, router.name())
     };
     ServeReport::summarize(
         name,
@@ -368,6 +670,7 @@ pub(crate) fn drive(
             offered_rps: workload.offered_rps(),
             preempt,
             steps,
+            prefix,
         },
         pool,
         lanes,
@@ -378,11 +681,7 @@ pub(crate) fn drive(
 mod tests {
     use super::*;
     use crate::request::Request;
-    use crate::sim::ServeConfig;
-    use mcbp_model::LlmConfig;
-    use mcbp_workloads::{
-        Accelerator, PhaseCost, RunReport, SparsityProfile, Task, TraceContext, WeightGenerator,
-    };
+    use mcbp_workloads::Task;
 
     #[test]
     fn out_of_order_releases_keep_the_pending_deque_sorted() {
@@ -406,76 +705,105 @@ mod tests {
         assert_eq!(arrivals, [1.0, 105.0, 110.0]);
     }
 
-    struct Flat;
-
-    impl Accelerator for Flat {
-        fn name(&self) -> &str {
-            "flat"
+    /// A hand-built fleet view for router unit tests.
+    fn view(device: usize, queued: u64, reserved: u64, throughput: f64) -> DeviceView {
+        DeviceView {
+            device,
+            queued_tokens: queued,
+            pool_budget_bytes: 1_000,
+            pool_reserved_bytes: reserved,
+            throughput,
+            resident_prefixes: Vec::new(),
         }
+    }
 
-        fn run(&self, _ctx: &TraceContext) -> RunReport {
-            RunReport {
-                prefill: PhaseCost {
-                    gemm_cycles: 100.0,
-                    ..Default::default()
-                },
-                decode: PhaseCost {
-                    weight_load_cycles: 100.0,
-                    ..Default::default()
-                },
-            }
-        }
+    fn request() -> Request {
+        Request::from_task(0, &Task::cola(), 0.0)
     }
 
     /// Exactly tied devices must deterministically dispatch to the lowest
     /// device id under every load-aware policy, so fleet runs replay
     /// identically across platforms (no dependence on iteration order or
-    /// float comparison quirks).
+    /// float comparison quirks). Extends the PR 4 tie-break regression to
+    /// the weighted-JSQ and prefix-affinity routers.
     #[test]
     fn tied_devices_break_toward_the_lowest_id() {
-        let accel = Flat;
-        let model = LlmConfig::opt1b3();
-        let gen = WeightGenerator::for_model(&model);
-        let profile = SparsityProfile::measure(&gen.quantized_sample(16, 64, 1), 4);
-        let template = TraceContext {
-            model,
-            task: Task::cola(),
-            batch: 1,
-            weight_profile: profile,
-            attention_keep: 0.3,
-        };
-        let sim = ServeSim::new(&accel, template, ServeConfig::default());
-        let mut devs: Vec<DeviceSim<'_, '_>> = (0..3).map(|_| DeviceSim::new(&sim)).collect();
-        let mut rr = 0usize;
-        // All three devices are fresh: queued tokens and pool loads tie
-        // exactly, so the lowest id must win.
+        let fresh = || vec![view(0, 0, 0, 1.0), view(1, 0, 0, 1.0), view(2, 0, 0, 1.0)];
+        for policy in [
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::LeastLoadedPool,
+            DispatchPolicy::WeightedJsq,
+            DispatchPolicy::PrefixAffinity,
+        ] {
+            let mut router = policy.router();
+            assert_eq!(router.route(&request(), &fresh()), 0, "{policy:?}");
+        }
+        // Load device 0; JSQ-family policies now prefer the still-empty
+        // device 1, and a 1-vs-2 tie again breaks toward the lower id.
+        let loaded = vec![
+            view(0, 64, 100, 1.0),
+            view(1, 0, 0, 1.0),
+            view(2, 0, 0, 1.0),
+        ];
+        for policy in [
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::LeastLoadedPool,
+            DispatchPolicy::WeightedJsq,
+            DispatchPolicy::PrefixAffinity,
+        ] {
+            let mut router = policy.router();
+            assert_eq!(router.route(&request(), &loaded), 1, "{policy:?}");
+        }
+        // Weighted ties at *different* raw queue lengths: 100 tokens at
+        // throughput 2.0 equals 50 tokens at throughput 1.0 — the tie
+        // still breaks to the lowest id, not the rawest queue.
+        let weighted_tie = vec![view(0, 100, 0, 2.0), view(1, 50, 0, 1.0)];
+        let mut router = DispatchPolicy::WeightedJsq.router();
+        assert_eq!(router.route(&request(), &weighted_tie), 0);
+    }
+
+    #[test]
+    fn weighted_jsq_normalizes_backlog_by_throughput() {
+        // Device 0 holds fewer raw tokens, but at a quarter the
+        // throughput its drain time is longer: weighted JSQ picks the
+        // fast device where plain JSQ picks the slow one.
+        let fleet = vec![view(0, 60, 0, 0.25), view(1, 100, 0, 1.0)];
         assert_eq!(
-            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
+            DispatchPolicy::JoinShortestQueue
+                .router()
+                .route(&request(), &fleet),
             0
         );
         assert_eq!(
-            pick_device(DispatchPolicy::LeastLoadedPool, &devs, &mut rr),
-            0
-        );
-        // Load device 0; JSQ now prefers the still-empty device 1, and a
-        // 1-vs-2 tie again breaks toward the lower id.
-        devs[0].enqueue(Request::from_task(0, &Task::cola(), 0.0));
-        assert_eq!(
-            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
+            DispatchPolicy::WeightedJsq
+                .router()
+                .route(&request(), &fleet),
             1
         );
-        // Identical partial loads on 0 and 1 still tie-break to 0 once 2
-        // is the loaded one.
-        let mut devs: Vec<DeviceSim<'_, '_>> = (0..3).map(|_| DeviceSim::new(&sim)).collect();
-        devs[2].enqueue(Request::from_task(1, &Task::cola(), 0.0));
-        let mut rr = 0usize;
-        assert_eq!(
-            pick_device(DispatchPolicy::JoinShortestQueue, &devs, &mut rr),
-            0
-        );
-        assert_eq!(
-            pick_device(DispatchPolicy::LeastLoadedPool, &devs, &mut rr),
-            0
-        );
+    }
+
+    #[test]
+    fn prefix_affinity_prefers_the_longest_resident_match() {
+        use crate::request::SharedPrefix;
+        let mut fleet = vec![
+            view(0, 0, 0, 1.0),
+            view(1, 500, 0, 1.0),
+            view(2, 900, 0, 1.0),
+        ];
+        fleet[1].resident_prefixes = vec![(7, 2048)];
+        fleet[2].resident_prefixes = vec![(7, 2048)];
+        let mut router = DispatchPolicy::PrefixAffinity.router();
+        // A prefix-carrying request goes to a holder (shortest weighted
+        // queue among holders), not to the empty non-holder.
+        let req = request().with_prefix(SharedPrefix::new(7, 2048));
+        assert_eq!(router.route(&req, &fleet), 1);
+        // Equal-queue holders tie toward the lowest id.
+        fleet[2].queued_tokens = 500;
+        assert_eq!(router.route(&req, &fleet), 1);
+        // No holder (different id) → weighted-JSQ fallback.
+        let other = request().with_prefix(SharedPrefix::new(9, 2048));
+        assert_eq!(router.route(&other, &fleet), 0);
+        // No prefix at all → weighted-JSQ fallback.
+        assert_eq!(router.route(&request(), &fleet), 0);
     }
 }

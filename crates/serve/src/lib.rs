@@ -102,10 +102,28 @@
 //! effective speedup and energy pays the communication tax.
 //! [`ServeSim::run_fleet`] scales *out* instead: N independent simulated
 //! devices, each with its own [`KvCachePool`], scheduler state, and
-//! clock, behind a pluggable [`DispatchPolicy`] (round-robin,
-//! join-shortest-queue by queued tokens, least-loaded-pool), with
-//! per-device utilization/goodput breakdowns in
-//! [`ServeReport::devices`].
+//! clock, behind a pluggable [`Router`], with per-device
+//! utilization/goodput breakdowns in [`ServeReport::devices`]. Fleets
+//! need not be uniform: [`ServeSim::run_fleet_profiles`] builds each
+//! device from its own [`DeviceProfile`] — accelerator generation (its
+//! own step-cost model), BGPP keep ratio, pool budget, host link, and a
+//! relative throughput weight — and [`DispatchPolicy`] spans round-robin,
+//! join-shortest-queue, least-loaded-pool, **weighted JSQ** (queued
+//! tokens normalized by profile throughput, the policy that makes
+//! mixed-generation fleets pay off), and **prefix-affinity** routing.
+//!
+//! **Prefix reuse.** Shared prompt prefixes (system prompts, few-shot
+//! headers) are the serving-granularity face of the repetitiveness MCBP
+//! exploits at the bit level: a [`Request`] may declare a
+//! [`SharedPrefix`], the [`KvCachePool`] keeps a refcounted
+//! resident-prefix ledger (bytes pinned while referenced, warm entries
+//! reclaimed last under admission pressure), and an admitted prompt whose
+//! prefix is already resident reserves only its unshared suffix and
+//! starts its prefill cursor past the shared region — chunked prefill and
+//! the step token budget then cover only new work. The
+//! [`DispatchPolicy::PrefixAffinity`] router steers same-prefix requests
+//! to the device already holding their KV; [`ServeReport::prefix`] (and
+//! each [`DeviceReport`] lane) counts hits, misses, and reused tokens.
 //!
 //! **Reports.** A [`ServeReport`] aggregates TTFT, per-output-token
 //! latency, and end-to-end latency (mean/p50/p95/p99), goodput
@@ -147,6 +165,7 @@ mod cost;
 mod dispatch;
 mod pool;
 mod preempt;
+mod profile;
 mod report;
 mod request;
 mod scheduler;
@@ -154,13 +173,17 @@ mod sim;
 
 pub use arrival::{ArrivalProcess, LoadGenerator, RequestClass, Workload};
 pub use cost::{StepCost, StepCostModel};
-pub use dispatch::DispatchPolicy;
-pub use pool::{request_kv_bytes, KvCachePool, Reservation};
+pub use dispatch::{DeviceView, DispatchPolicy, PolicyRouter, Router};
+pub use pool::{request_kv_bytes, KvCachePool, PrefixResidency, Reservation};
 pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
+pub use profile::DeviceProfile;
 pub use report::{
-    DeviceReport, LatencyStats, PoolReport, PreemptReport, RunTotals, ServeReport, StepReport,
+    DeviceReport, LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport,
+    StepReport,
 };
-pub use request::{Priority, Request, RequestId, RequestRecord, RequestState, SloSpec};
+pub use request::{
+    PrefixId, Priority, Request, RequestId, RequestRecord, RequestState, SharedPrefix, SloSpec,
+};
 pub use scheduler::{
     ContinuousBatchScheduler, FcfsScheduler, PriorityScheduler, SchedEntry, SchedView, Scheduler,
     StepPlan,

@@ -27,6 +27,32 @@
 //! random admit/grow/release/evict interleavings against these
 //! invariants.
 //!
+//! # The resident-prefix ledger
+//!
+//! Shared prompt prefixes (system prompts, few-shot headers — the
+//! serving-granularity face of the repetitiveness MCBP's BRCR exploits at
+//! the bit level) are tracked as **pool-level objects**, not per-request
+//! bytes. When a request's prefill crosses its declared
+//! [`crate::SharedPrefix`] boundary, [`KvCachePool::promote_prefix`]
+//! splits the prefix's KV bytes out of the request's reservation into a
+//! refcounted prefix entry (or, if another request already materialized
+//! it, *sheds* the duplicate bytes back to the pool). Later requests with
+//! the same prefix reserve only their unshared suffix and take a
+//! reference ([`KvCachePool::ref_prefix`]).
+//!
+//! Prefix entries obey three rules, driven by the prefix property tests:
+//!
+//! 1. **Pinned while referenced.** An entry with `refs > 0` is never
+//!    reclaimed — its bytes stay counted in `reserved_bytes` and
+//!    `resident_bytes`.
+//! 2. **Reclaimable last.** An unreferenced entry is a warm cache line:
+//!    [`KvCachePool::reclaim_unreferenced_prefix`] frees entries one at a
+//!    time (lowest id first, deterministically), and the admission path
+//!    turns to it only after victim eviction cannot make room.
+//! 3. **Byte conservation.** Promotion moves bytes between ledgers
+//!    without changing the pool totals; shedding and reclaiming return
+//!    exactly the entry's bytes.
+//!
 //! ```
 //! use mcbp_serve::KvCachePool;
 //!
@@ -44,7 +70,21 @@ use std::collections::BTreeMap;
 use mcbp_mem::HbmConfig;
 use mcbp_model::LlmConfig;
 
-use crate::request::RequestId;
+use crate::request::{PrefixId, RequestId};
+
+/// One shared prompt prefix resident in the pool: its token length, its
+/// KV byte footprint, and how many in-flight requests currently reference
+/// it (an entry with `refs == 0` is a warm cache line, reclaimable under
+/// admission pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixResidency {
+    /// Prefix length in tokens.
+    pub tokens: usize,
+    /// KV bytes the prefix pins in the pool.
+    pub bytes: u64,
+    /// In-flight requests currently referencing the prefix.
+    pub refs: usize,
+}
 
 /// One request's slice of the pool: its admission-time reservation and the
 /// bytes it has actually materialized so far.
@@ -79,6 +119,7 @@ pub struct KvCachePool {
     occupancy_integral: f64,
     last_update_cycle: f64,
     ledger: BTreeMap<RequestId, Reservation>,
+    prefixes: BTreeMap<PrefixId, PrefixResidency>,
 }
 
 impl KvCachePool {
@@ -94,6 +135,7 @@ impl KvCachePool {
             occupancy_integral: 0.0,
             last_update_cycle: 0.0,
             ledger: BTreeMap::new(),
+            prefixes: BTreeMap::new(),
         }
     }
 
@@ -250,6 +292,159 @@ impl KvCachePool {
         }
         self.occupancy_integral / self.last_update_cycle
     }
+
+    // ---- the resident-prefix ledger ----
+
+    /// The resident-prefix entry for `id`, if the pool holds its KV.
+    #[must_use]
+    pub fn prefix(&self, id: PrefixId) -> Option<PrefixResidency> {
+        self.prefixes.get(&id).copied()
+    }
+
+    /// Every resident prefix, in id order (referenced and warm alike) —
+    /// the view the prefix-affinity router reads.
+    #[must_use]
+    pub fn resident_prefixes(&self) -> Vec<(PrefixId, PrefixResidency)> {
+        self.prefixes.iter().map(|(id, e)| (*id, *e)).collect()
+    }
+
+    /// Total bytes pinned or cached by resident prefixes.
+    #[must_use]
+    pub fn prefix_bytes(&self) -> u64 {
+        self.prefixes.values().map(|e| e.bytes).sum()
+    }
+
+    /// Takes one reference on a resident prefix (a request admitted with
+    /// its prefill cursor starting past the prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry with this id is resident.
+    pub fn ref_prefix(&mut self, id: PrefixId) {
+        self.prefixes
+            .get_mut(&id)
+            .expect("referenced a prefix the pool does not hold")
+            .refs += 1;
+    }
+
+    /// Drops one reference on a resident prefix (the referencing request
+    /// completed or was evicted). The entry itself stays resident — a
+    /// warm cache line for future arrivals — until reclaimed under
+    /// admission pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry with this id is resident, or its refcount is
+    /// already zero (an accounting bug).
+    pub fn unref_prefix(&mut self, id: PrefixId) {
+        let entry = self
+            .prefixes
+            .get_mut(&id)
+            .expect("unreferenced a prefix the pool does not hold");
+        assert!(entry.refs > 0, "prefix {id} refcount underflow");
+        entry.refs -= 1;
+    }
+
+    /// Promotes the leading `tokens`/`bytes` of request `owner`'s resident
+    /// KV into the shared prefix ledger, once its prefill cursor has
+    /// crossed the prefix boundary.
+    ///
+    /// * If no entry exists, the bytes **move** from the owner's
+    ///   reservation into a fresh entry with one reference — pool totals
+    ///   are unchanged (conservation).
+    /// * If another request already materialized the entry, the owner
+    ///   **sheds** its duplicate copy: its reservation and residency
+    ///   shrink by the entry's bytes (returned to the pool as headroom)
+    ///   and it takes a reference on the shared entry instead.
+    ///
+    /// Returns the prefix bytes the owner's reservation no longer covers
+    /// (the entry's byte size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner holds no reservation, has not materialized
+    /// `bytes` resident bytes, or the existing entry disagrees on the
+    /// prefix shape (one id must always name one prefix).
+    pub fn promote_prefix(
+        &mut self,
+        owner: RequestId,
+        id: PrefixId,
+        tokens: usize,
+        bytes: u64,
+    ) -> u64 {
+        let entry = self
+            .ledger
+            .get_mut(&owner)
+            .expect("promoted a prefix for a request with no reservation");
+        assert!(
+            entry.resident_bytes >= bytes && entry.reserved_bytes >= bytes,
+            "request {owner} promoted {bytes} prefix bytes it does not hold \
+             (resident {}, reserved {})",
+            entry.resident_bytes,
+            entry.reserved_bytes
+        );
+        entry.reserved_bytes -= bytes;
+        entry.resident_bytes -= bytes;
+        match self.prefixes.get_mut(&id) {
+            None => {
+                // Move: the bytes change owner, pool totals are unchanged.
+                self.prefixes.insert(
+                    id,
+                    PrefixResidency {
+                        tokens,
+                        bytes,
+                        refs: 1,
+                    },
+                );
+                bytes
+            }
+            Some(shared) => {
+                // Shed: the duplicate copy returns to the pool as headroom
+                // and the owner rides the shared entry instead.
+                assert_eq!(
+                    (shared.tokens, shared.bytes),
+                    (tokens, bytes),
+                    "prefix {id} promoted with a different shape"
+                );
+                shared.refs += 1;
+                self.reserved_bytes -= bytes;
+                self.resident_bytes -= bytes;
+                bytes
+            }
+        }
+    }
+
+    /// Bytes reclaimable from unreferenced prefix entries (excluding
+    /// `keep`, the prefix an in-progress admission is about to reuse).
+    #[must_use]
+    pub fn reclaimable_prefix_bytes(&self, keep: Option<PrefixId>) -> u64 {
+        self.prefixes
+            .iter()
+            .filter(|(id, e)| e.refs == 0 && Some(**id) != keep)
+            .map(|(_, e)| e.bytes)
+            .sum()
+    }
+
+    /// Reclaims one unreferenced prefix entry — the lowest id first, so
+    /// reclamation replays deterministically — freeing its bytes.
+    /// Entries with `refs > 0` are pinned and never touched, and `keep`
+    /// (the prefix an in-progress admission is about to reuse) is spared.
+    /// Returns the reclaimed id and its freed bytes, or `None` if nothing
+    /// is reclaimable.
+    pub fn reclaim_unreferenced_prefix(
+        &mut self,
+        keep: Option<PrefixId>,
+    ) -> Option<(PrefixId, u64)> {
+        let id = self
+            .prefixes
+            .iter()
+            .find(|(id, e)| e.refs == 0 && Some(**id) != keep)
+            .map(|(id, _)| *id)?;
+        let entry = self.prefixes.remove(&id).expect("entry exists");
+        self.reserved_bytes -= entry.bytes;
+        self.resident_bytes -= entry.bytes;
+        Some((id, entry.bytes))
+    }
 }
 
 /// Peak KV residency of one request: full-precision KV bytes at `context`
@@ -340,6 +535,76 @@ mod tests {
         assert_eq!(dense, model.kv_cache_bytes(4096, 1));
         assert!(pruned < dense / 3 + 2);
         assert!(pruned > dense / 4);
+    }
+
+    #[test]
+    fn prefix_promotion_moves_bytes_without_changing_totals() {
+        let mut pool = KvCachePool::with_budget(1000);
+        assert!(pool.try_reserve(1, 600));
+        pool.grow_resident(1, 400);
+        // Promote a 250-byte prefix out of request 1's reservation.
+        assert_eq!(pool.promote_prefix(1, 9, 128, 250), 250);
+        assert_eq!(pool.reserved_bytes(), 600, "promotion conserves totals");
+        assert_eq!(pool.resident_bytes(), 400);
+        assert_eq!(pool.reservation(1).unwrap().reserved_bytes, 350);
+        assert_eq!(pool.reservation(1).unwrap().resident_bytes, 150);
+        let p = pool.prefix(9).expect("prefix resident");
+        assert_eq!((p.tokens, p.bytes, p.refs), (128, 250, 1));
+        // Releasing the owner keeps the prefix resident (refs managed by
+        // the caller).
+        pool.release(1);
+        pool.unref_prefix(9);
+        assert_eq!(pool.reserved_bytes(), 250);
+        assert_eq!(pool.prefix_bytes(), 250);
+        assert_eq!(pool.prefix(9).unwrap().refs, 0);
+    }
+
+    #[test]
+    fn prefix_shed_returns_the_duplicate_copy_to_the_pool() {
+        let mut pool = KvCachePool::with_budget(1000);
+        assert!(pool.try_reserve(1, 500));
+        pool.grow_resident(1, 300);
+        pool.promote_prefix(1, 4, 64, 200);
+        // A second materializer of the same prefix sheds its copy.
+        assert!(pool.try_reserve(2, 500));
+        pool.grow_resident(2, 250);
+        pool.promote_prefix(2, 4, 64, 200);
+        assert_eq!(pool.prefix(4).unwrap().refs, 2);
+        assert_eq!(
+            pool.reserved_bytes(),
+            1000 - 200,
+            "the duplicate 200 bytes return to the pool"
+        );
+        assert_eq!(pool.resident_bytes(), 300 + 250 - 200);
+        assert_eq!(pool.reservation(2).unwrap().reserved_bytes, 300);
+    }
+
+    #[test]
+    fn pinned_prefixes_are_never_reclaimed() {
+        let mut pool = KvCachePool::with_budget(1000);
+        assert!(pool.try_reserve(1, 400));
+        pool.grow_resident(1, 400);
+        pool.promote_prefix(1, 7, 64, 300);
+        assert_eq!(pool.reclaim_unreferenced_prefix(None), None, "refs > 0");
+        pool.release(1);
+        pool.unref_prefix(7);
+        assert_eq!(pool.reclaimable_prefix_bytes(None), 300);
+        assert_eq!(pool.reclaimable_prefix_bytes(Some(7)), 0, "spared");
+        assert_eq!(pool.reclaim_unreferenced_prefix(Some(7)), None);
+        assert_eq!(pool.reclaim_unreferenced_prefix(None), Some((7, 300)));
+        assert_eq!(pool.reserved_bytes(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refcount underflow")]
+    fn prefix_unref_underflow_is_an_accounting_bug() {
+        let mut pool = KvCachePool::with_budget(100);
+        assert!(pool.try_reserve(1, 50));
+        pool.grow_resident(1, 50);
+        pool.promote_prefix(1, 3, 8, 40);
+        pool.unref_prefix(3);
+        pool.unref_prefix(3);
     }
 
     #[test]

@@ -129,6 +129,44 @@ impl StepReport {
     }
 }
 
+/// Prefix-cache statistics of one serving run: how often arriving
+/// prompts found their declared [`crate::SharedPrefix`] already resident
+/// on their device, how many prefill tokens that reuse skipped, and how
+/// much warm prefix state admission pressure reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixReport {
+    /// Fresh admissions whose prefill cursor started past a resident
+    /// prefix.
+    pub hits: u64,
+    /// Fresh admissions that declared a prefix their device did not hold
+    /// (the prompt prefilled in full and materialized the prefix).
+    pub misses: u64,
+    /// Prefill tokens skipped by prefix reuse, over every admission
+    /// (fresh and resumed) that started past a resident prefix.
+    pub reused_tokens: u64,
+    /// Unreferenced prefix entries reclaimed under admission pressure.
+    pub reclaimed: u64,
+    /// Bytes those reclamations freed.
+    pub reclaimed_bytes: u64,
+}
+
+impl PrefixReport {
+    /// Hit fraction over fresh prefix-carrying admissions (0 when none).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+
+    /// Whether the run saw any prefix-cache activity at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.hits + self.misses + self.reclaimed > 0
+    }
+}
+
 /// One device's share of a fleet serving run (see
 /// [`crate::ServeSim::run_fleet`]): what the dispatcher sent it, what it
 /// completed, and how busy it was.
@@ -157,6 +195,9 @@ pub struct DeviceReport {
     pub preempt: PreemptReport,
     /// This device's per-step composition statistics.
     pub steps: StepReport,
+    /// This device's prefix-cache statistics (hits, misses, and the
+    /// prefill tokens its resident prefixes saved).
+    pub prefix: PrefixReport,
 }
 
 /// Aggregate results of one serving simulation.
@@ -207,6 +248,9 @@ pub struct ServeReport {
     /// budget utilization is each device's mean weighted by its step
     /// count).
     pub steps: StepReport,
+    /// Prefix-cache statistics (fleet-wide sums; per-device lanes in
+    /// [`ServeReport::devices`]).
+    pub prefix: PrefixReport,
     /// Per-device breakdown of a fleet run
     /// ([`crate::ServeSim::run_fleet`]); a single-device run carries its
     /// one lane here too.
@@ -232,6 +276,8 @@ pub struct RunTotals {
     pub preempt: PreemptReport,
     /// Per-step composition statistics.
     pub steps: StepReport,
+    /// Prefix-cache statistics.
+    pub prefix: PrefixReport,
 }
 
 impl ServeReport {
@@ -252,6 +298,7 @@ impl ServeReport {
             offered_rps,
             preempt,
             steps,
+            prefix,
         } = totals;
         let completed: Vec<&RequestRecord> = records.iter().filter(|r| r.completed()).collect();
         let slo_met = completed.iter().filter(|r| r.slo_met()).count();
@@ -298,6 +345,7 @@ impl ServeReport {
             pool,
             preempt,
             steps,
+            prefix,
             devices,
             records,
         }
@@ -368,6 +416,18 @@ impl fmt::Display for ServeReport {
             )?;
         }
         writeln!(f)?;
+        if self.prefix.any() {
+            writeln!(
+                f,
+                "  prefix cache: {} hits / {} misses ({:.0}%), {} prefill tokens reused, {} reclaimed ({:.2} MiB)",
+                self.prefix.hits,
+                self.prefix.misses,
+                self.prefix.hit_rate() * 100.0,
+                self.prefix.reused_tokens,
+                self.prefix.reclaimed,
+                self.prefix.reclaimed_bytes as f64 / f64::from(1u32 << 20)
+            )?;
+        }
         if self.preempt.preemptions > 0 {
             writeln!(
                 f,
@@ -410,7 +470,7 @@ impl fmt::Display for ServeReport {
         )?;
         if self.devices.len() > 1 {
             for d in &self.devices {
-                writeln!(
+                write!(
                     f,
                     "  device {}: {} dispatched, {} completed, goodput {:>8.1} tok/s, util {:>5.1}%, pool peak {:>5.1}%",
                     d.device,
@@ -420,6 +480,14 @@ impl fmt::Display for ServeReport {
                     d.utilization * 100.0,
                     d.pool.peak_occupancy() * 100.0
                 )?;
+                if d.prefix.any() {
+                    write!(
+                        f,
+                        ", prefix {}h/{}m ({} tok reused)",
+                        d.prefix.hits, d.prefix.misses, d.prefix.reused_tokens
+                    )?;
+                }
+                writeln!(f)?;
             }
         }
         write!(f, "  energy: {:.3} J", self.energy_joules)

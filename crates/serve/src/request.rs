@@ -3,6 +3,35 @@ use mcbp_workloads::Task;
 /// Identifier of one request within a [`crate::Workload`].
 pub type RequestId = u64;
 
+/// Identifier of one shared prompt prefix (a system prompt, a few-shot
+/// header) that many requests reuse. Ids are content-addressed by the
+/// workload author: two requests carry the same id **iff** their prompts
+/// open with the same `tokens`-long prefix — the serving layer trusts the
+/// id and asserts only that lengths agree.
+pub type PrefixId = u64;
+
+/// A shared prompt prefix carried by a [`Request`]: the leading `tokens`
+/// tokens of its prompt are identical across every request with the same
+/// [`PrefixId`], so a device that already holds the prefix's KV can start
+/// the prefill past it (see [`crate::KvCachePool`]'s resident-prefix
+/// ledger and the prefix-affinity [`crate::DispatchPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPrefix {
+    /// Content-addressed prefix identity.
+    pub id: PrefixId,
+    /// Prefix length in tokens (must not exceed the prompt length; see
+    /// [`crate::ServeConfigError::PrefixExceedsPrompt`]).
+    pub tokens: usize,
+}
+
+impl SharedPrefix {
+    /// A `tokens`-long shared prefix with the given identity.
+    #[must_use]
+    pub fn new(id: PrefixId, tokens: usize) -> Self {
+        SharedPrefix { id, tokens }
+    }
+}
+
 /// Scheduling class of a request. Ordered: [`Priority::Interactive`]
 /// outranks [`Priority::Batch`], and the preemption subsystem only ever
 /// evicts victims of *strictly lower* priority than the request being
@@ -84,6 +113,10 @@ pub struct Request {
     pub priority: Priority,
     /// Latency objectives.
     pub slo: SloSpec,
+    /// Shared prompt prefix, if the prompt opens with one (`None` for a
+    /// fully unique prompt). A device holding the prefix's KV resident
+    /// starts this request's prefill past it.
+    pub prefix: Option<SharedPrefix>,
 }
 
 impl Request {
@@ -99,6 +132,7 @@ impl Request {
             task_name: task.name,
             priority: Priority::default(),
             slo: SloSpec::default(),
+            prefix: None,
         }
     }
 
@@ -106,6 +140,13 @@ impl Request {
     #[must_use]
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// A copy whose prompt opens with the given shared prefix.
+    #[must_use]
+    pub fn with_prefix(mut self, prefix: SharedPrefix) -> Self {
+        self.prefix = Some(prefix);
         self
     }
 
@@ -264,6 +305,13 @@ mod tests {
         assert_eq!(r.task_name, "MBPP");
         assert_eq!(r.priority, Priority::Batch);
         assert_eq!(r.slo, SloSpec::none());
+        assert_eq!(r.prefix, None);
+    }
+
+    #[test]
+    fn with_prefix_stamps_the_shared_prefix() {
+        let r = Request::from_task(0, &Task::mnli(), 0.0).with_prefix(SharedPrefix::new(7, 128));
+        assert_eq!(r.prefix, Some(SharedPrefix { id: 7, tokens: 128 }));
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct SchedEntry {
     pub len: usize,
     /// The prefill cursor: tokens of `len` already prefilled by earlier
     /// chunk invocations (0 for a fresh prompt, `len` for a decoding
-    /// stream). Schedulers batch prefills whose `(len, done)` match so one
+    /// stream). A prompt admitted onto a device holding its
+    /// [`crate::SharedPrefix`] resident starts with `done` already at the
+    /// prefix length — the scheduler only ever plans the unshared suffix.
+    /// Schedulers batch prefills whose `(len, done)` match so one
     /// invocation advances every selected prompt by the same chunk.
     pub done: usize,
     /// Tokens decoded so far. For a decoding stream, 0 means its **first

@@ -55,8 +55,9 @@ use crate::cost::{StepCost, StepCostModel};
 use crate::dispatch::{drive, DispatchPolicy};
 use crate::pool::{request_kv_bytes, KvCachePool};
 use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
-use crate::report::{PoolReport, PreemptReport, ServeReport, StepReport};
-use crate::request::{Priority, Request, RequestId, RequestRecord, RequestState};
+use crate::profile::DeviceProfile;
+use crate::report::{PoolReport, PreemptReport, PrefixReport, ServeReport, StepReport};
+use crate::request::{PrefixId, Priority, Request, RequestId, RequestRecord, RequestState};
 use crate::scheduler::{SchedEntry, SchedView, Scheduler};
 
 /// Configuration of one serving simulation.
@@ -146,6 +147,35 @@ pub enum ServeConfigError {
     /// (`prefill_chunk == None`): an unbounded prefill invocation cannot
     /// be packed under any finite budget.
     BudgetRequiresChunkedPrefill,
+    /// A fleet run was given no device profiles: there is no device to
+    /// dispatch to.
+    EmptyFleet,
+    /// A [`DeviceProfile`]'s throughput weight is zero, negative, or
+    /// non-finite: weighted-JSQ dispatch would divide by it.
+    ZeroThroughputProfile {
+        /// Index of the offending profile within the fleet.
+        device: usize,
+    },
+    /// A request declares a shared prefix longer than its own prompt —
+    /// the prefix cannot be a prefix of that prompt.
+    PrefixExceedsPrompt {
+        /// The offending request.
+        request: RequestId,
+        /// Declared prefix length in tokens.
+        prefix_tokens: usize,
+        /// The request's prompt length in tokens.
+        prompt_len: usize,
+    },
+    /// Two requests declare the same [`PrefixId`] with different lengths —
+    /// ids are content-addressed, so one id must always name one prefix.
+    PrefixLengthConflict {
+        /// The conflicted prefix id.
+        prefix: PrefixId,
+        /// The first declared length, in tokens.
+        tokens_a: usize,
+        /// The conflicting declared length, in tokens.
+        tokens_b: usize,
+    },
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -171,6 +201,32 @@ impl std::fmt::Display for ServeConfigError {
                 f,
                 "a step token budget requires chunked prefill (prefill_chunk = Some(..)): \
                  a monolithic prefill cannot be packed under a finite budget"
+            ),
+            ServeConfigError::EmptyFleet => {
+                write!(f, "a fleet needs at least one device profile")
+            }
+            ServeConfigError::ZeroThroughputProfile { device } => write!(
+                f,
+                "device profile {device} has a non-positive throughput weight: \
+                 weighted dispatch would divide by it"
+            ),
+            ServeConfigError::PrefixExceedsPrompt {
+                request,
+                prefix_tokens,
+                prompt_len,
+            } => write!(
+                f,
+                "request {request} declares a {prefix_tokens}-token shared prefix on a \
+                 {prompt_len}-token prompt: a prefix cannot outgrow its prompt"
+            ),
+            ServeConfigError::PrefixLengthConflict {
+                prefix,
+                tokens_a,
+                tokens_b,
+            } => write!(
+                f,
+                "prefix {prefix} is declared with two different lengths ({tokens_a} and \
+                 {tokens_b} tokens): one content-addressed id must name one prefix"
             ),
         }
     }
@@ -223,6 +279,13 @@ struct InFlight {
     /// discarded (0 for fresh prompts). Chunk invocations overlapping this
     /// region bill their share to `recompute_seconds`.
     replay_tokens: usize,
+    /// Shared-prefix bytes the pool holds on this request's behalf in its
+    /// refcounted prefix ledger — excluded from the request's own
+    /// reservation and residency. Non-zero exactly while the request
+    /// holds one reference on its prefix entry (a reusing request from
+    /// admission on; a materializing request from the step whose cursor
+    /// crossed the prefix boundary).
+    prefix_bytes: u64,
     tokens: usize,
     first_token_cycle: f64,
     preemptions: usize,
@@ -282,6 +345,16 @@ struct PreemptTally {
     recompute_cycles: f64,
 }
 
+/// Running prefix-cache counters (see [`crate::PrefixReport`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct PrefixTally {
+    hits: u64,
+    misses: u64,
+    reused_tokens: u64,
+    reclaimed: u64,
+    reclaimed_bytes: u64,
+}
+
 /// Running per-step composition counters (see [`crate::StepReport`]).
 #[derive(Debug, Clone, Copy, Default)]
 struct StepTally {
@@ -297,6 +370,41 @@ struct StepTally {
 /// then earlier arrival, then lower id.
 fn admits_before(a: (Priority, f64, RequestId), b: (Priority, f64, RequestId)) -> bool {
     a.0 > b.0 || (a.0 == b.0 && (a.1 < b.1 || (a.1 == b.1 && a.2 < b.2)))
+}
+
+/// The resident prefix entry a request can reuse, as `(id, tokens,
+/// bytes)`, or `None` when it declares no prefix or the pool does not
+/// hold it.
+///
+/// # Panics
+///
+/// Panics if the resident entry disagrees with the request's declared
+/// prefix length — one [`PrefixId`] must always name one prefix.
+fn resident_reuse(
+    pool: &KvCachePool,
+    prefix: Option<crate::request::SharedPrefix>,
+) -> Option<(PrefixId, usize, u64)> {
+    let p = prefix.filter(|p| p.tokens > 0)?;
+    let e = pool.prefix(p.id)?;
+    assert_eq!(
+        e.tokens, p.tokens,
+        "prefix {} reused with a different declared length",
+        p.id
+    );
+    Some((p.id, e.tokens, e.bytes))
+}
+
+/// Where a reusing request's prefill cursor starts: at the prefix
+/// boundary, except that a request with no decode work left must keep at
+/// least one unshared prompt token to execute (a fully-shared prompt-only
+/// request would otherwise never appear in any scheduler view).
+fn reuse_start(prefix_tokens: usize, target: usize, decode_remaining: usize) -> usize {
+    let start = prefix_tokens.min(target);
+    if decode_remaining == 0 {
+        start.min(target.saturating_sub(1))
+    } else {
+        start
+    }
 }
 
 /// The discrete-event serving simulator: drives an [`Accelerator`] under
@@ -357,19 +465,71 @@ impl<'a> ServeSim<'a> {
     }
 
     /// Runs one workload under one scheduler to completion on a single
-    /// device.
+    /// device. Cross-request prefix reuse is live here too: a request
+    /// whose [`crate::SharedPrefix`] is already resident in the device's
+    /// pool prefills only its unshared suffix.
     ///
     /// # Panics
     ///
-    /// Panics on internal accounting violations (the KV pool asserts its
-    /// budget invariants) or a scheduler contract violation.
+    /// Panics on an invalid workload (see [`ServeSim::validate_workload`]),
+    /// internal accounting violations (the KV pool asserts its budget
+    /// invariants), or a scheduler contract violation.
     #[must_use]
     pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> ServeReport {
-        drive(self, workload, &mut [scheduler], DispatchPolicy::RoundRobin)
+        if let Err(e) = ServeSim::validate_workload(workload) {
+            panic!("invalid workload: {e}");
+        }
+        let mut router = DispatchPolicy::RoundRobin.router();
+        drive(
+            self,
+            workload,
+            &mut [scheduler],
+            &[DeviceProfile::uniform()],
+            &mut router,
+        )
     }
 
-    pub(crate) fn fresh_pool(&self) -> KvCachePool {
-        match self.cfg.kv_budget_bytes {
+    /// Checks a workload's internal consistency: every declared
+    /// [`crate::SharedPrefix`] must fit inside its request's prompt, and
+    /// one [`PrefixId`] must always be declared with one length (ids are
+    /// content-addressed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeConfigError::PrefixExceedsPrompt`] or
+    /// [`ServeConfigError::PrefixLengthConflict`] for the first
+    /// offending request.
+    pub fn validate_workload(workload: &Workload) -> Result<(), ServeConfigError> {
+        let mut declared: std::collections::BTreeMap<PrefixId, usize> =
+            std::collections::BTreeMap::new();
+        for r in &workload.requests {
+            if let Some(p) = r.prefix {
+                if p.tokens > r.prompt_len {
+                    return Err(ServeConfigError::PrefixExceedsPrompt {
+                        request: r.id,
+                        prefix_tokens: p.tokens,
+                        prompt_len: r.prompt_len,
+                    });
+                }
+                match declared.insert(p.id, p.tokens) {
+                    Some(prior) if prior != p.tokens => {
+                        return Err(ServeConfigError::PrefixLengthConflict {
+                            prefix: p.id,
+                            tokens_a: prior,
+                            tokens_b: p.tokens,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The KV pool for one fleet device: the profile's explicit budget,
+    /// else the [`ServeConfig::kv_budget_bytes`] behavior.
+    pub(crate) fn pool_for(&self, profile: &DeviceProfile<'_>) -> KvCachePool {
+        match profile.kv_budget_bytes.or(self.cfg.kv_budget_bytes) {
             Some(bytes) => KvCachePool::with_budget(bytes),
             None => KvCachePool::from_memory_spec(
                 &mcbp_mem::HbmConfig::default(),
@@ -397,16 +557,33 @@ impl<'a> ServeSim<'a> {
     }
 }
 
+/// One device's step-cost model: devices whose profile overrides neither
+/// the accelerator nor the keep ratio share the simulator's memoized
+/// model (so a uniform fleet costs each distinct invocation once,
+/// fleet-wide); a heterogeneous device owns its own.
+enum DeviceCost<'s, 'a> {
+    Shared(&'s StepCostModel<'a>),
+    Owned(Box<StepCostModel<'a>>),
+}
+
 /// One simulated device's complete serving state: local queue, KV pool,
 /// suspended victims, clock, and counters. The dispatch driver
-/// ([`crate::dispatch`]) owns one of these per fleet device and steps
-/// whichever has runnable work and the earliest clock.
+/// ([`crate::dispatch`]) owns one of these per fleet device — built from
+/// its [`DeviceProfile`] — and steps whichever has runnable work and the
+/// earliest clock.
 pub(crate) struct DeviceSim<'s, 'a> {
     sim: &'s ServeSim<'a>,
+    cost: DeviceCost<'s, 'a>,
+    /// This device's preemption configuration (the simulator's, with the
+    /// profile's host-link override applied).
+    preempt: PreemptConfig,
+    /// The profile's relative throughput weight (read by the router).
+    throughput: f64,
     pub(crate) pool: KvCachePool,
     ledger: SwapLedger,
     tally: PreemptTally,
     step_tally: StepTally,
+    prefix_tally: PrefixTally,
     /// Requests dispatched to this device, arrival-sorted, not yet
     /// admitted.
     pending: VecDeque<Request>,
@@ -426,13 +603,38 @@ pub(crate) struct DeviceSim<'s, 'a> {
 }
 
 impl<'s, 'a> DeviceSim<'s, 'a> {
-    pub(crate) fn new(sim: &'s ServeSim<'a>) -> Self {
+    pub(crate) fn new(sim: &'s ServeSim<'a>, profile: &DeviceProfile<'a>) -> Self {
+        let cost = match (profile.accel, profile.attention_keep) {
+            // Inherit everything: share the simulator's memoized model so
+            // a uniform fleet stays bit-exact with (and as cheap as) the
+            // classic run_fleet path.
+            (None, None) => DeviceCost::Shared(&sim.cost),
+            (accel, keep) => {
+                let template = TraceContext {
+                    attention_keep: keep.unwrap_or(sim.cost.template().attention_keep),
+                    ..sim.cost.template().clone()
+                };
+                DeviceCost::Owned(Box::new(StepCostModel::new(
+                    accel.unwrap_or_else(|| sim.cost.accel()),
+                    template,
+                    sim.cfg.ctx_bucket,
+                )))
+            }
+        };
+        let mut preempt = sim.cfg.preempt.clone();
+        if let Some(link) = profile.host_link_bytes_per_cycle {
+            preempt.host_link_bytes_per_cycle = link;
+        }
         DeviceSim {
+            pool: sim.pool_for(profile),
             sim,
-            pool: sim.fresh_pool(),
+            cost,
+            preempt,
+            throughput: profile.throughput,
             ledger: SwapLedger::new(),
             tally: PreemptTally::default(),
             step_tally: StepTally::default(),
+            prefix_tally: PrefixTally::default(),
             pending: VecDeque::new(),
             active: Vec::new(),
             suspended: Vec::new(),
@@ -445,6 +647,21 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             peak_concurrency: 0,
             dispatched: 0,
         }
+    }
+
+    /// This device's step-cost model (its own for a heterogeneous
+    /// profile, the simulator's shared one otherwise).
+    fn cost(&self) -> &StepCostModel<'a> {
+        match &self.cost {
+            DeviceCost::Shared(cost) => cost,
+            DeviceCost::Owned(cost) => cost,
+        }
+    }
+
+    /// The profile's relative throughput weight (the router's
+    /// weighted-JSQ denominator).
+    pub(crate) fn throughput(&self) -> f64 {
+        self.throughput
     }
 
     /// Hands this device a dispatched request, keeping the local queue
@@ -491,15 +708,6 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
         (pending + active + suspended) as u64
     }
 
-    /// Fraction of the KV budget currently reserved — the
-    /// least-loaded-pool dispatch metric.
-    pub(crate) fn pool_load(&self) -> f64 {
-        if self.pool.budget_bytes() == 0 {
-            return 1.0;
-        }
-        self.pool.reserved_bytes() as f64 / self.pool.budget_bytes() as f64
-    }
-
     /// Runs admission to a fixpoint: resumable victims and arrived queue
     /// entries are admitted best-first until the best candidate blocks.
     /// An idle device fast-forwards its clock to the next timed arrival.
@@ -538,8 +746,8 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
 
     /// One admission sweep at the current clock.
     fn admit_pass(&mut self, drops: &mut usize) {
-        let keep = self.sim.cost.template().attention_keep;
-        let model = self.sim.cost.template().model.clone();
+        let keep = self.cost().template().attention_keep;
+        let model = self.cost().template().model.clone();
         loop {
             let best_susp = self
                 .suspended
@@ -564,25 +772,69 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             };
             if resume {
                 let (idx, (prio, _, id)) = best_susp.expect("resume candidate");
-                let peak = request_kv_bytes(&model, self.suspended[idx].req.final_context(), keep);
-                if !self.try_admit(id, peak, prio) {
-                    break;
-                }
-                let s = self.suspended.remove(idx);
-                if s.swapped_bytes > 0 {
+                let full_peak =
+                    request_kv_bytes(&model, self.suspended[idx].req.final_context(), keep);
+                if self.suspended[idx].swapped_bytes > 0 {
+                    // Swap resume. The cursor reuse holds only if the
+                    // victim's own cursor already sat past its prefix at
+                    // eviction (its swapped KV is then suffix-only) and
+                    // the prefix entry survived reclamation.
+                    let s = &self.suspended[idx];
+                    let reuse = resident_reuse(&self.pool, s.req.prefix)
+                        .filter(|&(_, tokens, _)| s.prefill_done >= tokens);
+                    let had_prefix = s
+                        .req
+                        .prefix
+                        .is_some_and(|p| p.tokens > 0 && s.prefill_done >= p.tokens);
+                    let (pbytes, keep_id) = match reuse {
+                        Some((pid, _, bytes)) => (bytes, Some(pid)),
+                        None => (0, None),
+                    };
+                    if !self.try_admit(id, full_peak - pbytes, prio, keep_id) {
+                        break;
+                    }
+                    let s = self.suspended.remove(idx);
                     // Swap-in: restore the victim's KV from host memory,
-                    // stalling the device for the transfer; the prefill
-                    // cursor survives because the prefix KV does.
-                    let cycles = self.sim.cfg.preempt.transfer_cycles(s.swapped_bytes);
+                    // stalling the device for the transfer.
+                    let cycles = self.preempt.transfer_cycles(s.swapped_bytes);
                     self.now += cycles;
                     self.pool.advance_clock(self.now);
                     self.tally.swap_cycles += cycles;
                     self.tally.swap_in_bytes += self.ledger.swap_in(s.req.id);
                     self.pool.grow_resident(s.req.id, s.swapped_bytes);
+                    // One resume state per case; only the cursor fields
+                    // differ between them.
+                    let (prefill_done, prefill_target, replay_tokens, prefix_bytes) =
+                        if let Some(pid) = keep_id {
+                            // The prefix KV survives in the shared ledger:
+                            // the cursor stands, only the suffix was moved.
+                            self.pool.ref_prefix(pid);
+                            self.prefix_tally.reused_tokens +=
+                                s.req.prefix.expect("reuse implies a prefix").tokens as u64;
+                            (s.prefill_done, s.prefill_target, s.replay_tokens, pbytes)
+                        } else if had_prefix {
+                            // The victim's cursor leaned on a prefix that
+                            // was reclaimed while it was suspended: the
+                            // restored suffix KV is kept, but the missing
+                            // prefix region must be re-prefilled
+                            // (attributed as replay — the reclamation
+                            // discarded computed KV).
+                            let target = if s.prefill_done >= s.prefill_target {
+                                s.req.prefix.expect("had_prefix").tokens
+                            } else {
+                                s.prefill_target
+                            };
+                            (0, target, s.prefill_done.min(target), 0)
+                        } else {
+                            // No prefix involvement: the cursor survives
+                            // because the swapped KV covers everything done.
+                            (s.prefill_done, s.prefill_target, s.replay_tokens, 0)
+                        };
                     self.active.push(InFlight {
-                        prefill_done: s.prefill_done,
-                        prefill_target: s.prefill_target,
-                        replay_tokens: s.replay_tokens,
+                        prefill_done,
+                        prefill_target,
+                        replay_tokens,
+                        prefix_bytes,
                         req: s.req,
                         admitted_cycle: s.admitted_cycle,
                         tokens: s.tokens,
@@ -590,22 +842,43 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         preemptions: s.preemptions,
                     });
                 } else {
-                    // Drop-and-recompute resume: the prefill restarts from
-                    // zero over prompt + generated tokens. Replay covers
-                    // exactly the work the eviction discarded: everything
-                    // when the prefill had completed, otherwise only the
-                    // chunks it had finished (or the replay region it was
-                    // already re-running).
+                    // Drop-and-recompute resume: the prefill restarts over
+                    // prompt + generated tokens. Replay covers exactly the
+                    // work the eviction discarded: everything when the
+                    // prefill had completed, otherwise only the chunks it
+                    // had finished (or the replay region it was already
+                    // re-running). A still-resident prefix lets the
+                    // restart skip the shared region entirely.
+                    let s = &self.suspended[idx];
                     let target = s.req.prompt_len + s.tokens;
                     let replay = if s.prefill_done >= s.prefill_target {
                         target
                     } else {
                         s.replay_tokens.max(s.prefill_done).min(target)
                     };
+                    let remaining_decode = s.req.decode_len - s.tokens;
+                    let reuse = resident_reuse(&self.pool, s.req.prefix);
+                    let (start, pbytes, keep_id) = match reuse {
+                        Some((pid, tokens, bytes)) => (
+                            reuse_start(tokens, target, remaining_decode),
+                            bytes,
+                            Some(pid),
+                        ),
+                        None => (0, 0, None),
+                    };
+                    if !self.try_admit(id, full_peak - pbytes, prio, keep_id) {
+                        break;
+                    }
+                    let s = self.suspended.remove(idx);
+                    if let Some(pid) = keep_id {
+                        self.pool.ref_prefix(pid);
+                        self.prefix_tally.reused_tokens += start as u64;
+                    }
                     self.active.push(InFlight {
-                        prefill_done: 0,
+                        prefill_done: start,
                         prefill_target: target,
                         replay_tokens: replay,
+                        prefix_bytes: pbytes,
                         req: s.req,
                         admitted_cycle: s.admitted_cycle,
                         tokens: s.tokens,
@@ -615,8 +888,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 }
             } else {
                 let (idx, (prio, _, id)) = best_pend.expect("pending candidate");
-                let peak = request_kv_bytes(&model, self.pending[idx].final_context(), keep);
-                if !self.pool.can_ever_fit(peak) {
+                let full_peak = request_kv_bytes(&model, self.pending[idx].final_context(), keep);
+                // The drop decision uses the *full* peak: a request must
+                // be servable even when its prefix is not resident, or a
+                // later prefix reclamation could leave an admitted-only-
+                // by-reuse victim unable to ever resume.
+                if !self.pool.can_ever_fit(full_peak) {
                     let req = self.pending.remove(idx).expect("index valid");
                     self.records.push(RequestRecord {
                         state: RequestState::Dropped,
@@ -630,17 +907,40 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     *drops += 1;
                     continue;
                 }
-                if !self.try_admit(id, peak, prio) {
+                // Prefix reuse: a resident prefix lets the prompt reserve
+                // only its unshared suffix and start the prefill past the
+                // shared region.
+                let req = &self.pending[idx];
+                let reuse = resident_reuse(&self.pool, req.prefix);
+                let remaining_decode = req.decode_len;
+                let target = req.prompt_len;
+                let declared = req.prefix.is_some_and(|p| p.tokens > 0);
+                let (start, pbytes, keep_id) = match reuse {
+                    Some((pid, tokens, bytes)) => (
+                        reuse_start(tokens, target, remaining_decode),
+                        bytes,
+                        Some(pid),
+                    ),
+                    None => (0, 0, None),
+                };
+                if !self.try_admit(id, full_peak - pbytes, prio, keep_id) {
                     break;
                 }
                 let req = self.pending.remove(idx).expect("index valid");
-                let prefill_target = req.prompt_len;
+                if let Some(pid) = keep_id {
+                    self.pool.ref_prefix(pid);
+                    self.prefix_tally.hits += 1;
+                    self.prefix_tally.reused_tokens += start as u64;
+                } else if declared {
+                    self.prefix_tally.misses += 1;
+                }
                 self.active.push(InFlight {
                     req,
                     admitted_cycle: self.now,
-                    prefill_done: 0,
-                    prefill_target,
+                    prefill_done: start,
+                    prefill_target: target,
                     replay_tokens: 0,
+                    prefix_bytes: pbytes,
                     tokens: 0,
                     first_token_cycle: 0.0,
                     preemptions: 0,
@@ -650,66 +950,102 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
     }
 
     /// Reserves `peak` bytes for candidate `id`, evicting strictly
-    /// lower-priority victims if the configured policy allows and the
-    /// eviction would actually make room. Returns whether the reservation
-    /// succeeded.
-    fn try_admit(&mut self, id: RequestId, peak: u64, priority: Priority) -> bool {
+    /// lower-priority victims if the configured policy allows and then —
+    /// last — reclaiming unreferenced resident prefixes, when the
+    /// combination would actually make room. `keep_prefix` names the
+    /// prefix the candidate is about to reuse; it is spared from
+    /// reclamation. Returns whether the reservation succeeded.
+    ///
+    /// Victims go before warm prefixes deliberately: a victim's KV serves
+    /// only itself (and preemption exists to reorder exactly that work),
+    /// while a resident prefix is shared state that keeps paying off
+    /// across future arrivals — the serving-granularity analogue of the
+    /// repetition reuse MCBP bets on.
+    fn try_admit(
+        &mut self,
+        id: RequestId,
+        peak: u64,
+        priority: Priority,
+        keep_prefix: Option<PrefixId>,
+    ) -> bool {
         if self.pool.try_reserve(id, peak) {
             return true;
         }
-        let preempt = &self.sim.cfg.preempt;
-        if preempt.policy == EvictionPolicy::None {
-            return false;
-        }
-        // Feasibility first: evicting every allowed victim must make room,
-        // otherwise don't thrash the pool for nothing.
-        let evictable: u64 = self
-            .active
-            .iter()
-            .filter(|f| f.req.priority < priority)
-            .map(|f| {
-                self.pool
-                    .reservation(f.req.id)
-                    .expect("active request holds a reservation")
-                    .reserved_bytes
-            })
-            .sum();
+        // Feasibility first: evicting every allowed victim and reclaiming
+        // every warm prefix must make room, otherwise don't thrash the
+        // pool for nothing.
+        let evictable: u64 = if self.preempt.policy == EvictionPolicy::None {
+            0
+        } else {
+            self.active
+                .iter()
+                .filter(|f| f.req.priority < priority)
+                .map(|f| {
+                    self.pool
+                        .reservation(f.req.id)
+                        .expect("active request holds a reservation")
+                        .reserved_bytes
+                })
+                .sum()
+        };
+        let reclaimable = self.pool.reclaimable_prefix_bytes(keep_prefix);
         let free = self.pool.budget_bytes() - self.pool.reserved_bytes();
-        if free + evictable < peak {
+        if free + evictable + reclaimable < peak {
             return false;
         }
         while !self.pool.try_reserve(id, peak) {
             // Victim order: lowest class first; within it the youngest
             // admission (least sunk progress), ties broken by highest id.
-            let victim = self
-                .active
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| f.req.priority < priority)
-                .map(|(i, f)| (i, (f.req.priority, f.admitted_cycle, f.req.id)))
-                .reduce(|a, b| {
-                    let later = b.1 .0 < a.1 .0
-                        || (b.1 .0 == a.1 .0
-                            && (b.1 .1 > a.1 .1 || (b.1 .1 == a.1 .1 && b.1 .2 > a.1 .2)));
-                    if later {
-                        b
-                    } else {
-                        a
-                    }
-                })
-                .map(|(i, _)| i)
-                .expect("feasibility guaranteed a victim");
+            let victim = if self.preempt.policy == EvictionPolicy::None {
+                None
+            } else {
+                self.active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.req.priority < priority)
+                    .map(|(i, f)| (i, (f.req.priority, f.admitted_cycle, f.req.id)))
+                    .reduce(|a, b| {
+                        let later = b.1 .0 < a.1 .0
+                            || (b.1 .0 == a.1 .0
+                                && (b.1 .1 > a.1 .1 || (b.1 .1 == a.1 .1 && b.1 .2 > a.1 .2)));
+                        if later {
+                            b
+                        } else {
+                            a
+                        }
+                    })
+                    .map(|(i, _)| i)
+            };
+            let Some(victim) = victim else {
+                // Victims exhausted (or preemption disabled): reclaim one
+                // unreferenced resident prefix — feasibility guaranteed
+                // there is one to take.
+                let (_, bytes) = self
+                    .pool
+                    .reclaim_unreferenced_prefix(keep_prefix)
+                    .expect("feasibility guaranteed reclaimable bytes");
+                self.prefix_tally.reclaimed += 1;
+                self.prefix_tally.reclaimed_bytes += bytes;
+                continue;
+            };
             let f = self.active.remove(victim);
             let freed = self.pool.release(f.req.id);
+            if f.prefix_bytes > 0 {
+                // The victim's reference on its shared prefix drops with
+                // it; the entry itself stays resident (a warm cache line)
+                // and the resume path re-evaluates reuse against it.
+                self.pool
+                    .unref_prefix(f.req.prefix.expect("prefix bytes imply a prefix").id);
+            }
             self.tally.preemptions += 1;
-            let swapped_bytes = match preempt.policy {
-                EvictionPolicy::None => unreachable!("checked above"),
+            let swapped_bytes = match self.preempt.policy {
+                EvictionPolicy::None => unreachable!("victims require a policy"),
                 EvictionPolicy::DropRecompute => 0,
                 EvictionPolicy::Swap => {
                     if freed.resident_bytes > 0 {
                         // Swap-out: spill the victim's KV to host memory,
                         // stalling the device for the transfer.
-                        let cycles = preempt.transfer_cycles(freed.resident_bytes);
+                        let cycles = self.preempt.transfer_cycles(freed.resident_bytes);
                         self.now += cycles;
                         self.pool.advance_clock(self.now);
                         self.tally.swap_cycles += cycles;
@@ -753,8 +1089,8 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
     /// [`ServeConfig::step_token_budget`] allows (contract violations —
     /// failing loudly beats silently losing in-flight requests).
     pub(crate) fn step(&mut self, scheduler: &mut dyn Scheduler) -> usize {
-        let keep = self.sim.cost.template().attention_keep;
-        let model = self.sim.cost.template().model.clone();
+        let keep = self.cost().template().attention_keep;
+        let model = self.cost().template().model.clone();
         let waiting: Vec<SchedEntry> = self
             .active
             .iter()
@@ -839,7 +1175,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 .max_by_key(|&(_, done, upto, _)| (upto - done, upto))
                 .expect("non-empty");
             self.sim
-                .fleet_scaled(self.sim.cost.prefill_chunk_cost(done, upto, spans.len()))
+                .fleet_scaled(self.cost().prefill_chunk_cost(done, upto, spans.len()))
         });
         let decode_cost = (!decode_ids.is_empty()).then(|| {
             let mean_ctx = (decode_ids
@@ -852,10 +1188,9 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             // only their incremental cost; a pure decode step pays the
             // full invocation cost including the stream.
             let raw = if spans.is_empty() {
-                self.sim.cost.decode_cost(mean_ctx.max(1), decode_ids.len())
+                self.cost().decode_cost(mean_ctx.max(1), decode_ids.len())
             } else {
-                self.sim
-                    .cost
+                self.cost()
                     .piggyback_decode_cost(mean_ctx.max(1), decode_ids.len())
             };
             self.sim.fleet_scaled(raw)
@@ -897,14 +1232,30 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     f.first_token_cycle = self.now; // prompt-only request
                 }
                 // Residency grows per chunk: the KV bytes of the
-                // prefilled prefix, never past the peak reservation.
+                // prefilled prefix — minus any share the shared-prefix
+                // ledger already holds — never past the peak reservation.
+                let prefix_bytes = f.prefix_bytes;
                 let reserved = self
                     .pool
                     .reservation(id)
                     .expect("prefilling request holds a reservation");
-                let target = request_kv_bytes(&model, upto, keep).min(reserved.reserved_bytes);
+                let target = request_kv_bytes(&model, upto, keep)
+                    .saturating_sub(prefix_bytes)
+                    .min(reserved.reserved_bytes);
                 self.pool
                     .grow_resident(id, target.saturating_sub(reserved.resident_bytes));
+                // Crossing the declared prefix boundary materializes the
+                // shared prefix: its KV bytes move out of this request's
+                // reservation into the pool's refcounted prefix ledger
+                // (or, if another request got there first, the duplicate
+                // copy is shed back to the pool).
+                let f = lookup_mut(&mut self.active, id);
+                if let Some(p) = f.req.prefix {
+                    if p.tokens > 0 && f.prefix_bytes == 0 && upto >= p.tokens {
+                        let bytes = request_kv_bytes(&model, p.tokens, keep);
+                        f.prefix_bytes = self.pool.promote_prefix(id, p.id, p.tokens, bytes);
+                    }
+                }
             }
         }
 
@@ -919,11 +1270,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     f.first_token_cycle = self.now;
                 }
                 let context = f.context();
+                let prefix_bytes = f.prefix_bytes;
                 let reserved = self
                     .pool
                     .reservation(*id)
                     .expect("decoding request holds a reservation");
-                let target = request_kv_bytes(&model, context, keep).min(reserved.reserved_bytes);
+                let target = request_kv_bytes(&model, context, keep)
+                    .saturating_sub(prefix_bytes)
+                    .min(reserved.reserved_bytes);
                 self.pool
                     .grow_resident(*id, target.saturating_sub(reserved.resident_bytes));
             }
@@ -943,6 +1297,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             }
             let f = self.active.remove(i);
             self.pool.release(f.req.id);
+            if f.prefix_bytes > 0 {
+                // Completion drops the reference; the prefix entry stays
+                // resident as a warm cache line for future arrivals.
+                self.pool
+                    .unref_prefix(f.req.prefix.expect("prefix bytes imply a prefix").id);
+            }
             self.records.push(RequestRecord {
                 state: RequestState::Completed,
                 admitted_cycle: f.admitted_cycle,
@@ -992,6 +1352,17 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             } else {
                 self.step_tally.utilization_sum / self.step_tally.steps as f64
             },
+        }
+    }
+
+    /// This device's prefix-cache statistics.
+    pub(crate) fn prefix_report(&self) -> PrefixReport {
+        PrefixReport {
+            hits: self.prefix_tally.hits,
+            misses: self.prefix_tally.misses,
+            reused_tokens: self.prefix_tally.reused_tokens,
+            reclaimed: self.prefix_tally.reclaimed,
+            reclaimed_bytes: self.prefix_tally.reclaimed_bytes,
         }
     }
 
@@ -1195,6 +1566,7 @@ mod tests {
         let w = LoadGenerator {
             task_mix: vec![Task::cola(), Task::dolly()],
             class_mix: vec![RequestClass::default()],
+            prefix_mix: vec![None],
             count: 10,
             process: ArrivalProcess::ClosedLoop { concurrency: 2 },
         }

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use mcbp_serve::{KvCachePool, SwapLedger};
+use mcbp_serve::{KvCachePool, PrefixId, SwapLedger};
 use proptest::prelude::*;
 
 /// Shadow of one request's ledger entry.
@@ -144,6 +144,135 @@ proptest! {
         prop_assert_eq!(pool.resident_bytes(), 0);
         prop_assert!(ledger.is_empty());
         prop_assert_eq!(ledger.total_out_bytes(), ledger.total_in_bytes());
+    }
+
+    /// The resident-prefix ledger under arbitrary legal
+    /// promote/ref/unref/release/reclaim interleavings: refcounts and
+    /// bytes are conserved (pool totals always equal request ledger +
+    /// prefix ledger sums), pinned prefixes (refs > 0) are never
+    /// reclaimed, and reclamation frees exactly the entry's bytes.
+    #[test]
+    fn prefix_ledger_conserves_bytes_and_pins_referenced_entries(
+        budget in 10_000u64..200_000,
+        ops in collection::vec((0u8..5, 0u64..6, 1u64..8_000), 1..120),
+    ) {
+        let mut pool = KvCachePool::with_budget(budget);
+        // Shadows: requests -> (reserved, resident); prefixes -> (bytes, refs).
+        let mut requests: BTreeMap<u64, Shadow> = BTreeMap::new();
+        let mut prefixes: BTreeMap<PrefixId, (u64, usize)> = BTreeMap::new();
+        let mut next_id = 64u64;
+        for (op, hint, bytes) in ops {
+            match op {
+                // Admit a fresh request and materialize all its bytes.
+                0 => {
+                    next_id += 1;
+                    if pool.try_reserve(next_id, bytes) {
+                        pool.grow_resident(next_id, bytes);
+                        requests.insert(next_id, Shadow { reserved: bytes, resident: bytes });
+                    }
+                }
+                // Promote a prefix out of a fully-materialized request
+                // (create or shed — the pool handles both).
+                1 => {
+                    let picked = requests
+                        .iter()
+                        .filter(|(_, s)| s.resident > 0)
+                        .nth(hint as usize % requests.len().max(1))
+                        .map(|(id, s)| (*id, *s));
+                    if let Some((rid, s)) = picked {
+                        let pid = hint % 3; // few ids, so shed paths trigger
+                        let share = match prefixes.get(&pid) {
+                            // An existing entry fixes the promotable shape.
+                            Some(&(b, _)) if b <= s.resident => b,
+                            Some(_) => continue,
+                            None => (s.resident / 2).max(1),
+                        };
+                        pool.promote_prefix(rid, pid, 16, share);
+                        let sh = requests.get_mut(&rid).expect("live");
+                        sh.reserved -= share;
+                        sh.resident -= share;
+                        let entry = prefixes.entry(pid).or_insert((share, 0));
+                        entry.1 += 1;
+                    }
+                }
+                // Unref (and maybe re-ref) a prefix.
+                2 => {
+                    let picked = prefixes
+                        .iter()
+                        .filter(|(_, (_, refs))| *refs > 0)
+                        .nth(hint as usize % prefixes.len().max(1))
+                        .map(|(id, _)| *id);
+                    if let Some(pid) = picked {
+                        pool.unref_prefix(pid);
+                        prefixes.get_mut(&pid).expect("present").1 -= 1;
+                        if hint % 2 == 0 {
+                            pool.ref_prefix(pid);
+                            prefixes.get_mut(&pid).expect("present").1 += 1;
+                        }
+                    }
+                }
+                // Release a request (its prefix refs are the caller's job;
+                // this model tracks them separately).
+                3 => {
+                    let picked = requests
+                        .keys()
+                        .nth(hint as usize % requests.len().max(1))
+                        .copied();
+                    if let Some(rid) = picked {
+                        let s = requests.remove(&rid).expect("live");
+                        let freed = pool.release(rid);
+                        prop_assert_eq!(freed.reserved_bytes, s.reserved);
+                        prop_assert_eq!(freed.resident_bytes, s.resident);
+                    }
+                }
+                // Reclaim one unreferenced prefix; pinned entries survive.
+                _ => {
+                    let reclaimable: Vec<PrefixId> = prefixes
+                        .iter()
+                        .filter(|(_, (_, refs))| *refs == 0)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    match pool.reclaim_unreferenced_prefix(None) {
+                        Some((pid, freed)) => {
+                            // Deterministic order: the lowest unreferenced id.
+                            prop_assert_eq!(Some(&pid), reclaimable.first());
+                            let (bytes, refs) = prefixes.remove(&pid).expect("shadowed");
+                            prop_assert_eq!(refs, 0, "pinned prefixes are never reclaimed");
+                            prop_assert_eq!(freed, bytes);
+                        }
+                        None => prop_assert!(reclaimable.is_empty()),
+                    }
+                }
+            }
+            // Conservation: pool totals = request ledger + prefix ledger.
+            let req_reserved: u64 = requests.values().map(|s| s.reserved).sum();
+            let req_resident: u64 = requests.values().map(|s| s.resident).sum();
+            let pre_bytes: u64 = prefixes.values().map(|(b, _)| b).sum();
+            prop_assert_eq!(pool.reserved_bytes(), req_reserved + pre_bytes);
+            prop_assert_eq!(pool.resident_bytes(), req_resident + pre_bytes);
+            prop_assert!(pool.reserved_bytes() <= pool.budget_bytes());
+            prop_assert_eq!(pool.prefix_bytes(), pre_bytes);
+            for (pid, (bytes, refs)) in &prefixes {
+                let e = pool.prefix(*pid).expect("shadowed prefix is resident");
+                prop_assert_eq!(e.bytes, *bytes);
+                prop_assert_eq!(e.refs, *refs);
+            }
+        }
+        // Drain: release every request, unref every reference, reclaim
+        // every entry — the pool must come back to exactly zero.
+        for (rid, _) in std::mem::take(&mut requests) {
+            pool.release(rid);
+        }
+        for (pid, (_, refs)) in &prefixes {
+            for _ in 0..*refs {
+                pool.unref_prefix(*pid);
+            }
+        }
+        while pool.reclaim_unreferenced_prefix(None).is_some() {}
+        prop_assert!(pool.is_idle());
+        prop_assert_eq!(pool.reserved_bytes(), 0);
+        prop_assert_eq!(pool.resident_bytes(), 0);
+        prop_assert_eq!(pool.prefix_bytes(), 0);
     }
 
     /// Peak statistics are monotone high-water marks: they never decrease,

@@ -98,6 +98,7 @@ fn workload_from(raw: &[RawRequest]) -> Workload {
                     Priority::Batch
                 },
                 slo: SloSpec::none(),
+                prefix: None,
             }
         })
         .collect();
@@ -361,6 +362,7 @@ fn budget_none_equivalence_holds_on_a_bursty_class_mix() {
     let load = LoadGenerator {
         task_mix: vec![Task::dolly().with_decode(8), Task::cola().with_decode(16)],
         class_mix: vec![RequestClass::interactive(0.5, 0.05), RequestClass::batch()],
+        prefix_mix: vec![None],
         count: 14,
         process: ArrivalProcess::Bursty {
             rate_rps: 2000.0,

@@ -110,6 +110,63 @@ pub trait Accelerator {
     fn run(&self, ctx: &TraceContext) -> RunReport;
 }
 
+/// A latency-derated view of another accelerator: every cycle component
+/// of both phases is scaled by `slowdown`, energy is unchanged. The
+/// stand-in for a previous device generation in heterogeneous-fleet
+/// studies (same microarchitecture, slower process/clock).
+pub struct Derated<'a> {
+    inner: &'a dyn Accelerator,
+    slowdown: f64,
+    name: String,
+}
+
+impl<'a> Derated<'a> {
+    /// Wraps `inner`, scaling every latency component by `slowdown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown` is finite and positive.
+    #[must_use]
+    pub fn new(inner: &'a dyn Accelerator, slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown > 0.0,
+            "slowdown must be finite and positive"
+        );
+        Derated {
+            name: format!("{}/{slowdown}x", inner.name()),
+            inner,
+            slowdown,
+        }
+    }
+
+    /// The configured latency slowdown factor.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+}
+
+impl Accelerator for Derated<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&self, ctx: &TraceContext) -> RunReport {
+        let slow = |p: PhaseCost| PhaseCost {
+            gemm_cycles: p.gemm_cycles * self.slowdown,
+            weight_load_cycles: p.weight_load_cycles * self.slowdown,
+            kv_load_cycles: p.kv_load_cycles * self.slowdown,
+            other_cycles: p.other_cycles * self.slowdown,
+            ..p
+        };
+        let r = self.inner.run(ctx);
+        RunReport {
+            prefill: slow(r.prefill),
+            decode: slow(r.decode),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +188,49 @@ mod tests {
         let mut q = p;
         q.absorb(&p);
         assert_eq!(q.total_cycles(), 20.0);
+    }
+
+    struct Unit;
+
+    impl Accelerator for Unit {
+        fn name(&self) -> &str {
+            "unit"
+        }
+
+        fn run(&self, _ctx: &TraceContext) -> RunReport {
+            RunReport {
+                prefill: PhaseCost {
+                    gemm_cycles: 10.0,
+                    compute_pj: 5.0,
+                    ..Default::default()
+                },
+                decode: PhaseCost {
+                    weight_load_cycles: 20.0,
+                    offchip_pj: 7.0,
+                    ..Default::default()
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn derated_scales_latency_not_energy() {
+        let unit = Unit;
+        let generator = crate::WeightGenerator::for_model(&LlmConfig::opt1b3());
+        let ctx = TraceContext {
+            model: LlmConfig::opt1b3(),
+            task: Task::cola(),
+            batch: 1,
+            weight_profile: SparsityProfile::measure(&generator.quantized_sample(4, 16, 1), 4),
+            attention_keep: 1.0,
+        };
+        let slow = Derated::new(&unit, 2.5);
+        let r = slow.run(&ctx);
+        assert!((r.prefill.gemm_cycles - 25.0).abs() < 1e-12);
+        assert!((r.decode.weight_load_cycles - 50.0).abs() < 1e-12);
+        assert!((r.total_pj() - 12.0).abs() < 1e-12, "energy unchanged");
+        assert_eq!(slow.name(), "unit/2.5x");
+        assert!((slow.slowdown() - 2.5).abs() < 1e-12);
     }
 
     #[test]

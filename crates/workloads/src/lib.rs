@@ -36,7 +36,7 @@ mod tasks;
 mod trace;
 mod weights;
 
-pub use accel::{Accelerator, PhaseCost, RunReport, TraceContext};
+pub use accel::{Accelerator, Derated, PhaseCost, RunReport, TraceContext};
 pub use fleet::Fleet;
 pub use tasks::{Task, TaskKind};
 pub use trace::{build_trace, trace_totals, PhaseTag, TraceTotals, TracedOp};

@@ -1,7 +1,7 @@
 //! Serving walkthrough: drive one MCBP device under multi-request load
 //! with the `mcbp::serve` subsystem.
 //!
-//! Six acts:
+//! Eight acts:
 //!  1. The same Poisson trace under FCFS vs continuous batching —
 //!     coalescing amortizes the per-step weight stream, so continuous
 //!     batching sustains strictly higher goodput.
@@ -23,11 +23,18 @@
 //!     tokens piggyback on every prefill chunk (Sarathi-style), so a
 //!     decode stream's inter-token latency stops stalling behind an
 //!     8k-token prefill entirely.
+//!  8. Heterogeneous fleets + prefix routing: a mixed-generation fleet
+//!     described by per-device `DeviceProfile`s, where prefix-affinity
+//!     routing keeps each tenant's shared system prompt resident on one
+//!     device — arriving requests prefill only their unshared suffix.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use mcbp::prelude::*;
-use mcbp::serve::{ArrivalProcess, DispatchPolicy, LoadGenerator, Request, ServeConfig, Workload};
+use mcbp::serve::{
+    request_kv_bytes, ArrivalProcess, DispatchPolicy, LoadGenerator, Request, ServeConfig, Workload,
+};
+use mcbp::workloads::Derated;
 use mcbp::Fleet;
 
 fn main() {
@@ -176,6 +183,7 @@ fn main() {
     let skewed = LoadGenerator {
         task_mix: vec![Task::mnli().with_decode(32), Task::cola().with_decode(32)],
         class_mix: vec![RequestClass::batch()],
+        prefix_mix: vec![None],
         count: 48,
         process: ArrivalProcess::Bursty {
             rate_rps: 24.0,
@@ -285,4 +293,63 @@ fn main() {
         alt_tpot * 1e3,
         alt_tpot / mixed_tpot
     );
+
+    // ----- 8. Heterogeneous fleets + prefix-affinity routing -----
+    println!("\n=== act 8: mixed-generation fleet + prefix-affinity routing ===");
+    // A previous-generation device: the same accelerator at 2.5x the
+    // latency (energy unchanged).
+    let old_gen = Derated::new(engine.simulator(), 2.5);
+    // Two tenants share 7680 of their 8192 prompt tokens; each device's
+    // pool holds exactly one resident prefix.
+    let prefix_bytes = request_kv_bytes(&model, 7680, 0.3);
+    let working = request_kv_bytes(&model, Task::dolly().with_decode(16).final_context(), 0.3);
+    let tight = ServeConfig {
+        kv_budget_bytes: Some(prefix_bytes + working / 2),
+        ..ServeConfig::default()
+    };
+    let sim = engine.serve_sim(0.3, tight);
+    let fast = sim.cost_model().decode_rate(512, 8);
+    let fleet_profiles = [
+        DeviceProfile::uniform().with_throughput(fast),
+        DeviceProfile::uniform()
+            .with_accel(&old_gen)
+            .with_throughput(fast / 2.5),
+    ];
+    let tenants = LoadGenerator {
+        task_mix: vec![Task::dolly().with_decode(16)],
+        class_mix: vec![RequestClass::interactive(2.0, 0.1)],
+        prefix_mix: vec![
+            Some(SharedPrefix::new(0, 7680)),
+            Some(SharedPrefix::new(1, 7680)),
+        ],
+        count: 32,
+        process: ArrivalProcess::Poisson {
+            rate_rps: 0.6,
+            seed: 0x4d43_4250,
+        },
+    }
+    .generate();
+    let routed = |policy: DispatchPolicy| {
+        sim.run_fleet_profiles(&tenants, &fleet_profiles, policy, &mut || {
+            Box::new(ContinuousBatchScheduler::new())
+        })
+    };
+    let blind = routed(DispatchPolicy::WeightedJsq);
+    let affine = routed(DispatchPolicy::PrefixAffinity);
+    assert!(affine.prefix.hits > blind.prefix.hits);
+    println!(
+        "affinity-blind wjsq: {}/{} prefix hits, mean TTFT {:.2} s",
+        blind.prefix.hits,
+        blind.prefix.hits + blind.prefix.misses,
+        blind.ttft.mean
+    );
+    println!(
+        "prefix affinity:     {}/{} prefix hits, mean TTFT {:.2} s \
+         ({} prefill tokens never recomputed)",
+        affine.prefix.hits,
+        affine.prefix.hits + affine.prefix.misses,
+        affine.ttft.mean,
+        affine.prefix.reused_tokens
+    );
+    assert!(affine.ttft.mean < blind.ttft.mean);
 }

@@ -219,6 +219,7 @@ fn fleet_dispatch_is_deterministic_per_policy() {
     let load = LoadGenerator {
         task_mix: vec![Task::dolly().with_decode(8), Task::cola().with_decode(8)],
         class_mix: vec![mcbp::serve::RequestClass::batch()],
+        prefix_mix: vec![None],
         count: 12,
         process: ArrivalProcess::Poisson {
             rate_rps: 40.0,

@@ -160,6 +160,7 @@ fn budgeted_fleet_runs_conserve_and_replay() {
     let load = LoadGenerator {
         task_mix: vec![Task::dolly().with_decode(8), Task::mnli().with_decode(24)],
         class_mix: vec![RequestClass::batch()],
+        prefix_mix: vec![None],
         count: 12,
         process: ArrivalProcess::Poisson {
             rate_rps: 40.0,
