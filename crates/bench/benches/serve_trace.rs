@@ -1,0 +1,113 @@
+//! Trace-subsystem micro-benchmark: wall time of a full diurnal serving
+//! simulation versus its trace-sampled estimate, plus the encode/decode
+//! cost of the binary trace format. Besides the criterion timings, a
+//! custom `main` writes `BENCH_serving_trace.json` next to the target
+//! directory with the measured speedup and the sampled-sim error bounds
+//! so CI can track the subsystem's headline numbers as data.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use mcbp::prelude::*;
+use mcbp::serve::{ArrivalProcess, LoadGenerator, RequestClass, Workload};
+use mcbp::trace::{from_bytes, to_bytes, SampledSim, SamplerConfig};
+
+const SEED: u64 = 0x4d43_4250;
+
+fn diurnal(count: usize) -> Workload {
+    LoadGenerator {
+        task_mix: vec![Task::mnli().with_decode(32)],
+        class_mix: vec![RequestClass::interactive(1.0, 0.1), RequestClass::batch()],
+        prefix_mix: vec![None],
+        count,
+        process: ArrivalProcess::Diurnal {
+            rate_rps: 0.15,
+            amplitude: 0.7,
+            period_s: 3600.0,
+            seed: SEED,
+        },
+    }
+    .generate()
+}
+
+fn sampler() -> SampledSim {
+    SampledSim::new(SamplerConfig {
+        windows: 96,
+        clusters: 4,
+        ..SamplerConfig::default()
+    })
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let load = diurnal(512);
+    let (_, trace) = sim.run_traced(&load, &mut PriorityScheduler::new());
+    let bytes = to_bytes(&trace).expect("serialize");
+
+    let mut group = c.benchmark_group("serve_trace");
+    group.sample_size(10);
+    group.bench_function("full_sim", |b| {
+        b.iter(|| sim.run(&load, &mut PriorityScheduler::new()))
+    });
+    group.bench_function("sampled_sim", |b| {
+        let s = sampler();
+        b.iter(|| {
+            s.run(&trace, &mut |w| sim.run(w, &mut PriorityScheduler::new()))
+                .expect("sampling succeeds")
+        })
+    });
+    group.bench_function("encode", |b| {
+        b.iter(|| to_bytes(&trace).expect("serialize"))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| from_bytes(&bytes).expect("deserialize"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+
+/// One headline measurement, dumped as JSON for CI trend tracking.
+fn write_summary() {
+    let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let load = diurnal(1536);
+
+    let t0 = Instant::now();
+    let (full, trace) = sim.run_traced(&load, &mut PriorityScheduler::new());
+    let full_wall_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let sampled = sampler()
+        .run(&trace, &mut |w| sim.run(w, &mut PriorityScheduler::new()))
+        .expect("sampling succeeds");
+    let sampled_wall_s = t1.elapsed().as_secs_f64();
+
+    let encoded_bytes = to_bytes(&trace).expect("serialize").len();
+    let json = format!(
+        concat!(
+            "{{\"experiment\":\"serving_trace\",",
+            "\"full_steps\":{},\"sampled_steps\":{},\"step_fraction\":{},",
+            "\"full_wall_s\":{},\"sampled_wall_s\":{},",
+            "\"goodput_rel_err\":{},\"ttft_p95_rel_err\":{},",
+            "\"encoded_bytes\":{},\"phases\":{}}}"
+        ),
+        full.steps.steps,
+        sampled.simulated_steps,
+        sampled.step_fraction(),
+        full_wall_s,
+        sampled_wall_s,
+        sampled.goodput_error(&full),
+        sampled.ttft_p95_error(&full),
+        encoded_bytes,
+        sampled.phases.len(),
+    );
+    std::fs::write("BENCH_serving_trace.json", &json).expect("write summary");
+    println!("wrote BENCH_serving_trace.json: {json}");
+}
+
+fn main() {
+    benches();
+    write_summary();
+}

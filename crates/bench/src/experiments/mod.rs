@@ -5,6 +5,7 @@ mod architecture;
 mod comparison;
 mod motivation;
 mod serving;
+mod trace;
 
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
@@ -13,6 +14,7 @@ pub use serving::{
     serving, serving_capacity, serving_fleet, serving_hetero, serving_mixed, serving_models,
     serving_slo,
 };
+pub use trace::serving_trace;
 
 /// All experiment ids in paper order.
 #[must_use]
@@ -47,6 +49,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "serving_mixed",
         "serving_hetero",
         "serving_models",
+        "serving_trace",
     ]
 }
 
@@ -86,6 +89,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "serving_mixed" => Ok(serving_mixed()),
         "serving_hetero" => Ok(serving_hetero()),
         "serving_models" => Ok(serving_models()),
+        "serving_trace" => Ok(serving_trace()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

@@ -1,0 +1,161 @@
+//! Trace record/replay + sampled-simulation experiment: record a
+//! multi-hour diurnal serving run, round-trip it through the binary
+//! trace format, prove the replay reproduces the original report
+//! bit-exactly, then run the SimPoint-style phase sampler and show it
+//! recovers full-run goodput and interactive p95 TTFT from a small
+//! fraction of the simulated steps. Every claim in the rendered table
+//! is also asserted, so `repro serving_trace` doubles as an
+//! acceptance test.
+
+use mcbp::prelude::*;
+use mcbp::serve::{ArrivalProcess, LoadGenerator, PriorityScheduler, RequestClass, Workload};
+use mcbp::trace::{
+    from_bytes, interactive_ttft_p95, to_bytes, verify_replay, SampledSim, SamplerConfig,
+    TraceStats,
+};
+
+use crate::{f2, render_table, SEED, STANDARD_KEEP};
+
+/// The recorded workload: a ~3-hour diurnal trace (hour-long period,
+/// 70% swing) of MNLI-shaped prompts, half interactive with a TTFT
+/// SLO, half batch.
+fn diurnal_day(count: usize) -> Workload {
+    LoadGenerator {
+        task_mix: vec![Task::mnli().with_decode(32)],
+        class_mix: vec![RequestClass::interactive(1.0, 0.1), RequestClass::batch()],
+        prefix_mix: vec![None],
+        count,
+        process: ArrivalProcess::Diurnal {
+            rate_rps: 0.15,
+            amplitude: 0.7,
+            period_s: 3600.0,
+            seed: SEED,
+        },
+    }
+    .generate()
+}
+
+/// Record → serialize → replay → sample. Asserts the paper-style
+/// acceptance bounds: bit-exact replay, ≤20% of full-run steps
+/// simulated (≥5× reduction), and ≤5% relative error on goodput and
+/// interactive p95 TTFT.
+#[must_use]
+pub fn serving_trace() -> String {
+    let engine = Engine::new(LlmConfig::opt1b3(), SEED);
+    let sim = engine.serve_sim(STANDARD_KEEP, ServeConfig::default());
+    let load = diurnal_day(1536);
+
+    // Record the full run and check recording is a pure observer.
+    let (full, trace) = sim.run_traced(&load, &mut PriorityScheduler::new());
+    assert_eq!(full, sim.run(&load, &mut PriorityScheduler::new()));
+
+    // Round-trip the binary format and replay the restored trace:
+    // the report must reproduce bit-exactly.
+    let bytes = to_bytes(&trace).expect("trace serializes");
+    let restored = from_bytes(&bytes).expect("trace deserializes");
+    assert_eq!(trace, restored);
+    let replayed = verify_replay(&restored, &full, |w| {
+        sim.run(w, &mut PriorityScheduler::new())
+    })
+    .expect("replay is bit-exact");
+    assert_eq!(replayed, full);
+    let stats = TraceStats::collect(&restored, bytes.len() as u64);
+
+    // Sampled simulation: cluster the recorded windows into phases and
+    // simulate only the representatives.
+    // 96 windows (~2-minute granularity over the ~3-hour span) give the
+    // clusterer enough resolution to isolate the diurnal peak, trough,
+    // and the two shoulders; four phases then cover the day with ~7% of
+    // the full run's steps.
+    let sampler = SampledSim::new(SamplerConfig {
+        windows: 96,
+        clusters: 4,
+        ..SamplerConfig::default()
+    });
+    let sampled = sampler
+        .run(&restored, &mut |w| {
+            sim.run(w, &mut PriorityScheduler::new())
+        })
+        .expect("sampling succeeds");
+
+    let step_fraction = sampled.step_fraction();
+    let goodput_err = sampled.goodput_error(&full);
+    let ttft_err = sampled.ttft_p95_error(&full);
+    let full_ttft = interactive_ttft_p95(&full);
+    assert!(
+        step_fraction <= 0.20,
+        "sampled sim ran {:.1}% of full-run steps (want ≤20%)",
+        step_fraction * 100.0
+    );
+    assert!(
+        goodput_err <= 0.05,
+        "goodput error {:.2}% (want ≤5%): sampled {} vs full {}",
+        goodput_err * 100.0,
+        sampled.goodput_tokens_per_s,
+        full.goodput_tokens_per_s
+    );
+    assert!(
+        ttft_err <= 0.05,
+        "interactive p95 TTFT error {:.2}% (want ≤5%): sampled {} vs full {}",
+        ttft_err * 100.0,
+        sampled.interactive_ttft_p95_s,
+        full_ttft
+    );
+
+    let rows = vec![
+        vec![
+            "full".into(),
+            format!("{}", full.steps.steps),
+            "100.0".into(),
+            f2(full.goodput_tokens_per_s),
+            "—".into(),
+            format!("{:.4}", full_ttft),
+            "—".into(),
+        ],
+        vec![
+            "sampled".into(),
+            format!("{}", sampled.simulated_steps),
+            format!("{:.1}", step_fraction * 100.0),
+            f2(sampled.goodput_tokens_per_s),
+            format!("{:.2}%", goodput_err * 100.0),
+            format!("{:.4}", sampled.interactive_ttft_p95_s),
+            format!("{:.2}%", ttft_err * 100.0),
+        ],
+    ];
+    let mut out = render_table(
+        &format!(
+            "Sampled simulation of a {:.1}-hour diurnal trace ({} phases, replay bit-exact)",
+            stats.span_seconds / 3600.0,
+            sampled.phases.len()
+        ),
+        &[
+            "run",
+            "steps",
+            "steps %",
+            "goodput tok/s",
+            "err",
+            "p95 TTFT s",
+            "err",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\n{stats}\nspeedup: {:.1}x fewer simulated steps\n",
+        1.0 / step_fraction
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The experiment's asserts are the acceptance criteria; running it
+    /// end-to-end (on the same trace the CLI uses) is the test.
+    #[test]
+    fn serving_trace_meets_its_bounds() {
+        let out = serving_trace();
+        assert!(out.contains("sampled"));
+        assert!(out.contains("speedup"));
+    }
+}

@@ -72,6 +72,8 @@ pub use mcbp_quant as quant;
 pub use mcbp_serve as serve;
 /// The cycle-level MCBP accelerator model.
 pub use mcbp_sim as sim;
+/// Serving-trace record/replay and SimPoint-style sampled simulation.
+pub use mcbp_trace as trace;
 /// Tasks, synthetic weights, traces, the `Accelerator` interface.
 pub use mcbp_workloads as workloads;
 

@@ -40,6 +40,25 @@ pub enum ArrivalProcess {
         /// RNG seed for the inter-arrival draws.
         seed: u64,
     },
+    /// Sinusoidally modulated Poisson: the instantaneous rate swings
+    /// around `rate_rps` as `rate_rps · (1 + amplitude · sin(2πt /
+    /// period_s))`, modeling the diurnal peak/trough cycle of real
+    /// serving traffic. Each inter-arrival gap is an exponential draw at
+    /// the instantaneous rate, so traces span distinct load *phases* —
+    /// the structure the SimPoint-style trace sampler clusters on.
+    Diurnal {
+        /// Mean (mid-swing) arrival rate in requests per second.
+        rate_rps: f64,
+        /// Relative swing around the mean, in `[0, 1)`: the rate peaks
+        /// at `(1 + amplitude) ×` and bottoms out at `(1 - amplitude) ×`
+        /// the mean.
+        amplitude: f64,
+        /// Period of one full rate cycle in seconds (e.g. 86400 for a
+        /// true day, shorter for compressed experiments).
+        period_s: f64,
+        /// RNG seed for the inter-arrival draws.
+        seed: u64,
+    },
 }
 
 /// One slot of a [`LoadGenerator`]'s class mix: the scheduling class and
@@ -254,6 +273,39 @@ impl LoadGenerator {
                     closed_loop: None,
                 }
             }
+            ArrivalProcess::Diurnal {
+                rate_rps,
+                amplitude,
+                period_s,
+                seed,
+            } => {
+                assert!(*rate_rps > 0.0, "rate must be positive");
+                assert!(
+                    (0.0..1.0).contains(amplitude),
+                    "amplitude must be in [0, 1)"
+                );
+                assert!(*period_s > 0.0, "period must be positive");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let period_cycles = period_s * CLOCK_HZ;
+                let mut now = 0.0f64;
+                let requests = (0..self.count)
+                    .map(|i| {
+                        // Per-gap approximation of the inhomogeneous
+                        // process: each gap is exponential at the rate in
+                        // effect when the previous request arrived. Gaps
+                        // are short relative to the period, so the local
+                        // rate barely moves within one.
+                        let phase = 2.0 * std::f64::consts::PI * now / period_cycles;
+                        let rate = rate_rps * (1.0 + amplitude * phase.sin());
+                        now += exponential_gap(&mut rng, CLOCK_HZ / rate);
+                        classed(i, Request::from_task(i as u64, task(i), now))
+                    })
+                    .collect();
+                Workload {
+                    requests,
+                    closed_loop: None,
+                }
+            }
         }
     }
 }
@@ -322,6 +374,82 @@ mod tests {
             lead_mean > 4.0 * in_mean,
             "lead {lead_mean} vs in-burst {in_mean}"
         );
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_sorted_and_rate_preserving() {
+        let generator = LoadGenerator::uniform(
+            Task::cola(),
+            512,
+            ArrivalProcess::Diurnal {
+                rate_rps: 40.0,
+                amplitude: 0.6,
+                period_s: 8.0,
+                seed: 11,
+            },
+        );
+        let a = generator.generate();
+        let b = generator.generate();
+        assert_eq!(a, b);
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_cycle <= w[1].arrival_cycle));
+        let rps = a.offered_rps().unwrap();
+        assert!(rps > 20.0 && rps < 80.0, "offered {rps}");
+    }
+
+    #[test]
+    fn diurnal_peak_quarter_outdraws_trough_quarter() {
+        // With amplitude 0.8 the first quarter-period runs near 1.8× the
+        // mean rate and the third quarter near 0.2×: the peak quarter
+        // must land far more arrivals than the trough quarter.
+        let period_s = 16.0;
+        let w = LoadGenerator::uniform(
+            Task::cola(),
+            2048,
+            ArrivalProcess::Diurnal {
+                rate_rps: 64.0,
+                amplitude: 0.8,
+                period_s,
+                seed: 3,
+            },
+        )
+        .generate();
+        let quarter = period_s * CLOCK_HZ / 4.0;
+        let in_quarter = |q: usize| {
+            w.requests
+                .iter()
+                .filter(|r| {
+                    let pos = r.arrival_cycle % (period_s * CLOCK_HZ);
+                    pos >= q as f64 * quarter && pos < (q + 1) as f64 * quarter
+                })
+                .count()
+        };
+        // Quarter-averaged rates are (1 ± 0.8·2/π)× the mean — a ~3×
+        // density ratio in expectation; 2.5× leaves sampling slack.
+        let peak = in_quarter(0) as f64;
+        let trough = in_quarter(2) as f64;
+        assert!(
+            peak > 2.5 * trough,
+            "peak quarter {peak} vs trough quarter {trough}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_amplitude_of_one() {
+        let _ = LoadGenerator::uniform(
+            Task::cola(),
+            2,
+            ArrivalProcess::Diurnal {
+                rate_rps: 10.0,
+                amplitude: 1.0,
+                period_s: 60.0,
+                seed: 0,
+            },
+        )
+        .generate();
     }
 
     #[test]

@@ -60,6 +60,7 @@ use std::collections::VecDeque;
 
 use crate::arrival::Workload;
 use crate::profile::DeviceProfile;
+use crate::record::{RunTrace, TraceEvent};
 use crate::report::{
     DeviceReport, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport, StepReport,
 };
@@ -383,6 +384,53 @@ impl<'a> ServeSim<'a> {
         self.try_run_fleet_with_router(workload, profiles, &mut router, make_scheduler)
     }
 
+    /// Like [`ServeSim::run_fleet_profiles`], but additionally records
+    /// the fleet run's full arrival/admission/schedule/preemption history
+    /// (see [`crate::RunTrace`]). The traced run is bit-exact with the
+    /// untraced one, and replaying the returned trace's workload under
+    /// the same fleet/policy/scheduler reproduces the report bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ServeSim::run_fleet_profiles`] would.
+    #[must_use]
+    pub fn run_fleet_profiles_traced(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        policy: DispatchPolicy,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> (ServeReport, RunTrace) {
+        match self.try_run_fleet_profiles_traced(workload, profiles, policy, make_scheduler) {
+            Ok(out) => out,
+            Err(e) => panic!("invalid fleet run: {e}"),
+        }
+    }
+
+    /// Like [`ServeSim::run_fleet_profiles_traced`], but rejects an
+    /// invalid fleet or workload with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the errors [`ServeSim::try_run_fleet_profiles`] would.
+    pub fn try_run_fleet_profiles_traced(
+        &self,
+        workload: &Workload,
+        profiles: &[DeviceProfile<'a>],
+        policy: DispatchPolicy,
+        make_scheduler: &mut dyn FnMut() -> Box<dyn Scheduler>,
+    ) -> Result<(ServeReport, RunTrace), ServeConfigError> {
+        DeviceProfile::validate_fleet(profiles)?;
+        ServeSim::validate_workload(workload)?;
+        let mut router = policy.router();
+        let mut scheds: Vec<Box<dyn Scheduler>> =
+            (0..profiles.len()).map(|_| make_scheduler()).collect();
+        let mut refs: Vec<&mut dyn Scheduler> =
+            scheds.iter_mut().map(|s| s.as_mut() as _).collect();
+        let (report, trace) = drive(self, workload, &mut refs, profiles, &mut router, true);
+        Ok((report, trace.expect("tracing was requested")))
+    }
+
     /// Runs one workload across a profiled fleet under a **custom**
     /// [`Router`].
     ///
@@ -426,7 +474,7 @@ impl<'a> ServeSim<'a> {
             (0..profiles.len()).map(|_| make_scheduler()).collect();
         let mut refs: Vec<&mut dyn Scheduler> =
             scheds.iter_mut().map(|s| s.as_mut() as _).collect();
-        Ok(drive(self, workload, &mut refs, profiles, router))
+        Ok(drive(self, workload, &mut refs, profiles, router, false).0)
     }
 }
 
@@ -470,19 +518,33 @@ fn fleet_views(devs: &[DeviceSim<'_, '_>]) -> Vec<DeviceView> {
 }
 
 /// The shared drive loop: one scheduler slice and one profile per device.
+/// With `trace` set, every device logs its admission/step/preemption
+/// events and the router's dispatch decisions are logged here; the merged,
+/// cycle-sorted history is returned as the [`RunTrace`] — observation
+/// only, the simulated run itself is bit-exact with an untraced one.
 pub(crate) fn drive<'a>(
     sim: &ServeSim<'a>,
     workload: &Workload,
     scheds: &mut [&mut dyn Scheduler],
     profiles: &[DeviceProfile<'a>],
     router: &mut dyn Router,
-) -> ServeReport {
+    trace: bool,
+) -> (ServeReport, Option<RunTrace>) {
     let n = scheds.len();
     assert!(n >= 1, "at least one device");
     assert_eq!(n, profiles.len(), "one profile per scheduler slice");
     let closed = workload.closed_loop.is_some();
-    let mut devs: Vec<DeviceSim<'_, '_>> =
-        profiles.iter().map(|p| DeviceSim::new(sim, p)).collect();
+    let mut devs: Vec<DeviceSim<'_, '_>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut dev = DeviceSim::new(sim, p);
+            dev.device = i as u32;
+            dev.log = trace.then(Vec::new);
+            dev
+        })
+        .collect();
+    let mut route_log: Vec<TraceEvent> = Vec::new();
     // Kept arrival-sorted (generated workloads already are; sorting here
     // makes hand-built ones safe too, and closed-loop releases re-insert
     // their entry at its sorted position).
@@ -529,6 +591,13 @@ pub(crate) fn drive<'a>(
                     "router `{}` picked device {target} of {n}",
                     router.name()
                 );
+                if trace {
+                    route_log.push(TraceEvent::Route {
+                        id: req.id,
+                        device: target as u32,
+                        cycle: req.arrival_cycle,
+                    });
+                }
                 devs[target].enqueue(req);
                 let drops = devs[target].admit();
                 if closed && drops > 0 {
@@ -567,6 +636,7 @@ pub(crate) fn drive<'a>(
     // ---- merge per-device results ----
     let duration_cycles = devs.iter().map(|d| d.now).fold(0.0, f64::max);
     let span_s = (duration_cycles / CLOCK_HZ).max(1e-12);
+    let mut events = route_log;
     let mut records = Vec::new();
     let mut lanes = Vec::new();
     let mut pool = PoolReport::default();
@@ -643,6 +713,9 @@ pub(crate) fn drive<'a>(
         decode_invocations += d.decode_invocations;
         decode_streams += d.decode_streams;
         peak_concurrency += d.peak_concurrency;
+        if let Some(log) = d.log.take() {
+            events.extend(log);
+        }
         records.append(&mut d.records);
     }
     records.sort_by_key(|r| r.request.id);
@@ -659,7 +732,7 @@ pub(crate) fn drive<'a>(
     } else {
         format!("{} [{}x {}]", scheds[0].name(), n, router.name())
     };
-    ServeReport::summarize(
+    let report = ServeReport::summarize(
         name,
         records,
         RunTotals {
@@ -674,7 +747,19 @@ pub(crate) fn drive<'a>(
         },
         pool,
         lanes,
-    )
+    );
+    let run_trace = trace.then(|| {
+        // Per-device logs are chronological already; the stable sort
+        // merges them (and the route log) onto one cycle-ordered timeline
+        // with deterministic tie-breaking by device order.
+        events.sort_by(|a, b| a.cycle().total_cmp(&b.cycle()));
+        RunTrace {
+            workload: workload.clone(),
+            devices: n as u32,
+            events,
+        }
+    });
+    (report, run_trace)
 }
 
 #[cfg(test)]

@@ -26,7 +26,9 @@
 //! [`ArrivalProcess`]: `ClosedLoop` (a fixed in-flight population, for
 //! capacity probing), `Poisson` (open-loop, exponential gaps), or `Bursty`
 //! (on/off modulated Poisson preserving the long-run rate — the regime
-//! that separates continuous batching from FCFS).
+//! that separates continuous batching from FCFS), or `Diurnal`
+//! (sinusoidally rate-modulated Poisson, the multi-phase day/night
+//! traffic the trace sampler exploits).
 //!
 //! **Steps, not events.** The simulator advances in *scheduler steps*:
 //! each iteration the [`Scheduler`] inspects admitted work and plans one
@@ -130,6 +132,14 @@
 //! (decoded tokens per second of completed requests), request throughput,
 //! mean decode coalescing, peak concurrency, pool occupancy, and energy.
 //!
+//! **Recording.** The traced entry points ([`ServeSim::run_traced`],
+//! [`ServeSim::run_fleet_profiles_traced`]) additionally return a
+//! [`RunTrace`]: the materialized workload plus the cycle-ordered
+//! [`TraceEvent`] stream (routes, admissions, drops, steps, preemptions)
+//! the run emitted. The `mcbp-trace` crate serializes, replays, and
+//! phase-samples these histories; untraced runs allocate no event storage
+//! and behave bit-identically to before.
+//!
 //! # Example
 //!
 //! ```
@@ -166,6 +176,7 @@ mod dispatch;
 mod pool;
 mod preempt;
 mod profile;
+mod record;
 mod report;
 mod request;
 mod scheduler;
@@ -177,6 +188,7 @@ pub use dispatch::{DeviceView, DispatchPolicy, PolicyRouter, Router};
 pub use pool::{request_kv_bytes, KvCachePool, PrefixResidency, Reservation};
 pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
 pub use profile::DeviceProfile;
+pub use record::{RunTrace, TraceEvent};
 pub use report::{
     DeviceReport, LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport,
     StepReport,

@@ -47,8 +47,10 @@
 //!    `resident_bytes`.
 //! 2. **Reclaimable last.** An unreferenced entry is a warm cache line:
 //!    [`KvCachePool::reclaim_unreferenced_prefix`] frees entries one at a
-//!    time (lowest id first, deterministically), and the admission path
-//!    turns to it only after victim eviction cannot make room.
+//!    time (fewest tokens first — the cheapest expected re-prefill if a
+//!    future request misses — with id as the deterministic tie-break),
+//!    and the admission path turns to it only after victim eviction
+//!    cannot make room.
 //! 3. **Byte conservation.** Promotion moves bytes between ledgers
 //!    without changing the pool totals; shedding and reclaiming return
 //!    exactly the entry's bytes.
@@ -425,12 +427,15 @@ impl KvCachePool {
             .sum()
     }
 
-    /// Reclaims one unreferenced prefix entry — the lowest id first, so
-    /// reclamation replays deterministically — freeing its bytes.
-    /// Entries with `refs > 0` are pinned and never touched, and `keep`
-    /// (the prefix an in-progress admission is about to reuse) is spared.
-    /// Returns the reclaimed id and its freed bytes, or `None` if nothing
-    /// is reclaimable.
+    /// Reclaims one unreferenced prefix entry — the one with the fewest
+    /// tokens first (ties broken by lowest id, so reclamation still
+    /// replays deterministically) — freeing its bytes. A prefix's token
+    /// count is its expected re-prefill cost if a future request misses
+    /// on it, so evicting the cheapest-to-rebuild entry minimizes the
+    /// recompute debt the reclaim can incur. Entries with `refs > 0` are
+    /// pinned and never touched, and `keep` (the prefix an in-progress
+    /// admission is about to reuse) is spared. Returns the reclaimed id
+    /// and its freed bytes, or `None` if nothing is reclaimable.
     pub fn reclaim_unreferenced_prefix(
         &mut self,
         keep: Option<PrefixId>,
@@ -438,7 +443,8 @@ impl KvCachePool {
         let id = self
             .prefixes
             .iter()
-            .find(|(id, e)| e.refs == 0 && Some(**id) != keep)
+            .filter(|(id, e)| e.refs == 0 && Some(**id) != keep)
+            .min_by_key(|(id, e)| (e.tokens, **id))
             .map(|(id, _)| *id)?;
         let entry = self.prefixes.remove(&id).expect("entry exists");
         self.reserved_bytes -= entry.bytes;

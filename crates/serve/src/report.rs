@@ -19,6 +19,19 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
+    /// The stats as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            json_f64(self.mean),
+            json_f64(self.p50),
+            json_f64(self.p95),
+            json_f64(self.p99),
+            json_f64(self.max)
+        )
+    }
+
     /// Summarizes a sample of latencies given in cycles.
     #[must_use]
     pub fn from_cycles(samples: &[f64]) -> Self {
@@ -44,6 +57,36 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
+/// An `f64` as a JSON value: Rust's shortest round-trip decimal for
+/// finite numbers, `null` for infinities and NaN (JSON has no spelling
+/// for them — closed-loop releases carry infinite arrival cycles).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A string as a quoted, escaped JSON value.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// KV-cache-pool statistics of one serving run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PoolReport {
@@ -67,6 +110,20 @@ impl PoolReport {
             return 0.0;
         }
         self.peak_resident_bytes as f64 / self.budget_bytes as f64
+    }
+
+    /// The pool statistics as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"budget_bytes\":{},\"peak_resident_bytes\":{},\"peak_reserved_bytes\":{},\
+             \"mean_resident_bytes\":{},\"admission_stall_seconds\":{}}}",
+            self.budget_bytes,
+            self.peak_resident_bytes,
+            self.peak_reserved_bytes,
+            json_f64(self.mean_resident_bytes),
+            json_f64(self.admission_stall_seconds)
+        )
     }
 }
 
@@ -94,6 +151,21 @@ impl PreemptReport {
     #[must_use]
     pub fn overhead_seconds(&self) -> f64 {
         self.swap_seconds + self.recompute_seconds
+    }
+
+    /// The preemption statistics as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"preemptions\":{},\"swap_out_bytes\":{},\"swap_in_bytes\":{},\
+             \"swap_seconds\":{},\"recompute_seconds\":{},\"peak_swap_held_bytes\":{}}}",
+            self.preemptions,
+            self.swap_out_bytes,
+            self.swap_in_bytes,
+            json_f64(self.swap_seconds),
+            json_f64(self.recompute_seconds),
+            self.peak_swap_held_bytes
+        )
     }
 }
 
@@ -126,6 +198,20 @@ impl StepReport {
             return 0.0;
         }
         self.mixed_steps as f64 / self.steps as f64
+    }
+
+    /// The step-composition statistics as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"steps\":{},\"prefill_steps\":{},\"decode_steps\":{},\"mixed_steps\":{},\
+             \"mean_budget_utilization\":{}}}",
+            self.steps,
+            self.prefill_steps,
+            self.decode_steps,
+            self.mixed_steps,
+            json_f64(self.mean_budget_utilization)
+        )
     }
 }
 
@@ -165,6 +251,16 @@ impl PrefixReport {
     pub fn any(&self) -> bool {
         self.hits + self.misses + self.reclaimed > 0
     }
+
+    /// The prefix-cache statistics as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"reused_tokens\":{},\"reclaimed\":{},\
+             \"reclaimed_bytes\":{}}}",
+            self.hits, self.misses, self.reused_tokens, self.reclaimed, self.reclaimed_bytes
+        )
+    }
 }
 
 /// One device's share of a fleet serving run (see
@@ -198,6 +294,29 @@ pub struct DeviceReport {
     /// This device's prefix-cache statistics (hits, misses, and the
     /// prefill tokens its resident prefixes saved).
     pub prefix: PrefixReport,
+}
+
+impl DeviceReport {
+    /// The device lane as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"device\":{},\"dispatched\":{},\"completed\":{},\"dropped\":{},\
+             \"goodput_tokens_per_s\":{},\"utilization\":{},\"energy_joules\":{},\
+             \"pool\":{},\"preempt\":{},\"steps\":{},\"prefix\":{}}}",
+            self.device,
+            self.dispatched,
+            self.completed,
+            self.dropped,
+            json_f64(self.goodput_tokens_per_s),
+            json_f64(self.utilization),
+            json_f64(self.energy_joules),
+            self.pool.to_json(),
+            self.preempt.to_json(),
+            self.steps.to_json(),
+            self.prefix.to_json()
+        )
+    }
 }
 
 /// Aggregate results of one serving simulation.
@@ -373,6 +492,82 @@ impl ServeReport {
             .filter(|r| r.request.priority == priority && r.completed())
             .count()
     }
+
+    /// The full report as a JSON string (no external dependencies): every
+    /// aggregate, the device/pool/preempt/step/prefix lanes, and the
+    /// per-request records, so full-vs-sampled comparisons and cross-PR
+    /// report diffs are scriptable (`jq`, Python, …). Non-finite values
+    /// (e.g. the infinite arrival cycles of closed-loop releases)
+    /// serialize as `null`; everything else round-trips exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let devices: Vec<String> = self.devices.iter().map(DeviceReport::to_json).collect();
+        let records: Vec<String> = self.records.iter().map(record_json).collect();
+        format!(
+            "{{\"scheduler\":{},\"completed\":{},\"dropped\":{},\"duration_seconds\":{},\
+             \"ttft\":{},\"tpot\":{},\"e2e\":{},\
+             \"goodput_tokens_per_s\":{},\"slo_met\":{},\"slo_goodput_tokens_per_s\":{},\
+             \"throughput_rps\":{},\"offered_rps\":{},\"mean_decode_batch\":{},\
+             \"peak_concurrency\":{},\"energy_joules\":{},\
+             \"pool\":{},\"preempt\":{},\"steps\":{},\"prefix\":{},\
+             \"devices\":[{}],\"records\":[{}]}}",
+            json_str(&self.scheduler),
+            self.completed,
+            self.dropped,
+            json_f64(self.duration_seconds),
+            self.ttft.to_json(),
+            self.tpot.to_json(),
+            self.e2e.to_json(),
+            json_f64(self.goodput_tokens_per_s),
+            self.slo_met,
+            json_f64(self.slo_goodput_tokens_per_s),
+            json_f64(self.throughput_rps),
+            self.offered_rps.map_or("null".to_string(), json_f64),
+            json_f64(self.mean_decode_batch),
+            self.peak_concurrency,
+            json_f64(self.energy_joules),
+            self.pool.to_json(),
+            self.preempt.to_json(),
+            self.steps.to_json(),
+            self.prefix.to_json(),
+            devices.join(","),
+            records.join(",")
+        )
+    }
+}
+
+/// One per-request record as a JSON object string.
+fn record_json(r: &RequestRecord) -> String {
+    let req = &r.request;
+    let prefix = req.prefix.map_or("null".to_string(), |p| {
+        format!("{{\"id\":{},\"tokens\":{}}}", p.id, p.tokens)
+    });
+    let slo = format!(
+        "{{\"ttft_s\":{},\"tpot_s\":{}}}",
+        req.slo.ttft_s.map_or("null".to_string(), json_f64),
+        req.slo.tpot_s.map_or("null".to_string(), json_f64)
+    );
+    format!(
+        "{{\"id\":{},\"task\":{},\"priority\":{},\"state\":{},\
+         \"prompt_len\":{},\"decode_len\":{},\"prefix\":{},\"slo\":{},\
+         \"arrival_cycle\":{},\"admitted_cycle\":{},\"first_token_cycle\":{},\
+         \"completed_cycle\":{},\"tokens\":{},\"preemptions\":{},\"slo_met\":{}}}",
+        req.id,
+        json_str(req.task_name),
+        json_str(&format!("{:?}", req.priority)),
+        json_str(&format!("{:?}", r.state)),
+        req.prompt_len,
+        req.decode_len,
+        prefix,
+        slo,
+        json_f64(req.arrival_cycle),
+        json_f64(r.admitted_cycle),
+        json_f64(r.first_token_cycle),
+        json_f64(r.completed_cycle),
+        r.tokens,
+        r.preemptions,
+        r.slo_met()
+    )
 }
 
 impl fmt::Display for ServeReport {
@@ -512,6 +707,168 @@ mod tests {
     #[test]
     fn empty_sample_is_all_zero() {
         assert_eq!(LatencyStats::from_cycles(&[]), LatencyStats::default());
+    }
+
+    /// Minimal recursive-descent JSON syntax check (no value semantics) —
+    /// enough to catch unbalanced braces, stray commas, and bare tokens.
+    fn json_ok(s: &str) -> bool {
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> bool {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return true;
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        if !string(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return false;
+                        }
+                        *i += 1;
+                        if !value(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return true;
+                            }
+                            _ => return false,
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return true;
+                    }
+                    loop {
+                        if !value(b, i) {
+                            return false;
+                        }
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return true;
+                            }
+                            _ => return false,
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(_) => {
+                    let start = *i;
+                    while *i < b.len() && !b",}] \t\n".contains(&b[*i]) {
+                        *i += 1;
+                    }
+                    let tok = std::str::from_utf8(&b[start..*i]).unwrap();
+                    tok == "true" || tok == "false" || tok == "null" || tok.parse::<f64>().is_ok()
+                }
+                None => false,
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> bool {
+            if b.get(*i) != Some(&b'"') {
+                return false;
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'\\' => *i += 2,
+                    b'"' => {
+                        *i += 1;
+                        return true;
+                    }
+                    _ => *i += 1,
+                }
+            }
+            false
+        }
+        let b = s.as_bytes();
+        let mut i = 0;
+        let ok = value(b, &mut i);
+        skip_ws(b, &mut i);
+        ok && i == b.len()
+    }
+
+    #[test]
+    fn report_to_json_is_well_formed_and_nulls_non_finite() {
+        use crate::request::{Request, RequestState};
+        let record = RequestRecord {
+            // Closed-loop release: no finite arrival cycle.
+            request: Request::from_task(0, &mcbp_workloads::Task::cola(), f64::INFINITY),
+            state: RequestState::Completed,
+            admitted_cycle: 10.0,
+            first_token_cycle: 20.0,
+            completed_cycle: 30.0,
+            tokens: 4,
+            preemptions: 0,
+        };
+        let report = ServeReport::summarize(
+            "test \"sched\"".to_string(),
+            vec![record],
+            RunTotals {
+                duration_cycles: 30.0,
+                mean_decode_batch: 1.0,
+                peak_concurrency: 1,
+                energy_pj: 5.0,
+                offered_rps: None,
+                preempt: PreemptReport::default(),
+                steps: StepReport::default(),
+                prefix: PrefixReport::default(),
+            },
+            PoolReport::default(),
+            vec![],
+        );
+        let json = report.to_json();
+        assert!(json_ok(&json), "malformed JSON: {json}");
+        assert!(json.contains("\"arrival_cycle\":null"), "{json}");
+        assert!(json.contains("\"offered_rps\":null"));
+        assert!(json.contains("\"scheduler\":\"test \\\"sched\\\"\""));
+        assert!(json.contains("\"completed\":1"));
+    }
+
+    #[test]
+    fn lane_json_is_well_formed() {
+        let lane = DeviceReport {
+            device: 3,
+            dispatched: 8,
+            completed: 7,
+            dropped: 1,
+            goodput_tokens_per_s: 123.5,
+            utilization: 0.5,
+            energy_joules: 0.25,
+            pool: PoolReport::default(),
+            preempt: PreemptReport::default(),
+            steps: StepReport::default(),
+            prefix: PrefixReport {
+                hits: 2,
+                misses: 1,
+                reused_tokens: 64,
+                reclaimed: 0,
+                reclaimed_bytes: 0,
+            },
+        };
+        assert!(json_ok(&lane.to_json()), "{}", lane.to_json());
+        assert!(lane.to_json().contains("\"prefix\":{\"hits\":2"));
     }
 
     #[test]

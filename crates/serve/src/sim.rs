@@ -56,6 +56,7 @@ use crate::dispatch::{drive, DispatchPolicy};
 use crate::pool::{request_kv_bytes, KvCachePool};
 use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
 use crate::profile::DeviceProfile;
+use crate::record::{RunTrace, TraceEvent};
 use crate::report::{PoolReport, PreemptReport, PrefixReport, ServeReport, StepReport};
 use crate::request::{PrefixId, Priority, Request, RequestId, RequestRecord, RequestState};
 use crate::scheduler::{SchedEntry, SchedView, Scheduler};
@@ -486,7 +487,41 @@ impl<'a> ServeSim<'a> {
             &mut [scheduler],
             &[DeviceProfile::uniform()],
             &mut router,
+            false,
         )
+        .0
+    }
+
+    /// Like [`ServeSim::run`], but records the run's full
+    /// arrival/admission/schedule/preemption history alongside the
+    /// report. The traced run is bit-exact with the untraced one —
+    /// recording only observes, never perturbs — and re-running the
+    /// returned trace's workload under the same configuration and
+    /// scheduler reproduces the report bit-exactly (the replay contract
+    /// the `mcbp-trace` crate asserts).
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ServeSim::run`] would.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        scheduler: &mut dyn Scheduler,
+    ) -> (ServeReport, RunTrace) {
+        if let Err(e) = ServeSim::validate_workload(workload) {
+            panic!("invalid workload: {e}");
+        }
+        let mut router = DispatchPolicy::RoundRobin.router();
+        let (report, trace) = drive(
+            self,
+            workload,
+            &mut [scheduler],
+            &[DeviceProfile::uniform()],
+            &mut router,
+            true,
+        );
+        (report, trace.expect("tracing was requested"))
     }
 
     /// Checks a workload's internal consistency: every declared
@@ -600,6 +635,11 @@ pub(crate) struct DeviceSim<'s, 'a> {
     pub(crate) decode_streams: u64,
     pub(crate) peak_concurrency: usize,
     pub(crate) dispatched: usize,
+    /// Fleet index of this device (stamped onto recorded events).
+    pub(crate) device: u32,
+    /// Recorded event log of a traced run (`None` — the default — records
+    /// nothing and keeps the untraced paths allocation-free).
+    pub(crate) log: Option<Vec<TraceEvent>>,
 }
 
 impl<'s, 'a> DeviceSim<'s, 'a> {
@@ -646,6 +686,8 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             decode_streams: 0,
             peak_concurrency: 0,
             dispatched: 0,
+            device: 0,
+            log: None,
         }
     }
 
@@ -662,6 +704,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
     /// weighted-JSQ denominator).
     pub(crate) fn throughput(&self) -> f64 {
         self.throughput
+    }
+
+    /// Appends one event to a traced run's log (no-op when untraced, so
+    /// the hook sites cost nothing on the ordinary paths).
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(log) = &mut self.log {
+            log.push(ev);
+        }
     }
 
     /// Hands this device a dispatched request, keeping the local queue
@@ -830,6 +880,11 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                             // because the swapped KV covers everything done.
                             (s.prefill_done, s.prefill_target, s.replay_tokens, 0)
                         };
+                    let reused_prefix_tokens = if keep_id.is_some() {
+                        s.req.prefix.map_or(0, |p| p.tokens as u32)
+                    } else {
+                        0
+                    };
                     self.active.push(InFlight {
                         prefill_done,
                         prefill_target,
@@ -840,6 +895,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         tokens: s.tokens,
                         first_token_cycle: s.first_token_cycle,
                         preemptions: s.preemptions,
+                    });
+                    self.record(TraceEvent::Admit {
+                        device: self.device,
+                        cycle: self.now,
+                        id,
+                        resumed: true,
+                        reused_prefix_tokens,
+                        queue_depth: self.pending.len() as u32,
                     });
                 } else {
                     // Drop-and-recompute resume: the prefill restarts over
@@ -885,6 +948,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         first_token_cycle: s.first_token_cycle,
                         preemptions: s.preemptions,
                     });
+                    self.record(TraceEvent::Admit {
+                        device: self.device,
+                        cycle: self.now,
+                        id,
+                        resumed: true,
+                        reused_prefix_tokens: start as u32,
+                        queue_depth: self.pending.len() as u32,
+                    });
                 }
             } else {
                 let (idx, (prio, _, id)) = best_pend.expect("pending candidate");
@@ -895,6 +966,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 // by-reuse victim unable to ever resume.
                 if !self.pool.can_ever_fit(full_peak) {
                     let req = self.pending.remove(idx).expect("index valid");
+                    let dropped = req.id;
                     self.records.push(RequestRecord {
                         state: RequestState::Dropped,
                         admitted_cycle: self.now,
@@ -905,6 +977,11 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         request: req,
                     });
                     *drops += 1;
+                    self.record(TraceEvent::Drop {
+                        device: self.device,
+                        cycle: self.now,
+                        id: dropped,
+                    });
                     continue;
                 }
                 // Prefix reuse: a resident prefix lets the prompt reserve
@@ -944,6 +1021,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     tokens: 0,
                     first_token_cycle: 0.0,
                     preemptions: 0,
+                });
+                self.record(TraceEvent::Admit {
+                    device: self.device,
+                    cycle: self.now,
+                    id,
+                    resumed: false,
+                    reused_prefix_tokens: start as u32,
+                    queue_depth: self.pending.len() as u32,
                 });
             }
         }
@@ -1055,6 +1140,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     freed.resident_bytes
                 }
             };
+            let victim_id = f.req.id;
             self.suspended.push(Suspended {
                 prefill_done: f.prefill_done,
                 prefill_target: f.prefill_target,
@@ -1065,6 +1151,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 tokens: f.tokens,
                 first_token_cycle: f.first_token_cycle,
                 preemptions: f.preemptions + 1,
+            });
+            self.record(TraceEvent::Preempt {
+                device: self.device,
+                cycle: self.now,
+                victim: victim_id,
+                swapped_bytes,
             });
         }
         true
@@ -1089,6 +1181,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
     /// [`ServeConfig::step_token_budget`] allows (contract violations —
     /// failing loudly beats silently losing in-flight requests).
     pub(crate) fn step(&mut self, scheduler: &mut dyn Scheduler) -> usize {
+        let step_start = self.now;
         let keep = self.cost().template().attention_keep;
         let model = self.cost().template().model.clone();
         let waiting: Vec<SchedEntry> = self
@@ -1313,6 +1406,21 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 request: f.req,
             });
             completions += 1;
+        }
+        if self.log.is_some() {
+            let prefill_tokens: usize = spans.iter().map(|&(_, d, u, _)| u - d).sum();
+            self.record(TraceEvent::Step {
+                device: self.device,
+                start_cycle: step_start,
+                end_cycle: self.now,
+                prefill_streams: spans.len() as u32,
+                decode_streams: decode_ids.len() as u32,
+                prefill_tokens: prefill_tokens as u32,
+                queue_depth: self.pending.len() as u32,
+                active_streams: self.active.len() as u32,
+                pool_reserved_bytes: self.pool.reserved_bytes(),
+                completions: completions as u32,
+            });
         }
         completions
     }

@@ -234,7 +234,10 @@ proptest! {
                         .collect();
                     match pool.reclaim_unreferenced_prefix(None) {
                         Some((pid, freed)) => {
-                            // Deterministic order: the lowest unreferenced id.
+                            // Reclamation picks the fewest-token entry,
+                            // falling back to the lowest id; every entry
+                            // here was promoted at 16 tokens, so the id
+                            // tie-break decides.
                             prop_assert_eq!(Some(&pid), reclaimable.first());
                             let (bytes, refs) = prefixes.remove(&pid).expect("shadowed");
                             prop_assert_eq!(refs, 0, "pinned prefixes are never reclaimed");
@@ -317,4 +320,53 @@ proptest! {
             prop_assert!(pool.peak_reserved_bytes() <= pool.budget_bytes());
         }
     }
+}
+
+/// Promotes one prefix out of a fresh fully-materialized request and
+/// immediately drops the request and its reference, leaving the entry
+/// warm (unreferenced) in the pool.
+fn park_warm_prefix(pool: &mut KvCachePool, rid: u64, pid: PrefixId, tokens: usize, bytes: u64) {
+    assert!(pool.try_reserve(rid, bytes + 1));
+    pool.grow_resident(rid, bytes + 1);
+    pool.promote_prefix(rid, pid, tokens, bytes);
+    pool.release(rid);
+    pool.unref_prefix(pid);
+}
+
+/// Regression for the reclamation order: eviction targets the resident
+/// prefix with the cheapest expected re-prefill cost (fewest tokens),
+/// not the lowest id. Lower ids deliberately hold *more* tokens here, so
+/// the old id-ordered reclaim would evict the most expensive entry first.
+#[test]
+fn reclamation_prefers_cheapest_reprefill_prefix() {
+    let mut pool = KvCachePool::with_budget(100_000);
+    park_warm_prefix(&mut pool, 1, 1, 512, 2_000); // costliest to rebuild
+    park_warm_prefix(&mut pool, 2, 2, 64, 500); // cheapest
+    park_warm_prefix(&mut pool, 3, 3, 128, 800);
+    // A pinned entry with even fewer tokens must still be skipped.
+    assert!(pool.try_reserve(4, 101));
+    pool.grow_resident(4, 101);
+    pool.promote_prefix(4, 4, 8, 100);
+
+    assert_eq!(
+        pool.reclaim_unreferenced_prefix(None),
+        Some((2, 500)),
+        "64-token entry goes first despite its higher id"
+    );
+    assert_eq!(pool.reclaim_unreferenced_prefix(None), Some((3, 800)));
+    // Sparing the cheapest remaining entry redirects to the next one.
+    assert_eq!(pool.reclaim_unreferenced_prefix(Some(1)), None);
+    assert_eq!(pool.reclaim_unreferenced_prefix(None), Some((1, 2_000)));
+    assert_eq!(pool.prefix_bytes(), 100, "only the pinned entry survives");
+}
+
+/// Equal-cost entries fall back to the lowest id so reclamation stays
+/// deterministic.
+#[test]
+fn equal_cost_prefixes_reclaim_lowest_id_first() {
+    let mut pool = KvCachePool::with_budget(100_000);
+    park_warm_prefix(&mut pool, 1, 9, 256, 900);
+    park_warm_prefix(&mut pool, 2, 5, 256, 700);
+    assert_eq!(pool.reclaim_unreferenced_prefix(None), Some((5, 700)));
+    assert_eq!(pool.reclaim_unreferenced_prefix(None), Some((9, 900)));
 }

@@ -1,0 +1,665 @@
+//! SimPoint-style phase sampling of recorded serving traces.
+//!
+//! # Sampling methodology
+//!
+//! Steady-state serving is highly repetitive: a multi-hour diurnal trace
+//! cycles through a handful of load *phases* (night trough, morning
+//! ramp, midday peak, …) whose step-level behavior barely changes within
+//! a phase. Borrowing the SimPoint idea from architecture simulation,
+//! the sampler:
+//!
+//! 1. slices the recorded span into [`SamplerConfig::windows`]
+//!    fixed-length time intervals and summarizes each as a feature
+//!    vector — step density, prefill-token fraction, mean decode
+//!    coalescing, mean queue depth, mean pool occupancy, prefix-hit
+//!    rate, and arrival density — min-max normalized per dimension;
+//! 2. clusters the window vectors with a small deterministic k-means
+//!    (centroids seeded at evenly spaced windows, a fixed number of
+//!    Lloyd iterations, ties and empty clusters resolved toward lower
+//!    indices, no RNG anywhere);
+//! 3. picks per cluster the window closest to its centroid as the
+//!    **representative slice** ([`TracePhase`]), weighted by the
+//!    fraction of windows its cluster covers;
+//! 4. re-simulates *only* the representative slices (each preceded by a
+//!    [`SamplerConfig::warmup_fraction`] of its own length to refill
+//!    queues, pools, and batcher state — warmup steps are simulated but
+//!    excluded from measurement), and extrapolates full-run metrics as
+//!    the cluster-weight-weighted combination of the per-slice
+//!    measurements.
+//!
+//! # Error-bound definition
+//!
+//! For a metric `m` (full run) and its sampled estimate `m̂`, the
+//! reported error is the **relative error** `|m̂ − m| / max(|m|, ε)`
+//! with `ε = 1e-9` guarding the zero denominator. The `serving_trace`
+//! experiment asserts goodput and interactive p95-TTFT relative errors
+//! stay ≤ 5% while simulating ≤ 20% of the full run's steps — the
+//! trade the sampler exists to make.
+
+use std::fmt;
+
+use mcbp_serve::{Priority, RunTrace, ServeReport, TraceEvent, Workload, CLOCK_HZ};
+
+/// Denominator guard for relative errors.
+const ERR_EPS: f64 = 1e-9;
+
+/// Configuration of the phase sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerConfig {
+    /// Fixed-length intervals the recorded span is sliced into.
+    pub windows: usize,
+    /// Phases (k-means clusters) to distill the windows into.
+    pub clusters: usize,
+    /// Fraction of one window length simulated before each
+    /// representative slice to warm queues/pool/batcher state; warmup
+    /// work is simulated but excluded from measurements.
+    pub warmup_fraction: f64,
+    /// Lloyd iterations of the deterministic k-means.
+    pub kmeans_iters: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            windows: 48,
+            clusters: 4,
+            warmup_fraction: 0.5,
+            kmeans_iters: 16,
+        }
+    }
+}
+
+/// One representative slice of the recorded trace: simulate `[start,
+/// end)` and weight its measurements by `weight` (the fraction of the
+/// full span its cluster covers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePhase {
+    /// Fraction of the trace's windows assigned to this phase's cluster.
+    pub weight: f64,
+    /// Slice start on the recorded clock, in cycles.
+    pub start: f64,
+    /// Slice end on the recorded clock, in cycles.
+    pub end: f64,
+}
+
+/// Typed failure modes of phase sampling.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// Closed-loop traces have no time-positioned arrivals to slice.
+    ClosedLoopUnsupported,
+    /// The trace has no events (or zero span) to sample.
+    EmptyTrace,
+    /// `windows`, `clusters`, or `kmeans_iters` is zero, `clusters >
+    /// windows`, or `warmup_fraction` is not in `[0, 1]`.
+    BadConfig,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::ClosedLoopUnsupported => {
+                write!(f, "closed-loop traces cannot be phase-sampled")
+            }
+            SampleError::EmptyTrace => write!(f, "trace has no events to sample"),
+            SampleError::BadConfig => write!(f, "invalid sampler configuration"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// The sampled simulation's result: the phases it chose, the steps it
+/// actually simulated, and the extrapolated full-run metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledReport {
+    /// Representative slices, one per non-empty cluster.
+    pub phases: Vec<TracePhase>,
+    /// Scheduler steps the sampled simulation executed (warmup
+    /// included — this is the cost actually paid).
+    pub simulated_steps: u64,
+    /// Scheduler steps the recorded full run executed.
+    pub full_steps: u64,
+    /// Weighted goodput estimate in decoded tokens per second.
+    pub goodput_tokens_per_s: f64,
+    /// Weighted p95 TTFT estimate over interactive requests, in seconds
+    /// (0 when the trace carries no interactive class).
+    pub interactive_ttft_p95_s: f64,
+}
+
+impl SampledReport {
+    /// Fraction of the full run's steps the sampled simulation executed.
+    #[must_use]
+    pub fn step_fraction(&self) -> f64 {
+        if self.full_steps == 0 {
+            return 0.0;
+        }
+        self.simulated_steps as f64 / self.full_steps as f64
+    }
+
+    /// Relative goodput error vs a full-run report.
+    #[must_use]
+    pub fn goodput_error(&self, full: &ServeReport) -> f64 {
+        relative_error(self.goodput_tokens_per_s, full.goodput_tokens_per_s)
+    }
+
+    /// Relative interactive-p95-TTFT error vs a full-run report.
+    #[must_use]
+    pub fn ttft_p95_error(&self, full: &ServeReport) -> f64 {
+        relative_error(self.interactive_ttft_p95_s, interactive_ttft_p95(full))
+    }
+}
+
+/// Relative error `|estimate − truth| / max(|truth|, ε)`.
+#[must_use]
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs() / truth.abs().max(ERR_EPS)
+}
+
+/// The p95 TTFT over a report's completed interactive requests, in
+/// seconds (0 when there are none) — the SLO-facing latency metric the
+/// sampled estimate is checked against.
+#[must_use]
+pub fn interactive_ttft_p95(report: &ServeReport) -> f64 {
+    let mut ttfts: Vec<f64> = report
+        .records
+        .iter()
+        .filter(|r| r.completed() && r.request.priority == Priority::Interactive)
+        .map(|r| r.ttft_cycles() / CLOCK_HZ)
+        .collect();
+    if ttfts.is_empty() {
+        return 0.0;
+    }
+    ttfts.sort_by(f64::total_cmp);
+    let rank = ((ttfts.len() as f64 * 0.95).ceil() as usize).clamp(1, ttfts.len());
+    ttfts[rank - 1]
+}
+
+/// Per-window feature vector; see the module docs for the dimensions.
+const FEATURES: usize = 7;
+
+/// Drives a sampled simulation over a recorded trace: pick phases, run
+/// the caller-provided simulator over each representative slice, and
+/// extrapolate weighted full-run metrics.
+///
+/// The runner closure abstracts the actual simulator (the trace crate
+/// never constructs engines itself): it receives a sub-workload whose
+/// arrivals are shifted to start at cycle 0 and returns the resulting
+/// [`ServeReport`]. Determinism of the underlying simulator makes the
+/// whole sampled run deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledSim {
+    config: SamplerConfig,
+}
+
+impl SampledSim {
+    /// A sampled-simulation driver with the given configuration.
+    #[must_use]
+    pub fn new(config: SamplerConfig) -> Self {
+        SampledSim { config }
+    }
+
+    /// Phase-samples `trace` and extrapolates full-run metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleError::BadConfig`] for invalid configurations,
+    /// [`SampleError::ClosedLoopUnsupported`] for closed-loop traces,
+    /// [`SampleError::EmptyTrace`] for traces with no events.
+    pub fn run(
+        &self,
+        trace: &RunTrace,
+        runner: &mut dyn FnMut(&Workload) -> ServeReport,
+    ) -> Result<SampledReport, SampleError> {
+        let cfg = self.config;
+        if cfg.windows == 0
+            || cfg.clusters == 0
+            || cfg.kmeans_iters == 0
+            || cfg.clusters > cfg.windows
+            || !(0.0..=1.0).contains(&cfg.warmup_fraction)
+        {
+            return Err(SampleError::BadConfig);
+        }
+        if trace.workload.closed_loop.is_some() {
+            return Err(SampleError::ClosedLoopUnsupported);
+        }
+        let span = trace.span_cycles();
+        if trace.events.is_empty() || span <= 0.0 {
+            return Err(SampleError::EmptyTrace);
+        }
+        let window_len = span / cfg.windows as f64;
+
+        let features = window_features(trace, cfg.windows, window_len);
+        let assignment = kmeans(&features, cfg.clusters, cfg.kmeans_iters);
+        let phases = representative_phases(&features, &assignment, cfg, window_len);
+
+        let warmup = cfg.warmup_fraction * window_len;
+        let mut simulated_steps = 0u64;
+        let mut goodput = 0.0f64;
+        // Weighted TTFT samples: (ttft_seconds, weight).
+        let mut ttft_samples: Vec<(f64, f64)> = Vec::new();
+        for phase in &phases {
+            let slice_start = (phase.start - warmup).max(0.0);
+            let sub = slice_workload(&trace.workload, slice_start, phase.end);
+            if sub.requests.is_empty() {
+                continue;
+            }
+            let report = runner(&sub);
+            simulated_steps += report.steps.steps;
+            // Measure only requests that arrived inside the window
+            // proper (shifted clock: the slice starts at 0).
+            let lo = phase.start - slice_start;
+            let hi = phase.end - slice_start;
+            let measured: Vec<_> = report
+                .records
+                .iter()
+                .filter(|r| {
+                    let a = r.request.arrival_cycle;
+                    a >= lo && a < hi
+                })
+                .collect();
+            let tokens: usize = measured
+                .iter()
+                .filter(|r| r.completed())
+                .map(|r| r.tokens)
+                .sum();
+            let window_s = (phase.end - phase.start) / CLOCK_HZ;
+            goodput += phase.weight * tokens as f64 / window_s.max(1e-12);
+            let interactive: Vec<f64> = measured
+                .iter()
+                .filter(|r| r.completed() && r.request.priority == Priority::Interactive)
+                .map(|r| r.ttft_cycles() / CLOCK_HZ)
+                .collect();
+            if !interactive.is_empty() {
+                let w = phase.weight / interactive.len() as f64;
+                ttft_samples.extend(interactive.into_iter().map(|t| (t, w)));
+            }
+        }
+
+        Ok(SampledReport {
+            phases,
+            simulated_steps,
+            full_steps: trace.step_count(),
+            goodput_tokens_per_s: goodput,
+            interactive_ttft_p95_s: weighted_percentile(&mut ttft_samples, 0.95),
+        })
+    }
+}
+
+/// Builds the normalized per-window feature matrix.
+fn window_features(trace: &RunTrace, windows: usize, window_len: f64) -> Vec<[f64; FEATURES]> {
+    #[derive(Default, Clone, Copy)]
+    struct Acc {
+        steps: f64,
+        prefill_tokens: f64,
+        decode_tokens: f64,
+        decode_streams: f64,
+        queue_depth: f64,
+        pool_bytes: f64,
+        admits: f64,
+        prefix_hits: f64,
+        arrivals: f64,
+    }
+    let mut accs = vec![Acc::default(); windows];
+    for ev in &trace.events {
+        let w = ((ev.cycle() / window_len) as usize).min(windows - 1);
+        let acc = &mut accs[w];
+        match *ev {
+            TraceEvent::Step {
+                prefill_tokens,
+                decode_streams,
+                queue_depth,
+                pool_reserved_bytes,
+                ..
+            } => {
+                acc.steps += 1.0;
+                acc.prefill_tokens += f64::from(prefill_tokens);
+                acc.decode_tokens += f64::from(decode_streams);
+                acc.decode_streams += f64::from(decode_streams);
+                acc.queue_depth += f64::from(queue_depth);
+                acc.pool_bytes += pool_reserved_bytes as f64;
+            }
+            TraceEvent::Admit {
+                reused_prefix_tokens,
+                ..
+            } => {
+                acc.admits += 1.0;
+                if reused_prefix_tokens > 0 {
+                    acc.prefix_hits += 1.0;
+                }
+            }
+            TraceEvent::Route { .. } => acc.arrivals += 1.0,
+            TraceEvent::Drop { .. } | TraceEvent::Preempt { .. } => {}
+        }
+    }
+    let mut features: Vec<[f64; FEATURES]> = accs
+        .iter()
+        .map(|a| {
+            let steps = a.steps.max(1.0);
+            let tokens = a.prefill_tokens + a.decode_tokens;
+            [
+                a.steps,                            // step density
+                a.prefill_tokens / tokens.max(1.0), // prefill fraction
+                a.decode_streams / steps,           // mean decode coalescing
+                a.queue_depth / steps,              // mean queue depth
+                a.pool_bytes / steps,               // mean pool occupancy
+                a.prefix_hits / a.admits.max(1.0),  // prefix-hit rate
+                a.arrivals,                         // arrival density
+            ]
+        })
+        .collect();
+    // Min-max normalize each dimension so no one feature dominates the
+    // Euclidean distance.
+    for d in 0..FEATURES {
+        let lo = features.iter().map(|f| f[d]).fold(f64::INFINITY, f64::min);
+        let hi = features
+            .iter()
+            .map(|f| f[d])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let range = hi - lo;
+        for f in &mut features {
+            f[d] = if range > 0.0 {
+                (f[d] - lo) / range
+            } else {
+                0.0
+            };
+        }
+    }
+    features
+}
+
+/// Deterministic k-means: centroids seeded at evenly spaced windows,
+/// fixed Lloyd iterations, ties toward the lower cluster index, empty
+/// clusters keep their previous centroid. Returns each window's cluster.
+fn kmeans(features: &[[f64; FEATURES]], k: usize, iters: usize) -> Vec<usize> {
+    let n = features.len();
+    let mut centroids: Vec<[f64; FEATURES]> = (0..k).map(|j| features[j * n / k]).collect();
+    let mut assignment = vec![0usize; n];
+    for _ in 0..iters {
+        for (i, f) in features.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in centroids.iter().enumerate() {
+                let d = dist2(f, c);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            assignment[i] = best;
+        }
+        for (j, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&[f64; FEATURES]> = features
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == j)
+                .map(|(f, _)| f)
+                .collect();
+            if members.is_empty() {
+                continue; // empty cluster: keep the previous centroid
+            }
+            let mut mean = [0.0f64; FEATURES];
+            for m in &members {
+                for d in 0..FEATURES {
+                    mean[d] += m[d];
+                }
+            }
+            for v in &mut mean {
+                *v /= members.len() as f64;
+            }
+            *centroid = mean;
+        }
+    }
+    assignment
+}
+
+fn dist2(a: &[f64; FEATURES], b: &[f64; FEATURES]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Per non-empty cluster: the member window closest to the centroid
+/// becomes the representative slice, weighted by cluster size.
+fn representative_phases(
+    features: &[[f64; FEATURES]],
+    assignment: &[usize],
+    cfg: SamplerConfig,
+    window_len: f64,
+) -> Vec<TracePhase> {
+    let n = features.len();
+    let mut phases = Vec::new();
+    for j in 0..cfg.clusters {
+        let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == j).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut centroid = [0.0f64; FEATURES];
+        for &i in &members {
+            for d in 0..FEATURES {
+                centroid[d] += features[i][d];
+            }
+        }
+        for v in &mut centroid {
+            *v /= members.len() as f64;
+        }
+        let rep = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist2(&features[a], &centroid)
+                    .total_cmp(&dist2(&features[b], &centroid))
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty cluster");
+        phases.push(TracePhase {
+            weight: members.len() as f64 / n as f64,
+            start: rep as f64 * window_len,
+            end: (rep + 1) as f64 * window_len,
+        });
+    }
+    phases
+}
+
+/// The sub-workload of requests arriving in `[start, end)`, arrivals
+/// shifted so the slice starts at cycle 0 (ids and everything else are
+/// preserved).
+fn slice_workload(workload: &Workload, start: f64, end: f64) -> Workload {
+    let requests = workload
+        .requests
+        .iter()
+        .filter(|r| r.arrival_cycle >= start && r.arrival_cycle < end)
+        .map(|r| {
+            let mut r = r.clone();
+            r.arrival_cycle -= start;
+            r
+        })
+        .collect();
+    Workload {
+        requests,
+        closed_loop: None,
+    }
+}
+
+/// Weighted nearest-rank percentile: the smallest sample whose
+/// cumulative weight reaches `q` of the total (0 for an empty sample).
+fn weighted_percentile(samples: &mut [(f64, f64)], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = samples.iter().map(|(_, w)| w).sum();
+    let target = q * total;
+    let mut cum = 0.0;
+    for &(v, w) in samples.iter() {
+        cum += w;
+        if cum >= target {
+            return v;
+        }
+    }
+    samples.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcbp_serve::Request;
+
+    fn synthetic_trace(windows_of_steps: &[u32]) -> RunTrace {
+        // One window per entry; each window gets that many steps and one
+        // routed arrival per step.
+        let window_cycles = 1_000.0;
+        let mut events = Vec::new();
+        let mut requests = Vec::new();
+        let task = mcbp_workloads::Task::cola();
+        let mut id = 0u64;
+        for (w, &steps) in windows_of_steps.iter().enumerate() {
+            for s in 0..steps {
+                let t = w as f64 * window_cycles
+                    + f64::from(s) * window_cycles / f64::from(steps.max(1));
+                requests.push(Request::from_task(id, &task, t));
+                events.push(TraceEvent::Route {
+                    id,
+                    device: 0,
+                    cycle: t,
+                });
+                events.push(TraceEvent::Step {
+                    device: 0,
+                    start_cycle: t,
+                    end_cycle: t + 1.0,
+                    prefill_streams: 1,
+                    decode_streams: steps, // phase-correlated feature
+                    prefill_tokens: 32,
+                    queue_depth: steps,
+                    active_streams: steps,
+                    pool_reserved_bytes: u64::from(steps) * 100,
+                    completions: 0,
+                });
+                id += 1;
+            }
+        }
+        // Pin the span so the last window closes exactly.
+        events.push(TraceEvent::Step {
+            device: 0,
+            start_cycle: windows_of_steps.len() as f64 * window_cycles - 1.0,
+            end_cycle: windows_of_steps.len() as f64 * window_cycles,
+            prefill_streams: 0,
+            decode_streams: 1,
+            prefill_tokens: 0,
+            queue_depth: 0,
+            active_streams: 1,
+            pool_reserved_bytes: 0,
+            completions: 0,
+        });
+        RunTrace {
+            workload: Workload {
+                requests,
+                closed_loop: None,
+            },
+            devices: 1,
+            events,
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_and_separates_obvious_phases() {
+        // 8 windows: 4 light (2 steps) and 4 heavy (20 steps).
+        let trace = synthetic_trace(&[2, 2, 2, 2, 20, 20, 20, 20]);
+        let window_len = trace.span_cycles() / 8.0;
+        let features = window_features(&trace, 8, window_len);
+        let a = kmeans(&features, 2, 8);
+        let b = kmeans(&features, 2, 8);
+        assert_eq!(a, b, "k-means must be deterministic");
+        // Light and heavy windows land in different clusters.
+        assert_eq!(a[0], a[3]);
+        assert_eq!(a[4], a[7]);
+        assert_ne!(a[0], a[4]);
+    }
+
+    #[test]
+    fn phases_weights_sum_to_one() {
+        let trace = synthetic_trace(&[2, 2, 20, 20, 2, 2, 20, 20]);
+        let window_len = trace.span_cycles() / 8.0;
+        let features = window_features(&trace, 8, window_len);
+        let assignment = kmeans(&features, 3, 8);
+        let phases = representative_phases(
+            &features,
+            &assignment,
+            SamplerConfig {
+                windows: 8,
+                clusters: 3,
+                ..SamplerConfig::default()
+            },
+            window_len,
+        );
+        let total: f64 = phases.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+        for p in &phases {
+            assert!(p.end > p.start);
+        }
+    }
+
+    #[test]
+    fn sampled_sim_rejects_bad_inputs() {
+        let sim = SampledSim::new(SamplerConfig::default());
+        let mut runner =
+            |_: &Workload| -> ServeReport { unreachable!("runner must not be called") };
+        let empty = RunTrace {
+            workload: Workload {
+                requests: vec![],
+                closed_loop: None,
+            },
+            devices: 1,
+            events: vec![],
+        };
+        assert_eq!(sim.run(&empty, &mut runner), Err(SampleError::EmptyTrace));
+        let closed = RunTrace {
+            workload: Workload {
+                requests: vec![],
+                closed_loop: Some(4),
+            },
+            devices: 1,
+            events: vec![],
+        };
+        assert_eq!(
+            sim.run(&closed, &mut runner),
+            Err(SampleError::ClosedLoopUnsupported)
+        );
+        let bad = SampledSim::new(SamplerConfig {
+            clusters: 0,
+            ..SamplerConfig::default()
+        });
+        assert_eq!(bad.run(&empty, &mut runner), Err(SampleError::BadConfig));
+    }
+
+    #[test]
+    fn weighted_percentile_respects_weights() {
+        // 1.0 carries 9× the weight of 100.0: p95 lands on 100.0 only
+        // past the 90% cumulative mark.
+        let mut samples = vec![(1.0, 0.9), (100.0, 0.1)];
+        assert_eq!(weighted_percentile(&mut samples, 0.5), 1.0);
+        assert_eq!(weighted_percentile(&mut samples, 0.95), 100.0);
+        assert_eq!(weighted_percentile(&mut [], 0.95), 0.0);
+    }
+
+    #[test]
+    fn slice_workload_shifts_arrivals() {
+        let task = mcbp_workloads::Task::cola();
+        let workload = Workload {
+            requests: vec![
+                Request::from_task(0, &task, 50.0),
+                Request::from_task(1, &task, 150.0),
+                Request::from_task(2, &task, 250.0),
+            ],
+            closed_loop: None,
+        };
+        let sub = slice_workload(&workload, 100.0, 200.0);
+        assert_eq!(sub.requests.len(), 1);
+        assert_eq!(sub.requests[0].id, 1);
+        assert!((sub.requests[0].arrival_cycle - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_guards_zero_truth() {
+        assert!(relative_error(0.0, 0.0) < 1e-9);
+        assert!((relative_error(95.0, 100.0) - 0.05).abs() < 1e-12);
+        assert!(relative_error(1.0, 0.0) > 1.0);
+    }
+}

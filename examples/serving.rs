@@ -1,7 +1,7 @@
 //! Serving walkthrough: drive one MCBP device under multi-request load
 //! with the `mcbp::serve` subsystem.
 //!
-//! Eight acts:
+//! Nine acts:
 //!  1. The same Poisson trace under FCFS vs continuous batching —
 //!     coalescing amortizes the per-step weight stream, so continuous
 //!     batching sustains strictly higher goodput.
@@ -27,6 +27,10 @@
 //!     described by per-device `DeviceProfile`s, where prefix-affinity
 //!     routing keeps each tenant's shared system prompt resident on one
 //!     device — arriving requests prefill only their unshared suffix.
+//!  9. Trace record/replay + sampled simulation: record a diurnal run,
+//!     round-trip it through the binary trace format on disk, replay it
+//!     bit-exactly, then estimate full-run metrics from a few
+//!     k-means-selected representative slices (`mcbp::trace`).
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -34,6 +38,7 @@ use mcbp::prelude::*;
 use mcbp::serve::{
     request_kv_bytes, ArrivalProcess, DispatchPolicy, LoadGenerator, Request, ServeConfig, Workload,
 };
+use mcbp::trace::{load_trace, save_trace, verify_replay, SampledSim, SamplerConfig, TraceStats};
 use mcbp::workloads::Derated;
 use mcbp::Fleet;
 
@@ -352,4 +357,63 @@ fn main() {
         affine.prefix.reused_tokens
     );
     assert!(affine.ttft.mean < blind.ttft.mean);
+
+    // ----- 9. Trace record/replay + sampled simulation -----
+    println!("\n=== act 9: trace record/replay + sampled simulation ===");
+    // A day-scale diurnal trace: the arrival rate swings ±70% around its
+    // mean on an hour-long period, so the run has real peak/trough phases
+    // for the sampler to find.
+    let day = LoadGenerator {
+        task_mix: vec![Task::mnli().with_decode(32)],
+        class_mix: vec![RequestClass::interactive(1.0, 0.1), RequestClass::batch()],
+        prefix_mix: vec![None],
+        count: 768,
+        process: ArrivalProcess::Diurnal {
+            rate_rps: 0.15,
+            amplitude: 0.7,
+            period_s: 3600.0,
+            seed: 0x4d43_4250,
+        },
+    }
+    .generate();
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let (full, trace) = sim.run_traced(&day, &mut PriorityScheduler::new());
+
+    // Round-trip the recording through the on-disk binary format…
+    let path = std::env::temp_dir().join("mcbp_serving_example.trace");
+    save_trace(&path, &trace).expect("trace saves");
+    let restored = load_trace(&path).expect("trace loads");
+    let encoded = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(trace, restored);
+    println!("{}", TraceStats::collect(&restored, encoded));
+
+    // …replay it: the simulator is deterministic, so re-driving the
+    // recorded workload reproduces the original report bit-for-bit.
+    let replayed = verify_replay(&restored, &full, |w| {
+        sim.run(w, &mut PriorityScheduler::new())
+    })
+    .expect("replay is bit-exact");
+    assert_eq!(replayed, full);
+    println!("replay: bit-exact ({} steps reproduced)", full.steps.steps);
+
+    // …and estimate the whole day from a few representative slices.
+    let sampled = SampledSim::new(SamplerConfig {
+        windows: 48,
+        clusters: 4,
+        ..SamplerConfig::default()
+    })
+    .run(&restored, &mut |w| {
+        sim.run(w, &mut PriorityScheduler::new())
+    })
+    .expect("sampling succeeds");
+    println!(
+        "sampled sim: {} of {} steps ({:.1}%), goodput {:.2} vs {:.2} tok/s ({:.1}% err)",
+        sampled.simulated_steps,
+        full.steps.steps,
+        sampled.step_fraction() * 100.0,
+        sampled.goodput_tokens_per_s,
+        full.goodput_tokens_per_s,
+        sampled.goodput_error(&full) * 100.0
+    );
 }

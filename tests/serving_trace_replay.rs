@@ -1,0 +1,209 @@
+//! Integration tests for the trace subsystem on the real cycle-level
+//! model: recording a run, serializing it through the binary format, and
+//! replaying it must reproduce the original [`ServeReport`] bit-exactly
+//! — for single-device runs across scheduler/budget/prefix/eviction
+//! configurations and for heterogeneous fleets across dispatch policies.
+//! Recording itself must never perturb the run it observes.
+
+use mcbp::prelude::*;
+use mcbp::serve::{ArrivalProcess, LoadGenerator, Scheduler, ServeConfig, Workload};
+use mcbp::trace::{from_bytes, to_bytes, verify_replay, SampledSim, SamplerConfig, TraceStats};
+
+fn engine() -> Engine {
+    Engine::new(LlmConfig::opt1b3(), 7)
+}
+
+fn mixed_trace(count: usize, seed: u64) -> Workload {
+    LoadGenerator {
+        task_mix: vec![Task::mnli().with_decode(24), Task::cola().with_decode(24)],
+        class_mix: vec![
+            RequestClass::interactive(0.5, 0.05),
+            RequestClass::batch(),
+            RequestClass::batch(),
+        ],
+        prefix_mix: vec![Some(SharedPrefix::new(1, 64)), None],
+        count,
+        process: ArrivalProcess::Bursty {
+            rate_rps: 24.0,
+            burst_factor: 6.0,
+            burst_len: 6,
+            seed,
+        },
+    }
+    .generate()
+}
+
+/// A tight per-device KV budget that forces admission pressure.
+fn tight_budget(n: usize) -> u64 {
+    let model = LlmConfig::opt1b3();
+    model.kv_cache_bytes(Task::mnli().with_decode(24).final_context(), 1) * n as u64
+}
+
+/// Single-device runs: across schedulers, step budgets, eviction
+/// policies, and prefix mixes, (1) recording does not perturb the run,
+/// (2) the binary format round-trips the trace bit-exactly, and (3)
+/// replaying the restored workload reproduces the report bit-exactly.
+#[test]
+fn single_device_record_roundtrip_replay_bit_exact() {
+    let engine = engine();
+    let load = mixed_trace(28, 3);
+    let mk_scheds = || -> Vec<(&'static str, Box<dyn Scheduler>)> {
+        vec![
+            ("fcfs", Box::new(FcfsScheduler::new())),
+            ("cb", Box::new(ContinuousBatchScheduler::new())),
+            ("prio", Box::new(PriorityScheduler::new())),
+        ]
+    };
+    let configs = [
+        ServeConfig::default(),
+        ServeConfig {
+            step_token_budget: Some(768),
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            kv_budget_bytes: Some(tight_budget(3)),
+            preempt: PreemptConfig {
+                policy: EvictionPolicy::Swap,
+                ..PreemptConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        ServeConfig {
+            kv_budget_bytes: Some(tight_budget(2)),
+            preempt: PreemptConfig::drop_recompute(),
+            ..ServeConfig::default()
+        },
+    ];
+    for (ci, cfg) in configs.iter().enumerate() {
+        let sim = engine.serve_sim(0.3, cfg.clone());
+        for (name, mut sched) in mk_scheds() {
+            let untraced = {
+                let mut s: Box<dyn Scheduler> = match name {
+                    "fcfs" => Box::new(FcfsScheduler::new()),
+                    "cb" => Box::new(ContinuousBatchScheduler::new()),
+                    _ => Box::new(PriorityScheduler::new()),
+                };
+                sim.run(&load, s.as_mut())
+            };
+            let (report, trace) = sim.run_traced(&load, sched.as_mut());
+            assert_eq!(report, untraced, "recording perturbed config {ci} / {name}");
+            assert!(trace.step_count() > 0);
+            assert_eq!(trace.devices, 1);
+
+            let bytes = to_bytes(&trace).expect("serialize");
+            let restored = from_bytes(&bytes).expect("deserialize");
+            assert_eq!(trace, restored, "format round trip, config {ci} / {name}");
+
+            let mut replay_sched: Box<dyn Scheduler> = match name {
+                "fcfs" => Box::new(FcfsScheduler::new()),
+                "cb" => Box::new(ContinuousBatchScheduler::new()),
+                _ => Box::new(PriorityScheduler::new()),
+            };
+            let replayed = verify_replay(&restored, &report, |w| sim.run(w, replay_sched.as_mut()))
+                .unwrap_or_else(|m| panic!("config {ci} / {name}: {m}"));
+            assert_eq!(replayed, report);
+        }
+    }
+}
+
+/// Heterogeneous-fleet runs: a mixed-generation fleet under every
+/// dispatch policy records, round-trips, and replays bit-exactly, with
+/// per-device events covering the whole fleet.
+#[test]
+fn hetero_fleet_record_roundtrip_replay_bit_exact() {
+    let engine = engine();
+    let load = mixed_trace(32, 9);
+    let sim = engine.serve_sim(
+        0.3,
+        ServeConfig {
+            kv_budget_bytes: Some(tight_budget(4)),
+            ..ServeConfig::default()
+        },
+    );
+    let fleet = [
+        DeviceProfile::uniform(),
+        DeviceProfile {
+            attention_keep: Some(0.15),
+            throughput: 0.5,
+            kv_budget_bytes: Some(tight_budget(3)),
+            ..DeviceProfile::uniform()
+        },
+        DeviceProfile {
+            throughput: 2.0,
+            ..DeviceProfile::uniform()
+        },
+    ];
+    for policy in [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::WeightedJsq,
+        DispatchPolicy::PrefixAffinity,
+    ] {
+        let mut mk = || Box::new(ContinuousBatchScheduler::new()) as Box<dyn Scheduler>;
+        let untraced = sim.run_fleet_profiles(&load, &fleet, policy, &mut mk);
+        let (report, trace) = sim.run_fleet_profiles_traced(&load, &fleet, policy, &mut mk);
+        assert_eq!(report, untraced, "recording perturbed {policy:?}");
+        assert_eq!(trace.devices, 3);
+        let touched: std::collections::BTreeSet<u32> =
+            trace.events.iter().map(|e| e.device()).collect();
+        assert!(touched.len() > 1, "fleet events span devices: {touched:?}");
+
+        let bytes = to_bytes(&trace).expect("serialize");
+        let restored = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(trace, restored);
+        let stats = TraceStats::collect(&restored, bytes.len() as u64);
+        assert_eq!(stats.requests, 32);
+
+        let replayed = verify_replay(&restored, &report, |w| {
+            sim.run_fleet_profiles(w, &fleet, policy, &mut mk)
+        })
+        .unwrap_or_else(|m| panic!("{policy:?}: {m}"));
+        assert_eq!(replayed, report);
+    }
+}
+
+/// The sampled simulator on a real diurnal trace: phases partition the
+/// span (weights sum to 1), the sampled run simulates strictly fewer
+/// steps than the full run, and its goodput estimate lands within a
+/// loose sanity band of the truth (the tight 5% bound is asserted by
+/// the `serving_trace` repro experiment on a longer trace).
+#[test]
+fn sampled_sim_tracks_a_real_diurnal_run() {
+    let engine = engine();
+    let load = LoadGenerator {
+        task_mix: vec![Task::mnli().with_decode(24)],
+        class_mix: vec![RequestClass::interactive(1.0, 0.1), RequestClass::batch()],
+        prefix_mix: vec![None],
+        count: 192,
+        process: ArrivalProcess::Diurnal {
+            rate_rps: 8.0,
+            amplitude: 0.6,
+            period_s: 12.0,
+            seed: 5,
+        },
+    }
+    .generate();
+    let sim = engine.serve_sim(0.3, ServeConfig::default());
+    let (full, trace) = sim.run_traced(&load, &mut PriorityScheduler::new());
+    let sampler = SampledSim::new(SamplerConfig {
+        windows: 16,
+        clusters: 4,
+        ..SamplerConfig::default()
+    });
+    let sampled = sampler
+        .run(&trace, &mut |w| sim.run(w, &mut PriorityScheduler::new()))
+        .expect("sampling succeeds");
+    assert!(
+        sampled.simulated_steps < full.steps.steps,
+        "sampled {} vs full {}",
+        sampled.simulated_steps,
+        full.steps.steps
+    );
+    let weight: f64 = sampled.phases.iter().map(|p| p.weight).sum();
+    assert!((weight - 1.0).abs() < 1e-9, "phase weights sum to {weight}");
+    assert!(
+        sampled.goodput_error(&full) < 0.5,
+        "goodput estimate {} vs full {}",
+        sampled.goodput_tokens_per_s,
+        full.goodput_tokens_per_s
+    );
+}
