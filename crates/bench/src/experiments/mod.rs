@@ -4,12 +4,14 @@
 mod architecture;
 mod comparison;
 mod motivation;
+mod parallel;
 mod serving;
 mod trace;
 
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
 pub use motivation::{fig18, fig1a, fig4, fig5ab, fig5cd, fig5fg, fig8b, fig8c, tab2};
+pub use parallel::serving_parallel;
 pub use serving::{
     serving, serving_capacity, serving_fleet, serving_hetero, serving_mixed, serving_models,
     serving_slo,
@@ -50,6 +52,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "serving_hetero",
         "serving_models",
         "serving_trace",
+        "serving_parallel",
     ]
 }
 
@@ -90,6 +93,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "serving_hetero" => Ok(serving_hetero()),
         "serving_models" => Ok(serving_models()),
         "serving_trace" => Ok(serving_trace()),
+        "serving_parallel" => Ok(serving_parallel()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

@@ -51,8 +51,8 @@
 //! exercised end-to-end in `tests/step_cost_bucketing.rs` and the
 //! mixed-step serving tests.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use mcbp_workloads::{Accelerator, Task, TaskKind, TraceContext};
 
@@ -121,11 +121,16 @@ impl StepCost {
 /// boundary costs. Decode costs are near-linear and prefill costs convex
 /// in context, so the chord tracks the exact curve closely — the error is
 /// quantified end-to-end in `tests/step_cost_bucketing.rs`.
+///
+/// The memo cache sits behind an [`RwLock`], so a uniform fleet can share
+/// one model across parallel device workers (`ServeConfig::fleet_workers`):
+/// lookups take the read lock, and racing misses recompute the same pure
+/// function of the key before a last-write-wins insert.
 pub struct StepCostModel<'a> {
     accel: &'a dyn Accelerator,
     template: TraceContext,
     ctx_bucket: usize,
-    cache: RefCell<HashMap<(StepKind, usize, usize), StepCost>>,
+    cache: RwLock<HashMap<(StepKind, usize, usize), StepCost>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,7 +154,7 @@ impl<'a> StepCostModel<'a> {
             accel,
             template,
             ctx_bucket,
-            cache: RefCell::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -299,13 +304,23 @@ impl<'a> StepCostModel<'a> {
     }
 
     /// Distinct accelerator invocations performed so far (cache misses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock was poisoned (an accelerator panicked
+    /// mid-costing on another fleet worker).
     #[must_use]
     pub fn invocations(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.read().expect("cost cache poisoned").len()
     }
 
     fn costed(&self, kind: StepKind, batch: usize, len: usize) -> StepCost {
-        if let Some(hit) = self.cache.borrow().get(&(kind, batch, len)) {
+        if let Some(hit) = self
+            .cache
+            .read()
+            .expect("cost cache poisoned")
+            .get(&(kind, batch, len))
+        {
             return *hit;
         }
         let task = match kind {
@@ -337,7 +352,13 @@ impl<'a> StepCostModel<'a> {
             energy_pj: phase.total_pj(),
             reorder_pj: phase.reorder_pj,
         };
-        self.cache.borrow_mut().insert((kind, batch, len), cost);
+        // Concurrent fleet workers may race to cost the same key; the
+        // computation is a pure function of the key, so last-write-wins
+        // inserts are idempotent and every caller observes the same cost.
+        self.cache
+            .write()
+            .expect("cost cache poisoned")
+            .insert((kind, batch, len), cost);
         cost
     }
 }

@@ -55,12 +55,50 @@
 //! Everything is deterministic: ties in every policy break toward the
 //! lowest device index, so a `(workload, policy, profiles)` triple
 //! replays bit-identically.
+//!
+//! # The parallel fleet drive
+//!
+//! With [`ServeConfig::fleet_workers`](crate::ServeConfig::fleet_workers)
+//! set to two or more, the inter-dispatch device stepping runs on a pool
+//! of scoped worker threads (`crate::parallel`) instead of one step at a
+//! time — bit-exact with the sequential loop, which remains the
+//! reference path.
+//!
+//! **Why devices are independent between dispatch points.** Let `H` be
+//! the arrival cycle of the earliest pending (finite) arrival. The
+//! dispatch gate only opens once the *minimum* clock among busy devices
+//! reaches `H`, so until every busy device's clock crosses `H` no new
+//! request enters the fleet, and the router observes nothing. In that
+//! window the sequential loop interleaves `step`/`admit` across devices
+//! (earliest clock first), but a device's queue, pool, and clock change
+//! only through its *own* steps and admissions — the interleaved
+//! admission passes on other devices are no-ops. Each busy device with
+//! clock below `H` therefore executes exactly the subsequence of
+//! operations the sequential loop would give it: `step` then `admit`,
+//! repeated while it has active work and its clock is below `H`. The
+//! parallel drive runs those per-device subsequences concurrently (one
+//! *phase* per dispatch point), then re-runs the dispatch fixpoint
+//! exactly as the sequential loop does. Closed-loop runs serialize while
+//! unreleased population slots remain — there a completion anywhere
+//! feeds the global dispatcher — and parallelize the drain tail, where
+//! releases are no-ops.
+//!
+//! **Why the merge is deterministic.** Per-device end states are
+//! identical by the argument above, and every fleet aggregate is either
+//! accumulated in device index order, computed by an order-independent
+//! sweep (the fleet peak concurrency), or sorted by an explicit total
+//! order (the trace timeline's `(cycle, device, kind, seq)` key — see
+//! [`TraceEvent::order_key`]). The parallel drive's [`ServeReport`] and
+//! [`RunTrace`] are asserted bit-equal to the sequential reference
+//! across policies, heterogeneous fleets, preemption, and prefix reuse.
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use crate::arrival::Workload;
+use crate::parallel::PhaseQueue;
 use crate::profile::DeviceProfile;
-use crate::record::{RunTrace, TraceEvent};
+use crate::record::{merge_event_logs, RunTrace, TraceEvent};
 use crate::report::{
     DeviceReport, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport, StepReport,
 };
@@ -497,31 +535,41 @@ fn release_next_closed_loop(pending: &mut VecDeque<Request>, now: f64) {
     pending.insert(pos, req);
 }
 
+/// One device's [`DeviceView`] as of its own clock.
+fn device_view(i: usize, d: &DeviceSim<'_, '_>) -> DeviceView {
+    DeviceView {
+        device: i,
+        queued_tokens: d.queued_tokens(),
+        pool_budget_bytes: d.pool.budget_bytes(),
+        pool_reserved_bytes: d.pool.reserved_bytes(),
+        throughput: d.throughput(),
+        resident_prefixes: d
+            .pool
+            .resident_prefixes()
+            .into_iter()
+            .map(|(id, e)| (id, e.tokens))
+            .collect(),
+    }
+}
+
 /// One [`DeviceView`] per device, as of each device's own clock.
 fn fleet_views(devs: &[DeviceSim<'_, '_>]) -> Vec<DeviceView> {
     devs.iter()
         .enumerate()
-        .map(|(i, d)| DeviceView {
-            device: i,
-            queued_tokens: d.queued_tokens(),
-            pool_budget_bytes: d.pool.budget_bytes(),
-            pool_reserved_bytes: d.pool.reserved_bytes(),
-            throughput: d.throughput(),
-            resident_prefixes: d
-                .pool
-                .resident_prefixes()
-                .into_iter()
-                .map(|(id, e)| (id, e.tokens))
-                .collect(),
-        })
+        .map(|(i, d)| device_view(i, d))
         .collect()
 }
 
 /// The shared drive loop: one scheduler slice and one profile per device.
 /// With `trace` set, every device logs its admission/step/preemption
-/// events and the router's dispatch decisions are logged here; the merged,
-/// cycle-sorted history is returned as the [`RunTrace`] — observation
-/// only, the simulated run itself is bit-exact with an untraced one.
+/// events and the router's dispatch decisions are logged here; the merged
+/// history — ordered by the explicit `(cycle, device, kind, seq)` key —
+/// is returned as the [`RunTrace`]. Observation only: the simulated run
+/// itself is bit-exact with an untraced one.
+///
+/// This is the sequential reference path; with
+/// [`ServeConfig::fleet_workers`](crate::ServeConfig::fleet_workers) at
+/// two or more it delegates to the bit-exact [`drive_parallel`].
 pub(crate) fn drive<'a>(
     sim: &ServeSim<'a>,
     workload: &Workload,
@@ -533,7 +581,12 @@ pub(crate) fn drive<'a>(
     let n = scheds.len();
     assert!(n >= 1, "at least one device");
     assert_eq!(n, profiles.len(), "one profile per scheduler slice");
+    let workers = sim.config().fleet_workers.unwrap_or(1).min(n);
+    if workers >= 2 {
+        return drive_parallel(sim, workload, scheds, profiles, router, trace, workers);
+    }
     let closed = workload.closed_loop.is_some();
+    let name = report_name(scheds, router);
     let mut devs: Vec<DeviceSim<'_, '_>> = profiles
         .iter()
         .enumerate()
@@ -632,11 +685,233 @@ pub(crate) fn drive<'a>(
         devs.iter().all(DeviceSim::is_drained),
         "driver exited with undone device work"
     );
+    merge_fleet(workload, devs, route_log, name, trace)
+}
 
-    // ---- merge per-device results ----
+/// Display name of a fleet run's report.
+fn report_name(scheds: &[&mut dyn Scheduler], router: &dyn Router) -> String {
+    if scheds.len() == 1 {
+        scheds[0].name().to_owned()
+    } else {
+        format!("{} [{}x {}]", scheds[0].name(), scheds.len(), router.name())
+    }
+}
+
+/// The maximum number of simultaneously admitted, incomplete requests
+/// across the fleet: a sweep over every device's admission (`+1`) and
+/// departure (`-1`) deltas on the shared clock. Departures sort before
+/// admissions at the same instant, so back-to-back turnover at one cycle
+/// does not read as overlap (admission intervals are half-open). The
+/// sweep is order-independent across devices — it depends only on the
+/// union of the per-device delta logs — which keeps it identical between
+/// the sequential and parallel drives.
+fn fleet_peak_concurrency(logs: &[&[(f64, i32)]]) -> usize {
+    let mut deltas: Vec<(f64, i32)> = logs.iter().flat_map(|l| l.iter().copied()).collect();
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut live: i64 = 0;
+    let mut peak: i64 = 0;
+    for (_, delta) in deltas {
+        live += i64::from(delta);
+        debug_assert!(live >= 0, "fleet concurrency sweep went negative");
+        peak = peak.max(live);
+    }
+    usize::try_from(peak).expect("peak is non-negative")
+}
+
+/// The parallel fleet drive behind
+/// [`ServeConfig::fleet_workers`](crate::ServeConfig::fleet_workers):
+/// the same dispatch fixpoint as [`drive`], with the inter-dispatch
+/// device stepping executed by a pool of scoped worker threads (see the
+/// module docs for the independence argument). Bit-exact with the
+/// sequential drive for any worker count.
+fn drive_parallel<'a>(
+    sim: &ServeSim<'a>,
+    workload: &Workload,
+    scheds: &mut [&mut dyn Scheduler],
+    profiles: &[DeviceProfile<'a>],
+    router: &mut dyn Router,
+    trace: bool,
+    workers: usize,
+) -> (ServeReport, Option<RunTrace>) {
+    let n = scheds.len();
+    debug_assert!(workers >= 2 && workers <= n);
+    let closed = workload.closed_loop.is_some();
+    let name = report_name(scheds, router);
+    let devs: Vec<DeviceSim<'_, '_>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut dev = DeviceSim::new(sim, p);
+            dev.device = i as u32;
+            dev.log = trace.then(Vec::new);
+            dev
+        })
+        .collect();
+    let mut route_log: Vec<TraceEvent> = Vec::new();
+    let mut pending: VecDeque<Request> = workload.requests.clone().into();
+    pending
+        .make_contiguous()
+        .sort_by(|a, b| a.arrival_cycle.total_cmp(&b.arrival_cycle));
+
+    // One slot per device: the device plus its scheduler, behind a mutex
+    // so the borrow checker proves worker/coordinator exclusivity. The
+    // phase barrier already guarantees it — the coordinator only touches
+    // slots while workers are parked — so the locks never contend.
+    let queue = PhaseQueue::new();
+    let cells: Vec<Mutex<_>> = devs
+        .into_iter()
+        .zip(scheds.iter_mut().map(|s| &mut **s))
+        .map(Mutex::new)
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some((slot, horizon)) = queue.claim() {
+                    {
+                        let mut cell = cells[slot].lock().expect("fleet slot poisoned");
+                        let (dev, sched) = &mut *cell;
+                        dev.run_until(horizon, &mut **sched);
+                    }
+                    queue.complete();
+                }
+            });
+        }
+        loop {
+            let mut slots: Vec<_> = cells
+                .iter()
+                .map(|c| c.lock().expect("fleet slot poisoned"))
+                .collect();
+            // ---- admission + dispatch, to a fixpoint (mirrors `drive`) ----
+            loop {
+                let mut progress = false;
+                for slot in slots.iter_mut() {
+                    let drops = slot.0.admit();
+                    if drops > 0 {
+                        progress = true;
+                        if closed {
+                            for _ in 0..drops {
+                                release_next_closed_loop(&mut pending, slot.0.now);
+                            }
+                        }
+                    }
+                }
+                while let Some(head) = pending.front() {
+                    if !head.arrival_cycle.is_finite() {
+                        break;
+                    }
+                    let min_busy = slots
+                        .iter()
+                        .filter(|s| s.0.has_active())
+                        .map(|s| s.0.now)
+                        .min_by(f64::total_cmp);
+                    if min_busy.is_some_and(|clock| head.arrival_cycle > clock) {
+                        break;
+                    }
+                    let req = pending.pop_front().expect("head exists");
+                    let views: Vec<DeviceView> = slots
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| device_view(i, &s.0))
+                        .collect();
+                    let target = router.route(&req, &views);
+                    assert!(
+                        target < n,
+                        "router `{}` picked device {target} of {n}",
+                        router.name()
+                    );
+                    if trace {
+                        route_log.push(TraceEvent::Route {
+                            id: req.id,
+                            device: target as u32,
+                            cycle: req.arrival_cycle,
+                        });
+                    }
+                    slots[target].0.enqueue(req);
+                    let drops = slots[target].0.admit();
+                    if closed && drops > 0 {
+                        let t = slots[target].0.now;
+                        for _ in 0..drops {
+                            release_next_closed_loop(&mut pending, t);
+                        }
+                    }
+                    progress = true;
+                }
+                if !progress {
+                    break;
+                }
+            }
+
+            if closed && pending.iter().any(|r| r.arrival_cycle.is_infinite()) {
+                // Unreleased population slots remain: a completion on any
+                // device feeds the global dispatcher, so devices are not
+                // independent yet. Step exactly as the sequential loop
+                // does — earliest clock first, releases after the step.
+                let Some(i) = (0..n)
+                    .filter(|&i| slots[i].0.has_active())
+                    .min_by(|&a, &b| slots[a].0.now.total_cmp(&slots[b].0.now))
+                else {
+                    break; // drained (leftover slots can never release)
+                };
+                let slot = &mut *slots[i];
+                let completions = slot.0.step(&mut *slot.1);
+                if completions > 0 {
+                    let t = slot.0.now;
+                    for _ in 0..completions {
+                        release_next_closed_loop(&mut pending, t);
+                    }
+                }
+                continue;
+            }
+
+            // ---- parallel phase: drive every busy device below the next
+            // dispatch horizon up to it ----
+            let horizon = pending.front().map_or(f64::INFINITY, |r| r.arrival_cycle);
+            let jobs: Vec<usize> = (0..n)
+                .filter(|&i| slots[i].0.has_active() && slots[i].0.now < horizon)
+                .collect();
+            if jobs.is_empty() {
+                // Drained: after the fixpoint a finite pending head
+                // implies a busy device with an earlier clock.
+                break;
+            }
+            drop(slots);
+            queue.run_phase(jobs, horizon);
+        }
+        queue.shutdown();
+    });
+
+    let devs: Vec<DeviceSim<'_, '_>> = cells
+        .into_iter()
+        .map(|c| c.into_inner().expect("fleet slot poisoned").0)
+        .collect();
+    debug_assert!(
+        devs.iter().all(DeviceSim::is_drained),
+        "parallel driver exited with undone device work"
+    );
+    merge_fleet(workload, devs, route_log, name, trace)
+}
+
+/// Merges drained per-device simulations into the fleet [`ServeReport`]
+/// (and, when tracing, the [`RunTrace`]). Shared by the sequential and
+/// parallel drives: every aggregate is either accumulated in device
+/// index order, computed by an order-independent sweep, or sorted by an
+/// explicit total order, so identical per-device end states merge into
+/// bit-identical reports regardless of how the devices were driven.
+fn merge_fleet(
+    workload: &Workload,
+    mut devs: Vec<DeviceSim<'_, '_>>,
+    route_log: Vec<TraceEvent>,
+    name: String,
+    trace: bool,
+) -> (ServeReport, Option<RunTrace>) {
+    let n = devs.len();
     let duration_cycles = devs.iter().map(|d| d.now).fold(0.0, f64::max);
     let span_s = (duration_cycles / CLOCK_HZ).max(1e-12);
-    let mut events = route_log;
+    // The fleet peak is the true simultaneous maximum, not a sum of
+    // per-device peaks reached at different local instants.
+    let conc_logs: Vec<&[(f64, i32)]> = devs.iter().map(|d| d.conc_log.as_slice()).collect();
+    let peak_concurrency = fleet_peak_concurrency(&conc_logs);
+    let mut device_logs: Vec<Vec<TraceEvent>> = Vec::new();
     let mut records = Vec::new();
     let mut lanes = Vec::new();
     let mut pool = PoolReport::default();
@@ -646,7 +921,6 @@ pub(crate) fn drive<'a>(
     let mut energy_pj = 0.0;
     let mut decode_invocations = 0u64;
     let mut decode_streams = 0u64;
-    let mut peak_concurrency = 0usize;
     for (i, d) in devs.iter_mut().enumerate() {
         let lane_pool = d.pool_report();
         let lane_preempt = d.preempt_report();
@@ -679,16 +953,18 @@ pub(crate) fn drive<'a>(
         // Fleet aggregates: budgets and stalls add; the byte peaks are
         // per-device maxima taken at different local instants, so their
         // sum is an upper bound on any fleet-wide simultaneous figure.
-        // Means are time-weighted onto the fleet span: each device's
-        // mean covers only its own clock window, so a device that
-        // drained early must not count as if it stayed resident for the
-        // whole run.
+        // Means are weighted onto the fleet span by each device's *busy*
+        // span: a device that drained early — or whose clock merely
+        // idled forward waiting for arrivals — held nothing resident in
+        // those windows and must not count as if it did.
         pool.budget_bytes += lane_pool.budget_bytes;
         pool.peak_resident_bytes += lane_pool.peak_resident_bytes;
         pool.peak_reserved_bytes += lane_pool.peak_reserved_bytes;
         if duration_cycles > 0.0 {
-            pool.mean_resident_bytes += lane_pool.mean_resident_bytes * d.now / duration_cycles;
+            pool.mean_resident_bytes +=
+                lane_pool.mean_resident_bytes * d.pool.busy_span_cycles() / duration_cycles;
         }
+        pool.busy_span_seconds += lane_pool.busy_span_seconds;
         pool.admission_stall_seconds += lane_pool.admission_stall_seconds;
         preempt.preemptions += lane_preempt.preemptions;
         preempt.swap_out_bytes += lane_preempt.swap_out_bytes;
@@ -712,9 +988,8 @@ pub(crate) fn drive<'a>(
         energy_pj += d.energy_pj;
         decode_invocations += d.decode_invocations;
         decode_streams += d.decode_streams;
-        peak_concurrency += d.peak_concurrency;
         if let Some(log) = d.log.take() {
-            events.extend(log);
+            device_logs.push(log);
         }
         records.append(&mut d.records);
     }
@@ -726,11 +1001,6 @@ pub(crate) fn drive<'a>(
         0.0
     } else {
         decode_streams as f64 / decode_invocations as f64
-    };
-    let name = if n == 1 {
-        scheds[0].name().to_owned()
-    } else {
-        format!("{} [{}x {}]", scheds[0].name(), n, router.name())
     };
     let report = ServeReport::summarize(
         name,
@@ -749,14 +1019,17 @@ pub(crate) fn drive<'a>(
         lanes,
     );
     let run_trace = trace.then(|| {
-        // Per-device logs are chronological already; the stable sort
-        // merges them (and the route log) onto one cycle-ordered timeline
-        // with deterministic tie-breaking by device order.
-        events.sort_by(|a, b| a.cycle().total_cmp(&b.cycle()));
+        // Merge the route log and the per-device logs (each individually
+        // in emission order) by the explicit `(cycle, device, kind, seq)`
+        // total order — nothing depends on sort stability or on the
+        // order the logs are handed over in.
+        let mut logs = Vec::with_capacity(device_logs.len() + 1);
+        logs.push(route_log);
+        logs.append(&mut device_logs);
         RunTrace {
             workload: workload.clone(),
             devices: n as u32,
-            events,
+            events: merge_event_logs(logs),
         }
     });
     (report, run_trace)
@@ -845,6 +1118,54 @@ mod tests {
         let weighted_tie = vec![view(0, 100, 0, 2.0), view(1, 50, 0, 1.0)];
         let mut router = DispatchPolicy::WeightedJsq.router();
         assert_eq!(router.route(&request(), &weighted_tie), 0);
+    }
+
+    /// Pins the fleet-peak semantics: the peak is the maximum number of
+    /// requests *simultaneously* in flight across the fleet, not a sum
+    /// of per-device peaks reached at different instants, and a
+    /// departure and an admission at the same cycle do not overlap
+    /// (half-open intervals). The sweep must also be independent of the
+    /// order devices are listed in, since the parallel drive steps them
+    /// in nondeterministic wall-clock order.
+    #[test]
+    fn fleet_peak_concurrency_is_simultaneous_not_summed() {
+        // Two devices, each peaking at 1, in disjoint windows: the old
+        // per-device sum reported 2; the true simultaneous peak is 1.
+        let d0: &[(f64, i32)] = &[(0.0, 1), (10.0, -1)];
+        let d1: &[(f64, i32)] = &[(20.0, 1), (30.0, -1)];
+        assert_eq!(fleet_peak_concurrency(&[d0, d1]), 1);
+        // Back-to-back turnover at one cycle: d1 admits exactly when d0
+        // retires — still no overlap.
+        let d1_touching: &[(f64, i32)] = &[(10.0, 1), (30.0, -1)];
+        assert_eq!(fleet_peak_concurrency(&[d0, d1_touching]), 1);
+        // Genuine overlap across devices is counted...
+        let d1_overlap: &[(f64, i32)] = &[(5.0, 1), (30.0, -1)];
+        assert_eq!(fleet_peak_concurrency(&[d0, d1_overlap]), 2);
+        // ...and the result is order-independent and empty-safe.
+        assert_eq!(fleet_peak_concurrency(&[d1_overlap, d0]), 2);
+        assert_eq!(fleet_peak_concurrency(&[]), 0);
+        // Within one device the sweep reproduces the running maximum the
+        // per-device sampled peak used to report, including same-cycle
+        // turnover: the third admission lands as the first request
+        // retires, so three requests never coexist.
+        let busy: &[(f64, i32)] = &[
+            (0.0, 1),
+            (1.0, 1),
+            (2.0, 1),
+            (2.0, -1),
+            (3.0, -1),
+            (4.0, -1),
+        ];
+        assert_eq!(fleet_peak_concurrency(&[busy]), 2);
+        let stacked: &[(f64, i32)] = &[
+            (0.0, 1),
+            (1.0, 1),
+            (2.0, 1),
+            (3.0, -1),
+            (3.0, -1),
+            (4.0, -1),
+        ];
+        assert_eq!(fleet_peak_concurrency(&[stacked]), 3);
     }
 
     #[test]

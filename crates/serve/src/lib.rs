@@ -173,6 +173,7 @@
 mod arrival;
 mod cost;
 mod dispatch;
+mod parallel;
 mod pool;
 mod preempt;
 mod profile;

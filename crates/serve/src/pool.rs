@@ -120,6 +120,7 @@ pub struct KvCachePool {
     peak_reserved_bytes: u64,
     occupancy_integral: f64,
     last_update_cycle: f64,
+    idle_cycles: f64,
     ledger: BTreeMap<RequestId, Reservation>,
     prefixes: BTreeMap<PrefixId, PrefixResidency>,
 }
@@ -136,6 +137,7 @@ impl KvCachePool {
             peak_reserved_bytes: 0,
             occupancy_integral: 0.0,
             last_update_cycle: 0.0,
+            idle_cycles: 0.0,
             ledger: BTreeMap::new(),
             prefixes: BTreeMap::new(),
         }
@@ -286,13 +288,35 @@ impl KvCachePool {
         self.last_update_cycle = now_cycle;
     }
 
-    /// Mean resident bytes over the integrated interval.
+    /// Advances the occupancy clock across an *idle* window (the device
+    /// fast-forwarded past a gap with no admitted work): the window is
+    /// excluded from the mean-occupancy statistic entirely — neither its
+    /// duration nor any residual residency (e.g. a warm shared prefix)
+    /// counts — so [`KvCachePool::mean_resident_bytes`] stays the mean
+    /// *while serving* and an idle-heavy device cannot dilute it.
+    pub fn skip_idle(&mut self, now_cycle: f64) {
+        let dt = (now_cycle - self.last_update_cycle).max(0.0);
+        self.idle_cycles += dt;
+        self.last_update_cycle = now_cycle;
+    }
+
+    /// Cycles the occupancy clock has integrated over, excluding windows
+    /// skipped as idle ([`KvCachePool::skip_idle`]) — the device's busy
+    /// span, and the weight its [`KvCachePool::mean_resident_bytes`]
+    /// carries in a fleet-wide mean.
+    #[must_use]
+    pub fn busy_span_cycles(&self) -> f64 {
+        (self.last_update_cycle - self.idle_cycles).max(0.0)
+    }
+
+    /// Mean resident bytes over the busy (non-idle) integrated span.
     #[must_use]
     pub fn mean_resident_bytes(&self) -> f64 {
-        if self.last_update_cycle <= 0.0 {
+        let busy = self.busy_span_cycles();
+        if busy <= 0.0 {
             return 0.0;
         }
-        self.occupancy_integral / self.last_update_cycle
+        self.occupancy_integral / busy
     }
 
     // ---- the resident-prefix ledger ----

@@ -142,13 +142,70 @@ impl TraceEvent {
             | TraceEvent::Preempt { device, .. } => device,
         }
     }
+
+    /// Rank of the event kind within one `(cycle, device)` tie group —
+    /// the third component of the explicit total order key (see
+    /// [`TraceEvent::order_key`]). Route decisions come first (the
+    /// dispatcher observes the fleet at the arrival instant, before the
+    /// target device reacts), then the step retiring at that instant,
+    /// then the admission pass it unblocks: evictions before the
+    /// admissions they make room for, rejections last.
+    #[must_use]
+    pub fn kind_rank(&self) -> u8 {
+        match self {
+            TraceEvent::Route { .. } => 0,
+            TraceEvent::Step { .. } => 1,
+            TraceEvent::Preempt { .. } => 2,
+            TraceEvent::Admit { .. } => 3,
+            TraceEvent::Drop { .. } => 4,
+        }
+    }
+
+    /// The event's explicit total order key `(cycle, device, kind)`. A
+    /// merged timeline sorts by this key plus each event's sequence
+    /// number within its source log (`(cycle, device, kind, seq)`), which
+    /// pins every tie: same-cycle events from different devices order by
+    /// device, same-device ties by kind rank, and remaining ties by
+    /// emission order. Nothing is left to sort stability or log
+    /// concatenation order, so sequential and parallel fleet drives merge
+    /// identical per-device logs into identical timelines.
+    #[must_use]
+    pub fn order_key(&self) -> (f64, u32, u8) {
+        (self.cycle(), self.device(), self.kind_rank())
+    }
+}
+
+/// Merges per-source event logs (the router's dispatch log and each
+/// device's log, each individually in emission order) onto one timeline
+/// ordered by the explicit `(cycle, device, kind, seq)` key — `seq` being
+/// the event's index within its source log. The result is independent of
+/// the order in which the source logs are supplied.
+pub(crate) fn merge_event_logs(logs: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut keyed: Vec<((f64, u32, u8), usize, TraceEvent)> = logs
+        .into_iter()
+        .flat_map(|log| {
+            log.into_iter()
+                .enumerate()
+                .map(|(seq, ev)| (ev.order_key(), seq, ev))
+        })
+        .collect();
+    keyed.sort_by(|a, b| {
+        let ((ac, ad, ak), aseq, _) = a;
+        let ((bc, bd, bk), bseq, _) = b;
+        ac.total_cmp(bc)
+            .then(ad.cmp(bd))
+            .then(ak.cmp(bk))
+            .then(aseq.cmp(bseq))
+    });
+    keyed.into_iter().map(|(_, _, ev)| ev).collect()
 }
 
 /// The full recorded history of one traced serving run: the materialized
 /// workload that drove it (arrivals, shapes, classes, SLOs, prefixes —
 /// everything a replay needs, no generator RNG required) plus the merged
-/// event stream, sorted by cycle (ties keep device order, so the stream
-/// is deterministic).
+/// event stream, sorted by the explicit `(cycle, device, kind, seq)`
+/// total order key ([`TraceEvent::order_key`]) — fully pinned, so
+/// sequential and parallel fleet drives produce the identical stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunTrace {
     /// The workload the run served — replaying it under the same
@@ -248,6 +305,60 @@ mod tests {
         assert_eq!(cycles, vec![10.0, 11.0, 12.0, 13.0, 14.0]);
         let devices: Vec<u32> = events.iter().map(TraceEvent::device).collect();
         assert_eq!(devices, vec![2, 2, 0, 1, 1]);
+    }
+
+    /// Same-cycle events from multiple devices must land in a unique
+    /// order regardless of the order the source logs are supplied in —
+    /// the regression the explicit `(cycle, device, kind, seq)` key
+    /// exists for. A bare stable sort on `cycle` would order these ties
+    /// by log concatenation order instead.
+    #[test]
+    fn merge_orders_same_cycle_events_by_device_kind_then_seq() {
+        let route = |id, device| TraceEvent::Route {
+            id,
+            device,
+            cycle: 10.0,
+        };
+        let admit = |device, id| TraceEvent::Admit {
+            device,
+            cycle: 10.0,
+            id,
+            resumed: false,
+            reused_prefix_tokens: 0,
+            queue_depth: 0,
+        };
+        let step = |device| TraceEvent::Step {
+            device,
+            start_cycle: 4.0,
+            end_cycle: 10.0,
+            prefill_streams: 1,
+            decode_streams: 0,
+            prefill_tokens: 8,
+            queue_depth: 0,
+            active_streams: 1,
+            pool_reserved_bytes: 64,
+            completions: 1,
+        };
+        // Route log plus two device logs, every event at cycle 10.
+        let route_log = vec![route(1, 1), route(2, 0)];
+        let dev0 = vec![step(0), admit(0, 2)];
+        let dev1 = vec![step(1), admit(1, 1), admit(1, 3)];
+        let forward = merge_event_logs(vec![route_log.clone(), dev0.clone(), dev1.clone()]);
+        let reversed = merge_event_logs(vec![dev1, dev0, route_log]);
+        assert_eq!(forward, reversed, "merge must not depend on log order");
+        // Ties group by device (a route carries its *target* device),
+        // then by kind within a device — route, retiring step, then the
+        // admissions it unblocks, in emission order.
+        let expect = vec![
+            route(2, 0),
+            step(0),
+            admit(0, 2),
+            route(1, 1),
+            step(1),
+            admit(1, 1),
+            admit(1, 3),
+        ];
+        assert_eq!(forward, expect);
     }
 
     #[test]

@@ -96,8 +96,16 @@ pub struct PoolReport {
     pub peak_resident_bytes: u64,
     /// Peak reserved bytes observed (admission high-water mark).
     pub peak_reserved_bytes: u64,
-    /// Time-weighted mean resident bytes.
+    /// Time-weighted mean resident bytes over the busy span — windows the
+    /// device's clock merely fast-forwarded across (no admitted work) are
+    /// excluded, so an idle-heavy device does not dilute its mean.
     pub mean_resident_bytes: f64,
+    /// The busy span the mean integrates over, in seconds: the device's
+    /// serving clock minus idle fast-forward gaps. For a fleet aggregate
+    /// this is the *sum* of per-device busy spans (device-seconds of
+    /// service), and it is the weight each device's mean carries in the
+    /// fleet mean.
+    pub busy_span_seconds: f64,
     /// Total admission-stall time summed over requests, in seconds.
     pub admission_stall_seconds: f64,
 }
@@ -117,11 +125,13 @@ impl PoolReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"budget_bytes\":{},\"peak_resident_bytes\":{},\"peak_reserved_bytes\":{},\
-             \"mean_resident_bytes\":{},\"admission_stall_seconds\":{}}}",
+             \"mean_resident_bytes\":{},\"busy_span_seconds\":{},\
+             \"admission_stall_seconds\":{}}}",
             self.budget_bytes,
             self.peak_resident_bytes,
             self.peak_reserved_bytes,
             json_f64(self.mean_resident_bytes),
+            json_f64(self.busy_span_seconds),
             json_f64(self.admission_stall_seconds)
         )
     }
@@ -350,16 +360,23 @@ pub struct ServeReport {
     pub offered_rps: Option<f64>,
     /// Mean decode-streams coalesced per batched decode invocation.
     pub mean_decode_batch: f64,
-    /// Peak in-flight concurrency (admitted, incomplete requests).
+    /// Peak in-flight concurrency: the maximum number of requests that
+    /// were *simultaneously* admitted and incomplete, measured on the
+    /// merged fleet timeline (a request counts from admission until
+    /// completion or eviction; a departure and an admission at the same
+    /// instant do not overlap). This is a true simultaneous fleet-wide
+    /// peak — not a sum of per-device peaks taken at different local
+    /// instants — and is identical for sequential and parallel drives.
     pub peak_concurrency: usize,
     /// Total accelerator energy in joules.
     pub energy_joules: f64,
     /// KV-pool statistics. For a fleet run this is the aggregate: budgets
     /// and stalls add, the byte peaks are sums of per-device maxima taken
     /// at different local instants (an upper bound on any simultaneous
-    /// fleet-wide figure), and the mean residency is each device's mean
-    /// weighted by its own active window over the fleet span — per-device
-    /// truth lives in [`ServeReport::devices`].
+    /// fleet-wide figure), and the mean residency is each device's
+    /// busy-span mean weighted by its busy span over the fleet span — a
+    /// device whose clock merely idled forward carries no extra weight.
+    /// Per-device truth lives in [`ServeReport::devices`].
     pub pool: PoolReport,
     /// Preemption/eviction statistics (fleet-wide sums for a fleet run).
     pub preempt: PreemptReport,

@@ -105,6 +105,14 @@ pub struct ServeConfig {
     /// latency is charged at the configured host link and is *not* scaled
     /// by the fleet (one host link per serving instance).
     pub preempt: PreemptConfig,
+    /// Worker threads for the fleet drive loop. `None` (the default) and
+    /// `Some(1)` run the sequential reference loop; `Some(n ≥ 2)` steps
+    /// independent busy devices between dispatch points on a scoped
+    /// worker pool (see `crate::dispatch` module docs). The parallel
+    /// drive is bit-exact with the sequential reference — identical
+    /// [`ServeReport`] and `RunTrace` — regardless of worker count, so
+    /// this knob trades wall-clock time only, never results.
+    pub fleet_workers: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +125,7 @@ impl Default for ServeConfig {
             kv_budget_bytes: None,
             fleet: Fleet::single(),
             preempt: PreemptConfig::default(),
+            fleet_workers: None,
         }
     }
 }
@@ -151,6 +160,9 @@ pub enum ServeConfigError {
     /// A fleet run was given no device profiles: there is no device to
     /// dispatch to.
     EmptyFleet,
+    /// `fleet_workers == Some(0)`: no worker could ever step a device
+    /// (use `None` for the sequential reference loop).
+    ZeroFleetWorkers,
     /// A [`DeviceProfile`]'s throughput weight is zero, negative, or
     /// non-finite: weighted-JSQ dispatch would divide by it.
     ZeroThroughputProfile {
@@ -206,6 +218,10 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::EmptyFleet => {
                 write!(f, "a fleet needs at least one device profile")
             }
+            ServeConfigError::ZeroFleetWorkers => write!(
+                f,
+                "fleet workers must be positive (use None for the sequential loop)"
+            ),
             ServeConfigError::ZeroThroughputProfile { device } => write!(
                 f,
                 "device profile {device} has a non-positive throughput weight: \
@@ -252,6 +268,9 @@ impl ServeConfig {
         }
         if self.prefill_chunk == Some(0) {
             return Err(ServeConfigError::ZeroPrefillChunk);
+        }
+        if self.fleet_workers == Some(0) {
+            return Err(ServeConfigError::ZeroFleetWorkers);
         }
         match (self.step_token_budget, self.prefill_chunk) {
             (Some(0), _) => Err(ServeConfigError::ZeroStepTokenBudget),
@@ -633,7 +652,13 @@ pub(crate) struct DeviceSim<'s, 'a> {
     pub(crate) energy_pj: f64,
     pub(crate) decode_invocations: u64,
     pub(crate) decode_streams: u64,
-    pub(crate) peak_concurrency: usize,
+    /// In-flight concurrency deltas on this device's clock: `(cycle, +1)`
+    /// when a request enters the active set (fresh or resumed admission),
+    /// `(cycle, -1)` when it leaves (eviction or completion). The fleet
+    /// merge sweeps the union of every device's deltas for the true
+    /// fleet-wide simultaneous peak — an order-independent reduction, so
+    /// it is deterministic under parallel device stepping.
+    pub(crate) conc_log: Vec<(f64, i32)>,
     pub(crate) dispatched: usize,
     /// Fleet index of this device (stamped onto recorded events).
     pub(crate) device: u32,
@@ -684,7 +709,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             energy_pj: 0.0,
             decode_invocations: 0,
             decode_streams: 0,
-            peak_concurrency: 0,
+            conc_log: Vec::new(),
             dispatched: 0,
             device: 0,
             log: None,
@@ -783,14 +808,16 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 if let Some(arrival) = next {
                     if arrival > self.now {
                         self.now = arrival;
-                        self.pool.advance_clock(self.now);
+                        // The gap holds no admitted work (asserted above),
+                        // so it is excluded from the occupancy mean
+                        // entirely rather than diluting it.
+                        self.pool.skip_idle(self.now);
                         continue;
                     }
                 }
             }
             break;
         }
-        self.peak_concurrency = self.peak_concurrency.max(self.active.len());
         drops
     }
 
@@ -896,6 +923,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         first_token_cycle: s.first_token_cycle,
                         preemptions: s.preemptions,
                     });
+                    self.conc_log.push((self.now, 1));
                     self.record(TraceEvent::Admit {
                         device: self.device,
                         cycle: self.now,
@@ -948,6 +976,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                         first_token_cycle: s.first_token_cycle,
                         preemptions: s.preemptions,
                     });
+                    self.conc_log.push((self.now, 1));
                     self.record(TraceEvent::Admit {
                         device: self.device,
                         cycle: self.now,
@@ -1022,6 +1051,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     first_token_cycle: 0.0,
                     preemptions: 0,
                 });
+                self.conc_log.push((self.now, 1));
                 self.record(TraceEvent::Admit {
                     device: self.device,
                     cycle: self.now,
@@ -1152,6 +1182,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 first_token_cycle: f.first_token_cycle,
                 preemptions: f.preemptions + 1,
             });
+            self.conc_log.push((self.now, -1));
             self.record(TraceEvent::Preempt {
                 device: self.device,
                 cycle: self.now,
@@ -1405,6 +1436,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 preemptions: f.preemptions,
                 request: f.req,
             });
+            self.conc_log.push((self.now, -1));
             completions += 1;
         }
         if self.log.is_some() {
@@ -1423,6 +1455,21 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             });
         }
         completions
+    }
+
+    /// Drives this device alone up to `horizon`: steps while it holds
+    /// active work and its clock sits strictly before the horizon,
+    /// re-running local admission after every step — exactly the
+    /// subsequence of the sequential drive loop that touches this device
+    /// between dispatch points, which is what makes the parallel fleet
+    /// phase bit-exact (see the `crate::dispatch` module docs). The
+    /// caller guarantees no cross-device coupling is live before
+    /// `horizon`: no dispatch is due and no closed-loop slot can release.
+    pub(crate) fn run_until(&mut self, horizon: f64, scheduler: &mut dyn Scheduler) {
+        while self.has_active() && self.now < horizon {
+            self.step(scheduler);
+            self.admit();
+        }
     }
 
     /// Total device-busy cycles: executed steps plus swap stalls.
@@ -1444,6 +1491,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             peak_resident_bytes: self.pool.peak_resident_bytes(),
             peak_reserved_bytes: self.pool.peak_reserved_bytes(),
             mean_resident_bytes: self.pool.mean_resident_bytes(),
+            busy_span_seconds: self.pool.busy_span_cycles() / crate::CLOCK_HZ,
             admission_stall_seconds: stall_cycles / crate::CLOCK_HZ,
         }
     }

@@ -1,0 +1,181 @@
+//! Property-based equivalence of the sequential and parallel fleet
+//! drives: over arbitrary arrival traces, fleet widths, worker counts,
+//! dispatch policies, schedulers, pool pressure (preemption), shared
+//! prefixes, and open- versus closed-loop load, a run with
+//! `ServeConfig::fleet_workers = Some(w)` must produce the **bit-exact**
+//! `ServeReport` *and* `RunTrace` of the sequential reference
+//! (`fleet_workers = None`). The parallel drive is pure execution
+//! strategy; any observable divergence is a bug.
+
+use std::sync::OnceLock;
+
+use mcbp_model::LlmConfig;
+use mcbp_serve::{
+    DeviceProfile, DispatchPolicy, Priority, Request, RequestId, Scheduler, ServeConfig, ServeSim,
+    SharedPrefix, SloSpec, Workload,
+};
+use mcbp_workloads::{
+    Accelerator, PhaseCost, RunReport, SparsityProfile, Task, TraceContext, WeightGenerator,
+};
+use proptest::prelude::*;
+
+/// Analytic accelerator with the qualitative serving shape (see
+/// `step_budget_properties.rs`): exact arithmetic, fast enough for
+/// hundreds of simulated fleet runs.
+struct Toy;
+
+impl Accelerator for Toy {
+    fn name(&self) -> &str {
+        "toy"
+    }
+
+    fn run(&self, ctx: &TraceContext) -> RunReport {
+        let b = ctx.batch as f64;
+        RunReport {
+            prefill: PhaseCost {
+                gemm_cycles: 10.0 * ctx.task.prompt_len as f64 * b,
+                compute_pj: ctx.task.prompt_len as f64 * b,
+                ..Default::default()
+            },
+            decode: PhaseCost {
+                weight_load_cycles: 1_000_000.0,
+                kv_load_cycles: 100.0 * ctx.task.prompt_len as f64 * b * ctx.task.decode_len as f64,
+                compute_pj: b,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// The trace-context template, built once (weight-profile measurement is
+/// the expensive part and is identical across cases).
+fn template() -> TraceContext {
+    static TEMPLATE: OnceLock<TraceContext> = OnceLock::new();
+    TEMPLATE
+        .get_or_init(|| {
+            let model = LlmConfig::opt1b3();
+            let gen = WeightGenerator::for_model(&model);
+            let profile = SparsityProfile::measure(&gen.quantized_sample(16, 64, 1), 4);
+            TraceContext {
+                model,
+                task: Task::cola(),
+                batch: 1,
+                weight_profile: profile,
+                attention_keep: 0.3,
+            }
+        })
+        .clone()
+}
+
+/// One raw generated request: `((prompt_len, decode_len, arrival_gap),
+/// (interactive, carries_prefix))` — nested because the vendored
+/// proptest implements tuple strategies up to arity four.
+type RawRequest = ((usize, usize, u32), (u8, u8));
+
+/// Materializes an arbitrary trace. With `closed_concurrency` set, only
+/// the first `c` requests arrive on the clock; the rest carry
+/// `f64::INFINITY` and are released by completions — the fixed-population
+/// closed loop. Requests flagged with a prefix share one 48-token prefix
+/// (only when the prompt is long enough to hold it).
+fn workload_from(raw: &[RawRequest], closed_concurrency: Option<usize>) -> Workload {
+    let mut arrival = 0.0f64;
+    let requests = raw
+        .iter()
+        .enumerate()
+        .map(
+            |(i, &((prompt_len, decode_len, gap), (class_bit, prefix_bit)))| {
+                arrival += f64::from(gap);
+                let closed_tail = closed_concurrency.is_some_and(|c| i >= c);
+                Request {
+                    id: i as RequestId,
+                    arrival_cycle: if closed_tail { f64::INFINITY } else { arrival },
+                    prompt_len,
+                    decode_len,
+                    task_name: "prop",
+                    priority: if class_bit == 1 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    },
+                    slo: SloSpec::none(),
+                    prefix: (prefix_bit == 1 && prompt_len >= 48).then(|| SharedPrefix::new(7, 48)),
+                }
+            },
+        )
+        .collect();
+    Workload {
+        requests,
+        closed_loop: closed_concurrency,
+    }
+}
+
+fn make_scheduler(priority: bool) -> Box<dyn Scheduler> {
+    if priority {
+        Box::new(mcbp_serve::PriorityScheduler::new())
+    } else {
+        Box::new(mcbp_serve::ContinuousBatchScheduler::new())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The tentpole equivalence property. `workers` ranges over 1 (the
+    /// parallel entry immediately reduces to the sequential path), 2,
+    /// and up to the fleet width; `hetero` skews per-device throughput
+    /// weights; a tight pool budget exercises preemption on some cases.
+    #[test]
+    fn parallel_drive_is_bit_exact_with_the_sequential_reference(
+        raw in proptest::collection::vec(
+            ((1usize..400, 0usize..10, 0u32..2_000_000), (0u8..2, 0u8..2)),
+            1..20,
+        ),
+        devices in 2usize..=4,
+        workers in 1usize..=4,
+        policy_ix in 0usize..DispatchPolicy::ALL.len(),
+        priority_sched in 0u8..2,
+        hetero in 0u8..2,
+        tight_pool in 0u8..2,
+        closed in 0u8..2,
+        concurrency in 1usize..6,
+    ) {
+        let policy = DispatchPolicy::ALL[policy_ix];
+        let workload = workload_from(&raw, (closed == 1).then_some(concurrency.min(raw.len())));
+        let accel = Toy;
+        let budget = (tight_pool == 1).then(|| {
+            // Roughly two of the largest requests fit: admission stalls
+            // and (priority) preemption become common, not exotic.
+            mcbp_serve::request_kv_bytes(&template().model, 400 + 10, 0.3) * 2
+        });
+        let base = ServeConfig {
+            kv_budget_bytes: budget,
+            ..ServeConfig::default()
+        };
+        let seq_sim = ServeSim::try_new(&accel, template(), base.clone()).expect("valid config");
+        let par_cfg = ServeConfig { fleet_workers: Some(workers), ..base };
+        let par_sim = ServeSim::try_new(&accel, template(), par_cfg).expect("valid config");
+        let profiles: Vec<DeviceProfile> = (0..devices)
+            .map(|i| {
+                let t = if hetero == 1 { 1.0 + 0.5 * i as f64 } else { 1.0 };
+                DeviceProfile::uniform().with_throughput(t)
+            })
+            .collect();
+        let mut mk = || make_scheduler(priority_sched == 1);
+        let (seq_report, seq_trace) =
+            seq_sim.run_fleet_profiles_traced(&workload, &profiles, policy, &mut mk);
+        let (par_report, par_trace) =
+            par_sim.run_fleet_profiles_traced(&workload, &profiles, policy, &mut mk);
+        prop_assert_eq!(
+            &seq_report, &par_report,
+            "ServeReport diverged ({:?}, {} devices, {} workers)",
+            policy, devices, workers
+        );
+        prop_assert_eq!(
+            &seq_trace, &par_trace,
+            "RunTrace diverged ({:?}, {} devices, {} workers)",
+            policy, devices, workers
+        );
+        // Sanity: the runs actually served the trace.
+        prop_assert_eq!(seq_report.completed + seq_report.dropped, raw.len());
+    }
+}
