@@ -1,0 +1,210 @@
+//! Disaggregated prefill/decode serving at equal silicon: the same
+//! bursty mixed interactive/batch trace served once by four `Unified`
+//! devices and once by a 2-prefill + 2-decode split of the *same* four
+//! devices, with each request's KV handed off over the modeled host
+//! link after its first token. Long batch-class prompts monopolize
+//! unified devices' invocations — every queued interactive prompt's
+//! first token shares step budget with somebody's 2k-token prefill and
+//! with the resident decode streams, and every decode stream stalls
+//! while its device chunks through a prompt. The split fleet removes
+//! both contentions at once: prefill devices chunk prompts back-to-back
+//! and emit each request's first token (the DistServe cut — TTFT never
+//! waits on a second admission), decode devices run pure token steps.
+//! The experiment asserts the interactive p95 TTFT improvement **and**
+//! equal-or-better batch-class p95 TPOT, verifies every transferred
+//! byte was conserved, and replay-checks the recorded disaggregated
+//! trace through the binary format.
+
+use mcbp::prelude::*;
+use mcbp::serve::{ArrivalProcess, DispatchPolicy, LoadGenerator, RequestClass, Workload};
+use mcbp::trace::{from_bytes, to_bytes, verify_replay};
+
+use super::serving::{class_p95_tpot, interactive_p95_ttft};
+use crate::{f2, render_table, SEED, STANDARD_KEEP};
+
+/// Devices on each side of the comparison (equal silicon).
+const DEVICES: usize = 4;
+
+/// Devices of the split fleet dedicated to the prefill pool; the rest
+/// decode. Long batch-class prompts make prefill roughly half the work,
+/// so the split is even.
+const PREFILL_DEVICES: usize = 2;
+
+/// Host-link bandwidth for the KV handoffs, in bytes per core cycle:
+/// 64 B/cycle ≈ 64 GB/s at the 1 GHz core clock — a datacenter-class
+/// interconnect, far above the swap link's default 0.5 B/cycle edge DMA.
+const HANDOFF_LINK: f64 = 64.0;
+
+/// Bursty mixed trace: short interactive chats interleaved with
+/// long-prompt batch jobs. The equal-length task and class mixes keep
+/// the pairing fixed — slot 0 is always the 256-token interactive chat,
+/// slots 1–2 the 2k-token batch documents — so on a unified fleet every
+/// interactive first token shares its step budget with somebody's
+/// 2k-token chunked prefill and the resident document decode streams,
+/// while a split fleet's prefill pool chews documents back-to-back
+/// (emitting each request's first token before handing off) and its
+/// decode pool runs pure token steps.
+fn bursty_mixed(count: usize, seed: u64) -> Workload {
+    LoadGenerator {
+        task_mix: vec![
+            Task::cola().with_decode(16),      // 256-token prompt chat
+            Task::wikitext2().with_decode(64), // 2048-token prompt doc
+            Task::wikitext2().with_decode(64), // 2048-token prompt doc
+        ],
+        class_mix: vec![
+            RequestClass::interactive(0.5, 0.05),
+            RequestClass::batch(),
+            RequestClass::batch(),
+        ],
+        prefix_mix: vec![None],
+        count,
+        process: ArrivalProcess::Bursty {
+            rate_rps: 12.0,
+            burst_factor: 6.0,
+            burst_len: 6,
+            seed,
+        },
+    }
+    .generate()
+}
+
+fn mk() -> impl FnMut() -> Box<dyn mcbp::serve::Scheduler> {
+    || Box::new(PriorityScheduler::new()) as Box<dyn mcbp::serve::Scheduler>
+}
+
+/// Disaggregated vs unified serving at equal silicon, replay-checked.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn serving_disagg() -> String {
+    let model = LlmConfig::opt1b3();
+    let engine = Engine::new(model.clone(), SEED);
+    let load = bursty_mixed(96, 13);
+    // Two documents' worth of KV per device: tight enough that bursts
+    // exercise admission control, loose enough that nothing starves.
+    let budget = model.kv_cache_bytes(Task::wikitext2().with_decode(64).final_context(), 1) * 2;
+    let sim = engine.serve_sim(
+        STANDARD_KEEP,
+        ServeConfig {
+            prefill_chunk: Some(128),
+            step_token_budget: Some(128),
+            kv_budget_bytes: Some(budget),
+            ..ServeConfig::default()
+        },
+    );
+    let policy = DispatchPolicy::JoinShortestQueue;
+
+    let unified_fleet = vec![DeviceProfile::uniform(); DEVICES];
+    let disagg_fleet: Vec<DeviceProfile> = (0..DEVICES)
+        .map(|i| {
+            let role = if i < PREFILL_DEVICES {
+                DeviceRole::Prefill
+            } else {
+                DeviceRole::Decode
+            };
+            DeviceProfile::uniform()
+                .with_role(role)
+                .with_host_link(HANDOFF_LINK)
+        })
+        .collect();
+
+    let unified = sim.run_fleet_profiles(&load, &unified_fleet, policy, &mut mk());
+    let (disagg, trace) = sim.run_fleet_profiles_traced(&load, &disagg_fleet, policy, &mut mk());
+
+    // Both arms served the whole trace.
+    assert_eq!(unified.completed + unified.dropped, load.requests.len());
+    assert_eq!(disagg.completed + disagg.dropped, load.requests.len());
+    assert_eq!(disagg.completed, unified.completed, "equal work served");
+
+    // The headline claim: splitting the same four devices improves
+    // interactive p95 TTFT without costing batch-class p95 TPOT.
+    let uni_ttft = interactive_p95_ttft(&unified);
+    let dis_ttft = interactive_p95_ttft(&disagg);
+    assert!(
+        dis_ttft < uni_ttft,
+        "disaggregation must cut interactive p95 TTFT at equal silicon: {dis_ttft} vs {uni_ttft}"
+    );
+    let uni_tpot = class_p95_tpot(&unified, Priority::Batch);
+    let dis_tpot = class_p95_tpot(&disagg, Priority::Batch);
+    assert!(
+        dis_tpot <= uni_tpot,
+        "the TTFT win must not cost batch p95 TPOT: {dis_tpot} vs {uni_tpot}"
+    );
+
+    // Handoff accounting: the unified arm never touches the link; the
+    // split arm moved every decode-carrying survivor across it exactly
+    // once, and every byte that left a prefill pool landed.
+    assert!(!unified.handoff.any());
+    let h = &disagg.handoff;
+    assert!(h.handoffs_out > 0, "the split fleet actually hands off");
+    assert_eq!(h.handoffs_out, h.handoffs_in);
+    assert_eq!(h.bytes_out, h.bytes_in, "handoff bytes conserved");
+    assert_eq!(h.handoffs_out, trace.handoff_count());
+    assert!(h.link_seconds > 0.0);
+
+    // Replay check: the recorded disaggregated run survives the binary
+    // format and re-runs to the bit-exact report.
+    let restored = from_bytes(&to_bytes(&trace).expect("serialize")).expect("deserialize");
+    assert_eq!(trace, restored, "handoff trace round-trips bit-exactly");
+    let replayed = verify_replay(&restored, &disagg, |w| {
+        sim.run_fleet_profiles(w, &disagg_fleet, policy, &mut mk())
+    })
+    .unwrap_or_else(|m| panic!("disaggregated replay diverged: {m}"));
+    assert_eq!(replayed, disagg);
+
+    let mut rows = Vec::new();
+    for (label, r) in [("unified 4x", &unified), ("split 2p+2d", &disagg)] {
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.1}", interactive_p95_ttft(r) * 1e3),
+            format!("{:.1}", class_p95_tpot(r, Priority::Batch) * 1e3),
+            f2(r.goodput_tokens_per_s),
+            format!("{}", r.handoff.handoffs_out),
+            format!("{:.1}", r.handoff.bytes_out as f64 / (1024.0 * 1024.0)),
+            format!("{:.3}", r.duration_seconds),
+        ]);
+    }
+    let mut out = render_table(
+        &format!(
+            "Disaggregated prefill/decode at equal silicon: {DEVICES} devices, 96-request \
+             bursty mixed trace, KV handoff at {HANDOFF_LINK:.0} B/cycle (OPT-1.3B, keep \
+             {STANDARD_KEEP}; TTFT win at equal-or-better batch TPOT asserted, replay-checked)"
+        ),
+        &[
+            "fleet",
+            "inter p95 ttft ms",
+            "batch p95 tpot ms",
+            "tok/s",
+            "handoffs",
+            "MiB moved",
+            "span s",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\ninteractive p95 TTFT {:.1} ms -> {:.1} ms ({:.2}x) at batch p95 TPOT {:.1} ms -> \
+         {:.1} ms; {} handoffs moved {:.1} MiB over the link ({:.3} s link time)\n",
+        uni_ttft * 1e3,
+        dis_ttft * 1e3,
+        uni_ttft / dis_ttft,
+        uni_tpot * 1e3,
+        dis_tpot * 1e3,
+        h.handoffs_out,
+        h.bytes_out as f64 / (1024.0 * 1024.0),
+        h.link_seconds,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The experiment's asserts are the acceptance criteria; running it
+    /// end-to-end is the test.
+    #[test]
+    fn serving_disagg_wins_ttft_at_equal_silicon() {
+        let out = serving_disagg();
+        assert!(out.contains("replay-checked"));
+        assert!(out.contains("handoffs moved"));
+    }
+}

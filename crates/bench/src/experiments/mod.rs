@@ -3,6 +3,7 @@
 
 mod architecture;
 mod comparison;
+mod disagg;
 mod motivation;
 mod parallel;
 mod serving;
@@ -10,6 +11,7 @@ mod trace;
 
 pub use architecture::{fig19, fig20, fig21, fig22, tab3};
 pub use comparison::{fig17, fig23, fig24a, fig24b, fig25, fig26, tab1, tab4};
+pub use disagg::serving_disagg;
 pub use motivation::{fig18, fig1a, fig4, fig5ab, fig5cd, fig5fg, fig8b, fig8c, tab2};
 pub use parallel::serving_parallel;
 pub use serving::{
@@ -53,6 +55,7 @@ pub fn all_ids() -> Vec<&'static str> {
         "serving_models",
         "serving_trace",
         "serving_parallel",
+        "serving_disagg",
     ]
 }
 
@@ -94,6 +97,7 @@ pub fn run(id: &str) -> Result<String, String> {
         "serving_models" => Ok(serving_models()),
         "serving_trace" => Ok(serving_trace()),
         "serving_parallel" => Ok(serving_parallel()),
+        "serving_disagg" => Ok(serving_disagg()),
         other => Err(format!("unknown experiment id: {other}")),
     }
 }

@@ -392,7 +392,7 @@ fn run_fleet_point(engine: &Engine, devices: usize, policy: DispatchPolicy) -> S
 }
 
 /// p95 TTFT of the interactive class, in seconds.
-fn interactive_p95_ttft(r: &ServeReport) -> f64 {
+pub(crate) fn interactive_p95_ttft(r: &ServeReport) -> f64 {
     let cycles: Vec<f64> = r
         .records
         .iter()
@@ -571,7 +571,7 @@ fn run_mixed_point(engine: &Engine, budget: Option<usize>) -> ServeReport {
 }
 
 /// p95 TPOT of one priority class's completed requests, in seconds.
-fn class_p95_tpot(r: &ServeReport, priority: Priority) -> f64 {
+pub(crate) fn class_p95_tpot(r: &ServeReport, priority: Priority) -> f64 {
     let cycles: Vec<f64> = r
         .records
         .iter()

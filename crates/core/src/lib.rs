@@ -86,9 +86,9 @@ pub mod prelude {
     pub use crate::model::LlmConfig;
     pub use crate::quant::{Calibration, FloatMatrix, QuantizedLinear};
     pub use crate::serve::{
-        ArrivalProcess, ContinuousBatchScheduler, DeviceProfile, DispatchPolicy, EvictionPolicy,
-        FcfsScheduler, LoadGenerator, PreemptConfig, Priority, PriorityScheduler, RequestClass,
-        ServeConfig, ServeReport, ServeSim, SharedPrefix, SloSpec,
+        ArrivalProcess, ContinuousBatchScheduler, DeviceProfile, DeviceRole, DispatchPolicy,
+        EvictionPolicy, FcfsScheduler, LoadGenerator, PreemptConfig, Priority, PriorityScheduler,
+        RequestClass, ServeConfig, ServeReport, ServeSim, SharedPrefix, SloSpec,
     };
     pub use crate::sim::{McbpConfig, McbpSim};
     pub use crate::workloads::{Accelerator, SparsityProfile, Task, TraceContext, WeightGenerator};

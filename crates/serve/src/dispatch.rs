@@ -56,6 +56,45 @@
 //! lowest device index, so a `(workload, policy, profiles)` triple
 //! replays bit-identically.
 //!
+//! # Two-stage routing for disaggregated fleets
+//!
+//! With [`crate::DeviceRole`]-specialized profiles, routing splits into
+//! two stages (the DistServe/Splitwise-style prefill/decode
+//! disaggregation):
+//!
+//! 1. **Stage 1 — prompt placement.** An arriving request is routed over
+//!    the *prefill-capable* devices only (`Unified` or `Prefill`). The
+//!    router sees the candidate subset renumbered to contiguous
+//!    positions — position-based policies (round-robin) and
+//!    identity-based ones (the JSQ family) both pick within the
+//!    candidates, and the pick maps back to the fleet index. Candidate
+//!    order preserves ascending fleet indices, so the "lowest index"
+//!    tie-break is unchanged.
+//! 2. **Stage 2 — decode placement.** A `Prefill`-role device finishes
+//!    the prompt **and generates the request's first token** (the
+//!    DistServe cut point: TTFT is produced entirely on the prefill
+//!    side and never waits on a second admission). Then the request
+//!    leaves its active set: its KV is released from the source pool and
+//!    the driver routes the continuation over the *decode-capable* devices
+//!    (same router instance, same renumbering scheme). The KV bytes
+//!    ride the source device's host link
+//!    ([`crate::PreemptConfig::transfer_cycles`]) — the transfer
+//!    overlaps compute DMA-style, so the latency lands on the request's
+//!    availability (TTFT), not on either device's clock — and are held
+//!    by the destination's [`crate::HandoffLedger`] until its admission
+//!    re-reserves them ([`TraceEvent::Handoff`] records the hop).
+//!    `Unified` devices never hand off: they decode locally, which is
+//!    why an all-`Unified` fleet takes the pre-disaggregation code
+//!    paths bit-exactly.
+//!
+//! Prompt-only requests (`decode_len == 0`) and single-token requests
+//! (`decode_len == 1`) complete on their prefill device — there is no
+//! continuation to move. A handoff whose peak KV can never fit the
+//! destination pool is dropped on arrival (the prefill pool may simply
+//! be larger) with its delivered first token on the record; landed
+//! handoffs compete for admission like any other candidate, keyed by
+//! their link-arrival instant, and may themselves preempt victims.
+//!
 //! # The parallel fleet drive
 //!
 //! With [`ServeConfig::fleet_workers`](crate::ServeConfig::fleet_workers)
@@ -83,6 +122,22 @@
 //! feeds the global dispatcher — and parallelize the drain tail, where
 //! releases are no-ops.
 //!
+//! **Why handoffs do not break the independence argument.** A handoff is
+//! cross-device coupling the horizon cannot see: a `Prefill`-role device
+//! finishing a prompt mid-phase would hand the continuation to another
+//! device *before* `H`. The parallel drive therefore serializes —
+//! earliest clock first, exactly like the sequential loop — whenever any
+//! `Prefill`-role device holds active work, so every handoff is produced,
+//! routed, and booked in sequential order. Once no `Prefill`-role device
+//! is busy, no new handoff can appear before the next dispatch point
+//! (only `Prefill`-role devices extract handoffs, and an idle device is
+//! not stepped mid-phase), and handoffs already *routed* are local state
+//! of their destination — a fixed arrival instant admitted by that
+//! device's own `admit`, no different from a queued arrival — so the
+//! phase argument above applies unchanged. In the common disaggregated
+//! regime the prefill pool drains prompts in bursts and the long decode
+//! tail dominates; the decode pool still parallelizes across workers.
+//!
 //! **Why the merge is deterministic.** Per-device end states are
 //! identical by the argument above, and every fleet aggregate is either
 //! accumulated in device index order, computed by an order-independent
@@ -97,10 +152,11 @@ use std::sync::Mutex;
 
 use crate::arrival::Workload;
 use crate::parallel::PhaseQueue;
-use crate::profile::DeviceProfile;
+use crate::profile::{DeviceProfile, DeviceRole};
 use crate::record::{merge_event_logs, RunTrace, TraceEvent};
 use crate::report::{
-    DeviceReport, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport, StepReport,
+    DeviceReport, HandoffReport, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport,
+    StepReport,
 };
 use crate::request::{PrefixId, Request, SharedPrefix};
 use crate::scheduler::Scheduler;
@@ -560,6 +616,104 @@ fn fleet_views(devs: &[DeviceSim<'_, '_>]) -> Vec<DeviceView> {
         .collect()
 }
 
+/// The fleet indices eligible for each routing stage, plus whether the
+/// fleet is role-specialized at all (when it is not, the drives use the
+/// exact single-stage code paths — bit-exactness with all-`Unified`
+/// fleets by construction).
+struct StagePlan {
+    prefill: Vec<usize>,
+    decode: Vec<usize>,
+    specialized: bool,
+}
+
+impl StagePlan {
+    fn new(profiles: &[DeviceProfile<'_>]) -> Self {
+        let prefill: Vec<usize> = profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.role.can_prefill())
+            .map(|(i, _)| i)
+            .collect();
+        let decode: Vec<usize> = profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.role.can_decode())
+            .map(|(i, _)| i)
+            .collect();
+        let specialized = prefill.len() < profiles.len() || decode.len() < profiles.len();
+        StagePlan {
+            prefill,
+            decode,
+            specialized,
+        }
+    }
+}
+
+/// Routes one request over the candidate subset `set` (ascending fleet
+/// indices). The candidate views are renumbered to contiguous positions
+/// so position-based policies (round-robin) and identity-based ones (the
+/// JSQ family) both pick within the subset; preserving ascending order
+/// keeps the "lowest index" tie-break intact. Returns the fleet index.
+fn route_among(
+    router: &mut dyn Router,
+    req: &Request,
+    set: &[usize],
+    mut view_of: impl FnMut(usize) -> DeviceView,
+) -> usize {
+    let views: Vec<DeviceView> = set
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| DeviceView {
+            device: pos,
+            ..view_of(i)
+        })
+        .collect();
+    let pick = router.route(req, &views);
+    assert!(
+        pick < set.len(),
+        "router `{}` picked candidate {pick} of {}",
+        router.name(),
+        set.len()
+    );
+    set[pick]
+}
+
+/// Stage-2 routing: drains every device's finished prefills in device
+/// index order (then emission order), routes each over the
+/// decode-capable devices, books the transfer on the source's link and
+/// the destination's ledger, and logs the hop. Returns how many handoffs
+/// were routed (fixpoint progress).
+fn route_handoffs(
+    devs: &mut [&mut DeviceSim<'_, '_>],
+    router: &mut dyn Router,
+    decode_set: &[usize],
+    route_log: &mut Vec<TraceEvent>,
+    trace: bool,
+) -> usize {
+    let mut routed = 0;
+    for src in 0..devs.len() {
+        for h in devs[src].take_outbound() {
+            let target = route_among(router, &h.req, decode_set, |i| device_view(i, devs[i]));
+            let cycles = devs[src].handoff_transfer_cycles(h.bytes);
+            let arrival = h.ready_cycle + cycles;
+            devs[src].note_handoff_out(h.bytes, cycles);
+            if trace {
+                route_log.push(TraceEvent::Handoff {
+                    id: h.req.id,
+                    from: src as u32,
+                    to: target as u32,
+                    cycle: h.ready_cycle,
+                    arrival_cycle: arrival,
+                    bytes: h.bytes,
+                });
+            }
+            devs[target].receive_handoff(h, arrival);
+            routed += 1;
+        }
+    }
+    routed
+}
+
 /// The shared drive loop: one scheduler slice and one profile per device.
 /// With `trace` set, every device logs its admission/step/preemption
 /// events and the router's dispatch decisions are logged here; the merged
@@ -586,6 +740,7 @@ pub(crate) fn drive<'a>(
         return drive_parallel(sim, workload, scheds, profiles, router, trace, workers);
     }
     let closed = workload.closed_loop.is_some();
+    let plan = StagePlan::new(profiles);
     let name = report_name(scheds, router);
     let mut devs: Vec<DeviceSim<'_, '_>> = profiles
         .iter()
@@ -621,6 +776,14 @@ pub(crate) fn drive<'a>(
                     }
                 }
             }
+            // Stage-2: route finished prefills onto decode devices (the
+            // admissions above and the step below both produce them).
+            if plan.specialized {
+                let mut refs: Vec<&mut DeviceSim<'_, '_>> = devs.iter_mut().collect();
+                if route_handoffs(&mut refs, router, &plan.decode, &mut route_log, trace) > 0 {
+                    progress = true;
+                }
+            }
             // Dispatch every arrival due at or before the earliest busy
             // device clock; with the whole fleet idle the next arrival is
             // due immediately (its device fast-forwards to it).
@@ -637,13 +800,20 @@ pub(crate) fn drive<'a>(
                     break;
                 }
                 let req = pending.pop_front().expect("head exists");
-                let views = fleet_views(&devs);
-                let target = router.route(&req, &views);
-                assert!(
-                    target < n,
-                    "router `{}` picked device {target} of {n}",
-                    router.name()
-                );
+                let target = if plan.specialized {
+                    // Stage-1: prompts route over prefill-capable
+                    // devices only.
+                    route_among(router, &req, &plan.prefill, |i| device_view(i, &devs[i]))
+                } else {
+                    let views = fleet_views(&devs);
+                    let target = router.route(&req, &views);
+                    assert!(
+                        target < n,
+                        "router `{}` picked device {target} of {n}",
+                        router.name()
+                    );
+                    target
+                };
                 if trace {
                     route_log.push(TraceEvent::Route {
                         id: req.id,
@@ -701,20 +871,33 @@ fn report_name(scheds: &[&mut dyn Scheduler], router: &dyn Router) -> String {
 /// across the fleet: a sweep over every device's admission (`+1`) and
 /// departure (`-1`) deltas on the shared clock. Departures sort before
 /// admissions at the same instant, so back-to-back turnover at one cycle
-/// does not read as overlap (admission intervals are half-open). The
-/// sweep is order-independent across devices — it depends only on the
-/// union of the per-device delta logs — which keeps it identical between
-/// the sequential and parallel drives.
+/// does not read as overlap (admission intervals are half-open). That
+/// convention lets `live` dip negative *within* a cycle group — a
+/// request admitted and evicted (or extracted) in the same admission
+/// pass has its `-1` sorted ahead of its own `+1`, correctly
+/// contributing zero occupancy — so non-negativity is asserted only at
+/// group boundaries, where every departure's admission has been
+/// counted. The sweep is order-independent across devices — it depends
+/// only on the union of the per-device delta logs — which keeps it
+/// identical between the sequential and parallel drives.
 fn fleet_peak_concurrency(logs: &[&[(f64, i32)]]) -> usize {
     let mut deltas: Vec<(f64, i32)> = logs.iter().flat_map(|l| l.iter().copied()).collect();
     deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut live: i64 = 0;
     let mut peak: i64 = 0;
-    for (_, delta) in deltas {
+    let mut prev_cycle = f64::NEG_INFINITY;
+    for (cycle, delta) in deltas {
+        if cycle > prev_cycle {
+            debug_assert!(
+                live >= 0,
+                "fleet concurrency sweep negative at cycle boundary {cycle}"
+            );
+            prev_cycle = cycle;
+        }
         live += i64::from(delta);
-        debug_assert!(live >= 0, "fleet concurrency sweep went negative");
         peak = peak.max(live);
     }
+    debug_assert!(live >= 0, "fleet concurrency sweep ended negative");
     usize::try_from(peak).expect("peak is non-negative")
 }
 
@@ -736,6 +919,11 @@ fn drive_parallel<'a>(
     let n = scheds.len();
     debug_assert!(workers >= 2 && workers <= n);
     let closed = workload.closed_loop.is_some();
+    let plan = StagePlan::new(profiles);
+    let prefill_role: Vec<bool> = profiles
+        .iter()
+        .map(|p| p.role == DeviceRole::Prefill)
+        .collect();
     let name = report_name(scheds, router);
     let devs: Vec<DeviceSim<'_, '_>> = profiles
         .iter()
@@ -795,6 +983,14 @@ fn drive_parallel<'a>(
                         }
                     }
                 }
+                // Stage-2: route finished prefills (mirrors `drive`).
+                if plan.specialized {
+                    let mut refs: Vec<&mut DeviceSim<'_, '_>> =
+                        slots.iter_mut().map(|s| &mut s.0).collect();
+                    if route_handoffs(&mut refs, router, &plan.decode, &mut route_log, trace) > 0 {
+                        progress = true;
+                    }
+                }
                 while let Some(head) = pending.front() {
                     if !head.arrival_cycle.is_finite() {
                         break;
@@ -808,17 +1004,24 @@ fn drive_parallel<'a>(
                         break;
                     }
                     let req = pending.pop_front().expect("head exists");
-                    let views: Vec<DeviceView> = slots
-                        .iter()
-                        .enumerate()
-                        .map(|(i, s)| device_view(i, &s.0))
-                        .collect();
-                    let target = router.route(&req, &views);
-                    assert!(
-                        target < n,
-                        "router `{}` picked device {target} of {n}",
-                        router.name()
-                    );
+                    let target = if plan.specialized {
+                        // Stage-1: prompts route over prefill-capable
+                        // devices only.
+                        route_among(router, &req, &plan.prefill, |i| device_view(i, &slots[i].0))
+                    } else {
+                        let views: Vec<DeviceView> = slots
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| device_view(i, &s.0))
+                            .collect();
+                        let target = router.route(&req, &views);
+                        assert!(
+                            target < n,
+                            "router `{}` picked device {target} of {n}",
+                            router.name()
+                        );
+                        target
+                    };
                     if trace {
                         route_log.push(TraceEvent::Route {
                             id: req.id,
@@ -841,11 +1044,19 @@ fn drive_parallel<'a>(
                 }
             }
 
-            if closed && pending.iter().any(|r| r.arrival_cycle.is_infinite()) {
-                // Unreleased population slots remain: a completion on any
-                // device feeds the global dispatcher, so devices are not
-                // independent yet. Step exactly as the sequential loop
-                // does — earliest clock first, releases after the step.
+            let slots_unreleased = closed && pending.iter().any(|r| r.arrival_cycle.is_infinite());
+            // A busy `Prefill`-role device could produce a handoff — a
+            // cross-device coupling the phase horizon cannot see — so the
+            // drive serializes until the prefill pool is quiescent (see
+            // the module docs' handoff independence argument).
+            let prefill_busy =
+                plan.specialized && (0..n).any(|i| prefill_role[i] && slots[i].0.has_active());
+            if slots_unreleased || prefill_busy {
+                // Unreleased population slots remain (a completion on any
+                // device feeds the global dispatcher) or a handoff could
+                // be produced, so devices are not independent yet. Step
+                // exactly as the sequential loop does — earliest clock
+                // first, releases after the step.
                 let Some(i) = (0..n)
                     .filter(|&i| slots[i].0.has_active())
                     .min_by(|&a, &b| slots[a].0.now.total_cmp(&slots[b].0.now))
@@ -854,7 +1065,7 @@ fn drive_parallel<'a>(
                 };
                 let slot = &mut *slots[i];
                 let completions = slot.0.step(&mut *slot.1);
-                if completions > 0 {
+                if closed && completions > 0 {
                     let t = slot.0.now;
                     for _ in 0..completions {
                         release_next_closed_loop(&mut pending, t);
@@ -916,6 +1127,7 @@ fn merge_fleet(
     let mut lanes = Vec::new();
     let mut pool = PoolReport::default();
     let mut preempt = PreemptReport::default();
+    let mut handoff = HandoffReport::default();
     let mut steps = StepReport::default();
     let mut prefix = PrefixReport::default();
     let mut energy_pj = 0.0;
@@ -924,6 +1136,7 @@ fn merge_fleet(
     for (i, d) in devs.iter_mut().enumerate() {
         let lane_pool = d.pool_report();
         let lane_preempt = d.preempt_report();
+        let lane_handoff = d.handoff_report();
         let lane_steps = d.step_report();
         let lane_prefix = d.prefix_report();
         let completed = d.records.iter().filter(|r| r.completed()).count();
@@ -947,6 +1160,7 @@ fn merge_fleet(
             energy_joules: d.energy_pj * 1e-12,
             pool: lane_pool,
             preempt: lane_preempt,
+            handoff: lane_handoff,
             steps: lane_steps,
             prefix: lane_prefix,
         });
@@ -972,6 +1186,15 @@ fn merge_fleet(
         preempt.swap_seconds += lane_preempt.swap_seconds;
         preempt.recompute_seconds += lane_preempt.recompute_seconds;
         preempt.peak_swap_held_bytes += lane_preempt.peak_swap_held_bytes;
+        // Handoff sums: out lanes live on source devices, in lanes on
+        // destinations; across a drained fleet `bytes_out == bytes_in`
+        // (the in-flight peak is a per-device maximum like the others).
+        handoff.handoffs_out += lane_handoff.handoffs_out;
+        handoff.handoffs_in += lane_handoff.handoffs_in;
+        handoff.bytes_out += lane_handoff.bytes_out;
+        handoff.bytes_in += lane_handoff.bytes_in;
+        handoff.link_seconds += lane_handoff.link_seconds;
+        handoff.peak_in_flight_bytes += lane_handoff.peak_in_flight_bytes;
         // Step counts add; the budget utilization is each device's mean
         // weighted by its step count (renormalized below).
         steps.steps += lane_steps.steps;
@@ -1012,6 +1235,7 @@ fn merge_fleet(
             energy_pj,
             offered_rps: workload.offered_rps(),
             preempt,
+            handoff,
             steps,
             prefix,
         },

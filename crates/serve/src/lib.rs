@@ -114,6 +114,22 @@
 //! tokens normalized by profile throughput, the policy that makes
 //! mixed-generation fleets pay off), and **prefix-affinity** routing.
 //!
+//! **Disaggregated prefill/decode.** A fleet can specialize devices by
+//! [`DeviceRole`]: `Prefill` devices run prompts and each request's
+//! first token, `Decode` devices run the continuations, and the default
+//! `Unified` does both (keeping every pre-existing config bit-exact).
+//! Routing becomes two-stage — stage 1 places the prompt on a
+//! prefill-capable device; once a `Prefill`-role device finishes the
+//! prompt and emits token 1 (the DistServe cut point — TTFT never
+//! crosses the link), stage 2 routes the decode continuation to a
+//! decode-capable device and the request's resident KV bytes ride the
+//! source's modeled host link ([`SwapLedger`] rate) to the destination.
+//! A [`HandoffLedger`] on the destination tracks every transfer's bytes
+//! from departure to admission so conservation is checkable at any
+//! cycle, and [`HandoffReport`] surfaces counts, bytes, and link time
+//! per lane and fleet-wide. See [`DispatchPolicy`] for the routing
+//! stages and why handoffs preserve deterministic parallel driving.
+//!
 //! **Prefix reuse.** Shared prompt prefixes (system prompts, few-shot
 //! headers) are the serving-granularity face of the repetitiveness MCBP
 //! exploits at the bit level: a [`Request`] may declare a
@@ -187,12 +203,12 @@ pub use arrival::{ArrivalProcess, LoadGenerator, RequestClass, Workload};
 pub use cost::{StepCost, StepCostModel};
 pub use dispatch::{DeviceView, DispatchPolicy, PolicyRouter, Router};
 pub use pool::{request_kv_bytes, KvCachePool, PrefixResidency, Reservation};
-pub use preempt::{EvictionPolicy, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
-pub use profile::DeviceProfile;
+pub use preempt::{EvictionPolicy, HandoffLedger, PreemptConfig, SwapLedger, HOST_LINK_RATIO};
+pub use profile::{DeviceProfile, DeviceRole};
 pub use record::{RunTrace, TraceEvent};
 pub use report::{
-    DeviceReport, LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals, ServeReport,
-    StepReport,
+    DeviceReport, HandoffReport, LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals,
+    ServeReport, StepReport,
 };
 pub use request::{
     PrefixId, Priority, Request, RequestId, RequestRecord, RequestState, SharedPrefix, SloSpec,

@@ -259,6 +259,14 @@ impl KvCachePool {
     /// Grows request `id`'s residency by `bytes` (prompt admission, a
     /// decoded token, or a swap-in restore).
     ///
+    /// Disaggregated handoff admission also lands here: the decode-side
+    /// device first reserves the request's *full* peak (its final-context
+    /// KV bytes under the destination's own keep ratio), then grows
+    /// residency by the transferred bytes clamped to that peak — source
+    /// and destination may disagree on keep ratio, so the clamp keeps the
+    /// invariant `resident <= reserved` regardless of which side keeps
+    /// more.
+    ///
     /// # Panics
     ///
     /// Panics if `id` holds no reservation, or if its residency would

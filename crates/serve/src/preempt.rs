@@ -223,6 +223,105 @@ impl SwapLedger {
     }
 }
 
+/// Ledger of KV bytes in flight between device pools during a
+/// prefill→decode handoff (disaggregated serving).
+///
+/// Shaped like [`SwapLedger`], and enforcing the same conservation
+/// discipline: `handoff_out` records the bytes released from the prefill
+/// device's pool the moment they leave, `handoff_in` removes exactly
+/// those bytes when the decode device re-reserves them, and the
+/// double-out / in-without-out panics make a mid-handoff double-free an
+/// immediate accounting failure instead of silent byte loss. A request
+/// in flight between pools is in *neither* device's active or suspended
+/// set, so preemption victim selection can never touch it — the ledger's
+/// panics are the backstop should that invariant ever break.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HandoffLedger {
+    in_flight: BTreeMap<RequestId, u64>,
+    in_flight_bytes: u64,
+    peak_in_flight_bytes: u64,
+    total_out_bytes: u64,
+    total_in_bytes: u64,
+    handoffs: u64,
+}
+
+impl HandoffLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        HandoffLedger::default()
+    }
+
+    /// Records `bytes` departing the prefill device's pool for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already in flight (one request cannot be handed
+    /// off twice without arriving in between — a double-free).
+    pub fn handoff_out(&mut self, id: RequestId, bytes: u64) {
+        assert!(
+            self.in_flight.insert(id, bytes).is_none(),
+            "request {id} handed off twice"
+        );
+        self.in_flight_bytes += bytes;
+        self.peak_in_flight_bytes = self.peak_in_flight_bytes.max(self.in_flight_bytes);
+        self.total_out_bytes += bytes;
+        self.handoffs += 1;
+    }
+
+    /// Removes and returns the bytes in flight for `id` (the decode
+    /// device has re-reserved them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight.
+    pub fn handoff_in(&mut self, id: RequestId) -> u64 {
+        let bytes = self
+            .in_flight
+            .remove(&id)
+            .expect("handoff-in without handoff-out");
+        self.in_flight_bytes -= bytes;
+        self.total_in_bytes += bytes;
+        bytes
+    }
+
+    /// Bytes currently riding the link between pools.
+    #[must_use]
+    pub fn in_flight_bytes(&self) -> u64 {
+        self.in_flight_bytes
+    }
+
+    /// Highest in-flight byte count observed.
+    #[must_use]
+    pub fn peak_in_flight_bytes(&self) -> u64 {
+        self.peak_in_flight_bytes
+    }
+
+    /// Total bytes ever handed off.
+    #[must_use]
+    pub fn total_out_bytes(&self) -> u64 {
+        self.total_out_bytes
+    }
+
+    /// Total bytes ever re-reserved on a decode device.
+    #[must_use]
+    pub fn total_in_bytes(&self) -> u64 {
+        self.total_in_bytes
+    }
+
+    /// Completed `handoff_out` calls.
+    #[must_use]
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Whether nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +358,37 @@ mod tests {
         let mut ledger = SwapLedger::new();
         ledger.swap_out(1, 10);
         ledger.swap_out(1, 20);
+    }
+
+    #[test]
+    fn handoff_ledger_conserves_bytes_in_flight() {
+        let mut ledger = HandoffLedger::new();
+        ledger.handoff_out(3, 500);
+        ledger.handoff_out(7, 200);
+        assert_eq!(ledger.in_flight_bytes(), 700);
+        assert_eq!(ledger.peak_in_flight_bytes(), 700);
+        assert_eq!(ledger.handoff_in(3), 500);
+        ledger.handoff_out(3, 100);
+        assert_eq!(ledger.handoff_in(3), 100);
+        assert_eq!(ledger.handoff_in(7), 200);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total_out_bytes(), 800);
+        assert_eq!(ledger.total_in_bytes(), 800);
+        assert_eq!(ledger.handoffs(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "handed off twice")]
+    fn double_handoff_out_is_a_double_free() {
+        let mut ledger = HandoffLedger::new();
+        ledger.handoff_out(1, 10);
+        ledger.handoff_out(1, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "handoff-in without handoff-out")]
+    fn handoff_in_without_out_is_an_accounting_bug() {
+        let mut ledger = HandoffLedger::new();
+        ledger.handoff_in(9);
     }
 }

@@ -60,6 +60,45 @@ use mcbp_workloads::Accelerator;
 
 use crate::sim::ServeConfigError;
 
+/// Which serving stages a fleet device runs — the DistServe/Splitwise-
+/// style prefill/decode disaggregation axis.
+///
+/// The default, [`DeviceRole::Unified`], runs both stages on one device
+/// (the classic fleet; every pre-existing configuration is bit-exact).
+/// A role-specialized fleet routes prompts to prefill-capable devices
+/// (stage 1) and, once a [`DeviceRole::Prefill`] device finishes a
+/// prompt and emits its first token with decode work remaining, hands
+/// the KV off over the modeled host link to a decode-capable device
+/// (stage 2) — see the two-stage routing notes on
+/// [`DispatchPolicy`](crate::DispatchPolicy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceRole {
+    /// Prefill *and* decode run here — the classic unified device.
+    #[default]
+    Unified,
+    /// Prefill pool only: prompts are prefilled here, then their KV is
+    /// handed off to a decode-capable device before the first decode
+    /// step. Prompt-only requests (`decode_len == 0`) complete here.
+    Prefill,
+    /// Decode pool only: stage-1 routing never places a prompt here;
+    /// the device serves decode continuations received via KV handoff.
+    Decode,
+}
+
+impl DeviceRole {
+    /// Whether stage-1 routing may place a fresh prompt here.
+    #[must_use]
+    pub fn can_prefill(self) -> bool {
+        matches!(self, DeviceRole::Unified | DeviceRole::Prefill)
+    }
+
+    /// Whether stage-2 routing may place a decode continuation here.
+    #[must_use]
+    pub fn can_decode(self) -> bool {
+        matches!(self, DeviceRole::Unified | DeviceRole::Decode)
+    }
+}
+
 /// One fleet device's identity: which accelerator generation it is, which
 /// BGPP operating point it runs, how much KV-pool memory it has, how fast
 /// its host link is, and its relative throughput weight for load-aware
@@ -91,6 +130,10 @@ pub struct DeviceProfile<'a> {
     /// [`crate::StepCostModel::decode_rate`]. Must be finite and
     /// positive (see [`ServeConfigError::ZeroThroughputProfile`]).
     pub throughput: f64,
+    /// Which serving stages this device runs. [`DeviceRole::Unified`]
+    /// (the default) keeps the classic behavior; `Prefill`/`Decode`
+    /// split the fleet into disaggregated pools with KV handoff.
+    pub role: DeviceRole,
 }
 
 impl Default for DeviceProfile<'_> {
@@ -101,6 +144,7 @@ impl Default for DeviceProfile<'_> {
             kv_budget_bytes: None,
             host_link_bytes_per_cycle: None,
             throughput: 1.0,
+            role: DeviceRole::Unified,
         }
     }
 }
@@ -113,6 +157,7 @@ impl fmt::Debug for DeviceProfile<'_> {
             .field("kv_budget_bytes", &self.kv_budget_bytes)
             .field("host_link_bytes_per_cycle", &self.host_link_bytes_per_cycle)
             .field("throughput", &self.throughput)
+            .field("role", &self.role)
             .finish()
     }
 }
@@ -160,13 +205,25 @@ impl<'a> DeviceProfile<'a> {
         self
     }
 
-    /// Validates a fleet of profiles: the fleet must be non-empty and
-    /// every throughput weight finite and positive.
+    /// A copy with the given serving role.
+    #[must_use]
+    pub fn with_role(mut self, role: DeviceRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Validates a fleet of profiles: the fleet must be non-empty, every
+    /// throughput weight finite and positive, and — when any device is
+    /// role-specialized — both stages must be covered (at least one
+    /// prefill-capable and one decode-capable device), or prompts (or
+    /// their decode continuations) would have nowhere to go.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeConfigError::EmptyFleet`] or
-    /// [`ServeConfigError::ZeroThroughputProfile`].
+    /// Returns [`ServeConfigError::EmptyFleet`],
+    /// [`ServeConfigError::ZeroThroughputProfile`],
+    /// [`ServeConfigError::NoPrefillCapableDevice`], or
+    /// [`ServeConfigError::NoDecodeCapableDevice`].
     pub fn validate_fleet(profiles: &[DeviceProfile<'_>]) -> Result<(), ServeConfigError> {
         if profiles.is_empty() {
             return Err(ServeConfigError::EmptyFleet);
@@ -175,6 +232,12 @@ impl<'a> DeviceProfile<'a> {
             if !(p.throughput.is_finite() && p.throughput > 0.0) {
                 return Err(ServeConfigError::ZeroThroughputProfile { device });
             }
+        }
+        if !profiles.iter().any(|p| p.role.can_prefill()) {
+            return Err(ServeConfigError::NoPrefillCapableDevice);
+        }
+        if !profiles.iter().any(|p| p.role.can_decode()) {
+            return Err(ServeConfigError::NoDecodeCapableDevice);
         }
         Ok(())
     }
@@ -192,6 +255,41 @@ mod tests {
         assert!(p.kv_budget_bytes.is_none());
         assert!(p.host_link_bytes_per_cycle.is_none());
         assert!((p.throughput - 1.0).abs() < 1e-12);
+        assert_eq!(p.role, DeviceRole::Unified);
+    }
+
+    #[test]
+    fn roles_cover_their_stages() {
+        assert!(DeviceRole::Unified.can_prefill() && DeviceRole::Unified.can_decode());
+        assert!(DeviceRole::Prefill.can_prefill() && !DeviceRole::Prefill.can_decode());
+        assert!(!DeviceRole::Decode.can_prefill() && DeviceRole::Decode.can_decode());
+    }
+
+    #[test]
+    fn fleet_validation_requires_both_stages_when_specialized() {
+        let prefill_only = [DeviceProfile::uniform().with_role(DeviceRole::Prefill)];
+        assert_eq!(
+            DeviceProfile::validate_fleet(&prefill_only),
+            Err(ServeConfigError::NoDecodeCapableDevice)
+        );
+        let decode_only = [
+            DeviceProfile::uniform().with_role(DeviceRole::Decode),
+            DeviceProfile::uniform().with_role(DeviceRole::Decode),
+        ];
+        assert_eq!(
+            DeviceProfile::validate_fleet(&decode_only),
+            Err(ServeConfigError::NoPrefillCapableDevice)
+        );
+        let split = [
+            DeviceProfile::uniform().with_role(DeviceRole::Prefill),
+            DeviceProfile::uniform().with_role(DeviceRole::Decode),
+        ];
+        assert!(DeviceProfile::validate_fleet(&split).is_ok());
+        let mixed = [
+            DeviceProfile::uniform(),
+            DeviceProfile::uniform().with_role(DeviceRole::Decode),
+        ];
+        assert!(DeviceProfile::validate_fleet(&mixed).is_ok());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! the [`crate::LoadGenerator`] RNG), and samples it into weighted
 //! representative phases.
 //!
-//! Four event kinds cover the run's arrival/admission/schedule/preemption
-//! history:
+//! Five event groups cover the run's arrival/admission/schedule/
+//! preemption/handoff history:
 //!
 //! * [`TraceEvent::Route`] — the dispatcher assigned an arrived request
 //!   to a fleet device (single-device runs route everything to device 0).
@@ -25,6 +25,10 @@
 //!   the SimPoint-style interval features are built from.
 //! * [`TraceEvent::Preempt`] — admission pressure evicted a victim
 //!   (drop-and-recompute when `swapped_bytes == 0`, swap otherwise).
+//! * [`TraceEvent::Handoff`] — a disaggregated fleet's stage-2 routing
+//!   decision: a finished prefill's KV bytes departed a
+//!   [`crate::DeviceRole::Prefill`] device for a decode-capable device
+//!   over the modeled host link.
 //!
 //! Recording is opt-in per run: the untraced entry points allocate no
 //! event storage and stay bit-exact with their pre-hook behavior.
@@ -115,6 +119,24 @@ pub enum TraceEvent {
         /// drop-and-recompute, which discards the victim's KV instead).
         swapped_bytes: u64,
     },
+    /// A finished prefill's KV left a prefill-pool device for a
+    /// decode-capable device (disaggregated serving, stage-2 routing).
+    Handoff {
+        /// The handed-off request.
+        id: RequestId,
+        /// Source (prefill) device index.
+        from: u32,
+        /// Destination (decode-capable) device index.
+        to: u32,
+        /// Departure instant: the source device's clock at prefill
+        /// completion, when the bytes left its pool.
+        cycle: f64,
+        /// Arrival instant: departure plus the host-link transfer cycles;
+        /// the earliest the destination can re-reserve the bytes.
+        arrival_cycle: f64,
+        /// KV bytes riding the link (the request's full prefilled KV).
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -126,12 +148,14 @@ impl TraceEvent {
             TraceEvent::Route { cycle, .. }
             | TraceEvent::Admit { cycle, .. }
             | TraceEvent::Drop { cycle, .. }
-            | TraceEvent::Preempt { cycle, .. } => cycle,
+            | TraceEvent::Preempt { cycle, .. }
+            | TraceEvent::Handoff { cycle, .. } => cycle,
             TraceEvent::Step { end_cycle, .. } => end_cycle,
         }
     }
 
-    /// The fleet device the event occurred on.
+    /// The fleet device the event occurred on (a [`TraceEvent::Handoff`]
+    /// reports its *source* device — where the bytes departed).
     #[must_use]
     pub fn device(&self) -> u32 {
         match *self {
@@ -140,6 +164,7 @@ impl TraceEvent {
             | TraceEvent::Drop { device, .. }
             | TraceEvent::Step { device, .. }
             | TraceEvent::Preempt { device, .. } => device,
+            TraceEvent::Handoff { from, .. } => from,
         }
     }
 
@@ -149,7 +174,10 @@ impl TraceEvent {
     /// dispatcher observes the fleet at the arrival instant, before the
     /// target device reacts), then the step retiring at that instant,
     /// then the admission pass it unblocks: evictions before the
-    /// admissions they make room for, rejections last.
+    /// admissions they make room for, rejections last, and handoff
+    /// departures after everything else at the instant (the stage-2
+    /// routing decision happens in the fixpoint *after* the step that
+    /// finished the prefill and the admissions it unblocked).
     #[must_use]
     pub fn kind_rank(&self) -> u8 {
         match self {
@@ -158,6 +186,7 @@ impl TraceEvent {
             TraceEvent::Preempt { .. } => 2,
             TraceEvent::Admit { .. } => 3,
             TraceEvent::Drop { .. } => 4,
+            TraceEvent::Handoff { .. } => 5,
         }
     }
 
@@ -246,6 +275,15 @@ impl RunTrace {
             .count() as u64
     }
 
+    /// Prefill→decode KV handoffs in the trace.
+    #[must_use]
+    pub fn handoff_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Handoff { .. }))
+            .count() as u64
+    }
+
     /// The last recorded event cycle (0 for an empty trace) — the span
     /// the SimPoint-style sampler slices into fixed-length intervals.
     #[must_use]
@@ -300,11 +338,21 @@ mod tests {
                 victim: 4,
                 swapped_bytes: 0,
             },
+            TraceEvent::Handoff {
+                id: 1,
+                from: 2,
+                to: 0,
+                cycle: 15.0,
+                arrival_cycle: 20.0,
+                bytes: 4096,
+            },
         ];
         let cycles: Vec<f64> = events.iter().map(TraceEvent::cycle).collect();
-        assert_eq!(cycles, vec![10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(cycles, vec![10.0, 11.0, 12.0, 13.0, 14.0, 15.0]);
         let devices: Vec<u32> = events.iter().map(TraceEvent::device).collect();
-        assert_eq!(devices, vec![2, 2, 0, 1, 1]);
+        assert_eq!(devices, vec![2, 2, 0, 1, 1, 2]);
+        let ranks: Vec<u8> = events.iter().map(TraceEvent::kind_rank).collect();
+        assert_eq!(ranks, vec![0, 3, 4, 1, 2, 5]);
     }
 
     /// Same-cycle events from multiple devices must land in a unique
@@ -396,11 +444,22 @@ mod tests {
                     victim: 0,
                     swapped_bytes: 128,
                 },
+                TraceEvent::Handoff {
+                    id: 0,
+                    from: 0,
+                    to: 0,
+                    cycle: 4.0,
+                    arrival_cycle: 6.0,
+                    bytes: 256,
+                },
             ],
         };
         assert_eq!(trace.step_count(), 1);
         assert_eq!(trace.admission_count(), 1);
         assert_eq!(trace.preemption_count(), 1);
-        assert!((trace.span_cycles() - 3.0).abs() < 1e-12);
+        assert_eq!(trace.handoff_count(), 1);
+        // Span is the last *departure* cycle: a handoff orders by when it
+        // leaves the source, not when it lands.
+        assert!((trace.span_cycles() - 4.0).abs() < 1e-12);
     }
 }

@@ -179,6 +179,56 @@ impl PreemptReport {
     }
 }
 
+/// Prefill→decode KV-handoff statistics of one serving run (all zero
+/// outside disaggregated fleets). Outbound lanes are attributed to the
+/// source (prefill) device, inbound lanes — including the transfer
+/// ledger's in-flight peak — to the destination (decode) device; the
+/// fleet aggregate sums both sides, so `bytes_out == bytes_in` exactly
+/// when every handoff landed (the byte-conservation invariant the
+/// `handoff_properties` suite pins).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HandoffReport {
+    /// Finished prefills this device handed off to a decode device.
+    pub handoffs_out: u64,
+    /// Handoffs delivered to this device (admitted or dropped on
+    /// arrival).
+    pub handoffs_in: u64,
+    /// KV bytes that left this device's pool over the host link.
+    pub bytes_out: u64,
+    /// KV bytes delivered to this device over the host link.
+    pub bytes_in: u64,
+    /// Host-link seconds the outbound transfers occupied. Transfers
+    /// overlap compute (DMA-style), so this is latency charged to the
+    /// handed-off requests' availability, not device stall.
+    pub link_seconds: f64,
+    /// Highest in-flight byte residency the destination's transfer
+    /// ledger observed.
+    pub peak_in_flight_bytes: u64,
+}
+
+impl HandoffReport {
+    /// Whether the run saw any prefill→decode handoff activity at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.handoffs_out + self.handoffs_in > 0
+    }
+
+    /// The handoff statistics as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"handoffs_out\":{},\"handoffs_in\":{},\"bytes_out\":{},\"bytes_in\":{},\
+             \"link_seconds\":{},\"peak_in_flight_bytes\":{}}}",
+            self.handoffs_out,
+            self.handoffs_in,
+            self.bytes_out,
+            self.bytes_in,
+            json_f64(self.link_seconds),
+            self.peak_in_flight_bytes
+        )
+    }
+}
+
 /// Per-step composition statistics of one serving run: how many scheduler
 /// steps executed, what each coalesced (pure prefill chunk, pure decode,
 /// or a budgeted **mixed step** carrying both), and how much of the
@@ -299,6 +349,8 @@ pub struct DeviceReport {
     pub pool: PoolReport,
     /// This device's preemption statistics.
     pub preempt: PreemptReport,
+    /// This device's prefill→decode handoff statistics.
+    pub handoff: HandoffReport,
     /// This device's per-step composition statistics.
     pub steps: StepReport,
     /// This device's prefix-cache statistics (hits, misses, and the
@@ -313,7 +365,7 @@ impl DeviceReport {
         format!(
             "{{\"device\":{},\"dispatched\":{},\"completed\":{},\"dropped\":{},\
              \"goodput_tokens_per_s\":{},\"utilization\":{},\"energy_joules\":{},\
-             \"pool\":{},\"preempt\":{},\"steps\":{},\"prefix\":{}}}",
+             \"pool\":{},\"preempt\":{},\"handoff\":{},\"steps\":{},\"prefix\":{}}}",
             self.device,
             self.dispatched,
             self.completed,
@@ -323,6 +375,7 @@ impl DeviceReport {
             json_f64(self.energy_joules),
             self.pool.to_json(),
             self.preempt.to_json(),
+            self.handoff.to_json(),
             self.steps.to_json(),
             self.prefix.to_json()
         )
@@ -380,6 +433,10 @@ pub struct ServeReport {
     pub pool: PoolReport,
     /// Preemption/eviction statistics (fleet-wide sums for a fleet run).
     pub preempt: PreemptReport,
+    /// Prefill→decode handoff statistics (fleet-wide sums; all zero
+    /// outside disaggregated fleets — per-device lanes in
+    /// [`ServeReport::devices`]).
+    pub handoff: HandoffReport,
     /// Per-step composition statistics (fleet-wide: counts add, the
     /// budget utilization is each device's mean weighted by its step
     /// count).
@@ -410,6 +467,8 @@ pub struct RunTotals {
     pub offered_rps: Option<f64>,
     /// Preemption/eviction statistics.
     pub preempt: PreemptReport,
+    /// Prefill→decode handoff statistics.
+    pub handoff: HandoffReport,
     /// Per-step composition statistics.
     pub steps: StepReport,
     /// Prefix-cache statistics.
@@ -433,6 +492,7 @@ impl ServeReport {
             energy_pj,
             offered_rps,
             preempt,
+            handoff,
             steps,
             prefix,
         } = totals;
@@ -480,6 +540,7 @@ impl ServeReport {
             energy_joules: energy_pj * 1e-12,
             pool,
             preempt,
+            handoff,
             steps,
             prefix,
             devices,
@@ -526,7 +587,7 @@ impl ServeReport {
              \"goodput_tokens_per_s\":{},\"slo_met\":{},\"slo_goodput_tokens_per_s\":{},\
              \"throughput_rps\":{},\"offered_rps\":{},\"mean_decode_batch\":{},\
              \"peak_concurrency\":{},\"energy_joules\":{},\
-             \"pool\":{},\"preempt\":{},\"steps\":{},\"prefix\":{},\
+             \"pool\":{},\"preempt\":{},\"handoff\":{},\"steps\":{},\"prefix\":{},\
              \"devices\":[{}],\"records\":[{}]}}",
             json_str(&self.scheduler),
             self.completed,
@@ -545,6 +606,7 @@ impl ServeReport {
             json_f64(self.energy_joules),
             self.pool.to_json(),
             self.preempt.to_json(),
+            self.handoff.to_json(),
             self.steps.to_json(),
             self.prefix.to_json(),
             devices.join(","),
@@ -649,6 +711,15 @@ impl fmt::Display for ServeReport {
                 self.preempt.swap_in_bytes as f64 / f64::from(1u32 << 20),
                 self.preempt.swap_seconds,
                 self.preempt.recompute_seconds
+            )?;
+        }
+        if self.handoff.any() {
+            writeln!(
+                f,
+                "  handoff: {} prefill→decode, {:.2} MiB over the link ({:.3} s link time)",
+                self.handoff.handoffs_out,
+                self.handoff.bytes_out as f64 / f64::from(1u32 << 20),
+                self.handoff.link_seconds
             )?;
         }
         writeln!(
@@ -849,6 +920,7 @@ mod tests {
                 energy_pj: 5.0,
                 offered_rps: None,
                 preempt: PreemptReport::default(),
+                handoff: HandoffReport::default(),
                 steps: StepReport::default(),
                 prefix: PrefixReport::default(),
             },
@@ -875,6 +947,14 @@ mod tests {
             energy_joules: 0.25,
             pool: PoolReport::default(),
             preempt: PreemptReport::default(),
+            handoff: HandoffReport {
+                handoffs_out: 2,
+                handoffs_in: 0,
+                bytes_out: 4096,
+                bytes_in: 0,
+                link_seconds: 0.001,
+                peak_in_flight_bytes: 0,
+            },
             steps: StepReport::default(),
             prefix: PrefixReport {
                 hits: 2,
@@ -886,6 +966,7 @@ mod tests {
         };
         assert!(json_ok(&lane.to_json()), "{}", lane.to_json());
         assert!(lane.to_json().contains("\"prefix\":{\"hits\":2"));
+        assert!(lane.to_json().contains("\"handoff\":{\"handoffs_out\":2"));
     }
 
     #[test]

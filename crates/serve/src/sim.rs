@@ -54,10 +54,12 @@ use crate::arrival::Workload;
 use crate::cost::{StepCost, StepCostModel};
 use crate::dispatch::{drive, DispatchPolicy};
 use crate::pool::{request_kv_bytes, KvCachePool};
-use crate::preempt::{EvictionPolicy, PreemptConfig, SwapLedger};
-use crate::profile::DeviceProfile;
+use crate::preempt::{EvictionPolicy, HandoffLedger, PreemptConfig, SwapLedger};
+use crate::profile::{DeviceProfile, DeviceRole};
 use crate::record::{RunTrace, TraceEvent};
-use crate::report::{PoolReport, PreemptReport, PrefixReport, ServeReport, StepReport};
+use crate::report::{
+    HandoffReport, PoolReport, PreemptReport, PrefixReport, ServeReport, StepReport,
+};
 use crate::request::{PrefixId, Priority, Request, RequestId, RequestRecord, RequestState};
 use crate::scheduler::{SchedEntry, SchedView, Scheduler};
 
@@ -169,6 +171,13 @@ pub enum ServeConfigError {
         /// Index of the offending profile within the fleet.
         device: usize,
     },
+    /// A role-specialized fleet with no prefill-capable device: stage-1
+    /// routing would have no candidate and every prompt would wedge.
+    NoPrefillCapableDevice,
+    /// A role-specialized fleet with no decode-capable device: stage-2
+    /// routing would have no candidate and every finished prefill with
+    /// decode work would wedge mid-handoff.
+    NoDecodeCapableDevice,
     /// A request declares a shared prefix longer than its own prompt —
     /// the prefix cannot be a prefix of that prompt.
     PrefixExceedsPrompt {
@@ -226,6 +235,16 @@ impl std::fmt::Display for ServeConfigError {
                 f,
                 "device profile {device} has a non-positive throughput weight: \
                  weighted dispatch would divide by it"
+            ),
+            ServeConfigError::NoPrefillCapableDevice => write!(
+                f,
+                "a role-specialized fleet needs at least one prefill-capable \
+                 device (Unified or Prefill)"
+            ),
+            ServeConfigError::NoDecodeCapableDevice => write!(
+                f,
+                "a role-specialized fleet needs at least one decode-capable \
+                 device (Unified or Decode)"
             ),
             ServeConfigError::PrefixExceedsPrompt {
                 request,
@@ -384,6 +403,73 @@ struct StepTally {
     mixed_steps: u64,
     /// Sum over budgeted steps of `executed tokens / budget`.
     utilization_sum: f64,
+}
+
+/// A decode continuation leaving a [`DeviceRole::Prefill`] device: the
+/// request plus the resume state its decode device needs. The prefill
+/// device generates the request's *first token* before handing off (the
+/// DistServe cut point — TTFT is produced entirely on the prefill side,
+/// so it never waits on a second admission into the decode pool). The
+/// source has already released the KV from its pool (and dropped its
+/// prefix reference) — the bytes exist only here until the driver routes
+/// the handoff and the destination's [`HandoffLedger`] takes custody.
+pub(crate) struct HandoffOut {
+    pub(crate) req: Request,
+    /// First admission instant on the source device (preserved across
+    /// the handoff — TTFT and stall accounting span both devices).
+    pub(crate) admitted_cycle: f64,
+    pub(crate) preemptions: usize,
+    /// Completed prefill cursor (the decode device receives finished KV
+    /// and replays nothing).
+    pub(crate) prefill_done: usize,
+    /// Decode cursor at departure: ≥ 1, since the source produces the
+    /// first token before the continuation becomes extractable.
+    pub(crate) tokens: usize,
+    /// Source-device clock at which token 1 was generated (the request's
+    /// TTFT endpoint, preserved verbatim across the handoff).
+    pub(crate) first_token_cycle: f64,
+    /// Full KV bytes leaving the source pool — prefilled prompt plus the
+    /// generated-token suffix: the request's own residency plus its
+    /// shared-prefix share.
+    pub(crate) bytes: u64,
+    /// Source-device clock at extraction — the transfer departs here and
+    /// lands `transfer_cycles(bytes)` later.
+    pub(crate) ready_cycle: f64,
+}
+
+/// A routed handoff riding the host link toward this device. Its bytes
+/// are held by the destination's [`HandoffLedger`]; it is in neither
+/// device's active or suspended set, so victim selection cannot touch it
+/// (the ledger panics are the double-free backstop).
+struct PendingHandoff {
+    req: Request,
+    admitted_cycle: f64,
+    preemptions: usize,
+    prefill_done: usize,
+    /// Decode cursor carried from the source (≥ 1; see
+    /// [`HandoffOut::tokens`]).
+    tokens: usize,
+    /// Source-side first-token instant (see
+    /// [`HandoffOut::first_token_cycle`]).
+    first_token_cycle: f64,
+    /// Destination clock at which the transfer completes and the request
+    /// becomes admissible.
+    arrival_cycle: f64,
+}
+
+/// Running prefill→decode transfer counters (see
+/// [`crate::HandoffReport`]). Outbound fields are attributed to the
+/// source device, inbound fields to the destination.
+#[derive(Debug, Clone, Copy, Default)]
+struct HandoffTally {
+    out: u64,
+    in_count: u64,
+    bytes_out: u64,
+    bytes_in: u64,
+    /// Host-link cycles the outbound transfers occupied (the transfers
+    /// overlap compute DMA-style — latency lands on the request, not on
+    /// the device clock — so these cycles are attribution, not stall).
+    link_cycles: f64,
 }
 
 /// `a` strictly ahead of `b` in admission order: higher priority first,
@@ -633,9 +719,23 @@ pub(crate) struct DeviceSim<'s, 'a> {
     preempt: PreemptConfig,
     /// The profile's relative throughput weight (read by the router).
     throughput: f64,
+    /// This device's dispatch role (`Unified` outside disaggregated
+    /// fleets — the role gates handoff extraction, so an all-`Unified`
+    /// fleet takes exactly the pre-disaggregation code paths).
+    role: DeviceRole,
     pub(crate) pool: KvCachePool,
     ledger: SwapLedger,
+    /// Custody of KV bytes riding the host link **into** this device
+    /// (handoffs are accounted at their destination: the driver books
+    /// `handoff_out` when it routes, admission books `handoff_in`).
+    handoff_ledger: HandoffLedger,
     tally: PreemptTally,
+    handoff_tally: HandoffTally,
+    /// Finished prefills awaiting stage-2 routing (drained by the
+    /// driver's dispatch fixpoint).
+    outbound: Vec<HandoffOut>,
+    /// Routed handoffs riding the link toward this device.
+    inbound: Vec<PendingHandoff>,
     step_tally: StepTally,
     prefix_tally: PrefixTally,
     /// Requests dispatched to this device, arrival-sorted, not yet
@@ -695,9 +795,14 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             sim,
             cost,
             preempt,
+            role: profile.role,
             throughput: profile.throughput,
             ledger: SwapLedger::new(),
+            handoff_ledger: HandoffLedger::new(),
             tally: PreemptTally::default(),
+            handoff_tally: HandoffTally::default(),
+            outbound: Vec::new(),
+            inbound: Vec::new(),
             step_tally: StepTally::default(),
             prefix_tally: PrefixTally::default(),
             pending: VecDeque::new(),
@@ -758,7 +863,60 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
 
     /// Whether this device still holds undone work of any kind.
     pub(crate) fn is_drained(&self) -> bool {
-        self.active.is_empty() && self.suspended.is_empty() && self.pending.is_empty()
+        self.active.is_empty()
+            && self.suspended.is_empty()
+            && self.pending.is_empty()
+            && self.outbound.is_empty()
+            && self.inbound.is_empty()
+            && self.handoff_ledger.is_empty()
+    }
+
+    /// Drains the finished prefills awaiting stage-2 routing (called by
+    /// the driver inside its dispatch fixpoint, in device-index order —
+    /// the routing order is part of the deterministic replay contract).
+    pub(crate) fn take_outbound(&mut self) -> Vec<HandoffOut> {
+        std::mem::take(&mut self.outbound)
+    }
+
+    /// Host-link cycles one outbound handoff of `bytes` occupies on
+    /// *this* (source) device's link.
+    pub(crate) fn handoff_transfer_cycles(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.preempt.transfer_cycles(bytes)
+        }
+    }
+
+    /// Books one outbound handoff on the source device's tally.
+    pub(crate) fn note_handoff_out(&mut self, bytes: u64, link_cycles: f64) {
+        self.handoff_tally.out += 1;
+        self.handoff_tally.bytes_out += bytes;
+        self.handoff_tally.link_cycles += link_cycles;
+    }
+
+    /// Accepts a routed handoff: the ledger takes custody of the bytes
+    /// and the request queues for admission once the transfer lands at
+    /// `arrival_cycle`.
+    pub(crate) fn receive_handoff(&mut self, h: HandoffOut, arrival_cycle: f64) {
+        self.handoff_ledger.handoff_out(h.req.id, h.bytes);
+        let entry = PendingHandoff {
+            req: h.req,
+            admitted_cycle: h.admitted_cycle,
+            preemptions: h.preemptions,
+            prefill_done: h.prefill_done,
+            tokens: h.tokens,
+            first_token_cycle: h.first_token_cycle,
+            arrival_cycle,
+        };
+        // Arrival-sorted like `pending`; ids break exact-cycle ties so
+        // insertion order never matters.
+        let pos = self
+            .inbound
+            .iter()
+            .rposition(|p| (p.arrival_cycle, p.req.id) <= (entry.arrival_cycle, entry.req.id))
+            .map_or(0, |i| i + 1);
+        self.inbound.insert(pos, entry);
     }
 
     /// Remaining work queued on this device, in tokens (pending prompts
@@ -780,7 +938,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             .iter()
             .map(|s| (s.prefill_target - s.prefill_done) + (s.req.decode_len - s.tokens))
             .sum();
-        (pending + active + suspended) as u64
+        let inbound: usize = self
+            .inbound
+            .iter()
+            .map(|h| h.req.decode_len - h.tokens)
+            .sum();
+        (pending + active + suspended + inbound) as u64
     }
 
     /// Runs admission to a fixpoint: resumable victims and arrived queue
@@ -792,6 +955,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
         let mut drops = 0;
         loop {
             self.admit_pass(&mut drops);
+            if self.extract_finished_prefills() > 0 {
+                // A fully-prefix-covered admission can complete its
+                // prefill without a single step; its handoff frees pool
+                // bytes that may unblock further admission.
+                continue;
+            }
             if self.active.is_empty() {
                 // Admission into an idle pool cannot block, so nothing is
                 // suspended either.
@@ -804,6 +973,7 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                     .iter()
                     .map(|r| r.arrival_cycle)
                     .filter(|a| a.is_finite())
+                    .chain(self.inbound.iter().map(|h| h.arrival_cycle))
                     .min_by(f64::total_cmp);
                 if let Some(arrival) = next {
                     if arrival > self.now {
@@ -821,8 +991,62 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
         drops
     }
 
+    /// Moves every first-tokened request with remaining decode work off a
+    /// [`DeviceRole::Prefill`] device into the outbound handoff buffer:
+    /// the prefill device finishes the prompt *and generates token 1*
+    /// (the DistServe cut — TTFT never crosses the link), then the decode
+    /// continuation leaves. Its KV leaves this pool (the shared-prefix
+    /// share stays resident as a warm line, its reference dropped) and
+    /// the request's bytes exist only in the buffered [`HandoffOut`]
+    /// until the driver routes it. Requests whose decode length is 1
+    /// complete on the prefill device and never hand off. Returns the
+    /// number extracted; a no-op on every other role.
+    fn extract_finished_prefills(&mut self) -> usize {
+        if self.role != DeviceRole::Prefill {
+            return 0;
+        }
+        let mut extracted = 0;
+        let mut i = 0;
+        while i < self.active.len() {
+            let ready = {
+                let f = &self.active[i];
+                f.prefilled() && f.req.decode_len > 0 && f.tokens >= 1
+            };
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let f = self.active.remove(i);
+            let freed = self.pool.release(f.req.id);
+            let bytes = freed.resident_bytes + f.prefix_bytes;
+            if f.prefix_bytes > 0 {
+                self.pool
+                    .unref_prefix(f.req.prefix.expect("prefix bytes imply a prefix").id);
+            }
+            self.conc_log.push((self.now, -1));
+            self.outbound.push(HandoffOut {
+                prefill_done: f.prefill_target,
+                tokens: f.tokens,
+                first_token_cycle: f.first_token_cycle,
+                bytes,
+                ready_cycle: self.now,
+                req: f.req,
+                admitted_cycle: f.admitted_cycle,
+                preemptions: f.preemptions,
+            });
+            extracted += 1;
+        }
+        extracted
+    }
+
     /// One admission sweep at the current clock.
     fn admit_pass(&mut self, drops: &mut usize) {
+        /// Which queue the sweep's best candidate came from.
+        enum Source {
+            Suspended,
+            Pending,
+            Handoff,
+        }
         let keep = self.cost().template().attention_keep;
         let model = self.cost().template().model.clone();
         loop {
@@ -839,14 +1063,91 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
                 .take_while(|(_, r)| r.arrival_cycle <= self.now)
                 .map(|(i, r)| (i, (r.priority, r.arrival_cycle, r.id)))
                 .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
-            let resume = match (best_susp, best_pend) {
-                (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                // Ids are unique, so keys never tie exactly; prefer
-                // whichever is strictly ahead.
-                (Some(s), Some(p)) => admits_before(s.1, p.1),
-            };
+            // A landed handoff competes like any other admission
+            // candidate, keyed by its link-arrival instant.
+            let best_hand = self
+                .inbound
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.arrival_cycle <= self.now)
+                .map(|(i, h)| (i, (h.req.priority, h.arrival_cycle, h.req.id)))
+                .reduce(|a, b| if admits_before(b.1, a.1) { b } else { a });
+            // Ids are unique, so keys never tie exactly; prefer whichever
+            // source is strictly ahead in admission order.
+            let best = [
+                best_susp.map(|c| (Source::Suspended, c)),
+                best_pend.map(|c| (Source::Pending, c)),
+                best_hand.map(|c| (Source::Handoff, c)),
+            ]
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| if admits_before(b.1 .1, a.1 .1) { b } else { a });
+            let Some((source, _)) = best else { break };
+            if matches!(source, Source::Handoff) {
+                let (idx, (prio, _, id)) = best_hand.expect("handoff candidate");
+                let full_peak =
+                    request_kv_bytes(&model, self.inbound[idx].req.final_context(), keep);
+                if !self.pool.can_ever_fit(full_peak) {
+                    // The decode pool can never hold this request's peak
+                    // (the prefill pool could): the handoff is dropped on
+                    // arrival, its transferred bytes discarded.
+                    let h = self.inbound.remove(idx);
+                    self.handoff_tally.in_count += 1;
+                    self.handoff_tally.bytes_in += self.handoff_ledger.handoff_in(id);
+                    // The source already delivered token 1; the drop
+                    // record keeps that truth (its TTFT stands, only the
+                    // continuation is lost).
+                    self.records.push(RequestRecord {
+                        state: RequestState::Dropped,
+                        admitted_cycle: h.admitted_cycle,
+                        first_token_cycle: h.first_token_cycle,
+                        completed_cycle: self.now,
+                        tokens: h.tokens,
+                        preemptions: h.preemptions,
+                        request: h.req,
+                    });
+                    *drops += 1;
+                    self.record(TraceEvent::Drop {
+                        device: self.device,
+                        cycle: self.now,
+                        id,
+                    });
+                    continue;
+                }
+                if !self.try_admit(id, full_peak, prio, None) {
+                    break;
+                }
+                let h = self.inbound.remove(idx);
+                // The ledger hands the transferred bytes over: they
+                // become resident KV under the fresh reservation (capped
+                // by it — the pools may disagree on the keep ratio).
+                let bytes = self.handoff_ledger.handoff_in(id);
+                self.handoff_tally.in_count += 1;
+                self.handoff_tally.bytes_in += bytes;
+                self.pool.grow_resident(id, bytes.min(full_peak));
+                self.active.push(InFlight {
+                    prefill_done: h.prefill_done,
+                    prefill_target: h.prefill_done,
+                    replay_tokens: 0,
+                    prefix_bytes: 0,
+                    req: h.req,
+                    admitted_cycle: h.admitted_cycle,
+                    tokens: h.tokens,
+                    first_token_cycle: h.first_token_cycle,
+                    preemptions: h.preemptions,
+                });
+                self.conc_log.push((self.now, 1));
+                self.record(TraceEvent::Admit {
+                    device: self.device,
+                    cycle: self.now,
+                    id,
+                    resumed: true,
+                    reused_prefix_tokens: 0,
+                    queue_depth: self.pending.len() as u32,
+                });
+                continue;
+            }
+            let resume = matches!(source, Source::Suspended);
             if resume {
                 let (idx, (prio, _, id)) = best_susp.expect("resume candidate");
                 let full_peak =
@@ -1439,6 +1740,10 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             self.conc_log.push((self.now, -1));
             completions += 1;
         }
+        // ---- extract finished prefills for decode-pool handoff ----
+        // (After completions so prompt-only requests retire locally; the
+        // Step event below then reflects the post-handoff device state.)
+        self.extract_finished_prefills();
         if self.log.is_some() {
             let prefill_tokens: usize = spans.iter().map(|&(_, d, u, _)| u - d).sum();
             self.record(TraceEvent::Step {
@@ -1464,7 +1769,12 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
     /// between dispatch points, which is what makes the parallel fleet
     /// phase bit-exact (see the `crate::dispatch` module docs). The
     /// caller guarantees no cross-device coupling is live before
-    /// `horizon`: no dispatch is due and no closed-loop slot can release.
+    /// `horizon`: no dispatch is due, no closed-loop slot can release,
+    /// and no device can produce a handoff (every [`DeviceRole::Prefill`]
+    /// device is quiescent — the driver serializes whenever one is
+    /// busy). Inbound handoffs already routed to this device are fine:
+    /// their arrival instant is fixed, so admitting them is purely local
+    /// work.
     pub(crate) fn run_until(&mut self, horizon: f64, scheduler: &mut dyn Scheduler) {
         while self.has_active() && self.now < horizon {
             self.step(scheduler);
@@ -1519,6 +1829,20 @@ impl<'s, 'a> DeviceSim<'s, 'a> {
             reused_tokens: self.prefix_tally.reused_tokens,
             reclaimed: self.prefix_tally.reclaimed,
             reclaimed_bytes: self.prefix_tally.reclaimed_bytes,
+        }
+    }
+
+    /// This device's prefill→decode handoff statistics (outbound lanes
+    /// attributed to the source device, inbound — including the ledger's
+    /// in-flight peak — to the destination).
+    pub(crate) fn handoff_report(&self) -> HandoffReport {
+        HandoffReport {
+            handoffs_out: self.handoff_tally.out,
+            handoffs_in: self.handoff_tally.in_count,
+            bytes_out: self.handoff_tally.bytes_out,
+            bytes_in: self.handoff_tally.bytes_in,
+            link_seconds: self.handoff_tally.link_cycles / crate::CLOCK_HZ,
+            peak_in_flight_bytes: self.handoff_ledger.peak_in_flight_bytes(),
         }
     }
 

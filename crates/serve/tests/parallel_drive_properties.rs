@@ -11,8 +11,8 @@ use std::sync::OnceLock;
 
 use mcbp_model::LlmConfig;
 use mcbp_serve::{
-    DeviceProfile, DispatchPolicy, Priority, Request, RequestId, Scheduler, ServeConfig, ServeSim,
-    SharedPrefix, SloSpec, Workload,
+    DeviceProfile, DeviceRole, DispatchPolicy, Priority, Request, RequestId, Scheduler,
+    ServeConfig, ServeSim, SharedPrefix, SloSpec, Workload,
 };
 use mcbp_workloads::{
     Accelerator, PhaseCost, RunReport, SparsityProfile, Task, TraceContext, WeightGenerator,
@@ -123,7 +123,11 @@ proptest! {
     /// The tentpole equivalence property. `workers` ranges over 1 (the
     /// parallel entry immediately reduces to the sequential path), 2,
     /// and up to the fleet width; `hetero` skews per-device throughput
-    /// weights; a tight pool budget exercises preemption on some cases.
+    /// weights; a tight pool budget exercises preemption on some cases;
+    /// `roles` specializes the fleet into disaggregated prefill/decode
+    /// pools (0 = all `Unified`, 1 = split `Prefill`/`Decode`, 2 = one
+    /// `Prefill` device feeding `Unified` peers), so KV handoffs race the
+    /// parallel drive's phase boundaries too.
     #[test]
     fn parallel_drive_is_bit_exact_with_the_sequential_reference(
         raw in proptest::collection::vec(
@@ -138,6 +142,7 @@ proptest! {
         tight_pool in 0u8..2,
         closed in 0u8..2,
         concurrency in 1usize..6,
+        roles in 0u8..3,
     ) {
         let policy = DispatchPolicy::ALL[policy_ix];
         let workload = workload_from(&raw, (closed == 1).then_some(concurrency.min(raw.len())));
@@ -157,7 +162,17 @@ proptest! {
         let profiles: Vec<DeviceProfile> = (0..devices)
             .map(|i| {
                 let t = if hetero == 1 { 1.0 + 0.5 * i as f64 } else { 1.0 };
-                DeviceProfile::uniform().with_throughput(t)
+                let role = match roles {
+                    // Fleet splits in half: low indices prefill, the rest
+                    // decode (devices >= 2, so both pools are non-empty).
+                    1 if i < devices / 2 => DeviceRole::Prefill,
+                    1 => DeviceRole::Decode,
+                    // One dedicated prefill device handing off to
+                    // unified peers that also take their own prompts.
+                    2 if i == 0 => DeviceRole::Prefill,
+                    _ => DeviceRole::Unified,
+                };
+                DeviceProfile::uniform().with_throughput(t).with_role(role)
             })
             .collect();
         let mut mk = || make_scheduler(priority_sched == 1);

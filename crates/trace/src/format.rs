@@ -29,6 +29,7 @@
 //! | 5    | `Drop`    | device u32, cycle bits u64, id u64 |
 //! | 6    | `Step`    | device u32, start/end bits 2 × u64, prefill streams u32, decode streams u32, prefill tokens u32, queue u32, active u32, pool bytes u64, completions u32 |
 //! | 7    | `Preempt` | device u32, cycle bits u64, victim u64, swapped bytes u64 |
+//! | 8    | `Handoff` | id u64, from u32, to u32, cycle bits u64, arrival bits u64, bytes u64 |
 //! | 255  | `End`     | request count u64, event count u64 |
 //!
 //! A reader requires exactly one leading `Meta` frame, tolerates request
@@ -60,6 +61,7 @@ const KIND_ADMIT: u8 = 4;
 const KIND_DROP: u8 = 5;
 const KIND_STEP: u8 = 6;
 const KIND_PREEMPT: u8 = 7;
+const KIND_HANDOFF: u8 = 8;
 const KIND_END: u8 = 0xFF;
 
 /// Upper bound on a single frame's payload — far above any real frame,
@@ -368,6 +370,22 @@ fn encode_event(ev: &TraceEvent) -> (u8, Vec<u8>) {
             p.extend_from_slice(&swapped_bytes.to_le_bytes());
             (KIND_PREEMPT, p)
         }
+        TraceEvent::Handoff {
+            id,
+            from,
+            to,
+            cycle,
+            arrival_cycle,
+            bytes,
+        } => {
+            p.extend_from_slice(&id.to_le_bytes());
+            p.extend_from_slice(&from.to_le_bytes());
+            p.extend_from_slice(&to.to_le_bytes());
+            p.extend_from_slice(&cycle.to_bits().to_le_bytes());
+            p.extend_from_slice(&arrival_cycle.to_bits().to_le_bytes());
+            p.extend_from_slice(&bytes.to_le_bytes());
+            (KIND_HANDOFF, p)
+        }
     }
 }
 
@@ -444,7 +462,7 @@ impl<R: Read> TraceReader<R> {
                     }
                     requests.push(req);
                 }
-                KIND_ROUTE | KIND_ADMIT | KIND_DROP | KIND_STEP | KIND_PREEMPT => {
+                KIND_ROUTE | KIND_ADMIT | KIND_DROP | KIND_STEP | KIND_PREEMPT | KIND_HANDOFF => {
                     let ev = decode_event(kind, &mut c).map_err(|_| self.malformed())?;
                     if !c.done() {
                         return Err(self.malformed());
@@ -673,6 +691,14 @@ fn decode_event(kind: u8, c: &mut Cursor<'_>) -> Result<TraceEvent, ()> {
             victim: c.u64()?,
             swapped_bytes: c.u64()?,
         },
+        KIND_HANDOFF => TraceEvent::Handoff {
+            id: c.u64()?,
+            from: c.u32()?,
+            to: c.u32()?,
+            cycle: c.f64()?,
+            arrival_cycle: c.f64()?,
+            bytes: c.u64()?,
+        },
         _ => return Err(()),
     })
 }
@@ -827,6 +853,14 @@ mod tests {
                     victim: 0,
                     swapped_bytes: 2048,
                 },
+                TraceEvent::Handoff {
+                    id: 0,
+                    from: 2,
+                    to: 1,
+                    cycle: 650.0,
+                    arrival_cycle: 660.0,
+                    bytes: 8192,
+                },
                 TraceEvent::Drop {
                     device: 0,
                     cycle: 700.0,
@@ -925,8 +959,8 @@ mod tests {
                 observed,
             }) => {
                 assert_eq!(what, "event");
-                assert_eq!(declared, 5);
-                assert_eq!(observed, 4);
+                assert_eq!(declared, 6);
+                assert_eq!(observed, 5);
             }
             other => panic!("expected count mismatch, got {other:?}"),
         }
@@ -939,7 +973,7 @@ mod tests {
         let stats = TraceStats::collect(&trace, bytes.len() as u64);
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.devices, 3);
-        assert_eq!(stats.events, 5);
+        assert_eq!(stats.events, 6);
         assert_eq!(stats.steps, 1);
         assert_eq!(stats.admissions, 1);
         assert_eq!(stats.preemptions, 1);

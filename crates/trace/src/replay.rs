@@ -120,7 +120,7 @@ fn first_divergence(a: &ServeReport, b: &ServeReport) -> Option<ReplayMismatch> 
 mod tests {
     use super::*;
     use mcbp_serve::{
-        LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals, StepReport,
+        HandoffReport, LatencyStats, PoolReport, PreemptReport, PrefixReport, RunTotals, StepReport,
     };
 
     fn blank_report(completed_marker: usize) -> ServeReport {
@@ -134,6 +134,7 @@ mod tests {
                 energy_pj: 0.0,
                 offered_rps: None,
                 preempt: PreemptReport::default(),
+                handoff: HandoffReport::default(),
                 steps: StepReport::default(),
                 prefix: PrefixReport::default(),
             },

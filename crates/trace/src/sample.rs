@@ -328,7 +328,7 @@ fn window_features(trace: &RunTrace, windows: usize, window_len: f64) -> Vec<[f6
                 }
             }
             TraceEvent::Route { .. } => acc.arrivals += 1.0,
-            TraceEvent::Drop { .. } | TraceEvent::Preempt { .. } => {}
+            TraceEvent::Drop { .. } | TraceEvent::Preempt { .. } | TraceEvent::Handoff { .. } => {}
         }
     }
     let mut features: Vec<[f64; FEATURES]> = accs

@@ -63,7 +63,7 @@ fn event(raw: RawEvent) -> TraceEvent {
     let ((kind, device), (a, b, c)) = raw;
     let device = device % 4;
     let cycle = (a % 1_000_000) as f64 + 0.5;
-    match kind % 5 {
+    match kind % 6 {
         0 => TraceEvent::Route {
             id: b % 128,
             device,
@@ -94,11 +94,19 @@ fn event(raw: RawEvent) -> TraceEvent {
             pool_reserved_bytes: c % (1 << 30),
             completions: (b % 4) as u32,
         },
-        _ => TraceEvent::Preempt {
+        4 => TraceEvent::Preempt {
             device,
             cycle,
             victim: b % 128,
             swapped_bytes: c % (1 << 24),
+        },
+        _ => TraceEvent::Handoff {
+            id: b % 128,
+            from: device,
+            to: (c % 4) as u32,
+            cycle,
+            arrival_cycle: cycle + 1.0 + (c % 100_000) as f64,
+            bytes: c % (1 << 30),
         },
     }
 }

@@ -161,6 +161,81 @@ fn hetero_fleet_record_roundtrip_replay_bit_exact() {
     }
 }
 
+/// Disaggregated fleets record and replay like any other run: a
+/// prefill/decode split fleet's trace — `Handoff` frames included —
+/// survives the binary format bit-exactly and replays to the recorded
+/// report, while a corrupted `Handoff` frame surfaces as a typed
+/// [`TraceError`], never a panic.
+#[test]
+fn disaggregated_fleet_record_roundtrip_replay_bit_exact() {
+    use mcbp::trace::TraceError;
+
+    let engine = engine();
+    let load = mixed_trace(32, 11);
+    let sim = engine.serve_sim(
+        0.3,
+        ServeConfig {
+            kv_budget_bytes: Some(tight_budget(4)),
+            ..ServeConfig::default()
+        },
+    );
+    let fleet = [
+        DeviceProfile::uniform().with_role(DeviceRole::Prefill),
+        DeviceProfile::uniform().with_role(DeviceRole::Prefill),
+        DeviceProfile::uniform().with_role(DeviceRole::Decode),
+        DeviceProfile::uniform().with_role(DeviceRole::Decode),
+    ];
+    let mut mk = || Box::new(PriorityScheduler::new()) as Box<dyn Scheduler>;
+    let untraced = sim.run_fleet_profiles(&load, &fleet, DispatchPolicy::WeightedJsq, &mut mk);
+    let (report, trace) =
+        sim.run_fleet_profiles_traced(&load, &fleet, DispatchPolicy::WeightedJsq, &mut mk);
+    assert_eq!(report, untraced, "recording perturbed the split fleet");
+    assert!(
+        trace.handoff_count() > 0,
+        "a split fleet's trace records its handoffs"
+    );
+    assert_eq!(report.handoff.handoffs_out, trace.handoff_count());
+
+    let bytes = to_bytes(&trace).expect("serialize");
+    let restored = from_bytes(&bytes).expect("deserialize");
+    assert_eq!(trace, restored, "handoff frames round-trip bit-exactly");
+
+    let replayed = verify_replay(&restored, &report, |w| {
+        sim.run_fleet_profiles(w, &fleet, DispatchPolicy::WeightedJsq, &mut mk)
+    })
+    .unwrap_or_else(|m| panic!("disaggregated replay diverged: {m}"));
+    assert_eq!(replayed, report);
+
+    // Corrupt the first Handoff frame's payload: walk the frame stream
+    // (magic u64 + version u32, then kind u8 | len u32 | payload |
+    // checksum u32 frames) to find kind byte 8 and flip a payload bit.
+    let mut corrupted = bytes.clone();
+    let mut offset = 12;
+    let mut target = None;
+    while offset + 5 <= corrupted.len() {
+        let kind = corrupted[offset];
+        let len = u32::from_le_bytes(corrupted[offset + 1..offset + 5].try_into().unwrap());
+        if kind == 8 {
+            target = Some(offset + 5);
+            break;
+        }
+        offset += 5 + len as usize + 4;
+    }
+    let payload_start = target.expect("the serialized trace contains a Handoff frame");
+    corrupted[payload_start] ^= 0xFF;
+    match from_bytes(&corrupted) {
+        Err(TraceError::Corrupted { .. }) => {}
+        other => panic!("corrupted Handoff frame must fail its checksum, got {other:?}"),
+    }
+
+    // Truncating mid-Handoff-frame is typed too.
+    let truncated = &bytes[..payload_start + 2];
+    assert!(
+        matches!(from_bytes(truncated), Err(TraceError::Truncated)),
+        "mid-frame truncation is a typed error"
+    );
+}
+
 /// The sampled simulator on a real diurnal trace: phases partition the
 /// span (weights sum to 1), the sampled run simulates strictly fewer
 /// steps than the full run, and its goodput estimate lands within a
